@@ -1,0 +1,478 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Section 7, Figures 8-15), the Theorem 6.1 sample-size curve, the
+   ablations called out in DESIGN.md, and Bechamel micro-benchmarks of the
+   core primitives.
+
+   Usage: dune exec bench/main.exe -- [--only fig9] [--seeds 2] [--scale N]
+
+   Sizes are scaled down from the paper's 10k-300k testbed (see DESIGN.md,
+   substitutions): the default base size is 4,000 tuples so the full
+   harness finishes in minutes; pass --scale to change it.  Shapes, not
+   absolute numbers, are the reproduction target; EXPERIMENTS.md records
+   the comparison. *)
+
+open Dq_relation
+open Dq_cfd
+open Dq_core
+open Dq_workload
+
+(* ---- command line ---------------------------------------------------- *)
+
+let only = ref []
+
+let seeds = ref [ 7 ]
+
+let base_n = ref 4_000
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--only" :: name :: rest ->
+      only := name :: !only;
+      parse rest
+    | "--seeds" :: k :: rest ->
+      seeds := List.init (int_of_string k) (fun i -> 7 + (13 * i));
+      parse rest
+    | "--scale" :: n :: rest ->
+      base_n := int_of_string n;
+      parse rest
+    | arg :: _ ->
+      Fmt.epr "unknown argument %S@." arg;
+      Fmt.epr "usage: main.exe [--only figN]... [--seeds K] [--scale N]@.";
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let enabled name = !only = [] || List.mem name !only
+
+let section name title =
+  if enabled name then begin
+    Fmt.pr "@.=== %s — %s ===@." name title;
+    true
+  end
+  else false
+
+(* ---- shared machinery ------------------------------------------------ *)
+
+type outcome = { precision : float; recall : float; runtime : float }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let dataset ?(n = !base_n) seed =
+  Datagen.generate (Datagen.default_params ~n_tuples:n ~seed ())
+
+let dirtied ?(rate = 0.05) ?(constant_share = 0.5) ds seed =
+  Noise.inject (Noise.default_params ~rate ~constant_share ~seed ()) ds
+
+let score ds (info : Noise.info) repair runtime =
+  let m =
+    Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty:info.Noise.dirty ~repair
+  in
+  { precision = m.Metrics.precision; recall = m.Metrics.recall; runtime }
+
+let run_batch ?(sigma = None) ds info =
+  let sigma = match sigma with Some s -> s | None -> ds.Datagen.sigma in
+  let (repair, _), runtime =
+    time (fun () -> Batch_repair.repair info.Noise.dirty sigma)
+  in
+  assert (Violation.satisfies repair sigma);
+  score ds info repair runtime
+
+let run_inc ordering ds info =
+  let (repair, _), runtime =
+    time (fun () ->
+        Inc_repair.repair_dirty ~ordering info.Noise.dirty ds.Datagen.sigma)
+  in
+  assert (Violation.satisfies repair ds.Datagen.sigma);
+  score ds info repair runtime
+
+let average outcomes =
+  let n = float_of_int (List.length outcomes) in
+  {
+    precision = List.fold_left (fun a o -> a +. o.precision) 0. outcomes /. n;
+    recall = List.fold_left (fun a o -> a +. o.recall) 0. outcomes /. n;
+    runtime = List.fold_left (fun a o -> a +. o.runtime) 0. outcomes /. n;
+  }
+
+let over_seeds f = average (List.map f !seeds)
+
+let pct x = 100. *. x
+
+(* Print one table row of floats under a label. *)
+let row label values =
+  Fmt.pr "%-14s" label;
+  List.iter (Fmt.pr " %8.1f") values;
+  Fmt.pr "@."
+
+let header label columns =
+  Fmt.pr "%-14s" label;
+  List.iter (fun c -> Fmt.pr " %8s" c) columns;
+  Fmt.pr "@."
+
+let noise_rates = [ 0.01; 0.03; 0.05; 0.08; 0.10 ]
+
+(* ---- Figure 8: efficacy of CFDs vs plain FDs ------------------------- *)
+
+let fig8 () =
+  if section "fig8" "CFDs vs embedded FDs (BATCHREPAIR accuracy)" then begin
+    (* three points: the FD baseline is slow (no constant anchors; see
+       EXPERIMENTS.md) *)
+    let rates = [ 0.02; 0.06; 0.10 ] in
+    header "rho(%)" (List.map (fun r -> Fmt.str "%g" (pct r)) rates);
+    let per_constraints name sigma_of =
+      let prec = ref [] and rec_ = ref [] in
+      List.iter
+        (fun rate ->
+          let o =
+            over_seeds (fun seed ->
+                let ds = dataset seed in
+                let info = dirtied ~rate ds (seed + 1) in
+                run_batch ~sigma:(Some (sigma_of ds)) ds info)
+          in
+          prec := pct o.precision :: !prec;
+          rec_ := pct o.recall :: !rec_)
+        rates;
+      row (name ^ "/Prec") (List.rev !prec);
+      row (name ^ "/Recall") (List.rev !rec_)
+    in
+    per_constraints "CFD" (fun ds -> ds.Datagen.sigma);
+    per_constraints "FD" (fun ds ->
+        Cfd.number (Cfd.embedded_fds (Array.to_list ds.Datagen.sigma)))
+  end
+
+(* ---- Figures 9, 10 and 13: accuracy and time vs noise rate ----------- *)
+
+let algorithms =
+  [
+    ("BatchRepair", fun ds info -> run_batch ds info);
+    ("V-IncRepair", run_inc Inc_repair.By_violations);
+    ("W-IncRepair", run_inc Inc_repair.By_weight);
+    ("L-IncRepair", run_inc Inc_repair.Linear);
+  ]
+
+let fig9_10_13 () =
+  let want9 = enabled "fig9"
+  and want10 = enabled "fig10"
+  and want13 = enabled "fig13" in
+  if want9 || want10 || want13 then begin
+    let results =
+      List.map
+        (fun (name, algo) ->
+          ( name,
+            List.map
+              (fun rate ->
+                over_seeds (fun seed ->
+                    let ds = dataset seed in
+                    let info = dirtied ~rate ds (seed + 1) in
+                    algo ds info))
+              noise_rates ))
+        algorithms
+    in
+    let cols = List.map (fun r -> Fmt.str "%g" (pct r)) noise_rates in
+    if section "fig9" "Precision vs noise rate (%)" then begin
+      header "rho(%)" cols;
+      List.iter
+        (fun (name, os) -> row name (List.map (fun o -> pct o.precision) os))
+        results
+    end;
+    if section "fig10" "Recall vs noise rate (%)" then begin
+      header "rho(%)" cols;
+      List.iter
+        (fun (name, os) -> row name (List.map (fun o -> pct o.recall) os))
+        results
+    end;
+    if section "fig13" "Runtime vs noise rate (seconds)" then begin
+      header "rho(%)" cols;
+      List.iter
+        (fun (name, os) ->
+          Fmt.pr "%-14s" name;
+          List.iter (fun o -> Fmt.pr " %8.2f" o.runtime) os;
+          Fmt.pr "@.")
+        results
+    end
+  end
+
+(* ---- Figure 11: BATCHREPAIR scalability in |D| ----------------------- *)
+
+let fig11 () =
+  if section "fig11" "BATCHREPAIR runtime vs database size (rho = 5%)" then begin
+    let sizes = List.map (fun k -> k * !base_n / 2) [ 1; 2; 3; 4; 5 ] in
+    header "tuples" (List.map string_of_int sizes);
+    let times =
+      List.map
+        (fun n ->
+          (over_seeds (fun seed ->
+               let ds = dataset ~n seed in
+               let info = dirtied ds (seed + 1) in
+               run_batch ds info))
+            .runtime)
+        sizes
+    in
+    Fmt.pr "%-14s" "BatchRepair";
+    List.iter (Fmt.pr " %8.2f") times;
+    Fmt.pr "@."
+  end
+
+(* ---- Figure 12: incremental setting ---------------------------------- *)
+
+let fig12 () =
+  if
+    section "fig12"
+      "Incremental: runtime vs number of dirty tuples inserted into a clean \
+       database"
+  then begin
+    let base_size = !base_n * 3 / 2 in
+    let max_inserts = 70 in
+    let counts = [ 10; 20; 30; 40; 50; 60; 70 ] in
+    header "#inserted" (List.map string_of_int counts);
+    let per_seed seed =
+      (* Build a clean base plus a pool of dirty insertions. *)
+      let ds = dataset ~n:(base_size + max_inserts) seed in
+      let rate = float_of_int max_inserts /. float_of_int (base_size + max_inserts) in
+      let info = dirtied ~rate ds (seed + 1) in
+      let dirty_set = Hashtbl.create 64 in
+      List.iter (fun tid -> Hashtbl.replace dirty_set tid ()) info.Noise.dirty_tids;
+      let base = Relation.create Order_schema.schema in
+      let pool = ref [] in
+      Relation.iter
+        (fun t ->
+          if Hashtbl.mem dirty_set (Tuple.tid t) then pool := Tuple.copy t :: !pool
+          else Relation.add base (Tuple.copy t))
+        info.Noise.dirty;
+      let pool = Array.of_list (List.rev !pool) in
+      (ds, base, pool)
+    in
+    let inc_times = ref [] and batch_times = ref [] in
+    List.iter
+      (fun k ->
+        let inc = ref 0. and batch = ref 0. in
+        List.iter
+          (fun seed ->
+            let ds, base, pool = per_seed seed in
+            let delta = Array.to_list (Array.sub pool 0 (min k (Array.length pool))) in
+            let (_, stats) =
+              Inc_repair.repair_inserts base delta ds.Datagen.sigma
+            in
+            inc := !inc +. stats.Inc_repair.runtime;
+            let whole = Relation.copy base in
+            List.iter (fun t -> Relation.add whole (Tuple.copy t)) delta;
+            let (_, bstats) = Batch_repair.repair whole ds.Datagen.sigma in
+            batch := !batch +. bstats.Batch_repair.runtime)
+          !seeds;
+        let n = float_of_int (List.length !seeds) in
+        inc_times := (!inc /. n) :: !inc_times;
+        batch_times := (!batch /. n) :: !batch_times)
+      counts;
+    Fmt.pr "%-14s" "IncRepair";
+    List.iter (Fmt.pr " %8.2f") (List.rev !inc_times);
+    Fmt.pr "@.%-14s" "BatchRepair";
+    List.iter (Fmt.pr " %8.2f") (List.rev !batch_times);
+    Fmt.pr "@."
+  end
+
+(* ---- Figures 14 and 15: constant vs variable CFD violations ---------- *)
+
+let fig14_15 () =
+  let want14 = enabled "fig14" and want15 = enabled "fig15" in
+  if want14 || want15 then begin
+    let shares = [ 0.2; 0.4; 0.6; 0.8 ] in
+    let results =
+      List.map
+        (fun (name, algo) ->
+          ( name,
+            List.map
+              (fun share ->
+                over_seeds (fun seed ->
+                    let ds = dataset seed in
+                    let info = dirtied ~constant_share:share ds (seed + 1) in
+                    algo ds info))
+              shares ))
+        [
+          ("BatchRepair", fun ds info -> run_batch ds info);
+          ("IncRepair", run_inc Inc_repair.By_violations);
+        ]
+    in
+    let cols = List.map (fun s -> Fmt.str "%g" (pct s)) shares in
+    if
+      section "fig14"
+        "Accuracy vs %% of dirty tuples violating constant CFDs"
+    then begin
+      header "const(%)" cols;
+      List.iter
+        (fun (name, os) ->
+          row (name ^ "/Prec") (List.map (fun o -> pct o.precision) os);
+          row (name ^ "/Recall") (List.map (fun o -> pct o.recall) os))
+        results
+    end;
+    if section "fig15" "Runtime vs %% constant-CFD violations (seconds)" then begin
+      header "const(%)" cols;
+      List.iter
+        (fun (name, os) ->
+          Fmt.pr "%-14s" name;
+          List.iter (fun o -> Fmt.pr " %8.2f" o.runtime) os;
+          Fmt.pr "@.")
+        results
+    end
+  end
+
+(* ---- Theorem 6.1: Chernoff sample sizes ------------------------------ *)
+
+let thm61 () =
+  if
+    section "thm6.1" "Chernoff sample-size bound (delta = 0.95, varying c, eps)"
+  then begin
+    let cs = [ 1; 5; 10; 20; 50 ] in
+    header "c" (List.map string_of_int cs);
+    List.iter
+      (fun epsilon ->
+        Fmt.pr "%-14s" (Fmt.str "eps=%.2f" epsilon);
+        List.iter
+          (fun c ->
+            Fmt.pr " %8d"
+              (Stats.chernoff_sample_size ~epsilon ~confidence:0.95 ~c))
+          cs;
+        Fmt.pr "@.")
+      [ 0.01; 0.05; 0.10 ]
+  end
+
+(* ---- Ablations -------------------------------------------------------- *)
+
+let ablation_depgraph () =
+  if
+    section "abl-depgraph"
+      "BATCHREPAIR with/without the dependency-graph stratum bias"
+  then begin
+    header "" [ "prec"; "recall"; "seconds" ];
+    List.iter
+      (fun (label, use_dependency_graph) ->
+        let o =
+          over_seeds (fun seed ->
+              let ds = dataset seed in
+              let info = dirtied ds (seed + 1) in
+              let (repair, _), runtime =
+                time (fun () ->
+                    Batch_repair.repair ~use_dependency_graph info.Noise.dirty
+                      ds.Datagen.sigma)
+              in
+              score ds info repair runtime)
+        in
+        row label [ pct o.precision; pct o.recall; o.runtime ])
+      [ ("with", true); ("without", false) ]
+  end
+
+let ablation_cluster () =
+  if
+    section "abl-cluster"
+      "INCREPAIR with/without the cost-based cluster index"
+  then begin
+    header "" [ "prec"; "recall"; "seconds" ];
+    List.iter
+      (fun (label, use_cluster_index) ->
+        let o =
+          over_seeds (fun seed ->
+              let ds = dataset seed in
+              let info = dirtied ds (seed + 1) in
+              let (repair, _), runtime =
+                time (fun () ->
+                    Inc_repair.repair_dirty ~use_cluster_index info.Noise.dirty
+                      ds.Datagen.sigma)
+              in
+              score ds info repair runtime)
+        in
+        row label [ pct o.precision; pct o.recall; o.runtime ])
+      [ ("with", true); ("without", false) ]
+  end
+
+let ablation_k () =
+  if section "abl-k" "TUPLERESOLVE: attributes fixed per greedy step (k)" then begin
+    header "k" [ "prec"; "recall"; "seconds" ];
+    List.iter
+      (fun k ->
+        let o =
+          over_seeds (fun seed ->
+              let ds = dataset seed in
+              let info = dirtied ds (seed + 1) in
+              let (repair, _), runtime =
+                time (fun () ->
+                    Inc_repair.repair_dirty ~k info.Noise.dirty ds.Datagen.sigma)
+              in
+              score ds info repair runtime)
+        in
+        row (string_of_int k) [ pct o.precision; pct o.recall; o.runtime ])
+      [ 1; 2; 3 ]
+  end
+
+(* ---- Bechamel micro-benchmarks ---------------------------------------- *)
+
+let micro () =
+  if section "micro" "Bechamel micro-benchmarks of the core primitives" then begin
+    let open Bechamel in
+    let ds = dataset ~n:2_000 7 in
+    let info = dirtied ds 8 in
+    let sigma = ds.Datagen.sigma in
+    let clean = ds.Datagen.dopt in
+    let dirty_tuple =
+      Relation.find_exn info.Noise.dirty (List.hd info.Noise.dirty_tids)
+    in
+    let env = Tuple_resolve.make_env clean sigma in
+    (* Warm the lazy cluster indexes out of the measured path. *)
+    ignore (Tuple_resolve.resolve env (Tuple.copy dirty_tuple));
+    let zip_domain = Relation.active_domain clean Order_schema.zip in
+    let tests =
+      Test.make_grouped ~name:"core"
+        [
+          Test.make ~name:"dl-distance" (Staged.stage (fun () ->
+               Cost.dl_distance "Philadelphia" "Philadlephia"));
+          Test.make ~name:"violation-scan-2k" (Staged.stage (fun () ->
+               Violation.satisfies clean sigma));
+          Test.make ~name:"lhs-index-build-2k" (Staged.stage (fun () ->
+               Lhs_index.build sigma clean));
+          Test.make ~name:"cluster-index-build" (Staged.stage (fun () ->
+               Cluster_index.build zip_domain));
+          Test.make ~name:"tuple-resolve" (Staged.stage (fun () ->
+               Tuple_resolve.resolve env (Tuple.copy dirty_tuple)));
+        ]
+    in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+    let ols =
+      Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+    in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    let rows =
+      Hashtbl.fold
+        (fun name res acc ->
+          match Analyze.OLS.estimates res with
+          | Some (est :: _) -> (name, est) :: acc
+          | _ -> acc)
+        results []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (name, ns) ->
+        if ns > 1e6 then Fmt.pr "%-28s %10.3f ms/run@." name (ns /. 1e6)
+        else if ns > 1e3 then Fmt.pr "%-28s %10.3f us/run@." name (ns /. 1e3)
+        else Fmt.pr "%-28s %10.1f ns/run@." name ns)
+      rows
+  end
+
+let () =
+  let started = Unix.gettimeofday () in
+  Fmt.pr
+    "dataqual bench harness — base size %d tuples, %d seed(s)@.\
+     (scaled-down testbed; see EXPERIMENTS.md for paper-vs-measured)@."
+    !base_n (List.length !seeds);
+  fig8 ();
+  fig9_10_13 ();
+  fig11 ();
+  fig12 ();
+  fig14_15 ();
+  thm61 ();
+  ablation_depgraph ();
+  ablation_cluster ();
+  ablation_k ();
+  micro ();
+  Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. started)

@@ -1,0 +1,309 @@
+(* cfdclean: CFD-based data cleaning from the command line.
+
+   Subcommands:
+     detect    report CFD violations in a CSV file
+     repair    repair a CSV file (BATCHREPAIR or INCREPAIR)
+     check     check a CFD file for satisfiability
+     sample    repair, then estimate the repair's inaccuracy rate by
+               stratified sampling against a ground-truth file
+     generate  emit a synthetic order dataset (clean + dirty + CFDs)
+
+   Data is CSV with a header row; constraints use the textual CFD format
+   (see the dataqual.cfd documentation or `cfdclean generate`). *)
+
+open Cmdliner
+open Dq_relation
+open Dq_cfd
+open Dq_core
+open Dq_workload
+
+let load_sigma schema path =
+  match Cfd_parser.parse_file path with
+  | Error e -> `Error (false, Fmt.str "%s: %a" path Cfd_parser.pp_error e)
+  | Ok tableaus -> (
+    match Cfd_parser.resolve schema tableaus with
+    | sigma -> `Ok sigma
+    | exception Invalid_argument msg -> `Error (false, msg))
+
+let with_inputs data_path cfd_path k =
+  match Csv.load_file data_path with
+  | exception Failure msg -> `Error (false, msg)
+  | exception Sys_error msg -> `Error (false, msg)
+  | rel -> (
+    match load_sigma (Relation.schema rel) cfd_path with
+    | `Error _ as e -> e
+    | `Ok sigma -> k rel sigma)
+
+(* ---- detect ---- *)
+
+let detect data_path cfd_path verbose =
+  with_inputs data_path cfd_path @@ fun rel sigma ->
+  let counts = Violation.vio_counts rel sigma in
+  let dirty = Hashtbl.length counts in
+  Fmt.pr "%d tuples, %d clauses: %d violating tuples, vio(D) = %d@."
+    (Relation.cardinality rel) (Array.length sigma) dirty
+    (Violation.total rel sigma);
+  if verbose then
+    List.iter (Fmt.pr "  %a@." Violation.pp) (Violation.find_all rel sigma);
+  `Ok (if dirty = 0 then 0 else 1)
+
+let detect_cmd =
+  let data =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA.csv")
+  in
+  let cfds =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CONSTRAINTS.cfd")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List each violation.")
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Report CFD violations in a CSV file")
+    Term.(ret (const detect $ data $ cfds $ verbose))
+
+(* ---- repair ---- *)
+
+type algorithm = Batch | Inc of Inc_repair.ordering
+
+let algorithm_conv =
+  let parse = function
+    | "batch" -> Ok Batch
+    | "inc" | "v-inc" -> Ok (Inc Inc_repair.By_violations)
+    | "l-inc" -> Ok (Inc Inc_repair.Linear)
+    | "w-inc" -> Ok (Inc Inc_repair.By_weight)
+    | s -> Error (`Msg (Fmt.str "unknown algorithm %S" s))
+  in
+  let print ppf = function
+    | Batch -> Fmt.string ppf "batch"
+    | Inc Inc_repair.By_violations -> Fmt.string ppf "v-inc"
+    | Inc Inc_repair.Linear -> Fmt.string ppf "l-inc"
+    | Inc Inc_repair.By_weight -> Fmt.string ppf "w-inc"
+  in
+  Arg.conv (parse, print)
+
+let repair data_path cfd_path output algorithm =
+  with_inputs data_path cfd_path @@ fun rel sigma ->
+  if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
+    `Error (false, "the CFD set is unsatisfiable; no repair exists")
+  else begin
+    let repaired =
+      match algorithm with
+      | Batch ->
+        let repaired, stats = Batch_repair.repair rel sigma in
+        Fmt.epr "batchrepair: %a@." Batch_repair.pp_stats stats;
+        repaired
+      | Inc ordering ->
+        let repaired, stats = Inc_repair.repair_dirty ~ordering rel sigma in
+        Fmt.epr "%s: %a@."
+          (Inc_repair.ordering_name ordering)
+          Inc_repair.pp_stats stats;
+        repaired
+    in
+    Fmt.epr "repair cost: %.3f; dif: %d cells@."
+      (Cost.repair_cost ~original:rel ~repair:repaired)
+      (Relation.dif rel repaired);
+    (match output with
+    | Some path -> Csv.save_file repaired path
+    | None -> print_string (Csv.save_string repaired));
+    `Ok 0
+  end
+
+let repair_cmd =
+  let data =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA.csv")
+  in
+  let cfds =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CONSTRAINTS.cfd")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT.csv"
+          ~doc:"Write the repair here instead of stdout.")
+  in
+  let algorithm =
+    Arg.(
+      value & opt algorithm_conv Batch
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"One of batch, v-inc, l-inc, w-inc.")
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc:"Compute a repair satisfying the CFDs")
+    Term.(ret (const repair $ data $ cfds $ output $ algorithm))
+
+(* ---- check ---- *)
+
+let check schema_csv cfd_path =
+  match Csv.load_file schema_csv with
+  | exception Failure msg -> `Error (false, msg)
+  | exception Sys_error msg -> `Error (false, msg)
+  | rel -> (
+    match load_sigma (Relation.schema rel) cfd_path with
+    | `Error _ as e -> e
+    | `Ok sigma ->
+      if Satisfiability.is_satisfiable (Relation.schema rel) sigma then begin
+        Fmt.pr "satisfiable (%d normal-form clauses)@." (Array.length sigma);
+        `Ok 0
+      end
+      else begin
+        Fmt.pr "UNSATISFIABLE: no non-empty instance can satisfy these CFDs@.";
+        `Ok 1
+      end)
+
+let check_cmd =
+  let data =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DATA.csv" ~doc:"Any CSV with the target header row.")
+  in
+  let cfds =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CONSTRAINTS.cfd")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a CFD set for satisfiability")
+    Term.(ret (const check $ data $ cfds))
+
+(* ---- sample ---- *)
+
+let sample data_path cfd_path truth_path epsilon confidence sample_size =
+  with_inputs data_path cfd_path @@ fun rel sigma ->
+  match Csv.load_file truth_path with
+  | exception Failure msg -> `Error (false, msg)
+  | truth ->
+    let repaired, _ = Batch_repair.repair rel sigma in
+    let oracle t' =
+      match Relation.find truth (Tuple.tid t') with
+      | Some t -> not (Tuple.equal_values t t')
+      | None -> true
+    in
+    let config = Sampling.default_config ~epsilon ~confidence ~sample_size () in
+    let report =
+      Sampling.inspect config ~original:rel ~repair:repaired ~sigma ~oracle
+    in
+    Fmt.pr "%a@." Sampling.pp_report report;
+    `Ok (if report.Sampling.accepted then 0 else 1)
+
+let sample_cmd =
+  let data =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA.csv")
+  in
+  let cfds =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CONSTRAINTS.cfd")
+  in
+  let truth =
+    Arg.(
+      required
+      & pos 2 (some file) None
+      & info [] ~docv:"TRUTH.csv"
+          ~doc:"Ground truth standing in for the inspecting user.")
+  in
+  let epsilon =
+    Arg.(value & opt float 0.05 & info [ "epsilon" ] ~doc:"Inaccuracy bound.")
+  in
+  let confidence =
+    Arg.(value & opt float 0.95 & info [ "confidence" ] ~doc:"Confidence level.")
+  in
+  let size =
+    Arg.(value & opt int 200 & info [ "sample-size" ] ~doc:"Tuples to inspect.")
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"Repair, then statistically assess the repair's accuracy")
+    Term.(ret (const sample $ data $ cfds $ truth $ epsilon $ confidence $ size))
+
+(* ---- generate ---- *)
+
+let generate n rate seed out_prefix =
+  let ds = Datagen.generate (Datagen.default_params ~n_tuples:n ~seed ()) in
+  let noise = Noise.inject (Noise.default_params ~rate ~seed ()) ds in
+  let clean_path = out_prefix ^ "_clean.csv" in
+  let dirty_path = out_prefix ^ "_dirty.csv" in
+  let cfd_path = out_prefix ^ ".cfd" in
+  Csv.save_file ds.Datagen.dopt clean_path;
+  Csv.save_file noise.Noise.dirty dirty_path;
+  let oc = open_out cfd_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Cfd_parser.to_string ds.Datagen.tableaus));
+  Fmt.pr "wrote %s (%d tuples), %s (%d dirtied), %s (%d pattern rows)@."
+    clean_path n dirty_path
+    (List.length noise.Noise.dirty_tids)
+    cfd_path
+    (Datagen.pattern_row_count ds);
+  `Ok 0
+
+(* ---- discover ---- *)
+
+let discover data_path out min_support min_confidence max_lhs =
+  match Csv.load_file data_path with
+  | exception Failure msg -> `Error (false, msg)
+  | exception Sys_error msg -> `Error (false, msg)
+  | rel ->
+    let config =
+      Discovery.default_config ~max_lhs_size:max_lhs ~min_support
+        ~min_confidence ()
+    in
+    let d = Discovery.discover ~config rel in
+    Fmt.epr "discovered %d embedded FDs and %d constant pattern rows@."
+      d.Discovery.n_variable d.Discovery.n_constant;
+    let text = Cfd_parser.to_string d.Discovery.tableaus in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc text)
+    | None -> print_string text);
+    `Ok 0
+
+let discover_cmd =
+  let data =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA.csv")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT.cfd"
+          ~doc:"Write the discovered CFDs here instead of stdout.")
+  in
+  let support =
+    Arg.(
+      value & opt int 10
+      & info [ "min-support" ] ~doc:"Tuples a constant pattern row must cover.")
+  in
+  let confidence =
+    Arg.(
+      value & opt float 1.0
+      & info [ "min-confidence" ]
+          ~doc:"Fraction of covered tuples that must agree (1.0 = exact).")
+  in
+  let max_lhs =
+    Arg.(
+      value & opt int 2
+      & info [ "max-lhs" ] ~doc:"Largest LHS attribute set to consider.")
+  in
+  Cmd.v
+    (Cmd.info "discover" ~doc:"Mine CFDs from a (mostly clean) CSV file")
+    Term.(ret (const discover $ data $ out $ support $ confidence $ max_lhs))
+
+let generate_cmd =
+  let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Number of tuples.") in
+  let rate = Arg.(value & opt float 0.05 & info [ "rate" ] ~doc:"Noise rate.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.") in
+  let prefix =
+    Arg.(value & opt string "orders" & info [ "prefix" ] ~doc:"Output prefix.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic order dataset")
+    Term.(ret (const generate $ n $ rate $ seed $ prefix))
+
+let () =
+  let doc = "CFD-based data cleaning (Cong et al., VLDB 2007)" in
+  let info = Cmd.info "cfdclean" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ detect_cmd; repair_cmd; check_cmd; sample_cmd; discover_cmd; generate_cmd ]))

@@ -1,0 +1,1 @@
+examples/discover_and_repair.ml: Array Batch_repair Cfd Datagen Discovery Dq_cfd Dq_core Dq_relation Dq_workload Fmt Implication List Metrics Noise Order_schema Relation String Violation

@@ -1,0 +1,1 @@
+examples/incremental_insertion.ml: Array Datagen Dq_cfd Dq_core Dq_relation Dq_workload Fmt Inc_repair List Order_schema Relation Tuple Value Violation

@@ -1,0 +1,1 @@
+examples/integration_cleaning.ml: Batch_repair Cfd Cfd_parser Csv Dq_cfd Dq_core Dq_relation Fmt List Relation Tuple Value Violation

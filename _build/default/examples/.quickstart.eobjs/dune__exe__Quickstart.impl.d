@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Batch_repair Cfd Cfd_parser Cost Csv Dq_cfd Dq_core Dq_relation Fmt List Relation Satisfiability Tuple Violation

@@ -1,0 +1,1 @@
+examples/sampling_session.ml: Datagen Dq_core Dq_relation Dq_workload Fmt Framework List Metrics Noise Relation Sampling Stats Tuple

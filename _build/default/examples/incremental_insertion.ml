@@ -1,0 +1,81 @@
+(* Incremental cleaning (Section 5): a clean database receives a batch of
+   new orders, some of them inconsistent.  INCREPAIR repairs only the
+   insertions — the clean base is never touched — and the three processing
+   orderings (L/V/W) are compared.
+
+   This replays Example 1.1/5.1: the inserted t5 agrees with an existing
+   order on (AC, PN) = (215, 8983490) but claims to be in NYC, NY, 10012,
+   so phi1 and phi2 pull it in opposite directions.
+
+   Run with: dune exec examples/incremental_insertion.exe *)
+
+open Dq_relation
+open Dq_cfd
+open Dq_core
+open Dq_workload
+
+let () =
+  (* A clean synthetic sales database with the seven-CFD constraint set. *)
+  let ds =
+    Datagen.generate
+      {
+        (Datagen.default_params ~n_tuples:2_000 ()) with
+        Datagen.tableau_coverage = 0.8;
+      }
+  in
+  let base = ds.Datagen.dopt and sigma = ds.Datagen.sigma in
+  Fmt.pr "Clean base: %d tuples, %d normal-form clauses. D |= Sigma? %b@.@."
+    (Relation.cardinality base) (Array.length sigma)
+    (Violation.satisfies base sigma);
+
+  (* Craft insertions: copy three existing orders and corrupt them, plus
+     one perfectly fine new order. *)
+  let sample tid = Relation.find_exn base tid in
+  let fresh i t = Tuple.copy ~tid:(1_000_000 + i) t in
+  let t5 =
+    let t = fresh 0 (sample 0) in
+    (* contradictory city/state/zip, as in Example 1.1 *)
+    Tuple.set t Order_schema.ct (Value.string "Springfield");
+    Tuple.set t Order_schema.st (Value.string "ZZ");
+    t
+  in
+  let wrong_price =
+    let t = fresh 1 (sample 1) in
+    Tuple.set t Order_schema.pr (Value.string "0.01");
+    t
+  in
+  let typo_city =
+    let t = fresh 2 (sample 2) in
+    let city = Value.to_string (Tuple.get t Order_schema.ct) in
+    Tuple.set t Order_schema.ct (Value.string (city ^ "x"));
+    t
+  in
+  let clean_insert = fresh 3 (sample 3) in
+  let delta = [ t5; wrong_price; typo_city; clean_insert ] in
+
+  List.iter
+    (fun ordering ->
+      let repr, stats = Inc_repair.repair_inserts ~ordering base delta sigma in
+      Fmt.pr "%-12s: %a@.              result |= Sigma? %b@."
+        (Inc_repair.ordering_name ordering)
+        Inc_repair.pp_stats stats
+        (Violation.satisfies repr sigma);
+      (* The clean base is untouched by construction. *)
+      assert (
+        Relation.fold
+          (fun ok t ->
+            ok
+            && Tuple.equal_values t (Relation.find_exn repr (Tuple.tid t)))
+          true base))
+    [ Inc_repair.Linear; Inc_repair.By_violations; Inc_repair.By_weight ];
+
+  (* Show what happened to t5 under V-INCREPAIR. *)
+  let repr, _ =
+    Inc_repair.repair_inserts ~ordering:Inc_repair.By_violations base delta
+      sigma
+  in
+  let before = t5 and after = Relation.find_exn repr 1_000_000 in
+  Fmt.pr "@.t5 before: %a@." (Tuple.pp Order_schema.schema) before;
+  Fmt.pr "t5 after:  %a@." (Tuple.pp Order_schema.schema) after;
+  Fmt.pr "@.Deletions never need repairing (Section 3.3): removing any tuple \
+          from a clean database leaves it clean.@."

@@ -1,0 +1,65 @@
+(* The accuracy guarantee (Section 6) and the full Figure-3 framework loop.
+
+   A dirty database is repaired; a stratified sample of the repair is shown
+   to a (simulated) domain expert; the z-test decides whether the estimated
+   inaccuracy rate is below epsilon at confidence delta.  If not, the
+   expert's corrections flow back and the loop repairs again.
+
+   Run with: dune exec examples/sampling_session.exe *)
+
+open Dq_relation
+open Dq_core
+open Dq_workload
+
+let () =
+  let epsilon = 0.05 and confidence = 0.95 in
+  let ds = Datagen.generate (Datagen.default_params ~n_tuples:3_000 ()) in
+  let noise = Noise.inject (Noise.default_params ~rate:0.05 ()) ds in
+  Fmt.pr "Dirty database: %d tuples, %d dirtied.@.@."
+    (Relation.cardinality noise.Noise.dirty)
+    (List.length noise.Noise.dirty_tids);
+
+  (* Theorem 6.1: how large must a sample be so that, with probability
+     >= delta, at least c inaccurate tuples show up when the true rate is
+     epsilon? *)
+  List.iter
+    (fun c ->
+      Fmt.pr "Chernoff sample size for c=%2d (eps=%.2f, delta=%.2f): %d@." c
+        epsilon confidence
+        (Stats.chernoff_sample_size ~epsilon ~confidence ~c))
+    [ 1; 5; 10; 20 ];
+
+  (* The simulated expert inspects a repaired tuple by comparing it with
+     the ground truth Dopt and returns the corrected tuple when needed. *)
+  let expert t' =
+    match Relation.find ds.Datagen.dopt (Tuple.tid t') with
+    | Some truth when Tuple.equal_values t' truth -> None
+    | Some truth -> Some (Tuple.copy truth)
+    | None -> None
+  in
+
+  let sampling =
+    {
+      (Sampling.default_config ~epsilon ~confidence ~sample_size:400 ()) with
+      Sampling.strategy = Sampling.By_violations [ 1; 3 ];
+      fractions = [| 0.2; 0.3; 0.5 |];
+    }
+  in
+  let outcome =
+    Framework.clean ~max_rounds:3 ~sampling
+      ~user:(Framework.passive_user expert)
+      noise.Noise.dirty ds.Datagen.sigma
+  in
+  List.iter
+    (fun (round : Framework.round_log) ->
+      Fmt.pr "@.Round %d (user fixed %d sample tuples):@.%a@."
+        round.Framework.round round.Framework.corrections Sampling.pp_report
+        round.Framework.report)
+    outcome.Framework.rounds;
+
+  let m =
+    Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty:noise.Noise.dirty
+      ~repair:outcome.Framework.repair
+  in
+  Fmt.pr "@.Final repair accepted? %b@." outcome.Framework.accepted;
+  Fmt.pr "True quality vs ground truth: %a@." Metrics.pp m

@@ -1,0 +1,1 @@
+lib/cfd/cfd.ml: Array Dq_relation Format Hashtbl Int List Pattern Printf Schema String Tuple

@@ -1,0 +1,1 @@
+lib/cfd/cfd.mli: Dq_relation Format Pattern Schema Tuple Value

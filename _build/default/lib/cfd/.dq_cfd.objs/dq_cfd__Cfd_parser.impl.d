@@ -1,0 +1,1 @@
+lib/cfd/cfd_parser.ml: Buffer Cfd Dq_relation Format Fun List Pattern Printf String Value Vec

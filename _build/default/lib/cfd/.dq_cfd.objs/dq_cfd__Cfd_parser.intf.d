@@ -1,0 +1,1 @@
+lib/cfd/cfd_parser.mli: Cfd Dq_relation Format

@@ -1,0 +1,1 @@
+lib/cfd/ind.ml: Array Database Dq_relation Format Hashtbl List Printf Relation Schema String Tuple Value Vkey

@@ -1,0 +1,1 @@
+lib/cfd/ind.mli: Database Dq_relation Format Schema Tuple Value

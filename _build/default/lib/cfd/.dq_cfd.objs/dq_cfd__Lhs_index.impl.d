@@ -1,0 +1,1 @@
+lib/cfd/lhs_index.ml: Array Cfd Dq_relation Hashtbl List Pattern Relation Tuple Value Vkey

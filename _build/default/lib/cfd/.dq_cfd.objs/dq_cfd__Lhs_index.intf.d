@@ -1,0 +1,1 @@
+lib/cfd/lhs_index.mli: Cfd Dq_relation Relation Tuple Value

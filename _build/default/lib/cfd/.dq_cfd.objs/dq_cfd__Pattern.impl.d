@@ -1,0 +1,1 @@
+lib/cfd/pattern.ml: Array Dq_relation Format

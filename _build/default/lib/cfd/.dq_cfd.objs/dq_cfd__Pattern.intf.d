@@ -1,0 +1,1 @@
+lib/cfd/pattern.mli: Dq_relation Format

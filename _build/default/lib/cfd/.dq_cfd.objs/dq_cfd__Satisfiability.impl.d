@@ -1,0 +1,1 @@
+lib/cfd/satisfiability.ml: Array Cfd Dq_relation List Option Pattern Printf Schema Value

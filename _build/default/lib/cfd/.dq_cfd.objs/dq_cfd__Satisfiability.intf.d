@@ -1,0 +1,1 @@
+lib/cfd/satisfiability.mli: Cfd Dq_relation Schema Value

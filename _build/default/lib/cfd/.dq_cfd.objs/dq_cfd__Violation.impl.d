@@ -1,0 +1,1 @@
+lib/cfd/violation.ml: Array Cfd Dq_relation Format Hashtbl List Pattern Relation Schema Tuple Value Vkey

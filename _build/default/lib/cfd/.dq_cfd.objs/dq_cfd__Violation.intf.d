@@ -1,0 +1,1 @@
+lib/cfd/violation.mli: Cfd Dq_relation Format Hashtbl Relation Tuple

@@ -1,0 +1,1 @@
+lib/cfd/vkey.ml: Array Dq_relation Hashtbl

@@ -1,0 +1,1 @@
+lib/cfd/vkey.mli: Dq_relation Hashtbl

@@ -1,0 +1,268 @@
+open Dq_relation
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Lexer ------------------------------------------------------------- *)
+
+type token =
+  | Word of string (* bare word: attribute name, CFD name or value *)
+  | Quoted of string
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Colon
+  | Arrow (* -> *)
+  | Bars (* || *)
+
+let token_name = function
+  | Word w -> Printf.sprintf "%S" w
+  | Quoted q -> Printf.sprintf "\"%s\"" q
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Comma -> "','"
+  | Colon -> "':'"
+  | Arrow -> "'->'"
+  | Bars -> "'||'"
+
+let is_bare_char c =
+  match c with
+  | '[' | ']' | '(' | ')' | '{' | '}' | ',' | ':' | '#' | '"' | '|' -> false
+  | c when c = ' ' || c = '\t' || c = '\n' || c = '\r' -> false
+  | _ -> true
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = Vec.create () in
+  let line = ref 1 in
+  let push t = Vec.push tokens (t, !line) in
+  let rec skip_comment i =
+    if i >= n || text.[i] = '\n' then i else skip_comment (i + 1)
+  in
+  let rec lex i =
+    if i >= n then ()
+    else
+      match text.[i] with
+      | '\n' ->
+        incr line;
+        lex (i + 1)
+      | ' ' | '\t' | '\r' -> lex (i + 1)
+      | '#' -> lex (skip_comment i)
+      | '[' -> push Lbracket; lex (i + 1)
+      | ']' -> push Rbracket; lex (i + 1)
+      | '(' -> push Lparen; lex (i + 1)
+      | ')' -> push Rparen; lex (i + 1)
+      | '{' -> push Lbrace; lex (i + 1)
+      | '}' -> push Rbrace; lex (i + 1)
+      | ',' -> push Comma; lex (i + 1)
+      | ':' -> push Colon; lex (i + 1)
+      | '|' ->
+        if i + 1 < n && text.[i + 1] = '|' then begin
+          push Bars;
+          lex (i + 2)
+        end
+        else fail !line "expected '||' (single '|' is not a token)"
+      | '"' ->
+        let b = Buffer.create 16 in
+        let rec quoted j =
+          if j >= n then fail !line "unterminated quoted value"
+          else if text.[j] = '"' then begin
+            push (Quoted (Buffer.contents b));
+            lex (j + 1)
+          end
+          else begin
+            if text.[j] = '\n' then incr line;
+            Buffer.add_char b text.[j];
+            quoted (j + 1)
+          end
+        in
+        quoted (i + 1)
+      | c when is_bare_char c ->
+        let j = ref i in
+        let b = Buffer.create 16 in
+        (* '-' starts a bare word unless it begins '->'. *)
+        let continue_bare k =
+          k < n && is_bare_char text.[k] && not (text.[k] = '-' && k + 1 < n && text.[k + 1] = '>')
+        in
+        if c = '-' && i + 1 < n && text.[i + 1] = '>' then begin
+          push Arrow;
+          lex (i + 2)
+        end
+        else begin
+          while continue_bare !j do
+            Buffer.add_char b text.[!j];
+            incr j
+          done;
+          push (Word (Buffer.contents b));
+          lex !j
+        end
+      | c -> fail !line "unexpected character %C" c
+  in
+  lex 0;
+  Vec.to_list tokens
+
+(* Parser ------------------------------------------------------------ *)
+
+type state = { mutable toks : (token * int) list; mutable last_line : int }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+let next st =
+  match st.toks with
+  | [] -> fail st.last_line "unexpected end of input"
+  | (t, line) :: rest ->
+    st.toks <- rest;
+    st.last_line <- line;
+    t
+
+let expect st want =
+  let t = next st in
+  if t <> want then
+    fail st.last_line "expected %s but found %s" (token_name want) (token_name t)
+
+let parse_word st ~what =
+  match next st with
+  | Word w -> w
+  | Quoted q -> q
+  | t -> fail st.last_line "expected %s but found %s" what (token_name t)
+
+let parse_attr_list st =
+  expect st Lbracket;
+  let rec more acc =
+    let a = parse_word st ~what:"an attribute name" in
+    match next st with
+    | Comma -> more (a :: acc)
+    | Rbracket -> List.rev (a :: acc)
+    | t ->
+      fail st.last_line "expected ',' or ']' but found %s" (token_name t)
+  in
+  more []
+
+let parse_pattern st =
+  match next st with
+  | Word "_" -> Pattern.Wild
+  | Word w -> Pattern.const (Value.of_string w)
+  | Quoted q -> Pattern.const (Value.string q)
+  | t -> fail st.last_line "expected a pattern but found %s" (token_name t)
+
+let parse_row st ~n_lhs ~n_rhs =
+  expect st Lparen;
+  let rec pats acc stop =
+    let p = parse_pattern st in
+    match next st with
+    | Comma -> pats (p :: acc) stop
+    | t when t = stop -> List.rev (p :: acc)
+    | t ->
+      fail st.last_line "expected ',' or %s but found %s" (token_name stop)
+        (token_name t)
+  in
+  let lhs = pats [] Bars in
+  let rhs = pats [] Rparen in
+  if List.length lhs <> n_lhs then
+    fail st.last_line "pattern row has %d LHS entries, expected %d"
+      (List.length lhs) n_lhs;
+  if List.length rhs <> n_rhs then
+    fail st.last_line "pattern row has %d RHS entries, expected %d"
+      (List.length rhs) n_rhs;
+  (match peek st with Some Comma -> ignore (next st) | _ -> ());
+  Cfd.Tableau.{ lhs; rhs }
+
+let parse_cfd st =
+  let name = parse_word st ~what:"a CFD name" in
+  expect st Colon;
+  let lhs_attrs = parse_attr_list st in
+  expect st Arrow;
+  let rhs_attrs = parse_attr_list st in
+  let rows =
+    match peek st with
+    | Some Lbrace ->
+      ignore (next st);
+      let rec more acc =
+        match peek st with
+        | Some Rbrace ->
+          ignore (next st);
+          List.rev acc
+        | Some _ ->
+          more
+            (parse_row st ~n_lhs:(List.length lhs_attrs)
+               ~n_rhs:(List.length rhs_attrs)
+            :: acc)
+        | None -> fail st.last_line "unterminated '{' block"
+      in
+      more []
+    | _ -> []
+  in
+  Cfd.Tableau.{ name; lhs_attrs; rhs_attrs; rows }
+
+let parse_string text =
+  match
+    let st = { toks = tokenize text; last_line = 1 } in
+    let rec all acc =
+      match peek st with None -> List.rev acc | Some _ -> all (parse_cfd st :: acc)
+    in
+    all []
+  with
+  | tabs -> Ok tabs
+  | exception Parse_error e -> Error e
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string text
+
+let resolve schema tabs =
+  Cfd.number (List.concat_map (Cfd.normalize schema) tabs)
+
+let quote_if_needed s =
+  let bare =
+    String.length s > 0
+    && String.for_all is_bare_char s
+    && (not (String.equal s "_"))
+    && not (String.length s >= 2 && s.[0] = '-' && s.[1] = '>')
+  in
+  if bare then s else "\"" ^ s ^ "\""
+
+let pattern_to_source = function
+  | Pattern.Wild -> "_"
+  | Pattern.Const v -> quote_if_needed (Value.to_string v)
+
+let to_string tabs =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (tab : Cfd.Tableau.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s: [%s] -> [%s]" tab.name
+           (String.concat ", " tab.lhs_attrs)
+           (String.concat ", " tab.rhs_attrs));
+      (match tab.rows with
+      | [] -> ()
+      | rows ->
+        Buffer.add_string b " {\n";
+        List.iter
+          (fun (row : Cfd.Tableau.row) ->
+            let pats ps = String.concat ", " (List.map pattern_to_source ps) in
+            Buffer.add_string b
+              (Printf.sprintf "  (%s || %s)\n" (pats row.lhs) (pats row.rhs)))
+          rows;
+        Buffer.add_string b "}");
+      Buffer.add_char b '\n')
+    tabs;
+  Buffer.contents b

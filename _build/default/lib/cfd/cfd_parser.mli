@@ -1,0 +1,40 @@
+(** A textual format for CFD sets, so constraints can live in files next to
+    the data they govern.
+
+    Grammar (comments run from [#] to end of line):
+    {v
+    cfd   ::= name ':' '[' attrs ']' '->' '[' attrs ']' body?
+    body  ::= '{' row* '}'           (* absent body = plain FD *)
+    row   ::= '(' pats '||' pats ')' ','?
+    pat   ::= '_' | value
+    value ::= bare word | "quoted string"
+    v}
+
+    Example:
+    {v
+    phi1: [AC, PN] -> [STR, CT, ST] {
+      (212, _ || _, NYC, NY)
+      (610, _ || _, PHI, PA)
+    }
+    phi3: [id] -> [name, PR]        # a traditional FD
+    v}
+
+    Bare values are typed like CSV cells ({!Dq_relation.Value.of_string});
+    quoted values are always strings. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> (Cfd.Tableau.t list, error) result
+
+val parse_file : string -> (Cfd.Tableau.t list, error) result
+
+val resolve : Dq_relation.Schema.t -> Cfd.Tableau.t list -> Cfd.t array
+(** Normalize the tableaux against a schema and number the clauses —
+    the Σ every algorithm consumes.  @raise Invalid_argument on unknown
+    attributes or arity mismatches. *)
+
+val to_string : Cfd.Tableau.t list -> string
+(** Render tableaux back into the file format ([parse_string] ∘
+    [to_string] is the identity up to layout). *)

@@ -1,0 +1,85 @@
+open Dq_relation
+
+type t = {
+  name : string;
+  lhs_relation : string;
+  lhs : int array;
+  rhs_relation : string;
+  rhs : int array;
+}
+
+let resolve schema attrs ~side =
+  match attrs with
+  | [] -> invalid_arg (Printf.sprintf "Ind.make: empty %s attribute list" side)
+  | _ ->
+    let seen = Hashtbl.create 4 in
+    Array.of_list
+      (List.map
+         (fun a ->
+           if Hashtbl.mem seen a then
+             invalid_arg (Printf.sprintf "Ind.make: duplicate attribute %S" a);
+           Hashtbl.add seen a ();
+           match Schema.position schema a with
+           | Some i -> i
+           | None ->
+             invalid_arg
+               (Printf.sprintf "Ind.make: unknown attribute %S in %s" a
+                  (Schema.name schema)))
+         attrs)
+
+let make ?(name = "ind") ~lhs:(lhs_schema, lhs_attrs) ~rhs:(rhs_schema, rhs_attrs)
+    () =
+  if List.length lhs_attrs <> List.length rhs_attrs then
+    invalid_arg "Ind.make: LHS and RHS attribute lists differ in length";
+  {
+    name;
+    lhs_relation = Schema.name lhs_schema;
+    lhs = resolve lhs_schema lhs_attrs ~side:"LHS";
+    rhs_relation = Schema.name rhs_schema;
+    rhs = resolve rhs_schema rhs_attrs ~side:"RHS";
+  }
+
+let name ind = ind.name
+
+let lhs_relation ind = ind.lhs_relation
+
+let rhs_relation ind = ind.rhs_relation
+
+let lhs_positions ind = Array.copy ind.lhs
+
+let rhs_positions ind = Array.copy ind.rhs
+
+let pp ppf ind =
+  Format.fprintf ppf "%s: %s[%s] \xe2\x8a\x86 %s[%s]" ind.name ind.lhs_relation
+    (String.concat "," (Array.to_list (Array.map string_of_int ind.lhs)))
+    ind.rhs_relation
+    (String.concat "," (Array.to_list (Array.map string_of_int ind.rhs)))
+
+let project positions t =
+  let values = Array.map (Tuple.get t) positions in
+  if Array.exists Value.is_null values then None else Some values
+
+let project_lhs ind t = project ind.lhs t
+
+let referenced_keys db ind =
+  let table = Vkey.Table.create 256 in
+  Relation.iter
+    (fun t ->
+      match project ind.rhs t with
+      | Some key -> Vkey.Table.replace table key ()
+      | None -> ())
+    (Database.find_exn db ind.rhs_relation);
+  table
+
+let violations db ind =
+  let keys = referenced_keys db ind in
+  Relation.fold
+    (fun acc t ->
+      match project ind.lhs t with
+      | Some key when not (Vkey.Table.mem keys key) -> Tuple.tid t :: acc
+      | Some _ | None -> acc)
+    []
+    (Database.find_exn db ind.lhs_relation)
+  |> List.rev
+
+let satisfies db inds = List.for_all (fun ind -> violations db ind = []) inds

@@ -1,0 +1,49 @@
+(** Inclusion dependencies (INDs).
+
+    An IND [R1[X] ⊆ R2[Y]] demands that every (null-free) [X]-projection of
+    a tuple of [R1] appears as the [Y]-projection of some tuple of [R2] —
+    foreign keys, in practice.  The paper's future work targets cleaning
+    with CFDs {e and} INDs together, following Bohannon et al. [5], which
+    resolves IND violations either by modifying the referencing values or
+    by inserting a (partially null) referenced tuple.  Detection and those
+    two repair moves live here; {!Dq_core}'s [Ind_repair] orchestrates
+    them with the CFD repairers.
+
+    As with CFDs, a tuple whose [X] values contain [null] is exempt — null
+    marks the reference as uncertain rather than dangling. *)
+
+open Dq_relation
+
+type t
+
+val make :
+  ?name:string ->
+  lhs:Schema.t * string list ->
+  rhs:Schema.t * string list ->
+  unit ->
+  t
+(** [make ~lhs:(r1, x) ~rhs:(r2, y) ()] builds [R1[X] ⊆ R2[Y]].
+    @raise Invalid_argument on unknown attributes, arity mismatch between
+    [x] and [y], empty attribute lists, or duplicate attributes. *)
+
+val name : t -> string
+
+val lhs_relation : t -> string
+
+val rhs_relation : t -> string
+
+val lhs_positions : t -> int array
+
+val rhs_positions : t -> int array
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [fk: order[id] ⊆ item[id]]. *)
+
+val project_lhs : t -> Tuple.t -> Value.t array option
+(** The tuple's [X]-projection, or [None] if it contains a null (exempt). *)
+
+val violations : Database.t -> t -> int list
+(** Tids of [R1] tuples whose reference dangles.
+    @raise Not_found if either relation is absent from the database. *)
+
+val satisfies : Database.t -> t list -> bool

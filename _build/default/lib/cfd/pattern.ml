@@ -1,0 +1,47 @@
+module Value = Dq_relation.Value
+
+type t = Wild | Const of Value.t
+
+let wild = Wild
+
+let const v =
+  if Value.is_null v then invalid_arg "Pattern.const: null has no place in a pattern tuple";
+  Const v
+
+let is_wild = function Wild -> true | Const _ -> false
+
+let matches v p =
+  match p with
+  | Wild -> not (Value.is_null v)
+  | Const c -> Value.equal v c
+
+let matches_row values pats =
+  if Array.length values <> Array.length pats then
+    invalid_arg "Pattern.matches_row: length mismatch";
+  let rec loop i =
+    i >= Array.length values || (matches values.(i) pats.(i) && loop (i + 1))
+  in
+  loop 0
+
+let subsumes p q =
+  match p, q with
+  | _, Wild -> true
+  | Const a, Const b -> Value.equal a b
+  | Wild, Const _ -> false
+
+let equal p q =
+  match p, q with
+  | Wild, Wild -> true
+  | Const a, Const b -> Value.equal a b
+  | (Wild | Const _), _ -> false
+
+let compare p q =
+  match p, q with
+  | Wild, Wild -> 0
+  | Wild, Const _ -> -1
+  | Const _, Wild -> 1
+  | Const a, Const b -> Value.compare a b
+
+let to_string = function Wild -> "_" | Const v -> Value.to_string v
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,39 @@
+(** Pattern-tableau entries and the match order [≼] of Section 2.
+
+    A pattern entry is either a constant from the attribute domain or the
+    unnamed variable ['_'] ("don't care").  The order on values and patterns
+    is: [v ≼ v] and [v ≼ '_'] for any constant [v].
+
+    Per the paper's Remark (2) in Section 3.1, a [null] data value matches
+    {e no} pattern entry — CFDs only apply to tuples that precisely match a
+    pattern tuple, and pattern tuples contain no nulls. *)
+
+type t =
+  | Wild  (** the unnamed variable ['_'] *)
+  | Const of Dq_relation.Value.t
+
+val wild : t
+
+val const : Dq_relation.Value.t -> t
+(** @raise Invalid_argument if the value is [Null]: pattern tuples never
+    contain nulls. *)
+
+val is_wild : t -> bool
+
+val matches : Dq_relation.Value.t -> t -> bool
+(** [matches v p] is [v ≼ p].  [Null] matches nothing. *)
+
+val matches_row : Dq_relation.Value.t array -> t array -> bool
+(** Pointwise [≼]; arrays must have equal length. *)
+
+val subsumes : t -> t -> bool
+(** Order on patterns themselves: [subsumes p q] iff every value matching
+    [p] matches [q] (i.e. [q = Wild] or [p = q]). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

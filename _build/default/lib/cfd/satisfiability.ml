@@ -1,0 +1,76 @@
+open Dq_relation
+
+(* Candidate values per attribute: every constant mentioned for that
+   attribute in some pattern, plus one fresh value not mentioned anywhere. *)
+let candidates schema sigma =
+  let arity = Schema.arity schema in
+  let consts = Array.init arity (fun _ -> ref []) in
+  let note pos p =
+    match p with
+    | Pattern.Wild -> ()
+    | Pattern.Const v ->
+      if not (List.exists (Value.equal v) !(consts.(pos))) then
+        consts.(pos) := v :: !(consts.(pos))
+  in
+  Array.iter
+    (fun cfd ->
+      let lhs = Cfd.lhs cfd and pats = Cfd.lhs_patterns cfd in
+      Array.iteri (fun i pos -> note pos pats.(i)) lhs;
+      note (Cfd.rhs cfd) (Cfd.rhs_pattern cfd))
+    sigma;
+  Array.map
+    (fun cs ->
+      let fresh =
+        let rec pick i =
+          let v = Value.string (Printf.sprintf "#fresh%d" i) in
+          if List.exists (Value.equal v) !cs then pick (i + 1) else v
+        in
+        pick 0
+      in
+      fresh :: List.rev !cs)
+    consts
+
+(* Check every constant-RHS clause whose attributes are all assigned
+   (positions < [upto] are assigned). *)
+let consistent_prefix sigma values upto =
+  Array.for_all
+    (fun cfd ->
+      match Cfd.rhs_pattern cfd with
+      | Pattern.Wild -> true (* vacuous on a single tuple *)
+      | Pattern.Const a ->
+        let lhs = Cfd.lhs cfd and pats = Cfd.lhs_patterns cfd in
+        let all_assigned =
+          Cfd.rhs cfd < upto && Array.for_all (fun pos -> pos < upto) lhs
+        in
+        (not all_assigned)
+        ||
+        let lhs_match =
+          let rec loop i =
+            i >= Array.length lhs
+            || (Pattern.matches values.(lhs.(i)) pats.(i) && loop (i + 1))
+          in
+          loop 0
+        in
+        (not lhs_match) || Value.equal values.(Cfd.rhs cfd) a)
+    sigma
+
+let witness schema sigma =
+  let arity = Schema.arity schema in
+  let cands = candidates schema sigma in
+  let values = Array.make arity Value.null in
+  let rec assign pos =
+    if pos >= arity then true
+    else
+      List.exists
+        (fun v ->
+          values.(pos) <- v;
+          consistent_prefix sigma values (pos + 1) && assign (pos + 1))
+        cands.(pos)
+  in
+  if assign 0 then Some (Array.copy values) else None
+
+let is_satisfiable schema sigma = Option.is_some (witness schema sigma)
+
+let check_exn schema sigma =
+  if not (is_satisfiable schema sigma) then
+    invalid_arg "Satisfiability.check_exn: the CFD set is unsatisfiable"

@@ -1,0 +1,25 @@
+(** Satisfiability of a set of CFDs.
+
+    Unlike traditional FDs, a set of CFDs may be unsatisfiable — no non-empty
+    instance can satisfy it (Section 2; shown intractable in general but
+    PTIME for a fixed schema in the companion paper [6]).  The cleaning
+    algorithms assume a satisfiable Σ, so callers should check first.
+
+    The check exploits that CFDs are universally quantified: any sub-instance
+    of a satisfying instance also satisfies Σ, hence Σ is satisfiable iff
+    some {e single-tuple} instance satisfies it.  For a single tuple only
+    constant-RHS clauses constrain anything, and each attribute can w.l.o.g.
+    take either a constant appearing in Σ's patterns for that attribute or
+    one fresh value — a finite search space explored by backtracking (the
+    schema is fixed, so this is polynomial for each fixed schema). *)
+
+open Dq_relation
+
+val witness : Schema.t -> Cfd.t array -> Value.t array option
+(** A single tuple (as a value array) satisfying Σ, or [None] if Σ is
+    unsatisfiable. *)
+
+val is_satisfiable : Schema.t -> Cfd.t array -> bool
+
+val check_exn : Schema.t -> Cfd.t array -> unit
+(** @raise Invalid_argument if Σ is unsatisfiable. *)

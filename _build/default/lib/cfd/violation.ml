@@ -1,0 +1,216 @@
+open Dq_relation
+
+type t =
+  | Single of { tid : int; cfd : Cfd.t }
+  | Pair of { tid1 : int; tid2 : int; cfd : Cfd.t }
+
+let cfd_of = function Single { cfd; _ } -> cfd | Pair { cfd; _ } -> cfd
+
+let tids = function
+  | Single { tid; _ } -> [ tid ]
+  | Pair { tid1; tid2; _ } -> [ tid1; tid2 ]
+
+let pp ppf = function
+  | Single { tid; cfd } ->
+    Format.fprintf ppf "tuple #%d violates %a" tid Cfd.pp cfd
+  | Pair { tid1; tid2; cfd } ->
+    Format.fprintf ppf "tuples #%d and #%d violate %a" tid1 tid2 Cfd.pp cfd
+
+let violates_constant cfd t =
+  match Cfd.rhs_pattern cfd with
+  | Pattern.Wild -> false
+  | Pattern.Const a ->
+    Cfd.applies_lhs cfd t
+    &&
+    let v = Tuple.get t (Cfd.rhs cfd) in
+    (not (Value.is_null v)) && not (Value.equal v a)
+
+let pair_conflict cfd t1 t2 =
+  Pattern.is_wild (Cfd.rhs_pattern cfd)
+  && Cfd.applies_lhs cfd t1 && Cfd.applies_lhs cfd t2
+  && Vkey.equal (Cfd.lhs_key cfd t1) (Cfd.lhs_key cfd t2)
+  &&
+  let v1 = Tuple.get t1 (Cfd.rhs cfd) and v2 = Tuple.get t2 (Cfd.rhs cfd) in
+  (not (Value.is_null v1)) && (not (Value.is_null v2)) && not (Value.equal v1 v2)
+
+(* Group the tuples matching a wildcard-RHS clause's LHS pattern by their LHS
+   key, recording per-group RHS value multiplicities.  All pair-violation
+   queries reduce to these group statistics. *)
+type group = {
+  mutable members : Tuple.t list;
+  rhs_counts : (Value.t, int ref) Hashtbl.t; (* non-null RHS values *)
+  mutable non_null : int;
+}
+
+let groups_of_clause rel cfd =
+  let table = Vkey.Table.create 256 in
+  Relation.iter
+    (fun t ->
+      if Cfd.applies_lhs cfd t then begin
+        let key = Cfd.lhs_key cfd t in
+        let g =
+          match Vkey.Table.find_opt table key with
+          | Some g -> g
+          | None ->
+            let g = { members = []; rhs_counts = Hashtbl.create 4; non_null = 0 } in
+            Vkey.Table.add table key g;
+            g
+        in
+        g.members <- t :: g.members;
+        let v = Tuple.get t (Cfd.rhs cfd) in
+        if not (Value.is_null v) then begin
+          g.non_null <- g.non_null + 1;
+          match Hashtbl.find_opt g.rhs_counts v with
+          | Some n -> incr n
+          | None -> Hashtbl.add g.rhs_counts v (ref 1)
+        end
+      end)
+    rel;
+  table
+
+let group_conflicts g = Hashtbl.length g.rhs_counts >= 2
+
+(* Number of pair violations tuple [t] incurs inside its group: tuples whose
+   RHS value is non-null and different from [t]'s. *)
+let group_vio_of g v =
+  if Value.is_null v then 0
+  else
+    let same =
+      match Hashtbl.find_opt g.rhs_counts v with Some n -> !n | None -> 0
+    in
+    g.non_null - same
+
+(* One pass over the relation finding every constant-clause violation.
+   Pattern tableaus can hold thousands of rows, so scanning every clause
+   per tuple is ruinous; instead each clause is anchored on its first
+   constant LHS pattern and looked up by the tuple's own value at that
+   position — O(arity) probes per tuple plus the matching rows. *)
+let iter_constant_violations rel sigma f =
+  let plain = ref [] in
+  let anchored : (int * Value.t, Cfd.t list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun cfd ->
+      if Cfd.is_constant cfd then begin
+        let lhs = Cfd.lhs cfd and pats = Cfd.lhs_patterns cfd in
+        let anchor = ref None in
+        Array.iteri
+          (fun i pos ->
+            if !anchor = None then
+              match pats.(i) with
+              | Pattern.Const c -> anchor := Some (pos, c)
+              | Pattern.Wild -> ())
+          lhs;
+        match !anchor with
+        | None -> plain := cfd :: !plain
+        | Some key ->
+          let prev =
+            match Hashtbl.find_opt anchored key with Some l -> l | None -> []
+          in
+          Hashtbl.replace anchored key (cfd :: prev)
+      end)
+    sigma;
+  let plain = List.rev !plain in
+  let arity = Schema.arity (Relation.schema rel) in
+  Relation.iter
+    (fun t ->
+      let check cfd = if violates_constant cfd t then f cfd t in
+      List.iter check plain;
+      for p = 0 to arity - 1 do
+        match Hashtbl.find_opt anchored (p, Tuple.get t p) with
+        | Some cfds -> List.iter check cfds
+        | None -> ()
+      done)
+    rel
+
+let iter_wild_violations rel sigma f =
+  Array.iter
+    (fun cfd ->
+      if not (Cfd.is_constant cfd) then
+        Vkey.Table.iter
+          (fun _key g -> if group_conflicts g then f cfd g)
+          (groups_of_clause rel cfd))
+    sigma
+
+let find_all rel sigma =
+  let out = ref [] in
+  iter_constant_violations rel sigma (fun cfd t ->
+      out := Single { tid = Tuple.tid t; cfd } :: !out);
+  iter_wild_violations rel sigma (fun cfd g ->
+      (* One pair per member, each against a witness with a different
+         (non-null) RHS value, so every involved tuple is reported
+         without a quadratic listing. *)
+      List.iter
+        (fun t ->
+          let v = Tuple.get t (Cfd.rhs cfd) in
+          if group_vio_of g v > 0 then
+            let witness =
+              List.find
+                (fun t' ->
+                  let v' = Tuple.get t' (Cfd.rhs cfd) in
+                  (not (Value.is_null v')) && not (Value.equal v v'))
+                g.members
+            in
+            out :=
+              Pair { tid1 = Tuple.tid t; tid2 = Tuple.tid witness; cfd }
+              :: !out)
+        g.members);
+  List.rev !out
+
+let vio_counts rel sigma =
+  let counts = Hashtbl.create 256 in
+  let bump tid n =
+    if n > 0 then
+      match Hashtbl.find_opt counts tid with
+      | Some m -> Hashtbl.replace counts tid (m + n)
+      | None -> Hashtbl.add counts tid n
+  in
+  iter_constant_violations rel sigma (fun _cfd t -> bump (Tuple.tid t) 1);
+  iter_wild_violations rel sigma (fun cfd g ->
+      List.iter
+        (fun t ->
+          bump (Tuple.tid t) (group_vio_of g (Tuple.get t (Cfd.rhs cfd))))
+        g.members);
+  counts
+
+let violating_tids rel sigma =
+  let counts = vio_counts rel sigma in
+  Relation.fold
+    (fun acc t -> if Hashtbl.mem counts (Tuple.tid t) then Tuple.tid t :: acc else acc)
+    [] rel
+  |> List.rev
+
+let total rel sigma =
+  Hashtbl.fold (fun _ n acc -> acc + n) (vio_counts rel sigma) 0
+
+let vio_tuple rel sigma t =
+  let vio = ref 0 in
+  Array.iter
+    (fun cfd ->
+      if Cfd.is_constant cfd then begin
+        if violates_constant cfd t then incr vio
+      end
+      else if Cfd.applies_lhs cfd t then begin
+        let v = Tuple.get t (Cfd.rhs cfd) in
+        if not (Value.is_null v) then begin
+          let key = Cfd.lhs_key cfd t in
+          Relation.iter
+            (fun t' ->
+              if
+                Tuple.tid t' <> Tuple.tid t
+                && Cfd.applies_lhs cfd t'
+                && Vkey.equal (Cfd.lhs_key cfd t') key
+              then
+                let v' = Tuple.get t' (Cfd.rhs cfd) in
+                if (not (Value.is_null v')) && not (Value.equal v v') then incr vio)
+            rel
+        end
+      end)
+    sigma;
+  !vio
+
+let satisfies rel sigma =
+  try
+    iter_constant_violations rel sigma (fun _ _ -> raise Exit);
+    iter_wild_violations rel sigma (fun _ _ -> raise Exit);
+    true
+  with Exit -> false

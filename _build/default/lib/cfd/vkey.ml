@@ -1,0 +1,16 @@
+module Value = Dq_relation.Value
+
+type t = Value.t array
+
+let equal k1 k2 =
+  Array.length k1 = Array.length k2 && Array.for_all2 Value.equal k1 k2
+
+let hash k = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 7 k
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)

@@ -1,0 +1,9 @@
+(** Hashable value-array keys, used to group tuples by their LHS values. *)
+
+type t = Dq_relation.Value.t array
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+module Table : Hashtbl.S with type key = t

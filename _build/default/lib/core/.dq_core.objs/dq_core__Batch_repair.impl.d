@@ -1,0 +1,1 @@
+lib/core/batch_repair.ml: Array Cfd Cost Depgraph Dq_cfd Dq_relation Eqclass Format Hashtbl Heap List Logs Option Pattern Relation Schema Sys Tuple Unix Value Vkey

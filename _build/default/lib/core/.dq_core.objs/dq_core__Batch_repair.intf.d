@@ -1,0 +1,1 @@
+lib/core/batch_repair.mli: Cfd Dq_cfd Dq_relation Format Relation

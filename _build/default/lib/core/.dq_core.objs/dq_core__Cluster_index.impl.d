@@ -1,0 +1,1 @@
+lib/core/cluster_index.ml: Cost Dq_relation Heap List Relation String Value

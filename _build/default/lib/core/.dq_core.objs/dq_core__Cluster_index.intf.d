@@ -1,0 +1,1 @@
+lib/core/cluster_index.mli: Dq_relation Relation Value

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Dq_relation List Relation String Tuple Value

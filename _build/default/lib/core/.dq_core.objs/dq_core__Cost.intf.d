@@ -1,0 +1,1 @@
+lib/core/cost.mli: Dq_relation Relation Tuple Value

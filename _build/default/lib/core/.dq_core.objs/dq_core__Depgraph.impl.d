@@ -1,0 +1,1 @@
+lib/core/depgraph.ml: Array Cfd Dq_cfd Dq_relation List

@@ -1,0 +1,1 @@
+lib/core/discovery.ml: Array Cfd Dq_cfd Dq_relation Fun Hashtbl Int List Pattern Printf Relation Schema String Tuple Value Vkey

@@ -1,0 +1,1 @@
+lib/core/discovery.mli: Dq_cfd Dq_relation Relation Schema

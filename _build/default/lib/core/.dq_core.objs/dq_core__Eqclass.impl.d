@@ -1,0 +1,1 @@
+lib/core/eqclass.ml: Dq_relation Format Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/core/eqclass.mli: Dq_relation Format Value

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Batch_repair Dq_cfd Dq_relation Fun Inc_repair List Relation Sampling Tuple

@@ -1,0 +1,1 @@
+lib/core/framework.mli: Dq_cfd Dq_relation Inc_repair Relation Sampling Tuple

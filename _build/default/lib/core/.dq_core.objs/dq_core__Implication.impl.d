@@ -1,0 +1,1 @@
+lib/core/implication.ml: Array Cfd Dq_cfd Dq_relation Fun Hashtbl List Option Pattern Printf Schema Value

@@ -1,0 +1,1 @@
+lib/core/implication.mli: Dq_cfd Dq_relation Schema Value

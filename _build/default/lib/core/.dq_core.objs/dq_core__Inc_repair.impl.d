@@ -1,0 +1,1 @@
+lib/core/inc_repair.ml: Dq_cfd Dq_relation Float Format Hashtbl Int List Relation Tuple Tuple_resolve Unix Value Violation

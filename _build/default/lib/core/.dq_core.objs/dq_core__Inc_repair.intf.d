@@ -1,0 +1,1 @@
+lib/core/inc_repair.mli: Dq_cfd Dq_relation Format Relation Tuple

@@ -1,0 +1,1 @@
+lib/core/ind_repair.ml: Array Batch_repair Cost Database Dq_cfd Dq_relation Format Ind List Printf Relation Schema Tuple Unix Value Violation Vkey

@@ -1,0 +1,1 @@
+lib/core/ind_repair.mli: Database Dq_cfd Dq_relation Format

@@ -1,0 +1,1 @@
+lib/core/reservoir.ml: Dq_relation List Random Vec

@@ -1,0 +1,1 @@
+lib/core/sampling.ml: Array Cost Dq_cfd Dq_relation Float Format Hashtbl Int List Printf Relation Reservoir Stats String Tuple Violation

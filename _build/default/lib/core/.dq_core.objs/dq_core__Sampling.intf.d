@@ -1,0 +1,1 @@
+lib/core/sampling.mli: Dq_cfd Dq_relation Format Relation Tuple

@@ -1,0 +1,1 @@
+lib/core/tuple_resolve.ml: Array Cfd Cluster_index Cost Dq_cfd Dq_relation Int Lhs_index List Relation Schema Tuple Value

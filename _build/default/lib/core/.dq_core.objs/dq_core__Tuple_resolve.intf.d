@@ -1,0 +1,1 @@
+lib/core/tuple_resolve.mli: Dq_cfd Dq_relation Relation Tuple

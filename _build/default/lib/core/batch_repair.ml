@@ -1,0 +1,911 @@
+open Dq_relation
+open Dq_cfd
+
+let src = Logs.Src.create "dataqual.batch_repair" ~doc:"BATCHREPAIR steps"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stats = {
+  steps : int;
+  merges : int;
+  rhs_fixes : int;
+  lhs_fixes : int;
+  nulls_introduced : int;
+  cells_changed : int;
+  runtime : float;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<h>steps=%d merges=%d rhs_fixes=%d lhs_fixes=%d nulls=%d \
+     cells_changed=%d runtime=%.3fs@]"
+    s.steps s.merges s.rhs_fixes s.lhs_fixes s.nulls_introduced s.cells_changed
+    s.runtime
+
+type action =
+  | Set_rhs of { cell : int; value : Value.t }
+  | Merge of { cell1 : int; cell2 : int }
+  | Set_lhs of { cell : int; target : Eqclass.target }
+
+type plan = { cost : float; action : action }
+
+type state = {
+  rel : Relation.t; (* working copy; values untouched until write-back *)
+  sigma : Cfd.t array;
+  lhs_of : int array array; (* cfd id -> LHS positions *)
+  lhs_pats_of : Pattern.t array array;
+  eq : Eqclass.t;
+  arity : int;
+  buckets : (int, unit) Hashtbl.t Vkey.Table.t array; (* wild cfds only *)
+  bucket_key : (int, Vkey.t) Hashtbl.t array; (* tid -> its current key *)
+  attr_cfds_plain : int list array;
+  (* attr -> clauses mentioning it whose LHS patterns are all wildcards *)
+  attr_cfds_anchored : (int * Value.t, int list) Hashtbl.t array;
+  (* attr -> (anchor position, anchor constant) -> clauses mentioning attr
+     whose LHS pattern holds that constant at that position.  A tuple can
+     only match such a clause if its effective value at the anchor equals
+     the constant, so lookups by the tuple's own values prune the
+     (potentially thousands of) pattern rows to the handful that apply. *)
+  attr_lhs_wild : int list array; (* attr -> wildcard-RHS clauses with attr in LHS *)
+  const_plain : int list; (* constant-RHS clauses with all-wildcard LHS *)
+  const_anchored : (int * Value.t, int list) Hashtbl.t;
+  (* (anchor position, anchor constant) -> constant-RHS clauses, for the
+     full-relation rescans *)
+  strata : int array; (* cfd id -> dependency-graph stratum *)
+  queue : (int * int) Heap.t; (* (cfd id, tid) keyed by plan cost *)
+  enqueued : (int * int, float) Hashtbl.t; (* pair -> its queued priority *)
+  findv : (int * int, int list Vkey.Table.t) Hashtbl.t; (* lazy FINDV indices *)
+  class_weights : (int, (Value.t, float) Hashtbl.t) Hashtbl.t;
+  (* class root -> aggregate weight of members per distinct original value;
+     built lazily, folded together on union.  Lets class costs and medoids
+     be computed in O(distinct values) instead of O(members). *)
+  mutable merges : int;
+  mutable rhs_fixes : int;
+  mutable lhs_fixes : int;
+  mutable nulls_introduced : int;
+}
+
+let tuple st tid = Relation.find_exn st.rel tid
+
+let cellof st tid attr = Eqclass.cell st.eq ~tid ~attr
+
+let eff st tid attr = Eqclass.effective st.eq (cellof st tid attr)
+
+let eff_matches_lhs st cid tid =
+  let lhs = st.lhs_of.(cid) and pats = st.lhs_pats_of.(cid) in
+  let rec loop i =
+    i >= Array.length lhs
+    || (Pattern.matches (eff st tid lhs.(i)) pats.(i) && loop (i + 1))
+  in
+  loop 0
+
+let eff_key st cid tid = Array.map (eff st tid) st.lhs_of.(cid)
+
+(* Offer a (clause, tuple) pair to the queue.  Fresh offers enter
+   optimistically (near-zero priority, biased by the clause's dependency
+   stratum): the pop loop verifies, computes the true plan cost and either
+   applies the plan or re-queues the pair at that cost, so every live
+   violation gets scored before anything more expensive is applied — a
+   lazy, incremental PICKNEXT. *)
+let offer st cid tid =
+  let key = (cid, tid) in
+  let optimistic = float_of_int st.strata.(cid) *. 1e-9 in
+  match Hashtbl.find_opt st.enqueued key with
+  | Some p when p <= optimistic -> ()
+  | _ ->
+    Hashtbl.replace st.enqueued key optimistic;
+    Heap.add st.queue ~priority:optimistic key
+
+(* Clauses mentioning [attr] that the tuple could currently match, given
+   its effective values read through [eff_at]. *)
+let clauses_touching st eff_at attr =
+  let out = ref st.attr_cfds_plain.(attr) in
+  for p = 0 to st.arity - 1 do
+    match Hashtbl.find_opt st.attr_cfds_anchored.(attr) (p, eff_at p) with
+    | Some cids -> out := List.rev_append cids !out
+    | None -> ()
+  done;
+  !out
+
+let mark_dirty st tid attr =
+  List.iter
+    (fun cid -> offer st cid tid)
+    (clauses_touching st (eff st tid) attr)
+
+(* Buckets: group tuples of each wildcard-RHS clause by their effective LHS
+   key, maintained incrementally as targets change. *)
+
+let bucket_remove st cid tid =
+  match Hashtbl.find_opt st.bucket_key.(cid) tid with
+  | None -> ()
+  | Some key -> (
+    Hashtbl.remove st.bucket_key.(cid) tid;
+    match Vkey.Table.find_opt st.buckets.(cid) key with
+    | Some set -> Hashtbl.remove set tid
+    | None -> ())
+
+let bucket_insert st cid tid =
+  if eff_matches_lhs st cid tid then begin
+    let key = eff_key st cid tid in
+    Hashtbl.replace st.bucket_key.(cid) tid key;
+    let set =
+      match Vkey.Table.find_opt st.buckets.(cid) key with
+      | Some set -> set
+      | None ->
+        let set = Hashtbl.create 4 in
+        Vkey.Table.add st.buckets.(cid) key set;
+        set
+    in
+    Hashtbl.replace set tid ()
+  end
+
+(* Run a mutation of the equivalence classes containing [cells], keeping
+   buckets and dirty sets in sync.  Only members of classes whose
+   {e effective value actually changes} are touched: when a one-cell class
+   merges into a 200-member group whose value stands, only the one cell is
+   reindexed — without this, absorbing a group costs O(|group|²). *)
+let with_change st cells mutate =
+  (* Distinct affected classes, with members and pre-mutation values. *)
+  let classes = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let root = Eqclass.find st.eq c in
+      if not (Hashtbl.mem classes root) then
+        Hashtbl.add classes root
+          (Eqclass.members st.eq root, Eqclass.effective st.eq root))
+    cells;
+  mutate ();
+  let changed = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun root (members, before) ->
+      let after = Eqclass.effective st.eq root in
+      if not (Value.equal before after) then
+        List.iter
+          (fun (tid, attr) ->
+            Hashtbl.replace changed ((tid * st.arity) + attr) (tid, attr))
+          members)
+    classes;
+  let reindex = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ (tid, attr) ->
+      List.iter
+        (fun cid -> Hashtbl.replace reindex (cid, tid) ())
+        st.attr_lhs_wild.(attr))
+    changed;
+  (* The values already changed, but stored bucket keys record where each
+     tuple was filed, so removal by the recorded key still works. *)
+  Hashtbl.iter (fun (cid, tid) () -> bucket_remove st cid tid) reindex;
+  Hashtbl.iter (fun (cid, tid) () -> bucket_insert st cid tid) reindex;
+  Hashtbl.iter (fun _ (tid, attr) -> mark_dirty st tid attr) changed
+
+(* Aggregate weight of the class's members per distinct original value;
+   cached per root and folded on union. *)
+let class_weights st c =
+  let root = Eqclass.find st.eq c in
+  match Hashtbl.find_opt st.class_weights root with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 8 in
+    List.iter
+      (fun (tid, attr) ->
+        let t = tuple st tid in
+        let v = Tuple.get t attr in
+        if not (Value.is_null v) then begin
+          let w = Tuple.weight t attr in
+          match Hashtbl.find_opt table v with
+          | Some acc -> Hashtbl.replace table v (acc +. w)
+          | None -> Hashtbl.add table v w
+        end)
+      (Eqclass.members st.eq root);
+    Hashtbl.add st.class_weights root table;
+    table
+
+(* Cost(t, B, v): weighted cost of moving every member of the class to [v],
+   measured from the members' original values (Section 4.2).  Computed from
+   the per-value weight table: sum_u W_u * sim(u, v). *)
+let class_cost st c v =
+  Hashtbl.fold
+    (fun u w_u acc -> acc +. (w_u *. Cost.similarity u v))
+    (class_weights st c) 0.
+
+(* The weighted-medoid original value over one or two classes' weight
+   tables: the value the union's instantiation would pick. *)
+let medoid_of_tables tables =
+  let cost v =
+    List.fold_left
+      (fun acc table ->
+        Hashtbl.fold
+          (fun u w_u acc -> acc +. (w_u *. Cost.similarity u v))
+          table acc)
+      0. tables
+  in
+  let best = ref None in
+  List.iter
+    (fun table ->
+      Hashtbl.iter
+        (fun v _ ->
+          let c = cost v in
+          match !best with
+          | Some (bv, bc)
+            when bc < c || (bc = c && Value.compare bv v <= 0) ->
+            ()
+          | _ -> best := Some (v, c))
+        table)
+    tables;
+  Option.map fst !best
+
+(* FINDV's relation-backed value source: tuples agreeing with [t] on
+   X ∪ {A} \ {B}.  The index is built once per (clause, LHS position) from
+   original values; candidates are re-validated against the current state
+   by the caller, so staleness only costs candidate quality, not
+   correctness. *)
+let findv_positions st cid lhs_pos =
+  let lhs = st.lhs_of.(cid) in
+  let keep = ref [] in
+  Array.iteri (fun i pos -> if i <> lhs_pos then keep := pos :: !keep) lhs;
+  Array.of_list (List.rev (Cfd.rhs st.sigma.(cid) :: !keep))
+
+let findv_table st cid lhs_pos =
+  match Hashtbl.find_opt st.findv (cid, lhs_pos) with
+  | Some table -> table
+  | None ->
+    let positions = findv_positions st cid lhs_pos in
+    let table = Vkey.Table.create 256 in
+    Relation.iter
+      (fun t ->
+        let key = Array.map (Tuple.get t) positions in
+        let prev =
+          match Vkey.Table.find_opt table key with Some l -> l | None -> []
+        in
+        if List.length prev < 32 then
+          Vkey.Table.replace table key (Tuple.tid t :: prev))
+      st.rel;
+    Hashtbl.add st.findv (cid, lhs_pos) table;
+    table
+
+let findv_candidates st cid lhs_pos tid =
+  let positions = findv_positions st cid lhs_pos in
+  let key = Array.map (eff st tid) positions in
+  let table = findv_table st cid lhs_pos in
+  let attr = st.lhs_of.(cid).(lhs_pos) in
+  let current = eff st tid attr in
+  match Vkey.Table.find_opt table key with
+  | None -> []
+  | Some tids ->
+    List.fold_left
+      (fun acc tid' ->
+        if tid' = tid then acc
+        else
+          let v = eff st tid' attr in
+          if
+            Value.is_null v || Value.equal v current
+            || List.exists (Value.equal v) acc
+          then acc
+          else v :: acc)
+      [] tids
+
+(* Estimate how many clause violations tuple [tid] would incur if the
+   effective value of [attr] became [v] (everything else unchanged).  Used
+   to score candidate fixes: a fix that is locally cheap but knocks the
+   tuple out of line with other clauses (e.g. relocating a tuple to the
+   city its corrupted area code points at, against zip and tax-rate
+   evidence) scores worse than one consistent with the rest of the tuple.
+   Only clauses touching [attr] can change status, so only they are
+   examined. *)
+let vio_estimate st tid attr v =
+  let eff' tid' a = if tid' = tid && a = attr then v else eff st tid' a in
+  let count = ref 0 in
+  List.iter
+    (fun cid ->
+      let cfd = st.sigma.(cid) in
+      let lhs = st.lhs_of.(cid) and pats = st.lhs_pats_of.(cid) in
+      let lhs_match =
+        let rec loop i =
+          i >= Array.length lhs
+          || (Pattern.matches (eff' tid lhs.(i)) pats.(i) && loop (i + 1))
+        in
+        loop 0
+      in
+      if lhs_match then begin
+        let rv = eff' tid (Cfd.rhs cfd) in
+        match Cfd.rhs_pattern cfd with
+        | Pattern.Const a ->
+          if (not (Value.is_null rv)) && not (Value.equal rv a) then incr count
+        | Pattern.Wild ->
+          if not (Value.is_null rv) then begin
+            let key = Array.map (eff' tid) lhs in
+            match Vkey.Table.find_opt st.buckets.(cid) key with
+            | None -> ()
+            | Some set ->
+              let conflicting =
+                try
+                  Hashtbl.iter
+                    (fun tid' () ->
+                      if tid' <> tid then
+                        let rv' = eff' tid' (Cfd.rhs cfd) in
+                        if (not (Value.is_null rv')) && not (Value.equal rv rv')
+                        then raise Exit)
+                    set;
+                  false
+                with Exit -> true
+              in
+              if conflicting then incr count
+          end
+      end)
+    (clauses_touching st (eff' tid) attr);
+  !count
+
+(* costfix-style score: weighted change cost, inflated by the violations
+   the tuple would still incur after the change (plus a small absolute
+   penalty so zero-weight changes still prefer violation-free values) and
+   discounted by the violations the change resolves.  The discount is what
+   makes a fix that reconciles several clauses at once (restoring a
+   swapped state code repairs the zip, tax-rate and area-code evidence
+   together) beat a cheap fix that silences a single clause by pushing the
+   tuple further from the rest of its own evidence. *)
+let plan_score st tid attr v base_cost =
+  let before = vio_estimate st tid attr (eff st tid attr) in
+  let after = vio_estimate st tid attr v in
+  let removed = max 0 (before - after) in
+  ((base_cost *. float_of_int (1 + after)) +. (0.05 *. float_of_int after))
+  /. float_of_int (1 + removed)
+
+(* Cases 1.2 / 2.2: the RHS target is a committed constant, so resolve by
+   changing an LHS attribute of [tid].  [resolves i v] decides whether
+   setting the LHS attribute at position [i] to [v] actually breaks the
+   violation (pattern mismatch, or key inequality in the pair case). *)
+let lhs_fix_plan st cid tid ~resolves =
+  let lhs = st.lhs_of.(cid) in
+  let best = ref None in
+  let consider cost action =
+    match !best with
+    | Some { cost = c; _ } when c <= cost -> ()
+    | _ -> best := Some { cost; action }
+  in
+  Array.iteri
+    (fun i attr ->
+      let c = cellof st tid attr in
+      let null_plan () =
+        consider
+          (plan_score st tid attr Value.null (class_cost st c Value.null))
+          (Set_lhs { cell = c; target = Eqclass.Null })
+      in
+      match Eqclass.target st.eq c with
+      | Eqclass.Null -> ()
+      | Eqclass.Const _ -> null_plan ()
+      | Eqclass.Unfixed -> (
+        let candidates =
+          List.filter (resolves i) (findv_candidates st cid i tid)
+        in
+        match candidates with
+        | [] -> null_plan ()
+        | vs ->
+          List.iter
+            (fun v ->
+              consider
+                (plan_score st tid attr v (class_cost st c v))
+                (Set_lhs { cell = c; target = Eqclass.Const v }))
+            vs))
+    lhs;
+  !best
+
+(* Verify whether (clause, tuple) still violates under the current targets;
+   if so, produce the cheapest local fix (the CFD-RESOLVE case analysis). *)
+let verify_and_plan st cid tid =
+  if not (Relation.mem st.rel tid) then None
+  else begin
+    let cfd = st.sigma.(cid) in
+    let rhs = Cfd.rhs cfd in
+    match Cfd.rhs_pattern cfd with
+    | Pattern.Const a ->
+      if not (eff_matches_lhs st cid tid) then None
+      else begin
+        let c = cellof st tid rhs in
+        match Eqclass.target st.eq c with
+        | Eqclass.Null -> None
+        | Eqclass.Unfixed ->
+          if Value.equal (Eqclass.effective st.eq c) a then None
+          else
+            (* case 1.1: the target is free, commit it to the constant *)
+            Some
+              {
+                cost = plan_score st tid rhs a (class_cost st c a);
+                action = Set_rhs { cell = c; value = a };
+              }
+        | Eqclass.Const b ->
+          if Value.equal b a then None
+          else
+            (* case 1.2: committed elsewhere; break the LHS match *)
+            let pats = st.lhs_pats_of.(cid) in
+            let resolves i v =
+              match pats.(i) with
+              | Pattern.Const p -> not (Value.equal v p)
+              | Pattern.Wild -> false
+            in
+            lhs_fix_plan st cid tid ~resolves
+      end
+    | Pattern.Wild -> (
+      match Hashtbl.find_opt st.bucket_key.(cid) tid with
+      | None -> None (* effective LHS no longer matches the pattern *)
+      | Some key -> (
+        let v = eff st tid rhs in
+        if Value.is_null v then None
+        else
+          let partner =
+            (* first conflicting bucket-mate; early exit keeps big groups
+               cheap (hash order is deterministic for a given history) *)
+            match Vkey.Table.find_opt st.buckets.(cid) key with
+            | None -> None
+            | Some set -> (
+              let found = ref None in
+              try
+                Hashtbl.iter
+                  (fun tid' () ->
+                    if tid' <> tid then
+                      let v' = eff st tid' rhs in
+                      if (not (Value.is_null v')) && not (Value.equal v v')
+                      then begin
+                        found := Some tid';
+                        raise Exit
+                      end)
+                  set;
+                None
+              with Exit -> !found)
+          in
+          match partner with
+          | None -> None
+          | Some tid' -> (
+            let c1 = cellof st tid rhs and c2 = cellof st tid' rhs in
+            (* Case 2.2's resolution: break the key equality (or pattern
+               match) of one of the two tuples on the LHS. *)
+            let lhs_alternative () =
+              let pats = st.lhs_pats_of.(cid) in
+              let lhs = st.lhs_of.(cid) in
+              let plan_for this other =
+                let resolves i v =
+                  (match pats.(i) with
+                  | Pattern.Const p -> not (Value.equal v p)
+                  | Pattern.Wild -> false)
+                  || not (Value.equal v (eff st other lhs.(i)))
+                in
+                lhs_fix_plan st cid this ~resolves
+              in
+              match plan_for tid tid', plan_for tid' tid with
+              | Some p, Some p' -> Some (if p.cost <= p'.cost then p else p')
+              | (Some _ as p), None | None, (Some _ as p) -> p
+              | None, None -> None
+            in
+            match Eqclass.target st.eq c1, Eqclass.target st.eq c2 with
+            | Eqclass.Null, _ | _, Eqclass.Null -> None (* case 2.3 *)
+            | Eqclass.Unfixed, Eqclass.Unfixed ->
+              (* case 2.1: merge; estimate the cost of moving the smaller
+                 class onto the larger one's value (the exact post-merge
+                 medoid is recomputed when the plan is applied) *)
+              let big, small, small_tid =
+                if Eqclass.size st.eq c1 >= Eqclass.size st.eq c2 then
+                  (c1, c2, tid')
+                else (c2, c1, tid)
+              in
+              let keep = Eqclass.effective st.eq big in
+              Some
+                {
+                  cost =
+                    plan_score st small_tid rhs keep (class_cost st small keep);
+                  action = Merge { cell1 = c1; cell2 = c2 };
+                }
+            | Eqclass.Const cst, Eqclass.Unfixed ->
+              (* One side already committed: merging drags the free side
+                 onto the constant, which is catastrophic when the free
+                 side is a large innocent class and the committed tuple is
+                 the one whose LHS has drifted — so an LHS fix competes. *)
+              let merge =
+                {
+                  cost = plan_score st tid' rhs cst (class_cost st c2 cst);
+                  action = Merge { cell1 = c1; cell2 = c2 };
+                }
+              in
+              Some
+                (match lhs_alternative () with
+                | Some p when p.cost < merge.cost -> p
+                | _ -> merge)
+            | Eqclass.Unfixed, Eqclass.Const cst ->
+              let merge =
+                {
+                  cost = plan_score st tid rhs cst (class_cost st c1 cst);
+                  action = Merge { cell1 = c1; cell2 = c2 };
+                }
+              in
+              Some
+                (match lhs_alternative () with
+                | Some p when p.cost < merge.cost -> p
+                | _ -> merge)
+            | Eqclass.Const _, Eqclass.Const _ ->
+              (* case 2.2: both committed; only an LHS change can help *)
+              lhs_alternative ())))
+  end
+
+(* PICKNEXT as a lazy best-first loop over the queue.  Popping a pair
+   re-verifies it against the current targets: resolved pairs are dropped,
+   pairs whose true plan cost exceeds their queued priority are re-queued
+   at the true cost, and a pair popped at (or below) its true cost is the
+   globally cheapest live fix — exactly the greedy choice of Fig. 5, at
+   amortised O(log q) per step instead of a full rescan. *)
+let pick_next st =
+  let rec pop () =
+    match Heap.pop_min st.queue with
+    | None -> None
+    | Some (priority, ((cid, tid) as key)) -> (
+      match Hashtbl.find_opt st.enqueued key with
+      | Some p when p < priority -. 1e-12 -> pop () (* a fresher copy exists *)
+      | _ -> (
+        Hashtbl.remove st.enqueued key;
+        match verify_and_plan st cid tid with
+        | None -> pop ()
+        | Some plan ->
+          if plan.cost <= priority +. 1e-9 then Some (cid, tid, plan)
+          else begin
+            Hashtbl.replace st.enqueued key plan.cost;
+            Heap.add st.queue ~priority:plan.cost key;
+            pop ()
+          end))
+  in
+  pop ()
+
+(* The weighted-medoid value of a class: the member original value that
+   minimises the class's change cost — what instantiation will pick.  [None]
+   when every member was originally null. *)
+let best_constant st root = medoid_of_tables [ class_weights st root ]
+
+let apply st = function
+  | Set_rhs { cell; value } ->
+    with_change st [ cell ] (fun () ->
+        Eqclass.set_target st.eq cell (Eqclass.Const value));
+    st.rhs_fixes <- st.rhs_fixes + 1
+  | Merge { cell1; cell2 } ->
+    with_change st [ cell1; cell2 ] (fun () ->
+        let t1 = class_weights st cell1 and t2 = class_weights st cell2 in
+        let r1 = Eqclass.find st.eq cell1 and r2 = Eqclass.find st.eq cell2 in
+        let root = Eqclass.union st.eq cell1 cell2 in
+        (* Fold the smaller weight table into the larger and rebind it to
+           the surviving root. *)
+        let big, small =
+          if Hashtbl.length t1 >= Hashtbl.length t2 then (t1, t2) else (t2, t1)
+        in
+        Hashtbl.iter
+          (fun v w ->
+            match Hashtbl.find_opt big v with
+            | Some acc -> Hashtbl.replace big v (acc +. w)
+            | None -> Hashtbl.add big v w)
+          small;
+        Hashtbl.remove st.class_weights r1;
+        Hashtbl.remove st.class_weights r2;
+        Hashtbl.replace st.class_weights root big;
+        (* Keep the representative aligned with the value the merged class
+           is headed for, so effective-value checks (and the pattern rows
+           they trigger) see the likely outcome rather than whichever
+           side's representative survived the union. *)
+        if Eqclass.target st.eq root = Eqclass.Unfixed then
+          match medoid_of_tables [ big ] with
+          | Some v -> Eqclass.set_repr st.eq root v
+          | None -> ());
+    st.merges <- st.merges + 1
+  | Set_lhs { cell; target } ->
+    with_change st [ cell ] (fun () -> Eqclass.set_target st.eq cell target);
+    st.lhs_fixes <- st.lhs_fixes + 1;
+    if target = Eqclass.Null then
+      st.nulls_introduced <- st.nulls_introduced + 1
+
+(* Lines 10–13 of Fig. 4: give every still-unfixed class its least-cost
+   constant.  Classes whose best constant is their own representative keep
+   their effective value, so they need no bucket or dirty maintenance. *)
+let instantiate st =
+  let changed = ref false in
+  Eqclass.iter_roots
+    (fun root ->
+      if Eqclass.target st.eq root = Eqclass.Unfixed then
+        match best_constant st root with
+        | None ->
+          (* every member was originally null: the class is uncertain *)
+          let repr_null = Value.is_null (Eqclass.repr st.eq root) in
+          if repr_null then Eqclass.set_target st.eq root Eqclass.Null
+          else begin
+            with_change st [ root ] (fun () ->
+                Eqclass.set_target st.eq root Eqclass.Null);
+            changed := true
+          end
+        | Some best ->
+          if Value.equal best (Eqclass.repr st.eq root) then
+            Eqclass.set_target st.eq root (Eqclass.Const best)
+          else begin
+            with_change st [ root ] (fun () ->
+                Eqclass.set_target st.eq root (Eqclass.Const best));
+            changed := true
+          end)
+    st.eq;
+  !changed
+
+let init_state rel sigma ~use_dependency_graph =
+  let schema = Relation.schema rel in
+  let arity = Schema.arity schema in
+  let n = Array.length sigma in
+  let lhs_of = Array.map Cfd.lhs sigma in
+  let lhs_pats_of = Array.map Cfd.lhs_patterns sigma in
+  let attr_cfds_plain = Array.make arity [] in
+  let attr_cfds_anchored =
+    Array.init arity (fun _ -> Hashtbl.create 64)
+  in
+  let attr_lhs_wild = Array.make arity [] in
+  let const_plain = ref [] in
+  let const_anchored = Hashtbl.create 256 in
+  Array.iteri
+    (fun cid cfd ->
+      (* Anchor the clause on its first constant LHS pattern, if any. *)
+      let anchor = ref None in
+      Array.iteri
+        (fun i pos ->
+          if !anchor = None then
+            match lhs_pats_of.(cid).(i) with
+            | Pattern.Const c -> anchor := Some (pos, c)
+            | Pattern.Wild -> ())
+        lhs_of.(cid);
+      List.iter
+        (fun attr ->
+          match !anchor with
+          | None -> attr_cfds_plain.(attr) <- cid :: attr_cfds_plain.(attr)
+          | Some key ->
+            let tbl = attr_cfds_anchored.(attr) in
+            let prev =
+              match Hashtbl.find_opt tbl key with Some l -> l | None -> []
+            in
+            Hashtbl.replace tbl key (cid :: prev))
+        (Cfd.attrs cfd);
+      if Cfd.is_constant cfd then begin
+        match !anchor with
+        | None -> const_plain := cid :: !const_plain
+        | Some key ->
+          let prev =
+            match Hashtbl.find_opt const_anchored key with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace const_anchored key (cid :: prev)
+      end
+      else
+        Array.iter
+          (fun attr -> attr_lhs_wild.(attr) <- cid :: attr_lhs_wild.(attr))
+          lhs_of.(cid))
+    sigma;
+  let strata =
+    if use_dependency_graph then Depgraph.strata schema sigma
+    else Array.make n 0
+  in
+  let eq =
+    Eqclass.create ~arity ~original:(fun ~tid ~attr ->
+        Tuple.get (Relation.find_exn rel tid) attr)
+  in
+  let st =
+    {
+      rel;
+      sigma;
+      lhs_of;
+      lhs_pats_of;
+      eq;
+      arity;
+      buckets = Array.map (fun _ -> Vkey.Table.create 256) sigma;
+      bucket_key = Array.map (fun _ -> Hashtbl.create 256) sigma;
+      attr_cfds_plain;
+      attr_cfds_anchored;
+      attr_lhs_wild;
+      const_plain = !const_plain;
+      const_anchored;
+      strata;
+      queue = Heap.create ();
+      enqueued = Hashtbl.create 1024;
+      findv = Hashtbl.create 16;
+      class_weights = Hashtbl.create 1024;
+      merges = 0;
+      rhs_fixes = 0;
+      lhs_fixes = 0;
+      nulls_introduced = 0;
+    }
+  in
+  (* Register every cell (line 1 of Fig. 4) and build the buckets. *)
+  Relation.iter
+    (fun t ->
+      let tid = Tuple.tid t in
+      for attr = 0 to arity - 1 do
+        ignore (cellof st tid attr)
+      done;
+      Array.iteri
+        (fun cid cfd ->
+          if not (Cfd.is_constant cfd) then bucket_insert st cid tid)
+        sigma)
+    rel;
+  st
+
+(* Rebuild every wildcard clause's bucket structure from the current
+   effective values — the ground truth the incremental maintenance must
+   agree with. *)
+let rebuild_buckets st =
+  Array.iteri
+    (fun cid cfd ->
+      if not (Cfd.is_constant cfd) then begin
+        Vkey.Table.reset st.buckets.(cid);
+        Hashtbl.reset st.bucket_key.(cid);
+        Relation.iter (fun t -> bucket_insert st cid (Tuple.tid t)) st.rel
+      end)
+    st.sigma
+
+(* Offer every live violation under the current effective values: constant
+   clauses by direct checks, wildcard clauses from conflicting buckets.
+   Used to initialise Dirty_Tuples (line 4 of Fig. 4) and to re-verify at
+   quiescence.  Returns how many (clause, tuple) pairs were offered. *)
+let offer_all_violations st =
+  let offered = ref 0 in
+  let offer st cid tid =
+    incr offered;
+    offer st cid tid
+  in
+  (* Constant clauses: probe the anchored clause index with each tuple's
+     own effective values rather than scanning every pattern row per
+     tuple.  (Anchored clauses with a wildcard RHS are re-checked too,
+     harmlessly: [check] only offers genuinely violating constant rows.) *)
+  let check tid cid =
+    let cfd = st.sigma.(cid) in
+    match Cfd.rhs_pattern cfd with
+    | Pattern.Wild -> ()
+    | Pattern.Const a ->
+      if eff_matches_lhs st cid tid then
+        let v = eff st tid (Cfd.rhs cfd) in
+        if (not (Value.is_null v)) && not (Value.equal v a) then
+          offer st cid tid
+  in
+  Relation.iter
+    (fun t ->
+      let tid = Tuple.tid t in
+      let eff_at = eff st tid in
+      List.iter (check tid) st.const_plain;
+      for p = 0 to st.arity - 1 do
+        match Hashtbl.find_opt st.const_anchored (p, eff_at p) with
+        | Some cids -> List.iter (check tid) cids
+        | None -> ()
+      done)
+    st.rel;
+  (* Wildcard clauses: any bucket holding two distinct RHS values. *)
+  Array.iteri
+    (fun cid cfd ->
+      if not (Cfd.is_constant cfd) then
+        Vkey.Table.iter
+          (fun _key set ->
+            let distinct = Hashtbl.create 4 in
+            Hashtbl.iter
+              (fun tid () ->
+                let v = eff st tid (Cfd.rhs cfd) in
+                if not (Value.is_null v) then Hashtbl.replace distinct v ())
+              set;
+            if Hashtbl.length distinct >= 2 then
+              Hashtbl.iter (fun tid () -> offer st cid tid) set)
+          st.buckets.(cid))
+    st.sigma;
+  !offered
+
+let repair ?(use_dependency_graph = true) db sigma =
+  let started = Unix.gettimeofday () in
+  let rel = Relation.copy db in
+  let st = init_state rel sigma ~use_dependency_graph in
+  ignore (offer_all_violations st);
+  let steps = ref 0 in
+  let rescans = ref 0 in
+  let budget = 20 * (Eqclass.n_cells st.eq + 1) in
+  let rec loop () =
+    if !steps > budget then
+      failwith "Batch_repair.repair: step budget exceeded (internal bug)";
+    match pick_next st with
+    | Some (cid, tid, plan) ->
+      Log.debug (fun m ->
+          let describe = function
+            | Set_rhs { cell; value } ->
+              let ctid, cattr = Eqclass.tid_attr st.eq cell in
+              Format.asprintf "set_rhs (%d,%s) := %a" ctid
+                (Schema.attribute (Relation.schema st.rel) cattr)
+                Value.pp value
+            | Merge { cell1; cell2 } ->
+              let t1, a1 = Eqclass.tid_attr st.eq cell1 in
+              let t2, a2 = Eqclass.tid_attr st.eq cell2 in
+              Format.asprintf "merge (%d,%d) ~ (%d,%d)" t1 a1 t2 a2
+            | Set_lhs { cell; target } ->
+              let ctid, cattr = Eqclass.tid_attr st.eq cell in
+              Format.asprintf "set_lhs (%d,%s) := %a" ctid
+                (Schema.attribute (Relation.schema st.rel) cattr)
+                Eqclass.pp_target target
+          in
+          m "step %d: %s tid=%d cost=%.4f %s" !steps
+            (Cfd.name st.sigma.(cid))
+            tid plan.cost (describe plan.action));
+      apply st plan.action;
+      (* A wildcard-clause plan resolves the conflict with one partner;
+         the tuple may still conflict with others in its group, so the
+         pair goes straight back in the queue until it verifies clean. *)
+      offer st cid tid;
+      incr steps;
+      if Sys.getenv_opt "DATAQUAL_PARANOID" <> None then begin
+        (* Expensive invariant check: every live violation must be queued. *)
+        Array.iteri
+          (fun cid cfd ->
+            if not (Cfd.is_constant cfd) then
+              Vkey.Table.iter
+                (fun _ set ->
+                  Hashtbl.iter
+                    (fun tid () ->
+                      let v = eff st tid (Cfd.rhs cfd) in
+                      if not (Value.is_null v) then
+                        Hashtbl.iter
+                          (fun tid' () ->
+                            let v' = eff st tid' (Cfd.rhs cfd) in
+                            if
+                              tid' <> tid
+                              && (not (Value.is_null v'))
+                              && (not (Value.equal v v'))
+                              && (not (Hashtbl.mem st.enqueued (cid, tid)))
+                              && not (Hashtbl.mem st.enqueued (cid, tid'))
+                            then
+                              Log.err (fun m ->
+                                  m
+                                    "step %d: live pair (%s, %d~%d) not \
+                                     queued after %s"
+                                    !steps
+                                    (Cfd.name st.sigma.(cid))
+                                    tid tid'
+                                    (Format.asprintf "%a" Cfd.pp
+                                       st.sigma.(cid))))
+                          set)
+                    set)
+                st.buckets.(cid))
+          st.sigma
+      end;
+      loop ()
+    | None ->
+      if instantiate st then loop ()
+      else begin
+        (* Quiescent: cross-check against a full rebuild and rescan.  The
+           incremental dirty propagation is designed to be complete, but a
+           missed pair here would silently break Theorem 4.2's guarantee,
+           so trust nothing and re-verify. *)
+        rebuild_buckets st;
+        let missed = offer_all_violations st in
+        if missed > 0 then begin
+          incr rescans;
+          if !rescans > 50 then
+            failwith
+              "Batch_repair.repair: rescans not converging (internal bug)";
+          Log.debug (fun m ->
+              m "quiescence rescan re-offered %d violation pairs" missed);
+          loop ()
+        end
+      end
+  in
+  loop ();
+  (* Write the target values back into the working copy (lines 14-15). *)
+  let cells_changed = ref 0 in
+  let tuples = Relation.tuples rel in
+  Array.iter
+    (fun t ->
+      let tid = Tuple.tid t in
+      for attr = 0 to st.arity - 1 do
+        let v = Eqclass.effective st.eq (cellof st tid attr) in
+        if not (Value.equal v (Tuple.get t attr)) then begin
+          Relation.set_value rel t attr v;
+          incr cells_changed
+        end
+      done)
+    tuples;
+  ( rel,
+    {
+      steps = !steps;
+      merges = st.merges;
+      rhs_fixes = st.rhs_fixes;
+      lhs_fixes = st.lhs_fixes;
+      nulls_introduced = st.nulls_introduced;
+      cells_changed = !cells_changed;
+      runtime = Unix.gettimeofday () -. started;
+    } )

@@ -1,0 +1,55 @@
+(** BATCHREPAIR (Section 4, Figures 4–5): heuristic repair of a dirty
+    database against a set of CFDs.
+
+    The algorithm maintains equivalence classes of tuple attributes
+    ({!Eqclass}) and a per-clause set of (potentially) dirty tuples.  Each
+    step, [PICKNEXT] scores one candidate fix per dirty (clause, tuple)
+    pair and applies the cheapest:
+
+    - case 1.1 — a constant-RHS clause with an unfixed target: upgrade the
+      RHS class's target to the pattern constant;
+    - case 2.1 — two tuples disagree on a wildcard-RHS clause and at least
+      one RHS class is unfixed: merge the two classes;
+    - cases 1.2 / 2.2 — the RHS targets are committed constants: change an
+      LHS attribute instead, to a [FINDV]-chosen semantically related value
+      if one resolves the violation, otherwise to [null].
+
+    Every step merges classes or upgrades a target in the one-way lattice
+    [_ → const → null], so the algorithm terminates (Theorem 4.2) even on
+    CFD sets where RHS-only FD repairing would loop (Example 4.1).  When no
+    dirty tuples remain, still-unfixed classes are instantiated with their
+    least-cost constant, which may surface new violations; the loop then
+    resumes until none remain. *)
+
+open Dq_relation
+open Dq_cfd
+
+type stats = {
+  steps : int;  (** resolution steps applied *)
+  merges : int;  (** case-2.1 class merges *)
+  rhs_fixes : int;  (** case-1.1 target upgrades *)
+  lhs_fixes : int;  (** case-1.2/2.2 LHS changes *)
+  nulls_introduced : int;  (** targets upgraded to [null] *)
+  cells_changed : int;  (** attribute values differing from the input *)
+  runtime : float;  (** wall-clock seconds *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val repair :
+  ?use_dependency_graph:bool ->
+  Relation.t ->
+  Cfd.t array ->
+  Relation.t * stats
+(** [repair d sigma] returns a repaired deep copy of [d] (tids preserved)
+    satisfying [sigma], together with statistics.
+
+    [PICKNEXT] is realised as a lazy priority queue over (clause, tuple)
+    pairs keyed by plan cost: popped pairs are re-verified against the
+    current targets and re-queued at their true cost when stale, so each
+    step applies the globally cheapest live fix without rescanning every
+    dirty tuple — the optimization that makes BATCHREPAIR scale
+    (Section 7.2).  [use_dependency_graph] (default [true]) additionally
+    biases freshly discovered violations by their stratum in the SCC
+    condensation of the attribute dependency graph, so upstream clauses
+    are scored first. *)

@@ -1,0 +1,112 @@
+open Dq_relation
+
+type node =
+  | Leaf of { text : string; value : Value.t }
+  | Branch of { rep : string; left : node; right : node }
+
+type t = { root : node option; size : int }
+
+let distance = Cost.dl_distance
+
+(* Farthest-point seeds: start from the first element, walk to the element
+   farthest from it, then take the element farthest from that one. *)
+let pick_seeds texts =
+  let farthest_from s =
+    fst
+      (List.fold_left
+         (fun (best, d) t ->
+           let d' = distance s t in
+           if d' > d then (t, d') else (best, d))
+         (s, -1) texts)
+  in
+  match texts with
+  | [] | [ _ ] -> None
+  | first :: _ ->
+    let a = farthest_from first in
+    let b = farthest_from a in
+    if String.equal a b then None else Some (a, b)
+
+let rec build_node items =
+  match items with
+  | [] -> assert false
+  | [ (text, value) ] -> Leaf { text; value }
+  | _ -> (
+    let texts = List.map fst items in
+    match pick_seeds texts with
+    | Some (a, b) when not (String.equal a b) ->
+      let near_a, near_b =
+        List.partition (fun (t, _) -> distance t a <= distance t b) items
+      in
+      if near_a = [] || near_b = [] then split_half items a
+      else
+        Branch { rep = a; left = build_node near_a; right = build_node near_b }
+    | _ ->
+      (* all values equidistant (or identical): split arbitrarily *)
+      split_half items (fst (List.hd items)))
+
+and split_half items rep =
+  let n = List.length items in
+  let left = List.filteri (fun i _ -> i < n / 2) items in
+  let right = List.filteri (fun i _ -> i >= n / 2) items in
+  Branch { rep; left = build_node left; right = build_node right }
+
+let build values =
+  let items =
+    values
+    |> List.filter (fun v -> not (Value.is_null v))
+    |> List.sort_uniq Value.compare
+    |> List.map (fun v -> (Value.to_string v, v))
+  in
+  match items with
+  | [] -> { root = None; size = 0 }
+  | _ -> { root = Some (build_node items); size = List.length items }
+
+let of_attribute rel pos = build (Relation.active_domain rel pos)
+
+let size t = t.size
+
+let iter_nearest t query f =
+  (* Best-first search; [f] returns [true] to stop. *)
+  match t.root with
+  | None -> ()
+  | Some root ->
+    let q = Value.to_string query in
+    let heap = Heap.create () in
+    let push node =
+      let d =
+        match node with
+        | Leaf { text; _ } -> distance q text
+        | Branch { rep; _ } -> distance q rep
+      in
+      Heap.add heap ~priority:(float_of_int d) node
+    in
+    push root;
+    let rec drain () =
+      match Heap.pop_min heap with
+      | None -> ()
+      | Some (_, Leaf { value; _ }) -> if not (f value) then drain ()
+      | Some (_, Branch { left; right; _ }) ->
+        push left;
+        push right;
+        drain ()
+    in
+    drain ()
+
+let nearest t query ~k =
+  let out = ref [] in
+  let count = ref 0 in
+  iter_nearest t query (fun v ->
+      out := v :: !out;
+      incr count;
+      !count >= k);
+  List.rev !out
+
+let find_first t query pred =
+  let found = ref None in
+  iter_nearest t query (fun v ->
+      if pred v then begin
+        found := Some v;
+        true
+      end
+      else false);
+  !found

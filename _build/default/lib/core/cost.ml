@@ -1,0 +1,65 @@
+open Dq_relation
+
+(* Optimal-string-alignment variant of Damerau-Levenshtein: three rolling
+   rows of the dynamic program suffice because transpositions only look two
+   rows back. *)
+let dl_distance s t =
+  let m = String.length s and n = String.length t in
+  if m = 0 then n
+  else if n = 0 then m
+  else begin
+    let prev2 = Array.make (n + 1) 0 in
+    let prev = Array.init (n + 1) (fun j -> j) in
+    let curr = Array.make (n + 1) 0 in
+    for i = 1 to m do
+      curr.(0) <- i;
+      for j = 1 to n do
+        let substitution_cost = if s.[i - 1] = t.[j - 1] then 0 else 1 in
+        let best =
+          min
+            (min (prev.(j) + 1) (curr.(j - 1) + 1))
+            (prev.(j - 1) + substitution_cost)
+        in
+        let best =
+          if
+            i > 1 && j > 1
+            && s.[i - 1] = t.[j - 2]
+            && s.[i - 2] = t.[j - 1]
+          then min best (prev2.(j - 2) + 1)
+          else best
+        in
+        curr.(j) <- best
+      done;
+      Array.blit prev 0 prev2 0 (n + 1);
+      Array.blit curr 0 prev 0 (n + 1)
+    done;
+    prev.(n)
+  end
+
+let value_distance v v' = dl_distance (Value.to_string v) (Value.to_string v')
+
+let similarity v v' =
+  let s = Value.to_string v and s' = Value.to_string v' in
+  let longer = max (String.length s) (String.length s') in
+  if longer = 0 then 0.
+  else float_of_int (dl_distance s s') /. float_of_int longer
+
+let change ~weight v v' = weight *. similarity v v'
+
+let tuple_change ~original ~repaired =
+  List.fold_left
+    (fun acc pos ->
+      acc
+      +. change
+           ~weight:(Tuple.weight original pos)
+           (Tuple.get original pos) (Tuple.get repaired pos))
+    0.
+    (Tuple.diff_positions original repaired)
+
+let repair_cost ~original ~repair =
+  Relation.fold
+    (fun acc t ->
+      match Relation.find repair (Tuple.tid t) with
+      | Some t' -> acc +. tuple_change ~original:t ~repaired:t'
+      | None -> acc)
+    0. original

@@ -1,0 +1,58 @@
+open Dq_cfd
+
+(* Tarjan's strongly-connected-components algorithm, iterative-friendly
+   sizes here (attribute counts are tiny), so the recursive form is fine. *)
+let scc ~n ~edges =
+  let adj = Array.make n [] in
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comp = Array.make n (-1) in
+  let comps = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order; [comps] collected
+     by consing is therefore in topological order: sources get low ids. *)
+  List.iteri (fun i members -> List.iter (fun v -> comp.(v) <- i) members) !comps;
+  comp
+
+let strata schema sigma =
+  let n = Dq_relation.Schema.arity schema in
+  let edges =
+    Array.to_list sigma
+    |> List.concat_map (fun cfd ->
+           let rhs = Cfd.rhs cfd in
+           Array.to_list (Cfd.lhs cfd) |> List.map (fun b -> (b, rhs)))
+  in
+  let comp = scc ~n ~edges in
+  Array.map (fun cfd -> comp.(Cfd.rhs cfd)) sigma

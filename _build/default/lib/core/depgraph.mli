@@ -1,0 +1,18 @@
+(** The attribute dependency graph of a CFD set and the stratification used
+    by the optimized [PICKNEXT] (Section 7.2 mentions BATCHREPAIR is "very
+    slow" without optimizations "based on the dependency graph of the CFDs").
+
+    Nodes are attribute positions; each clause [(X → A, tp)] contributes
+    edges [B → A] for every [B ∈ X].  Strongly connected components are
+    condensed and topologically ordered; a clause's stratum is the
+    condensation level of its RHS attribute.  Repairing upstream clauses
+    first means their decisions are already fixed when downstream clauses
+    are examined, cutting re-resolution churn on cyclic CFD sets. *)
+
+val scc : n:int -> edges:(int * int) list -> int array
+(** [scc ~n ~edges] assigns each node [0..n-1] a component id such that
+    component ids are a reverse topological order: if there is an edge
+    [u → v] across components then [comp.(u) < comp.(v)]. *)
+
+val strata : Dq_relation.Schema.t -> Dq_cfd.Cfd.t array -> int array
+(** Map each clause id to its stratum (small strata first). *)

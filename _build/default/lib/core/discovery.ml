@@ -1,0 +1,219 @@
+open Dq_relation
+open Dq_cfd
+
+type config = {
+  max_lhs_size : int;
+  min_support : int;
+  min_confidence : float;
+  max_rows_per_fd : int;
+}
+
+let default_config ?(max_lhs_size = 2) ?(min_support = 10)
+    ?(min_confidence = 1.0) () =
+  { max_lhs_size; min_support; min_confidence; max_rows_per_fd = 5_000 }
+
+type discovered = {
+  schema : Schema.t;
+  tableaus : Cfd.Tableau.t list;
+  n_variable : int;
+  n_constant : int;
+}
+
+let rec combinations k lst =
+  if k = 0 then [ [] ]
+  else
+    match lst with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun c -> x :: c) (combinations (k - 1) rest)
+      @ combinations k rest
+
+(* Statistics of one LHS group: total tuples, per-RHS-value counts. *)
+type group = { mutable total : int; counts : (Value.t, int ref) Hashtbl.t }
+
+let group_by rel lhs rhs =
+  let table = Vkey.Table.create 256 in
+  Relation.iter
+    (fun t ->
+      let key = Array.map (Tuple.get t) lhs in
+      let v = Tuple.get t rhs in
+      if
+        (not (Value.is_null v))
+        && not (Array.exists Value.is_null key)
+      then begin
+        let g =
+          match Vkey.Table.find_opt table key with
+          | Some g -> g
+          | None ->
+            let g = { total = 0; counts = Hashtbl.create 4 } in
+            Vkey.Table.add table key g;
+            g
+        in
+        g.total <- g.total + 1;
+        match Hashtbl.find_opt g.counts v with
+        | Some n -> incr n
+        | None -> Hashtbl.add g.counts v (ref 1)
+      end)
+    rel;
+  table
+
+let majority g =
+  Hashtbl.fold
+    (fun v n acc ->
+      match acc with
+      | Some (_, best) when best >= !n -> acc
+      | _ -> Some (v, !n))
+    g.counts None
+
+(* Keys for the subset-pruning table of mined constant rows:
+   (sorted LHS positions, their values in that order, RHS position). *)
+let row_key lhs key rhs =
+  let paired = Array.mapi (fun i pos -> (pos, key.(i))) lhs in
+  Array.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2) paired;
+  ( Array.to_list (Array.map fst paired),
+    Array.map snd paired,
+    rhs )
+
+module Row_table = Hashtbl.Make (struct
+  type t = int list * Value.t array * int
+
+  let equal (l1, k1, r1) (l2, k2, r2) =
+    r1 = r2 && l1 = l2 && Vkey.equal k1 k2
+
+  let hash (l, k, r) = Hashtbl.hash (l, Vkey.hash k, r)
+end)
+
+let discover ?(config = default_config ()) rel =
+  if config.max_lhs_size < 1 then
+    invalid_arg "Discovery.discover: max_lhs_size must be >= 1";
+  let schema = Relation.schema rel in
+  let arity = Schema.arity schema in
+  let positions = List.init arity Fun.id in
+  let fds : (int list * int) list ref = ref [] in
+  (* mined constant rows, for subset pruning *)
+  let rows = Row_table.create 1024 in
+  let tableaus = ref [] in
+  let n_variable = ref 0 and n_constant = ref 0 in
+  let fd_implied lhs rhs =
+    List.exists
+      (fun (lhs', rhs') ->
+        rhs' = rhs && List.for_all (fun p -> List.mem p lhs) lhs')
+      !fds
+  in
+  (* A candidate row is implied if a mined row over a subset of its LHS
+     (same values at those positions) forces the same RHS value. *)
+  let row_implied lhs key rhs value =
+    let indexed = Array.to_list (Array.mapi (fun i pos -> (i, pos)) lhs) in
+    let rec subsets = function
+      | [] -> [ [] ]
+      | x :: rest ->
+        let tails = subsets rest in
+        List.map (fun s -> x :: s) tails @ tails
+    in
+    List.exists
+      (fun subset ->
+        subset <> Array.to_list (Array.mapi (fun i pos -> (i, pos)) lhs)
+        &&
+        let sub_lhs = Array.of_list (List.map snd subset) in
+        let sub_key = Array.of_list (List.map (fun (i, _) -> key.(i)) subset) in
+        match Row_table.find_opt rows (row_key sub_lhs sub_key rhs) with
+        | Some v -> Value.equal v value
+        | None -> false)
+      (subsets indexed)
+  in
+  for size = 1 to min config.max_lhs_size (arity - 1) do
+    List.iter
+      (fun lhs_list ->
+        let lhs = Array.of_list lhs_list in
+        List.iter
+          (fun rhs ->
+            if not (List.mem rhs lhs_list) then begin
+              let groups = group_by rel lhs rhs in
+              let n_groups = ref 0 and consistent_groups = ref 0 in
+              let constant_rows = ref [] in
+              Vkey.Table.iter
+                (fun key g ->
+                  incr n_groups;
+                  if Hashtbl.length g.counts <= 1 then incr consistent_groups;
+                  if g.total >= config.min_support then
+                    match majority g with
+                    | Some (v, n)
+                      when float_of_int n
+                           >= config.min_confidence *. float_of_int g.total ->
+                      if not (row_implied lhs key rhs v) then
+                        constant_rows := (key, v) :: !constant_rows
+                    | Some _ | None -> ())
+                groups;
+              (* variable clause: the embedded FD holds (within tolerance)
+                 and is not implied by a smaller FD *)
+              let fd_holds =
+                !n_groups >= 2
+                && float_of_int !consistent_groups
+                   >= config.min_confidence *. float_of_int !n_groups
+              in
+              let fd_new = fd_holds && not (fd_implied lhs_list rhs) in
+              if fd_new then begin
+                fds := (lhs_list, rhs) :: !fds;
+                incr n_variable
+              end;
+              let constant_rows =
+                let sorted =
+                  List.sort
+                    (fun ((k1 : Vkey.t), _) (k2, _) ->
+                      compare (Array.map Value.to_string k1)
+                        (Array.map Value.to_string k2))
+                    !constant_rows
+                in
+                List.filteri (fun i _ -> i < config.max_rows_per_fd) sorted
+              in
+              if fd_new || constant_rows <> [] then begin
+                List.iter
+                  (fun (key, v) ->
+                    Row_table.replace rows (row_key lhs key rhs) v;
+                    incr n_constant)
+                  constant_rows;
+                let lhs_attrs = List.map (Schema.attribute schema) lhs_list in
+                let rhs_attr = Schema.attribute schema rhs in
+                let wild_row =
+                  Cfd.Tableau.
+                    {
+                      lhs = List.map (fun _ -> Pattern.Wild) lhs_list;
+                      rhs = [ Pattern.Wild ];
+                    }
+                in
+                let const_row (key, v) =
+                  Cfd.Tableau.
+                    {
+                      lhs = Array.to_list (Array.map Pattern.const key);
+                      rhs = [ Pattern.const v ];
+                    }
+                in
+                let tableau =
+                  Cfd.Tableau.
+                    {
+                      name =
+                        Printf.sprintf "d_%s_%s"
+                          (String.concat "_" lhs_attrs)
+                          rhs_attr;
+                      lhs_attrs;
+                      rhs_attrs = [ rhs_attr ];
+                      rows =
+                        (if fd_new then [ wild_row ] else [])
+                        @ List.map const_row constant_rows;
+                    }
+                in
+                tableaus := tableau :: !tableaus
+              end
+            end)
+          positions)
+      (combinations size positions)
+  done;
+  {
+    schema;
+    tableaus = List.rev !tableaus;
+    n_variable = !n_variable;
+    n_constant = !n_constant;
+  }
+
+let resolve d =
+  Cfd.number (List.concat_map (Cfd.normalize d.schema) d.tableaus)

@@ -1,0 +1,47 @@
+(** CFD discovery — the paper's first "future work" item ("we are studying
+    effective methods to automatically discover useful CFDs from real-life
+    data"), in the style of the later CFDMiner/CTANE line of work.
+
+    Given a (mostly clean) instance, {!discover} proposes CFDs of the
+    normal form [(X → A, tp)]:
+
+    - {e variable} clauses: embedded FDs [X → A] that hold on the whole
+      instance (or on all but a tolerated fraction of key groups);
+    - {e constant} clauses: pattern rows [(c₁ … c_k ‖ a)] such that among
+      the tuples matching [c₁ … c_k] — at least [min_support] of them —
+      the fraction agreeing on [A = a] is at least [min_confidence].
+
+    Candidates are enumerated over LHS attribute sets up to
+    [max_lhs_size], pruned top-down: a constant row is only reported if no
+    row over a subset of its LHS already implies it, and an FD only if no
+    FD with a smaller LHS over the same attributes holds. *)
+
+open Dq_relation
+
+type config = {
+  max_lhs_size : int;  (** LHS attribute sets up to this size (default 2) *)
+  min_support : int;  (** tuples a pattern row must cover (default 10) *)
+  min_confidence : float;
+      (** fraction of covered tuples that must agree on the RHS value for a
+          constant row, and of groups that must be conflict-free for an
+          embedded FD (default 1.0 = exact) *)
+  max_rows_per_fd : int;  (** cap on constant rows per embedded FD *)
+}
+
+val default_config : ?max_lhs_size:int -> ?min_support:int -> ?min_confidence:float -> unit -> config
+
+type discovered = {
+  schema : Schema.t;
+  tableaus : Dq_cfd.Cfd.Tableau.t list;
+      (** one tableau per embedded FD that produced any rows; plain FDs
+          appear with an explicit all-wildcard row *)
+  n_variable : int;  (** embedded FDs that hold instance-wide *)
+  n_constant : int;  (** constant pattern rows mined *)
+}
+
+val discover : ?config:config -> Relation.t -> discovered
+(** Mine CFDs from an instance.  Deterministic; runs in
+    O(|attrs|^[max_lhs_size] · |D|) grouping passes. *)
+
+val resolve : discovered -> Dq_cfd.Cfd.t array
+(** The mined constraints as numbered normal-form clauses. *)

@@ -1,0 +1,140 @@
+open Dq_relation
+
+type target = Unfixed | Const of Value.t | Null
+
+let pp_target ppf = function
+  | Unfixed -> Format.pp_print_string ppf "_"
+  | Const v -> Value.pp ppf v
+  | Null -> Format.pp_print_string ppf "null"
+
+type info = {
+  mutable target : target;
+  mutable repr : Value.t;
+  mutable members : (int * int) list;
+  mutable size : int;
+  mutable rank : int;
+}
+
+type t = {
+  arity : int;
+  original : tid:int -> attr:int -> Value.t;
+  parent : (int, int) Hashtbl.t; (* non-root cell -> parent cell *)
+  info : (int, info) Hashtbl.t; (* root cell -> class info *)
+}
+
+let create ~arity ~original =
+  if arity <= 0 then invalid_arg "Eqclass.create: arity must be positive";
+  { arity; original; parent = Hashtbl.create 1024; info = Hashtbl.create 1024 }
+
+let register eq c =
+  if (not (Hashtbl.mem eq.info c)) && not (Hashtbl.mem eq.parent c) then begin
+    let tid = c / eq.arity and attr = c mod eq.arity in
+    Hashtbl.add eq.info c
+      {
+        target = Unfixed;
+        repr = eq.original ~tid ~attr;
+        members = [ (tid, attr) ];
+        size = 1;
+        rank = 0;
+      }
+  end
+
+let cell eq ~tid ~attr =
+  if attr < 0 || attr >= eq.arity then
+    invalid_arg (Printf.sprintf "Eqclass.cell: attribute %d out of range" attr);
+  let c = (tid * eq.arity) + attr in
+  register eq c;
+  c
+
+let tid_attr eq c = (c / eq.arity, c mod eq.arity)
+
+let rec find eq c =
+  register eq c;
+  match Hashtbl.find_opt eq.parent c with
+  | None -> c
+  | Some p ->
+    let root = find eq p in
+    if root <> p then Hashtbl.replace eq.parent c root;
+    root
+
+let same_class eq c1 c2 = find eq c1 = find eq c2
+
+let info_of eq c = Hashtbl.find eq.info (find eq c)
+
+let target eq c = (info_of eq c).target
+
+let repr eq c = (info_of eq c).repr
+
+let effective eq c =
+  let i = info_of eq c in
+  match i.target with Unfixed -> i.repr | Const v -> v | Null -> Value.null
+
+let upgrade_ok before after =
+  match before, after with
+  | Unfixed, _ -> true
+  | Const _, Null -> true
+  | Const a, Const b -> Value.equal a b
+  | Const _, Unfixed -> false
+  | Null, Null -> true
+  | Null, (Unfixed | Const _) -> false
+
+let set_target eq c tgt =
+  let i = info_of eq c in
+  if not (upgrade_ok i.target tgt) then
+    invalid_arg
+      (Format.asprintf "Eqclass.set_target: illegal move %a -> %a" pp_target
+         i.target pp_target tgt);
+  i.target <- tgt
+
+let join_targets t1 t2 =
+  match t1, t2 with
+  | Unfixed, t | t, Unfixed -> t
+  | Null, _ | _, Null -> Null
+  | Const a, Const b ->
+    if Value.equal a b then Const a
+    else
+      invalid_arg
+        (Format.asprintf
+           "Eqclass.union: classes with distinct constant targets %a / %a"
+           Value.pp a Value.pp b)
+
+let union eq c1 c2 =
+  let r1 = find eq c1 and r2 = find eq c2 in
+  if r1 = r2 then r1
+  else begin
+    let i1 = Hashtbl.find eq.info r1 and i2 = Hashtbl.find eq.info r2 in
+    let joined = join_targets i1.target i2.target in
+    let root, child, ri, ci =
+      if i1.rank >= i2.rank then (r1, r2, i1, i2) else (r2, r1, i2, i1)
+    in
+    Hashtbl.replace eq.parent child root;
+    Hashtbl.remove eq.info child;
+    ri.target <- joined;
+    (* Keep a constant-bearing side's representative: when the joined target
+       is a constant the representative is irrelevant, but when both sides
+       were Unfixed the surviving root's representative stands. *)
+    ri.members <- List.rev_append ci.members ri.members;
+    ri.size <- ri.size + ci.size;
+    if ri.rank = ci.rank then ri.rank <- ri.rank + 1;
+    root
+  end
+
+let members eq c = (info_of eq c).members
+
+let size eq c = (info_of eq c).size
+
+let n_cells eq = Hashtbl.length eq.parent + Hashtbl.length eq.info
+
+let n_classes eq = Hashtbl.length eq.info
+
+let iter_roots f eq =
+  (* Collect first: [f] may trigger path compression, mutating the table. *)
+  let roots = Hashtbl.fold (fun root _ acc -> root :: acc) eq.info [] in
+  List.iter f roots
+
+let set_repr eq c v =
+  let i = info_of eq c in
+  match i.target with
+  | Unfixed -> i.repr <- v
+  | Const _ | Null ->
+    invalid_arg "Eqclass.set_repr: representative is fixed once targeted"

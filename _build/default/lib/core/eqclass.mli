@@ -1,0 +1,80 @@
+(** Equivalence classes of tuple attributes with target values (Section 4.1).
+
+    A class groups cells [(t, A)] — tuple/attribute pairs — that a repair
+    will assign a single {e target} value.  Targets live in a one-way
+    upgrade lattice:
+
+    {v  Unfixed ('_')  →  Const a  →  Null  v}
+
+    A target is never downgraded and never moves between distinct
+    constants; when a constant target clashes with a constraint, the repair
+    must touch LHS attributes instead (case 1.2 / 2.2 of the paper).
+
+    While a class is [Unfixed], its {e representative value} — the original
+    value of the cell that created the class's root — stands in for the
+    eventual target when checking violations; see {!effective}.  Separating
+    "which cells must agree" from "on what value" is what lets the
+    algorithm defer poor local decisions (Section 4.1). *)
+
+open Dq_relation
+
+type target = Unfixed | Const of Value.t | Null
+
+val pp_target : Format.formatter -> target -> unit
+
+type t
+
+val create : arity:int -> original:(tid:int -> attr:int -> Value.t) -> t
+(** [original] reads a cell's value in the original database; it is
+    consulted when a cell is first registered, to seed representatives. *)
+
+val cell : t -> tid:int -> attr:int -> int
+(** Encode a cell id.  Registers the cell (as a singleton class) on first
+    use.  @raise Invalid_argument if [attr] is outside [0, arity). *)
+
+val tid_attr : t -> int -> int * int
+(** Decode a cell id back to [(tid, attr)]. *)
+
+val find : t -> int -> int
+(** Root cell of the class (with path compression). *)
+
+val same_class : t -> int -> int -> bool
+
+val target : t -> int -> target
+(** Target of the cell's class. *)
+
+val repr : t -> int -> Value.t
+(** Representative original value of the cell's class. *)
+
+val effective : t -> int -> Value.t
+(** The value the cell currently stands for: the constant if the target is
+    [Const], [Value.null] if [Null], the representative if [Unfixed]. *)
+
+val set_target : t -> int -> target -> unit
+(** Upgrade the class's target.  @raise Invalid_argument on a downgrade or
+    a move between distinct constants. *)
+
+val union : t -> int -> int -> int
+(** Merge two classes and return the new root.  Targets join in the
+    lattice ([Unfixed ⊔ x = x], [Null ⊔ x = Null]).
+    @raise Invalid_argument when both targets are distinct constants — the
+    caller must resolve such conflicts by other means (case 2.2). *)
+
+val members : t -> int -> (int * int) list
+(** All [(tid, attr)] cells of the class. *)
+
+val size : t -> int -> int
+
+val n_cells : t -> int
+
+val n_classes : t -> int
+
+val iter_roots : (int -> unit) -> t -> unit
+(** Iterate over the current class roots (order unspecified). *)
+
+val set_repr : t -> int -> Value.t -> unit
+(** Update the representative of the cell's class.  Only meaningful while
+    the target is [Unfixed]: callers use it to keep the representative
+    aligned with the value the class is expected to take (e.g. the
+    weighted-majority member value after a merge).
+    @raise Invalid_argument if the target is not [Unfixed]. *)

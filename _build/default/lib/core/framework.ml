@@ -1,0 +1,73 @@
+open Dq_relation
+
+type user = {
+  inspect : Tuple.t -> Tuple.t option;
+  revise_cfds : Dq_cfd.Cfd.t array -> Dq_cfd.Cfd.t array;
+}
+
+let passive_user inspect = { inspect; revise_cfds = Fun.id }
+
+type algorithm = Batch | Incremental of Inc_repair.ordering
+
+type round_log = {
+  round : int;
+  report : Sampling.report;
+  corrections : int;
+}
+
+type outcome = {
+  repair : Relation.t;
+  sigma : Dq_cfd.Cfd.t array;
+  rounds : round_log list;
+  accepted : bool;
+}
+
+let run_repairer algorithm db sigma =
+  match algorithm with
+  | Batch -> fst (Batch_repair.repair db sigma)
+  | Incremental ordering -> fst (Inc_repair.repair_dirty ~ordering db sigma)
+
+let clean ?(max_rounds = 5) ?(seed = 42) ?(algorithm = Batch) ~sampling ~user
+    db sigma =
+  if max_rounds < 1 then invalid_arg "Framework.clean: max_rounds must be >= 1";
+  let working = Relation.copy db in
+  let rec round i sigma logs =
+    let repair = run_repairer algorithm working sigma in
+    let corrections = ref [] in
+    let oracle t' =
+      match user.inspect t' with
+      | None -> false
+      | Some fixed ->
+        corrections := (Tuple.tid t', fixed) :: !corrections;
+        true
+    in
+    let report =
+      Sampling.inspect ~seed:(seed + i) sampling ~original:working ~repair
+        ~sigma ~oracle
+    in
+    let log = { round = i; report; corrections = List.length !corrections } in
+    let logs = log :: logs in
+    if report.Sampling.accepted || i >= max_rounds then
+      {
+        repair;
+        sigma;
+        rounds = List.rev logs;
+        accepted = report.Sampling.accepted;
+      }
+    else begin
+      (* Fold the user's edits back into the working database with full
+         confidence so the next round's repair keeps them. *)
+      List.iter
+        (fun (tid, fixed) ->
+          match Relation.find working tid with
+          | None -> ()
+          | Some t ->
+            for pos = 0 to Tuple.arity t - 1 do
+              Relation.set_value working t pos (Tuple.get fixed pos);
+              Tuple.set_weight t pos 1.0
+            done)
+        !corrections;
+      round (i + 1) (user.revise_cfds sigma) logs
+    end
+  in
+  round 1 sigma []

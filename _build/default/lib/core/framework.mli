@@ -1,0 +1,50 @@
+(** The data-cleaning framework of Figure 3, wiring the three modules
+    together: repair → stratified sampling → user feedback → repair again.
+
+    Each round produces a candidate repair, asks the (possibly simulated)
+    user to inspect a stratified sample, and stops when the statistical
+    test accepts the repair's accuracy.  Otherwise the user's corrections
+    are written back into the working database (with full-confidence
+    weights, so later rounds keep them) and the user may also revise the
+    CFD set before the next round. *)
+
+open Dq_relation
+
+type user = {
+  inspect : Tuple.t -> Tuple.t option;
+      (** [None]: the repaired tuple is accurate; [Some fixed]: it is not,
+          and [fixed] holds the values the user wants *)
+  revise_cfds : Dq_cfd.Cfd.t array -> Dq_cfd.Cfd.t array;
+      (** the user's ΔΣ: the chance to add or amend constraints between
+          rounds (identity for a passive user) *)
+}
+
+val passive_user : (Tuple.t -> Tuple.t option) -> user
+(** A user that inspects but never edits the CFDs. *)
+
+type algorithm = Batch | Incremental of Inc_repair.ordering
+
+type round_log = {
+  round : int;  (** 1-based *)
+  report : Sampling.report;
+  corrections : int;  (** sample tuples the user fixed this round *)
+}
+
+type outcome = {
+  repair : Relation.t;
+  sigma : Dq_cfd.Cfd.t array;  (** possibly user-revised *)
+  rounds : round_log list;  (** in round order *)
+  accepted : bool;  (** whether the final round passed the test *)
+}
+
+val clean :
+  ?max_rounds:int ->
+  ?seed:int ->
+  ?algorithm:algorithm ->
+  sampling:Sampling.config ->
+  user:user ->
+  Relation.t ->
+  Dq_cfd.Cfd.t array ->
+  outcome
+(** Run the loop for at most [max_rounds] (default 5) rounds.  The input
+    database is not modified. *)

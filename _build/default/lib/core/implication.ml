@@ -1,0 +1,226 @@
+open Dq_relation
+open Dq_cfd
+
+exception Budget_exceeded
+
+(* ---- syntactic subsumption ------------------------------------------- *)
+
+let subsumes psi phi =
+  Cfd.rhs psi = Cfd.rhs phi
+  && Cfd.lhs psi = Cfd.lhs phi
+  && Pattern.equal (Cfd.rhs_pattern psi) (Cfd.rhs_pattern phi)
+  && Array.for_all2
+       (fun p_psi p_phi -> Pattern.subsumes p_phi p_psi)
+       (Cfd.lhs_patterns psi) (Cfd.lhs_patterns phi)
+
+(* ---- refutation search ------------------------------------------------ *)
+
+(* Candidate values per attribute: constants mentioned anywhere in Σ ∪ {φ}
+   at that position, plus two fresh values (two, so a wildcard-RHS
+   violation can give the two tuples distinct "don't care" values). *)
+let domains schema sigma phi =
+  let arity = Schema.arity schema in
+  let consts = Array.init arity (fun _ -> ref []) in
+  let note pos = function
+    | Pattern.Wild -> ()
+    | Pattern.Const v ->
+      if not (List.exists (Value.equal v) !(consts.(pos))) then
+        consts.(pos) := v :: !(consts.(pos))
+  in
+  let note_clause c =
+    Array.iteri
+      (fun i pos -> note pos (Cfd.lhs_patterns c).(i))
+      (Cfd.lhs c);
+    note (Cfd.rhs c) (Cfd.rhs_pattern c)
+  in
+  Array.iter note_clause sigma;
+  note_clause phi;
+  Array.mapi
+    (fun pos cs ->
+      let fresh k =
+        let rec pick i =
+          let v = Value.string (Printf.sprintf "#fresh%d.%d" k i) in
+          if List.exists (Value.equal v) !cs then pick (i + 1) else v
+        in
+        pick pos
+      in
+      fresh 1 :: fresh 2 :: List.rev !cs)
+    consts
+
+(* One constraint over a pair of tuples; [check] is called once all the
+   positions it reads are assigned (values are never null here). *)
+type constr = { reads : (int * int) list (* (tuple index, position) *); check : Value.t array -> Value.t array -> bool }
+
+let tuple_satisfies_constant c which =
+  let lhs = Cfd.lhs c and pats = Cfd.lhs_patterns c in
+  let a =
+    match Cfd.rhs_pattern c with
+    | Pattern.Const a -> a
+    | Pattern.Wild -> assert false
+  in
+  {
+    reads =
+      List.map (fun pos -> (which, pos)) (Array.to_list lhs)
+      @ [ (which, Cfd.rhs c) ];
+    check =
+      (fun t1 t2 ->
+        let t = if which = 0 then t1 else t2 in
+        let matches =
+          let rec loop i =
+            i >= Array.length lhs
+            || (Pattern.matches t.(lhs.(i)) pats.(i) && loop (i + 1))
+          in
+          loop 0
+        in
+        (not matches) || Value.equal t.(Cfd.rhs c) a);
+  }
+
+let pair_satisfies_wild c =
+  let lhs = Cfd.lhs c and pats = Cfd.lhs_patterns c in
+  let reads =
+    List.concat_map
+      (fun pos -> [ (0, pos); (1, pos) ])
+      (Array.to_list lhs @ [ Cfd.rhs c ])
+  in
+  {
+    reads;
+    check =
+      (fun t1 t2 ->
+        let joint_match =
+          let rec loop i =
+            i >= Array.length lhs
+            || (Value.equal t1.(lhs.(i)) t2.(lhs.(i))
+                && Pattern.matches t1.(lhs.(i)) pats.(i)
+                && loop (i + 1))
+          in
+          loop 0
+        in
+        (not joint_match) || Value.equal t1.(Cfd.rhs c) t2.(Cfd.rhs c));
+  }
+
+(* Goal constraints: the pair must violate φ. *)
+let violation_goals phi ~pair =
+  let lhs = Cfd.lhs phi and pats = Cfd.lhs_patterns phi in
+  let lhs_match which =
+    {
+      reads = List.map (fun pos -> (which, pos)) (Array.to_list lhs);
+      check =
+        (fun t1 t2 ->
+          let t = if which = 0 then t1 else t2 in
+          let rec loop i =
+            i >= Array.length lhs
+            || (Pattern.matches t.(lhs.(i)) pats.(i) && loop (i + 1))
+          in
+          loop 0);
+    }
+  in
+  match Cfd.rhs_pattern phi with
+  | Pattern.Const a ->
+    [
+      lhs_match 0;
+      {
+        reads = [ (0, Cfd.rhs phi) ];
+        check = (fun t1 _ -> not (Value.equal t1.(Cfd.rhs phi) a));
+      };
+    ]
+  | Pattern.Wild ->
+    assert pair;
+    [
+      lhs_match 0;
+      lhs_match 1;
+      {
+        reads =
+          List.concat_map (fun pos -> [ (0, pos); (1, pos) ]) (Array.to_list lhs);
+        check =
+          (fun t1 t2 ->
+            Array.for_all (fun pos -> Value.equal t1.(pos) t2.(pos)) lhs);
+      };
+      {
+        reads = [ (0, Cfd.rhs phi); (1, Cfd.rhs phi) ];
+        check = (fun t1 t2 -> not (Value.equal t1.(Cfd.rhs phi) t2.(Cfd.rhs phi)));
+      };
+    ]
+
+let counterexample ?(node_budget = 200_000) schema sigma phi =
+  let arity = Schema.arity schema in
+  let pair = not (Cfd.is_constant phi) in
+  let doms = domains schema sigma phi in
+  let constants = Array.to_list sigma |> List.filter Cfd.is_constant in
+  let wilds = Array.to_list sigma |> List.filter (fun c -> not (Cfd.is_constant c)) in
+  let constraints =
+    List.concat_map
+      (fun c ->
+        if pair then [ tuple_satisfies_constant c 0; tuple_satisfies_constant c 1 ]
+        else [ tuple_satisfies_constant c 0 ])
+      constants
+    @ (if pair then List.map pair_satisfies_wild wilds else [])
+    @ violation_goals phi ~pair
+  in
+  (* Assignment order: φ's attributes first (they are the most
+     constrained), then the rest; tuple 0 before tuple 1 per attribute. *)
+  let attr_order =
+    let phi_attrs = Cfd.attrs phi in
+    phi_attrs @ List.filter (fun p -> not (List.mem p phi_attrs)) (List.init arity Fun.id)
+  in
+  let slots =
+    (* (tuple index, position) in assignment order *)
+    List.concat_map
+      (fun pos -> if pair then [ (0, pos); (1, pos) ] else [ (0, pos) ])
+      attr_order
+  in
+  let slot_index = Hashtbl.create 64 in
+  List.iteri (fun i slot -> Hashtbl.add slot_index slot i) slots;
+  (* For each constraint, the assignment step after which it is decidable. *)
+  let ready = Array.make (List.length slots) [] in
+  List.iter
+    (fun c ->
+      let last =
+        List.fold_left
+          (fun acc read -> max acc (Hashtbl.find slot_index read))
+          0 c.reads
+      in
+      ready.(last) <- c :: ready.(last))
+    constraints;
+  let t1 = Array.make arity Value.null and t2 = Array.make arity Value.null in
+  let nodes = ref 0 in
+  let slots = Array.of_list slots in
+  let rec assign step =
+    if step >= Array.length slots then true
+    else begin
+      let which, pos = slots.(step) in
+      let target = if which = 0 then t1 else t2 in
+      List.exists
+        (fun v ->
+          incr nodes;
+          if !nodes > node_budget then raise Budget_exceeded;
+          target.(pos) <- v;
+          List.for_all (fun c -> c.check t1 t2) ready.(step) && assign (step + 1))
+        doms.(pos)
+    end
+  in
+  if assign 0 then
+    if pair then Some (Array.copy t1, Array.copy t2)
+    else Some (Array.copy t1, Array.copy t1)
+  else None
+
+let implies ?node_budget schema sigma phi =
+  Option.is_none (counterexample ?node_budget schema sigma phi)
+
+let minimize ?node_budget schema sigma =
+  let clauses = Array.to_list sigma in
+  let keep = Array.make (List.length clauses) true in
+  List.iteri
+    (fun i phi ->
+      let others =
+        List.filteri (fun j _ -> j <> i && keep.(j)) clauses
+      in
+      let implied =
+        List.exists (fun psi -> subsumes psi phi) others
+        ||
+        match implies ?node_budget schema (Array.of_list others) phi with
+        | implied -> implied
+        | exception Budget_exceeded -> false
+      in
+      if implied then keep.(i) <- false)
+    clauses;
+  Cfd.number (List.filteri (fun i _ -> keep.(i)) clauses)

@@ -1,0 +1,51 @@
+(** Implication analysis for CFDs — the companion reasoning machinery of
+    the CFD paper [6] that Section 2 relies on ("satisfiability and
+    implication analyses of CFDs").
+
+    [Σ ⊨ φ] holds iff every instance satisfying Σ also satisfies φ.
+    Implication lets a cleaning pipeline drop redundant clauses before
+    repair (every pattern row is a constraint, and mined or hand-written
+    tableaus often overlap) and answer "is this new rule already
+    enforced?" during the user-feedback loop.
+
+    The decision procedure is a refutation search, sound and complete for
+    the normal form used here: to check [Σ ⊨ (X → A, tp)], search for a
+    one- or two-tuple counterexample instance over the finite value space
+    of constants mentioned in Σ ∪ {φ} plus fresh values (two tuples
+    suffice because a CFD violation involves at most two tuples).  Like
+    satisfiability this is exponential in the schema width in the worst
+    case, and polynomial for a fixed schema. *)
+
+open Dq_relation
+
+exception Budget_exceeded
+(** The refutation search gives up after [node_budget] assignments — wide
+    schemas with large pattern vocabularies can defeat it. *)
+
+val implies :
+  ?node_budget:int -> Schema.t -> Dq_cfd.Cfd.t array -> Dq_cfd.Cfd.t -> bool
+(** [implies schema sigma phi] decides [Σ ⊨ φ].  An unsatisfiable Σ
+    implies everything, vacuously.  @raise Budget_exceeded when the search
+    exhausts [node_budget] (default 200,000) nodes undecided. *)
+
+val counterexample :
+  ?node_budget:int ->
+  Schema.t ->
+  Dq_cfd.Cfd.t array ->
+  Dq_cfd.Cfd.t ->
+  (Value.t array * Value.t array) option
+(** A one- or two-tuple witness: both tuples satisfy Σ (they may be the
+    same tuple for a constant-RHS φ) while jointly violating φ.
+    @raise Budget_exceeded as above. *)
+
+val subsumes : Dq_cfd.Cfd.t -> Dq_cfd.Cfd.t -> bool
+(** Cheap syntactic sufficient condition: [subsumes psi phi] implies
+    [{psi} ⊨ phi] (same embedded FD, ψ's LHS patterns at least as general,
+    identical RHS patterns — a more specific row is implied by a more
+    general one). *)
+
+val minimize : ?node_budget:int -> Schema.t -> Dq_cfd.Cfd.t array -> Dq_cfd.Cfd.t array
+(** A cover of Σ: clauses implied by the remaining ones are dropped
+    (greedy, first-to-last; syntactic subsumption first, refutation search
+    second, keeping the clause when the budget runs out), then the
+    survivors are renumbered.  The result implies the same constraints. *)

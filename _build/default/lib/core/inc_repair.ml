@@ -1,0 +1,99 @@
+open Dq_relation
+open Dq_cfd
+
+type ordering = Linear | By_violations | By_weight
+
+let ordering_name = function
+  | Linear -> "L-IncRepair"
+  | By_violations -> "V-IncRepair"
+  | By_weight -> "W-IncRepair"
+
+type stats = {
+  tuples_processed : int;
+  tuples_changed : int;
+  cells_changed : int;
+  nulls_introduced : int;
+  runtime : float;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<h>processed=%d changed=%d cells_changed=%d nulls=%d runtime=%.3fs@]"
+    s.tuples_processed s.tuples_changed s.cells_changed s.nulls_introduced
+    s.runtime
+
+(* Order ΔD for processing.  V-INCREPAIR scores each tuple by the number of
+   violations it incurs in D ⊕ ΔD (both against the clean base and against
+   its fellow insertions); W-INCREPAIR by descending total weight.  Sorts
+   are stable, so ties keep the input order. *)
+let order_tuples ordering base delta sigma =
+  match ordering with
+  | Linear -> delta
+  | By_weight ->
+    List.stable_sort
+      (fun t1 t2 -> Float.compare (Tuple.total_weight t2) (Tuple.total_weight t1))
+      delta
+  | By_violations ->
+    let staging = Relation.copy base in
+    List.iter (Relation.add staging) delta;
+    let counts = Violation.vio_counts staging sigma in
+    let vio t =
+      match Hashtbl.find_opt counts (Tuple.tid t) with Some n -> n | None -> 0
+    in
+    List.stable_sort (fun t1 t2 -> Int.compare (vio t1) (vio t2)) delta
+
+let run ?k ?max_candidates ?use_cluster_index ?(ordering = By_violations) base
+    delta sigma =
+  let started = Unix.gettimeofday () in
+  let repr = Relation.copy base in
+  let env = Tuple_resolve.make_env ?k ?max_candidates ?use_cluster_index repr sigma in
+  let delta = order_tuples ordering base delta sigma in
+  let tuples_changed = ref 0 in
+  let cells_changed = ref 0 in
+  let nulls = ref 0 in
+  List.iter
+    (fun t ->
+      let rt = Tuple_resolve.resolve env t in
+      let diffs = Tuple.diff_positions t rt in
+      if diffs <> [] then incr tuples_changed;
+      cells_changed := !cells_changed + List.length diffs;
+      List.iter
+        (fun pos -> if Value.is_null (Tuple.get rt pos) then incr nulls)
+        diffs;
+      Relation.add repr rt;
+      Tuple_resolve.register env rt)
+    delta;
+  ( repr,
+    {
+      tuples_processed = List.length delta;
+      tuples_changed = !tuples_changed;
+      cells_changed = !cells_changed;
+      nulls_introduced = !nulls;
+      runtime = Unix.gettimeofday () -. started;
+    } )
+
+let repair_inserts ?k ?max_candidates ?use_cluster_index ?ordering base delta
+    sigma =
+  run ?k ?max_candidates ?use_cluster_index ?ordering base delta sigma
+
+let consistent_core rel sigma =
+  let counts = Violation.vio_counts rel sigma in
+  Relation.fold
+    (fun acc t ->
+      if Hashtbl.mem counts (Tuple.tid t) then acc else Tuple.tid t :: acc)
+    [] rel
+  |> List.rev
+
+let repair_dirty ?k ?max_candidates ?use_cluster_index ?ordering rel sigma =
+  let core = consistent_core rel sigma in
+  let core_set = Hashtbl.create (List.length core) in
+  List.iter (fun tid -> Hashtbl.add core_set tid ()) core;
+  let base = Relation.create (Relation.schema rel) in
+  let delta = ref [] in
+  Relation.iter
+    (fun t ->
+      if Hashtbl.mem core_set (Tuple.tid t) then Relation.add base (Tuple.copy t)
+      else delta := Tuple.copy t :: !delta)
+    rel;
+  run ?k ?max_candidates ?use_cluster_index ?ordering base (List.rev !delta)
+    sigma

@@ -1,0 +1,61 @@
+(** INCREPAIR (Section 5, Figure 6): incremental repairing, plus its
+    Section-5.3 application to whole-database (non-incremental) repair.
+
+    Given a clean database [D] and insertions [ΔD], each tuple is repaired
+    by {!Tuple_resolve} in some order and added to the repair, so that the
+    growing repair supplies ever more context for later tuples; [D] itself
+    is never modified.  Deletions never create violations and need no
+    repairing (Section 3.3).
+
+    The processing {e ordering} matters for quality (Section 5.2):
+    - {!Linear} (L-INCREPAIR): the given order, no extra cost;
+    - {!By_violations} (V-INCREPAIR): ascending [vio(t)], so the most
+      trustworthy tuples enter the repair first;
+    - {!By_weight} (W-INCREPAIR): descending total tuple weight [wt(t)]. *)
+
+open Dq_relation
+
+type ordering = Linear | By_violations | By_weight
+
+val ordering_name : ordering -> string
+
+type stats = {
+  tuples_processed : int;
+  tuples_changed : int;  (** tuples the resolver modified *)
+  cells_changed : int;
+  nulls_introduced : int;
+  runtime : float;  (** wall-clock seconds *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val repair_inserts :
+  ?k:int ->
+  ?max_candidates:int ->
+  ?use_cluster_index:bool ->
+  ?ordering:ordering ->
+  Relation.t ->
+  Tuple.t list ->
+  Dq_cfd.Cfd.t array ->
+  Relation.t * stats
+(** [repair_inserts d delta sigma] assumes [d |= sigma] and returns a fresh
+    relation [d ⊕ ΔD_repr] satisfying [sigma], leaving [d]'s tuples
+    untouched, together with statistics about the repaired insertions.
+    The tuples of [delta] must carry tids distinct from [d]'s and from each
+    other.  Default ordering is {!By_violations}. *)
+
+val consistent_core : Relation.t -> Dq_cfd.Cfd.t array -> int list
+(** Tids of tuples involved in no violation — the efficiently computable
+    stand-in for a maximal consistent subset (finding a truly maximal one
+    is NP-hard, Proposition 5.4). *)
+
+val repair_dirty :
+  ?k:int ->
+  ?max_candidates:int ->
+  ?use_cluster_index:bool ->
+  ?ordering:ordering ->
+  Relation.t ->
+  Dq_cfd.Cfd.t array ->
+  Relation.t * stats
+(** Section 5.3: repair a dirty database with INCREPAIR by extracting the
+    consistent core and re-inserting the remaining tuples one at a time. *)

@@ -1,0 +1,29 @@
+open Dq_relation
+
+type 'a t = { slots : 'a Vec.t; capacity : int; mutable seen : int; rng : Random.State.t }
+
+let create ?(seed = 42) capacity =
+  if capacity < 0 then invalid_arg "Reservoir.create: negative capacity";
+  {
+    slots = Vec.create ();
+    capacity;
+    seen = 0;
+    rng = Random.State.make [| seed |];
+  }
+
+let add r x =
+  r.seen <- r.seen + 1;
+  if Vec.length r.slots < r.capacity then Vec.push r.slots x
+  else if r.capacity > 0 then begin
+    let j = Random.State.int r.rng r.seen in
+    if j < r.capacity then Vec.set r.slots j x
+  end
+
+let seen r = r.seen
+
+let contents r = Vec.to_list r.slots
+
+let sample_list ?seed k l =
+  let r = create ?seed k in
+  List.iter (add r) l;
+  contents r

@@ -1,0 +1,22 @@
+(** Reservoir sampling (Vitter's Algorithm R [33]): draw a uniform sample of
+    fixed size from a stream in one pass and constant space — how the
+    sampling module draws from each stratum. *)
+
+type 'a t
+
+val create : ?seed:int -> int -> 'a t
+(** [create k] prepares a reservoir of capacity [k].
+    @raise Invalid_argument if [k < 0]. *)
+
+val add : 'a t -> 'a -> unit
+(** Offer one stream element. *)
+
+val seen : 'a t -> int
+(** Number of elements offered so far. *)
+
+val contents : 'a t -> 'a list
+(** The current sample, in an unspecified order; at most [k] elements, and
+    exactly [min k (seen t)]. *)
+
+val sample_list : ?seed:int -> int -> 'a list -> 'a list
+(** One-shot convenience: a uniform sample of size [min k (length l)]. *)

@@ -1,0 +1,63 @@
+(** The sampling module of Section 6: stratified inspection of a repair
+    with a statistical accuracy guarantee.
+
+    A repair [Repr] of a dirty database [D] is partitioned into strata by
+    how suspicious each tuple is — its violation count [vio(t)] in [D], or
+    alternatively the cost of the changes the repair made to it.  A sample
+    of [k] tuples is drawn with a (non-decreasing) fraction [ξᵢ] from each
+    stratum, so the user inspects proportionally more of the tuples most
+    likely to be wrong.  From the user's verdicts a weighted inaccuracy
+    rate [p̂] is computed and the one-sided z-test of {!Stats} decides
+    whether the repair's inaccuracy rate is below ε at confidence δ. *)
+
+open Dq_relation
+
+type strategy =
+  | By_violations of int list
+      (** stratum boundaries on [vio(t)] in the original database,
+          ascending; [m-1] boundaries make [m] strata *)
+  | By_cost of float list
+      (** stratum boundaries on [cost(t', t)], the repair cost of the
+          tuple *)
+
+type config = {
+  epsilon : float;  (** acceptable inaccuracy rate bound ε *)
+  confidence : float;  (** confidence level δ *)
+  sample_size : int;  (** total tuples the user is asked to inspect, k *)
+  fractions : float array;
+      (** ξ₁ … ξ_m, summing to 1, non-decreasing: the share of the sample
+          drawn from each stratum *)
+  strategy : strategy;
+}
+
+val default_config : ?epsilon:float -> ?confidence:float -> ?sample_size:int -> unit -> config
+(** ε = 0.05, δ = 0.95, k = 200, three strata on [vio] boundaries [1; 3]
+    with fractions [0.2; 0.3; 0.5]. *)
+
+val validate_config : config -> (unit, string) result
+
+type report = {
+  sample : (int * Tuple.t) list;  (** (stratum, repaired tuple) inspected *)
+  strata_sizes : int array;  (** |Pᵢ| *)
+  drawn : int array;  (** tuples drawn from each stratum *)
+  inaccurate : int array;  (** eᵢ: user-rejected tuples per stratum *)
+  p_hat : float;  (** weighted inaccuracy estimate *)
+  z : float;  (** test statistic *)
+  z_critical : float;  (** z_α *)
+  accepted : bool;  (** z ≤ −z_α: inaccuracy < ε at confidence δ *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val inspect :
+  ?seed:int ->
+  config ->
+  original:Relation.t ->
+  repair:Relation.t ->
+  sigma:Dq_cfd.Cfd.t array ->
+  oracle:(Tuple.t -> bool) ->
+  report
+(** Draw and score a stratified sample.  [oracle t'] is the user's verdict
+    on a repaired tuple: [true] means inaccurate.  [original] supplies the
+    pre-repair tuples for stratification.
+    @raise Invalid_argument on an invalid configuration. *)

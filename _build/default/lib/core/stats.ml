@@ -1,0 +1,82 @@
+(* Abramowitz & Stegun 7.1.26: erf via a degree-5 polynomial in
+   1/(1+0.3275911 x); |error| < 1.5e-7 — ample for test thresholds. *)
+let erf x =
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let a1 = 0.254829592 and a2 = -0.284496736 and a3 = 1.421413741 in
+  let a4 = -1.453152027 and a5 = 1.061405429 and p = 0.3275911 in
+  let t = 1. /. (1. +. (p *. x)) in
+  let poly = ((((((a5 *. t) +. a4) *. t +. a3) *. t +. a2) *. t) +. a1) *. t in
+  sign *. (1. -. (poly *. exp (-.(x *. x))))
+
+let normal_cdf x = 0.5 *. (1. +. erf (x /. Float.sqrt 2.))
+
+(* Acklam's inverse-normal rational approximation, then one Halley
+   refinement step using the CDF above. *)
+let normal_quantile p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Stats.normal_quantile: p must be in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let horner coeffs x =
+    Array.fold_left (fun acc coef -> (acc *. x) +. coef) 0. coeffs
+  in
+  let p_low = 0.02425 in
+  let tail q sign =
+    sign *. horner c q /. ((horner d q *. q) +. 1.)
+  in
+  let x =
+    if p < p_low then tail (Float.sqrt (-2. *. log p)) 1.
+    else if p > 1. -. p_low then tail (Float.sqrt (-2. *. log (1. -. p))) (-1.)
+    else begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      horner a r *. q /. ((horner b r *. r) +. 1.)
+    end
+  in
+  (* One Halley step: sharpen x against the CDF. *)
+  let e = normal_cdf x -. p in
+  let u = e *. Float.sqrt (2. *. Float.pi) *. exp (x *. x /. 2.) in
+  x -. (u /. (1. +. (x *. u /. 2.)))
+
+let z_statistic ~p_hat ~epsilon ~sample_size =
+  if not (epsilon > 0. && epsilon < 1.) then
+    invalid_arg "Stats.z_statistic: epsilon must be in (0,1)";
+  if sample_size <= 0 then
+    invalid_arg "Stats.z_statistic: sample_size must be positive";
+  (p_hat -. epsilon)
+  /. Float.sqrt (epsilon *. (1. -. epsilon) /. float_of_int sample_size)
+
+let critical_value ~confidence = normal_quantile confidence
+
+let accept ~p_hat ~epsilon ~confidence ~sample_size =
+  z_statistic ~p_hat ~epsilon ~sample_size <= -.critical_value ~confidence
+
+let chernoff_sample_size ~epsilon ~confidence ~c =
+  if not (epsilon > 0. && epsilon < 1.) then
+    invalid_arg "Stats.chernoff_sample_size: epsilon must be in (0,1)";
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Stats.chernoff_sample_size: confidence must be in (0,1)";
+  if c < 0 then invalid_arg "Stats.chernoff_sample_size: c must be >= 0";
+  let cf = float_of_int c in
+  let l = log (1. /. (1. -. confidence)) in
+  let k =
+    (cf /. epsilon)
+    +. (l /. epsilon)
+    +. (Float.sqrt ((l *. l) +. (2. *. cf *. l)) /. epsilon)
+  in
+  int_of_float (Float.ceil k) + 1

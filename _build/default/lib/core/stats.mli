@@ -1,0 +1,37 @@
+(** Statistics for the accuracy guarantee of Section 6.
+
+    The sampling module tests the null hypothesis "the proportion of
+    inaccurate data in the repair is at least ε" with a one-sided z-test:
+
+    {v z = (p̂ − ε) / sqrt(ε(1−ε)/k) v}
+
+    and rejects it (i.e. declares the repair accurate enough) when
+    [z ≤ −z_α] at confidence level δ, where [α = 1 − δ].  Theorem 6.1's
+    Chernoff bound sizes the sample so that, with probability ≥ δ, at
+    least [c] inaccurate tuples land in the sample when the true rate is ε
+    — i.e. a failure of the bound is actually observable. *)
+
+val normal_cdf : float -> float
+(** Φ(x), standard normal CDF (Abramowitz–Stegun 7.1.26 approximation of
+    erf; absolute error < 1.5e-7). *)
+
+val normal_quantile : float -> float
+(** Φ⁻¹(p) for p in (0,1) (Acklam's rational approximation, refined with
+    one Halley step; relative error below 1e-9).
+    @raise Invalid_argument outside (0,1). *)
+
+val z_statistic : p_hat:float -> epsilon:float -> sample_size:int -> float
+(** The test statistic above.  @raise Invalid_argument if [epsilon] is not
+    in (0,1) or the sample is empty. *)
+
+val critical_value : confidence:float -> float
+(** [z_α] with [α = 1 − confidence], i.e. [Φ⁻¹(confidence)]. *)
+
+val accept : p_hat:float -> epsilon:float -> confidence:float -> sample_size:int -> bool
+(** Whether the one-sided test rejects the null hypothesis — accepting the
+    repair as having inaccuracy rate below ε at the given confidence. *)
+
+val chernoff_sample_size : epsilon:float -> confidence:float -> c:int -> int
+(** Theorem 6.1: the smallest [k] such that a random sample of size [k]
+    contains at least [c] inaccurate tuples with probability ≥ δ, when the
+    true inaccuracy rate is ε. *)

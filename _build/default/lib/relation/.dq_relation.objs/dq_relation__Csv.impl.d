@@ -1,0 +1,1 @@
+lib/relation/csv.ml: Array Buffer Filename Fun List Printf Relation Schema String Tuple Value Vec

@@ -1,0 +1,1 @@
+lib/relation/database.ml: Hashtbl List Printf Relation Schema

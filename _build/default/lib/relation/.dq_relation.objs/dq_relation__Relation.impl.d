@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array Format Hashtbl List Printf Schema String Tuple Value Vec

@@ -1,0 +1,1 @@
+lib/relation/vec.ml: Array List Obj Printf

@@ -1,0 +1,121 @@
+let parse_string text =
+  let n = String.length text in
+  let rows = Vec.create () in
+  let row = Vec.create () in
+  let cell = Buffer.create 32 in
+  let flush_cell () =
+    Vec.push row (Buffer.contents cell);
+    Buffer.clear cell
+  in
+  let flush_row () =
+    flush_cell ();
+    Vec.push rows (Vec.to_list row);
+    Vec.clear row
+  in
+  let rec plain i =
+    if i >= n then (if Vec.length row > 0 || Buffer.length cell > 0 then flush_row ())
+    else
+      match text.[i] with
+      | ',' ->
+        flush_cell ();
+        plain (i + 1)
+      | '\n' ->
+        flush_row ();
+        plain (i + 1)
+      | '\r' when i + 1 < n && text.[i + 1] = '\n' ->
+        flush_row ();
+        plain (i + 2)
+      | '"' when Buffer.length cell = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char cell c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv.parse_string: unterminated quoted field"
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+        Buffer.add_char cell '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char cell c;
+        quoted (i + 1)
+  in
+  plain 0;
+  Vec.to_list rows
+
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape_cell s =
+  if needs_quoting s then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let rows_to_string rows =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string b (String.concat "," (List.map escape_cell row));
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let load_string ?(name = "R") text =
+  match parse_string text with
+  | [] -> failwith "Csv.load_string: empty input"
+  | header :: data ->
+    let schema = Schema.make ~name header in
+    let rel = Relation.create schema in
+    List.iteri
+      (fun line row ->
+        if List.length row <> List.length header then
+          failwith
+            (Printf.sprintf "Csv.load_string: row %d has %d cells, expected %d"
+               (line + 2) (List.length row) (List.length header));
+        let values = Array.of_list (List.map Value.of_string row) in
+        ignore (Relation.insert rel values))
+      data;
+    rel
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file ?name path =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Filename.remove_extension (Filename.basename path)
+  in
+  load_string ~name (read_whole_file path)
+
+let save_string rel =
+  let schema = Relation.schema rel in
+  let header = Array.to_list (Schema.attributes schema) in
+  let rows =
+    Relation.fold
+      (fun acc t ->
+        let cells =
+          List.init (Tuple.arity t) (fun i -> Value.to_string (Tuple.get t i))
+        in
+        cells :: acc)
+      [] rel
+  in
+  rows_to_string (header :: List.rev rows)
+
+let save_file rel path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (save_string rel))

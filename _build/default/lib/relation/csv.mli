@@ -1,0 +1,26 @@
+(** Minimal RFC-4180-style CSV reading and writing.
+
+    Supports quoted fields containing commas, double quotes (escaped by
+    doubling) and newlines, and both LF and CRLF line endings.  Empty cells
+    load as {!Value.Null}; numeric-looking cells load as numbers (see
+    {!Value.of_string}). *)
+
+val parse_string : string -> string list list
+(** Parse CSV text into rows of cells.  A trailing newline does not produce
+    an empty row.  @raise Failure on an unterminated quoted field. *)
+
+val escape_cell : string -> string
+(** Quote a cell if it contains a comma, quote or newline. *)
+
+val rows_to_string : string list list -> string
+
+val load_string : ?name:string -> string -> Relation.t
+(** Build a relation from CSV text whose first row is the header (attribute
+    names).  @raise Failure on ragged rows or an empty input. *)
+
+val load_file : ?name:string -> string -> Relation.t
+
+val save_string : Relation.t -> string
+(** Render a relation as CSV with a header row. *)
+
+val save_file : Relation.t -> string -> unit

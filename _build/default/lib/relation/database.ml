@@ -1,0 +1,33 @@
+type t = {
+  by_name : (string, Relation.t) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+let create () = { by_name = Hashtbl.create 8; order = [] }
+
+let add db rel =
+  let name = Schema.name (Relation.schema rel) in
+  if Hashtbl.mem db.by_name name then
+    invalid_arg (Printf.sprintf "Database.add: relation %S already present" name);
+  Hashtbl.add db.by_name name rel;
+  db.order <- name :: db.order
+
+let find db name = Hashtbl.find_opt db.by_name name
+
+let find_exn db name = Hashtbl.find db.by_name name
+
+let mem db name = Hashtbl.mem db.by_name name
+
+let names db = List.rev db.order
+
+let iter f db = List.iter (fun name -> f (find_exn db name)) (names db)
+
+let copy db =
+  let db' = create () in
+  iter (fun rel -> add db' (Relation.copy rel)) db;
+  db'
+
+let total_cardinality db =
+  List.fold_left
+    (fun acc name -> acc + Relation.cardinality (find_exn db name))
+    0 (names db)

@@ -1,0 +1,33 @@
+(** Multi-relation databases.
+
+    CFDs constrain one relation at a time (Section 2: "our repairing
+    methods are applicable to general relation schemas by repairing each
+    relation in isolation"), but the paper's future work — cleaning with
+    CFDs {e and} inclusion dependencies — needs several named relations in
+    one scope.  A database is a mutable name → relation map with
+    deterministic iteration order. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Relation.t -> unit
+(** Register a relation under its schema's name.
+    @raise Invalid_argument if the name is taken. *)
+
+val find : t -> string -> Relation.t option
+
+val find_exn : t -> string -> Relation.t
+(** @raise Not_found *)
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+(** Registration order. *)
+
+val iter : (Relation.t -> unit) -> t -> unit
+
+val copy : t -> t
+(** Deep copy of every relation. *)
+
+val total_cardinality : t -> int

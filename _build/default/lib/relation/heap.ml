@@ -1,0 +1,54 @@
+type 'a t = (float * 'a) Vec.t
+
+let create () = Vec.create ()
+
+let length = Vec.length
+
+let is_empty = Vec.is_empty
+
+let swap h i j =
+  let tmp = Vec.get h i in
+  Vec.set h i (Vec.get h j);
+  Vec.set h j tmp
+
+let priority h i = fst (Vec.get h i)
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if priority h i < priority h parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Vec.length h in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && priority h l < priority h !smallest then smallest := l;
+  if r < n && priority h r < priority h !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add h ~priority x =
+  Vec.push h (priority, x);
+  sift_up h (Vec.length h - 1)
+
+let peek_min h = if Vec.is_empty h then None else Some (Vec.get h 0)
+
+let pop_min h =
+  match Vec.length h with
+  | 0 -> None
+  | 1 -> Vec.pop h
+  | n ->
+    let min = Vec.get h 0 in
+    let last = Vec.get h (n - 1) in
+    ignore (Vec.pop h);
+    Vec.set h 0 last;
+    sift_down h 0;
+    Some min
+
+let clear = Vec.clear

@@ -1,0 +1,23 @@
+(** Binary min-heaps with explicit float priorities.
+
+    Used for best-first traversal of cluster trees ({!Dq_core.Cluster_index})
+    and for cost-ordered candidate selection in the repairing algorithms. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> 'a -> unit
+(** Insert an element with the given priority (lower pops first). *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the element with the smallest priority; ties are broken
+    arbitrarily. *)
+
+val peek_min : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  attrs : string array;
+  positions : (string, int) Hashtbl.t;
+}
+
+let make ~name attrs =
+  let attrs = Array.of_list attrs in
+  if Array.length attrs = 0 then
+    invalid_arg "Schema.make: a schema needs at least one attribute";
+  let positions = Hashtbl.create (Array.length attrs) in
+  Array.iteri
+    (fun i a ->
+      if String.equal a "" then invalid_arg "Schema.make: empty attribute name";
+      if Hashtbl.mem positions a then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S" a);
+      Hashtbl.add positions a i)
+    attrs;
+  { name; attrs; positions }
+
+let name s = s.name
+
+let arity s = Array.length s.attrs
+
+let attributes s = Array.copy s.attrs
+
+let attribute s i =
+  if i < 0 || i >= Array.length s.attrs then
+    invalid_arg (Printf.sprintf "Schema.attribute: position %d out of bounds" i);
+  s.attrs.(i)
+
+let position s a = Hashtbl.find_opt s.positions a
+
+let position_exn s a =
+  match position s a with Some i -> i | None -> raise Not_found
+
+let mem s a = Hashtbl.mem s.positions a
+
+let equal s1 s2 =
+  String.equal s1.name s2.name
+  && Array.length s1.attrs = Array.length s2.attrs
+  && Array.for_all2 String.equal s1.attrs s2.attrs
+
+let pp ppf s =
+  Format.fprintf ppf "%s(%s)" s.name
+    (String.concat ", " (Array.to_list s.attrs))

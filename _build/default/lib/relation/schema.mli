@@ -1,0 +1,37 @@
+(** Relation schemas.
+
+    A schema is a relation name plus an ordered list of attribute names
+    ([attr(R)] in the paper).  Attribute positions are the canonical way the
+    rest of the library refers to attributes; names are resolved once, at the
+    boundary. *)
+
+type t
+
+val make : name:string -> string list -> t
+(** [make ~name attrs] builds a schema.
+    @raise Invalid_argument on duplicate or empty attribute names. *)
+
+val name : t -> string
+
+val arity : t -> int
+(** Number of attributes. *)
+
+val attributes : t -> string array
+(** Attribute names in declaration order.  The returned array is fresh. *)
+
+val attribute : t -> int -> string
+(** Name of the attribute at a position.  @raise Invalid_argument if out of
+    bounds. *)
+
+val position : t -> string -> int option
+(** Position of an attribute by name. *)
+
+val position_exn : t -> string -> int
+(** @raise Not_found if the attribute does not exist. *)
+
+val mem : t -> string -> bool
+
+val equal : t -> t -> bool
+(** Same name, same attributes in the same order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type t = { tid : int; values : Value.t array; weights : float array }
+
+let check_weight w =
+  if not (w >= 0. && w <= 1.) then
+    invalid_arg (Printf.sprintf "Tuple: weight %g outside [0,1]" w)
+
+let create ?weights ~tid values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Tuple.create: empty tuple";
+  let weights =
+    match weights with
+    | None -> Array.make n 1.0
+    | Some w ->
+      if Array.length w <> n then
+        invalid_arg "Tuple.create: weights/values length mismatch";
+      Array.iter check_weight w;
+      Array.copy w
+  in
+  { tid; values = Array.copy values; weights }
+
+let tid t = t.tid
+
+let arity t = Array.length t.values
+
+let get t i = t.values.(i)
+
+let set t i v = t.values.(i) <- v
+
+let weight t i = t.weights.(i)
+
+let set_weight t i w =
+  check_weight w;
+  t.weights.(i) <- w
+
+let total_weight t = Array.fold_left ( +. ) 0. t.weights
+
+let values t = Array.copy t.values
+
+let project t positions = Array.map (fun i -> t.values.(i)) positions
+
+let copy ?tid:tid' t =
+  {
+    tid = (match tid' with Some i -> i | None -> t.tid);
+    values = Array.copy t.values;
+    weights = Array.copy t.weights;
+  }
+
+let equal_values t1 t2 =
+  Array.length t1.values = Array.length t2.values
+  && Array.for_all2 Value.equal t1.values t2.values
+
+let diff_positions t1 t2 =
+  if Array.length t1.values <> Array.length t2.values then
+    invalid_arg "Tuple.diff_positions: arity mismatch";
+  let out = ref [] in
+  for i = Array.length t1.values - 1 downto 0 do
+    if not (Value.equal t1.values.(i) t2.values.(i)) then out := i :: !out
+  done;
+  !out
+
+let pp schema ppf t =
+  Format.fprintf ppf "@[<h>#%d(" t.tid;
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%s=%a" (Schema.attribute schema i) Value.pp v)
+    t.values;
+  Format.fprintf ppf ")@]"

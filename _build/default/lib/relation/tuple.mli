@@ -1,0 +1,53 @@
+(** Tuples with per-attribute confidence weights.
+
+    Following Section 3.2 of the paper, every attribute [A] of every tuple
+    [t] carries a weight [w(t,A)] in [0,1] reflecting the user's confidence
+    in the accuracy of [t[A]].  When no weight information is available all
+    weights default to 1 and the algorithms fall back to violation counts.
+
+    Tuples carry a stable identifier [tid] so that a tuple can be tracked
+    through the repair process even as its values change (Section 3.1). *)
+
+type t
+
+val create : ?weights:float array -> tid:int -> Value.t array -> t
+(** [create ~tid values] makes a tuple.  [values] is copied.  [weights]
+    defaults to all-1 and must have the same length as [values].
+    @raise Invalid_argument on a length mismatch or a weight outside [0,1]. *)
+
+val tid : t -> int
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+(** Value at an attribute position. *)
+
+val set : t -> int -> Value.t -> unit
+(** In-place value modification — the repair operation of Section 3.1. *)
+
+val weight : t -> int -> float
+(** [w(t,A)] for the attribute at the given position. *)
+
+val set_weight : t -> int -> float -> unit
+(** @raise Invalid_argument if the weight is outside [0,1]. *)
+
+val total_weight : t -> float
+(** [wt(t)]: the sum of attribute weights, used by W-INCREPAIR's ordering. *)
+
+val values : t -> Value.t array
+(** A fresh copy of the value array. *)
+
+val project : t -> int array -> Value.t array
+(** Values at the given positions, in order. *)
+
+val copy : ?tid:int -> t -> t
+(** Deep copy; optionally renumbered. *)
+
+val equal_values : t -> t -> bool
+(** Position-wise strict value equality (weights and tids ignored). *)
+
+val diff_positions : t -> t -> int list
+(** Positions at which the two tuples hold different values (strict
+    equality), i.e. the attribute-level difference underlying [dif]. *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit

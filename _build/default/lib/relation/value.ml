@@ -1,0 +1,69 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+
+let null = Null
+
+let string s = String s
+
+let int i = Int i
+
+let float f = Float f
+
+let is_null = function Null -> true | Int _ | Float _ | String _ -> false
+
+let equal v1 v2 =
+  match v1, v2 with
+  | Null, Null -> true
+  | Int i, Int j -> i = j
+  | Float f, Float g -> Float.equal f g
+  | String s, String t -> String.equal s t
+  | (Null | Int _ | Float _ | String _), _ -> false
+
+let equal_null_eq v1 v2 =
+  match v1, v2 with
+  | Null, _ | _, Null -> true
+  | _, _ -> equal v1 v2
+
+let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 2 | String _ -> 3
+
+let compare v1 v2 =
+  match v1, v2 with
+  | Null, Null -> 0
+  | Int i, Int j -> Int.compare i j
+  | Float f, Float g -> Float.compare f g
+  | String s, String t -> String.compare s t
+  | _, _ -> Int.compare (rank v1) (rank v2)
+
+let hash = function
+  | Null -> 17
+  | Int i -> Hashtbl.hash (1, i)
+  | Float f -> Hashtbl.hash (2, f)
+  | String s -> Hashtbl.hash (3, s)
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%g" f
+
+let to_string = function
+  | Null -> ""
+  | Int i -> string_of_int i
+  | Float f -> float_to_string f
+  | String s -> s
+
+let to_display = function Null -> "\xe2\x8a\xa5" | v -> to_string v
+
+let of_string s =
+  if String.equal s "" then Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> String s)
+
+let pp ppf v = Format.pp_print_string ppf (to_display v)

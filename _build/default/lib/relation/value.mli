@@ -1,0 +1,57 @@
+(** Attribute values.
+
+    The paper's data model (Section 2) treats attribute values as constants
+    drawn from attribute domains, plus a distinguished [null] used when a
+    repair cannot settle on a certain value (Section 3.1).  We provide typed
+    constants (strings, integers, floats) because the experimental [order]
+    schema mixes textual and numeric attributes; the cost model (Section 3.2)
+    operates on the textual rendering of a value.
+
+    Null semantics follow the paper's remarks in Section 3.1:
+    - for tuple-to-tuple comparison, [null] equates with anything
+      ({!equal_null_eq});
+    - for matching a data tuple against a pattern tuple, [null] matches
+      nothing (handled in {!Dq_cfd.Pattern}). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+
+val null : t
+
+val string : string -> t
+
+val int : int -> t
+
+val float : float -> t
+
+val is_null : t -> bool
+
+val equal : t -> t -> bool
+(** Strict structural equality; [Null] is only equal to [Null].  [Int] and
+    [Float] denoting the same number are distinct values. *)
+
+val equal_null_eq : t -> t -> bool
+(** Equality under the simple SQL-style null semantics of Section 3.1:
+    evaluates to [true] if either side is [Null], otherwise {!equal}. *)
+
+val compare : t -> t -> int
+(** Total order: [Null] first, then constants ordered within and across
+    constructors ([Int < Float < String]). *)
+
+val hash : t -> int
+
+val to_string : t -> string
+(** Textual rendering used by the cost model and CSV output.  [Null] renders
+    as the empty string. *)
+
+val to_display : t -> string
+(** Like {!to_string} but renders [Null] as ["⊥"], for human-facing output. *)
+
+val of_string : string -> t
+(** Parse a CSV cell: empty string is [Null]; values that read as integers or
+    floats become [Int]/[Float]; anything else is a [String]. *)
+
+val pp : Format.formatter -> t -> unit

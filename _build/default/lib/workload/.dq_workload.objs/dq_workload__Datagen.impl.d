@@ -1,0 +1,1 @@
+lib/workload/datagen.ml: Array Cfd Dq_cfd Dq_relation Entities List Order_schema Pattern Random Relation Schema Value

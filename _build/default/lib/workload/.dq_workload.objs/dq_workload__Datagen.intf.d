@@ -1,0 +1,1 @@
+lib/workload/datagen.mli: Cfd Dq_cfd Dq_relation Entities Relation

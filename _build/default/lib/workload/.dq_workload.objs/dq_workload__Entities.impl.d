@@ -1,0 +1,1 @@
+lib/workload/entities.ml: Array Printf Random String

@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: Dq_relation Format Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/noise.ml: Array Bytes Cfd Char Datagen Dq_cfd Dq_relation Float Hashtbl List Pattern Random Relation Schema String Tuple Value Vkey

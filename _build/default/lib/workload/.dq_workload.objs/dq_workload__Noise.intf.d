@@ -1,0 +1,1 @@
+lib/workload/noise.mli: Datagen Dq_relation Random Relation

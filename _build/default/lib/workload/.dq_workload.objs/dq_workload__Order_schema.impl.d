@@ -1,0 +1,1 @@
+lib/workload/order_schema.ml: Dq_relation Schema

@@ -1,0 +1,1 @@
+lib/workload/order_schema.mli: Dq_relation Schema

@@ -1,0 +1,201 @@
+open Dq_relation
+open Dq_cfd
+
+type params = {
+  n_tuples : int;
+  n_cities : int;
+  n_streets_per_city : int;
+  n_items : int;
+  n_customers : int;
+  tableau_coverage : float;
+  seed : int;
+}
+
+(* Entity pools grow with the data so that group multiplicities (orders per
+   customer, tuples per street) stay in a realistic band instead of every
+   group swelling linearly with |D|. *)
+let default_params ?(n_tuples = 10_000) ?(seed = 7) () =
+  {
+    n_tuples;
+    n_cities = max 20 (n_tuples / 80);
+    n_streets_per_city = 8;
+    n_items = max 60 (n_tuples / 16);
+    n_customers = max 250 (n_tuples * 2 / 5);
+    tableau_coverage = 0.8;
+    seed;
+  }
+
+type dataset = {
+  world : Entities.world;
+  dopt : Relation.t;
+  sigma : Cfd.t array;
+  tableaus : Cfd.Tableau.t list;
+}
+
+let wild = Pattern.Wild
+
+let const s = Pattern.const (Value.of_string s)
+
+let covered coverage i total =
+  (* Deterministic coverage: the first [coverage]·total entities get
+     constant pattern rows. *)
+  float_of_int i < (coverage *. float_of_int total) -. 1e-9
+
+let tableaus_of_world ~coverage (world : Entities.world) =
+  let n_cities = Array.length world.cities in
+  let city_rows f =
+    Array.to_list world.cities
+    |> List.filteri (fun i _ -> covered coverage i n_cities)
+    |> List.map f
+  in
+  let phi1 =
+    Cfd.Tableau.
+      {
+        name = "phi1";
+        lhs_attrs = [ "AC"; "PN" ];
+        rhs_attrs = [ "STR"; "CT"; "ST" ];
+        rows =
+          { lhs = [ wild; wild ]; rhs = [ wild; wild; wild ] }
+          :: city_rows (fun (c : Entities.city) ->
+                 Cfd.Tableau.
+                   {
+                     lhs = [ const c.area_code; wild ];
+                     rhs = [ wild; const c.city_name; const c.state ];
+                   });
+      }
+  in
+  let phi2 =
+    let zip_rows =
+      Array.to_list world.cities
+      |> List.concat_map (fun (c : Entities.city) ->
+             Array.to_list c.streets |> List.map (fun s -> (c, s)))
+      |> fun pairs ->
+      let total = List.length pairs in
+      List.filteri (fun i _ -> covered coverage i total) pairs
+      |> List.map (fun ((c : Entities.city), (s : Entities.street)) ->
+             Cfd.Tableau.
+               {
+                 lhs = [ const s.zip ];
+                 rhs = [ const c.city_name; const c.state ];
+               })
+    in
+    Cfd.Tableau.
+      {
+        name = "phi2";
+        lhs_attrs = [ "zip" ];
+        rhs_attrs = [ "CT"; "ST" ];
+        rows = { lhs = [ wild ]; rhs = [ wild; wild ] } :: zip_rows;
+      }
+  in
+  let phi3 =
+    let n_items = Array.length world.items in
+    let item_rows =
+      Array.to_list world.items
+      |> List.filteri (fun i _ -> covered coverage i n_items)
+      |> List.map (fun (it : Entities.item) ->
+             Cfd.Tableau.
+               {
+                 lhs = [ const it.item_id ];
+                 rhs = [ const it.item_name; const it.price ];
+               })
+    in
+    Cfd.Tableau.
+      {
+        name = "phi3";
+        lhs_attrs = [ "id" ];
+        rhs_attrs = [ "name"; "PR" ];
+        rows = { lhs = [ wild ]; rhs = [ wild; wild ] } :: item_rows;
+      }
+  in
+  let phi4 = Cfd.Tableau.fd ~name:"phi4" ~lhs:[ "CT"; "STR" ] ~rhs:[ "zip" ] in
+  let phi5 =
+    Cfd.Tableau.
+      {
+        name = "phi5";
+        lhs_attrs = [ "ST" ];
+        rhs_attrs = [ "VAT" ];
+        rows =
+          Array.to_list world.states
+          |> List.map (fun (st, rate) ->
+                 Cfd.Tableau.{ lhs = [ const st ]; rhs = [ const rate ] });
+      }
+  in
+  let phi6 =
+    Cfd.Tableau.
+      {
+        name = "phi6";
+        lhs_attrs = [ "CT"; "ST" ];
+        rhs_attrs = [ "AC" ];
+        rows =
+          { lhs = [ wild; wild ]; rhs = [ wild ] }
+          :: city_rows (fun (c : Entities.city) ->
+                 Cfd.Tableau.
+                   {
+                     lhs = [ const c.city_name; const c.state ];
+                     rhs = [ const c.area_code ];
+                   });
+      }
+  in
+  let phi7 =
+    Cfd.Tableau.
+      {
+        name = "phi7";
+        lhs_attrs = [ "AC" ];
+        rhs_attrs = [ "ST" ];
+        rows =
+          { lhs = [ wild ]; rhs = [ wild ] }
+          :: city_rows (fun (c : Entities.city) ->
+                 Cfd.Tableau.
+                   { lhs = [ const c.area_code ]; rhs = [ const c.state ] });
+      }
+  in
+  [ phi1; phi2; phi3; phi4; phi5; phi6; phi7 ]
+
+let generate params =
+  if params.n_tuples <= 0 then
+    invalid_arg "Datagen.generate: n_tuples must be positive";
+  if not (params.tableau_coverage >= 0. && params.tableau_coverage <= 1.) then
+    invalid_arg "Datagen.generate: tableau_coverage must be in [0,1]";
+  let world =
+    Entities.generate ~seed:params.seed ~n_cities:params.n_cities
+      ~n_streets_per_city:params.n_streets_per_city ~n_items:params.n_items
+      ~n_customers:params.n_customers ()
+  in
+  let rng = Random.State.make [| params.seed + 1 |] in
+  let dopt = Relation.create Order_schema.schema in
+  for _ = 1 to params.n_tuples do
+    let customer =
+      world.customers.(Random.State.int rng (Array.length world.customers))
+    in
+    let item = world.items.(Random.State.int rng (Array.length world.items)) in
+    let city = customer.cust_city in
+    let street = customer.cust_street in
+    let values = Array.make (Schema.arity Order_schema.schema) Value.null in
+    let set pos s = values.(pos) <- Value.of_string s in
+    set Order_schema.id item.item_id;
+    set Order_schema.name item.item_name;
+    set Order_schema.pr item.price;
+    set Order_schema.ac customer.cust_ac;
+    set Order_schema.pn customer.cust_pn;
+    set Order_schema.str street.street_name;
+    set Order_schema.ct city.city_name;
+    set Order_schema.st city.state;
+    set Order_schema.zip street.zip;
+    set Order_schema.cty "US";
+    set Order_schema.vat (Entities.vat_of world city.state);
+    set Order_schema.tt item.title;
+    set Order_schema.qtt (string_of_int (1 + Random.State.int rng 9));
+    ignore (Relation.insert dopt values)
+  done;
+  let tableaus = tableaus_of_world ~coverage:params.tableau_coverage world in
+  let sigma =
+    Cfd.number
+      (List.concat_map (Cfd.normalize Order_schema.schema) tableaus)
+  in
+  { world; dopt; sigma; tableaus }
+
+let pattern_row_count ds =
+  List.fold_left
+    (fun acc (tab : Cfd.Tableau.t) ->
+      acc + max 1 (List.length tab.Cfd.Tableau.rows))
+    0 ds.tableaus

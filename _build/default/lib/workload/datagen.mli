@@ -1,0 +1,45 @@
+(** Synthetic dataset generation mirroring Section 7.1.
+
+    [generate] builds a clean database [Dopt] drawn from an entity world
+    ({!Entities}) together with the seven-CFD constraint set Σ the paper's
+    experiments use:
+
+    - φ1: [AC,PN] → [STR,CT,ST]  (Fig. 1, with per-area-code pattern rows)
+    - φ2: [zip] → [CT,ST]        (Fig. 1, with per-zip pattern rows)
+    - φ3: [id] → [name,PR]       (Fig. 2, plus per-item constant rows)
+    - φ4: [CT,STR] → [zip]       (Fig. 2)
+    - φ5: [ST] → [VAT]           (constant rows: tax rate per state)
+    - φ6: [CT,ST] → [AC]         (new, cyclic with φ1)
+    - φ7: [AC] → [ST]            (new, cyclic with φ6)
+
+    [tableau_coverage] controls how many entities are enshrined as
+    constant pattern rows — the paper's tableaus carried 300–5,000 pattern
+    tuples.  [Dopt |= Σ] holds by construction and is asserted in tests. *)
+
+open Dq_relation
+open Dq_cfd
+
+type params = {
+  n_tuples : int;
+  n_cities : int;
+  n_streets_per_city : int;
+  n_items : int;
+  n_customers : int;
+  tableau_coverage : float;  (** fraction of entities given constant rows *)
+  seed : int;
+}
+
+val default_params : ?n_tuples:int -> ?seed:int -> unit -> params
+(** 60 cities × 8 streets, 300 items, 2,000 customers, coverage 0.8. *)
+
+type dataset = {
+  world : Entities.world;
+  dopt : Relation.t;  (** the clean database; [dopt |= sigma] *)
+  sigma : Cfd.t array;  (** numbered normal-form clauses *)
+  tableaus : Cfd.Tableau.t list;  (** the user-facing CFDs *)
+}
+
+val generate : params -> dataset
+
+val pattern_row_count : dataset -> int
+(** Total pattern tuples across the tableaus (each is a constraint). *)

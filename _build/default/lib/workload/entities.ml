@@ -1,0 +1,126 @@
+type street = { street_name : string; zip : string }
+
+type city = {
+  city_name : string;
+  state : string;
+  area_code : string;
+  streets : street array;
+}
+
+type item = { item_id : string; item_name : string; price : string; title : string }
+
+type customer = {
+  cust_ac : string;
+  cust_pn : string;
+  cust_street : street;
+  cust_city : city;
+}
+
+type world = {
+  states : (string * string) array;
+  cities : city array;
+  items : item array;
+  customers : customer array;
+}
+
+let state_pool =
+  [|
+    ("NY", "8.5"); ("PA", "6.0"); ("CA", "7.25"); ("TX", "6.25"); ("IL", "6.25");
+    ("WA", "6.5"); ("MA", "6.25"); ("FL", "6.0"); ("OH", "5.75"); ("GA", "4.0");
+    ("NJ", "6.625"); ("VA", "5.3"); ("MI", "6.0"); ("NC", "4.75"); ("AZ", "5.6");
+    ("TN", "7.0"); ("IN", "7.0"); ("MO", "4.225"); ("MD", "6.0"); ("WI", "5.0");
+  |]
+
+let city_pool =
+  [|
+    "NYC"; "PHI"; "LA"; "Houston"; "Chicago"; "Seattle"; "Boston"; "Miami";
+    "Columbus"; "Atlanta"; "Newark"; "Richmond"; "Detroit"; "Charlotte";
+    "Phoenix"; "Memphis"; "Indy"; "StLouis"; "Baltimore"; "Madison";
+    "Albany"; "Pittsburgh"; "Fresno"; "Austin"; "Peoria"; "Tacoma";
+    "Salem"; "Orlando"; "Dayton"; "Savannah"; "Trenton"; "Norfolk";
+    "Lansing"; "Durham"; "Tucson"; "Knoxville"; "Gary"; "Springfield";
+    "Rockville"; "Racine";
+  |]
+
+let street_pool =
+  [|
+    "Walnut"; "Spruce"; "Canel"; "Broad"; "Oak"; "Maple"; "Cedar"; "Pine";
+    "Elm"; "Main"; "Market"; "Chestnut"; "High"; "Park"; "Lake"; "Hill";
+    "River"; "Church"; "Union"; "Mill"; "Bridge"; "Grove"; "Sunset"; "Forest";
+  |]
+
+let item_name_pool =
+  [|
+    "H. Porter"; "J. Denver"; "Snow White"; "War and Peace"; "OCaml Handbook";
+    "Desk Lamp"; "Tea Kettle"; "Notebook"; "Fountain Pen"; "Road Atlas";
+    "Chess Set"; "Wool Scarf"; "Rain Jacket"; "Field Guide"; "Star Chart";
+    "Coffee Mug"; "Puzzle Box"; "Alarm Clock"; "Hand Drill"; "Paint Set";
+  |]
+
+let title_pool =
+  [| "book"; "toy"; "tool"; "apparel"; "kitchen"; "media"; "office"; "garden" |]
+
+let pick pool i =
+  let base = pool.(i mod Array.length pool) in
+  if i < Array.length pool then base
+  else Printf.sprintf "%s%d" base (i / Array.length pool)
+
+let vat_of world st =
+  let rec search i =
+    if i >= Array.length world.states then raise Not_found
+    else
+      let code, rate = world.states.(i) in
+      if String.equal code st then rate else search (i + 1)
+  in
+  search 0
+
+let generate ?(seed = 7) ~n_cities ~n_streets_per_city ~n_items ~n_customers
+    () =
+  if n_cities <= 0 || n_streets_per_city <= 0 || n_items <= 0 || n_customers <= 0
+  then invalid_arg "Entities.generate: all sizes must be positive";
+  let rng = Random.State.make [| seed |] in
+  let next_zip = ref 10000 in
+  let cities =
+    Array.init n_cities (fun i ->
+        let state, _ = state_pool.(i mod Array.length state_pool) in
+        let streets =
+          Array.init n_streets_per_city (fun j ->
+              let zip = string_of_int !next_zip in
+              incr next_zip;
+              { street_name = pick street_pool ((i * 3) + j); zip })
+        in
+        {
+          city_name = pick city_pool i;
+          state;
+          area_code = string_of_int (200 + i);
+          streets;
+        })
+  in
+  let items =
+    Array.init n_items (fun i ->
+        {
+          item_id = Printf.sprintf "a%d" (100 + i);
+          item_name = pick item_name_pool i;
+          price = Printf.sprintf "%d.%02d" (1 + Random.State.int rng 99)
+              (Random.State.int rng 100);
+          title = title_pool.(i mod Array.length title_pool);
+        })
+  in
+  (* Customers: unique (AC, PN); phone numbers unique within a city. *)
+  let customers =
+    Array.init n_customers (fun i ->
+        let city = cities.(Random.State.int rng n_cities) in
+        let street = city.streets.(Random.State.int rng n_streets_per_city) in
+        {
+          cust_ac = city.area_code;
+          cust_pn = Printf.sprintf "%07d" (1000000 + i);
+          cust_street = street;
+          cust_city = city;
+        })
+  in
+  {
+    states = Array.sub state_pool 0 (min n_cities (Array.length state_pool));
+    cities;
+    items;
+    customers;
+  }

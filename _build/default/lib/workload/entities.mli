@@ -1,0 +1,50 @@
+(** The master entity model behind the synthetic [order] data.
+
+    The paper populated its table by scraping real sales/address data; we
+    substitute a deterministic world model that yields the same constraint
+    structure (DESIGN.md, substitutions): states carry tax rates, each
+    city belongs to one state and owns one area code and a set of streets,
+    each street one globally unique zip; items have fixed names, prices
+    and titles; customers are unique (area code, phone) pairs bound to one
+    address.  Any database drawn from this world satisfies all seven CFDs
+    of {!Datagen} by construction. *)
+
+type street = { street_name : string; zip : string }
+
+type city = {
+  city_name : string;
+  state : string;
+  area_code : string;
+  streets : street array;
+}
+
+type item = { item_id : string; item_name : string; price : string; title : string }
+
+type customer = {
+  cust_ac : string;
+  cust_pn : string;
+  cust_street : street;
+  cust_city : city;
+}
+
+type world = {
+  states : (string * string) array;  (** (state code, VAT rate) *)
+  cities : city array;
+  items : item array;
+  customers : customer array;
+}
+
+val vat_of : world -> string -> string
+(** Tax rate of a state code.  @raise Not_found for an unknown state. *)
+
+val generate :
+  ?seed:int ->
+  n_cities:int ->
+  n_streets_per_city:int ->
+  n_items:int ->
+  n_customers:int ->
+  unit ->
+  world
+(** Build a world.  Deterministic for a given seed.  City names, area
+    codes and zips are globally unique; customers are unique by
+    (area code, phone number). *)

@@ -1,0 +1,64 @@
+open Dq_relation
+
+type t = {
+  noises : int;
+  changes : int;
+  correct_changes : int;
+  corrected_noises : int;
+  precision : float;
+  recall : float;
+  f1 : float;
+}
+
+let evaluate ~dopt ~dirty ~repair =
+  let arity = Schema.arity (Relation.schema dirty) in
+  let noises = ref 0 in
+  let changes = ref 0 in
+  let correct_changes = ref 0 in
+  let corrected_noises = ref 0 in
+  Relation.iter
+    (fun td ->
+      let tid = Tuple.tid td in
+      match Relation.find dopt tid, Relation.find repair tid with
+      | Some to_, Some tr ->
+        for attr = 0 to arity - 1 do
+          let d = Tuple.get td attr in
+          let o = Tuple.get to_ attr in
+          let r = Tuple.get tr attr in
+          let noisy = not (Value.equal d o) in
+          let changed = not (Value.equal d r) in
+          (* Nulling a wrong value counts as a correction; nulling a right
+             one as an error. *)
+          let fixed = Value.equal r o || (Value.is_null r && noisy) in
+          if noisy then incr noises;
+          if changed then begin
+            incr changes;
+            if fixed then incr correct_changes
+          end;
+          if noisy && fixed then incr corrected_noises
+        done
+      | _, _ -> ())
+    dirty;
+  let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den in
+  let precision = ratio !correct_changes !changes in
+  let recall = ratio !corrected_noises !noises in
+  let f1 =
+    if precision +. recall = 0. then 0.
+    else 2. *. precision *. recall /. (precision +. recall)
+  in
+  {
+    noises = !noises;
+    changes = !changes;
+    correct_changes = !correct_changes;
+    corrected_noises = !corrected_noises;
+    precision;
+    recall;
+    f1;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<h>noises=%d changes=%d correct=%d precision=%.1f%% recall=%.1f%% \
+     f1=%.1f%%@]"
+    m.noises m.changes m.correct_changes (100. *. m.precision)
+    (100. *. m.recall) (100. *. m.f1)

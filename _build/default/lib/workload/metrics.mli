@@ -1,0 +1,28 @@
+(** Repair-quality metrics (Section 7.1, "Measuring repair quality").
+
+    Computed cell-by-cell over the three aligned databases (clean [Dopt],
+    noisy [D], repair [Repr], paired by tid):
+
+    - a {e noise} is a cell where [D ≠ Dopt];
+    - a {e change} is a cell where [D ≠ Repr];
+    - a change is {e correct} if it restores the clean value, or replaces a
+      noisy value by [null] (the paper counts nulling a wrong value as a
+      correction and nulling a correct value as an error);
+    - {e precision} = correct changes / changes (repair correctness);
+    - {e recall} = corrected noises / noises (repair completeness). *)
+
+open Dq_relation
+
+type t = {
+  noises : int;
+  changes : int;
+  correct_changes : int;
+  corrected_noises : int;
+  precision : float;  (** in [0,1]; 1 when nothing was changed *)
+  recall : float;  (** in [0,1]; 1 when there was no noise *)
+  f1 : float;
+}
+
+val evaluate : dopt:Relation.t -> dirty:Relation.t -> repair:Relation.t -> t
+
+val pp : Format.formatter -> t -> unit

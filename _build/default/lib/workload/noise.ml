@@ -1,0 +1,269 @@
+open Dq_relation
+open Dq_cfd
+
+type params = {
+  rate : float;
+  constant_share : float;
+  typo_share : float;
+  max_attrs : int;
+  weight_a : float;
+  weight_b : float;
+  weighted : bool;
+  seed : int;
+}
+
+let default_params ?(rate = 0.05) ?(constant_share = 0.5) ?(seed = 11) () =
+  {
+    rate;
+    constant_share;
+    typo_share = 0.5;
+    max_attrs = 2;
+    weight_a = 0.6;
+    weight_b = 0.5;
+    weighted = true;
+    seed;
+  }
+
+type info = {
+  dirty : Relation.t;
+  dirty_tids : int list;
+  dirtied_cells : (int * int) list;
+}
+
+let typo rng s =
+  let s = if String.equal s "" then "x" else s in
+  let edits = 1 + Random.State.int rng 6 in
+  let random_char () = Char.chr (Char.code 'a' + Random.State.int rng 26) in
+  let edit b =
+    let n = Bytes.length b in
+    match Random.State.int rng 4 with
+    | 0 ->
+      (* substitute *)
+      let i = Random.State.int rng n in
+      Bytes.set b i (random_char ());
+      b
+    | 1 ->
+      (* insert *)
+      let i = Random.State.int rng (n + 1) in
+      let nb = Bytes.create (n + 1) in
+      Bytes.blit b 0 nb 0 i;
+      Bytes.set nb i (random_char ());
+      Bytes.blit b i nb (i + 1) (n - i);
+      nb
+    | 2 when n > 1 ->
+      (* delete *)
+      let i = Random.State.int rng n in
+      let nb = Bytes.create (n - 1) in
+      Bytes.blit b 0 nb 0 i;
+      Bytes.blit b (i + 1) nb i (n - i - 1);
+      nb
+    | _ when n > 1 ->
+      (* transpose *)
+      let i = Random.State.int rng (n - 1) in
+      let c = Bytes.get b i in
+      Bytes.set b i (Bytes.get b (i + 1));
+      Bytes.set b (i + 1) c;
+      b
+    | _ ->
+      Bytes.set b 0 (random_char ());
+      b
+  in
+  let rec attempt tries =
+    let b = ref (Bytes.of_string s) in
+    for _ = 1 to edits do
+      b := edit !b
+    done;
+    let out = Bytes.to_string !b in
+    if String.equal out s && tries > 0 then attempt (tries - 1)
+    else if String.equal out s then s ^ "x"
+    else out
+  in
+  attempt 8
+
+(* Per-clause key multiplicities over the clean data: a variable-CFD pair
+   violation needs a partner sharing the LHS key. *)
+let key_counts sigma dopt =
+  Array.map
+    (fun cfd ->
+      if Cfd.is_constant cfd then None
+      else begin
+        let table = Vkey.Table.create 256 in
+        Relation.iter
+          (fun t ->
+            if Cfd.applies_lhs cfd t then begin
+              let key = Cfd.lhs_key cfd t in
+              let n =
+                match Vkey.Table.find_opt table key with
+                | Some n -> n
+                | None -> 0
+              in
+              Vkey.Table.replace table key (n + 1)
+            end)
+          dopt;
+        Some table
+      end)
+    sigma
+
+let corrupt_value rng params dirty attr ~avoid current =
+  let current_s = Value.to_string current in
+  let fresh v =
+    (not (Value.is_null v))
+    && (not (Value.equal v current))
+    && not (List.exists (Value.equal v) avoid)
+  in
+  let swap () =
+    let adom = Relation.active_domain dirty attr in
+    let n = List.length adom in
+    if n = 0 then None
+    else begin
+      let start = Random.State.int rng n in
+      let arr = Array.of_list adom in
+      let rec search i =
+        if i >= n then None
+        else
+          let v = arr.((start + i) mod n) in
+          if fresh v then Some v else search (i + 1)
+      in
+      search 0
+    end
+  in
+  let make_typo () =
+    let rec attempt tries =
+      if tries = 0 then None
+      else
+        let v = Value.of_string (typo rng current_s) in
+        if fresh v then Some v else attempt (tries - 1)
+    in
+    attempt 8
+  in
+  let primary, secondary =
+    if Random.State.float rng 1.0 < params.typo_share then (make_typo, swap)
+    else (swap, make_typo)
+  in
+  match primary () with Some v -> Some v | None -> secondary ()
+
+let inject params ds =
+  if not (params.rate >= 0. && params.rate <= 1.) then
+    invalid_arg "Noise.inject: rate must be in [0,1]";
+  if params.max_attrs < 1 then
+    invalid_arg "Noise.inject: max_attrs must be >= 1";
+  let rng = Random.State.make [| params.seed |] in
+  let dirty = Relation.copy ds.Datagen.dopt in
+  let sigma = ds.Datagen.sigma in
+  let counts = key_counts sigma ds.Datagen.dopt in
+  let arity = Schema.arity (Relation.schema dirty) in
+  let tids = Array.map Tuple.tid (Relation.tuples dirty) in
+  (* Fisher-Yates prefix shuffle to pick dirty tuples without replacement. *)
+  let n = Array.length tids in
+  let n_dirty =
+    min n (int_of_float (Float.round (params.rate *. float_of_int n)))
+  in
+  for i = 0 to n_dirty - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let tmp = tids.(i) in
+    tids.(i) <- tids.(j);
+    tids.(j) <- tmp
+  done;
+  let dirtied = ref [] in
+  let dirty_tids = ref [] in
+  let apply t attr v =
+    Relation.set_value dirty t attr v;
+    dirtied := (Tuple.tid t, attr) :: !dirtied
+  in
+  (* Corrupt the RHS of a clause that provably applies to [t]; returns the
+     clause on success so extra corruption can avoid its attributes. *)
+  let violate_constant t =
+    let applicable =
+      Array.to_list sigma
+      |> List.filter (fun cfd -> Cfd.is_constant cfd && Cfd.applies_lhs cfd t)
+    in
+    match applicable with
+    | [] -> None
+    | _ ->
+      let cfd = List.nth applicable (Random.State.int rng (List.length applicable)) in
+      let attr = Cfd.rhs cfd in
+      let avoid =
+        match Cfd.rhs_pattern cfd with
+        | Pattern.Const c -> [ c ]
+        | Pattern.Wild -> []
+      in
+      (match corrupt_value rng params dirty attr ~avoid (Tuple.get t attr) with
+      | Some v ->
+        apply t attr v;
+        Some cfd
+      | None -> None)
+  in
+  let violate_variable t =
+    let candidates =
+      Array.to_list sigma
+      |> List.filter (fun cfd ->
+             (not (Cfd.is_constant cfd))
+             && Cfd.applies_lhs cfd t
+             &&
+             match counts.(Cfd.id cfd) with
+             | Some table -> (
+               match Vkey.Table.find_opt table (Cfd.lhs_key cfd t) with
+               | Some n -> n >= 2
+               | None -> false)
+             | None -> false)
+    in
+    match candidates with
+    | [] -> None
+    | _ ->
+      let cfd = List.nth candidates (Random.State.int rng (List.length candidates)) in
+      let attr = Cfd.rhs cfd in
+      (match corrupt_value rng params dirty attr ~avoid:[] (Tuple.get t attr) with
+      | Some v ->
+        apply t attr v;
+        Some cfd
+      | None -> None)
+  in
+  for i = 0 to n_dirty - 1 do
+    let t = Relation.find_exn dirty tids.(i) in
+    let want_constant = Random.State.float rng 1.0 < params.constant_share in
+    let primary =
+      if want_constant then
+        match violate_constant t with None -> violate_variable t | some -> some
+      else
+        match violate_variable t with None -> violate_constant t | some -> some
+    in
+    match primary with
+    | None -> () (* no clause applies at all: leave the tuple clean *)
+    | Some cfd ->
+      dirty_tids := Tuple.tid t :: !dirty_tids;
+      (* Extra corruption outside the violated clause's attributes, so the
+         guaranteed violation survives. *)
+      let extra = Random.State.int rng params.max_attrs in
+      let clause_attrs = Cfd.attrs cfd in
+      for _ = 1 to extra do
+        let attr = Random.State.int rng arity in
+        if
+          (not (List.mem attr clause_attrs))
+          && not (List.mem (Tuple.tid t, attr) !dirtied)
+        then
+          match
+            corrupt_value rng params dirty attr ~avoid:[] (Tuple.get t attr)
+          with
+          | Some v -> apply t attr v
+          | None -> ()
+      done
+  done;
+  (* Weight model: corrupted cells get w ∈ [0,a], clean cells w ∈ [b,1]. *)
+  if params.weighted then begin
+    let dirtied_set = Hashtbl.create 256 in
+    List.iter (fun cell -> Hashtbl.replace dirtied_set cell ()) !dirtied;
+    Relation.iter
+      (fun t ->
+        for attr = 0 to arity - 1 do
+          let w =
+            if Hashtbl.mem dirtied_set (Tuple.tid t, attr) then
+              Random.State.float rng params.weight_a
+            else
+              params.weight_b
+              +. Random.State.float rng (1. -. params.weight_b)
+          in
+          Tuple.set_weight t attr w
+        done)
+      dirty
+  end;
+  { dirty; dirty_tids = List.rev !dirty_tids; dirtied_cells = List.rev !dirtied }

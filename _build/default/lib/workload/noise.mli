@@ -1,0 +1,49 @@
+(** Noise injection (Section 7.1).
+
+    Starting from a clean [Dopt], a fraction ρ of tuples is dirtied so that
+    {e every dirty tuple violates at least one CFD}.  An attribute is
+    corrupted either by a typo — a new value 1–6 Damerau–Levenshtein edits
+    away — or by swapping in an existing value from another tuple.  The mix
+    of violations is steerable between {e constant} CFDs (single-tuple
+    violations, e.g. a wrong city for a known zip) and {e variable} CFDs
+    (pair violations, e.g. two orders of one item with different prices),
+    which drives Figures 14 and 15.
+
+    Weights follow the paper's model: corrupted cells draw
+    [w ∈ [0, a]], clean cells [w ∈ [b, 1]] (defaults a = 0.6, b = 0.5);
+    setting [weighted:false] leaves every weight at 1 (the "no weight
+    information" configuration). *)
+
+open Dq_relation
+
+type params = {
+  rate : float;  (** ρ: fraction of tuples dirtied *)
+  constant_share : float;
+      (** fraction of dirty tuples aimed at constant-CFD violations *)
+  typo_share : float;  (** typo vs. value-swap corruption mix *)
+  max_attrs : int;  (** attributes corrupted per dirty tuple (1..) *)
+  weight_a : float;  (** upper bound for dirty-cell weights *)
+  weight_b : float;  (** lower bound for clean-cell weights *)
+  weighted : bool;
+  seed : int;
+}
+
+val default_params : ?rate:float -> ?constant_share:float -> ?seed:int -> unit -> params
+(** ρ = 0.05, constant share 0.5, typo share 0.5, ≤ 2 attributes per dirty
+    tuple, a = 0.6, b = 0.5, weighted. *)
+
+type info = {
+  dirty : Relation.t;  (** D: the noisy database (tids match [Dopt]) *)
+  dirty_tids : int list;
+  dirtied_cells : (int * int) list;  (** (tid, attribute position) *)
+}
+
+val inject : params -> Datagen.dataset -> info
+(** Corrupt a copy of the dataset's [Dopt].  Guarantees every dirtied tuple
+    violates ≥ 1 clause of Σ (checked against the clean database via
+    LHS-indices; corruption is retried, falling back to a guaranteed
+    constant-CFD violation). *)
+
+val typo : Random.State.t -> string -> string
+(** A corrupted copy of the string, 1–6 single-character edits away
+    (never equal to the input). *)

@@ -1,0 +1,36 @@
+open Dq_relation
+
+let schema =
+  Schema.make ~name:"order"
+    [
+      "id"; "name"; "PR"; "AC"; "PN"; "STR"; "CT"; "ST"; "zip"; "CTY"; "VAT";
+      "TT"; "QTT";
+    ]
+
+let pos = Schema.position_exn schema
+
+let id = pos "id"
+
+let name = pos "name"
+
+let pr = pos "PR"
+
+let ac = pos "AC"
+
+let pn = pos "PN"
+
+let str = pos "STR"
+
+let ct = pos "CT"
+
+let st = pos "ST"
+
+let zip = pos "zip"
+
+let cty = pos "CTY"
+
+let vat = pos "VAT"
+
+let tt = pos "TT"
+
+let qtt = pos "QTT"

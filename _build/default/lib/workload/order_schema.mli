@@ -1,0 +1,35 @@
+(** The experimental schema of Section 7.1: the [order] relation of
+    Figure 1 extended with country [CTY], tax rate [VAT], item title [TT]
+    and quantity [QTT] — 13 attributes in all. *)
+
+open Dq_relation
+
+val schema : Schema.t
+
+(** Attribute positions, resolved once. *)
+
+val id : int
+
+val name : int
+
+val pr : int
+
+val ac : int
+
+val pn : int
+
+val str : int
+
+val ct : int
+
+val st : int
+
+val zip : int
+
+val cty : int
+
+val vat : int
+
+val tt : int
+
+val qtt : int

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Cfd Dq_cfd Dq_relation List Pattern Relation Schema Value

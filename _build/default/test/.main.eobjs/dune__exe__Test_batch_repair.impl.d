@@ -1,0 +1,1 @@
+test/test_batch_repair.ml: Alcotest Array Batch_repair Cfd Dq_cfd Dq_core Dq_relation Helpers Pattern Relation Schema Tuple Value Violation

@@ -1,0 +1,1 @@
+test/test_cfd.ml: Alcotest Array Cfd Dq_cfd Dq_relation Helpers List Relation Value

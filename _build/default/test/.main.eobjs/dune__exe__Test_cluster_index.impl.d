@@ -1,0 +1,1 @@
+test/test_cluster_index.ml: Alcotest Cluster_index Dq_core Dq_relation List Option QCheck QCheck_alcotest Relation Schema String Value

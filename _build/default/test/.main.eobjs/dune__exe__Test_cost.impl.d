@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost Dq_core Dq_relation Helpers List QCheck QCheck_alcotest Relation String Tuple Value

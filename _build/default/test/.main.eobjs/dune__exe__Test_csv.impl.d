@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Csv Dq_relation Filename Fun QCheck QCheck_alcotest Relation Sys Tuple Value

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Cfd Datagen Dq_cfd Dq_core Dq_relation Dq_workload Entities Hashtbl List Order_schema Relation Schema String Violation

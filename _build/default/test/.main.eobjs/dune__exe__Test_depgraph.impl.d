@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Array Cfd Depgraph Dq_cfd Dq_core Dq_relation Helpers Int List Option QCheck QCheck_alcotest Schema String

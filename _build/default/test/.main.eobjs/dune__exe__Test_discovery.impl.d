@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Cfd Datagen Discovery Dq_cfd Dq_core Dq_relation Dq_workload List Noise Pattern Relation Schema Value Violation

@@ -1,0 +1,1 @@
+test/test_eqclass.ml: Alcotest Dq_core Dq_relation Eqclass Fun List Printf QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Datagen Dq_cfd Dq_core Dq_relation Dq_workload Framework Inc_repair List Noise Relation Sampling Tuple

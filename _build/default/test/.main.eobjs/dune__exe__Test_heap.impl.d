@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Dq_relation Float Heap List Option QCheck QCheck_alcotest

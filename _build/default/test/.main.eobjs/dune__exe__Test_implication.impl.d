@@ -1,0 +1,1 @@
+test/test_implication.ml: Alcotest Array Cfd Dq_cfd Dq_core Dq_relation Implication List Pattern Printf Relation Schema Value Violation

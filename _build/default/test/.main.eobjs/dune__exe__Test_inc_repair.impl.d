@@ -1,0 +1,1 @@
+test/test_inc_repair.ml: Alcotest Array Batch_repair Dq_cfd Dq_core Dq_relation Helpers Inc_repair List Relation Schema Tuple Value Violation

@@ -1,0 +1,1 @@
+test/test_ind.ml: Alcotest Cfd Database Dq_cfd Dq_core Dq_relation Ind Ind_repair List Pattern Relation Schema Tuple Value

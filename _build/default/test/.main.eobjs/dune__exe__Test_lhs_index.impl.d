@@ -1,0 +1,1 @@
+test/test_lhs_index.ml: Alcotest Array Batch_repair Cfd Dq_cfd Dq_core Dq_relation Helpers Lhs_index List Pattern Schema String Tuple Value

@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array Cfd Datagen Dq_cfd Dq_core Dq_relation Dq_workload Hashtbl List Noise Printf Random Relation String Tuple Value Violation

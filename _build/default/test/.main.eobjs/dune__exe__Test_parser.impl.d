@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Cfd Cfd_parser Dq_cfd Dq_relation Helpers List Pattern Printf Value

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Dq_cfd Dq_relation Pattern QCheck QCheck_alcotest Value

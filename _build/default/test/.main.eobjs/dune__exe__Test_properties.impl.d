@@ -1,0 +1,1 @@
+test/test_properties.ml: Batch_repair Cfd Dq_cfd Dq_core Dq_relation Inc_repair List Pattern Printf QCheck QCheck_alcotest Relation Satisfiability Schema Tuple Value Violation

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Dq_relation List Relation Schema Tuple Value

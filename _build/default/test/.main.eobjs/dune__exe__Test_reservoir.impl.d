@@ -1,0 +1,1 @@
+test/test_reservoir.ml: Alcotest Array Dq_core Fun Int List Printf QCheck QCheck_alcotest Reservoir

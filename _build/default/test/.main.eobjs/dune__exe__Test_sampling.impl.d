@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Datagen Dq_core Dq_relation Dq_workload Float List Noise Order_schema Printf Relation Result Sampling Tuple Value

@@ -1,0 +1,1 @@
+test/test_satisfiability.ml: Alcotest Array Cfd Dq_cfd Dq_relation Helpers Pattern Relation Satisfiability Schema Value

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Dq_core Float List Printf QCheck QCheck_alcotest Stats

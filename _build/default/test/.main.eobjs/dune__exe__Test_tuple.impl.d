@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Array Dq_relation Helpers List Tuple Value

@@ -1,0 +1,1 @@
+test/test_tuple_resolve.ml: Alcotest Array Batch_repair Dq_cfd Dq_core Dq_relation Helpers List Printf Relation Schema Tuple Tuple_resolve Value Violation

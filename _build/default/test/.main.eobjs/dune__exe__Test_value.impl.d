@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Dq_relation Helpers List Printf Value

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Dq_relation Int List Option QCheck QCheck_alcotest Vec

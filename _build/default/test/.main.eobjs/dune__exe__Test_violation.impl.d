@@ -1,0 +1,1 @@
+test/test_violation.ml: Alcotest Array Cfd Dq_cfd Dq_relation Hashtbl Helpers Int List Pattern Printf Relation Schema Tuple Value Violation

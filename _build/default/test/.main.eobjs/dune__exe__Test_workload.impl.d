@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Batch_repair Datagen Dq_cfd Dq_core Dq_relation Dq_workload Format Hashtbl Inc_repair List Metrics Noise Order_schema Printf Relation Satisfiability Violation

@@ -1,0 +1,16 @@
+  $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd
+  $ cfdclean check ../../data/orders.csv ../../data/orders.cfd
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd -o repaired.csv 2> /dev/null
+  $ cfdclean detect repaired.csv ../../data/orders.cfd
+  $ cat > contradictory.cfd <<'CFD'
+  > a: [AC] -> [CT] { (_ || NYC) }
+  > b: [AC] -> [CT] { (_ || PHI) }
+  > CFD
+  $ cfdclean check ../../data/orders.csv contradictory.cfd
+  $ cfdclean repair ../../data/orders.csv contradictory.cfd
+  $ cat > broken.cfd <<'CFD'
+  > a: [AC] -> [CT] {
+  >   (212 | NYC)
+  > }
+  > CFD
+  $ cfdclean detect ../../data/orders.csv broken.cfd

@@ -1,0 +1,80 @@
+(* Shared fixtures: the paper's Figure 1 running example. *)
+open Dq_relation
+open Dq_cfd
+
+let order_schema =
+  Schema.make ~name:"order"
+    [ "id"; "name"; "PR"; "AC"; "PN"; "STR"; "CT"; "ST"; "zip" ]
+
+let v = Value.string
+
+let row values weights =
+  (Array.of_list (List.map Value.of_string values), Array.of_list weights)
+
+(* Figure 1(a), including the wt rows. *)
+let fig1_rows =
+  [
+    row
+      [ "a23"; "H. Porter"; "17.99"; "215"; "8983490"; "Walnut"; "PHI"; "PA"; "19014" ]
+      [ 1.0; 0.5; 0.5; 0.5; 0.5; 0.8; 0.8; 0.8; 0.8 ];
+    row
+      [ "a23"; "H. Porter"; "17.99"; "610"; "3456789"; "Spruce"; "PHI"; "PA"; "19014" ]
+      [ 1.0; 0.5; 0.5; 0.5; 0.5; 0.6; 0.6; 0.6; 0.6 ];
+    row
+      [ "a12"; "J. Denver"; "7.94"; "212"; "3345677"; "Canel"; "PHI"; "PA"; "10012" ]
+      [ 1.0; 0.9; 0.9; 0.9; 0.9; 0.6; 0.1; 0.1; 0.8 ];
+    row
+      [ "a89"; "Snow White"; "18.99"; "212"; "5674322"; "Broad"; "PHI"; "PA"; "10012" ]
+      [ 1.0; 0.6; 0.5; 0.9; 0.9; 0.1; 0.6; 0.6; 0.9 ];
+  ]
+
+let fig1_db () =
+  let rel = Relation.create order_schema in
+  List.iter (fun (values, weights) -> ignore (Relation.insert ~weights rel values)) fig1_rows;
+  rel
+
+let wild = Pattern.Wild
+
+let const s = Pattern.const (Value.of_string s)
+
+(* phi1 = ([AC,PN] -> [STR,CT,ST], T1) of Figure 1(b). *)
+let phi1 =
+  Cfd.Tableau.
+    {
+      name = "phi1";
+      lhs_attrs = [ "AC"; "PN" ];
+      rhs_attrs = [ "STR"; "CT"; "ST" ];
+      rows =
+        [
+          { lhs = [ wild; wild ]; rhs = [ wild; wild; wild ] };
+          { lhs = [ const "212"; wild ]; rhs = [ wild; const "NYC"; const "NY" ] };
+          { lhs = [ const "610"; wild ]; rhs = [ wild; const "PHI"; const "PA" ] };
+          { lhs = [ const "215"; wild ]; rhs = [ wild; const "PHI"; const "PA" ] };
+        ];
+    }
+
+(* phi2 = ([zip] -> [CT,ST], T2). *)
+let phi2 =
+  Cfd.Tableau.
+    {
+      name = "phi2";
+      lhs_attrs = [ "zip" ];
+      rhs_attrs = [ "CT"; "ST" ];
+      rows =
+        [
+          { lhs = [ wild ]; rhs = [ wild; wild ] };
+          { lhs = [ const "10012" ]; rhs = [ const "NYC"; const "NY" ] };
+          { lhs = [ const "19014" ]; rhs = [ const "PHI"; const "PA" ] };
+        ];
+    }
+
+(* phi3, phi4: the traditional FDs of Figure 2. *)
+let phi3 = Cfd.Tableau.fd ~name:"phi3" ~lhs:[ "id" ] ~rhs:[ "name"; "PR" ]
+
+let phi4 = Cfd.Tableau.fd ~name:"phi4" ~lhs:[ "CT"; "STR" ] ~rhs:[ "zip" ]
+
+let fig1_sigma () =
+  Cfd.number
+    (List.concat_map (Cfd.normalize order_schema) [ phi1; phi2; phi3; phi4 ])
+
+let value = Alcotest.testable Value.pp Value.equal

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "dataqual"
+    [
+      ("vec", Test_vec.suite);
+      ("heap", Test_heap.suite);
+      ("value", Test_value.suite);
+      ("schema", Test_schema.suite);
+      ("tuple", Test_tuple.suite);
+      ("relation", Test_relation.suite);
+      ("csv", Test_csv.suite);
+      ("pattern", Test_pattern.suite);
+      ("cfd", Test_cfd.suite);
+      ("parser", Test_parser.suite);
+      ("violation", Test_violation.suite);
+      ("lhs_index", Test_lhs_index.suite);
+      ("satisfiability", Test_satisfiability.suite);
+      ("cost", Test_cost.suite);
+      ("eqclass", Test_eqclass.suite);
+      ("depgraph", Test_depgraph.suite);
+      ("cluster_index", Test_cluster_index.suite);
+      ("stats", Test_stats.suite);
+      ("reservoir", Test_reservoir.suite);
+      ("sampling", Test_sampling.suite);
+      ("framework", Test_framework.suite);
+      ("batch_repair", Test_batch_repair.suite);
+      ("tuple_resolve", Test_tuple_resolve.suite);
+      ("inc_repair", Test_inc_repair.suite);
+      ("workload", Test_workload.suite);
+      ("datagen", Test_datagen.suite);
+      ("noise", Test_noise.suite);
+      ("discovery", Test_discovery.suite);
+      ("implication", Test_implication.suite);
+      ("ind", Test_ind.suite);
+      ("properties", Test_properties.suite);
+    ]

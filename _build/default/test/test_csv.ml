@@ -1,0 +1,87 @@
+open Dq_relation
+
+let test_parse_simple () =
+  Alcotest.(check (list (list string)))
+    "rows" [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Csv.parse_string "a,b\nc,d\n")
+
+let test_parse_crlf_and_no_trailing_newline () =
+  Alcotest.(check (list (list string)))
+    "crlf" [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Csv.parse_string "a,b\r\nc,d")
+
+let test_parse_quoted () =
+  Alcotest.(check (list (list string)))
+    "quotes" [ [ "a,b"; "he said \"hi\""; "multi\nline" ] ]
+    (Csv.parse_string "\"a,b\",\"he said \"\"hi\"\"\",\"multi\nline\"")
+
+let test_parse_empty_cells () =
+  Alcotest.(check (list (list string)))
+    "empties" [ [ ""; "x"; "" ] ]
+    (Csv.parse_string ",x,\n")
+
+let test_unterminated_quote () =
+  Alcotest.check_raises "unterminated"
+    (Failure "Csv.parse_string: unterminated quoted field") (fun () ->
+      ignore (Csv.parse_string "\"oops"))
+
+let test_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape_cell "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape_cell "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape_cell "a\"b")
+
+let test_load_and_save_roundtrip () =
+  let text = "A,B,C\n1,NYC,\nx y,\"q,r\",2.5\n" in
+  let rel = Csv.load_string ~name:"t" text in
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality rel);
+  let t0 = Relation.find_exn rel 0 in
+  Alcotest.(check bool) "int typed" true (Value.equal (Tuple.get t0 0) (Value.int 1));
+  Alcotest.(check bool) "null cell" true (Value.is_null (Tuple.get t0 2));
+  let rel2 = Csv.load_string ~name:"t" (Csv.save_string rel) in
+  Alcotest.(check int) "roundtrip identical" 0 (Relation.dif rel rel2)
+
+let test_load_ragged () =
+  Alcotest.check_raises "ragged row"
+    (Failure "Csv.load_string: row 2 has 1 cells, expected 2") (fun () ->
+      ignore (Csv.load_string "A,B\nonly_one\n"))
+
+let test_load_empty () =
+  Alcotest.check_raises "empty file" (Failure "Csv.load_string: empty input")
+    (fun () -> ignore (Csv.load_string ""))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "dataqual" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let rel = Csv.load_string ~name:"t" "A,B\n1,x\n2,y\n" in
+      Csv.save_file rel path;
+      let rel2 = Csv.load_file path in
+      Alcotest.(check int) "file roundtrip" 0 (Relation.dif rel rel2))
+
+let prop_roundtrip =
+  (* Cells from a CSV-hostile alphabet: commas, quotes, newlines. *)
+  let cell =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; ','; '"'; '\n'; 'z' ]) (1 -- 6))
+  in
+  QCheck.Test.make ~name:"escape/parse roundtrip" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (1 -- 4) cell))
+    (fun row ->
+      let text = Csv.rows_to_string [ row ] in
+      match Csv.parse_string text with [ parsed ] -> parsed = row | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse crlf" `Quick test_parse_crlf_and_no_trailing_newline;
+    Alcotest.test_case "parse quoted" `Quick test_parse_quoted;
+    Alcotest.test_case "empty cells" `Quick test_parse_empty_cells;
+    Alcotest.test_case "unterminated quote" `Quick test_unterminated_quote;
+    Alcotest.test_case "escape" `Quick test_escape;
+    Alcotest.test_case "load/save roundtrip" `Quick test_load_and_save_roundtrip;
+    Alcotest.test_case "ragged rows rejected" `Quick test_load_ragged;
+    Alcotest.test_case "empty input rejected" `Quick test_load_empty;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,121 @@
+open Dq_relation
+open Dq_cfd
+open Dq_workload
+
+let params n =
+  {
+    Datagen.n_tuples = n;
+    n_cities = 12;
+    n_streets_per_city = 5;
+    n_items = 40;
+    n_customers = 120;
+    tableau_coverage = 0.5;
+    seed = 3;
+  }
+
+let test_entity_invariants () =
+  let w =
+    Entities.generate ~seed:3 ~n_cities:12 ~n_streets_per_city:5 ~n_items:40
+      ~n_customers:120 ()
+  in
+  (* city names, area codes globally unique *)
+  let names = Array.to_list (Array.map (fun c -> c.Entities.city_name) w.Entities.cities) in
+  Alcotest.(check int) "city names unique" 12
+    (List.length (List.sort_uniq String.compare names));
+  let acs = Array.to_list (Array.map (fun c -> c.Entities.area_code) w.Entities.cities) in
+  Alcotest.(check int) "area codes unique" 12
+    (List.length (List.sort_uniq String.compare acs));
+  (* zips globally unique *)
+  let zips =
+    Array.to_list w.Entities.cities
+    |> List.concat_map (fun c ->
+           Array.to_list (Array.map (fun s -> s.Entities.zip) c.Entities.streets))
+  in
+  Alcotest.(check int) "zips unique" (12 * 5)
+    (List.length (List.sort_uniq String.compare zips));
+  (* street names unique within each city *)
+  Array.iter
+    (fun c ->
+      let streets =
+        Array.to_list (Array.map (fun s -> s.Entities.street_name) c.Entities.streets)
+      in
+      Alcotest.(check int) "streets unique in city" 5
+        (List.length (List.sort_uniq String.compare streets)))
+    w.Entities.cities;
+  (* customers unique by (AC, PN) *)
+  let keys =
+    Array.to_list w.Entities.customers
+    |> List.map (fun cu -> cu.Entities.cust_ac ^ "/" ^ cu.Entities.cust_pn)
+  in
+  Alcotest.(check int) "customers unique" 120
+    (List.length (List.sort_uniq String.compare keys));
+  (* item ids unique *)
+  let ids = Array.to_list (Array.map (fun i -> i.Entities.item_id) w.Entities.items) in
+  Alcotest.(check int) "item ids unique" 40
+    (List.length (List.sort_uniq String.compare ids));
+  (* every city's state has a tax rate *)
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "vat exists" true
+        (String.length (Entities.vat_of w c.Entities.state) > 0))
+    w.Entities.cities
+
+let test_dataset_shape () =
+  let ds = Datagen.generate (params 500) in
+  Alcotest.(check int) "tuple count" 500 (Relation.cardinality ds.Datagen.dopt);
+  Alcotest.(check bool) "uses the order schema" true
+    (Schema.equal (Relation.schema ds.Datagen.dopt) Order_schema.schema);
+  Alcotest.(check int) "seven tableaus" 7 (List.length ds.Datagen.tableaus);
+  Alcotest.(check bool) "clean by construction" true
+    (Violation.satisfies ds.Datagen.dopt ds.Datagen.sigma)
+
+let test_coverage_controls_tableau_size () =
+  let rows coverage =
+    Datagen.pattern_row_count
+      (Datagen.generate { (params 200) with Datagen.tableau_coverage = coverage })
+  in
+  Alcotest.(check bool) "more coverage, more rows" true (rows 1.0 > rows 0.2);
+  (* at coverage 0 only the wildcard rows and phi5's state rows remain *)
+  Alcotest.(check bool) "minimum structure" true (rows 0.0 > 0)
+
+let test_cyclic_cfds_present () =
+  let ds = Datagen.generate (params 200) in
+  let strata = Dq_core.Depgraph.strata Order_schema.schema ds.Datagen.sigma in
+  (* The dependency graph must contain a cycle: some stratum is shared by
+     clauses with different RHS attributes (e.g. phi1's CT and phi6's AC). *)
+  let by_stratum = Hashtbl.create 8 in
+  Array.iteri
+    (fun cid s ->
+      let rhs = Cfd.rhs ds.Datagen.sigma.(cid) in
+      let prev = match Hashtbl.find_opt by_stratum s with Some l -> l | None -> [] in
+      if not (List.mem rhs prev) then Hashtbl.replace by_stratum s (rhs :: prev))
+    strata;
+  Alcotest.(check bool) "a stratum hosts multiple RHS attributes" true
+    (Hashtbl.fold (fun _ rhss acc -> acc || List.length rhss >= 2) by_stratum false)
+
+let test_invalid_params () =
+  Alcotest.check_raises "zero tuples"
+    (Invalid_argument "Datagen.generate: n_tuples must be positive") (fun () ->
+      ignore (Datagen.generate { (params 200) with Datagen.n_tuples = 0 }));
+  Alcotest.check_raises "bad coverage"
+    (Invalid_argument "Datagen.generate: tableau_coverage must be in [0,1]")
+    (fun () ->
+      ignore
+        (Datagen.generate { (params 200) with Datagen.tableau_coverage = 1.5 }))
+
+let test_different_seeds_differ () =
+  let d1 = Datagen.generate { (params 300) with Datagen.seed = 1 } in
+  let d2 = Datagen.generate { (params 300) with Datagen.seed = 2 } in
+  Alcotest.(check bool) "different data" true
+    (Relation.dif d1.Datagen.dopt d2.Datagen.dopt > 0)
+
+let suite =
+  [
+    Alcotest.test_case "entity invariants" `Quick test_entity_invariants;
+    Alcotest.test_case "dataset shape" `Quick test_dataset_shape;
+    Alcotest.test_case "coverage controls tableau size" `Quick
+      test_coverage_controls_tableau_size;
+    Alcotest.test_case "cyclic CFDs present" `Quick test_cyclic_cfds_present;
+    Alcotest.test_case "invalid params" `Quick test_invalid_params;
+    Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+  ]

@@ -1,0 +1,82 @@
+open Dq_relation
+open Dq_cfd
+open Dq_core
+open Helpers
+
+let test_scc_dag () =
+  (* 0 -> 1 -> 2, no cycles: three components in topological order. *)
+  let comp = Depgraph.scc ~n:3 ~edges:[ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "0 before 1" true (comp.(0) < comp.(1));
+  Alcotest.(check bool) "1 before 2" true (comp.(1) < comp.(2))
+
+let test_scc_cycle () =
+  (* 0 <-> 1 form one component; 2 downstream. *)
+  let comp = Depgraph.scc ~n:3 ~edges:[ (0, 1); (1, 0); (0, 2) ] in
+  Alcotest.(check int) "cycle collapsed" comp.(0) comp.(1);
+  Alcotest.(check bool) "2 after the cycle" true (comp.(2) > comp.(0))
+
+let test_scc_disconnected () =
+  let comp = Depgraph.scc ~n:4 ~edges:[] in
+  Alcotest.(check int) "4 isolated components" 4
+    (List.length (List.sort_uniq Int.compare (Array.to_list comp)))
+
+let test_scc_self_loop () =
+  let comp = Depgraph.scc ~n:2 ~edges:[ (0, 0); (0, 1) ] in
+  Alcotest.(check bool) "self loop ok" true (comp.(0) < comp.(1))
+
+let test_fig1_strata () =
+  (* phi2: zip -> CT and phi4: CT,STR -> zip make zip and CT cyclic, so
+     every clause of phi2 and phi4 shares a stratum. *)
+  let sigma = fig1_sigma () in
+  let strata = Depgraph.strata order_schema sigma in
+  let stratum_of name rhs_attr =
+    let found = ref None in
+    Array.iteri
+      (fun cid c ->
+        if
+          String.equal (Cfd.name c) name
+          && Cfd.rhs c = Schema.position_exn order_schema rhs_attr
+        then found := Some strata.(cid))
+      sigma;
+    Option.get !found
+  in
+  Alcotest.(check int) "phi2 CT and phi4 zip share a stratum"
+    (stratum_of "phi2" "CT") (stratum_of "phi4" "zip");
+  (* phi3's RHS name depends on nothing downstream of the cycle. *)
+  Alcotest.(check bool) "strata assigned to all clauses" true
+    (Array.length strata = Array.length sigma)
+
+let prop_scc_respects_edges =
+  QCheck.Test.make ~name:"edges never point to lower components" ~count:200
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let comp = Depgraph.scc ~n:10 ~edges in
+      List.for_all (fun (u, v) -> comp.(u) <= comp.(v)) edges)
+
+let prop_scc_mutual_reachability =
+  (* Nodes on a generated cycle end up in one component. *)
+  QCheck.Test.make ~name:"cycles collapse" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 6) (int_bound 9))
+    (fun nodes ->
+      let distinct = List.sort_uniq Int.compare nodes in
+      QCheck.assume (List.length distinct >= 2);
+      let cycle_edges =
+        let arr = Array.of_list distinct in
+        Array.to_list
+          (Array.mapi
+             (fun i x -> (x, arr.((i + 1) mod Array.length arr)))
+             arr)
+      in
+      let comp = Depgraph.scc ~n:10 ~edges:cycle_edges in
+      List.for_all (fun x -> comp.(x) = comp.(List.hd distinct)) distinct)
+
+let suite =
+  [
+    Alcotest.test_case "DAG order" `Quick test_scc_dag;
+    Alcotest.test_case "cycle collapsed" `Quick test_scc_cycle;
+    Alcotest.test_case "disconnected nodes" `Quick test_scc_disconnected;
+    Alcotest.test_case "self loop" `Quick test_scc_self_loop;
+    Alcotest.test_case "fig1 strata" `Quick test_fig1_strata;
+    QCheck_alcotest.to_alcotest prop_scc_respects_edges;
+    QCheck_alcotest.to_alcotest prop_scc_mutual_reachability;
+  ]

@@ -1,0 +1,197 @@
+open Dq_relation
+open Dq_cfd
+open Dq_core
+open Dq_workload
+
+let small_config = Discovery.default_config ~max_lhs_size:2 ~min_support:3 ()
+
+let simple_rel rows =
+  let schema = Schema.make ~name:"r" [ "A"; "B"; "C" ] in
+  let rel = Relation.create schema in
+  List.iter
+    (fun (a, b, c) ->
+      ignore
+        (Relation.insert rel
+           [| Value.string a; Value.string b; Value.string c |]))
+    rows;
+  rel
+
+let test_discovers_plain_fd () =
+  (* B is a function of A throughout: expect the FD A -> B. *)
+  let rel =
+    simple_rel
+      [
+        ("a1", "x", "p"); ("a1", "x", "q"); ("a2", "y", "p"); ("a2", "y", "q");
+        ("a3", "x", "r"); ("a3", "x", "p");
+      ]
+  in
+  let d = Discovery.discover ~config:small_config rel in
+  Alcotest.(check bool) "found a variable clause" true (d.Discovery.n_variable >= 1);
+  let has_fd =
+    List.exists
+      (fun (t : Cfd.Tableau.t) ->
+        t.Cfd.Tableau.lhs_attrs = [ "A" ]
+        && t.Cfd.Tableau.rhs_attrs = [ "B" ]
+        && List.exists
+             (fun (r : Cfd.Tableau.row) -> List.for_all Pattern.is_wild r.Cfd.Tableau.lhs)
+             t.Cfd.Tableau.rows)
+      d.Discovery.tableaus
+  in
+  Alcotest.(check bool) "A -> B present" true has_fd
+
+let test_discovers_constant_rows () =
+  (* No global FD from A to B (a1 maps to two values), but the pattern
+     (a2 || y) holds with full confidence and support 4. *)
+  let rel =
+    simple_rel
+      [
+        ("a1", "x", "p"); ("a1", "z", "q"); ("a2", "y", "p"); ("a2", "y", "q");
+        ("a2", "y", "r"); ("a2", "y", "s");
+      ]
+  in
+  let d = Discovery.discover ~config:small_config rel in
+  let row_found =
+    List.exists
+      (fun (t : Cfd.Tableau.t) ->
+        t.Cfd.Tableau.lhs_attrs = [ "A" ]
+        && t.Cfd.Tableau.rhs_attrs = [ "B" ]
+        && List.exists
+             (fun (r : Cfd.Tableau.row) ->
+               match r.Cfd.Tableau.lhs, r.Cfd.Tableau.rhs with
+               | [ Pattern.Const a ], [ Pattern.Const b ] ->
+                 Value.equal a (Value.string "a2") && Value.equal b (Value.string "y")
+               | _ -> false)
+             t.Cfd.Tableau.rows)
+      d.Discovery.tableaus
+  in
+  Alcotest.(check bool) "(a2 || y) mined" true row_found
+
+let test_mined_cfds_hold () =
+  (* Whatever is mined from an instance must be satisfied by it. *)
+  let ds =
+    Datagen.generate
+      {
+        Datagen.n_tuples = 400;
+        n_cities = 8;
+        n_streets_per_city = 4;
+        n_items = 30;
+        n_customers = 90;
+        tableau_coverage = 0.8;
+        seed = 17;
+      }
+  in
+  let d =
+    Discovery.discover
+      ~config:(Discovery.default_config ~max_lhs_size:1 ~min_support:5 ())
+      ds.Datagen.dopt
+  in
+  let sigma = Discovery.resolve d in
+  Alcotest.(check bool) "instance satisfies mined sigma" true
+    (Violation.satisfies ds.Datagen.dopt sigma);
+  (* The generator's world has zip -> CT; discovery must find it. *)
+  let found =
+    List.exists
+      (fun (t : Cfd.Tableau.t) ->
+        t.Cfd.Tableau.lhs_attrs = [ "zip" ] && t.Cfd.Tableau.rhs_attrs = [ "CT" ])
+      d.Discovery.tableaus
+  in
+  Alcotest.(check bool) "zip -> CT rediscovered" true found
+
+let test_mined_cfds_catch_noise () =
+  (* CFDs mined from clean data should flag noise injected later. *)
+  let ds =
+    Datagen.generate
+      {
+        Datagen.n_tuples = 600;
+        n_cities = 8;
+        n_streets_per_city = 4;
+        n_items = 30;
+        n_customers = 90;
+        tableau_coverage = 0.8;
+        seed = 19;
+      }
+  in
+  let d =
+    Discovery.discover
+      ~config:(Discovery.default_config ~max_lhs_size:2 ~min_support:5 ())
+      ds.Datagen.dopt
+  in
+  let sigma = Discovery.resolve d in
+  let info = Noise.inject (Noise.default_params ~rate:0.05 ~seed:19 ()) ds in
+  Alcotest.(check bool) "dirty data violates mined sigma" false
+    (Violation.satisfies info.Noise.dirty sigma)
+
+let test_subset_pruning () =
+  (* When (a || y) already forces B, the two-attribute row (a, c || y)
+     must not be emitted. *)
+  let rel =
+    simple_rel
+      [
+        ("a", "y", "c"); ("a", "y", "c"); ("a", "y", "c"); ("a", "y", "c");
+        ("b", "z", "c"); ("b", "z", "c"); ("b", "z", "c"); ("b", "z", "c");
+      ]
+  in
+  let d = Discovery.discover ~config:small_config rel in
+  let two_attr_rows_to_b =
+    List.filter
+      (fun (t : Cfd.Tableau.t) ->
+        List.length t.Cfd.Tableau.lhs_attrs = 2
+        && t.Cfd.Tableau.rhs_attrs = [ "B" ]
+        && List.exists
+             (fun (r : Cfd.Tableau.row) ->
+               not (List.for_all Pattern.is_wild r.Cfd.Tableau.lhs))
+             t.Cfd.Tableau.rows)
+      d.Discovery.tableaus
+  in
+  Alcotest.(check (list string)) "no redundant 2-attribute constant rows" []
+    (List.map (fun (t : Cfd.Tableau.t) -> t.Cfd.Tableau.name) two_attr_rows_to_b)
+
+let test_min_support_respected () =
+  let rel =
+    simple_rel [ ("a", "x", "1"); ("a", "x", "2"); ("b", "y", "1") ]
+  in
+  let config = Discovery.default_config ~max_lhs_size:1 ~min_support:5 () in
+  let d = Discovery.discover ~config rel in
+  Alcotest.(check int) "no constant rows below support" 0 d.Discovery.n_constant
+
+let test_confidence_tolerance () =
+  (* 7 of 8 tuples with A=a agree on B=y: mined at confidence 0.8, not 1. *)
+  let rel =
+    simple_rel
+      [
+        ("a", "y", "1"); ("a", "y", "2"); ("a", "y", "3"); ("a", "y", "4");
+        ("a", "y", "5"); ("a", "y", "6"); ("a", "y", "7"); ("a", "z", "8");
+      ]
+  in
+  let mined confidence =
+    let d =
+      Discovery.discover
+        ~config:
+          (Discovery.default_config ~max_lhs_size:1 ~min_support:4
+             ~min_confidence:confidence ())
+        rel
+    in
+    List.exists
+      (fun (t : Cfd.Tableau.t) ->
+        t.Cfd.Tableau.lhs_attrs = [ "A" ]
+        && t.Cfd.Tableau.rhs_attrs = [ "B" ]
+        && List.exists
+             (fun (r : Cfd.Tableau.row) ->
+               not (List.for_all Pattern.is_wild r.Cfd.Tableau.lhs))
+             t.Cfd.Tableau.rows)
+      d.Discovery.tableaus
+  in
+  Alcotest.(check bool) "tolerant mining finds (a || y)" true (mined 0.8);
+  Alcotest.(check bool) "exact mining does not" false (mined 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "discovers plain FDs" `Quick test_discovers_plain_fd;
+    Alcotest.test_case "discovers constant rows" `Quick test_discovers_constant_rows;
+    Alcotest.test_case "mined CFDs hold on the source" `Quick test_mined_cfds_hold;
+    Alcotest.test_case "mined CFDs catch later noise" `Quick
+      test_mined_cfds_catch_noise;
+    Alcotest.test_case "subset pruning" `Quick test_subset_pruning;
+    Alcotest.test_case "min support respected" `Quick test_min_support_respected;
+    Alcotest.test_case "confidence tolerance" `Quick test_confidence_tolerance;
+  ]

@@ -1,0 +1,158 @@
+open Dq_relation
+open Dq_core
+
+(* A tiny universe: original value of (tid, attr) is "t<tid>a<attr>". *)
+let make () =
+  Eqclass.create ~arity:4 ~original:(fun ~tid ~attr ->
+      Value.string (Printf.sprintf "t%da%d" tid attr))
+
+let test_singletons () =
+  let eq = make () in
+  let c = Eqclass.cell eq ~tid:3 ~attr:2 in
+  Alcotest.(check (pair int int)) "decode" (3, 2) (Eqclass.tid_attr eq c);
+  Alcotest.(check bool) "target unfixed" true (Eqclass.target eq c = Eqclass.Unfixed);
+  Alcotest.check (Alcotest.testable Value.pp Value.equal) "repr is original"
+    (Value.string "t3a2") (Eqclass.repr eq c);
+  Alcotest.(check int) "size" 1 (Eqclass.size eq c);
+  Alcotest.(check (list (pair int int))) "members" [ (3, 2) ] (Eqclass.members eq c)
+
+let test_attr_bounds () =
+  let eq = make () in
+  Alcotest.check_raises "attr out of range"
+    (Invalid_argument "Eqclass.cell: attribute 4 out of range") (fun () ->
+      ignore (Eqclass.cell eq ~tid:0 ~attr:4))
+
+let test_union_merges_members () =
+  let eq = make () in
+  let c1 = Eqclass.cell eq ~tid:0 ~attr:0 in
+  let c2 = Eqclass.cell eq ~tid:1 ~attr:0 in
+  let c3 = Eqclass.cell eq ~tid:2 ~attr:0 in
+  ignore (Eqclass.union eq c1 c2);
+  ignore (Eqclass.union eq c2 c3);
+  Alcotest.(check bool) "same class" true (Eqclass.same_class eq c1 c3);
+  Alcotest.(check int) "size 3" 3 (Eqclass.size eq c1);
+  Alcotest.(check (list (pair int int))) "members"
+    [ (0, 0); (1, 0); (2, 0) ]
+    (List.sort compare (Eqclass.members eq c1))
+
+let test_union_idempotent () =
+  let eq = make () in
+  let c1 = Eqclass.cell eq ~tid:0 ~attr:0 in
+  let c2 = Eqclass.cell eq ~tid:1 ~attr:0 in
+  let r = Eqclass.union eq c1 c2 in
+  Alcotest.(check int) "self union" r (Eqclass.union eq c1 c2);
+  Alcotest.(check int) "size still 2" 2 (Eqclass.size eq c1)
+
+let test_target_lattice () =
+  let eq = make () in
+  let c = Eqclass.cell eq ~tid:0 ~attr:0 in
+  Eqclass.set_target eq c (Eqclass.Const (Value.string "v"));
+  Alcotest.(check bool) "const set" true
+    (Eqclass.target eq c = Eqclass.Const (Value.string "v"));
+  (* same constant is a no-op, different constant rejected *)
+  Eqclass.set_target eq c (Eqclass.Const (Value.string "v"));
+  Alcotest.check_raises "const -> other const"
+    (Invalid_argument "Eqclass.set_target: illegal move v -> w") (fun () ->
+      Eqclass.set_target eq c (Eqclass.Const (Value.string "w")));
+  Alcotest.check_raises "const -> unfixed"
+    (Invalid_argument "Eqclass.set_target: illegal move v -> _") (fun () ->
+      Eqclass.set_target eq c Eqclass.Unfixed);
+  (* null is terminal *)
+  Eqclass.set_target eq c Eqclass.Null;
+  Alcotest.check_raises "null -> const"
+    (Invalid_argument "Eqclass.set_target: illegal move null -> v") (fun () ->
+      Eqclass.set_target eq c (Eqclass.Const (Value.string "v")))
+
+let test_union_target_join () =
+  let eq = make () in
+  let c1 = Eqclass.cell eq ~tid:0 ~attr:0 in
+  let c2 = Eqclass.cell eq ~tid:1 ~attr:0 in
+  Eqclass.set_target eq c2 (Eqclass.Const (Value.string "v"));
+  ignore (Eqclass.union eq c1 c2);
+  Alcotest.(check bool) "const wins over unfixed" true
+    (Eqclass.target eq c1 = Eqclass.Const (Value.string "v"));
+  (* null dominates *)
+  let c3 = Eqclass.cell eq ~tid:2 ~attr:0 in
+  Eqclass.set_target eq c3 Eqclass.Null;
+  ignore (Eqclass.union eq c1 c3);
+  Alcotest.(check bool) "null dominates" true (Eqclass.target eq c1 = Eqclass.Null)
+
+let test_union_conflicting_constants_rejected () =
+  let eq = make () in
+  let c1 = Eqclass.cell eq ~tid:0 ~attr:0 in
+  let c2 = Eqclass.cell eq ~tid:1 ~attr:0 in
+  Eqclass.set_target eq c1 (Eqclass.Const (Value.string "a"));
+  Eqclass.set_target eq c2 (Eqclass.Const (Value.string "b"));
+  Alcotest.check_raises "distinct constants"
+    (Invalid_argument "Eqclass.union: classes with distinct constant targets a / b")
+    (fun () -> ignore (Eqclass.union eq c1 c2))
+
+let test_effective () =
+  let eq = make () in
+  let c = Eqclass.cell eq ~tid:0 ~attr:1 in
+  Alcotest.(check bool) "unfixed -> repr" true
+    (Value.equal (Eqclass.effective eq c) (Value.string "t0a1"));
+  Eqclass.set_target eq c (Eqclass.Const (Value.string "v"));
+  Alcotest.(check bool) "const -> const" true
+    (Value.equal (Eqclass.effective eq c) (Value.string "v"));
+  Eqclass.set_target eq c Eqclass.Null;
+  Alcotest.(check bool) "null -> null" true (Value.is_null (Eqclass.effective eq c))
+
+let test_set_repr () =
+  let eq = make () in
+  let c = Eqclass.cell eq ~tid:0 ~attr:0 in
+  Eqclass.set_repr eq c (Value.string "better");
+  Alcotest.(check bool) "repr updated" true
+    (Value.equal (Eqclass.effective eq c) (Value.string "better"));
+  Eqclass.set_target eq c Eqclass.Null;
+  Alcotest.check_raises "fixed class rejects set_repr"
+    (Invalid_argument "Eqclass.set_repr: representative is fixed once targeted")
+    (fun () -> Eqclass.set_repr eq c (Value.string "x"))
+
+let test_counts () =
+  let eq = make () in
+  let c1 = Eqclass.cell eq ~tid:0 ~attr:0 in
+  let c2 = Eqclass.cell eq ~tid:1 ~attr:0 in
+  let _c3 = Eqclass.cell eq ~tid:2 ~attr:0 in
+  Alcotest.(check int) "3 cells" 3 (Eqclass.n_cells eq);
+  Alcotest.(check int) "3 classes" 3 (Eqclass.n_classes eq);
+  ignore (Eqclass.union eq c1 c2);
+  Alcotest.(check int) "cells stable" 3 (Eqclass.n_cells eq);
+  Alcotest.(check int) "2 classes" 2 (Eqclass.n_classes eq);
+  let seen = ref 0 in
+  Eqclass.iter_roots (fun _ -> incr seen) eq;
+  Alcotest.(check int) "iter_roots visits classes" 2 !seen
+
+let prop_union_find_invariants =
+  QCheck.Test.make ~name:"random unions keep sizes and membership consistent"
+    ~count:100
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let eq =
+        Eqclass.create ~arity:1 ~original:(fun ~tid ~attr:_ ->
+            Value.int tid)
+      in
+      let cell i = Eqclass.cell eq ~tid:i ~attr:0 in
+      List.iter (fun (i, j) -> ignore (Eqclass.union eq (cell i) (cell j))) pairs;
+      (* every cell's members list contains the cell itself, and sizes agree *)
+      List.for_all
+        (fun i ->
+          let ms = Eqclass.members eq (cell i) in
+          List.mem (i, 0) ms && List.length ms = Eqclass.size eq (cell i))
+        (List.init 20 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "attribute bounds" `Quick test_attr_bounds;
+    Alcotest.test_case "union merges members" `Quick test_union_merges_members;
+    Alcotest.test_case "union idempotent" `Quick test_union_idempotent;
+    Alcotest.test_case "target lattice" `Quick test_target_lattice;
+    Alcotest.test_case "union joins targets" `Quick test_union_target_join;
+    Alcotest.test_case "conflicting constants rejected" `Quick
+      test_union_conflicting_constants_rejected;
+    Alcotest.test_case "effective values" `Quick test_effective;
+    Alcotest.test_case "set_repr" `Quick test_set_repr;
+    Alcotest.test_case "cell and class counts" `Quick test_counts;
+    QCheck_alcotest.to_alcotest prop_union_find_invariants;
+  ]

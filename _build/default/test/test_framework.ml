@@ -1,0 +1,134 @@
+open Dq_relation
+open Dq_core
+open Dq_workload
+
+let dataset () =
+  let ds =
+    Datagen.generate
+      {
+        Datagen.n_tuples = 400;
+        n_cities = 8;
+        n_streets_per_city = 4;
+        n_items = 30;
+        n_customers = 100;
+        tableau_coverage = 0.8;
+        seed = 13;
+      }
+  in
+  let info = Noise.inject (Noise.default_params ~rate:0.04 ~seed:13 ()) ds in
+  (ds, info)
+
+(* The simulated domain expert of Section 7.1: compares against Dopt and
+   hands back the clean tuple when the repair misses. *)
+let expert dopt t' =
+  match Relation.find dopt (Tuple.tid t') with
+  | Some truth when Tuple.equal_values t' truth -> None
+  | Some truth -> Some (Tuple.copy truth)
+  | None -> None
+
+let test_loop_terminates_and_cleans () =
+  let ds, info = dataset () in
+  let outcome =
+    Framework.clean ~max_rounds:4
+      ~sampling:(Sampling.default_config ~sample_size:150 ())
+      ~user:(Framework.passive_user (expert ds.Datagen.dopt))
+      info.Noise.dirty ds.Datagen.sigma
+  in
+  Alcotest.(check bool) "repair is consistent" true
+    (Dq_cfd.Violation.satisfies outcome.Framework.repair ds.Datagen.sigma);
+  Alcotest.(check bool) "ran at least one round" true
+    (List.length outcome.Framework.rounds >= 1);
+  Alcotest.(check bool) "rounds bounded" true
+    (List.length outcome.Framework.rounds <= 4)
+
+let test_corrections_improve_rounds () =
+  let ds, info = dataset () in
+  let outcome =
+    Framework.clean ~max_rounds:4
+      ~sampling:
+        {
+          (Sampling.default_config ~sample_size:200 ()) with
+          (* a strict bound, to force at least one feedback round *)
+          Sampling.epsilon = 0.002;
+          confidence = 0.95;
+        }
+      ~user:(Framework.passive_user (expert ds.Datagen.dopt))
+      info.Noise.dirty ds.Datagen.sigma
+  in
+  match outcome.Framework.rounds with
+  | [] -> Alcotest.fail "no rounds"
+  | first :: rest ->
+    if rest <> [] then begin
+      let last = List.nth rest (List.length rest - 1) in
+      Alcotest.(check bool) "estimated inaccuracy does not grow" true
+        (last.Framework.report.Sampling.p_hat
+        <= first.Framework.report.Sampling.p_hat +. 1e-9)
+    end
+
+let test_input_not_modified () =
+  let ds, info = dataset () in
+  let before = Relation.copy info.Noise.dirty in
+  let _ =
+    Framework.clean ~max_rounds:2
+      ~sampling:(Sampling.default_config ~sample_size:80 ())
+      ~user:(Framework.passive_user (expert ds.Datagen.dopt))
+      info.Noise.dirty ds.Datagen.sigma
+  in
+  Alcotest.(check int) "input untouched" 0 (Relation.dif before info.Noise.dirty)
+
+let test_incremental_algorithm_variant () =
+  let ds, info = dataset () in
+  let outcome =
+    Framework.clean ~max_rounds:2
+      ~algorithm:(Framework.Incremental Inc_repair.By_violations)
+      ~sampling:(Sampling.default_config ~sample_size:100 ())
+      ~user:(Framework.passive_user (expert ds.Datagen.dopt))
+      info.Noise.dirty ds.Datagen.sigma
+  in
+  Alcotest.(check bool) "consistent" true
+    (Dq_cfd.Violation.satisfies outcome.Framework.repair ds.Datagen.sigma)
+
+let test_cfd_revision_applied () =
+  let ds, info = dataset () in
+  let revised = ref false in
+  let user =
+    {
+      Framework.inspect = (fun t' -> expert ds.Datagen.dopt t');
+      revise_cfds =
+        (fun sigma ->
+          revised := true;
+          sigma);
+    }
+  in
+  let strict =
+    { (Sampling.default_config ~sample_size:200 ()) with Sampling.epsilon = 0.002 }
+  in
+  let outcome =
+    Framework.clean ~max_rounds:3 ~sampling:strict ~user info.Noise.dirty
+      ds.Datagen.sigma
+  in
+  if List.length outcome.Framework.rounds > 1 then
+    Alcotest.(check bool) "revise_cfds consulted between rounds" true !revised
+
+let test_max_rounds_validation () =
+  let ds, info = dataset () in
+  Alcotest.check_raises "max_rounds >= 1"
+    (Invalid_argument "Framework.clean: max_rounds must be >= 1") (fun () ->
+      ignore
+        (Framework.clean ~max_rounds:0
+           ~sampling:(Sampling.default_config ())
+           ~user:(Framework.passive_user (fun _ -> None))
+           info.Noise.dirty ds.Datagen.sigma))
+
+let suite =
+  [
+    Alcotest.test_case "loop terminates and cleans" `Quick
+      test_loop_terminates_and_cleans;
+    Alcotest.test_case "corrections reduce inaccuracy" `Quick
+      test_corrections_improve_rounds;
+    Alcotest.test_case "input not modified" `Quick test_input_not_modified;
+    Alcotest.test_case "incremental repairer variant" `Quick
+      test_incremental_algorithm_variant;
+    Alcotest.test_case "CFD revision consulted" `Quick test_cfd_revision_applied;
+    Alcotest.test_case "max_rounds validation" `Quick test_max_rounds_validation;
+  ]

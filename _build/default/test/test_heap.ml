@@ -1,0 +1,59 @@
+open Dq_relation
+
+let test_basic_order () =
+  let h = Heap.create () in
+  Heap.add h ~priority:3.0 "c";
+  Heap.add h ~priority:1.0 "a";
+  Heap.add h ~priority:2.0 "b";
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1.0, "a")) (Heap.peek_min h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop a" (Some (1.0, "a")) (Heap.pop_min h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop b" (Some (2.0, "b")) (Heap.pop_min h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop c" (Some (3.0, "c")) (Heap.pop_min h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check (option (pair (float 0.) int))) "pop empty" None (Heap.pop_min h);
+  Alcotest.(check (option (pair (float 0.) int))) "peek empty" None (Heap.peek_min h)
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.add h ~priority:1.0 1;
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h)
+
+let test_negative_and_duplicate_priorities () =
+  let h = Heap.create () in
+  List.iter (fun (p, x) -> Heap.add h ~priority:p x)
+    [ (0.0, 1); (-1.0, 2); (0.0, 3); (-1.0, 4) ];
+  let p1, _ = Option.get (Heap.pop_min h) in
+  let p2, _ = Option.get (Heap.pop_min h) in
+  let p3, _ = Option.get (Heap.pop_min h) in
+  let p4, _ = Option.get (Heap.pop_min h) in
+  Alcotest.(check (list (float 0.))) "priority order" [ -1.0; -1.0; 0.0; 0.0 ]
+    [ p1; p2; p3; p4 ]
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"popping yields non-decreasing priorities" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.add h ~priority:p i) priorities;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      List.length out = List.length priorities
+      && out = List.sort Float.compare priorities)
+
+let suite =
+  [
+    Alcotest.test_case "basic ordering" `Quick test_basic_order;
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "duplicates and negatives" `Quick
+      test_negative_and_duplicate_priorities;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+  ]

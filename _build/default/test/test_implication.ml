@@ -1,0 +1,123 @@
+open Dq_relation
+open Dq_cfd
+open Dq_core
+
+let schema = Schema.make ~name:"r" [ "A"; "B"; "C" ]
+
+let w = Pattern.Wild
+
+let c s = Pattern.const (Value.string s)
+
+let mk ?(name = "psi") lhs rhs = Cfd.make schema ~name ~lhs ~rhs
+
+let fd_ab = mk [ ("A", w) ] ("B", w)
+
+let test_self_implication () =
+  Alcotest.(check bool) "phi implies phi" true
+    (Implication.implies schema [| fd_ab |] fd_ab)
+
+let test_specialisation_implied () =
+  (* A -> B implies (A=a -> B) as a variable clause, and a constant row is
+     implied by a more general constant row. *)
+  let special = mk [ ("A", c "a") ] ("B", w) in
+  Alcotest.(check bool) "conditional instance implied" true
+    (Implication.implies schema [| fd_ab |] special);
+  let general_row = mk [ ("A", c "a") ] ("B", c "b") in
+  let longer_row = Cfd.make schema ~name:"phi" ~lhs:[ ("A", c "a"); ("C", c "x") ] ~rhs:("B", c "b") in
+  Alcotest.(check bool) "syntactic subsumption misses different lhs" false
+    (Implication.subsumes general_row longer_row);
+  Alcotest.(check bool) "semantically implied" true
+    (Implication.implies schema [| general_row |] longer_row)
+
+let test_not_implied () =
+  let fd_ba = mk [ ("B", w) ] ("A", w) in
+  Alcotest.(check bool) "A->B does not imply B->A" false
+    (Implication.implies schema [| fd_ab |] fd_ba);
+  match Implication.counterexample schema [| fd_ab |] fd_ba with
+  | Some (t1, t2) ->
+    (* the witness must itself satisfy Σ and violate φ *)
+    let rel = Relation.create schema in
+    ignore (Relation.insert rel t1);
+    ignore (Relation.insert rel t2);
+    Alcotest.(check bool) "witness satisfies sigma" true
+      (Violation.satisfies rel (Cfd.number [ fd_ab ]));
+    Alcotest.(check bool) "witness violates phi" false
+      (Violation.satisfies rel (Cfd.number [ fd_ba ]))
+  | None -> Alcotest.fail "expected a counterexample"
+
+let test_transitivity () =
+  let fd_bc = mk [ ("B", w) ] ("C", w) in
+  let fd_ac = mk [ ("A", w) ] ("C", w) in
+  Alcotest.(check bool) "A->B, B->C imply A->C" true
+    (Implication.implies schema [| fd_ab; fd_bc |] fd_ac);
+  Alcotest.(check bool) "A->B alone does not" false
+    (Implication.implies schema [| fd_ab |] fd_ac)
+
+let test_constant_chaining () =
+  (* (A=a -> B=b) and (B=b -> C=c) imply (A=a -> C=c). *)
+  let r1 = mk [ ("A", c "a") ] ("B", c "b") in
+  let r2 = mk [ ("B", c "b") ] ("C", c "c") in
+  let goal = mk [ ("A", c "a") ] ("C", c "c") in
+  Alcotest.(check bool) "constant chaining" true
+    (Implication.implies schema [| r1; r2 |] goal);
+  Alcotest.(check bool) "not from r1 alone" false
+    (Implication.implies schema [| r1 |] goal)
+
+let test_unsatisfiable_implies_everything () =
+  let contra1 = mk [ ("A", w) ] ("B", c "x") in
+  let contra2 = mk [ ("A", w) ] ("B", c "y") in
+  let anything = mk [ ("C", w) ] ("A", c "q") in
+  Alcotest.(check bool) "vacuous implication" true
+    (Implication.implies schema [| contra1; contra2 |] anything)
+
+let test_subsumes () =
+  let general = mk [ ("A", w) ] ("B", c "b") in
+  let specific = mk [ ("A", c "a") ] ("B", c "b") in
+  Alcotest.(check bool) "general subsumes specific" true
+    (Implication.subsumes general specific);
+  Alcotest.(check bool) "specific does not subsume general" false
+    (Implication.subsumes specific general);
+  Alcotest.(check bool) "different rhs pattern" false
+    (Implication.subsumes general (mk [ ("A", w) ] ("B", w)))
+
+let test_minimize () =
+  let fd_bc = mk [ ("B", w) ] ("C", w) in
+  let fd_ac = mk [ ("A", w) ] ("C", w) in
+  let redundant_row = mk [ ("A", c "a") ] ("B", w) in
+  let sigma = Cfd.number [ fd_ab; fd_bc; fd_ac; redundant_row ] in
+  let cover = Implication.minimize schema sigma in
+  (* fd_ac follows from fd_ab + fd_bc; the conditional row from fd_ab. *)
+  Alcotest.(check int) "two clauses survive" 2 (Array.length cover);
+  (* the cover still implies what was dropped *)
+  Alcotest.(check bool) "cover implies dropped fd" true
+    (Implication.implies schema cover fd_ac)
+
+let test_budget () =
+  let wide = Schema.make ~name:"wide" (List.init 12 (fun i -> Printf.sprintf "A%d" i)) in
+  let clauses =
+    List.init 11 (fun i ->
+        Cfd.make wide
+          ~lhs:[ (Printf.sprintf "A%d" i, Pattern.Wild) ]
+          ~rhs:(Printf.sprintf "A%d" (i + 1), Pattern.Wild))
+  in
+  let goal =
+    Cfd.make wide ~lhs:[ ("A11", Pattern.Wild) ] ~rhs:("A0", Pattern.Wild)
+  in
+  Alcotest.check_raises "tiny budget exhausts" Implication.Budget_exceeded
+    (fun () ->
+      ignore
+        (Implication.implies ~node_budget:10 wide (Array.of_list clauses) goal))
+
+let suite =
+  [
+    Alcotest.test_case "self implication" `Quick test_self_implication;
+    Alcotest.test_case "specialisation implied" `Quick test_specialisation_implied;
+    Alcotest.test_case "non-implication with witness" `Quick test_not_implied;
+    Alcotest.test_case "FD transitivity" `Quick test_transitivity;
+    Alcotest.test_case "constant chaining" `Quick test_constant_chaining;
+    Alcotest.test_case "unsatisfiable implies everything" `Quick
+      test_unsatisfiable_implies_everything;
+    Alcotest.test_case "syntactic subsumption" `Quick test_subsumes;
+    Alcotest.test_case "minimize" `Quick test_minimize;
+    Alcotest.test_case "budget" `Quick test_budget;
+  ]

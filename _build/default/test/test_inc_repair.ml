@@ -1,0 +1,125 @@
+open Dq_relation
+open Dq_cfd
+open Dq_core
+open Helpers
+
+let clean_base () =
+  let repr, _ = Batch_repair.repair (fig1_db ()) (fig1_sigma ()) in
+  repr
+
+let t5_values =
+  (* Example 1.1's t5: agrees with t1 on AC,PN but claims NYC/NY/10012. *)
+  Array.map Value.of_string
+    [| "a55"; "Alice"; "5.00"; "215"; "8983490"; "Oak"; "NYC"; "NY"; "10012" |]
+
+let fresh_tuple ?(tid = 1000) values = Tuple.create ~tid values
+
+(* Example 5.1: with k = 2, TUPLERESOLVE cannot satisfy both phi1 and phi2
+   by changing CT,ST to active-domain values; it must reach null or touch
+   zip; with k = 3 the (PHI, PA, 19014) repair exists.  Either way the
+   result must be consistent. *)
+let test_t5_insert k () =
+  let base = clean_base () in
+  let sigma = fig1_sigma () in
+  let repr, stats =
+    Inc_repair.repair_inserts ~k base [ fresh_tuple t5_values ] sigma
+  in
+  Alcotest.(check bool) "result satisfies sigma" true (Violation.satisfies repr sigma);
+  Alcotest.(check int) "one processed" 1 stats.Inc_repair.tuples_processed;
+  Alcotest.(check int) "base untouched" 0
+    (Relation.dif base repr - (Schema.arity order_schema * 1))
+(* dif counts the new tuple as arity differences; base rows unchanged *)
+
+let test_base_never_modified () =
+  let base = clean_base () in
+  let sigma = fig1_sigma () in
+  let before = Relation.copy base in
+  let repr, _ = Inc_repair.repair_inserts base [ fresh_tuple t5_values ] sigma in
+  Alcotest.(check int) "input relation unchanged" 0 (Relation.dif base before);
+  Relation.iter
+    (fun t ->
+      match Relation.find repr (Tuple.tid t) with
+      | Some t' ->
+        Alcotest.(check bool) "base tuple unchanged in repair" true
+          (Tuple.equal_values t t')
+      | None -> Alcotest.fail "base tuple missing from repair")
+    base
+
+let test_clean_insert_untouched () =
+  let base = clean_base () in
+  let sigma = fig1_sigma () in
+  (* A tuple consistent with the base: copies t1's semantics with new id. *)
+  let values =
+    Array.map Value.of_string
+      [| "a99"; "Tea"; "3.50"; "215"; "8983490"; "Walnut"; "PHI"; "PA"; "19014" |]
+  in
+  let repr, stats = Inc_repair.repair_inserts base [ fresh_tuple values ] sigma in
+  Alcotest.(check bool) "satisfies" true (Violation.satisfies repr sigma);
+  Alcotest.(check int) "no changes needed" 0 stats.Inc_repair.cells_changed
+
+let test_orderings_all_clean () =
+  let base = clean_base () in
+  let sigma = fig1_sigma () in
+  let delta =
+    [
+      fresh_tuple ~tid:1000 t5_values;
+      fresh_tuple ~tid:1001
+        (Array.map Value.of_string
+           [| "a23"; "H. Porter"; "99.99"; "610"; "1112223"; "Elm"; "PHI"; "PA"; "19014" |]);
+      (* violates phi3: same id, different PR *)
+    ]
+  in
+  List.iter
+    (fun ordering ->
+      let repr, _ = Inc_repair.repair_inserts ~ordering base delta sigma in
+      Alcotest.(check bool)
+        (Inc_repair.ordering_name ordering ^ " yields clean result")
+        true
+        (Violation.satisfies repr sigma))
+    [ Inc_repair.Linear; Inc_repair.By_violations; Inc_repair.By_weight ]
+
+let test_repair_dirty_nonincremental () =
+  let db = fig1_db () in
+  let sigma = fig1_sigma () in
+  let repr, stats = Inc_repair.repair_dirty db sigma in
+  Alcotest.(check bool) "clean" true (Violation.satisfies repr sigma);
+  Alcotest.(check int) "cardinality preserved" (Relation.cardinality db)
+    (Relation.cardinality repr);
+  Alcotest.(check bool) "only t3,t4 reprocessed" true
+    (stats.Inc_repair.tuples_processed = 2)
+
+let test_consistent_core () =
+  let db = fig1_db () in
+  let sigma = fig1_sigma () in
+  let core = Inc_repair.consistent_core db sigma in
+  (* t1 (tid 0) and t2 (tid 1) are clean; t3, t4 violate phi1/phi2. *)
+  Alcotest.(check (list int)) "core tids" [ 0; 1 ] core
+
+let test_deletions_never_dirty () =
+  let base = clean_base () in
+  let sigma = fig1_sigma () in
+  ignore (Relation.delete base 0);
+  Alcotest.(check bool) "still clean after deletion" true
+    (Violation.satisfies base sigma)
+
+let test_no_cluster_index_variant () =
+  let db = fig1_db () in
+  let sigma = fig1_sigma () in
+  let repr, _ = Inc_repair.repair_dirty ~use_cluster_index:false db sigma in
+  Alcotest.(check bool) "clean" true (Violation.satisfies repr sigma)
+
+let suite =
+  [
+    Alcotest.test_case "t5 insert, k=2" `Quick (test_t5_insert 2);
+    Alcotest.test_case "t5 insert, k=3" `Quick (test_t5_insert 3);
+    Alcotest.test_case "base never modified" `Quick test_base_never_modified;
+    Alcotest.test_case "clean insert untouched" `Quick test_clean_insert_untouched;
+    Alcotest.test_case "all orderings yield clean repairs" `Quick
+      test_orderings_all_clean;
+    Alcotest.test_case "repair_dirty (section 5.3)" `Quick
+      test_repair_dirty_nonincremental;
+    Alcotest.test_case "consistent core" `Quick test_consistent_core;
+    Alcotest.test_case "deletions never dirty" `Quick test_deletions_never_dirty;
+    Alcotest.test_case "works without cluster index" `Quick
+      test_no_cluster_index_variant;
+  ]

@@ -1,0 +1,129 @@
+open Dq_relation
+open Dq_cfd
+open Dq_workload
+
+let dataset () =
+  Datagen.generate
+    {
+      Datagen.n_tuples = 500;
+      n_cities = 10;
+      n_streets_per_city = 4;
+      n_items = 40;
+      n_customers = 120;
+      tableau_coverage = 0.8;
+      seed = 21;
+    }
+
+let test_typo_properties () =
+  let rng = Random.State.make [| 5 |] in
+  List.iter
+    (fun s ->
+      for _ = 1 to 20 do
+        let t = Noise.typo rng s in
+        Alcotest.(check bool) "differs from input" false (String.equal t s);
+        Alcotest.(check bool) "non-empty" true (String.length t > 0);
+        Alcotest.(check bool) "DL-close (<= 6 edits + slack)" true
+          (Dq_core.Cost.dl_distance s t <= 7)
+      done)
+    [ "Walnut"; "19014"; "x"; ""; "NYC" ]
+
+let test_rate_zero_and_one () =
+  let ds = dataset () in
+  let zero = Noise.inject (Noise.default_params ~rate:0.0 ()) ds in
+  Alcotest.(check int) "rate 0 dirties nothing" 0
+    (List.length zero.Noise.dirty_tids);
+  let all = Noise.inject (Noise.default_params ~rate:1.0 ()) ds in
+  Alcotest.(check bool) "rate 1 dirties most tuples" true
+    (List.length all.Noise.dirty_tids > 400)
+
+let test_rate_out_of_range () =
+  let ds = dataset () in
+  Alcotest.check_raises "rate 2" (Invalid_argument "Noise.inject: rate must be in [0,1]")
+    (fun () -> ignore (Noise.inject (Noise.default_params ~rate:2.0 ()) ds));
+  Alcotest.check_raises "max_attrs 0"
+    (Invalid_argument "Noise.inject: max_attrs must be >= 1") (fun () ->
+      ignore
+        (Noise.inject { (Noise.default_params ()) with Noise.max_attrs = 0 } ds))
+
+let test_every_dirty_tuple_violates () =
+  let ds = dataset () in
+  List.iter
+    (fun share ->
+      let info =
+        Noise.inject (Noise.default_params ~rate:0.08 ~constant_share:share ()) ds
+      in
+      let counts = Violation.vio_counts info.Noise.dirty ds.Datagen.sigma in
+      List.iter
+        (fun tid ->
+          Alcotest.(check bool)
+            (Printf.sprintf "share %.1f: tuple %d violates" share tid)
+            true (Hashtbl.mem counts tid))
+        info.Noise.dirty_tids)
+    [ 0.0; 0.5; 1.0 ]
+
+let test_dirtied_cells_really_differ () =
+  let ds = dataset () in
+  let info = Noise.inject (Noise.default_params ~rate:0.08 ()) ds in
+  List.iter
+    (fun (tid, attr) ->
+      let d = Tuple.get (Relation.find_exn info.Noise.dirty tid) attr in
+      let o = Tuple.get (Relation.find_exn ds.Datagen.dopt tid) attr in
+      Alcotest.(check bool) "cell really changed" false (Value.equal d o);
+      Alcotest.(check bool) "no nulls injected" false (Value.is_null d))
+    info.Noise.dirtied_cells
+
+let test_weight_model () =
+  let ds = dataset () in
+  let info = Noise.inject (Noise.default_params ~rate:0.08 ()) ds in
+  let dirtied = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace dirtied c ()) info.Noise.dirtied_cells;
+  Relation.iter
+    (fun t ->
+      for attr = 0 to Tuple.arity t - 1 do
+        let w = Tuple.weight t attr in
+        if Hashtbl.mem dirtied (Tuple.tid t, attr) then
+          Alcotest.(check bool) "dirty cell weight <= a" true (w <= 0.6)
+        else Alcotest.(check bool) "clean cell weight >= b" true (w >= 0.5)
+      done)
+    info.Noise.dirty
+
+let test_unweighted_mode () =
+  let ds = dataset () in
+  let info =
+    Noise.inject { (Noise.default_params ~rate:0.05 ()) with Noise.weighted = false } ds
+  in
+  Relation.iter
+    (fun t ->
+      for attr = 0 to Tuple.arity t - 1 do
+        Alcotest.(check (float 1e-9)) "weight 1" 1.0 (Tuple.weight t attr)
+      done)
+    info.Noise.dirty
+
+let test_constant_share_targets () =
+  let ds = dataset () in
+  (* With share 1.0, dirty tuples must each violate some constant clause;
+     with share 0.0, most should violate a wildcard clause (a constant
+     violation may still arise as collateral). *)
+  let info = Noise.inject (Noise.default_params ~rate:0.08 ~constant_share:1.0 ()) ds in
+  let const_clauses =
+    Array.to_list ds.Datagen.sigma |> List.filter Cfd.is_constant
+  in
+  List.iter
+    (fun tid ->
+      let t = Relation.find_exn info.Noise.dirty tid in
+      Alcotest.(check bool) "violates a constant clause" true
+        (List.exists (fun c -> Violation.violates_constant c t) const_clauses))
+    info.Noise.dirty_tids
+
+let suite =
+  [
+    Alcotest.test_case "typo properties" `Quick test_typo_properties;
+    Alcotest.test_case "rate extremes" `Quick test_rate_zero_and_one;
+    Alcotest.test_case "parameter validation" `Quick test_rate_out_of_range;
+    Alcotest.test_case "every dirty tuple violates" `Quick
+      test_every_dirty_tuple_violates;
+    Alcotest.test_case "dirtied cells differ" `Quick test_dirtied_cells_really_differ;
+    Alcotest.test_case "weight model" `Quick test_weight_model;
+    Alcotest.test_case "unweighted mode" `Quick test_unweighted_mode;
+    Alcotest.test_case "constant share targets" `Quick test_constant_share_targets;
+  ]

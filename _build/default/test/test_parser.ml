@@ -1,0 +1,117 @@
+open Dq_relation
+open Dq_cfd
+open Helpers
+
+let parse_ok text =
+  match Cfd_parser.parse_string text with
+  | Ok tabs -> tabs
+  | Error e -> Alcotest.failf "parse error: %a" Cfd_parser.pp_error e
+
+let parse_err text =
+  match Cfd_parser.parse_string text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let test_parse_fd () =
+  match parse_ok "phi3: [id] -> [name, PR]" with
+  | [ tab ] ->
+    Alcotest.(check string) "name" "phi3" tab.Cfd.Tableau.name;
+    Alcotest.(check (list string)) "lhs" [ "id" ] tab.Cfd.Tableau.lhs_attrs;
+    Alcotest.(check (list string)) "rhs" [ "name"; "PR" ] tab.Cfd.Tableau.rhs_attrs;
+    Alcotest.(check int) "no rows = plain FD" 0 (List.length tab.Cfd.Tableau.rows)
+  | tabs -> Alcotest.failf "expected 1 tableau, got %d" (List.length tabs)
+
+let test_parse_with_rows () =
+  let text =
+    {|# CFDs of Figure 1(b)
+phi1: [AC, PN] -> [STR, CT, ST] {
+  (212, _ || _, NYC, NY)
+  (610, _ || _, PHI, PA),
+  (215, _ || _, PHI, PA)
+}|}
+  in
+  match parse_ok text with
+  | [ tab ] ->
+    Alcotest.(check int) "3 rows" 3 (List.length tab.Cfd.Tableau.rows);
+    let row = List.hd tab.Cfd.Tableau.rows in
+    Alcotest.(check bool) "first lhs pattern is 212" true
+      (Pattern.equal (List.hd row.Cfd.Tableau.lhs)
+         (Pattern.const (Value.int 212)));
+    Alcotest.(check bool) "PN wildcard" true
+      (Pattern.is_wild (List.nth row.Cfd.Tableau.lhs 1))
+  | _ -> Alcotest.fail "expected 1 tableau"
+
+let test_parse_multiple_and_comments () =
+  let text = "a: [X] -> [Y]\n# comment line\nb: [Y] -> [Z] { (1 || _) }\n" in
+  Alcotest.(check int) "two cfds" 2 (List.length (parse_ok text))
+
+let test_quoted_values () =
+  match parse_ok {|c: [A] -> [B] { ("hello, world" || "42") }|} with
+  | [ tab ] -> (
+    match tab.Cfd.Tableau.rows with
+    | [ { lhs = [ Pattern.Const v1 ]; rhs = [ Pattern.Const v2 ] } ] ->
+      Alcotest.check value "comma inside quotes" (Value.string "hello, world") v1;
+      Alcotest.check value "quoted numbers stay strings" (Value.string "42") v2
+    | _ -> Alcotest.fail "unexpected rows")
+  | _ -> Alcotest.fail "expected 1 tableau"
+
+let test_errors_have_line_numbers () =
+  let e = parse_err "a: [X] -> [Y] {\n  (1 || 2\n}" in
+  Alcotest.(check bool) "error beyond line 1" true (e.Cfd_parser.line >= 2)
+
+let test_error_cases () =
+  List.iter
+    (fun text -> ignore (parse_err text))
+    [
+      "a [X] -> [Y]" (* missing colon *);
+      "a: [] -> [Y]" (* empty attr list *);
+      "a: [X] -> [Y] { (1 | 2) }" (* single bar *);
+      "a: [X] -> [Y] { (1, 2 || 3) }" (* lhs arity *);
+      "a: [X] -> [Y] { (1 || 2), " (* unterminated *);
+      "a: [X] -> [Y] { (\"unclosed || _) }";
+    ]
+
+let test_roundtrip () =
+  let tabs = [ phi1; phi2; phi3; phi4 ] in
+  let text = Cfd_parser.to_string tabs in
+  let tabs2 = parse_ok text in
+  Alcotest.(check int) "same count" (List.length tabs) (List.length tabs2);
+  (* Resolving both against the schema yields identical clause sets. *)
+  let s1 = Cfd_parser.resolve order_schema tabs in
+  let s2 = Cfd_parser.resolve order_schema tabs2 in
+  Alcotest.(check int) "same clauses" (Array.length s1) (Array.length s2);
+  Array.iteri
+    (fun i c1 ->
+      let c2 = s2.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "clause %d equal" i)
+        true
+        (Cfd.lhs c1 = Cfd.lhs c2
+        && Cfd.rhs c1 = Cfd.rhs c2
+        && Array.for_all2 Pattern.equal (Cfd.lhs_patterns c1) (Cfd.lhs_patterns c2)
+        && Pattern.equal (Cfd.rhs_pattern c1) (Cfd.rhs_pattern c2)))
+    s1
+
+let test_resolve_numbers_clauses () =
+  let sigma = Cfd_parser.resolve order_schema (parse_ok "a: [zip] -> [CT, ST]") in
+  Alcotest.(check int) "two clauses" 2 (Array.length sigma);
+  Alcotest.(check int) "ids sequential" 1 (Cfd.id sigma.(1))
+
+let test_arrow_inside_bare_word () =
+  (* '->' must terminate a bare word; 'a->b' lexes as 'a', '->', 'b'. *)
+  let e_or_ok = Cfd_parser.parse_string "x: [a->b] -> [c]" in
+  Alcotest.(check bool) "a->b does not parse as one attribute" true
+    (match e_or_ok with Error _ -> true | Ok _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "plain FD" `Quick test_parse_fd;
+    Alcotest.test_case "rows and patterns" `Quick test_parse_with_rows;
+    Alcotest.test_case "multiple CFDs, comments" `Quick test_parse_multiple_and_comments;
+    Alcotest.test_case "quoted values" `Quick test_quoted_values;
+    Alcotest.test_case "errors carry line numbers" `Quick test_errors_have_line_numbers;
+    Alcotest.test_case "malformed inputs rejected" `Quick test_error_cases;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "resolve numbers clauses" `Quick test_resolve_numbers_clauses;
+    Alcotest.test_case "arrow terminates bare words" `Quick test_arrow_inside_bare_word;
+  ]

@@ -1,0 +1,78 @@
+open Dq_relation
+open Dq_cfd
+
+let v = Value.of_string
+
+let test_matches () =
+  Alcotest.(check bool) "const matches equal" true
+    (Pattern.matches (v "NYC") (Pattern.const (v "NYC")));
+  Alcotest.(check bool) "const rejects different" false
+    (Pattern.matches (v "PHI") (Pattern.const (v "NYC")));
+  Alcotest.(check bool) "wild matches constant" true
+    (Pattern.matches (v "anything") Pattern.Wild)
+
+let test_null_matches_nothing () =
+  (* Section 3.1 remark 2: CFDs only apply to tuples matching precisely. *)
+  Alcotest.(check bool) "null vs wild" false (Pattern.matches Value.null Pattern.Wild);
+  Alcotest.(check bool) "null vs const" false
+    (Pattern.matches Value.null (Pattern.const (v "x")))
+
+let test_const_rejects_null () =
+  Alcotest.check_raises "null pattern"
+    (Invalid_argument "Pattern.const: null has no place in a pattern tuple")
+    (fun () -> ignore (Pattern.const Value.null))
+
+let test_matches_row () =
+  let row = [| Pattern.const (v "212"); Pattern.Wild |] in
+  Alcotest.(check bool) "row match" true
+    (Pattern.matches_row [| v "212"; v "5551234" |] row);
+  Alcotest.(check bool) "row mismatch" false
+    (Pattern.matches_row [| v "610"; v "5551234" |] row);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Pattern.matches_row: length mismatch") (fun () ->
+      ignore (Pattern.matches_row [| v "212" |] row))
+
+let test_subsumes () =
+  let c = Pattern.const (v "a") in
+  Alcotest.(check bool) "const <= wild" true (Pattern.subsumes c Pattern.Wild);
+  Alcotest.(check bool) "wild <= wild" true (Pattern.subsumes Pattern.Wild Pattern.Wild);
+  Alcotest.(check bool) "wild not <= const" false (Pattern.subsumes Pattern.Wild c);
+  Alcotest.(check bool) "const <= same const" true (Pattern.subsumes c c)
+
+let test_compare_and_equal () =
+  let a = Pattern.const (v "a") and b = Pattern.const (v "b") in
+  Alcotest.(check bool) "equal" true (Pattern.equal a a);
+  Alcotest.(check bool) "not equal" false (Pattern.equal a b);
+  Alcotest.(check bool) "wild < const" true (Pattern.compare Pattern.Wild a < 0);
+  Alcotest.(check int) "const order" (Value.compare (v "a") (v "b"))
+    (Pattern.compare a b)
+
+let test_to_string () =
+  Alcotest.(check string) "wild" "_" (Pattern.to_string Pattern.Wild);
+  Alcotest.(check string) "const" "NYC" (Pattern.to_string (Pattern.const (v "NYC")))
+
+let prop_match_consistent_with_subsume =
+  let pat_gen =
+    QCheck.Gen.(
+      oneof
+        [ return Pattern.Wild;
+          map (fun s -> Pattern.const (Value.string ("c" ^ s))) (string_size (1 -- 3)) ])
+  in
+  QCheck.Test.make ~name:"subsumes implies match propagation" ~count:200
+    (QCheck.make QCheck.Gen.(pair pat_gen (string_size (1 -- 3))))
+    (fun (p, s) ->
+      let value = Value.string ("c" ^ s) in
+      (* if v matches p and p subsumes q then v matches q, for q = Wild *)
+      (not (Pattern.matches value p)) || Pattern.matches value Pattern.Wild)
+
+let suite =
+  [
+    Alcotest.test_case "matches" `Quick test_matches;
+    Alcotest.test_case "null matches nothing" `Quick test_null_matches_nothing;
+    Alcotest.test_case "const rejects null" `Quick test_const_rejects_null;
+    Alcotest.test_case "matches_row" `Quick test_matches_row;
+    Alcotest.test_case "subsumes" `Quick test_subsumes;
+    Alcotest.test_case "compare/equal" `Quick test_compare_and_equal;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest prop_match_consistent_with_subsume;
+  ]

@@ -1,0 +1,151 @@
+(* Property-based tests of the end-to-end repair guarantees on random
+   instances: random small relations, random CFD sets (random FDs plus
+   random constant rows).  Theorem 4.2 / 5.3: the algorithms terminate and
+   produce consistent instances, never inventing or dropping tuples. *)
+
+open Dq_relation
+open Dq_cfd
+open Dq_core
+
+let attrs = [ "A"; "B"; "C"; "D" ]
+
+let schema = Schema.make ~name:"r" attrs
+
+(* Small value universe so violations are common. *)
+let value_gen = QCheck.Gen.(map (fun i -> Value.string (Printf.sprintf "v%d" i)) (0 -- 4))
+
+let tuple_gen = QCheck.Gen.(array_size (return (List.length attrs)) value_gen)
+
+let relation_gen =
+  QCheck.Gen.(
+    map
+      (fun rows ->
+        let rel = Relation.create schema in
+        List.iter (fun values -> ignore (Relation.insert rel values)) rows;
+        rel)
+      (list_size (1 -- 25) tuple_gen))
+
+(* A random normal-form clause: distinct LHS attrs, one RHS attr, each
+   pattern position either wild or a small constant. *)
+let clause_gen =
+  QCheck.Gen.(
+    let* lhs_size = 1 -- 2 in
+    let* perm = shuffle_l attrs in
+    let lhs_attrs = List.filteri (fun i _ -> i < lhs_size) perm in
+    let rhs_attr = List.nth perm lhs_size in
+    let pattern_gen =
+      oneof
+        [ return Pattern.Wild; map (fun v -> Pattern.const v) value_gen ]
+    in
+    let* lhs_pats = flatten_l (List.map (fun _ -> pattern_gen) lhs_attrs) in
+    let* rhs_pat = pattern_gen in
+    return
+      (Cfd.make schema
+         ~lhs:(List.combine lhs_attrs lhs_pats)
+         ~rhs:(rhs_attr, rhs_pat)))
+
+let sigma_gen =
+  QCheck.Gen.(map (fun l -> Cfd.number l) (list_size (1 -- 6) clause_gen))
+
+let instance_gen = QCheck.Gen.pair relation_gen sigma_gen
+
+let instance = QCheck.make instance_gen
+
+let satisfiable sigma = Satisfiability.is_satisfiable schema sigma
+
+let same_tids r1 r2 =
+  Relation.cardinality r1 = Relation.cardinality r2
+  && Relation.fold (fun ok t -> ok && Relation.mem r2 (Tuple.tid t)) true r1
+
+let prop_batch_repair_satisfies =
+  QCheck.Test.make ~name:"BATCHREPAIR yields a consistent instance" ~count:150
+    instance
+    (fun (rel, sigma) ->
+      QCheck.assume (satisfiable sigma);
+      let repair, _ = Batch_repair.repair rel sigma in
+      Violation.satisfies repair sigma)
+
+let prop_batch_repair_preserves_tuples =
+  QCheck.Test.make ~name:"BATCHREPAIR preserves the tuple set" ~count:100
+    instance
+    (fun (rel, sigma) ->
+      QCheck.assume (satisfiable sigma);
+      let repair, _ = Batch_repair.repair rel sigma in
+      same_tids rel repair)
+
+let prop_batch_repair_clean_fixpoint =
+  QCheck.Test.make ~name:"BATCHREPAIR is a no-op on consistent data" ~count:100
+    instance
+    (fun (rel, sigma) ->
+      QCheck.assume (satisfiable sigma);
+      let first, _ = Batch_repair.repair rel sigma in
+      let second, stats = Batch_repair.repair first sigma in
+      stats.Batch_repair.cells_changed = 0 && Relation.dif first second = 0)
+
+let prop_batch_stats_consistent =
+  QCheck.Test.make ~name:"cells_changed agrees with dif" ~count:100 instance
+    (fun (rel, sigma) ->
+      QCheck.assume (satisfiable sigma);
+      let repair, stats = Batch_repair.repair rel sigma in
+      stats.Batch_repair.cells_changed = Relation.dif rel repair)
+
+let prop_increpair_satisfies =
+  QCheck.Test.make ~name:"INCREPAIR (section 5.3) yields a consistent instance"
+    ~count:150 instance
+    (fun (rel, sigma) ->
+      QCheck.assume (satisfiable sigma);
+      let repair, _ = Inc_repair.repair_dirty rel sigma in
+      Violation.satisfies repair sigma && same_tids rel repair)
+
+let prop_increpair_orderings_agree_on_consistency =
+  QCheck.Test.make ~name:"all INCREPAIR orderings yield consistent instances"
+    ~count:60 instance
+    (fun (rel, sigma) ->
+      QCheck.assume (satisfiable sigma);
+      List.for_all
+        (fun ordering ->
+          let repair, _ = Inc_repair.repair_dirty ~ordering rel sigma in
+          Violation.satisfies repair sigma)
+        [ Inc_repair.Linear; Inc_repair.By_violations; Inc_repair.By_weight ])
+
+let prop_insertions_never_touch_base =
+  QCheck.Test.make ~name:"INCREPAIR insertions never modify the clean base"
+    ~count:80
+    (QCheck.make QCheck.Gen.(triple instance_gen tuple_gen tuple_gen))
+    (fun ((rel, sigma), v1, v2) ->
+      QCheck.assume (satisfiable sigma);
+      let base, _ = Batch_repair.repair rel sigma in
+      let delta =
+        [ Tuple.create ~tid:9_000 v1; Tuple.create ~tid:9_001 v2 ]
+      in
+      let repair, _ = Inc_repair.repair_inserts base delta sigma in
+      Violation.satisfies repair sigma
+      && Relation.fold
+           (fun ok t ->
+             ok && Tuple.equal_values t (Relation.find_exn repair (Tuple.tid t)))
+           true base)
+
+let prop_violation_detection_agrees_with_repair =
+  QCheck.Test.make
+    ~name:"satisfies(D) iff repairing changes nothing is needed" ~count:100
+    instance
+    (fun (rel, sigma) ->
+      QCheck.assume (satisfiable sigma);
+      let clean = Violation.satisfies rel sigma in
+      if clean then
+        let _, stats = Batch_repair.repair rel sigma in
+        stats.Batch_repair.cells_changed = 0
+      else true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_batch_repair_satisfies;
+      prop_batch_repair_preserves_tuples;
+      prop_batch_repair_clean_fixpoint;
+      prop_batch_stats_consistent;
+      prop_increpair_satisfies;
+      prop_increpair_orderings_agree_on_consistency;
+      prop_insertions_never_touch_base;
+      prop_violation_detection_agrees_with_repair;
+    ]

@@ -1,0 +1,126 @@
+open Dq_relation
+
+let schema = Schema.make ~name:"r" [ "A"; "B" ]
+
+let v = Value.of_string
+
+let mk () = Relation.create schema
+
+let test_insert_find () =
+  let r = mk () in
+  let t = Relation.insert r [| v "a"; v "1" |] in
+  Alcotest.(check int) "cardinality" 1 (Relation.cardinality r);
+  Alcotest.(check bool) "mem" true (Relation.mem r (Tuple.tid t));
+  Alcotest.(check bool) "find" true (Relation.find r (Tuple.tid t) = Some t)
+
+let test_fresh_tids () =
+  let r = mk () in
+  let t1 = Relation.insert r [| v "a"; v "1" |] in
+  let t2 = Relation.insert r [| v "b"; v "2" |] in
+  Alcotest.(check bool) "distinct tids" true (Tuple.tid t1 <> Tuple.tid t2)
+
+let test_add_preserves_tid_and_rejects_dup () =
+  let r = mk () in
+  let t = Tuple.create ~tid:42 [| v "a"; v "1" |] in
+  Relation.add r t;
+  Alcotest.(check bool) "tid 42 present" true (Relation.mem r 42);
+  Alcotest.check_raises "duplicate tid"
+    (Invalid_argument "Relation.add: duplicate tid 42") (fun () ->
+      Relation.add r (Tuple.copy t));
+  (* fresh inserts skip past explicit tids *)
+  let t2 = Relation.insert r [| v "b"; v "2" |] in
+  Alcotest.(check bool) "next tid above 42" true (Tuple.tid t2 > 42)
+
+let test_delete () =
+  let r = mk () in
+  let t = Relation.insert r [| v "a"; v "1" |] in
+  Alcotest.(check bool) "delete" true (Relation.delete r (Tuple.tid t));
+  Alcotest.(check bool) "gone" false (Relation.mem r (Tuple.tid t));
+  Alcotest.(check bool) "double delete" false (Relation.delete r (Tuple.tid t));
+  Alcotest.(check int) "empty" 0 (Relation.cardinality r)
+
+let test_active_domain_tracking () =
+  let r = mk () in
+  let t1 = Relation.insert r [| v "x"; v "1" |] in
+  let _t2 = Relation.insert r [| v "x"; v "2" |] in
+  Alcotest.(check int) "adom A one distinct" 1 (Relation.active_domain_size r 0);
+  Alcotest.(check int) "adom B two" 2 (Relation.active_domain_size r 1);
+  (* update through set_value keeps adom current *)
+  Relation.set_value r t1 0 (v "y");
+  Alcotest.(check bool) "y added" true (Relation.in_active_domain r 0 (v "y"));
+  Alcotest.(check bool) "x still there (t2)" true (Relation.in_active_domain r 0 (v "x"));
+  Relation.set_value r t1 0 (v "x");
+  ignore (Relation.delete r (Tuple.tid t1));
+  Alcotest.(check bool) "y gone after delete" false
+    (Relation.in_active_domain r 0 (v "y"))
+
+let test_nulls_not_in_adom () =
+  let r = mk () in
+  ignore (Relation.insert r [| Value.null; v "1" |]);
+  Alcotest.(check int) "null excluded" 0 (Relation.active_domain_size r 0)
+
+let test_set_value_foreign_tuple () =
+  let r = mk () in
+  ignore (Relation.insert r [| v "a"; v "1" |]);
+  let foreign = Tuple.create ~tid:0 [| v "a"; v "1" |] in
+  Alcotest.check_raises "foreign tuple"
+    (Invalid_argument "Relation.set_value: tuple not in this relation")
+    (fun () -> Relation.set_value r foreign 0 (v "z"))
+
+let test_iteration_order () =
+  let r = mk () in
+  let tids = List.init 5 (fun i -> Tuple.tid (Relation.insert r [| v (string_of_int i); v "x" |])) in
+  let seen = Relation.fold (fun acc t -> Tuple.tid t :: acc) [] r in
+  Alcotest.(check (list int)) "insertion order" tids (List.rev seen)
+
+let test_iteration_order_after_deletes () =
+  let r = mk () in
+  let tids = List.init 100 (fun i -> Tuple.tid (Relation.insert r [| v (string_of_int i); v "x" |])) in
+  List.iteri (fun i tid -> if i mod 2 = 0 then ignore (Relation.delete r tid)) tids;
+  let expected = List.filteri (fun i _ -> i mod 2 = 1) tids in
+  let seen = List.rev (Relation.fold (fun acc t -> Tuple.tid t :: acc) [] r) in
+  Alcotest.(check (list int)) "survivors in order" expected seen
+
+let test_copy_deep () =
+  let r = mk () in
+  let t = Relation.insert r [| v "a"; v "1" |] in
+  let r2 = Relation.copy r in
+  Relation.set_value r2 (Relation.find_exn r2 (Tuple.tid t)) 0 (v "z");
+  Alcotest.check (Alcotest.testable Value.pp Value.equal) "original intact"
+    (v "a") (Tuple.get t 0);
+  Alcotest.(check int) "copy dif" 1 (Relation.dif r r2)
+
+let test_dif () =
+  let r1 = mk () in
+  let r2 = mk () in
+  let t1 = Relation.insert r1 [| v "a"; v "1" |] in
+  Relation.add r2 (Tuple.copy t1);
+  Alcotest.(check int) "identical" 0 (Relation.dif r1 r2);
+  Relation.set_value r2 (Relation.find_exn r2 (Tuple.tid t1)) 1 (v "9");
+  Alcotest.(check int) "one cell" 1 (Relation.dif r1 r2);
+  ignore (Relation.insert r2 [| v "b"; v "2" |]);
+  Alcotest.(check int) "extra tuple counts arity" 3 (Relation.dif r1 r2);
+  Alcotest.(check int) "symmetric" (Relation.dif r1 r2) (Relation.dif r2 r1)
+
+let test_arity_mismatch () =
+  let r = mk () in
+  Alcotest.check_raises "bad arity" (Invalid_argument "Relation.insert: arity mismatch")
+    (fun () -> ignore (Relation.insert r [| v "a" |]))
+
+let suite =
+  [
+    Alcotest.test_case "insert/find" `Quick test_insert_find;
+    Alcotest.test_case "fresh tids" `Quick test_fresh_tids;
+    Alcotest.test_case "add preserves tid" `Quick test_add_preserves_tid_and_rejects_dup;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "active domain tracking" `Quick test_active_domain_tracking;
+    Alcotest.test_case "nulls not in adom" `Quick test_nulls_not_in_adom;
+    Alcotest.test_case "set_value rejects foreign tuples" `Quick
+      test_set_value_foreign_tuple;
+    Alcotest.test_case "iteration order" `Quick test_iteration_order;
+    Alcotest.test_case "iteration order after deletes" `Quick
+      test_iteration_order_after_deletes;
+    Alcotest.test_case "deep copy" `Quick test_copy_deep;
+    Alcotest.test_case "dif" `Quick test_dif;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+  ]

@@ -1,0 +1,70 @@
+open Dq_core
+
+let test_under_capacity () =
+  let r = Reservoir.create 10 in
+  List.iter (Reservoir.add r) [ 1; 2; 3 ];
+  Alcotest.(check int) "seen" 3 (Reservoir.seen r);
+  Alcotest.(check (list int)) "everything kept" [ 1; 2; 3 ]
+    (List.sort Int.compare (Reservoir.contents r))
+
+let test_at_capacity () =
+  let r = Reservoir.create 5 in
+  for i = 1 to 100 do
+    Reservoir.add r i
+  done;
+  Alcotest.(check int) "seen" 100 (Reservoir.seen r);
+  let sample = Reservoir.contents r in
+  Alcotest.(check int) "exactly k" 5 (List.length sample);
+  Alcotest.(check int) "all distinct" 5
+    (List.length (List.sort_uniq Int.compare sample));
+  Alcotest.(check bool) "members of the stream" true
+    (List.for_all (fun x -> x >= 1 && x <= 100) sample)
+
+let test_zero_capacity () =
+  let r = Reservoir.create 0 in
+  List.iter (Reservoir.add r) [ 1; 2 ];
+  Alcotest.(check (list int)) "empty" [] (Reservoir.contents r)
+
+let test_negative_capacity () =
+  Alcotest.check_raises "negative" (Invalid_argument "Reservoir.create: negative capacity")
+    (fun () -> ignore (Reservoir.create (-1)))
+
+let test_determinism () =
+  let sample seed = Reservoir.sample_list ~seed 5 (List.init 100 Fun.id) in
+  Alcotest.(check (list int)) "same seed, same sample" (sample 1) (sample 1);
+  Alcotest.(check bool) "different seeds usually differ" true
+    (sample 1 <> sample 2)
+
+let test_uniformity_rough () =
+  (* Draw k=1 from {0..9} many times: every element should appear, and no
+     element should hog the sample (chi-square-ish sanity bound). *)
+  let counts = Array.make 10 0 in
+  for seed = 0 to 999 do
+    match Reservoir.sample_list ~seed 1 (List.init 10 Fun.id) with
+    | [ x ] -> counts.(x) <- counts.(x) + 1
+    | _ -> Alcotest.fail "expected singleton"
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d frequency %d within [50,200]" i c)
+        true
+        (c >= 50 && c <= 200))
+    counts
+
+let prop_sample_size =
+  QCheck.Test.make ~name:"sample size is min k (length l)" ~count:200
+    QCheck.(pair (int_bound 20) (list small_int))
+    (fun (k, l) ->
+      List.length (Reservoir.sample_list k l) = min k (List.length l))
+
+let suite =
+  [
+    Alcotest.test_case "under capacity" `Quick test_under_capacity;
+    Alcotest.test_case "at capacity" `Quick test_at_capacity;
+    Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+    Alcotest.test_case "negative capacity" `Quick test_negative_capacity;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+    QCheck_alcotest.to_alcotest prop_sample_size;
+  ]

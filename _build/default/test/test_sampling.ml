@@ -1,0 +1,160 @@
+open Dq_relation
+open Dq_core
+open Dq_workload
+
+let dataset_with_repair () =
+  let ds =
+    Datagen.generate
+      {
+        Datagen.n_tuples = 600;
+        n_cities = 10;
+        n_streets_per_city = 4;
+        n_items = 40;
+        n_customers = 150;
+        tableau_coverage = 0.8;
+        seed = 5;
+      }
+  in
+  let info = Noise.inject (Noise.default_params ~rate:0.05 ~seed:5 ()) ds in
+  let repair, _ = Dq_core.Batch_repair.repair info.Noise.dirty ds.Datagen.sigma in
+  (ds, info, repair)
+
+let oracle_against dopt t' =
+  match Relation.find dopt (Tuple.tid t') with
+  | Some truth -> not (Tuple.equal_values t' truth)
+  | None -> true
+
+let test_config_validation () =
+  let ok = Sampling.default_config () in
+  Alcotest.(check bool) "default valid" true
+    (Result.is_ok (Sampling.validate_config ok));
+  let bad_cases =
+    [
+      { ok with Sampling.epsilon = 0. };
+      { ok with Sampling.confidence = 1. };
+      { ok with Sampling.sample_size = 0 };
+      { ok with Sampling.fractions = [| 0.5; 0.5 |] } (* wrong stratum count *);
+      { ok with Sampling.fractions = [| 0.2; 0.3; 0.4 |] } (* sums to 0.9 *);
+      { ok with Sampling.fractions = [| 0.5; 0.3; 0.2 |] } (* decreasing *);
+      { ok with Sampling.strategy = Sampling.By_violations [ 3; 1 ] };
+    ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "invalid config rejected" true
+        (Result.is_error (Sampling.validate_config c)))
+    bad_cases
+
+let test_perfect_repair_accepted () =
+  let ds, info, _ = dataset_with_repair () in
+  (* Inspect Dopt itself as the "repair": the oracle never complains. *)
+  let report =
+    Sampling.inspect
+      (Sampling.default_config ~sample_size:300 ())
+      ~original:info.Noise.dirty ~repair:ds.Datagen.dopt ~sigma:ds.Datagen.sigma
+      ~oracle:(oracle_against ds.Datagen.dopt)
+  in
+  Alcotest.(check (float 1e-9)) "no inaccuracy" 0. report.Sampling.p_hat;
+  Alcotest.(check bool) "accepted" true report.Sampling.accepted
+
+let test_garbage_repair_rejected () =
+  let ds, info, _ = dataset_with_repair () in
+  (* A repair that nulls every CT is mostly wrong. *)
+  let garbage = Relation.copy info.Noise.dirty in
+  Relation.iter (fun t -> Relation.set_value garbage t Order_schema.ct Value.null) garbage;
+  let report =
+    Sampling.inspect
+      (Sampling.default_config ~sample_size:200 ())
+      ~original:info.Noise.dirty ~repair:garbage ~sigma:ds.Datagen.sigma
+      ~oracle:(oracle_against ds.Datagen.dopt)
+  in
+  Alcotest.(check bool) "high inaccuracy" true (report.Sampling.p_hat > 0.5);
+  Alcotest.(check bool) "rejected" false report.Sampling.accepted
+
+let test_stratification_prioritises_suspects () =
+  let ds, info, repair = dataset_with_repair () in
+  let report =
+    Sampling.inspect
+      (Sampling.default_config ~sample_size:120 ())
+      ~original:info.Noise.dirty ~repair ~sigma:ds.Datagen.sigma
+      ~oracle:(oracle_against ds.Datagen.dopt)
+  in
+  let m = Array.length report.Sampling.strata_sizes in
+  Alcotest.(check int) "three strata" 3 m;
+  (* population is partitioned *)
+  Alcotest.(check int) "strata cover the repair"
+    (Relation.cardinality repair)
+    (Array.fold_left ( + ) 0 report.Sampling.strata_sizes);
+  (* drawn never exceeds stratum size or its fraction of the sample *)
+  Array.iteri
+    (fun i drawn ->
+      Alcotest.(check bool) "drawn <= size" true
+        (drawn <= report.Sampling.strata_sizes.(i)))
+    report.Sampling.drawn;
+  (* each stratum contributes its configured share of the sample (capped
+     by the stratum's population) *)
+  let config = Sampling.default_config ~sample_size:120 () in
+  Array.iteri
+    (fun i drawn ->
+      let target =
+        int_of_float
+          (Float.round (config.Sampling.fractions.(i) *. 120.))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "stratum %d draws min(target, size)" i)
+        (min target report.Sampling.strata_sizes.(i))
+        drawn)
+    report.Sampling.drawn
+
+let test_by_cost_strategy () =
+  let ds, info, repair = dataset_with_repair () in
+  let config =
+    {
+      (Sampling.default_config ~sample_size:100 ()) with
+      Sampling.strategy = Sampling.By_cost [ 0.0001; 0.5 ];
+    }
+  in
+  let report =
+    Sampling.inspect config ~original:info.Noise.dirty ~repair
+      ~sigma:ds.Datagen.sigma ~oracle:(oracle_against ds.Datagen.dopt)
+  in
+  Alcotest.(check int) "cost strata cover repair"
+    (Relation.cardinality repair)
+    (Array.fold_left ( + ) 0 report.Sampling.strata_sizes);
+  (* unchanged tuples all land in stratum 0 *)
+  Alcotest.(check bool) "stratum 0 dominated by unchanged" true
+    (report.Sampling.strata_sizes.(0) > report.Sampling.strata_sizes.(2))
+
+let test_deterministic_given_seed () =
+  let ds, info, repair = dataset_with_repair () in
+  let run seed =
+    Sampling.inspect ~seed
+      (Sampling.default_config ~sample_size:50 ())
+      ~original:info.Noise.dirty ~repair ~sigma:ds.Datagen.sigma
+      ~oracle:(fun _ -> false)
+  in
+  let r1 = run 9 and r2 = run 9 in
+  Alcotest.(check (list int)) "same sample tids"
+    (List.map (fun (_, t) -> Tuple.tid t) r1.Sampling.sample)
+    (List.map (fun (_, t) -> Tuple.tid t) r2.Sampling.sample)
+
+let test_invalid_config_raises () =
+  let ds, info, repair = dataset_with_repair () in
+  let bad = { (Sampling.default_config ()) with Sampling.epsilon = 2.0 } in
+  Alcotest.check_raises "invalid config"
+    (Invalid_argument "Sampling.inspect: epsilon must be in (0,1)") (fun () ->
+      ignore
+        (Sampling.inspect bad ~original:info.Noise.dirty ~repair
+           ~sigma:ds.Datagen.sigma ~oracle:(fun _ -> false)))
+
+let suite =
+  [
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "perfect repair accepted" `Quick test_perfect_repair_accepted;
+    Alcotest.test_case "garbage repair rejected" `Quick test_garbage_repair_rejected;
+    Alcotest.test_case "stratification prioritises suspects" `Quick
+      test_stratification_prioritises_suspects;
+    Alcotest.test_case "cost-based strata" `Quick test_by_cost_strategy;
+    Alcotest.test_case "deterministic sampling" `Quick test_deterministic_given_seed;
+    Alcotest.test_case "invalid config raises" `Quick test_invalid_config_raises;
+  ]

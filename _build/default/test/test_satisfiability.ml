@@ -1,0 +1,104 @@
+open Dq_relation
+open Dq_cfd
+open Helpers
+
+let schema = Schema.make ~name:"r" [ "A"; "B" ]
+
+let c s = Pattern.const (Value.of_string s)
+
+let test_fds_always_satisfiable () =
+  let sigma =
+    Cfd.number (Cfd.normalize schema (Cfd.Tableau.fd ~name:"fd" ~lhs:[ "A" ] ~rhs:[ "B" ]))
+  in
+  Alcotest.(check bool) "FDs satisfiable" true
+    (Satisfiability.is_satisfiable schema sigma)
+
+let test_empty_sigma () =
+  Alcotest.(check bool) "empty set satisfiable" true
+    (Satisfiability.is_satisfiable schema [||])
+
+let test_direct_contradiction () =
+  (* (_ -> B=1) and (_ -> B=2): no single tuple can satisfy both. *)
+  let sigma =
+    Cfd.number
+      [
+        Cfd.make schema ~name:"c1" ~lhs:[ ("A", Pattern.Wild) ] ~rhs:("B", c "1");
+        Cfd.make schema ~name:"c2" ~lhs:[ ("A", Pattern.Wild) ] ~rhs:("B", c "2");
+      ]
+  in
+  Alcotest.(check bool) "contradiction" false
+    (Satisfiability.is_satisfiable schema sigma);
+  Alcotest.check_raises "check_exn raises"
+    (Invalid_argument "Satisfiability.check_exn: the CFD set is unsatisfiable")
+    (fun () -> Satisfiability.check_exn schema sigma)
+
+let test_conditional_contradiction_avoidable () =
+  (* (A=k -> B=1) and (A=k -> B=2) conflict only when A=k; a tuple with a
+     fresh A value satisfies both, so the set is satisfiable. *)
+  let sigma =
+    Cfd.number
+      [
+        Cfd.make schema ~name:"c1" ~lhs:[ ("A", c "k") ] ~rhs:("B", c "1");
+        Cfd.make schema ~name:"c2" ~lhs:[ ("A", c "k") ] ~rhs:("B", c "2");
+      ]
+  in
+  Alcotest.(check bool) "avoidable via fresh A" true
+    (Satisfiability.is_satisfiable schema sigma);
+  match Satisfiability.witness schema sigma with
+  | Some w ->
+    Alcotest.(check bool) "witness avoids k" false
+      (Value.equal w.(0) (Value.string "k"))
+  | None -> Alcotest.fail "expected a witness"
+
+let test_chained_contradiction () =
+  (* Every A value is forced into the contradiction through a chain:
+     (_ -> A=k) plus (A=k -> B=1), (A=k -> B=2). *)
+  let schema3 = Schema.make ~name:"r" [ "X"; "A"; "B" ] in
+  let sigma =
+    Cfd.number
+      [
+        Cfd.make schema3 ~name:"c0" ~lhs:[ ("X", Pattern.Wild) ] ~rhs:("A", c "k");
+        Cfd.make schema3 ~name:"c1" ~lhs:[ ("A", c "k") ] ~rhs:("B", c "1");
+        Cfd.make schema3 ~name:"c2" ~lhs:[ ("A", c "k") ] ~rhs:("B", c "2");
+      ]
+  in
+  Alcotest.(check bool) "chain forces contradiction" false
+    (Satisfiability.is_satisfiable schema3 sigma)
+
+let test_witness_satisfies () =
+  let sigma = fig1_sigma () in
+  match Satisfiability.witness order_schema sigma with
+  | None -> Alcotest.fail "fig1 sigma is satisfiable"
+  | Some values ->
+    let rel = Relation.create order_schema in
+    ignore (Relation.insert rel values);
+    Alcotest.(check bool) "witness tuple satisfies sigma" true
+      (Dq_cfd.Violation.satisfies rel sigma)
+
+let test_multi_lhs_patterns () =
+  (* Constraints triggered by a conjunction of constants. *)
+  let schema3 = Schema.make ~name:"r" [ "X"; "Y"; "Z" ] in
+  let sigma =
+    Cfd.number
+      [
+        Cfd.make schema3 ~name:"c1" ~lhs:[ ("X", Pattern.Wild) ] ~rhs:("Y", c "a");
+        Cfd.make schema3 ~name:"c2" ~lhs:[ ("Y", c "a") ] ~rhs:("Z", c "b");
+        Cfd.make schema3 ~name:"c3"
+          ~lhs:[ ("X", Pattern.Wild); ("Z", c "b") ]
+          ~rhs:("Y", c "a");
+      ]
+  in
+  Alcotest.(check bool) "consistent chain" true
+    (Satisfiability.is_satisfiable schema3 sigma)
+
+let suite =
+  [
+    Alcotest.test_case "FDs always satisfiable" `Quick test_fds_always_satisfiable;
+    Alcotest.test_case "empty sigma" `Quick test_empty_sigma;
+    Alcotest.test_case "direct contradiction" `Quick test_direct_contradiction;
+    Alcotest.test_case "conditional contradiction avoidable" `Quick
+      test_conditional_contradiction_avoidable;
+    Alcotest.test_case "chained contradiction" `Quick test_chained_contradiction;
+    Alcotest.test_case "witness satisfies sigma" `Quick test_witness_satisfies;
+    Alcotest.test_case "multi-attribute LHS" `Quick test_multi_lhs_patterns;
+  ]

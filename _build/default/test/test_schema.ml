@@ -1,0 +1,61 @@
+open Dq_relation
+
+let test_make_and_lookup () =
+  let s = Schema.make ~name:"r" [ "A"; "B"; "C" ] in
+  Alcotest.(check string) "name" "r" (Schema.name s);
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check string) "attribute 1" "B" (Schema.attribute s 1);
+  Alcotest.(check (option int)) "position B" (Some 1) (Schema.position s "B");
+  Alcotest.(check (option int)) "position missing" None (Schema.position s "Z");
+  Alcotest.(check bool) "mem" true (Schema.mem s "C");
+  Alcotest.(check int) "position_exn" 2 (Schema.position_exn s "C")
+
+let test_rejects_duplicates () =
+  Alcotest.check_raises "duplicate attrs"
+    (Invalid_argument "Schema.make: duplicate attribute \"A\"") (fun () ->
+      ignore (Schema.make ~name:"r" [ "A"; "A" ]))
+
+let test_rejects_empty () =
+  Alcotest.check_raises "no attrs"
+    (Invalid_argument "Schema.make: a schema needs at least one attribute")
+    (fun () -> ignore (Schema.make ~name:"r" []));
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Schema.make: empty attribute name") (fun () ->
+      ignore (Schema.make ~name:"r" [ "A"; "" ]))
+
+let test_attribute_bounds () =
+  let s = Schema.make ~name:"r" [ "A" ] in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Schema.attribute: position 1 out of bounds") (fun () ->
+      ignore (Schema.attribute s 1))
+
+let test_position_exn_missing () =
+  let s = Schema.make ~name:"r" [ "A" ] in
+  Alcotest.check_raises "missing attr" Not_found (fun () ->
+      ignore (Schema.position_exn s "B"))
+
+let test_equal () =
+  let s1 = Schema.make ~name:"r" [ "A"; "B" ] in
+  let s2 = Schema.make ~name:"r" [ "A"; "B" ] in
+  let s3 = Schema.make ~name:"r" [ "B"; "A" ] in
+  let s4 = Schema.make ~name:"q" [ "A"; "B" ] in
+  Alcotest.(check bool) "equal" true (Schema.equal s1 s2);
+  Alcotest.(check bool) "order matters" false (Schema.equal s1 s3);
+  Alcotest.(check bool) "name matters" false (Schema.equal s1 s4)
+
+let test_attributes_fresh () =
+  let s = Schema.make ~name:"r" [ "A"; "B" ] in
+  let a = Schema.attributes s in
+  a.(0) <- "mutated";
+  Alcotest.(check string) "internal state protected" "A" (Schema.attribute s 0)
+
+let suite =
+  [
+    Alcotest.test_case "make and lookup" `Quick test_make_and_lookup;
+    Alcotest.test_case "rejects duplicates" `Quick test_rejects_duplicates;
+    Alcotest.test_case "rejects empty" `Quick test_rejects_empty;
+    Alcotest.test_case "attribute bounds" `Quick test_attribute_bounds;
+    Alcotest.test_case "position_exn missing" `Quick test_position_exn_missing;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "attributes returns a copy" `Quick test_attributes_fresh;
+  ]

@@ -1,0 +1,100 @@
+open Dq_core
+
+let test_normal_cdf () =
+  Alcotest.(check (float 1e-5)) "cdf(0)" 0.5 (Stats.normal_cdf 0.);
+  Alcotest.(check (float 1e-5)) "cdf(1.96)" 0.97500 (Stats.normal_cdf 1.96);
+  Alcotest.(check (float 1e-5)) "cdf(-1.96)" 0.02500 (Stats.normal_cdf (-1.96));
+  Alcotest.(check (float 1e-5)) "cdf(3)" 0.99865 (Stats.normal_cdf 3.)
+
+let test_normal_quantile () =
+  Alcotest.(check (float 1e-5)) "q(0.5)" 0. (Stats.normal_quantile 0.5);
+  Alcotest.(check (float 1e-5)) "q(0.95)" 1.64485 (Stats.normal_quantile 0.95);
+  Alcotest.(check (float 1e-5)) "q(0.975)" 1.95996 (Stats.normal_quantile 0.975);
+  Alcotest.(check (float 1e-5)) "q(0.01)" (-2.32635) (Stats.normal_quantile 0.01);
+  Alcotest.check_raises "q(0) invalid"
+    (Invalid_argument "Stats.normal_quantile: p must be in (0,1)") (fun () ->
+      ignore (Stats.normal_quantile 0.))
+
+let test_quantile_inverts_cdf () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-5))
+        (Printf.sprintf "cdf(q(%g)) = %g" p p)
+        p
+        (Stats.normal_cdf (Stats.normal_quantile p)))
+    [ 0.001; 0.01; 0.1; 0.3; 0.5; 0.7; 0.9; 0.99; 0.999 ]
+
+let test_z_statistic () =
+  (* p_hat = eps gives z = 0; below eps gives negative z. *)
+  Alcotest.(check (float 1e-9)) "at bound" 0.
+    (Stats.z_statistic ~p_hat:0.05 ~epsilon:0.05 ~sample_size:100);
+  Alcotest.(check bool) "below bound negative" true
+    (Stats.z_statistic ~p_hat:0.01 ~epsilon:0.05 ~sample_size:100 < 0.);
+  (* textbook value: (0.02-0.05)/sqrt(0.05*0.95/400) = -2.7524 *)
+  Alcotest.(check (float 1e-3)) "known value" (-2.7524)
+    (Stats.z_statistic ~p_hat:0.02 ~epsilon:0.05 ~sample_size:400)
+
+let test_accept () =
+  (* clean sample of decent size: accept *)
+  Alcotest.(check bool) "0% observed accepted" true
+    (Stats.accept ~p_hat:0.0 ~epsilon:0.05 ~confidence:0.95 ~sample_size:200);
+  (* observed exactly at the bound: do not accept *)
+  Alcotest.(check bool) "at bound rejected" false
+    (Stats.accept ~p_hat:0.05 ~epsilon:0.05 ~confidence:0.95 ~sample_size:200);
+  (* small sample: even 0% cannot clear the bar for eps=0.05, d=0.95 *)
+  Alcotest.(check bool) "tiny sample inconclusive" false
+    (Stats.accept ~p_hat:0.0 ~epsilon:0.05 ~confidence:0.95 ~sample_size:20)
+
+let test_chernoff_monotonicity () =
+  let k e d c = Stats.chernoff_sample_size ~epsilon:e ~confidence:d ~c in
+  Alcotest.(check bool) "lower eps needs more samples" true
+    (k 0.01 0.95 10 > k 0.05 0.95 10);
+  Alcotest.(check bool) "higher confidence needs more" true
+    (k 0.05 0.99 10 > k 0.05 0.9 10);
+  Alcotest.(check bool) "more required hits need more" true
+    (k 0.05 0.95 20 > k 0.05 0.95 10);
+  (* k must at least cover the c expected hits: k*eps >= c *)
+  Alcotest.(check bool) "covers expectation" true
+    (float_of_int (k 0.05 0.95 10) *. 0.05 >= 10.)
+
+let test_chernoff_bound_formula () =
+  (* Spot-check against a direct evaluation of Theorem 6.1's bound. *)
+  let epsilon = 0.05 and confidence = 0.95 and c = 10 in
+  let l = log (1. /. (1. -. confidence)) in
+  let expected =
+    (float_of_int c /. epsilon)
+    +. (l /. epsilon)
+    +. (Float.sqrt ((l *. l) +. (2. *. float_of_int c *. l)) /. epsilon)
+  in
+  let k = Stats.chernoff_sample_size ~epsilon ~confidence ~c in
+  Alcotest.(check bool) "k just above the bound" true
+    (float_of_int k > expected && float_of_int k <= expected +. 2.)
+
+let test_invalid_inputs () =
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Stats.z_statistic: epsilon must be in (0,1)") (fun () ->
+      ignore (Stats.z_statistic ~p_hat:0.1 ~epsilon:0. ~sample_size:10));
+  Alcotest.check_raises "empty sample"
+    (Invalid_argument "Stats.z_statistic: sample_size must be positive")
+    (fun () -> ignore (Stats.z_statistic ~p_hat:0.1 ~epsilon:0.05 ~sample_size:0))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone" ~count:200
+    QCheck.(pair (float_bound_exclusive 1.) (float_bound_exclusive 1.))
+    (fun (p1, p2) ->
+      QCheck.assume (p1 > 0. && p2 > 0.);
+      let q1 = Stats.normal_quantile p1 and q2 = Stats.normal_quantile p2 in
+      if p1 < p2 then q1 <= q2 else if p2 < p1 then q2 <= q1 else true)
+
+let suite =
+  [
+    Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+    Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+    Alcotest.test_case "quantile inverts cdf" `Quick test_quantile_inverts_cdf;
+    Alcotest.test_case "z statistic" `Quick test_z_statistic;
+    Alcotest.test_case "accept decision" `Quick test_accept;
+    Alcotest.test_case "Chernoff monotonicity" `Quick test_chernoff_monotonicity;
+    Alcotest.test_case "Chernoff formula" `Quick test_chernoff_bound_formula;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+  ]

@@ -1,0 +1,92 @@
+open Dq_relation
+open Helpers
+
+let mk ?(tid = 0) vals = Tuple.create ~tid (Array.of_list (List.map Value.of_string vals))
+
+let test_create_get_set () =
+  let t = mk ~tid:7 [ "a"; "b" ] in
+  Alcotest.(check int) "tid" 7 (Tuple.tid t);
+  Alcotest.(check int) "arity" 2 (Tuple.arity t);
+  Alcotest.check value "get" (Value.string "a") (Tuple.get t 0);
+  Tuple.set t 0 (Value.int 9);
+  Alcotest.check value "after set" (Value.int 9) (Tuple.get t 0)
+
+let test_values_copied_on_create () =
+  let src = [| Value.string "x" |] in
+  let t = Tuple.create ~tid:0 src in
+  src.(0) <- Value.string "mutated";
+  Alcotest.check value "input array not aliased" (Value.string "x") (Tuple.get t 0)
+
+let test_weights () =
+  let t = Tuple.create ~tid:0 ~weights:[| 0.3; 0.9 |]
+      [| Value.string "a"; Value.string "b" |]
+  in
+  Alcotest.(check (float 1e-9)) "weight 0" 0.3 (Tuple.weight t 0);
+  Alcotest.(check (float 1e-9)) "total" 1.2 (Tuple.total_weight t);
+  Tuple.set_weight t 0 1.0;
+  Alcotest.(check (float 1e-9)) "after set_weight" 1.0 (Tuple.weight t 0)
+
+let test_default_weights_are_one () =
+  let t = mk [ "a"; "b"; "c" ] in
+  Alcotest.(check (float 1e-9)) "wt(t) = arity" 3.0 (Tuple.total_weight t)
+
+let test_weight_validation () =
+  Alcotest.check_raises "weight 1.5 rejected"
+    (Invalid_argument "Tuple: weight 1.5 outside [0,1]") (fun () ->
+      ignore (Tuple.create ~tid:0 ~weights:[| 1.5 |] [| Value.null |]));
+  let t = mk [ "a" ] in
+  Alcotest.check_raises "set_weight negative"
+    (Invalid_argument "Tuple: weight -0.1 outside [0,1]") (fun () ->
+      Tuple.set_weight t 0 (-0.1))
+
+let test_length_mismatch () =
+  Alcotest.check_raises "weights length"
+    (Invalid_argument "Tuple.create: weights/values length mismatch") (fun () ->
+      ignore (Tuple.create ~tid:0 ~weights:[| 1.0 |] [| Value.null; Value.null |]))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty tuple"
+    (Invalid_argument "Tuple.create: empty tuple") (fun () ->
+      ignore (Tuple.create ~tid:0 [||]))
+
+let test_project () =
+  let t = mk [ "a"; "b"; "c" ] in
+  Alcotest.(check (array value)) "project"
+    [| Value.string "c"; Value.string "a" |]
+    (Tuple.project t [| 2; 0 |])
+
+let test_diff_positions () =
+  let t1 = mk [ "a"; "b"; "c" ] in
+  let t2 = mk [ "a"; "x"; "c" ] in
+  Alcotest.(check (list int)) "one diff" [ 1 ] (Tuple.diff_positions t1 t2);
+  Alcotest.(check (list int)) "self diff empty" [] (Tuple.diff_positions t1 t1)
+
+let test_copy () =
+  let t = mk ~tid:3 [ "a" ] in
+  let c = Tuple.copy t in
+  Tuple.set c 0 (Value.string "z");
+  Alcotest.check value "copy is deep" (Value.string "a") (Tuple.get t 0);
+  Alcotest.(check int) "tid kept" 3 (Tuple.tid c);
+  Alcotest.(check int) "tid override" 99 (Tuple.tid (Tuple.copy ~tid:99 t))
+
+let test_equal_values () =
+  let t1 = mk ~tid:1 [ "a"; "b" ] in
+  let t2 = mk ~tid:2 [ "a"; "b" ] in
+  Alcotest.(check bool) "tids ignored" true (Tuple.equal_values t1 t2);
+  Tuple.set t2 1 Value.null;
+  Alcotest.(check bool) "null breaks strict equality" false (Tuple.equal_values t1 t2)
+
+let suite =
+  [
+    Alcotest.test_case "create/get/set" `Quick test_create_get_set;
+    Alcotest.test_case "values copied" `Quick test_values_copied_on_create;
+    Alcotest.test_case "weights" `Quick test_weights;
+    Alcotest.test_case "default weights" `Quick test_default_weights_are_one;
+    Alcotest.test_case "weight validation" `Quick test_weight_validation;
+    Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "diff positions" `Quick test_diff_positions;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "equal_values" `Quick test_equal_values;
+  ]

@@ -1,0 +1,81 @@
+open Dq_relation
+open Helpers
+
+let test_of_string_typing () =
+  Alcotest.check value "empty is null" Value.null (Value.of_string "");
+  Alcotest.check value "int" (Value.int 42) (Value.of_string "42");
+  Alcotest.check value "negative int" (Value.int (-7)) (Value.of_string "-7");
+  Alcotest.check value "float" (Value.float 17.99) (Value.of_string "17.99");
+  Alcotest.check value "string" (Value.string "NYC") (Value.of_string "NYC");
+  Alcotest.check value "mixed stays string" (Value.string "a23") (Value.of_string "a23")
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "roundtrip %S" s)
+        s
+        (Value.to_string (Value.of_string s)))
+    [ ""; "42"; "NYC"; "a23"; "8983490"; "-3"; "Hello World" ]
+
+let test_equality () =
+  Alcotest.(check bool) "null = null" true (Value.equal Value.null Value.null);
+  Alcotest.(check bool) "null <> 0" false (Value.equal Value.null (Value.int 0));
+  Alcotest.(check bool) "int 1 <> float 1" false
+    (Value.equal (Value.int 1) (Value.float 1.));
+  Alcotest.(check bool) "string equal" true
+    (Value.equal (Value.string "x") (Value.string "x"))
+
+let test_null_eq_semantics () =
+  (* Section 3.1 remark 1: t1[X] = t2[X] is true if either side is null. *)
+  Alcotest.(check bool) "null ~ anything" true
+    (Value.equal_null_eq Value.null (Value.string "x"));
+  Alcotest.(check bool) "anything ~ null" true
+    (Value.equal_null_eq (Value.int 5) Value.null);
+  Alcotest.(check bool) "distinct constants differ" false
+    (Value.equal_null_eq (Value.int 5) (Value.int 6))
+
+let test_compare_total_order () =
+  let vs =
+    [ Value.null; Value.int 1; Value.int 2; Value.float 0.5; Value.string "a" ]
+  in
+  (* antisymmetry and nulls-first *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          Alcotest.(check int)
+            "compare antisymmetric"
+            (compare (Value.compare v w) 0)
+            (compare 0 (Value.compare w v)))
+        vs)
+    vs;
+  Alcotest.(check bool) "null smallest" true
+    (List.for_all
+       (fun v -> Value.is_null v || Value.compare Value.null v < 0)
+       vs)
+
+let test_hash_consistent_with_equal () =
+  let pairs = [ (Value.int 3, Value.of_string "3"); (Value.string "x", Value.string "x") ] in
+  List.iter
+    (fun (a, b) ->
+      if Value.equal a b then
+        Alcotest.(check int) "equal values hash equal" (Value.hash a) (Value.hash b))
+    pairs
+
+let test_display () =
+  Alcotest.(check string) "null displays as bottom" "\xe2\x8a\xa5"
+    (Value.to_display Value.null);
+  Alcotest.(check string) "const displays plainly" "NYC"
+    (Value.to_display (Value.string "NYC"))
+
+let suite =
+  [
+    Alcotest.test_case "of_string typing" `Quick test_of_string_typing;
+    Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+    Alcotest.test_case "strict equality" `Quick test_equality;
+    Alcotest.test_case "SQL null semantics" `Quick test_null_eq_semantics;
+    Alcotest.test_case "total order" `Quick test_compare_total_order;
+    Alcotest.test_case "hash/equal consistency" `Quick test_hash_consistent_with_equal;
+    Alcotest.test_case "display" `Quick test_display;
+  ]

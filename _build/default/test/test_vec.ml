@@ -1,0 +1,91 @@
+open Dq_relation
+
+let test_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" 99 (Vec.get v 99)
+
+let test_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "negative index" (Invalid_argument "Vec: index -1 out of bounds [0,3)")
+    (fun () -> ignore (Vec.get v (-1)));
+  Alcotest.check_raises "past end" (Invalid_argument "Vec: index 3 out of bounds [0,3)")
+    (fun () -> ignore (Vec.get v 3))
+
+let test_pop_last () =
+  let v = Vec.of_list [ "a"; "b" ] in
+  Alcotest.(check (option string)) "last" (Some "b") (Vec.last v);
+  Alcotest.(check (option string)) "pop" (Some "b") (Vec.pop v);
+  Alcotest.(check (option string)) "pop again" (Some "a") (Vec.pop v);
+  Alcotest.(check (option string)) "pop empty" None (Vec.pop v)
+
+let test_set_clear () =
+  let v = Vec.make 3 0 in
+  Vec.set v 1 42;
+  Alcotest.(check (list int)) "after set" [ 0; 42; 0 ] (Vec.to_list v);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let test_conversions () =
+  let l = [ 5; 1; 4 ] in
+  Alcotest.(check (list int)) "list roundtrip" l (Vec.to_list (Vec.of_list l));
+  Alcotest.(check (array int)) "array roundtrip" [| 5; 1; 4 |]
+    (Vec.to_array (Vec.of_array [| 5; 1; 4 |]))
+
+let test_iterators () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists even" true (Vec.exists (fun x -> x mod 2 = 0) v);
+  Alcotest.(check bool) "exists > 5" false (Vec.exists (fun x -> x > 5) v);
+  Alcotest.(check (option int)) "find" (Some 2) (Vec.find_opt (fun x -> x mod 2 = 0) v);
+  Alcotest.(check (list int)) "map" [ 2; 4; 6; 8 ] (Vec.to_list (Vec.map (( * ) 2) v));
+  Alcotest.(check (list int)) "filter" [ 2; 4 ]
+    (Vec.to_list (Vec.filter (fun x -> x mod 2 = 0) v));
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !seen)
+
+let test_copy_independent () =
+  let v = Vec.of_list [ 1; 2 ] in
+  let w = Vec.copy v in
+  Vec.push w 3;
+  Alcotest.(check int) "original unchanged" 2 (Vec.length v);
+  Alcotest.(check int) "copy grew" 3 (Vec.length w)
+
+let test_sort () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Vec.sort Int.compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+let prop_push_pop_roundtrip =
+  QCheck.Test.make ~name:"push then pop returns elements LIFO" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) l;
+      let popped = List.init (List.length l) (fun _ -> Option.get (Vec.pop v)) in
+      popped = List.rev l)
+
+let prop_to_list_preserves_order =
+  QCheck.Test.make ~name:"of_list/to_list identity" ~count:200
+    QCheck.(list small_int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let suite =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "pop/last" `Quick test_pop_last;
+    Alcotest.test_case "set/clear" `Quick test_set_clear;
+    Alcotest.test_case "conversions" `Quick test_conversions;
+    Alcotest.test_case "iterators" `Quick test_iterators;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "sort" `Quick test_sort;
+    QCheck_alcotest.to_alcotest prop_push_pop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_to_list_preserves_order;
+  ]

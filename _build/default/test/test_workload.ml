@@ -1,0 +1,156 @@
+open Dq_relation
+open Dq_cfd
+open Dq_core
+open Dq_workload
+
+let small_dataset ?(n = 300) ?(seed = 7) () =
+  Datagen.generate
+    {
+      Datagen.n_tuples = n;
+      n_cities = 10;
+      n_streets_per_city = 4;
+      n_items = 30;
+      n_customers = 100;
+      tableau_coverage = 0.8;
+      seed;
+    }
+
+let test_dopt_is_clean () =
+  let ds = small_dataset () in
+  Alcotest.(check bool) "Dopt satisfies sigma" true
+    (Violation.satisfies ds.Datagen.dopt ds.Datagen.sigma)
+
+let test_sigma_is_satisfiable () =
+  let ds = small_dataset () in
+  Alcotest.(check bool) "sigma satisfiable" true
+    (Satisfiability.is_satisfiable Order_schema.schema ds.Datagen.sigma)
+
+let test_pattern_rows_in_paper_range () =
+  (* At the default experimental scale the tableaus carry a few hundred
+     pattern rows, matching the paper's 300-5,000 band. *)
+  let ds = Datagen.generate (Datagen.default_params ~n_tuples:10_000 ()) in
+  let rows = Datagen.pattern_row_count ds in
+  Alcotest.(check bool)
+    (Printf.sprintf "pattern rows (%d) within 300..5000" rows)
+    true
+    (rows >= 300 && rows <= 5000)
+
+let test_noise_dirties () =
+  let ds = small_dataset () in
+  let noise = Noise.default_params ~rate:0.1 () in
+  let info = Noise.inject noise ds in
+  Alcotest.(check bool) "dirty violates sigma" false
+    (Violation.satisfies info.Noise.dirty ds.Datagen.sigma);
+  Alcotest.(check bool) "roughly rate*n tuples dirty" true
+    (let n = List.length info.Noise.dirty_tids in
+     n > 15 && n <= 30);
+  (* every reported dirty tuple indeed violates something *)
+  let counts = Violation.vio_counts info.Noise.dirty ds.Datagen.sigma in
+  List.iter
+    (fun tid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tuple %d violates" tid)
+        true (Hashtbl.mem counts tid))
+    info.Noise.dirty_tids
+
+let test_noise_preserves_dopt () =
+  let ds = small_dataset () in
+  let info = Noise.inject (Noise.default_params ~rate:0.1 ()) ds in
+  Alcotest.(check int) "dif(D,Dopt) = dirtied cells"
+    (List.length info.Noise.dirtied_cells)
+    (Relation.dif info.Noise.dirty ds.Datagen.dopt)
+
+let test_zero_rate () =
+  let ds = small_dataset () in
+  let info = Noise.inject (Noise.default_params ~rate:0.0 ()) ds in
+  Alcotest.(check (list int)) "no dirty tuples" [] info.Noise.dirty_tids;
+  Alcotest.(check bool) "still clean" true
+    (Violation.satisfies info.Noise.dirty ds.Datagen.sigma)
+
+let test_batch_pipeline () =
+  let ds = small_dataset () in
+  let info = Noise.inject (Noise.default_params ~rate:0.05 ()) ds in
+  let repr, _ = Batch_repair.repair info.Noise.dirty ds.Datagen.sigma in
+  Alcotest.(check bool) "repair clean" true
+    (Violation.satisfies repr ds.Datagen.sigma);
+  let m = Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty:info.Noise.dirty ~repair:repr in
+  Alcotest.(check bool)
+    (Format.asprintf "batch precision reasonable (%a)" Metrics.pp m)
+    true (m.Metrics.precision > 0.5);
+  Alcotest.(check bool)
+    (Format.asprintf "batch recall reasonable (%a)" Metrics.pp m)
+    true (m.Metrics.recall > 0.5)
+
+let test_increpair_pipeline () =
+  let ds = small_dataset () in
+  let info = Noise.inject (Noise.default_params ~rate:0.05 ()) ds in
+  let repr, _ = Inc_repair.repair_dirty info.Noise.dirty ds.Datagen.sigma in
+  Alcotest.(check bool) "repair clean" true
+    (Violation.satisfies repr ds.Datagen.sigma);
+  let m = Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty:info.Noise.dirty ~repair:repr in
+  Alcotest.(check bool)
+    (Format.asprintf "increpair precision reasonable (%a)" Metrics.pp m)
+    true (m.Metrics.precision > 0.5);
+  Alcotest.(check bool)
+    (Format.asprintf "increpair recall reasonable (%a)" Metrics.pp m)
+    true (m.Metrics.recall > 0.5)
+
+let test_metrics_identities () =
+  let ds = small_dataset () in
+  let info = Noise.inject (Noise.default_params ~rate:0.05 ()) ds in
+  (* Perfect repair: Repr = Dopt. *)
+  let perfect =
+    Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty:info.Noise.dirty
+      ~repair:ds.Datagen.dopt
+  in
+  Alcotest.(check (float 1e-9)) "perfect precision" 1.0 perfect.Metrics.precision;
+  Alcotest.(check (float 1e-9)) "perfect recall" 1.0 perfect.Metrics.recall;
+  (* No-op repair: Repr = D. *)
+  let noop =
+    Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty:info.Noise.dirty
+      ~repair:info.Noise.dirty
+  in
+  Alcotest.(check (float 1e-9)) "noop precision (vacuous)" 1.0 noop.Metrics.precision;
+  Alcotest.(check (float 1e-9)) "noop recall" 0.0 noop.Metrics.recall
+
+let test_determinism () =
+  let ds1 = small_dataset () in
+  let ds2 = small_dataset () in
+  Alcotest.(check int) "same data for same seed" 0
+    (Relation.dif ds1.Datagen.dopt ds2.Datagen.dopt);
+  let i1 = Noise.inject (Noise.default_params ()) ds1 in
+  let i2 = Noise.inject (Noise.default_params ()) ds2 in
+  Alcotest.(check int) "same noise for same seed" 0
+    (Relation.dif i1.Noise.dirty i2.Noise.dirty)
+
+let test_constant_share_extremes () =
+  let ds = small_dataset ~n:400 () in
+  List.iter
+    (fun share ->
+      let info =
+        Noise.inject (Noise.default_params ~rate:0.05 ~constant_share:share ()) ds
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "share %.1f dirties data" share)
+        true
+        (List.length info.Noise.dirty_tids > 0))
+    [ 0.0; 1.0 ]
+
+let suite =
+  [
+    Alcotest.test_case "Dopt |= sigma" `Quick test_dopt_is_clean;
+    Alcotest.test_case "sigma satisfiable" `Quick test_sigma_is_satisfiable;
+    Alcotest.test_case "pattern rows in 300..5000" `Quick
+      test_pattern_rows_in_paper_range;
+    Alcotest.test_case "noise creates violations" `Quick test_noise_dirties;
+    Alcotest.test_case "dif(D,Dopt) matches dirtied cells" `Quick
+      test_noise_preserves_dopt;
+    Alcotest.test_case "zero noise rate" `Quick test_zero_rate;
+    Alcotest.test_case "batch pipeline end-to-end" `Quick test_batch_pipeline;
+    Alcotest.test_case "increpair pipeline end-to-end" `Quick
+      test_increpair_pipeline;
+    Alcotest.test_case "metric identities" `Quick test_metrics_identities;
+    Alcotest.test_case "generation is deterministic" `Quick test_determinism;
+    Alcotest.test_case "constant-share extremes" `Quick
+      test_constant_share_extremes;
+  ]
