@@ -4,6 +4,7 @@
      detect    report CFD violations in a CSV file
      repair    repair a CSV file (BATCHREPAIR or INCREPAIR)
      check     check a CFD file for satisfiability
+     lint      static analysis of a CFD file (E/W diagnostic codes)
      sample    repair, then estimate the repair's inaccuracy rate by
                stratified sampling against a ground-truth file
      generate  emit a synthetic order dataset (clean + dirty + CFDs)
@@ -15,29 +16,53 @@ open Cmdliner
 open Dq_relation
 open Dq_cfd
 open Dq_core
+open Dq_analysis
 open Dq_workload
 
-let load_sigma schema path =
-  match Cfd_parser.parse_file path with
+let load_tableaus path =
+  match Cfd_parser.parse_file_located path with
   | Error e -> `Error (false, Fmt.str "%s: %a" path Cfd_parser.pp_error e)
-  | Ok tableaus -> (
-    match Cfd_parser.resolve schema tableaus with
-    | sigma -> `Ok sigma
-    | exception Invalid_argument msg -> `Error (false, msg))
+  | Ok ltabs -> `Ok ltabs
 
-let with_inputs data_path cfd_path k =
+(* detect/repair/sample refuse a ruleset with lint errors unless --force:
+   an unsatisfiable or ill-typed Σ makes their output meaningless. *)
+let with_inputs ?(force = false) data_path cfd_path k =
   match Csv.load_file data_path with
   | exception Failure msg -> `Error (false, msg)
   | exception Sys_error msg -> `Error (false, msg)
   | rel -> (
-    match load_sigma (Relation.schema rel) cfd_path with
+    match load_tableaus cfd_path with
     | `Error _ as e -> e
-    | `Ok sigma -> k rel sigma)
+    | `Ok ltabs -> (
+      let schema = Relation.schema rel in
+      let errors =
+        if force then []
+        else Lint.run ~errors_only:true ~schema ltabs
+      in
+      if errors <> [] then
+        `Error
+          ( false,
+            Fmt.str
+              "%s: ruleset has %d lint error%s; run `cfdclean lint %s --data \
+               %s` for details, or pass --force"
+              cfd_path (List.length errors)
+              (if List.length errors = 1 then "" else "s")
+              cfd_path data_path )
+      else
+        match Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs) with
+        | sigma -> k rel sigma
+        | exception Invalid_argument msg -> `Error (false, msg)))
+
+let force_arg =
+  Arg.(
+    value & flag
+    & info [ "force" ]
+        ~doc:"Run even if the ruleset has lint errors (see $(b,cfdclean lint)).")
 
 (* ---- detect ---- *)
 
-let detect data_path cfd_path verbose =
-  with_inputs data_path cfd_path @@ fun rel sigma ->
+let detect data_path cfd_path verbose force =
+  with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   let counts = Violation.vio_counts rel sigma in
   let dirty = Hashtbl.length counts in
   Fmt.pr "%d tuples, %d clauses: %d violating tuples, vio(D) = %d@."
@@ -59,7 +84,7 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Report CFD violations in a CSV file")
-    Term.(ret (const detect $ data $ cfds $ verbose))
+    Term.(ret (const detect $ data $ cfds $ verbose $ force_arg))
 
 (* ---- repair ---- *)
 
@@ -81,8 +106,8 @@ let algorithm_conv =
   in
   Arg.conv (parse, print)
 
-let repair data_path cfd_path output algorithm =
-  with_inputs data_path cfd_path @@ fun rel sigma ->
+let repair data_path cfd_path output algorithm force =
+  with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
     `Error (false, "the CFD set is unsatisfiable; no repair exists")
   else begin
@@ -130,26 +155,37 @@ let repair_cmd =
   in
   Cmd.v
     (Cmd.info "repair" ~doc:"Compute a repair satisfying the CFDs")
-    Term.(ret (const repair $ data $ cfds $ output $ algorithm))
+    Term.(ret (const repair $ data $ cfds $ output $ algorithm $ force_arg))
 
 (* ---- check ---- *)
 
+(* check is a thin front-end to the lint engine (errors only), keeping the
+   original satisfiability-probe output and exit-code behavior. *)
 let check schema_csv cfd_path =
   match Csv.load_file schema_csv with
   | exception Failure msg -> `Error (false, msg)
   | exception Sys_error msg -> `Error (false, msg)
   | rel -> (
-    match load_sigma (Relation.schema rel) cfd_path with
+    match load_tableaus cfd_path with
     | `Error _ as e -> e
-    | `Ok sigma ->
-      if Satisfiability.is_satisfiable (Relation.schema rel) sigma then begin
-        Fmt.pr "satisfiable (%d normal-form clauses)@." (Array.length sigma);
-        `Ok 0
-      end
-      else begin
+    | `Ok ltabs -> (
+      let schema = Relation.schema rel in
+      let errors = Lint.run ~errors_only:true ~schema ltabs in
+      let unsat =
+        List.exists (fun d -> d.Diagnostic.code = Diagnostic.E001) errors
+      in
+      if unsat then begin
         Fmt.pr "UNSATISFIABLE: no non-empty instance can satisfy these CFDs@.";
         `Ok 1
-      end)
+      end
+      else
+        match
+          Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs)
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | sigma ->
+          Fmt.pr "satisfiable (%d normal-form clauses)@." (Array.length sigma);
+          `Ok 0))
 
 let check_cmd =
   let data =
@@ -165,10 +201,108 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check a CFD set for satisfiability")
     Term.(ret (const check $ data $ cfds))
 
+(* ---- lint ---- *)
+
+type lint_format = Text | Json
+
+let lint cfd_path data_path format errors_only =
+  let source =
+    match
+      let ic = open_in_bin cfd_path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> Ok s
+    | exception Sys_error msg -> Error msg
+  in
+  match source with
+  | Error msg -> `Error (false, msg)
+  | Ok source -> (
+    let schema =
+      match data_path with
+      | None -> Ok None
+      | Some csv -> (
+        match Csv.load_file csv with
+        | rel -> Ok (Some (Relation.schema rel))
+        | exception Failure msg -> Error msg
+        | exception Sys_error msg -> Error msg)
+    in
+    match schema with
+    | Error msg -> `Error (false, msg)
+    | Ok schema ->
+      (* A parse failure is itself a diagnostic (E000), so lint always
+         produces a report — CI never has to special-case syntax errors. *)
+      let diags =
+        match Cfd_parser.parse_string_located source with
+        | Error e ->
+          [
+            Diagnostic.make
+              ~span:
+                Cfd_parser.
+                  { line = e.line; col_start = e.col; col_end = e.col + 1 }
+              Diagnostic.E000 e.message;
+          ]
+        | Ok ltabs -> Lint.run ?schema ltabs
+      in
+      let diags =
+        if errors_only then List.filter Diagnostic.is_error diags else diags
+      in
+      (match format with
+      | Json -> print_string (Render.to_json ~path:cfd_path diags)
+      | Text ->
+        List.iter
+          (fun d ->
+            Fmt.pr "@[<v>%a@]@." (Render.pp_text ~path:cfd_path ~source) d)
+          diags;
+        Fmt.pr "%s: %s@." cfd_path (Render.summary diags));
+      `Ok (if List.exists Diagnostic.is_error diags then 1 else 0))
+
+let lint_cmd =
+  let cfds =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONSTRAINTS.cfd")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "data" ] ~docv:"DATA.csv"
+          ~doc:
+            "CSV whose header gives the schema to type-check attribute names \
+             against (enables the E003 check).")
+  in
+  let format =
+    let parse = function
+      | "text" -> Ok Text
+      | "json" -> Ok Json
+      | s -> Error (`Msg (Fmt.str "unknown format %S" s))
+    in
+    let print ppf = function
+      | Text -> Fmt.string ppf "text"
+      | Json -> Fmt.string ppf "json"
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let errors_only =
+    Arg.(
+      value & flag
+      & info [ "errors-only" ] ~doc:"Report only errors, not warnings.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis of a CFD ruleset: satisfiability, conflicting or \
+          redundant patterns, schema mismatches, cyclic clause interactions. \
+          Exits 1 if any error (E-code) is found.")
+    Term.(ret (const lint $ cfds $ data $ format $ errors_only))
+
 (* ---- sample ---- *)
 
-let sample data_path cfd_path truth_path epsilon confidence sample_size =
-  with_inputs data_path cfd_path @@ fun rel sigma ->
+let sample data_path cfd_path truth_path epsilon confidence sample_size force =
+  with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   match Csv.load_file truth_path with
   | exception Failure msg -> `Error (false, msg)
   | truth ->
@@ -211,7 +345,10 @@ let sample_cmd =
   Cmd.v
     (Cmd.info "sample"
        ~doc:"Repair, then statistically assess the repair's accuracy")
-    Term.(ret (const sample $ data $ cfds $ truth $ epsilon $ confidence $ size))
+    Term.(
+      ret
+        (const sample $ data $ cfds $ truth $ epsilon $ confidence $ size
+       $ force_arg))
 
 (* ---- generate ---- *)
 
@@ -306,4 +443,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ detect_cmd; repair_cmd; check_cmd; sample_cmd; discover_cmd; generate_cmd ]))
+          [
+            detect_cmd;
+            repair_cmd;
+            check_cmd;
+            lint_cmd;
+            sample_cmd;
+            discover_cmd;
+            generate_cmd;
+          ]))

@@ -1,0 +1,73 @@
+type severity = Error | Warning
+
+type code = E000 | E001 | E002 | E003 | W001 | W002 | W003 | W004 | W005
+
+let all_codes = [ E000; E001; E002; E003; W001; W002; W003; W004; W005 ]
+
+let code_to_string = function
+  | E000 -> "E000"
+  | E001 -> "E001"
+  | E002 -> "E002"
+  | E003 -> "E003"
+  | W001 -> "W001"
+  | W002 -> "W002"
+  | W003 -> "W003"
+  | W004 -> "W004"
+  | W005 -> "W005"
+
+let code_of_string s =
+  List.find_opt (fun c -> String.equal (code_to_string c) s) all_codes
+
+let severity_of_code = function
+  | E000 | E001 | E002 | E003 -> Error
+  | W001 | W002 | W003 | W004 | W005 -> Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let describe = function
+  | E000 -> "syntax error: the ruleset does not parse"
+  | E001 -> "unsatisfiable ruleset: no non-empty instance can satisfy it"
+  | E002 -> "conflicting constant patterns: compatible LHS, contradictory RHS"
+  | E003 -> "unknown attribute or malformed clause for the schema"
+  | W001 -> "redundant pattern row: implied by the rest of the ruleset"
+  | W002 -> "pattern row subsumed by a more general row of the same tableau"
+  | W003 -> "trivial CFD: the RHS attribute already appears in the LHS"
+  | W004 -> "cyclic clause interaction: repairs may oscillate"
+  | W005 -> "duplicate CFD name or duplicate pattern row"
+
+type t = {
+  code : code;
+  message : string;
+  span : Dq_cfd.Cfd_parser.span option;
+  clause : string option;
+}
+
+let make ?span ?clause code message = { code; message; span; clause }
+
+let severity t = severity_of_code t.code
+
+let is_error t = severity t = Error
+
+let code_index c =
+  let rec find i = function
+    | [] -> assert false
+    | c' :: rest -> if c = c' then i else find (i + 1) rest
+  in
+  find 0 all_codes
+
+let compare a b =
+  let pos d =
+    match d.span with
+    | None -> (0, 0)
+    | Some s -> (s.Dq_cfd.Cfd_parser.line, s.Dq_cfd.Cfd_parser.col_start)
+  in
+  let c = Stdlib.compare (pos a) (pos b) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (code_index a.code) (code_index b.code) in
+    if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%s]: %s"
+    (severity_to_string (severity t))
+    (code_to_string t.code) t.message

@@ -1,0 +1,27 @@
+(** The lint pass over parsed CFD tableaux.
+
+    Runs every check against a located parse ({!Dq_cfd.Cfd_parser.Located})
+    and returns diagnostics in source order.  See the library overview in
+    {!Dq_analysis} ([lib/analysis/dq_analysis.ml]) for the check catalogue
+    and how each one maps back to the paper. *)
+
+val run :
+  ?node_budget:int ->
+  ?errors_only:bool ->
+  ?schema:Dq_relation.Schema.t ->
+  Dq_cfd.Cfd_parser.Located.tableau list ->
+  Diagnostic.t list
+(** [run ?schema tabs] lints a ruleset.
+
+    When [schema] is given (normally the header of the CSV the rules govern)
+    attribute names are checked against it (E003).  Without a schema one is
+    synthesized from the attributes the ruleset mentions, so the semantic
+    checks still run and only the unknown-attribute check is skipped.
+
+    [errors_only] (default [false]) skips the warning checks entirely —
+    cheaper, since W001 runs an implication search per pattern row; this is
+    what the CLI's pre-repair gate uses.  [node_budget] bounds each
+    implication search ({!Dq_core.Implication}); a row whose search exhausts
+    the budget is simply not reported.
+
+    Diagnostics come back sorted by source position. *)

@@ -1,0 +1,93 @@
+module P = Dq_cfd.Cfd_parser
+
+let pp_text ?path ?source ppf (d : Diagnostic.t) =
+  (match (path, d.span) with
+  | Some p, Some s -> Format.fprintf ppf "%s:%d:%d: " p s.P.line s.P.col_start
+  | Some p, None -> Format.fprintf ppf "%s: " p
+  | None, Some s -> Format.fprintf ppf "%d:%d: " s.P.line s.P.col_start
+  | None, None -> ());
+  Diagnostic.pp ppf d;
+  match (source, d.span) with
+  | Some text, Some s -> (
+    let lines = String.split_on_char '\n' text in
+    match List.nth_opt lines (s.P.line - 1) with
+    | None -> ()
+    | Some line ->
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      let width = max 1 (s.P.col_end - s.P.col_start) in
+      let width = min width (max 1 (String.length line - s.P.col_start + 1)) in
+      Format.fprintf ppf "@,%4d | %s@,     | %s%s" s.P.line line
+        (String.make (s.P.col_start - 1) ' ')
+        (String.make width '^'))
+  | _ -> ()
+
+let summary diags =
+  let errors = List.length (List.filter Diagnostic.is_error diags) in
+  let warnings = List.length diags - errors in
+  let plural n = if n = 1 then "" else "s" in
+  Printf.sprintf "%d error%s, %d warning%s" errors (plural errors) warnings
+    (plural warnings)
+
+(* JSON -------------------------------------------------------------- *)
+
+let escape_json s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ?path diags =
+  let b = Buffer.create 1024 in
+  let field_str k v = Printf.sprintf "\"%s\": \"%s\"" k (escape_json v) in
+  let field_int k v = Printf.sprintf "\"%s\": %d" k v in
+  Buffer.add_string b "{\n";
+  (match path with
+  | Some p -> Buffer.add_string b ("  " ^ field_str "path" p ^ ",\n")
+  | None -> ());
+  let errors = List.length (List.filter Diagnostic.is_error diags) in
+  Buffer.add_string b ("  " ^ field_int "errors" errors ^ ",\n");
+  Buffer.add_string b
+    ("  " ^ field_int "warnings" (List.length diags - errors) ^ ",\n");
+  Buffer.add_string b "  \"diagnostics\": [";
+  List.iteri
+    (fun i (d : Diagnostic.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    { ";
+      let fields =
+        [
+          field_str "code" (Diagnostic.code_to_string d.code);
+          field_str "severity"
+            (Diagnostic.severity_to_string (Diagnostic.severity d));
+          field_str "message" d.message;
+        ]
+        @ (match d.clause with Some c -> [ field_str "clause" c ] | None -> [])
+        @
+        match d.span with
+        | Some s ->
+          [
+            field_int "line" s.P.line;
+            field_int "col" s.P.col_start;
+            field_int "end_col" s.P.col_end;
+          ]
+        | None -> []
+      in
+      Buffer.add_string b (String.concat ", " fields);
+      Buffer.add_string b " }")
+    diags;
+  if diags <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b

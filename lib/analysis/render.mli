@@ -1,0 +1,27 @@
+(** Presentation of lint diagnostics: compiler-style text with a source
+    excerpt and caret, and a machine-readable JSON document for CI. *)
+
+val pp_text :
+  ?path:string -> ?source:string -> Format.formatter -> Diagnostic.t -> unit
+(** ["FILE:LINE:COL: severity[CODE]: message"], followed — when [source] (the
+    ruleset text) is given and the diagnostic has a span — by the offending
+    line and a caret underlining the span:
+    {v
+    orders.cfd:4:7: error[E003]: unknown attribute "AC2" (not in schema order)
+       4 | phi1: [AC2, PN] -> [CT]
+         |        ^^^
+    v} *)
+
+val summary : Diagnostic.t list -> string
+(** E.g. ["2 errors, 1 warning"]. *)
+
+val to_json : ?path:string -> Diagnostic.t list -> string
+(** A JSON document:
+    {v
+    { "path": "orders.cfd",
+      "errors": 1, "warnings": 2,
+      "diagnostics": [
+        { "code": "E001", "severity": "error", "message": "...",
+          "clause": "phi1", "line": 4, "col": 1, "end_col": 5 } ] }
+    v}
+    [clause] and the position fields are omitted when unknown. *)

@@ -1,13 +1,39 @@
 open Dq_relation
 
-type error = { line : int; message : string }
+type error = { line : int; col : int; message : string }
 
-let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
 
 exception Parse_error of error
 
-let fail line fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+type span = { line : int; col_start : int; col_end : int }
+
+let join_spans a b =
+  if a.line = b.line && b.col_end > a.col_end then { a with col_end = b.col_end }
+  else a
+
+module Located = struct
+  type row = { row : Cfd.Tableau.row; span : span }
+
+  type tableau = {
+    tab : Cfd.Tableau.t;
+    name_span : span;
+    lhs_attr_spans : span list;
+    rhs_attr_spans : span list;
+    row_spans : span list;
+  }
+
+  let strip t = t.tab
+
+  let strip_all ts = List.map strip ts
+end
+
+let fail_span span fmt =
+  Format.kasprintf
+    (fun message ->
+      raise (Parse_error { line = span.line; col = span.col_start; message }))
+    fmt
 
 (* Lexer ------------------------------------------------------------- *)
 
@@ -49,7 +75,16 @@ let tokenize text =
   let n = String.length text in
   let tokens = Vec.create () in
   let line = ref 1 in
-  let push t = Vec.push tokens (t, !line) in
+  let bol = ref 0 in
+  let col i = i - !bol + 1 in
+  let push t ~from ~until =
+    Vec.push tokens (t, { line = !line; col_start = col from; col_end = col until })
+  in
+  let fail_at i fmt =
+    Format.kasprintf
+      (fun message -> raise (Parse_error { line = !line; col = col i; message }))
+      fmt
+  in
   let rec skip_comment i =
     if i >= n || text.[i] = '\n' then i else skip_comment (i + 1)
   in
@@ -59,96 +94,119 @@ let tokenize text =
       match text.[i] with
       | '\n' ->
         incr line;
+        bol := i + 1;
         lex (i + 1)
       | ' ' | '\t' | '\r' -> lex (i + 1)
       | '#' -> lex (skip_comment i)
-      | '[' -> push Lbracket; lex (i + 1)
-      | ']' -> push Rbracket; lex (i + 1)
-      | '(' -> push Lparen; lex (i + 1)
-      | ')' -> push Rparen; lex (i + 1)
-      | '{' -> push Lbrace; lex (i + 1)
-      | '}' -> push Rbrace; lex (i + 1)
-      | ',' -> push Comma; lex (i + 1)
-      | ':' -> push Colon; lex (i + 1)
+      | '[' -> push Lbracket ~from:i ~until:(i + 1); lex (i + 1)
+      | ']' -> push Rbracket ~from:i ~until:(i + 1); lex (i + 1)
+      | '(' -> push Lparen ~from:i ~until:(i + 1); lex (i + 1)
+      | ')' -> push Rparen ~from:i ~until:(i + 1); lex (i + 1)
+      | '{' -> push Lbrace ~from:i ~until:(i + 1); lex (i + 1)
+      | '}' -> push Rbrace ~from:i ~until:(i + 1); lex (i + 1)
+      | ',' -> push Comma ~from:i ~until:(i + 1); lex (i + 1)
+      | ':' -> push Colon ~from:i ~until:(i + 1); lex (i + 1)
       | '|' ->
         if i + 1 < n && text.[i + 1] = '|' then begin
-          push Bars;
+          push Bars ~from:i ~until:(i + 2);
           lex (i + 2)
         end
-        else fail !line "expected '||' (single '|' is not a token)"
+        else fail_at i "expected '||' (single '|' is not a token)"
       | '"' ->
+        let start_line = !line and start_col = col i in
         let b = Buffer.create 16 in
         let rec quoted j =
-          if j >= n then fail !line "unterminated quoted value"
+          if j >= n then
+            raise
+              (Parse_error
+                 {
+                   line = start_line;
+                   col = start_col;
+                   message = "unterminated quoted value";
+                 })
           else if text.[j] = '"' then begin
-            push (Quoted (Buffer.contents b));
+            (* A quoted value spanning lines keeps only its opening position. *)
+            let span =
+              if !line = start_line then
+                { line = start_line; col_start = start_col; col_end = col (j + 1) }
+              else
+                { line = start_line; col_start = start_col; col_end = start_col + 1 }
+            in
+            Vec.push tokens (Quoted (Buffer.contents b), span);
             lex (j + 1)
           end
           else begin
-            if text.[j] = '\n' then incr line;
+            if text.[j] = '\n' then begin
+              incr line;
+              bol := j + 1
+            end;
             Buffer.add_char b text.[j];
             quoted (j + 1)
           end
         in
         quoted (i + 1)
       | c when is_bare_char c ->
-        let j = ref i in
-        let b = Buffer.create 16 in
         (* '-' starts a bare word unless it begins '->'. *)
         let continue_bare k =
           k < n && is_bare_char text.[k] && not (text.[k] = '-' && k + 1 < n && text.[k + 1] = '>')
         in
         if c = '-' && i + 1 < n && text.[i + 1] = '>' then begin
-          push Arrow;
+          push Arrow ~from:i ~until:(i + 2);
           lex (i + 2)
         end
         else begin
+          let j = ref i in
+          let b = Buffer.create 16 in
           while continue_bare !j do
             Buffer.add_char b text.[!j];
             incr j
           done;
-          push (Word (Buffer.contents b));
+          push (Word (Buffer.contents b)) ~from:i ~until:!j;
           lex !j
         end
-      | c -> fail !line "unexpected character %C" c
+      | c -> fail_at i "unexpected character %C" c
   in
   lex 0;
   Vec.to_list tokens
 
 (* Parser ------------------------------------------------------------ *)
 
-type state = { mutable toks : (token * int) list; mutable last_line : int }
+type state = { mutable toks : (token * span) list; mutable last_span : span }
+
+let fail st fmt = fail_span st.last_span fmt
 
 let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
 
 let next st =
   match st.toks with
-  | [] -> fail st.last_line "unexpected end of input"
-  | (t, line) :: rest ->
+  | [] -> fail st "unexpected end of input"
+  | (t, span) :: rest ->
     st.toks <- rest;
-    st.last_line <- line;
+    st.last_span <- span;
     t
 
 let expect st want =
   let t = next st in
   if t <> want then
-    fail st.last_line "expected %s but found %s" (token_name want) (token_name t)
+    fail st "expected %s but found %s" (token_name want) (token_name t)
 
 let parse_word st ~what =
   match next st with
   | Word w -> w
   | Quoted q -> q
-  | t -> fail st.last_line "expected %s but found %s" what (token_name t)
+  | t -> fail st "expected %s but found %s" what (token_name t)
 
+(* Each attribute comes back with the span of its own token, so a lint pass
+   can point at exactly the offending name. *)
 let parse_attr_list st =
   expect st Lbracket;
   let rec more acc =
     let a = parse_word st ~what:"an attribute name" in
+    let aspan = st.last_span in
     match next st with
-    | Comma -> more (a :: acc)
-    | Rbracket -> List.rev (a :: acc)
-    | t ->
-      fail st.last_line "expected ',' or ']' but found %s" (token_name t)
+    | Comma -> more ((a, aspan) :: acc)
+    | Rbracket -> List.rev ((a, aspan) :: acc)
+    | t -> fail st "expected ',' or ']' but found %s" (token_name t)
   in
   more []
 
@@ -157,36 +215,38 @@ let parse_pattern st =
   | Word "_" -> Pattern.Wild
   | Word w -> Pattern.const (Value.of_string w)
   | Quoted q -> Pattern.const (Value.string q)
-  | t -> fail st.last_line "expected a pattern but found %s" (token_name t)
+  | t -> fail st "expected a pattern but found %s" (token_name t)
 
 let parse_row st ~n_lhs ~n_rhs =
   expect st Lparen;
+  let open_span = st.last_span in
   let rec pats acc stop =
     let p = parse_pattern st in
     match next st with
     | Comma -> pats (p :: acc) stop
     | t when t = stop -> List.rev (p :: acc)
     | t ->
-      fail st.last_line "expected ',' or %s but found %s" (token_name stop)
-        (token_name t)
+      fail st "expected ',' or %s but found %s" (token_name stop) (token_name t)
   in
   let lhs = pats [] Bars in
   let rhs = pats [] Rparen in
+  let span = join_spans open_span st.last_span in
   if List.length lhs <> n_lhs then
-    fail st.last_line "pattern row has %d LHS entries, expected %d"
+    fail_span span "pattern row has %d LHS entries, expected %d"
       (List.length lhs) n_lhs;
   if List.length rhs <> n_rhs then
-    fail st.last_line "pattern row has %d RHS entries, expected %d"
+    fail_span span "pattern row has %d RHS entries, expected %d"
       (List.length rhs) n_rhs;
   (match peek st with Some Comma -> ignore (next st) | _ -> ());
-  Cfd.Tableau.{ lhs; rhs }
+  Located.{ row = Cfd.Tableau.{ lhs; rhs }; span }
 
 let parse_cfd st =
   let name = parse_word st ~what:"a CFD name" in
+  let name_span = st.last_span in
   expect st Colon;
-  let lhs_attrs = parse_attr_list st in
+  let lhs = parse_attr_list st in
   expect st Arrow;
-  let rhs_attrs = parse_attr_list st in
+  let rhs = parse_attr_list st in
   let rows =
     match peek st with
     | Some Lbrace ->
@@ -198,19 +258,34 @@ let parse_cfd st =
           List.rev acc
         | Some _ ->
           more
-            (parse_row st ~n_lhs:(List.length lhs_attrs)
-               ~n_rhs:(List.length rhs_attrs)
+            (parse_row st ~n_lhs:(List.length lhs) ~n_rhs:(List.length rhs)
             :: acc)
-        | None -> fail st.last_line "unterminated '{' block"
+        | None -> fail st "unterminated '{' block"
       in
       more []
     | _ -> []
   in
-  Cfd.Tableau.{ name; lhs_attrs; rhs_attrs; rows }
+  Located.
+    {
+      tab =
+        Cfd.Tableau.
+          {
+            name;
+            lhs_attrs = List.map fst lhs;
+            rhs_attrs = List.map fst rhs;
+            rows = List.map (fun r -> r.row) rows;
+          };
+      name_span;
+      lhs_attr_spans = List.map snd lhs;
+      rhs_attr_spans = List.map snd rhs;
+      row_spans = List.map (fun r -> r.span) rows;
+    }
 
-let parse_string text =
+let parse_string_located text =
   match
-    let st = { toks = tokenize text; last_line = 1 } in
+    let st =
+      { toks = tokenize text; last_span = { line = 1; col_start = 1; col_end = 1 } }
+    in
     let rec all acc =
       match peek st with None -> List.rev acc | Some _ -> all (parse_cfd st :: acc)
     in
@@ -219,14 +294,18 @@ let parse_string text =
   | tabs -> Ok tabs
   | exception Parse_error e -> Error e
 
-let parse_file path =
+let parse_string text =
+  Result.map Located.strip_all (parse_string_located text)
+
+let read_file path =
   let ic = open_in_bin path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  parse_string text
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file_located path = parse_string_located (read_file path)
+
+let parse_file path = parse_string (read_file path)
 
 let resolve schema tabs =
   Cfd.number (List.concat_map (Cfd.normalize schema) tabs)

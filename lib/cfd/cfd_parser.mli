@@ -22,18 +22,51 @@
     Bare values are typed like CSV cells ({!Dq_relation.Value.of_string});
     quoted values are always strings. *)
 
-type error = { line : int; message : string }
+type error = { line : int; col : int; message : string }
+(** Parse errors point at the offending token: 1-based line and column. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+type span = { line : int; col_start : int; col_end : int }
+(** A source region on a single line: 1-based line, 1-based [col_start]
+    inclusive, [col_end] exclusive.  Constructs spanning several lines keep
+    the span of their opening token. *)
+
+val join_spans : span -> span -> span
+(** Extend the first span to the end of the second when both sit on the same
+    line (otherwise the first span is returned unchanged). *)
+
+(** Parse results that remember where each construct came from, so the lint
+    pass ({!Dq_analysis.Lint}) can attach source positions to diagnostics. *)
+module Located : sig
+  type row = { row : Cfd.Tableau.row; span : span }
+
+  type tableau = {
+    tab : Cfd.Tableau.t;
+    name_span : span;  (** the CFD's name token *)
+    lhs_attr_spans : span list;  (** aligned with [tab.lhs_attrs] *)
+    rhs_attr_spans : span list;  (** aligned with [tab.rhs_attrs] *)
+    row_spans : span list;  (** aligned with [tab.rows] *)
+  }
+
+  val strip : tableau -> Cfd.Tableau.t
+
+  val strip_all : tableau list -> Cfd.Tableau.t list
+end
 
 val parse_string : string -> (Cfd.Tableau.t list, error) result
 
 val parse_file : string -> (Cfd.Tableau.t list, error) result
 
+val parse_string_located : string -> (Located.tableau list, error) result
+
+val parse_file_located : string -> (Located.tableau list, error) result
+
 val resolve : Dq_relation.Schema.t -> Cfd.Tableau.t list -> Cfd.t array
 (** Normalize the tableaux against a schema and number the clauses —
     the Σ every algorithm consumes.  @raise Invalid_argument on unknown
-    attributes or arity mismatches. *)
+    attributes or arity mismatches ({!Dq_analysis.Lint} reports the same
+    problems as positioned [E003] diagnostics instead of raising). *)
 
 val to_string : Cfd.Tableau.t list -> string
 (** Render tableaux back into the file format ([parse_string] ∘

@@ -16,7 +16,9 @@ Repair produces a consistent instance; detect then reports zero violations.
   $ cfdclean detect repaired.csv ../../data/orders.cfd
   4 tuples, 21 clauses: 0 violating tuples, vio(D) = 0
 
-An unsatisfiable constraint set is rejected before repairing.
+An unsatisfiable constraint set is rejected before repairing: the lint
+gate refuses to run, and --force falls through to repair's own
+satisfiability check.
 
   $ cat > contradictory.cfd <<'CFD'
   > a: [AC] -> [CT] { (_ || NYC) }
@@ -26,10 +28,13 @@ An unsatisfiable constraint set is rejected before repairing.
   UNSATISFIABLE: no non-empty instance can satisfy these CFDs
   [1]
   $ cfdclean repair ../../data/orders.csv contradictory.cfd
+  cfdclean: contradictory.cfd: ruleset has 2 lint errors; run `cfdclean lint contradictory.cfd --data ../../data/orders.csv` for details, or pass --force
+  [124]
+  $ cfdclean repair ../../data/orders.csv contradictory.cfd --force
   cfdclean: the CFD set is unsatisfiable; no repair exists
   [124]
 
-Parse errors carry line numbers.
+Parse errors carry line and column numbers.
 
   $ cat > broken.cfd <<'CFD'
   > a: [AC] -> [CT] {
@@ -37,5 +42,51 @@ Parse errors carry line numbers.
   > }
   > CFD
   $ cfdclean detect ../../data/orders.csv broken.cfd
-  cfdclean: broken.cfd: line 2: expected '||' (single '|' is not a token)
+  cfdclean: broken.cfd: line 2, column 8: expected '||' (single '|' is not a token)
   [124]
+
+Lint reports errors with source excerpts and exits 1; the stray '|' above
+surfaces as an E000 diagnostic rather than a hard failure.
+
+  $ cfdclean lint contradictory.cfd --data ../../data/orders.csv --errors-only
+  contradictory.cfd:1:19: error[E001]: the ruleset is unsatisfiable: no non-empty instance can satisfy it; minimal conflicting clauses: a#0: [AC] -> [CT] | (_ || NYC); b#1: [AC] -> [CT] | (_ || PHI)
+     1 | a: [AC] -> [CT] { (_ || NYC) }
+       |                   ^^^^^^^^^^
+  contradictory.cfd:2:19: error[E002]: a row 1 and b row 1 have compatible LHS patterns but contradictory constants for CT: NYC vs PHI
+     2 | b: [AC] -> [CT] { (_ || PHI) }
+       |                   ^^^^^^^^^^
+  contradictory.cfd: 2 errors, 0 warnings
+  [1]
+  $ cfdclean lint broken.cfd
+  broken.cfd:2:8: error[E000]: expected '||' (single '|' is not a token)
+     2 |   (212 | NYC)
+       |        ^
+  broken.cfd: 1 error, 0 warnings
+  [1]
+
+Warnings alone exit 0: the paper's own ruleset carries the Example-4.1
+CT/zip dependency cycle.
+
+  $ cfdclean lint ../../data/orders.cfd --data ../../data/orders.csv
+  ../../data/orders.cfd:11:1: warning[W004]: attributes CT, zip form a dependency cycle through phi2, phi4: repairing one clause can re-violate another (the Example 4.1 oscillation hazard)
+    11 | phi2: [zip] -> [CT, ST] {
+       | ^^^^
+  ../../data/orders.cfd: 0 errors, 1 warning
+  $ cfdclean lint ../../data/lint_fixtures/w002.cfd
+  ../../data/lint_fixtures/w002.cfd:5:3: warning[W002]: row 2 is subsumed by the more general row 1
+     5 |   (10012 || NYC, NY)
+       |   ^^^^^^^^^^^^^^^^^^
+  ../../data/lint_fixtures/w002.cfd: 0 errors, 1 warning
+
+JSON output is machine-readable for CI gating.
+
+  $ cfdclean lint ../../data/lint_fixtures/e002.cfd --data ../../data/orders.csv --format json
+  {
+    "path": "../../data/lint_fixtures/e002.cfd",
+    "errors": 1,
+    "warnings": 0,
+    "diagnostics": [
+      { "code": "E002", "severity": "error", "message": "city_a row 1 and city_b row 1 have compatible LHS patterns but contradictory constants for CT: NYC vs PHI", "clause": "city_b", "line": 5, "col": 24, "end_col": 36 }
+    ]
+  }
+  [1]

@@ -30,6 +30,7 @@ let () =
       ("noise", Test_noise.suite);
       ("discovery", Test_discovery.suite);
       ("implication", Test_implication.suite);
+      ("lint", Test_lint.suite);
       ("ind", Test_ind.suite);
       ("properties", Test_properties.suite);
     ]

@@ -59,6 +59,32 @@ let test_errors_have_line_numbers () =
   let e = parse_err "a: [X] -> [Y] {\n  (1 || 2\n}" in
   Alcotest.(check bool) "error beyond line 1" true (e.Cfd_parser.line >= 2)
 
+let test_errors_have_columns () =
+  (* The stray '|' sits at column 6 of line 2. *)
+  let e = parse_err "a: [X] -> [Y] {\n  (1 | 2)\n}" in
+  Alcotest.(check int) "line" 2 e.Cfd_parser.line;
+  Alcotest.(check int) "col" 6 e.Cfd_parser.col
+
+let test_located_spans () =
+  let text = "phi: [AC, PN] -> [CT] {\n  (212, _ || NYC)\n}" in
+  match Cfd_parser.parse_string_located text with
+  | Error e -> Alcotest.failf "parse error: %a" Cfd_parser.pp_error e
+  | Ok [ lt ] ->
+    let open Cfd_parser in
+    Alcotest.(check int) "name col" 1 lt.Located.name_span.col_start;
+    (match lt.Located.lhs_attr_spans with
+    | [ ac; pn ] ->
+      Alcotest.(check int) "AC col" 7 ac.col_start;
+      Alcotest.(check int) "PN col" 11 pn.col_start
+    | _ -> Alcotest.fail "expected two LHS attr spans");
+    (match lt.Located.row_spans with
+    | [ row ] ->
+      Alcotest.(check int) "row line" 2 row.line;
+      Alcotest.(check int) "row col" 3 row.col_start;
+      Alcotest.(check int) "row end col" 18 row.col_end
+    | _ -> Alcotest.fail "expected one row span")
+  | Ok tabs -> Alcotest.failf "expected 1 tableau, got %d" (List.length tabs)
+
 let test_error_cases () =
   List.iter
     (fun text -> ignore (parse_err text))
@@ -110,6 +136,8 @@ let suite =
     Alcotest.test_case "multiple CFDs, comments" `Quick test_parse_multiple_and_comments;
     Alcotest.test_case "quoted values" `Quick test_quoted_values;
     Alcotest.test_case "errors carry line numbers" `Quick test_errors_have_line_numbers;
+    Alcotest.test_case "errors carry columns" `Quick test_errors_have_columns;
+    Alcotest.test_case "located parses carry spans" `Quick test_located_spans;
     Alcotest.test_case "malformed inputs rejected" `Quick test_error_cases;
     Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "resolve numbers clauses" `Quick test_resolve_numbers_clauses;
