@@ -15,6 +15,7 @@ open Dq_relation
 open Dq_cfd
 open Dq_core
 open Dq_workload
+module Pool = Dq_parallel.Pool
 
 (* ---- command line ---------------------------------------------------- *)
 
@@ -23,6 +24,8 @@ let only = ref []
 let seeds = ref [ 7 ]
 
 let base_n = ref 4_000
+
+let out_path = ref "BENCH_parallel.json"
 
 let () =
   let rec parse = function
@@ -36,9 +39,14 @@ let () =
     | "--scale" :: n :: rest ->
       base_n := int_of_string n;
       parse rest
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
     | arg :: _ ->
       Fmt.epr "unknown argument %S@." arg;
-      Fmt.epr "usage: main.exe [--only figN]... [--seeds K] [--scale N]@.";
+      Fmt.epr
+        "usage: main.exe [--only figN]... [--seeds K] [--scale N] [--out \
+         BENCH.json]@.";
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -405,6 +413,142 @@ let ablation_k () =
       [ 1; 2; 3 ]
   end
 
+(* ---- Parallel scaling (writes BENCH_parallel.json) -------------------- *)
+
+(* Time detection ([find_all], [vio_counts]) and the hybrid repair
+   ([Inc_repair.repair_dirty], whose scoring passes parallelise but whose
+   resolve loop is sequential) at several job counts and two database
+   sizes.  Besides wall-clock, every run is cross-checked against the
+   1-job baseline — the engine's contract is byte-identical output at any
+   job count — and the whole table is written as machine-readable JSON so
+   CI or EXPERIMENTS.md can track the curves. *)
+
+type parallel_entry = {
+  pe_n : int;
+  pe_jobs : int;
+  pe_find_all : float;
+  pe_vio_counts : float;
+  pe_repair : float;
+  pe_identical : bool;
+}
+
+let parallel_json entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"parallel\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Pool.default_jobs ()));
+  Buffer.add_string buf "  \"seconds\": \"best-of-3 (repair: single run)\",\n";
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"n\": %d, \"jobs\": %d, \"find_all_s\": %.6f, \
+            \"vio_counts_s\": %.6f, \"repair_dirty_s\": %.6f, \"identical\": \
+            %b}%s\n"
+           e.pe_n e.pe_jobs e.pe_find_all e.pe_vio_counts e.pe_repair
+           e.pe_identical
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let parallel () =
+  if
+    section "parallel"
+      "Detection and repair at several job counts (byte-identical outputs)"
+  then begin
+    let jobs_list = [ 1; 2; 4 ] in
+    let scales = [ !base_n; 2 * !base_n ] in
+    let best_of k f =
+      let result = ref None and best = ref infinity in
+      for _ = 1 to k do
+        let r, t = time f in
+        result := Some r;
+        if t < !best then best := t
+      done;
+      (Option.get !result, !best)
+    in
+    (* Job-count-independent projections of each result, for the
+       identity cross-check. *)
+    let violations_key vs =
+      List.map (fun v -> (Cfd.id (Violation.cfd_of v), Violation.tids v)) vs
+    in
+    let counts_key counts =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+    in
+    let entries = ref [] in
+    List.iter
+      (fun n ->
+        let ds = dataset ~n 7 in
+        let info = dirtied ds 8 in
+        let rel = info.Noise.dirty and sigma = ds.Datagen.sigma in
+        let baseline = ref None in
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs @@ fun pool ->
+            let vs, t_find =
+              best_of 3 (fun () -> Violation.find_all ~pool rel sigma)
+            in
+            let counts, t_counts =
+              best_of 3 (fun () -> Violation.vio_counts ~pool rel sigma)
+            in
+            let (repaired, _), t_repair =
+              best_of 1 (fun () -> Inc_repair.repair_dirty ~pool rel sigma)
+            in
+            let key = (violations_key vs, counts_key counts, Csv.save_string repaired) in
+            let identical =
+              match !baseline with
+              | None ->
+                baseline := Some key;
+                true
+              | Some base -> base = key
+            in
+            entries :=
+              {
+                pe_n = n;
+                pe_jobs = jobs;
+                pe_find_all = t_find;
+                pe_vio_counts = t_counts;
+                pe_repair = t_repair;
+                pe_identical = identical;
+              }
+              :: !entries)
+          jobs_list)
+      scales;
+    let entries = List.rev !entries in
+    header "n/jobs"
+      (List.concat_map
+         (fun c -> List.map (fun j -> Fmt.str "%s j%d" c j) jobs_list)
+         [ "find"; "counts"; "repair" ]);
+    List.iter
+      (fun n ->
+        let es = List.filter (fun e -> e.pe_n = n) entries in
+        Fmt.pr "%-14s" (string_of_int n);
+        List.iter (fun e -> Fmt.pr " %8.3f" e.pe_find_all) es;
+        List.iter (fun e -> Fmt.pr " %8.3f" e.pe_vio_counts) es;
+        List.iter (fun e -> Fmt.pr " %8.3f" e.pe_repair) es;
+        Fmt.pr "@.")
+      scales;
+    if List.for_all (fun e -> e.pe_identical) entries then
+      Fmt.pr "outputs identical across job counts: yes@."
+    else Fmt.pr "outputs identical across job counts: NO — BUG@.";
+    (match List.find_opt (fun e -> e.pe_jobs = 2) entries with
+    | Some e2 ->
+      let e1 = List.find (fun e -> e.pe_jobs = 1 && e.pe_n = e2.pe_n) entries in
+      Fmt.pr "find_all speedup at 2 jobs (n=%d): %.2fx (%d core(s) available)@."
+        e2.pe_n
+        (e1.pe_find_all /. e2.pe_find_all)
+        (Pool.default_jobs ())
+    | None -> ());
+    let oc = open_out !out_path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (parallel_json entries));
+    Fmt.pr "wrote %s@." !out_path
+  end
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro () =
@@ -474,5 +618,6 @@ let () =
   ablation_depgraph ();
   ablation_cluster ();
   ablation_k ();
+  parallel ();
   micro ();
   Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. started)

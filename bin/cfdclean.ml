@@ -18,6 +18,7 @@ open Dq_cfd
 open Dq_core
 open Dq_analysis
 open Dq_workload
+module Pool = Dq_parallel.Pool
 
 let load_tableaus path =
   match Cfd_parser.parse_file_located path with
@@ -59,17 +60,35 @@ let force_arg =
     & info [ "force" ]
         ~doc:"Run even if the ruleset has lint errors (see $(b,cfdclean lint)).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel detection and scoring passes \
+           (default: the recommended domain count for this machine).  \
+           Results are identical at any job count.")
+
+(* Validate --jobs and run [k] with a pool of that many domains. *)
+let with_jobs jobs k =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  if jobs < 1 then
+    `Error (false, Fmt.str "--jobs must be at least 1 (got %d)" jobs)
+  else Pool.with_pool ~jobs k
+
 (* ---- detect ---- *)
 
-let detect data_path cfd_path verbose force =
+let detect data_path cfd_path verbose force jobs =
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
-  let counts = Violation.vio_counts rel sigma in
+  with_jobs jobs @@ fun pool ->
+  let counts = Violation.vio_counts ~pool rel sigma in
   let dirty = Hashtbl.length counts in
+  let total = Hashtbl.fold (fun _ n acc -> acc + n) counts 0 in
   Fmt.pr "%d tuples, %d clauses: %d violating tuples, vio(D) = %d@."
-    (Relation.cardinality rel) (Array.length sigma) dirty
-    (Violation.total rel sigma);
+    (Relation.cardinality rel) (Array.length sigma) dirty total;
   if verbose then
-    List.iter (Fmt.pr "  %a@." Violation.pp) (Violation.find_all rel sigma);
+    List.iter (Fmt.pr "  %a@." Violation.pp) (Violation.find_all ~pool rel sigma);
   `Ok (if dirty = 0 then 0 else 1)
 
 let detect_cmd =
@@ -84,7 +103,7 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Report CFD violations in a CSV file")
-    Term.(ret (const detect $ data $ cfds $ verbose $ force_arg))
+    Term.(ret (const detect $ data $ cfds $ verbose $ force_arg $ jobs_arg))
 
 (* ---- repair ---- *)
 
@@ -106,19 +125,21 @@ let algorithm_conv =
   in
   Arg.conv (parse, print)
 
-let repair data_path cfd_path output algorithm force =
+let repair data_path cfd_path output algorithm force jobs =
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
     `Error (false, "the CFD set is unsatisfiable; no repair exists")
-  else begin
+  else
+    with_jobs jobs @@ fun pool ->
+    begin
     let repaired =
       match algorithm with
       | Batch ->
-        let repaired, stats = Batch_repair.repair rel sigma in
+        let repaired, stats = Batch_repair.repair ~pool rel sigma in
         Fmt.epr "batchrepair: %a@." Batch_repair.pp_stats stats;
         repaired
       | Inc ordering ->
-        let repaired, stats = Inc_repair.repair_dirty ~ordering rel sigma in
+        let repaired, stats = Inc_repair.repair_dirty ~pool ~ordering rel sigma in
         Fmt.epr "%s: %a@."
           (Inc_repair.ordering_name ordering)
           Inc_repair.pp_stats stats;
@@ -131,7 +152,7 @@ let repair data_path cfd_path output algorithm force =
     | Some path -> Csv.save_file repaired path
     | None -> print_string (Csv.save_string repaired));
     `Ok 0
-  end
+    end
 
 let repair_cmd =
   let data =
@@ -155,7 +176,9 @@ let repair_cmd =
   in
   Cmd.v
     (Cmd.info "repair" ~doc:"Compute a repair satisfying the CFDs")
-    Term.(ret (const repair $ data $ cfds $ output $ algorithm $ force_arg))
+    Term.(
+      ret
+        (const repair $ data $ cfds $ output $ algorithm $ force_arg $ jobs_arg))
 
 (* ---- check ---- *)
 
@@ -301,12 +324,14 @@ let lint_cmd =
 
 (* ---- sample ---- *)
 
-let sample data_path cfd_path truth_path epsilon confidence sample_size force =
+let sample data_path cfd_path truth_path epsilon confidence sample_size force
+    jobs =
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   match Csv.load_file truth_path with
   | exception Failure msg -> `Error (false, msg)
   | truth ->
-    let repaired, _ = Batch_repair.repair rel sigma in
+    with_jobs jobs @@ fun pool ->
+    let repaired, _ = Batch_repair.repair ~pool rel sigma in
     let oracle t' =
       match Relation.find truth (Tuple.tid t') with
       | Some t -> not (Tuple.equal_values t t')
@@ -348,7 +373,7 @@ let sample_cmd =
     Term.(
       ret
         (const sample $ data $ cfds $ truth $ epsilon $ confidence $ size
-       $ force_arg))
+       $ force_arg $ jobs_arg))
 
 (* ---- generate ---- *)
 
@@ -373,16 +398,17 @@ let generate n rate seed out_prefix =
 
 (* ---- discover ---- *)
 
-let discover data_path out min_support min_confidence max_lhs =
+let discover data_path out min_support min_confidence max_lhs jobs =
   match Csv.load_file data_path with
   | exception Failure msg -> `Error (false, msg)
   | exception Sys_error msg -> `Error (false, msg)
   | rel ->
+    with_jobs jobs @@ fun pool ->
     let config =
       Discovery.default_config ~max_lhs_size:max_lhs ~min_support
         ~min_confidence ()
     in
-    let d = Discovery.discover ~config rel in
+    let d = Discovery.discover ~pool ~config rel in
     Fmt.epr "discovered %d embedded FDs and %d constant pattern rows@."
       d.Discovery.n_variable d.Discovery.n_constant;
     let text = Cfd_parser.to_string d.Discovery.tableaus in
@@ -424,7 +450,10 @@ let discover_cmd =
   in
   Cmd.v
     (Cmd.info "discover" ~doc:"Mine CFDs from a (mostly clean) CSV file")
-    Term.(ret (const discover $ data $ out $ support $ confidence $ max_lhs))
+    Term.(
+      ret
+        (const discover $ data $ out $ support $ confidence $ max_lhs
+       $ jobs_arg))
 
 let generate_cmd =
   let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Number of tuples.") in

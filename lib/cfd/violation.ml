@@ -1,4 +1,5 @@
 open Dq_relation
+module Pool = Dq_parallel.Pool
 
 type t =
   | Single of { tid : int; cfd : Cfd.t }
@@ -33,61 +34,20 @@ let pair_conflict cfd t1 t2 =
   let v1 = Tuple.get t1 (Cfd.rhs cfd) and v2 = Tuple.get t2 (Cfd.rhs cfd) in
   (not (Value.is_null v1)) && (not (Value.is_null v2)) && not (Value.equal v1 v2)
 
-(* Group the tuples matching a wildcard-RHS clause's LHS pattern by their LHS
-   key, recording per-group RHS value multiplicities.  All pair-violation
-   queries reduce to these group statistics. *)
-type group = {
-  mutable members : Tuple.t list;
-  rhs_counts : (Value.t, int ref) Hashtbl.t; (* non-null RHS values *)
-  mutable non_null : int;
+(* ---- constant clauses ------------------------------------------------- *)
+
+(* Pattern tableaus can hold thousands of rows, so scanning every clause
+   per tuple is ruinous; instead each constant clause is anchored on its
+   first constant LHS pattern and looked up by the tuple's own value at
+   that position — O(arity) probes per tuple plus the matching rows. *)
+type const_index = {
+  plain : Cfd.t list; (* all-wildcard-LHS constant clauses, in Σ order *)
+  anchored : (int * Value.t, Cfd.t list) Hashtbl.t;
 }
 
-let groups_of_clause rel cfd =
-  let table = Vkey.Table.create 256 in
-  Relation.iter
-    (fun t ->
-      if Cfd.applies_lhs cfd t then begin
-        let key = Cfd.lhs_key cfd t in
-        let g =
-          match Vkey.Table.find_opt table key with
-          | Some g -> g
-          | None ->
-            let g = { members = []; rhs_counts = Hashtbl.create 4; non_null = 0 } in
-            Vkey.Table.add table key g;
-            g
-        in
-        g.members <- t :: g.members;
-        let v = Tuple.get t (Cfd.rhs cfd) in
-        if not (Value.is_null v) then begin
-          g.non_null <- g.non_null + 1;
-          match Hashtbl.find_opt g.rhs_counts v with
-          | Some n -> incr n
-          | None -> Hashtbl.add g.rhs_counts v (ref 1)
-        end
-      end)
-    rel;
-  table
-
-let group_conflicts g = Hashtbl.length g.rhs_counts >= 2
-
-(* Number of pair violations tuple [t] incurs inside its group: tuples whose
-   RHS value is non-null and different from [t]'s. *)
-let group_vio_of g v =
-  if Value.is_null v then 0
-  else
-    let same =
-      match Hashtbl.find_opt g.rhs_counts v with Some n -> !n | None -> 0
-    in
-    g.non_null - same
-
-(* One pass over the relation finding every constant-clause violation.
-   Pattern tableaus can hold thousands of rows, so scanning every clause
-   per tuple is ruinous; instead each clause is anchored on its first
-   constant LHS pattern and looked up by the tuple's own value at that
-   position — O(arity) probes per tuple plus the matching rows. *)
-let iter_constant_violations rel sigma f =
+let const_index sigma =
   let plain = ref [] in
-  let anchored : (int * Value.t, Cfd.t list) Hashtbl.t = Hashtbl.create 256 in
+  let anchored = Hashtbl.create 256 in
   Array.iter
     (fun cfd ->
       if Cfd.is_constant cfd then begin
@@ -109,68 +69,226 @@ let iter_constant_violations rel sigma f =
           Hashtbl.replace anchored key (cfd :: prev)
       end)
     sigma;
-  let plain = List.rev !plain in
+  { plain = List.rev !plain; anchored }
+
+(* Probe the index with one tuple, calling [check] on every candidate
+   clause in the canonical order: plain clauses first (Σ order), then
+   anchored clauses by anchor position.  Pure reads only — safe to run
+   concurrently over disjoint tuple chunks. *)
+let iter_tuple_candidates idx arity t check =
+  List.iter check idx.plain;
+  for p = 0 to arity - 1 do
+    match Hashtbl.find_opt idx.anchored (p, Tuple.get t p) with
+    | Some cfds -> List.iter check cfds
+    | None -> ()
+  done
+
+(* ---- wildcard clauses: partition-and-merge group tables --------------- *)
+
+(* Group the tuples matching a wildcard-RHS clause's LHS pattern by their
+   LHS key, recording per-group RHS value multiplicities.  All
+   pair-violation queries reduce to these group statistics.  [members] is
+   kept in relation order so witness choice is independent of hashing and
+   chunking. *)
+type group = {
+  mutable members : Tuple.t list;
+  rhs_counts : (Value.t, int ref) Hashtbl.t; (* non-null RHS values *)
+  mutable non_null : int;
+}
+
+(* One chunk's worth of a clause's group table; [rmembers] holds the
+   chunk's members in reverse chunk order (prepend-built). *)
+type chunk_group = {
+  mutable rmembers : Tuple.t list;
+  chunk_rhs_counts : (Value.t, int ref) Hashtbl.t;
+  mutable chunk_non_null : int;
+}
+
+let chunk_groups cfd tuples lo hi =
+  let table = Vkey.Table.create 256 in
+  for i = lo to hi - 1 do
+    let t = tuples.(i) in
+    if Cfd.applies_lhs cfd t then begin
+      let key = Cfd.lhs_key cfd t in
+      let g =
+        match Vkey.Table.find_opt table key with
+        | Some g -> g
+        | None ->
+          let g =
+            {
+              rmembers = [];
+              chunk_rhs_counts = Hashtbl.create 4;
+              chunk_non_null = 0;
+            }
+          in
+          Vkey.Table.add table key g;
+          g
+      in
+      g.rmembers <- t :: g.rmembers;
+      let v = Tuple.get t (Cfd.rhs cfd) in
+      if not (Value.is_null v) then begin
+        g.chunk_non_null <- g.chunk_non_null + 1;
+        match Hashtbl.find_opt g.chunk_rhs_counts v with
+        | Some n -> incr n
+        | None -> Hashtbl.add g.chunk_rhs_counts v (ref 1)
+      end
+    end
+  done;
+  table
+
+(* Merge chunk tables into one table whose member lists are in relation
+   order.  Chunks are folded from last to first so each group's members
+   are rebuilt by prepending whole (already-ordered) chunk segments —
+   O(total members), and the result is independent of chunk boundaries. *)
+let merge_chunk_groups chunk_tables =
+  let merged = Vkey.Table.create 256 in
+  List.iter
+    (fun chunk_table ->
+      Vkey.Table.iter
+        (fun key (cg : chunk_group) ->
+          let g =
+            match Vkey.Table.find_opt merged key with
+            | Some g -> g
+            | None ->
+              let g =
+                { members = []; rhs_counts = Hashtbl.create 4; non_null = 0 }
+              in
+              Vkey.Table.add merged key g;
+              g
+          in
+          g.members <- List.rev_append cg.rmembers g.members;
+          g.non_null <- g.non_null + cg.chunk_non_null;
+          Hashtbl.iter
+            (fun v n ->
+              match Hashtbl.find_opt g.rhs_counts v with
+              | Some m -> m := !m + !n
+              | None -> Hashtbl.add g.rhs_counts v (ref !n))
+            cg.chunk_rhs_counts)
+        chunk_table)
+    (List.rev chunk_tables);
+  merged
+
+let groups_of_clause ?pool tuples cfd =
+  let n = Array.length tuples in
+  merge_chunk_groups
+    (Pool.map_chunks pool ~n (fun lo hi -> chunk_groups cfd tuples lo hi))
+
+let group_conflicts g = Hashtbl.length g.rhs_counts >= 2
+
+(* Number of pair violations a tuple with RHS value [v] incurs inside its
+   group: members whose RHS value is non-null and different from [v]. *)
+let group_vio_of g v =
+  if Value.is_null v then 0
+  else
+    let same =
+      match Hashtbl.find_opt g.rhs_counts v with Some n -> !n | None -> 0
+    in
+    g.non_null - same
+
+let wild_clauses sigma =
+  Array.to_list sigma |> List.filter (fun cfd -> not (Cfd.is_constant cfd))
+
+(* ---- the public detection API ----------------------------------------- *)
+
+(* Every function below follows the same partition-and-merge shape: build
+   read-only indexes (constant anchors, per-clause group tables), then scan
+   the tuple snapshot in chunks whose results are merged in chunk-index
+   order.  Chunk boundaries never influence the merged result, so output is
+   byte-identical at any job count — including the no-pool path, which is
+   the same code on a single chunk. *)
+
+let find_all ?pool rel sigma =
+  let tuples = Relation.tuples rel in
+  let n = Array.length tuples in
   let arity = Schema.arity (Relation.schema rel) in
-  Relation.iter
-    (fun t ->
-      let check cfd = if violates_constant cfd t then f cfd t in
-      List.iter check plain;
-      for p = 0 to arity - 1 do
-        match Hashtbl.find_opt anchored (p, Tuple.get t p) with
-        | Some cfds -> List.iter check cfds
-        | None -> ()
-      done)
-    rel
-
-let iter_wild_violations rel sigma f =
-  Array.iter
-    (fun cfd ->
-      if not (Cfd.is_constant cfd) then
-        Vkey.Table.iter
-          (fun _key g -> if group_conflicts g then f cfd g)
-          (groups_of_clause rel cfd))
-    sigma
-
-let find_all rel sigma =
-  let out = ref [] in
-  iter_constant_violations rel sigma (fun cfd t ->
-      out := Single { tid = Tuple.tid t; cfd } :: !out);
-  iter_wild_violations rel sigma (fun cfd g ->
-      (* One pair per member, each against a witness with a different
-         (non-null) RHS value, so every involved tuple is reported
-         without a quadratic listing. *)
-      List.iter
-        (fun t ->
-          let v = Tuple.get t (Cfd.rhs cfd) in
-          if group_vio_of g v > 0 then
-            let witness =
-              List.find
-                (fun t' ->
-                  let v' = Tuple.get t' (Cfd.rhs cfd) in
-                  (not (Value.is_null v')) && not (Value.equal v v'))
-                g.members
-            in
-            out :=
-              Pair { tid1 = Tuple.tid t; tid2 = Tuple.tid witness; cfd }
-              :: !out)
-        g.members);
-  List.rev !out
-
-let vio_counts rel sigma =
-  let counts = Hashtbl.create 256 in
-  let bump tid n =
-    if n > 0 then
-      match Hashtbl.find_opt counts tid with
-      | Some m -> Hashtbl.replace counts tid (m + n)
-      | None -> Hashtbl.add counts tid n
+  let idx = const_index sigma in
+  let singles =
+    Pool.map_chunks pool ~n (fun lo hi ->
+        let out = ref [] in
+        for i = lo to hi - 1 do
+          let t = tuples.(i) in
+          iter_tuple_candidates idx arity t (fun cfd ->
+              if violates_constant cfd t then
+                out := Single { tid = Tuple.tid t; cfd } :: !out)
+        done;
+        List.rev !out)
   in
-  iter_constant_violations rel sigma (fun _cfd t -> bump (Tuple.tid t) 1);
-  iter_wild_violations rel sigma (fun cfd g ->
-      List.iter
-        (fun t ->
-          bump (Tuple.tid t) (group_vio_of g (Tuple.get t (Cfd.rhs cfd))))
-        g.members);
+  (* One pair per involved tuple, each against a witness with a different
+     (non-null) RHS value, so every involved tuple is reported without a
+     quadratic listing.  The witness is the group's first such member in
+     relation order. *)
+  let pairs =
+    List.map
+      (fun cfd ->
+        let table = groups_of_clause ?pool tuples cfd in
+        Pool.map_chunks pool ~n (fun lo hi ->
+            let out = ref [] in
+            for i = lo to hi - 1 do
+              let t = tuples.(i) in
+              if Cfd.applies_lhs cfd t then
+                match Vkey.Table.find_opt table (Cfd.lhs_key cfd t) with
+                | Some g when group_conflicts g ->
+                  let v = Tuple.get t (Cfd.rhs cfd) in
+                  if group_vio_of g v > 0 then begin
+                    let witness =
+                      List.find
+                        (fun t' ->
+                          let v' = Tuple.get t' (Cfd.rhs cfd) in
+                          (not (Value.is_null v')) && not (Value.equal v v'))
+                        g.members
+                    in
+                    out :=
+                      Pair { tid1 = Tuple.tid t; tid2 = Tuple.tid witness; cfd }
+                      :: !out
+                  end
+                | Some _ | None -> ()
+            done;
+            List.rev !out))
+      (wild_clauses sigma)
+  in
+  List.concat (singles @ List.concat pairs)
+
+(* vio(t) for every tuple at once, as an array aligned with [tuples].
+   Chunks write only their own slots, so the array needs no locking. *)
+let counts_array ?pool rel sigma tuples =
+  let n = Array.length tuples in
+  let arity = Schema.arity (Relation.schema rel) in
+  let idx = const_index sigma in
+  let counts = Array.make n 0 in
+  Pool.for_chunks pool ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        let t = tuples.(i) in
+        let c = ref 0 in
+        iter_tuple_candidates idx arity t (fun cfd ->
+            if violates_constant cfd t then incr c);
+        counts.(i) <- !c
+      done);
+  List.iter
+    (fun cfd ->
+      let table = groups_of_clause ?pool tuples cfd in
+      Pool.for_chunks pool ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            let t = tuples.(i) in
+            if Cfd.applies_lhs cfd t then
+              match Vkey.Table.find_opt table (Cfd.lhs_key cfd t) with
+              | Some g ->
+                counts.(i) <-
+                  counts.(i) + group_vio_of g (Tuple.get t (Cfd.rhs cfd))
+              | None -> ()
+          done))
+    (wild_clauses sigma);
   counts
+
+let vio_counts ?pool rel sigma =
+  let tuples = Relation.tuples rel in
+  let counts = counts_array ?pool rel sigma tuples in
+  (* Materialised in relation order, so the table's internal layout (and
+     hence any fold over it) is identical at every job count. *)
+  let out = Hashtbl.create 256 in
+  Array.iteri
+    (fun i c -> if c > 0 then Hashtbl.add out (Tuple.tid tuples.(i)) c)
+    counts;
+  out
 
 let violating_tids rel sigma =
   let counts = vio_counts rel sigma in
@@ -179,8 +297,9 @@ let violating_tids rel sigma =
     [] rel
   |> List.rev
 
-let total rel sigma =
-  Hashtbl.fold (fun _ n acc -> acc + n) (vio_counts rel sigma) 0
+let total ?pool rel sigma =
+  let tuples = Relation.tuples rel in
+  Array.fold_left ( + ) 0 (counts_array ?pool rel sigma tuples)
 
 let vio_tuple rel sigma t =
   let vio = ref 0 in
@@ -208,9 +327,31 @@ let vio_tuple rel sigma t =
     sigma;
   !vio
 
-let satisfies rel sigma =
-  try
-    iter_constant_violations rel sigma (fun _ _ -> raise Exit);
-    iter_wild_violations rel sigma (fun _ _ -> raise Exit);
-    true
-  with Exit -> false
+let satisfies ?pool rel sigma =
+  let tuples = Relation.tuples rel in
+  let n = Array.length tuples in
+  let arity = Schema.arity (Relation.schema rel) in
+  let idx = const_index sigma in
+  let found = Atomic.make false in
+  Pool.for_chunks pool ~n (fun lo hi ->
+      let i = ref lo in
+      while (not (Atomic.get found)) && !i < hi do
+        let t = tuples.(!i) in
+        (try
+           iter_tuple_candidates idx arity t (fun cfd ->
+               if violates_constant cfd t then raise Exit)
+         with Exit -> Atomic.set found true);
+        incr i
+      done);
+  (not (Atomic.get found))
+  && not
+       (List.exists
+          (fun cfd ->
+            let table = groups_of_clause ?pool tuples cfd in
+            try
+              Vkey.Table.iter
+                (fun _key g -> if group_conflicts g then raise Exit)
+                table;
+              false
+            with Exit -> true)
+          (wild_clauses sigma))

@@ -1,5 +1,6 @@
 open Dq_relation
 open Dq_cfd
+module Pool = Dq_parallel.Pool
 
 let src = Logs.Src.create "dataqual.batch_repair" ~doc:"BATCHREPAIR steps"
 
@@ -736,10 +737,29 @@ let rebuild_buckets st =
       end)
     st.sigma
 
+(* Wildcard clauses: offer every member of any bucket holding two distinct
+   effective RHS values. *)
+let offer_wild_violations st ~offer =
+  Array.iteri
+    (fun cid cfd ->
+      if not (Cfd.is_constant cfd) then
+        Vkey.Table.iter
+          (fun _key set ->
+            let distinct = Hashtbl.create 4 in
+            Hashtbl.iter
+              (fun tid () ->
+                let v = eff st tid (Cfd.rhs cfd) in
+                if not (Value.is_null v) then Hashtbl.replace distinct v ())
+              set;
+            if Hashtbl.length distinct >= 2 then
+              Hashtbl.iter (fun tid () -> offer cid tid) set)
+          st.buckets.(cid))
+    st.sigma
+
 (* Offer every live violation under the current effective values: constant
    clauses by direct checks, wildcard clauses from conflicting buckets.
-   Used to initialise Dirty_Tuples (line 4 of Fig. 4) and to re-verify at
-   quiescence.  Returns how many (clause, tuple) pairs were offered. *)
+   Used to re-verify at quiescence.  Returns how many (clause, tuple) pairs
+   were offered. *)
 let offer_all_violations st =
   let offered = ref 0 in
   let offer st cid tid =
@@ -771,29 +791,60 @@ let offer_all_violations st =
         | None -> ()
       done)
     st.rel;
-  (* Wildcard clauses: any bucket holding two distinct RHS values. *)
-  Array.iteri
-    (fun cid cfd ->
-      if not (Cfd.is_constant cfd) then
-        Vkey.Table.iter
-          (fun _key set ->
-            let distinct = Hashtbl.create 4 in
-            Hashtbl.iter
-              (fun tid () ->
-                let v = eff st tid (Cfd.rhs cfd) in
-                if not (Value.is_null v) then Hashtbl.replace distinct v ())
-              set;
-            if Hashtbl.length distinct >= 2 then
-              Hashtbl.iter (fun tid () -> offer st cid tid) set)
-          st.buckets.(cid))
-    st.sigma;
+  offer_wild_violations st ~offer:(fun cid tid -> offer st cid tid);
   !offered
 
-let repair ?(use_dependency_graph = true) db sigma =
+(* Line 4 of Fig. 4: the initial Dirty_Tuples scan.  At this point every
+   equivalence class is a fresh singleton whose effective value {e is} the
+   tuple's original value, so the constant-clause pass can read tuples
+   directly — pure, domain-safe — in parallel chunks over the tuple
+   snapshot.  The offers are then replayed in relation order, so the
+   queue's contents (and hence the whole repair) are byte-identical to the
+   sequential scan at any job count.  Wildcard conflicts come from the
+   just-built buckets, sequentially (bucket tables are not domain-safe). *)
+let initial_offer ?pool st =
+  let tuples = Relation.tuples st.rel in
+  let n = Array.length tuples in
+  let chunk lo hi =
+    let out = ref [] in
+    for i = lo to hi - 1 do
+      let t = tuples.(i) in
+      let tid = Tuple.tid t in
+      let check cid =
+        let cfd = st.sigma.(cid) in
+        match Cfd.rhs_pattern cfd with
+        | Pattern.Wild -> ()
+        | Pattern.Const a ->
+          let lhs = st.lhs_of.(cid) and pats = st.lhs_pats_of.(cid) in
+          let rec matches i =
+            i >= Array.length lhs
+            || Pattern.matches (Tuple.get t lhs.(i)) pats.(i)
+               && matches (i + 1)
+          in
+          if matches 0 then
+            let v = Tuple.get t (Cfd.rhs cfd) in
+            if (not (Value.is_null v)) && not (Value.equal v a) then
+              out := (cid, tid) :: !out
+      in
+      List.iter check st.const_plain;
+      for p = 0 to st.arity - 1 do
+        match Hashtbl.find_opt st.const_anchored (p, Tuple.get t p) with
+        | Some cids -> List.iter check cids
+        | None -> ()
+      done
+    done;
+    List.rev !out
+  in
+  List.iter
+    (List.iter (fun (cid, tid) -> offer st cid tid))
+    (Pool.map_chunks pool ~n chunk);
+  offer_wild_violations st ~offer:(fun cid tid -> offer st cid tid)
+
+let repair ?pool ?(use_dependency_graph = true) db sigma =
   let started = Unix.gettimeofday () in
   let rel = Relation.copy db in
   let st = init_state rel sigma ~use_dependency_graph in
-  ignore (offer_all_violations st);
+  initial_offer ?pool st;
   let steps = ref 0 in
   let rescans = ref 0 in
   let budget = 20 * (Eqclass.n_cells st.eq + 1) in

@@ -37,12 +37,20 @@ type stats = {
 val pp_stats : Format.formatter -> stats -> unit
 
 val repair :
+  ?pool:Dq_parallel.Pool.t ->
   ?use_dependency_graph:bool ->
   Relation.t ->
   Cfd.t array ->
   Relation.t * stats
 (** [repair d sigma] returns a repaired deep copy of [d] (tids preserved)
     satisfying [sigma], together with statistics.
+
+    The optional [pool] parallelises the initial Dirty_Tuples scan over
+    constant clauses (valid because at initialisation effective values
+    equal original values, so the scan is a pure read); offers are
+    replayed in relation order, keeping the repair byte-identical at any
+    job count.  The resolution loop itself — one globally cheapest fix at
+    a time against shared union–find state — stays sequential.
 
     [PICKNEXT] is realised as a lazy priority queue over (clause, tuple)
     pairs keyed by plan cost: popped pairs are re-verified against the

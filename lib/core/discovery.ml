@@ -1,5 +1,6 @@
 open Dq_relation
 open Dq_cfd
+module Pool = Dq_parallel.Pool
 
 type config = {
   max_lhs_size : int;
@@ -83,7 +84,7 @@ module Row_table = Hashtbl.Make (struct
   let hash (l, k, r) = Hashtbl.hash (l, Vkey.hash k, r)
 end)
 
-let discover ?(config = default_config ()) rel =
+let discover ?pool ?(config = default_config ()) rel =
   if config.max_lhs_size < 1 then
     invalid_arg "Discovery.discover: max_lhs_size must be >= 1";
   let schema = Relation.schema rel in
@@ -122,91 +123,108 @@ let discover ?(config = default_config ()) rel =
       (subsets indexed)
   in
   for size = 1 to min config.max_lhs_size (arity - 1) do
-    List.iter
-      (fun lhs_list ->
+    (* Candidates of one level are independent: subset pruning ([fd_implied],
+       [row_implied]) only consults strictly smaller LHS sets, i.e. state
+       frozen at the end of the previous level.  So each candidate can be
+       evaluated against the frozen [fds]/[rows] in parallel, and the merge —
+       which is what mutates them — replayed sequentially in enumeration
+       order, giving output byte-identical to the plain nested loop. *)
+    let candidates =
+      Array.of_list
+        (List.concat_map
+           (fun lhs_list ->
+             List.filter_map
+               (fun rhs ->
+                 if List.mem rhs lhs_list then None else Some (lhs_list, rhs))
+               positions)
+           (combinations size positions))
+    in
+    let evaluate (lhs_list, rhs) =
+      let lhs = Array.of_list lhs_list in
+      let groups = group_by rel lhs rhs in
+      let n_groups = ref 0 and consistent_groups = ref 0 in
+      let constant_rows = ref [] in
+      Vkey.Table.iter
+        (fun key g ->
+          incr n_groups;
+          if Hashtbl.length g.counts <= 1 then incr consistent_groups;
+          if g.total >= config.min_support then
+            match majority g with
+            | Some (v, n)
+              when float_of_int n
+                   >= config.min_confidence *. float_of_int g.total ->
+              if not (row_implied lhs key rhs v) then
+                constant_rows := (key, v) :: !constant_rows
+            | Some _ | None -> ())
+        groups;
+      (* variable clause: the embedded FD holds (within tolerance)
+         and is not implied by a smaller FD *)
+      let fd_holds =
+        !n_groups >= 2
+        && float_of_int !consistent_groups
+           >= config.min_confidence *. float_of_int !n_groups
+      in
+      let fd_new = fd_holds && not (fd_implied lhs_list rhs) in
+      let constant_rows =
+        let sorted =
+          List.sort
+            (fun ((k1 : Vkey.t), _) (k2, _) ->
+              compare (Array.map Value.to_string k1)
+                (Array.map Value.to_string k2))
+            !constant_rows
+        in
+        List.filteri (fun i _ -> i < config.max_rows_per_fd) sorted
+      in
+      (fd_new, constant_rows)
+    in
+    let results = Pool.map_array pool evaluate candidates in
+    Array.iteri
+      (fun i (fd_new, constant_rows) ->
+        let lhs_list, rhs = candidates.(i) in
         let lhs = Array.of_list lhs_list in
-        List.iter
-          (fun rhs ->
-            if not (List.mem rhs lhs_list) then begin
-              let groups = group_by rel lhs rhs in
-              let n_groups = ref 0 and consistent_groups = ref 0 in
-              let constant_rows = ref [] in
-              Vkey.Table.iter
-                (fun key g ->
-                  incr n_groups;
-                  if Hashtbl.length g.counts <= 1 then incr consistent_groups;
-                  if g.total >= config.min_support then
-                    match majority g with
-                    | Some (v, n)
-                      when float_of_int n
-                           >= config.min_confidence *. float_of_int g.total ->
-                      if not (row_implied lhs key rhs v) then
-                        constant_rows := (key, v) :: !constant_rows
-                    | Some _ | None -> ())
-                groups;
-              (* variable clause: the embedded FD holds (within tolerance)
-                 and is not implied by a smaller FD *)
-              let fd_holds =
-                !n_groups >= 2
-                && float_of_int !consistent_groups
-                   >= config.min_confidence *. float_of_int !n_groups
-              in
-              let fd_new = fd_holds && not (fd_implied lhs_list rhs) in
-              if fd_new then begin
-                fds := (lhs_list, rhs) :: !fds;
-                incr n_variable
-              end;
-              let constant_rows =
-                let sorted =
-                  List.sort
-                    (fun ((k1 : Vkey.t), _) (k2, _) ->
-                      compare (Array.map Value.to_string k1)
-                        (Array.map Value.to_string k2))
-                    !constant_rows
-                in
-                List.filteri (fun i _ -> i < config.max_rows_per_fd) sorted
-              in
-              if fd_new || constant_rows <> [] then begin
-                List.iter
-                  (fun (key, v) ->
-                    Row_table.replace rows (row_key lhs key rhs) v;
-                    incr n_constant)
-                  constant_rows;
-                let lhs_attrs = List.map (Schema.attribute schema) lhs_list in
-                let rhs_attr = Schema.attribute schema rhs in
-                let wild_row =
-                  Cfd.Tableau.
-                    {
-                      lhs = List.map (fun _ -> Pattern.Wild) lhs_list;
-                      rhs = [ Pattern.Wild ];
-                    }
-                in
-                let const_row (key, v) =
-                  Cfd.Tableau.
-                    {
-                      lhs = Array.to_list (Array.map Pattern.const key);
-                      rhs = [ Pattern.const v ];
-                    }
-                in
-                let tableau =
-                  Cfd.Tableau.
-                    {
-                      name =
-                        Printf.sprintf "d_%s_%s"
-                          (String.concat "_" lhs_attrs)
-                          rhs_attr;
-                      lhs_attrs;
-                      rhs_attrs = [ rhs_attr ];
-                      rows =
-                        (if fd_new then [ wild_row ] else [])
-                        @ List.map const_row constant_rows;
-                    }
-                in
-                tableaus := tableau :: !tableaus
-              end
-            end)
-          positions)
-      (combinations size positions)
+        if fd_new then begin
+          fds := (lhs_list, rhs) :: !fds;
+          incr n_variable
+        end;
+        if fd_new || constant_rows <> [] then begin
+          List.iter
+            (fun (key, v) ->
+              Row_table.replace rows (row_key lhs key rhs) v;
+              incr n_constant)
+            constant_rows;
+          let lhs_attrs = List.map (Schema.attribute schema) lhs_list in
+          let rhs_attr = Schema.attribute schema rhs in
+          let wild_row =
+            Cfd.Tableau.
+              {
+                lhs = List.map (fun _ -> Pattern.Wild) lhs_list;
+                rhs = [ Pattern.Wild ];
+              }
+          in
+          let const_row (key, v) =
+            Cfd.Tableau.
+              {
+                lhs = Array.to_list (Array.map Pattern.const key);
+                rhs = [ Pattern.const v ];
+              }
+          in
+          let tableau =
+            Cfd.Tableau.
+              {
+                name =
+                  Printf.sprintf "d_%s_%s"
+                    (String.concat "_" lhs_attrs)
+                    rhs_attr;
+                lhs_attrs;
+                rhs_attrs = [ rhs_attr ];
+                rows =
+                  (if fd_new then [ wild_row ] else [])
+                  @ List.map const_row constant_rows;
+              }
+          in
+          tableaus := tableau :: !tableaus
+        end)
+      results
   done;
   {
     schema;

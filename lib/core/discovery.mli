@@ -39,9 +39,14 @@ type discovered = {
   n_constant : int;  (** constant pattern rows mined *)
 }
 
-val discover : ?config:config -> Relation.t -> discovered
+val discover :
+  ?pool:Dq_parallel.Pool.t -> ?config:config -> Relation.t -> discovered
 (** Mine CFDs from an instance.  Deterministic; runs in
-    O(|attrs|^[max_lhs_size] · |D|) grouping passes. *)
+    O(|attrs|^[max_lhs_size] · |D|) grouping passes.  With a [pool], the
+    candidates of each LHS-size level — whose subset pruning only consults
+    strictly smaller, already-frozen levels — are evaluated in parallel
+    and merged in enumeration order, so the mined tableaus are
+    byte-identical at any job count. *)
 
 val resolve : discovered -> Dq_cfd.Cfd.t array
 (** The mined constraints as numbered normal-form clauses. *)

@@ -26,7 +26,7 @@ let pp_stats ppf s =
    violations it incurs in D ⊕ ΔD (both against the clean base and against
    its fellow insertions); W-INCREPAIR by descending total weight.  Sorts
    are stable, so ties keep the input order. *)
-let order_tuples ordering base delta sigma =
+let order_tuples ?pool ordering base delta sigma =
   match ordering with
   | Linear -> delta
   | By_weight ->
@@ -36,18 +36,18 @@ let order_tuples ordering base delta sigma =
   | By_violations ->
     let staging = Relation.copy base in
     List.iter (Relation.add staging) delta;
-    let counts = Violation.vio_counts staging sigma in
+    let counts = Violation.vio_counts ?pool staging sigma in
     let vio t =
       match Hashtbl.find_opt counts (Tuple.tid t) with Some n -> n | None -> 0
     in
     List.stable_sort (fun t1 t2 -> Int.compare (vio t1) (vio t2)) delta
 
-let run ?k ?max_candidates ?use_cluster_index ?(ordering = By_violations) base
-    delta sigma =
+let run ?pool ?k ?max_candidates ?use_cluster_index
+    ?(ordering = By_violations) base delta sigma =
   let started = Unix.gettimeofday () in
   let repr = Relation.copy base in
   let env = Tuple_resolve.make_env ?k ?max_candidates ?use_cluster_index repr sigma in
-  let delta = order_tuples ordering base delta sigma in
+  let delta = order_tuples ?pool ordering base delta sigma in
   let tuples_changed = ref 0 in
   let cells_changed = ref 0 in
   let nulls = ref 0 in
@@ -72,20 +72,21 @@ let run ?k ?max_candidates ?use_cluster_index ?(ordering = By_violations) base
       runtime = Unix.gettimeofday () -. started;
     } )
 
-let repair_inserts ?k ?max_candidates ?use_cluster_index ?ordering base delta
-    sigma =
-  run ?k ?max_candidates ?use_cluster_index ?ordering base delta sigma
+let repair_inserts ?pool ?k ?max_candidates ?use_cluster_index ?ordering base
+    delta sigma =
+  run ?pool ?k ?max_candidates ?use_cluster_index ?ordering base delta sigma
 
-let consistent_core rel sigma =
-  let counts = Violation.vio_counts rel sigma in
+let consistent_core ?pool rel sigma =
+  let counts = Violation.vio_counts ?pool rel sigma in
   Relation.fold
     (fun acc t ->
       if Hashtbl.mem counts (Tuple.tid t) then acc else Tuple.tid t :: acc)
     [] rel
   |> List.rev
 
-let repair_dirty ?k ?max_candidates ?use_cluster_index ?ordering rel sigma =
-  let core = consistent_core rel sigma in
+let repair_dirty ?pool ?k ?max_candidates ?use_cluster_index ?ordering rel
+    sigma =
+  let core = consistent_core ?pool rel sigma in
   let core_set = Hashtbl.create (List.length core) in
   List.iter (fun tid -> Hashtbl.add core_set tid ()) core;
   let base = Relation.create (Relation.schema rel) in
@@ -95,5 +96,5 @@ let repair_dirty ?k ?max_candidates ?use_cluster_index ?ordering rel sigma =
       if Hashtbl.mem core_set (Tuple.tid t) then Relation.add base (Tuple.copy t)
       else delta := Tuple.copy t :: !delta)
     rel;
-  run ?k ?max_candidates ?use_cluster_index ?ordering base (List.rev !delta)
-    sigma
+  run ?pool ?k ?max_candidates ?use_cluster_index ?ordering base
+    (List.rev !delta) sigma

@@ -11,7 +11,13 @@
     - {!Linear} (L-INCREPAIR): the given order, no extra cost;
     - {!By_violations} (V-INCREPAIR): ascending [vio(t)], so the most
       trustworthy tuples enter the repair first;
-    - {!By_weight} (W-INCREPAIR): descending total tuple weight [wt(t)]. *)
+    - {!By_weight} (W-INCREPAIR): descending total tuple weight [wt(t)].
+
+    The optional [pool] parallelises the violation-counting passes
+    ({!Dq_cfd.Violation.vio_counts} inside V-INCREPAIR ordering and
+    {!consistent_core}); the repair loop itself is inherently sequential
+    — each tuple is resolved against the repair built so far — so
+    repairs are byte-identical at any job count. *)
 
 open Dq_relation
 
@@ -30,6 +36,7 @@ type stats = {
 val pp_stats : Format.formatter -> stats -> unit
 
 val repair_inserts :
+  ?pool:Dq_parallel.Pool.t ->
   ?k:int ->
   ?max_candidates:int ->
   ?use_cluster_index:bool ->
@@ -44,12 +51,14 @@ val repair_inserts :
     The tuples of [delta] must carry tids distinct from [d]'s and from each
     other.  Default ordering is {!By_violations}. *)
 
-val consistent_core : Relation.t -> Dq_cfd.Cfd.t array -> int list
+val consistent_core :
+  ?pool:Dq_parallel.Pool.t -> Relation.t -> Dq_cfd.Cfd.t array -> int list
 (** Tids of tuples involved in no violation — the efficiently computable
     stand-in for a maximal consistent subset (finding a truly maximal one
     is NP-hard, Proposition 5.4). *)
 
 val repair_dirty :
+  ?pool:Dq_parallel.Pool.t ->
   ?k:int ->
   ?max_candidates:int ->
   ?use_cluster_index:bool ->

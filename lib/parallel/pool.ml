@@ -1,0 +1,182 @@
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs pool = pool.jobs
+
+(* Workers block on [work_available] until a task arrives or the pool
+   closes; tasks run outside the lock. *)
+let worker pool () =
+  let rec take () =
+    match Queue.take_opt pool.queue with
+    | Some task ->
+      Mutex.unlock pool.lock;
+      Some task
+    | None ->
+      if pool.closed then begin
+        Mutex.unlock pool.lock;
+        None
+      end
+      else begin
+        Condition.wait pool.work_available pool.lock;
+        take ()
+      end
+  in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    match take () with
+    | Some task ->
+      task ();
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be >= 1 (got %d)" jobs);
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let with_pool ?jobs f =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run pool tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if pool.jobs = 1 || n = 1 then Array.iter (fun f -> f ()) tasks
+  else begin
+    let remaining = Atomic.make n in
+    let failed = Atomic.make None in
+    let batch_lock = Mutex.create () in
+    let batch_done = Condition.create () in
+    let wrap f () =
+      (try f ()
+       with e -> ignore (Atomic.compare_and_set failed None (Some e)));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* Last task out signals under the batch lock so the waiter can't
+           miss the wake-up between its counter check and its wait. *)
+        Mutex.lock batch_lock;
+        Condition.broadcast batch_done;
+        Mutex.unlock batch_lock
+      end
+    in
+    Mutex.lock pool.lock;
+    Array.iter (fun f -> Queue.add (wrap f) pool.queue) tasks;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    (* The caller helps drain the queue instead of idling: with j jobs the
+       batch runs on j domains, and a busy pool can never deadlock its
+       submitter. *)
+    let rec help () =
+      if Atomic.get remaining > 0 then begin
+        Mutex.lock pool.lock;
+        let task = Queue.take_opt pool.queue in
+        Mutex.unlock pool.lock;
+        match task with
+        | Some task ->
+          task ();
+          help ()
+        | None ->
+          Mutex.lock batch_lock;
+          while Atomic.get remaining > 0 do
+            Condition.wait batch_done batch_lock
+          done;
+          Mutex.unlock batch_lock
+      end
+    in
+    help ();
+    match Atomic.get failed with Some e -> raise e | None -> ()
+  end
+
+let ranges ~chunks n =
+  if n <= 0 then []
+  else begin
+    let chunks = max 1 (min chunks n) in
+    List.init chunks (fun c -> (c * n / chunks, (c + 1) * n / chunks))
+  end
+
+let map_reduce pool ?chunks ~n ~map ~fold ~init =
+  let chunks = match chunks with Some c -> c | None -> pool.jobs in
+  let ranges = Array.of_list (ranges ~chunks n) in
+  let results = Array.make (Array.length ranges) None in
+  run pool
+    (Array.mapi
+       (fun c (lo, hi) -> fun () -> results.(c) <- Some (map lo hi))
+       ranges);
+  Array.fold_left
+    (fun acc r -> match r with Some x -> fold acc x | None -> acc)
+    init results
+
+let parallel_for pool ?chunks ~n f =
+  map_reduce pool ?chunks ~n
+    ~map:(fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+    ~fold:(fun () () -> ())
+    ~init:()
+
+(* ---- ?pool-threading conveniences ------------------------------------ *)
+
+let sequential = function
+  | None -> true
+  | Some pool -> pool.jobs = 1
+
+let for_chunks ?chunks pool ~n f =
+  if n <= 0 then ()
+  else
+    match pool with
+    | Some pool when not (sequential (Some pool)) ->
+      map_reduce pool ?chunks ~n ~map:f ~fold:(fun () () -> ()) ~init:()
+    | _ -> f 0 n
+
+let map_chunks ?chunks pool ~n map =
+  if n <= 0 then []
+  else
+    match pool with
+    | Some pool when not (sequential (Some pool)) ->
+      map_reduce pool ?chunks ~n ~map
+        ~fold:(fun acc x -> x :: acc)
+        ~init:[]
+      |> List.rev
+    | _ -> [ map 0 n ]
+
+let map_array ?chunks pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    for_chunks ?chunks pool ~n (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f arr.(i))
+        done);
+    Array.map (function Some x -> x | None -> assert false) out
+  end

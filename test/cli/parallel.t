@@ -1,0 +1,29 @@
+Detection accepts --jobs and reports the same violations at any job
+count (the engine's outputs are byte-identical regardless of
+parallelism).
+
+  $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --jobs 4
+  4 tuples, 21 clauses: 2 violating tuples, vio(D) = 8
+  [1]
+
+  $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --jobs 1 > one.out
+  [1]
+  $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --jobs 7 > seven.out
+  [1]
+  $ diff one.out seven.out
+
+Repair at several job counts produces identical repairs.
+
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --jobs 1 2> /dev/null > r1.csv
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --jobs 4 2> /dev/null > r4.csv
+  $ diff r1.csv r4.csv
+
+A job count below one is rejected with a clear error.
+
+  $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --jobs 0
+  cfdclean: --jobs must be at least 1 (got 0)
+  [124]
+
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --jobs=-3
+  cfdclean: --jobs must be at least 1 (got -3)
+  [124]

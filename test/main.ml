@@ -32,5 +32,6 @@ let () =
       ("implication", Test_implication.suite);
       ("lint", Test_lint.suite);
       ("ind", Test_ind.suite);
+      ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
     ]

@@ -7,49 +7,8 @@ open Dq_relation
 open Dq_cfd
 open Dq_core
 
-let attrs = [ "A"; "B"; "C"; "D" ]
-
-let schema = Schema.make ~name:"r" attrs
-
-(* Small value universe so violations are common. *)
-let value_gen = QCheck.Gen.(map (fun i -> Value.string (Printf.sprintf "v%d" i)) (0 -- 4))
-
-let tuple_gen = QCheck.Gen.(array_size (return (List.length attrs)) value_gen)
-
-let relation_gen =
-  QCheck.Gen.(
-    map
-      (fun rows ->
-        let rel = Relation.create schema in
-        List.iter (fun values -> ignore (Relation.insert rel values)) rows;
-        rel)
-      (list_size (1 -- 25) tuple_gen))
-
-(* A random normal-form clause: distinct LHS attrs, one RHS attr, each
-   pattern position either wild or a small constant. *)
-let clause_gen =
-  QCheck.Gen.(
-    let* lhs_size = 1 -- 2 in
-    let* perm = shuffle_l attrs in
-    let lhs_attrs = List.filteri (fun i _ -> i < lhs_size) perm in
-    let rhs_attr = List.nth perm lhs_size in
-    let pattern_gen =
-      oneof
-        [ return Pattern.Wild; map (fun v -> Pattern.const v) value_gen ]
-    in
-    let* lhs_pats = flatten_l (List.map (fun _ -> pattern_gen) lhs_attrs) in
-    let* rhs_pat = pattern_gen in
-    return
-      (Cfd.make schema
-         ~lhs:(List.combine lhs_attrs lhs_pats)
-         ~rhs:(rhs_attr, rhs_pat)))
-
-let sigma_gen =
-  QCheck.Gen.(map (fun l -> Cfd.number l) (list_size (1 -- 6) clause_gen))
-
-let instance_gen = QCheck.Gen.pair relation_gen sigma_gen
-
-let instance = QCheck.make instance_gen
+(* Generators live in {!Helpers.Gen}, shared with the parallel suite. *)
+open Helpers.Gen
 
 let satisfiable sigma = Satisfiability.is_satisfiable schema sigma
 
