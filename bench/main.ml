@@ -64,6 +64,12 @@ let section name title =
 
 type outcome = { precision : float; recall : float; runtime : float }
 
+(* The engines return results with an attached observability report; the
+   bench only wants the (value, stats) pair and treats errors as fatal. *)
+let engine_ok = function
+  | Ok (pair, _report) -> pair
+  | Error e -> failwith (Dq_error.to_string e)
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
@@ -84,7 +90,7 @@ let score ds (info : Noise.info) repair runtime =
 let run_batch ?(sigma = None) ds info =
   let sigma = match sigma with Some s -> s | None -> ds.Datagen.sigma in
   let (repair, _), runtime =
-    time (fun () -> Batch_repair.repair info.Noise.dirty sigma)
+    time (fun () -> engine_ok (Batch_repair.repair info.Noise.dirty sigma))
   in
   assert (Violation.satisfies repair sigma);
   score ds info repair runtime
@@ -92,7 +98,8 @@ let run_batch ?(sigma = None) ds info =
 let run_inc ordering ds info =
   let (repair, _), runtime =
     time (fun () ->
-        Inc_repair.repair_dirty ~ordering info.Noise.dirty ds.Datagen.sigma)
+        engine_ok
+          (Inc_repair.repair_dirty ~ordering info.Noise.dirty ds.Datagen.sigma))
   in
   assert (Violation.satisfies repair ds.Datagen.sigma);
   score ds info repair runtime
@@ -262,12 +269,12 @@ let fig12 () =
             let ds, base, pool = per_seed seed in
             let delta = Array.to_list (Array.sub pool 0 (min k (Array.length pool))) in
             let (_, stats) =
-              Inc_repair.repair_inserts base delta ds.Datagen.sigma
+              engine_ok (Inc_repair.repair_inserts base delta ds.Datagen.sigma)
             in
             inc := !inc +. stats.Inc_repair.runtime;
             let whole = Relation.copy base in
             List.iter (fun t -> Relation.add whole (Tuple.copy t)) delta;
-            let (_, bstats) = Batch_repair.repair whole ds.Datagen.sigma in
+            let (_, bstats) = engine_ok (Batch_repair.repair whole ds.Datagen.sigma) in
             batch := !batch +. bstats.Batch_repair.runtime)
           !seeds;
         let n = float_of_int (List.length !seeds) in
@@ -362,8 +369,9 @@ let ablation_depgraph () =
               let info = dirtied ds (seed + 1) in
               let (repair, _), runtime =
                 time (fun () ->
-                    Batch_repair.repair ~use_dependency_graph info.Noise.dirty
-                      ds.Datagen.sigma)
+                    engine_ok
+                      (Batch_repair.repair ~use_dependency_graph
+                         info.Noise.dirty ds.Datagen.sigma))
               in
               score ds info repair runtime)
         in
@@ -385,8 +393,9 @@ let ablation_cluster () =
               let info = dirtied ds (seed + 1) in
               let (repair, _), runtime =
                 time (fun () ->
-                    Inc_repair.repair_dirty ~use_cluster_index info.Noise.dirty
-                      ds.Datagen.sigma)
+                    engine_ok
+                      (Inc_repair.repair_dirty ~use_cluster_index
+                         info.Noise.dirty ds.Datagen.sigma))
               in
               score ds info repair runtime)
         in
@@ -405,7 +414,9 @@ let ablation_k () =
               let info = dirtied ds (seed + 1) in
               let (repair, _), runtime =
                 time (fun () ->
-                    Inc_repair.repair_dirty ~k info.Noise.dirty ds.Datagen.sigma)
+                    engine_ok
+                      (Inc_repair.repair_dirty ~k info.Noise.dirty
+                         ds.Datagen.sigma))
               in
               score ds info repair runtime)
         in
@@ -432,27 +443,40 @@ type parallel_entry = {
   pe_identical : bool;
 }
 
+(* The same envelope schema the CLI emits with --format json, with the
+   scaling table as the report's summary — so CI consumes BENCH_*.json and
+   `cfdclean ... --format json` with one parser. *)
 let parallel_json entries =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"parallel\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Pool.default_jobs ()));
-  Buffer.add_string buf "  \"seconds\": \"best-of-3 (repair: single run)\",\n";
-  Buffer.add_string buf "  \"results\": [\n";
-  List.iteri
-    (fun i e ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"n\": %d, \"jobs\": %d, \"find_all_s\": %.6f, \
-            \"vio_counts_s\": %.6f, \"repair_dirty_s\": %.6f, \"identical\": \
-            %b}%s\n"
-           e.pe_n e.pe_jobs e.pe_find_all e.pe_vio_counts e.pe_repair
-           e.pe_identical
-           (if i = List.length entries - 1 then "" else ",")))
-    entries;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  let module J = Dq_obs.Json in
+  let entry_json e =
+    J.Obj
+      [
+        ("n", J.Int e.pe_n);
+        ("jobs", J.Int e.pe_jobs);
+        ("find_all_s", J.Float e.pe_find_all);
+        ("vio_counts_s", J.Float e.pe_vio_counts);
+        ("repair_dirty_s", J.Float e.pe_repair);
+        ("identical", J.Bool e.pe_identical);
+      ]
+  in
+  let report =
+    Dq_obs.Report.make ~engine:"bench_parallel"
+      ~summary:
+        [
+          ("recommended_domains", J.Int (Pool.default_jobs ()));
+          ("seconds", J.String "best-of-3 (repair: single run)");
+          ("results", J.List (List.map entry_json entries));
+        ]
+      ()
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("command", J.String "bench");
+         ("ok", J.Bool true);
+         ("report", Dq_obs.Report.to_json report);
+         ("diagnostics", J.List []);
+       ])
 
 let parallel () =
   if
@@ -495,7 +519,7 @@ let parallel () =
               best_of 3 (fun () -> Violation.vio_counts ~pool rel sigma)
             in
             let (repaired, _), t_repair =
-              best_of 1 (fun () -> Inc_repair.repair_dirty ~pool rel sigma)
+              best_of 1 (fun () -> engine_ok (Inc_repair.repair_dirty ~pool rel sigma))
             in
             let key = (violations_key vs, counts_key counts, Csv.save_string repaired) in
             let identical =

@@ -7,10 +7,21 @@
      lint      static analysis of a CFD file (E/W diagnostic codes)
      sample    repair, then estimate the repair's inaccuracy rate by
                stratified sampling against a ground-truth file
+     discover  mine CFDs from a (mostly clean) CSV file
      generate  emit a synthetic order dataset (clean + dirty + CFDs)
 
    Data is CSV with a header row; constraints use the textual CFD format
-   (see the dataqual.cfd documentation or `cfdclean generate`). *)
+   (see the dataqual.cfd documentation or `cfdclean generate`).
+
+   Every subcommand takes `--format text|json` and `--metrics FILE`.  With
+   `--format json` stdout carries one envelope object
+
+     {"command": ..., "ok": ..., "report": ..., "diagnostics": [...]}
+
+   whose `report` is the engine's structured Dq_obs.Report.t.  Exit codes
+   are standardised in Dq_error.Exit: 0 success, 1 problems found
+   (violations, rejected sample, unsatisfiable), 2 usage/input error,
+   3 lint-gated refusal. *)
 
 open Cmdliner
 open Dq_relation
@@ -19,40 +30,120 @@ open Dq_core
 open Dq_analysis
 open Dq_workload
 module Pool = Dq_parallel.Pool
+module Json = Dq_obs.Json
+module Report = Dq_obs.Report
+module Metrics = Dq_obs.Metrics
+module Provenance = Dq_obs.Provenance
+
+let ( let* ) = Result.bind
+
+(* ---- shared plumbing -------------------------------------------------- *)
+
+type format = Text | Json_format
+
+let load_csv path =
+  match Csv.load_file path with
+  | rel -> Ok rel
+  | exception Failure msg -> Error (Dq_error.Io msg)
+  | exception Sys_error msg -> Error (Dq_error.Io msg)
 
 let load_tableaus path =
   match Cfd_parser.parse_file_located path with
-  | Error e -> `Error (false, Fmt.str "%s: %a" path Cfd_parser.pp_error e)
-  | Ok ltabs -> `Ok ltabs
+  | Ok ltabs -> Ok ltabs
+  | Error e ->
+    Error
+      (Dq_error.Parse
+         { path; line = e.Cfd_parser.line; col = e.col; message = e.message })
 
 (* detect/repair/sample refuse a ruleset with lint errors unless --force:
    an unsatisfiable or ill-typed Σ makes their output meaningless. *)
 let with_inputs ?(force = false) data_path cfd_path k =
-  match Csv.load_file data_path with
-  | exception Failure msg -> `Error (false, msg)
-  | exception Sys_error msg -> `Error (false, msg)
-  | rel -> (
-    match load_tableaus cfd_path with
-    | `Error _ as e -> e
-    | `Ok ltabs -> (
-      let schema = Relation.schema rel in
-      let errors =
-        if force then []
-        else Lint.run ~errors_only:true ~schema ltabs
-      in
-      if errors <> [] then
-        `Error
-          ( false,
-            Fmt.str
-              "%s: ruleset has %d lint error%s; run `cfdclean lint %s --data \
-               %s` for details, or pass --force"
-              cfd_path (List.length errors)
-              (if List.length errors = 1 then "" else "s")
-              cfd_path data_path )
-      else
-        match Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs) with
-        | sigma -> k rel sigma
-        | exception Invalid_argument msg -> `Error (false, msg)))
+  let* rel = load_csv data_path in
+  let* ltabs = load_tableaus cfd_path in
+  let schema = Relation.schema rel in
+  let errors = if force then [] else Lint.run ~errors_only:true ~schema ltabs in
+  if errors <> [] then
+    Error
+      (Dq_error.Lint_gated
+         {
+           path = cfd_path;
+           errors = List.length errors;
+           hint =
+             Fmt.str
+               "run `cfdclean lint %s --data %s` for details, or pass --force"
+               cfd_path data_path;
+         })
+  else
+    match Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs) with
+    | sigma -> k rel sigma
+    | exception Invalid_argument msg -> Error (Dq_error.Invalid_input msg)
+
+(* Validate --jobs and run [k] with a pool of that many domains. *)
+let with_jobs jobs k =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  if jobs < 1 then
+    Error (Dq_error.Invalid_input (Fmt.str "--jobs must be at least 1 (got %d)" jobs))
+  else Pool.with_pool ~jobs k
+
+(* What a subcommand hands back on success: the structured report, the
+   exit code, extra diagnostics for the JSON envelope, and a thunk that
+   prints the human-readable output (run only with --format text). *)
+type success = {
+  report : Report.t;
+  code : int;
+  diagnostics : Json.t list;
+  text : unit -> unit;
+}
+
+let succeed ?(code = Dq_error.Exit.ok) ?(diagnostics = []) report text =
+  Ok { report; code; diagnostics; text }
+
+let envelope ~command ~ok ~report ~diagnostics =
+  Json.Obj
+    [
+      ("command", Json.String command);
+      ("ok", Json.Bool ok);
+      ("report", report);
+      ("diagnostics", Json.List diagnostics);
+    ]
+
+(* The uniform tail of every subcommand: print either the text output or
+   the JSON envelope, dump the metrics snapshot when asked, and map errors
+   to the standard exit codes.  Metrics collection is switched on before
+   the command body runs, so engine instrumentation is live. *)
+let run_command ~command ~format ~metrics k =
+  if metrics <> None then Metrics.set_enabled true;
+  let code =
+    match k () with
+    | Ok s ->
+      (match format with
+      | Text -> s.text ()
+      | Json_format ->
+        print_string
+          (Json.to_string
+             (envelope ~command ~ok:true ~report:(Report.to_json s.report)
+                ~diagnostics:s.diagnostics)));
+      s.code
+    | Error e ->
+      (match format with
+      | Text -> Fmt.epr "cfdclean: %s@." (Dq_error.to_string e)
+      | Json_format ->
+        print_string
+          (Json.to_string
+             (envelope ~command ~ok:false ~report:Json.Null
+                ~diagnostics:[ Dq_error.to_json e ])));
+      Dq_error.exit_code e
+  in
+  (match metrics with
+  | None -> ()
+  | Some path -> (
+    match open_out path with
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Json.to_string (Metrics.snapshot ())))
+    | exception Sys_error msg -> Fmt.epr "cfdclean: --metrics: %s@." msg));
+  `Ok code
 
 let force_arg =
   Arg.(
@@ -70,26 +161,61 @@ let jobs_arg =
            (default: the recommended domain count for this machine).  \
            Results are identical at any job count.")
 
-(* Validate --jobs and run [k] with a pool of that many domains. *)
-let with_jobs jobs k =
-  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  if jobs < 1 then
-    `Error (false, Fmt.str "--jobs must be at least 1 (got %d)" jobs)
-  else Pool.with_pool ~jobs k
+let format_arg =
+  let parse = function
+    | "text" -> Ok Text
+    | "json" -> Ok Json_format
+    | s -> Error (`Msg (Fmt.str "unknown format %S" s))
+  in
+  let print ppf = function
+    | Text -> Fmt.string ppf "text"
+    | Json_format -> Fmt.string ppf "json"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,text), or $(b,json) for one envelope object \
+           {\"command\", \"ok\", \"report\", \"diagnostics\"} on stdout.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable metrics collection and write the counter/timer snapshot \
+           to $(docv) as JSON on exit.")
 
 (* ---- detect ---- *)
 
-let detect data_path cfd_path verbose force jobs =
+let detect data_path cfd_path verbose force jobs format metrics =
+  run_command ~command:"detect" ~format ~metrics @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   with_jobs jobs @@ fun pool ->
   let counts = Violation.vio_counts ~pool rel sigma in
   let dirty = Hashtbl.length counts in
   let total = Hashtbl.fold (fun _ n acc -> acc + n) counts 0 in
-  Fmt.pr "%d tuples, %d clauses: %d violating tuples, vio(D) = %d@."
-    (Relation.cardinality rel) (Array.length sigma) dirty total;
-  if verbose then
-    List.iter (Fmt.pr "  %a@." Violation.pp) (Violation.find_all ~pool rel sigma);
-  `Ok (if dirty = 0 then 0 else 1)
+  let report =
+    Report.make ~engine:"detect"
+      ~summary:
+        [
+          ("tuples", Json.Int (Relation.cardinality rel));
+          ("clauses", Json.Int (Array.length sigma));
+          ("violating_tuples", Json.Int dirty);
+          ("violations", Json.Int total);
+        ]
+      ()
+  in
+  succeed ~code:(if dirty = 0 then Dq_error.Exit.ok else Dq_error.Exit.dirty)
+    report (fun () ->
+      Fmt.pr "%d tuples, %d clauses: %d violating tuples, vio(D) = %d@."
+        (Relation.cardinality rel) (Array.length sigma) dirty total;
+      if verbose then
+        List.iter
+          (Fmt.pr "  %a@." Violation.pp)
+          (Violation.find_all ~pool rel sigma))
 
 let detect_cmd =
   let data =
@@ -103,7 +229,10 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Report CFD violations in a CSV file")
-    Term.(ret (const detect $ data $ cfds $ verbose $ force_arg $ jobs_arg))
+    Term.(
+      ret
+        (const detect $ data $ cfds $ verbose $ force_arg $ jobs_arg
+       $ format_arg $ metrics_arg))
 
 (* ---- repair ---- *)
 
@@ -125,34 +254,78 @@ let algorithm_conv =
   in
   Arg.conv (parse, print)
 
-let repair data_path cfd_path output algorithm force jobs =
+let same_file a b =
+  match (Unix.realpath a, Unix.realpath b) with
+  | ra, rb -> String.equal ra rb
+  | exception Unix.Unix_error _ -> false
+  | exception Sys_error _ -> false
+
+(* Where the repaired CSV goes: [None] means stdout (text mode only).
+   An output path that resolves to the input file is refused unless
+   --in-place; bare --in-place targets the input file itself. *)
+let resolve_output ~data_path ~output ~in_place =
+  match (output, in_place) with
+  | Some path, false when same_file path data_path ->
+    Error (Dq_error.Would_overwrite path)
+  | Some path, _ -> Ok (Some path)
+  | None, true -> Ok (Some data_path)
+  | None, false -> Ok None
+
+let save_csv rel path =
+  match Csv.save_file rel path with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Dq_error.Io msg)
+
+let print_explain ppf report =
+  match report.Report.provenance with
+  | [] -> Fmt.pf ppf "explain: no cells changed@."
+  | entries ->
+    Fmt.pf ppf
+      "pass  tuple  attr       old            -> new            clause           cost@.";
+    List.iter (fun e -> Fmt.pf ppf "%a@." Provenance.pp_entry e) entries
+
+let repair data_path cfd_path output in_place explain algorithm force jobs
+    format metrics =
+  run_command ~command:"repair" ~format ~metrics @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
-    `Error (false, "the CFD set is unsatisfiable; no repair exists")
+    Error Dq_error.Unsatisfiable
   else
+    let* out = resolve_output ~data_path ~output ~in_place in
     with_jobs jobs @@ fun pool ->
-    begin
-    let repaired =
+    let* (repaired, report), print_stats =
       match algorithm with
       | Batch ->
-        let repaired, stats = Batch_repair.repair ~pool rel sigma in
-        Fmt.epr "batchrepair: %a@." Batch_repair.pp_stats stats;
-        repaired
+        let* (repaired, stats), report = Batch_repair.repair ~pool rel sigma in
+        Ok
+          ( (repaired, report),
+            fun () -> Fmt.epr "batchrepair: %a@." Batch_repair.pp_stats stats )
       | Inc ordering ->
-        let repaired, stats = Inc_repair.repair_dirty ~pool ~ordering rel sigma in
-        Fmt.epr "%s: %a@."
-          (Inc_repair.ordering_name ordering)
-          Inc_repair.pp_stats stats;
-        repaired
+        let* (repaired, stats), report =
+          Inc_repair.repair_dirty ~pool ~ordering rel sigma
+        in
+        Ok
+          ( (repaired, report),
+            fun () ->
+              Fmt.epr "%s: %a@."
+                (Inc_repair.ordering_name ordering)
+                Inc_repair.pp_stats stats )
     in
-    Fmt.epr "repair cost: %.3f; dif: %d cells@."
-      (Cost.repair_cost ~original:rel ~repair:repaired)
-      (Relation.dif rel repaired);
-    (match output with
-    | Some path -> Csv.save_file repaired path
-    | None -> print_string (Csv.save_string repaired));
-    `Ok 0
-    end
+    let* () =
+      match out with Some path -> save_csv repaired path | None -> Ok ()
+    in
+    succeed report (fun () ->
+        print_stats ();
+        Fmt.epr "repair cost: %.3f; dif: %d cells@."
+          (Cost.repair_cost ~original:rel ~repair:repaired)
+          (Relation.dif rel repaired);
+        (* With the CSV going to stdout the explain table moves to stderr
+           so the repair stays machine-readable. *)
+        if explain then
+          print_explain (if out = None then Fmt.stderr else Fmt.stdout) report;
+        match out with
+        | None -> print_string (Csv.save_string repaired)
+        | Some _ -> ())
 
 let repair_cmd =
   let data =
@@ -166,7 +339,25 @@ let repair_cmd =
       value
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"OUT.csv"
-          ~doc:"Write the repair here instead of stdout.")
+          ~doc:
+            "Write the repair here instead of stdout.  Refused when $(docv) \
+             is the input file, unless $(b,--in-place) is given.")
+  in
+  let in_place =
+    Arg.(
+      value & flag
+      & info [ "in-place" ]
+          ~doc:
+            "Overwrite $(b,DATA.csv) with the repair (or allow $(b,-o) to \
+             point at it).")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the cell-level provenance table: every changed cell with \
+             its old and new value, resolving clause, plan cost and pass.")
   in
   let algorithm =
     Arg.(
@@ -178,37 +369,41 @@ let repair_cmd =
     (Cmd.info "repair" ~doc:"Compute a repair satisfying the CFDs")
     Term.(
       ret
-        (const repair $ data $ cfds $ output $ algorithm $ force_arg $ jobs_arg))
+        (const repair $ data $ cfds $ output $ in_place $ explain $ algorithm
+       $ force_arg $ jobs_arg $ format_arg $ metrics_arg))
 
 (* ---- check ---- *)
 
 (* check is a thin front-end to the lint engine (errors only), keeping the
    original satisfiability-probe output and exit-code behavior. *)
-let check schema_csv cfd_path =
-  match Csv.load_file schema_csv with
-  | exception Failure msg -> `Error (false, msg)
-  | exception Sys_error msg -> `Error (false, msg)
-  | rel -> (
-    match load_tableaus cfd_path with
-    | `Error _ as e -> e
-    | `Ok ltabs -> (
-      let schema = Relation.schema rel in
-      let errors = Lint.run ~errors_only:true ~schema ltabs in
-      let unsat =
-        List.exists (fun d -> d.Diagnostic.code = Diagnostic.E001) errors
-      in
-      if unsat then begin
-        Fmt.pr "UNSATISFIABLE: no non-empty instance can satisfy these CFDs@.";
-        `Ok 1
-      end
-      else
-        match
-          Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs)
-        with
-        | exception Invalid_argument msg -> `Error (false, msg)
-        | sigma ->
-          Fmt.pr "satisfiable (%d normal-form clauses)@." (Array.length sigma);
-          `Ok 0))
+let check schema_csv cfd_path format metrics =
+  run_command ~command:"check" ~format ~metrics @@ fun () ->
+  let* rel = load_csv schema_csv in
+  let* ltabs = load_tableaus cfd_path in
+  let schema = Relation.schema rel in
+  let errors = Lint.run ~errors_only:true ~schema ltabs in
+  let unsat = List.exists (fun d -> d.Diagnostic.code = Diagnostic.E001) errors in
+  if unsat then
+    succeed ~code:Dq_error.Exit.dirty
+      (Report.make ~engine:"check"
+         ~summary:[ ("satisfiable", Json.Bool false) ]
+         ())
+      (fun () ->
+        Fmt.pr "UNSATISFIABLE: no non-empty instance can satisfy these CFDs@.")
+  else
+    match Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs) with
+    | exception Invalid_argument msg -> Error (Dq_error.Invalid_input msg)
+    | sigma ->
+      succeed
+        (Report.make ~engine:"check"
+           ~summary:
+             [
+               ("satisfiable", Json.Bool true);
+               ("clauses", Json.Int (Array.length sigma));
+             ]
+           ())
+        (fun () ->
+          Fmt.pr "satisfiable (%d normal-form clauses)@." (Array.length sigma))
 
 let check_cmd =
   let data =
@@ -222,14 +417,39 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a CFD set for satisfiability")
-    Term.(ret (const check $ data $ cfds))
+    Term.(ret (const check $ data $ cfds $ format_arg $ metrics_arg))
 
 (* ---- lint ---- *)
 
-type lint_format = Text | Json
+let diagnostic_to_json d =
+  let base =
+    [
+      ("code", Json.String (Diagnostic.code_to_string d.Diagnostic.code));
+      ( "severity",
+        Json.String (Diagnostic.severity_to_string (Diagnostic.severity d)) );
+      ("message", Json.String d.Diagnostic.message);
+    ]
+  in
+  let clause =
+    match d.Diagnostic.clause with
+    | Some c -> [ ("clause", Json.String c) ]
+    | None -> []
+  in
+  let span =
+    match d.Diagnostic.span with
+    | Some s ->
+      [
+        ("line", Json.Int s.Cfd_parser.line);
+        ("col", Json.Int s.Cfd_parser.col_start);
+        ("end_col", Json.Int s.Cfd_parser.col_end);
+      ]
+    | None -> []
+  in
+  Json.Obj (base @ clause @ span)
 
-let lint cfd_path data_path format errors_only =
-  let source =
+let lint cfd_path data_path errors_only format metrics =
+  run_command ~command:"lint" ~format ~metrics @@ fun () ->
+  let* source =
     match
       let ic = open_in_bin cfd_path in
       Fun.protect
@@ -237,49 +457,49 @@ let lint cfd_path data_path format errors_only =
         (fun () -> really_input_string ic (in_channel_length ic))
     with
     | s -> Ok s
-    | exception Sys_error msg -> Error msg
+    | exception Sys_error msg -> Error (Dq_error.Io msg)
   in
-  match source with
-  | Error msg -> `Error (false, msg)
-  | Ok source -> (
-    let schema =
-      match data_path with
-      | None -> Ok None
-      | Some csv -> (
-        match Csv.load_file csv with
-        | rel -> Ok (Some (Relation.schema rel))
-        | exception Failure msg -> Error msg
-        | exception Sys_error msg -> Error msg)
-    in
-    match schema with
-    | Error msg -> `Error (false, msg)
-    | Ok schema ->
-      (* A parse failure is itself a diagnostic (E000), so lint always
-         produces a report — CI never has to special-case syntax errors. *)
-      let diags =
-        match Cfd_parser.parse_string_located source with
-        | Error e ->
-          [
-            Diagnostic.make
-              ~span:
-                Cfd_parser.
-                  { line = e.line; col_start = e.col; col_end = e.col + 1 }
-              Diagnostic.E000 e.message;
-          ]
-        | Ok ltabs -> Lint.run ?schema ltabs
-      in
-      let diags =
-        if errors_only then List.filter Diagnostic.is_error diags else diags
-      in
-      (match format with
-      | Json -> print_string (Render.to_json ~path:cfd_path diags)
-      | Text ->
-        List.iter
-          (fun d ->
-            Fmt.pr "@[<v>%a@]@." (Render.pp_text ~path:cfd_path ~source) d)
-          diags;
-        Fmt.pr "%s: %s@." cfd_path (Render.summary diags));
-      `Ok (if List.exists Diagnostic.is_error diags then 1 else 0))
+  let* schema =
+    match data_path with
+    | None -> Ok None
+    | Some csv ->
+      let* rel = load_csv csv in
+      Ok (Some (Relation.schema rel))
+  in
+  (* A parse failure is itself a diagnostic (E000), so lint always
+     produces a report — CI never has to special-case syntax errors. *)
+  let diags =
+    match Cfd_parser.parse_string_located source with
+    | Error e ->
+      [
+        Diagnostic.make
+          ~span:
+            Cfd_parser.{ line = e.line; col_start = e.col; col_end = e.col + 1 }
+          Diagnostic.E000 e.message;
+      ]
+    | Ok ltabs -> Lint.run ?schema ltabs
+  in
+  let diags =
+    if errors_only then List.filter Diagnostic.is_error diags else diags
+  in
+  let errors = List.length (List.filter Diagnostic.is_error diags) in
+  let report =
+    Report.make ~engine:"lint"
+      ~summary:
+        [
+          ("path", Json.String cfd_path);
+          ("errors", Json.Int errors);
+          ("warnings", Json.Int (List.length diags - errors));
+        ]
+      ()
+  in
+  succeed
+    ~code:(if errors > 0 then Dq_error.Exit.dirty else Dq_error.Exit.ok)
+    ~diagnostics:(List.map diagnostic_to_json diags) report (fun () ->
+      List.iter
+        (fun d -> Fmt.pr "@[<v>%a@]@." (Render.pp_text ~path:cfd_path ~source) d)
+        diags;
+      Fmt.pr "%s: %s@." cfd_path (Render.summary diags))
 
 let lint_cmd =
   let cfds =
@@ -294,21 +514,6 @@ let lint_cmd =
             "CSV whose header gives the schema to type-check attribute names \
              against (enables the E003 check).")
   in
-  let format =
-    let parse = function
-      | "text" -> Ok Text
-      | "json" -> Ok Json
-      | s -> Error (`Msg (Fmt.str "unknown format %S" s))
-    in
-    let print ppf = function
-      | Text -> Fmt.string ppf "text"
-      | Json -> Fmt.string ppf "json"
-    in
-    Arg.(
-      value
-      & opt (conv (parse, print)) Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
-  in
   let errors_only =
     Arg.(
       value & flag
@@ -320,29 +525,32 @@ let lint_cmd =
          "Static analysis of a CFD ruleset: satisfiability, conflicting or \
           redundant patterns, schema mismatches, cyclic clause interactions. \
           Exits 1 if any error (E-code) is found.")
-    Term.(ret (const lint $ cfds $ data $ format $ errors_only))
+    Term.(ret (const lint $ cfds $ data $ errors_only $ format_arg $ metrics_arg))
 
 (* ---- sample ---- *)
 
 let sample data_path cfd_path truth_path epsilon confidence sample_size force
-    jobs =
+    jobs format metrics =
+  run_command ~command:"sample" ~format ~metrics @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
-  match Csv.load_file truth_path with
-  | exception Failure msg -> `Error (false, msg)
-  | truth ->
-    with_jobs jobs @@ fun pool ->
-    let repaired, _ = Batch_repair.repair ~pool rel sigma in
-    let oracle t' =
-      match Relation.find truth (Tuple.tid t') with
-      | Some t -> not (Tuple.equal_values t t')
-      | None -> true
-    in
-    let config = Sampling.default_config ~epsilon ~confidence ~sample_size () in
-    let report =
-      Sampling.inspect config ~original:rel ~repair:repaired ~sigma ~oracle
-    in
-    Fmt.pr "%a@." Sampling.pp_report report;
-    `Ok (if report.Sampling.accepted then 0 else 1)
+  let* truth = load_csv truth_path in
+  with_jobs jobs @@ fun pool ->
+  let* (repaired, _stats), _repair_report = Batch_repair.repair ~pool rel sigma in
+  let oracle t' =
+    match Relation.find truth (Tuple.tid t') with
+    | Some t -> not (Tuple.equal_values t t')
+    | None -> true
+  in
+  let config = Sampling.default_config ~epsilon ~confidence ~sample_size () in
+  let* sreport, report =
+    Sampling.inspect config ~original:rel ~repair:repaired ~sigma ~oracle
+  in
+  succeed
+    ~code:
+      (if sreport.Sampling.accepted then Dq_error.Exit.ok
+       else Dq_error.Exit.dirty)
+    report
+    (fun () -> Fmt.pr "%a@." Sampling.pp_report sreport)
 
 let sample_cmd =
   let data =
@@ -373,53 +581,84 @@ let sample_cmd =
     Term.(
       ret
         (const sample $ data $ cfds $ truth $ epsilon $ confidence $ size
-       $ force_arg $ jobs_arg))
+       $ force_arg $ jobs_arg $ format_arg $ metrics_arg))
 
 (* ---- generate ---- *)
 
-let generate n rate seed out_prefix =
+let generate n rate seed out_prefix format metrics =
+  run_command ~command:"generate" ~format ~metrics @@ fun () ->
   let ds = Datagen.generate (Datagen.default_params ~n_tuples:n ~seed ()) in
   let noise = Noise.inject (Noise.default_params ~rate ~seed ()) ds in
   let clean_path = out_prefix ^ "_clean.csv" in
   let dirty_path = out_prefix ^ "_dirty.csv" in
   let cfd_path = out_prefix ^ ".cfd" in
-  Csv.save_file ds.Datagen.dopt clean_path;
-  Csv.save_file noise.Noise.dirty dirty_path;
-  let oc = open_out cfd_path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Cfd_parser.to_string ds.Datagen.tableaus));
-  Fmt.pr "wrote %s (%d tuples), %s (%d dirtied), %s (%d pattern rows)@."
-    clean_path n dirty_path
-    (List.length noise.Noise.dirty_tids)
-    cfd_path
-    (Datagen.pattern_row_count ds);
-  `Ok 0
+  let* () = save_csv ds.Datagen.dopt clean_path in
+  let* () = save_csv noise.Noise.dirty dirty_path in
+  let* () =
+    match open_out cfd_path with
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Ok (output_string oc (Cfd_parser.to_string ds.Datagen.tableaus)))
+    | exception Sys_error msg -> Error (Dq_error.Io msg)
+  in
+  succeed
+    (Report.make ~engine:"generate"
+       ~summary:
+         [
+           ("clean", Json.String clean_path);
+           ("dirty", Json.String dirty_path);
+           ("cfds", Json.String cfd_path);
+           ("tuples", Json.Int n);
+           ("dirtied", Json.Int (List.length noise.Noise.dirty_tids));
+           ("pattern_rows", Json.Int (Datagen.pattern_row_count ds));
+         ]
+       ())
+    (fun () ->
+      Fmt.pr "wrote %s (%d tuples), %s (%d dirtied), %s (%d pattern rows)@."
+        clean_path n dirty_path
+        (List.length noise.Noise.dirty_tids)
+        cfd_path
+        (Datagen.pattern_row_count ds))
 
 (* ---- discover ---- *)
 
-let discover data_path out min_support min_confidence max_lhs jobs =
-  match Csv.load_file data_path with
-  | exception Failure msg -> `Error (false, msg)
-  | exception Sys_error msg -> `Error (false, msg)
-  | rel ->
-    with_jobs jobs @@ fun pool ->
-    let config =
-      Discovery.default_config ~max_lhs_size:max_lhs ~min_support
-        ~min_confidence ()
-    in
-    let d = Discovery.discover ~pool ~config rel in
-    Fmt.epr "discovered %d embedded FDs and %d constant pattern rows@."
-      d.Discovery.n_variable d.Discovery.n_constant;
-    let text = Cfd_parser.to_string d.Discovery.tableaus in
-    (match out with
-    | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc text)
-    | None -> print_string text);
-    `Ok 0
+let discover data_path out min_support min_confidence max_lhs jobs format
+    metrics =
+  run_command ~command:"discover" ~format ~metrics @@ fun () ->
+  let* rel = load_csv data_path in
+  with_jobs jobs @@ fun pool ->
+  let config =
+    Discovery.default_config ~max_lhs_size:max_lhs ~min_support ~min_confidence
+      ()
+  in
+  let d = Discovery.discover ~pool ~config rel in
+  let text = Cfd_parser.to_string d.Discovery.tableaus in
+  let* () =
+    match out with
+    | None -> Ok ()
+    | Some path -> (
+      match open_out path with
+      | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Ok (output_string oc text))
+      | exception Sys_error msg -> Error (Dq_error.Io msg))
+  in
+  succeed
+    (Report.make ~engine:"discover"
+       ~summary:
+         [
+           ("variable_fds", Json.Int d.Discovery.n_variable);
+           ("constant_rows", Json.Int d.Discovery.n_constant);
+           ("ruleset", Json.String text);
+         ]
+       ())
+    (fun () ->
+      Fmt.epr "discovered %d embedded FDs and %d constant pattern rows@."
+        d.Discovery.n_variable d.Discovery.n_constant;
+      match out with None -> print_string text | Some _ -> ())
 
 let discover_cmd =
   let data =
@@ -453,7 +692,7 @@ let discover_cmd =
     Term.(
       ret
         (const discover $ data $ out $ support $ confidence $ max_lhs
-       $ jobs_arg))
+       $ jobs_arg $ format_arg $ metrics_arg))
 
 let generate_cmd =
   let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Number of tuples.") in
@@ -464,7 +703,7 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic order dataset")
-    Term.(ret (const generate $ n $ rate $ seed $ prefix))
+    Term.(ret (const generate $ n $ rate $ seed $ prefix $ format_arg $ metrics_arg))
 
 let () =
   let doc = "CFD-based data cleaning (Cong et al., VLDB 2007)" in

@@ -45,7 +45,7 @@ let () =
     (List.length flagged);
 
   (* Repair against the mined constraints and measure against the truth. *)
-  let repair, stats = Batch_repair.repair dirty sigma in
+  let (repair, stats), _report = Result.get_ok (Batch_repair.repair dirty sigma) in
   Fmt.pr "BATCHREPAIR with mined CFDs: %a@." Batch_repair.pp_stats stats;
   Fmt.pr "Repair satisfies mined sigma: %b@." (Violation.satisfies repair sigma);
   let m = Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty ~repair in

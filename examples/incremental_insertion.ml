@@ -55,7 +55,9 @@ let () =
 
   List.iter
     (fun ordering ->
-      let repr, stats = Inc_repair.repair_inserts ~ordering base delta sigma in
+      let (repr, stats), _report =
+        Result.get_ok (Inc_repair.repair_inserts ~ordering base delta sigma)
+      in
       Fmt.pr "%-12s: %a@.              result |= Sigma? %b@."
         (Inc_repair.ordering_name ordering)
         Inc_repair.pp_stats stats
@@ -70,9 +72,10 @@ let () =
     [ Inc_repair.Linear; Inc_repair.By_violations; Inc_repair.By_weight ];
 
   (* Show what happened to t5 under V-INCREPAIR. *)
-  let repr, _ =
-    Inc_repair.repair_inserts ~ordering:Inc_repair.By_violations base delta
-      sigma
+  let (repr, _), _ =
+    Result.get_ok
+      (Inc_repair.repair_inserts ~ordering:Inc_repair.By_violations base delta
+         sigma)
   in
   let before = t5 and after = Relation.find_exn repr 1_000_000 in
   Fmt.pr "@.t5 before: %a@." (Tuple.pp Order_schema.schema) before;

@@ -73,7 +73,9 @@ let () =
     (Violation.satisfies integrated sigma);
   List.iter (Fmt.pr "  %a@." Violation.pp) (Violation.find_all integrated sigma);
 
-  let repair, stats = Batch_repair.repair integrated sigma in
+  let (repair, stats), _report =
+    Result.get_ok (Batch_repair.repair integrated sigma)
+  in
   Fmt.pr "@.After repair (%a):@.%a@." Batch_repair.pp_stats stats Relation.pp
     repair;
   Fmt.pr "Clean? %b@." (Violation.satisfies repair sigma)

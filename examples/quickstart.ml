@@ -69,7 +69,7 @@ let () =
   Fmt.pr "Satisfies the CFDs? %b@.@." (Violation.satisfies db sigma);
   List.iter (Fmt.pr "  %a@." Violation.pp) (Violation.find_all db sigma);
 
-  let repair, stats = Batch_repair.repair db sigma in
+  let (repair, stats), _report = Result.get_ok (Batch_repair.repair db sigma) in
   Fmt.pr "@.BATCHREPAIR: %a@.@." Batch_repair.pp_stats stats;
   Fmt.pr "The repair (t3/t4 moved to NYC, NY as the weights suggest):@.%a@."
     Relation.pp repair;

@@ -1,5 +1,18 @@
 open Dq_relation
 module Pool = Dq_parallel.Pool
+module Metrics = Dq_obs.Metrics
+
+(* Detection instruments (no-ops unless metrics collection is enabled):
+   scans made, violations surfaced, and wall time per entry point. *)
+let m_scans = Metrics.counter "violation.scans"
+
+let m_found = Metrics.counter "violation.found"
+
+let m_find_all = Metrics.timer "violation.find_all"
+
+let m_vio_counts = Metrics.timer "violation.vio_counts"
+
+let m_satisfies = Metrics.timer "violation.satisfies"
 
 type t =
   | Single of { tid : int; cfd : Cfd.t }
@@ -198,6 +211,8 @@ let wild_clauses sigma =
    the same code on a single chunk. *)
 
 let find_all ?pool rel sigma =
+  Metrics.time m_find_all @@ fun () ->
+  Metrics.incr m_scans;
   let tuples = Relation.tuples rel in
   let n = Array.length tuples in
   let arity = Schema.arity (Relation.schema rel) in
@@ -246,7 +261,9 @@ let find_all ?pool rel sigma =
             List.rev !out))
       (wild_clauses sigma)
   in
-  List.concat (singles @ List.concat pairs)
+  let all = List.concat (singles @ List.concat pairs) in
+  if Metrics.enabled () then Metrics.add m_found (List.length all);
+  all
 
 (* vio(t) for every tuple at once, as an array aligned with [tuples].
    Chunks write only their own slots, so the array needs no locking. *)
@@ -280,8 +297,11 @@ let counts_array ?pool rel sigma tuples =
   counts
 
 let vio_counts ?pool rel sigma =
+  Metrics.time m_vio_counts @@ fun () ->
+  Metrics.incr m_scans;
   let tuples = Relation.tuples rel in
   let counts = counts_array ?pool rel sigma tuples in
+  if Metrics.enabled () then Metrics.add m_found (Array.fold_left ( + ) 0 counts);
   (* Materialised in relation order, so the table's internal layout (and
      hence any fold over it) is identical at every job count. *)
   let out = Hashtbl.create 256 in
@@ -328,6 +348,8 @@ let vio_tuple rel sigma t =
   !vio
 
 let satisfies ?pool rel sigma =
+  Metrics.time m_satisfies @@ fun () ->
+  Metrics.incr m_scans;
   let tuples = Relation.tuples rel in
   let n = Array.length tuples in
   let arity = Schema.arity (Relation.schema rel) in

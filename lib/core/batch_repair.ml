@@ -1,10 +1,29 @@
 open Dq_relation
 open Dq_cfd
 module Pool = Dq_parallel.Pool
+module Metrics = Dq_obs.Metrics
+module Provenance = Dq_obs.Provenance
+module Report = Dq_obs.Report
 
 let src = Logs.Src.create "dataqual.batch_repair" ~doc:"BATCHREPAIR steps"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_steps = Metrics.counter "batch.resolve_steps"
+
+let m_merges = Metrics.counter "batch.merges"
+
+let m_rescans = Metrics.counter "batch.rescans"
+
+let m_t_init = Metrics.timer "batch.phase.init"
+
+let m_t_scan = Metrics.timer "batch.phase.initial_scan"
+
+let m_t_resolve = Metrics.timer "batch.phase.resolve"
+
+let m_t_write = Metrics.timer "batch.phase.write_back"
+
+let timed = Report.phase_m
 
 type stats = {
   steps : int;
@@ -64,6 +83,13 @@ type state = {
   mutable rhs_fixes : int;
   mutable lhs_fixes : int;
   mutable nulls_introduced : int;
+  trail : Provenance.trail;
+  (* Context for the provenance entries the next [with_change] records:
+     the clause the resolution step is serving, its plan cost, and the
+     step counter.  [None]/[0.] during instantiation. *)
+  mutable ctx_clause : string option;
+  mutable ctx_cost : float;
+  mutable ctx_pass : int;
 }
 
 let tuple st tid = Relation.find_exn st.rel tid
@@ -157,15 +183,39 @@ let with_change st cells mutate =
     cells;
   mutate ();
   let changed = Hashtbl.create 8 in
+  let prov = ref [] in
   Hashtbl.iter
     (fun root (members, before) ->
       let after = Eqclass.effective st.eq root in
       if not (Value.equal before after) then
         List.iter
           (fun (tid, attr) ->
-            Hashtbl.replace changed ((tid * st.arity) + attr) (tid, attr))
+            Hashtbl.replace changed ((tid * st.arity) + attr) (tid, attr);
+            prov := (tid, attr, before, after) :: !prov)
           members)
     classes;
+  (* Every cell whose effective value changed gets a trail entry.  The
+     entries of one mutation are sorted by (tid, attr) so the trail is a
+     canonical function of the decision sequence, not of hash-table
+     iteration order. *)
+  let schema = Relation.schema st.rel in
+  List.iter
+    (fun (tid, attr, old_value, new_value) ->
+      Provenance.record st.trail
+        {
+          Provenance.tid;
+          attr;
+          attr_name = Schema.attribute schema attr;
+          old_value;
+          new_value;
+          clause = st.ctx_clause;
+          cost_delta = st.ctx_cost;
+          pass = st.ctx_pass;
+        })
+    (List.sort
+       (fun (t1, a1, _, _) (t2, a2, _, _) ->
+         match compare t1 t2 with 0 -> compare a1 a2 | c -> c)
+       !prov);
   let reindex = Hashtbl.create 16 in
   Hashtbl.iter
     (fun _ (tid, attr) ->
@@ -589,7 +639,8 @@ let apply st = function
           match medoid_of_tables [ big ] with
           | Some v -> Eqclass.set_repr st.eq root v
           | None -> ());
-    st.merges <- st.merges + 1
+    st.merges <- st.merges + 1;
+    Metrics.incr m_merges
   | Set_lhs { cell; target } ->
     with_change st [ cell ] (fun () -> Eqclass.set_target st.eq cell target);
     st.lhs_fixes <- st.lhs_fixes + 1;
@@ -708,6 +759,10 @@ let init_state rel sigma ~use_dependency_graph =
       rhs_fixes = 0;
       lhs_fixes = 0;
       nulls_introduced = 0;
+      trail = Provenance.create ();
+      ctx_clause = None;
+      ctx_cost = 0.;
+      ctx_pass = 0;
     }
   in
   (* Register every cell (line 1 of Fig. 4) and build the buckets. *)
@@ -842,43 +897,52 @@ let initial_offer ?pool st =
 
 let repair ?pool ?(use_dependency_graph = true) db sigma =
   let started = Unix.gettimeofday () in
+  let phases = ref [] in
   let rel = Relation.copy db in
-  let st = init_state rel sigma ~use_dependency_graph in
-  initial_offer ?pool st;
+  let st =
+    timed phases "init" m_t_init (fun () ->
+        init_state rel sigma ~use_dependency_graph)
+  in
+  timed phases "initial_scan" m_t_scan (fun () -> initial_offer ?pool st);
   let steps = ref 0 in
   let rescans = ref 0 in
   let budget = 20 * (Eqclass.n_cells st.eq + 1) in
   let rec loop () =
     if !steps > budget then
-      failwith "Batch_repair.repair: step budget exceeded (internal bug)";
-    match pick_next st with
-    | Some (cid, tid, plan) ->
-      Log.debug (fun m ->
-          let describe = function
-            | Set_rhs { cell; value } ->
-              let ctid, cattr = Eqclass.tid_attr st.eq cell in
-              Format.asprintf "set_rhs (%d,%s) := %a" ctid
-                (Schema.attribute (Relation.schema st.rel) cattr)
-                Value.pp value
-            | Merge { cell1; cell2 } ->
-              let t1, a1 = Eqclass.tid_attr st.eq cell1 in
-              let t2, a2 = Eqclass.tid_attr st.eq cell2 in
-              Format.asprintf "merge (%d,%d) ~ (%d,%d)" t1 a1 t2 a2
-            | Set_lhs { cell; target } ->
-              let ctid, cattr = Eqclass.tid_attr st.eq cell in
-              Format.asprintf "set_lhs (%d,%s) := %a" ctid
-                (Schema.attribute (Relation.schema st.rel) cattr)
-                Eqclass.pp_target target
-          in
-          m "step %d: %s tid=%d cost=%.4f %s" !steps
-            (Cfd.name st.sigma.(cid))
-            tid plan.cost (describe plan.action));
-      apply st plan.action;
-      (* A wildcard-clause plan resolves the conflict with one partner;
-         the tuple may still conflict with others in its group, so the
-         pair goes straight back in the queue until it verifies clean. *)
-      offer st cid tid;
-      incr steps;
+      Error (Dq_error.Internal "Batch_repair.repair: step budget exceeded")
+    else begin
+      match pick_next st with
+      | Some (cid, tid, plan) ->
+        Log.debug (fun m ->
+            let describe = function
+              | Set_rhs { cell; value } ->
+                let ctid, cattr = Eqclass.tid_attr st.eq cell in
+                Format.asprintf "set_rhs (%d,%s) := %a" ctid
+                  (Schema.attribute (Relation.schema st.rel) cattr)
+                  Value.pp value
+              | Merge { cell1; cell2 } ->
+                let t1, a1 = Eqclass.tid_attr st.eq cell1 in
+                let t2, a2 = Eqclass.tid_attr st.eq cell2 in
+                Format.asprintf "merge (%d,%d) ~ (%d,%d)" t1 a1 t2 a2
+              | Set_lhs { cell; target } ->
+                let ctid, cattr = Eqclass.tid_attr st.eq cell in
+                Format.asprintf "set_lhs (%d,%s) := %a" ctid
+                  (Schema.attribute (Relation.schema st.rel) cattr)
+                  Eqclass.pp_target target
+            in
+            m "step %d: %s tid=%d cost=%.4f %s" !steps
+              (Cfd.name st.sigma.(cid))
+              tid plan.cost (describe plan.action));
+        st.ctx_clause <- Some (Cfd.name st.sigma.(cid));
+        st.ctx_cost <- plan.cost;
+        st.ctx_pass <- !steps;
+        apply st plan.action;
+        (* A wildcard-clause plan resolves the conflict with one partner;
+           the tuple may still conflict with others in its group, so the
+           pair goes straight back in the queue until it verifies clean. *)
+        offer st cid tid;
+        incr steps;
+        Metrics.incr m_steps;
       if Sys.getenv_opt "DATAQUAL_PARANOID" <> None then begin
         (* Expensive invariant check: every live violation must be queued. *)
         Array.iteri
@@ -914,49 +978,77 @@ let repair ?pool ?(use_dependency_graph = true) db sigma =
                 st.buckets.(cid))
           st.sigma
       end;
-      loop ()
-    | None ->
-      if instantiate st then loop ()
-      else begin
-        (* Quiescent: cross-check against a full rebuild and rescan.  The
-           incremental dirty propagation is designed to be complete, but a
-           missed pair here would silently break Theorem 4.2's guarantee,
-           so trust nothing and re-verify. *)
-        rebuild_buckets st;
-        let missed = offer_all_violations st in
-        if missed > 0 then begin
-          incr rescans;
-          if !rescans > 50 then
-            failwith
-              "Batch_repair.repair: rescans not converging (internal bug)";
-          Log.debug (fun m ->
-              m "quiescence rescan re-offered %d violation pairs" missed);
-          loop ()
+        loop ()
+      | None ->
+        st.ctx_clause <- None;
+        st.ctx_cost <- 0.;
+        st.ctx_pass <- !steps;
+        if instantiate st then loop ()
+        else begin
+          (* Quiescent: cross-check against a full rebuild and rescan.  The
+             incremental dirty propagation is designed to be complete, but a
+             missed pair here would silently break Theorem 4.2's guarantee,
+             so trust nothing and re-verify. *)
+          rebuild_buckets st;
+          let missed = offer_all_violations st in
+          if missed > 0 then begin
+            incr rescans;
+            Metrics.incr m_rescans;
+            if !rescans > 50 then
+              Error
+                (Dq_error.Internal "Batch_repair.repair: rescans not converging")
+            else begin
+              Log.debug (fun m ->
+                  m "quiescence rescan re-offered %d violation pairs" missed);
+              loop ()
+            end
+          end
+          else Ok ()
         end
-      end
+    end
   in
-  loop ();
-  (* Write the target values back into the working copy (lines 14-15). *)
-  let cells_changed = ref 0 in
-  let tuples = Relation.tuples rel in
-  Array.iter
-    (fun t ->
-      let tid = Tuple.tid t in
-      for attr = 0 to st.arity - 1 do
-        let v = Eqclass.effective st.eq (cellof st tid attr) in
-        if not (Value.equal v (Tuple.get t attr)) then begin
-          Relation.set_value rel t attr v;
-          incr cells_changed
-        end
-      done)
-    tuples;
-  ( rel,
-    {
-      steps = !steps;
-      merges = st.merges;
-      rhs_fixes = st.rhs_fixes;
-      lhs_fixes = st.lhs_fixes;
-      nulls_introduced = st.nulls_introduced;
-      cells_changed = !cells_changed;
-      runtime = Unix.gettimeofday () -. started;
-    } )
+  match timed phases "resolve" m_t_resolve loop with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Write the target values back into the working copy (lines 14-15). *)
+    let cells_changed = ref 0 in
+    timed phases "write_back" m_t_write (fun () ->
+        let tuples = Relation.tuples rel in
+        Array.iter
+          (fun t ->
+            let tid = Tuple.tid t in
+            for attr = 0 to st.arity - 1 do
+              let v = Eqclass.effective st.eq (cellof st tid attr) in
+              if not (Value.equal v (Tuple.get t attr)) then begin
+                Relation.set_value rel t attr v;
+                incr cells_changed
+              end
+            done)
+          tuples);
+    let stats =
+      {
+        steps = !steps;
+        merges = st.merges;
+        rhs_fixes = st.rhs_fixes;
+        lhs_fixes = st.lhs_fixes;
+        nulls_introduced = st.nulls_introduced;
+        cells_changed = !cells_changed;
+        runtime = Unix.gettimeofday () -. started;
+      }
+    in
+    let report =
+      Report.make ~engine:"batch_repair"
+        ~summary:
+          [
+            ("steps", Dq_obs.Json.Int stats.steps);
+            ("merges", Dq_obs.Json.Int stats.merges);
+            ("rhs_fixes", Dq_obs.Json.Int stats.rhs_fixes);
+            ("lhs_fixes", Dq_obs.Json.Int stats.lhs_fixes);
+            ("nulls_introduced", Dq_obs.Json.Int stats.nulls_introduced);
+            ("cells_changed", Dq_obs.Json.Int stats.cells_changed);
+          ]
+        ~phases:!phases
+        ~provenance:(Provenance.entries st.trail)
+        ()
+    in
+    Ok ((rel, stats), report)

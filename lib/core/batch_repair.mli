@@ -41,9 +41,16 @@ val repair :
   ?use_dependency_graph:bool ->
   Relation.t ->
   Cfd.t array ->
-  Relation.t * stats
+  ((Relation.t * stats) * Dq_obs.Report.t, Dq_error.t) result
 (** [repair d sigma] returns a repaired deep copy of [d] (tids preserved)
-    satisfying [sigma], together with statistics.
+    satisfying [sigma], together with statistics and a structured
+    {!Dq_obs.Report.t}.  The report's provenance trail holds one entry per
+    effective-value change — replaying it over [d] with
+    {!Dq_obs.Provenance.replay} reconstructs the repaired relation
+    byte-for-byte — and its summary repeats the deterministic counters of
+    [stats], so reports are {!Dq_obs.Report.equal} across job counts.
+    [Error (Internal _)] signals a broken engine invariant (step budget or
+    rescan convergence) — a bug, not a property of the input.
 
     The optional [pool] parallelises the initial Dirty_Tuples scan over
     constant clauses (valid because at initialisation effective values

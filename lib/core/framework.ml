@@ -23,9 +23,13 @@ type outcome = {
 }
 
 let run_repairer algorithm db sigma =
+  let unwrap = function
+    | Ok ((rel, _stats), _report) -> rel
+    | Error e -> failwith (Dq_error.to_string e)
+  in
   match algorithm with
-  | Batch -> fst (Batch_repair.repair db sigma)
-  | Incremental ordering -> fst (Inc_repair.repair_dirty ~ordering db sigma)
+  | Batch -> unwrap (Batch_repair.repair db sigma)
+  | Incremental ordering -> unwrap (Inc_repair.repair_dirty ~ordering db sigma)
 
 let clean ?(max_rounds = 5) ?(seed = 42) ?(algorithm = Batch) ~sampling ~user
     db sigma =
@@ -42,8 +46,12 @@ let clean ?(max_rounds = 5) ?(seed = 42) ?(algorithm = Batch) ~sampling ~user
         true
     in
     let report =
-      Sampling.inspect ~seed:(seed + i) sampling ~original:working ~repair
-        ~sigma ~oracle
+      match
+        Sampling.inspect ~seed:(seed + i) sampling ~original:working ~repair
+          ~sigma ~oracle
+      with
+      | Ok (report, _obs) -> report
+      | Error e -> invalid_arg ("Framework.clean: " ^ Dq_error.to_string e)
     in
     let log = { round = i; report; corrections = List.length !corrections } in
     let logs = log :: logs in

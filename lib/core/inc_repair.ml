@@ -1,5 +1,8 @@
 open Dq_relation
 open Dq_cfd
+module Metrics = Dq_obs.Metrics
+module Provenance = Dq_obs.Provenance
+module Report = Dq_obs.Report
 
 type ordering = Linear | By_violations | By_weight
 
@@ -22,6 +25,16 @@ let pp_stats ppf s =
     s.tuples_processed s.tuples_changed s.cells_changed s.nulls_introduced
     s.runtime
 
+let m_resolves = Metrics.counter "inc.resolves"
+
+let m_tuples_changed = Metrics.counter "inc.tuples_changed"
+
+let m_t_order = Metrics.timer "inc.phase.order"
+
+let m_t_resolve = Metrics.timer "inc.phase.resolve"
+
+let m_t_core = Metrics.timer "inc.phase.core"
+
 (* Order ΔD for processing.  V-INCREPAIR scores each tuple by the number of
    violations it incurs in D ⊕ ΔD (both against the clean base and against
    its fellow insertions); W-INCREPAIR by descending total weight.  Sorts
@@ -42,35 +55,104 @@ let order_tuples ?pool ordering base delta sigma =
     in
     List.stable_sort (fun t1 t2 -> Int.compare (vio t1) (vio t2)) delta
 
-let run ?pool ?k ?max_candidates ?use_cluster_index
-    ?(ordering = By_violations) base delta sigma =
-  let started = Unix.gettimeofday () in
-  let repr = Relation.copy base in
-  let env = Tuple_resolve.make_env ?k ?max_candidates ?use_cluster_index repr sigma in
-  let delta = order_tuples ?pool ordering base delta sigma in
-  let tuples_changed = ref 0 in
-  let cells_changed = ref 0 in
-  let nulls = ref 0 in
+(* The tuples of [delta] must carry tids distinct from [base]'s and from
+   each other — a collision would make the provenance trail (and the
+   repair itself) ambiguous, so it is rejected up front. *)
+let check_delta_tids base delta =
+  let seen = Hashtbl.create 64 in
+  let bad = ref None in
   List.iter
     (fun t ->
-      let rt = Tuple_resolve.resolve env t in
-      let diffs = Tuple.diff_positions t rt in
-      if diffs <> [] then incr tuples_changed;
-      cells_changed := !cells_changed + List.length diffs;
-      List.iter
-        (fun pos -> if Value.is_null (Tuple.get rt pos) then incr nulls)
-        diffs;
-      Relation.add repr rt;
-      Tuple_resolve.register env rt)
+      let tid = Tuple.tid t in
+      if !bad = None && (Relation.mem base tid || Hashtbl.mem seen tid) then
+        bad := Some tid;
+      Hashtbl.replace seen tid ())
     delta;
-  ( repr,
-    {
-      tuples_processed = List.length delta;
-      tuples_changed = !tuples_changed;
-      cells_changed = !cells_changed;
-      nulls_introduced = !nulls;
-      runtime = Unix.gettimeofday () -. started;
-    } )
+  match !bad with
+  | None -> Ok ()
+  | Some tid ->
+    Error
+      (Dq_error.Invalid_input
+         (Printf.sprintf
+            "Inc_repair: delta tuple id %d collides with the base relation \
+             or an earlier delta tuple"
+            tid))
+
+let run ?pool ?k ?max_candidates ?use_cluster_index
+    ?(ordering = By_violations) ?(phases = ref []) base delta sigma =
+  let started = Unix.gettimeofday () in
+  match check_delta_tids base delta with
+  | Error _ as e -> e
+  | Ok () ->
+    let repr = Relation.copy base in
+    let env =
+      Tuple_resolve.make_env ?k ?max_candidates ?use_cluster_index repr sigma
+    in
+    let delta =
+      Report.phase_m phases "order" m_t_order (fun () ->
+          order_tuples ?pool ordering base delta sigma)
+    in
+    let schema = Relation.schema base in
+    let trail = Provenance.create () in
+    let tuples_changed = ref 0 in
+    let cells_changed = ref 0 in
+    let nulls = ref 0 in
+    Report.phase_m phases "resolve" m_t_resolve (fun () ->
+        List.iteri
+          (fun pass t ->
+            let rt = Tuple_resolve.resolve env t in
+            Metrics.incr m_resolves;
+            let diffs = Tuple.diff_positions t rt in
+            if diffs <> [] then begin
+              incr tuples_changed;
+              Metrics.incr m_tuples_changed
+            end;
+            cells_changed := !cells_changed + List.length diffs;
+            List.iter
+              (fun pos ->
+                let old_value = Tuple.get t pos in
+                let new_value = Tuple.get rt pos in
+                if Value.is_null new_value then incr nulls;
+                Provenance.record trail
+                  {
+                    Provenance.tid = Tuple.tid t;
+                    attr = pos;
+                    attr_name = Schema.attribute schema pos;
+                    old_value;
+                    new_value;
+                    clause = None;
+                    cost_delta =
+                      Tuple.weight t pos *. Cost.similarity old_value new_value;
+                    pass;
+                  })
+              diffs;
+            Relation.add repr rt;
+            Tuple_resolve.register env rt)
+          delta);
+    let stats =
+      {
+        tuples_processed = List.length delta;
+        tuples_changed = !tuples_changed;
+        cells_changed = !cells_changed;
+        nulls_introduced = !nulls;
+        runtime = Unix.gettimeofday () -. started;
+      }
+    in
+    let report =
+      Report.make ~engine:"inc_repair"
+        ~summary:
+          [
+            ("ordering", Dq_obs.Json.String (ordering_name ordering));
+            ("tuples_processed", Dq_obs.Json.Int stats.tuples_processed);
+            ("tuples_changed", Dq_obs.Json.Int stats.tuples_changed);
+            ("cells_changed", Dq_obs.Json.Int stats.cells_changed);
+            ("nulls_introduced", Dq_obs.Json.Int stats.nulls_introduced);
+          ]
+        ~phases:!phases
+        ~provenance:(Provenance.entries trail)
+        ()
+    in
+    Ok ((repr, stats), report)
 
 let repair_inserts ?pool ?k ?max_candidates ?use_cluster_index ?ordering base
     delta sigma =
@@ -86,7 +168,11 @@ let consistent_core ?pool rel sigma =
 
 let repair_dirty ?pool ?k ?max_candidates ?use_cluster_index ?ordering rel
     sigma =
-  let core = consistent_core ?pool rel sigma in
+  let phases = ref [] in
+  let core =
+    Report.phase_m phases "core" m_t_core (fun () ->
+        consistent_core ?pool rel sigma)
+  in
   let core_set = Hashtbl.create (List.length core) in
   List.iter (fun tid -> Hashtbl.add core_set tid ()) core;
   let base = Relation.create (Relation.schema rel) in
@@ -96,5 +182,5 @@ let repair_dirty ?pool ?k ?max_candidates ?use_cluster_index ?ordering rel
       if Hashtbl.mem core_set (Tuple.tid t) then Relation.add base (Tuple.copy t)
       else delta := Tuple.copy t :: !delta)
     rel;
-  run ?pool ?k ?max_candidates ?use_cluster_index ?ordering base
+  run ?pool ?k ?max_candidates ?use_cluster_index ?ordering ~phases base
     (List.rev !delta) sigma

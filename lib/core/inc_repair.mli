@@ -44,12 +44,15 @@ val repair_inserts :
   Relation.t ->
   Tuple.t list ->
   Dq_cfd.Cfd.t array ->
-  Relation.t * stats
+  ((Relation.t * stats) * Dq_obs.Report.t, Dq_error.t) result
 (** [repair_inserts d delta sigma] assumes [d |= sigma] and returns a fresh
     relation [d ⊕ ΔD_repr] satisfying [sigma], leaving [d]'s tuples
-    untouched, together with statistics about the repaired insertions.
+    untouched, together with statistics and a {!Dq_obs.Report.t} whose
+    provenance trail holds one entry per changed cell of the repaired
+    insertions — replaying it over [d ⊕ ΔD] reconstructs the repair.
     The tuples of [delta] must carry tids distinct from [d]'s and from each
-    other.  Default ordering is {!By_violations}. *)
+    other, else [Error (Invalid_input _)].  Default ordering is
+    {!By_violations}. *)
 
 val consistent_core :
   ?pool:Dq_parallel.Pool.t -> Relation.t -> Dq_cfd.Cfd.t array -> int list
@@ -65,6 +68,7 @@ val repair_dirty :
   ?ordering:ordering ->
   Relation.t ->
   Dq_cfd.Cfd.t array ->
-  Relation.t * stats
+  ((Relation.t * stats) * Dq_obs.Report.t, Dq_error.t) result
 (** Section 5.3: repair a dirty database with INCREPAIR by extracting the
-    consistent core and re-inserting the remaining tuples one at a time. *)
+    consistent core and re-inserting the remaining tuples one at a time.
+    The report's phases additionally carry the consistent-core pass. *)

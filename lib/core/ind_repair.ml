@@ -143,7 +143,11 @@ let repair ?(config = default_config ()) db ~cfds ~inds =
       (fun (name, sigma) ->
         let rel = Database.find_exn db name in
         if not (Violation.satisfies rel sigma) then begin
-          let repaired, stats = Batch_repair.repair rel sigma in
+          let repaired, stats =
+            match Batch_repair.repair rel sigma with
+            | Ok (pair, _report) -> pair
+            | Error e -> failwith (Dq_error.to_string e)
+          in
           cells_modified := !cells_modified + stats.Batch_repair.cells_changed;
           if stats.Batch_repair.cells_changed > 0 then
             changed_this_round := true;

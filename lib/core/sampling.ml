@@ -1,7 +1,17 @@
 open Dq_relation
 open Dq_cfd
+module Metrics = Dq_obs.Metrics
+module Report = Dq_obs.Report
 
 type strategy = By_violations of int list | By_cost of float list
+
+let m_inspections = Metrics.counter "sampling.inspections"
+
+let m_drawn = Metrics.counter "sampling.drawn"
+
+let m_t_stratify = Metrics.timer "sampling.phase.stratify"
+
+let m_t_score = Metrics.timer "sampling.phase.score"
 
 type config = {
   epsilon : float;
@@ -96,66 +106,97 @@ let stratum_of config ~original ~sigma =
       List.fold_left (fun s b -> if cost >= b then s + 1 else s) 0 boundaries
 
 let inspect ?(seed = 42) config ~original ~repair ~sigma ~oracle =
-  (match validate_config config with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Sampling.inspect: " ^ msg));
-  let m = n_strata config in
-  let stratum = stratum_of config ~original ~sigma in
-  let sizes = Array.make m 0 in
-  let reservoirs =
-    Array.init m (fun i ->
-        let capacity =
-          int_of_float
-            (Float.round (config.fractions.(i) *. float_of_int config.sample_size))
-        in
-        Reservoir.create ~seed:(seed + i) capacity)
-  in
-  Relation.iter
-    (fun t' ->
-      match Relation.find original (Tuple.tid t') with
-      | None -> () (* repairs preserve tids; ignore strays *)
-      | Some t ->
-        let s = stratum t t' in
-        sizes.(s) <- sizes.(s) + 1;
-        Reservoir.add reservoirs.(s) (s, t'))
-    repair;
-  let sample = List.concat_map Reservoir.contents (Array.to_list reservoirs) in
-  let drawn = Array.make m 0 in
-  let inaccurate = Array.make m 0 in
-  List.iter
-    (fun (s, t') ->
-      drawn.(s) <- drawn.(s) + 1;
-      if oracle t' then inaccurate.(s) <- inaccurate.(s) + 1)
-    sample;
-  (* Weighted inaccuracy estimate: scale each stratum's rejects by the
-     inverse sampling fraction s_i = |P_i| / drawn_i, then divide by the
-     total population.  (The paper prints Σ|P_i|·s_i in the denominator,
-     which does not reduce to e/k in the single-stratum case; Σ|P_i| is the
-     intended normaliser.) *)
-  let estimated_bad = ref 0. in
-  let population = ref 0 in
-  Array.iteri
-    (fun i size ->
-      population := !population + size;
-      if drawn.(i) > 0 then begin
-        let s_i = float_of_int size /. float_of_int drawn.(i) in
-        estimated_bad := !estimated_bad +. (float_of_int inaccurate.(i) *. s_i)
-      end)
-    sizes;
-  let p_hat =
-    if !population = 0 then 0. else !estimated_bad /. float_of_int !population
-  in
-  let k = Array.fold_left ( + ) 0 drawn in
-  let k = max k 1 in
-  let z = Stats.z_statistic ~p_hat ~epsilon:config.epsilon ~sample_size:k in
-  let z_critical = Stats.critical_value ~confidence:config.confidence in
-  {
-    sample;
-    strata_sizes = sizes;
-    drawn;
-    inaccurate;
-    p_hat;
-    z;
-    z_critical;
-    accepted = z <= -.z_critical;
-  }
+  match validate_config config with
+  | Error msg -> Error (Dq_error.Invalid_config ("Sampling.inspect: " ^ msg))
+  | Ok () ->
+    Metrics.incr m_inspections;
+    let phases = ref [] in
+    let m = n_strata config in
+    let sizes = Array.make m 0 in
+    let reservoirs =
+      Array.init m (fun i ->
+          let capacity =
+            int_of_float
+              (Float.round
+                 (config.fractions.(i) *. float_of_int config.sample_size))
+          in
+          Reservoir.create ~seed:(seed + i) capacity)
+    in
+    Report.phase_m phases "stratify" m_t_stratify (fun () ->
+        let stratum = stratum_of config ~original ~sigma in
+        Relation.iter
+          (fun t' ->
+            match Relation.find original (Tuple.tid t') with
+            | None -> () (* repairs preserve tids; ignore strays *)
+            | Some t ->
+              let s = stratum t t' in
+              sizes.(s) <- sizes.(s) + 1;
+              Reservoir.add reservoirs.(s) (s, t'))
+          repair);
+    let sample =
+      List.concat_map Reservoir.contents (Array.to_list reservoirs)
+    in
+    let drawn = Array.make m 0 in
+    let inaccurate = Array.make m 0 in
+    let r =
+      Report.phase_m phases "score" m_t_score @@ fun () ->
+      List.iter
+        (fun (s, t') ->
+          drawn.(s) <- drawn.(s) + 1;
+          if oracle t' then inaccurate.(s) <- inaccurate.(s) + 1)
+        sample;
+      (* Weighted inaccuracy estimate: scale each stratum's rejects by the
+         inverse sampling fraction s_i = |P_i| / drawn_i, then divide by the
+         total population.  (The paper prints Σ|P_i|·s_i in the denominator,
+         which does not reduce to e/k in the single-stratum case; Σ|P_i| is
+         the intended normaliser.) *)
+      let estimated_bad = ref 0. in
+      let population = ref 0 in
+      Array.iteri
+        (fun i size ->
+          population := !population + size;
+          if drawn.(i) > 0 then begin
+            let s_i = float_of_int size /. float_of_int drawn.(i) in
+            estimated_bad :=
+              !estimated_bad +. (float_of_int inaccurate.(i) *. s_i)
+          end)
+        sizes;
+      let p_hat =
+        if !population = 0 then 0.
+        else !estimated_bad /. float_of_int !population
+      in
+      let k = Array.fold_left ( + ) 0 drawn in
+      Metrics.add m_drawn k;
+      let k = max k 1 in
+      let z = Stats.z_statistic ~p_hat ~epsilon:config.epsilon ~sample_size:k in
+      let z_critical = Stats.critical_value ~confidence:config.confidence in
+      {
+        sample;
+        strata_sizes = sizes;
+        drawn;
+        inaccurate;
+        p_hat;
+        z;
+        z_critical;
+        accepted = z <= -.z_critical;
+      }
+    in
+    let ints a =
+      Dq_obs.Json.List
+        (Array.to_list (Array.map (fun n -> Dq_obs.Json.Int n) a))
+    in
+    let obs =
+      Report.make ~engine:"sampling"
+        ~summary:
+          [
+            ("strata_sizes", ints r.strata_sizes);
+            ("drawn", ints r.drawn);
+            ("inaccurate", ints r.inaccurate);
+            ("p_hat", Dq_obs.Json.Float r.p_hat);
+            ("z", Dq_obs.Json.Float r.z);
+            ("z_critical", Dq_obs.Json.Float r.z_critical);
+            ("accepted", Dq_obs.Json.Bool r.accepted);
+          ]
+        ~phases:!phases ()
+    in
+    Ok (r, obs)

@@ -56,8 +56,10 @@ val inspect :
   repair:Relation.t ->
   sigma:Dq_cfd.Cfd.t array ->
   oracle:(Tuple.t -> bool) ->
-  report
+  (report * Dq_obs.Report.t, Dq_error.t) result
 (** Draw and score a stratified sample.  [oracle t'] is the user's verdict
     on a repaired tuple: [true] means inaccurate.  [original] supplies the
-    pre-repair tuples for stratification.
-    @raise Invalid_argument on an invalid configuration. *)
+    pre-repair tuples for stratification.  An invalid configuration is
+    [Error (Invalid_config _)].  The attached {!Dq_obs.Report.t} carries
+    the stratum statistics and the test verdict in its summary (no
+    provenance — inspection changes nothing). *)

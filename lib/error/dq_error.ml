@@ -1,0 +1,75 @@
+module Json = Dq_obs.Json
+
+type t =
+  | Io of string
+  | Parse of { path : string; line : int; col : int; message : string }
+  | Invalid_input of string
+  | Invalid_config of string
+  | Lint_gated of { path : string; errors : int; hint : string }
+  | Unsatisfiable
+  | Would_overwrite of string
+  | Internal of string
+
+let to_string = function
+  | Io msg -> msg
+  | Parse { path; line; col; message } ->
+    Printf.sprintf "%s: line %d, column %d: %s" path line col message
+  | Invalid_input msg -> msg
+  | Invalid_config msg -> msg
+  | Lint_gated { path; errors; hint } ->
+    Printf.sprintf "%s: ruleset has %d lint error%s; %s" path errors
+      (if errors = 1 then "" else "s")
+      hint
+  | Unsatisfiable -> "the CFD set is unsatisfiable; no repair exists"
+  | Would_overwrite path ->
+    Printf.sprintf
+      "refusing to overwrite the input file %s; pass --in-place to allow it"
+      path
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let kind = function
+  | Io _ -> "io"
+  | Parse _ -> "parse"
+  | Invalid_input _ -> "invalid-input"
+  | Invalid_config _ -> "invalid-config"
+  | Lint_gated _ -> "lint-gated"
+  | Unsatisfiable -> "unsatisfiable"
+  | Would_overwrite _ -> "would-overwrite"
+  | Internal _ -> "internal"
+
+let to_json e =
+  let base =
+    [
+      ("kind", Json.String (kind e)); ("message", Json.String (to_string e));
+    ]
+  in
+  match e with
+  | Parse { path; line; col; _ } ->
+    Json.Obj
+      (base
+      @ [
+          ("path", Json.String path);
+          ("line", Json.Int line);
+          ("col", Json.Int col);
+        ])
+  | Lint_gated { path; errors; _ } ->
+    Json.Obj
+      (base @ [ ("path", Json.String path); ("errors", Json.Int errors) ])
+  | _ -> Json.Obj base
+
+module Exit = struct
+  let ok = 0
+
+  let dirty = 1
+
+  let usage = 2
+
+  let lint_gated = 3
+end
+
+let exit_code = function
+  | Unsatisfiable -> Exit.dirty
+  | Lint_gated _ -> Exit.lint_gated
+  | Io _ | Parse _ | Invalid_input _ | Invalid_config _ | Would_overwrite _
+  | Internal _ ->
+    Exit.usage

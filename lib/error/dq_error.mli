@@ -1,0 +1,55 @@
+(** The one error type the public engine APIs and the CLI agree on.
+
+    Engine entry points return [('a * Dq_obs.Report.t, Dq_error.t) result]
+    instead of raising; the CLI maps each constructor to a stable message
+    ({!to_string}), a machine-readable object ({!to_json}, used in the
+    [diagnostics] field of the JSON envelope), and a process exit code
+    ({!exit_code}) — so every subcommand fails the same way.
+
+    Exit codes are standardised in {!Exit}:
+    - [0] — success;
+    - [1] — the command ran and found problems (violations detected, a
+      rejected sample, an unsatisfiable ruleset);
+    - [2] — usage or input error (bad flags, unreadable files, schema
+      mismatches, invalid configuration, refusal to overwrite);
+    - [3] — a lint-gated refusal: the ruleset has lint errors and
+      [--force] was not given. *)
+
+type t =
+  | Io of string  (** file system or CSV framing problems *)
+  | Parse of { path : string; line : int; col : int; message : string }
+      (** CFD ruleset syntax errors, with source position *)
+  | Invalid_input of string
+      (** schema resolution failures, malformed deltas, bad argument
+          combinations *)
+  | Invalid_config of string  (** rejected engine configuration *)
+  | Lint_gated of { path : string; errors : int; hint : string }
+      (** refused because the ruleset has lint errors and no [--force] *)
+  | Unsatisfiable  (** no repair exists for the constraint set *)
+  | Would_overwrite of string
+      (** the output path resolves to the input and [--in-place] was not
+          given *)
+  | Internal of string  (** an engine invariant broke — a bug *)
+
+val to_string : t -> string
+(** Stable, single-line rendering (no trailing newline). *)
+
+val to_json : t -> Dq_obs.Json.t
+(** An object with at least ["kind"] and ["message"] fields; [Parse]
+    adds ["path"], ["line"], ["col"]. *)
+
+val exit_code : t -> int
+
+module Exit : sig
+  val ok : int
+  (** [0] *)
+
+  val dirty : int
+  (** [1]: violations / problems found *)
+
+  val usage : int
+  (** [2]: usage, input or configuration error *)
+
+  val lint_gated : int
+  (** [3]: refused because of lint errors (no [--force]) *)
+end

@@ -1,0 +1,97 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let of_value (v : Dq_relation.Value.t) =
+  match v with
+  | Dq_relation.Value.Null -> Null
+  | Dq_relation.Value.Int i -> Int i
+  | Dq_relation.Value.Float f -> Float f
+  | Dq_relation.Value.String s -> String s
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.12g is a pure function of the float, so renderings are stable across
+   runs; JSON has no literal for non-finite numbers, so those become null. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null" else Printf.sprintf "%.12g" f
+
+let to_string ?(minify = false) json =
+  let b = Buffer.create 1024 in
+  let pad n = if not minify then Buffer.add_string b (String.make n ' ') in
+  let nl () = if not minify then Buffer.add_char b '\n' in
+  let sep () = Buffer.add_string b (if minify then ":" else ": ") in
+  let rec go indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          nl ();
+          pad (indent + 2);
+          go (indent + 2) item)
+        items;
+      nl ();
+      pad indent;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          nl ();
+          pad (indent + 2);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_char b '"';
+          sep ();
+          go (indent + 2) v)
+        fields;
+      nl ();
+      pad indent;
+      Buffer.add_char b '}'
+  in
+  go 0 json;
+  nl ();
+  Buffer.contents b
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | List x, List y -> List.equal equal x y
+  | Obj x, Obj y ->
+    List.equal (fun (k, v) (k', v') -> String.equal k k' && equal v v') x y
+  | _ -> false

@@ -1,0 +1,34 @@
+(** A minimal JSON value type with a deterministic printer.
+
+    Every machine-readable artefact of the project — the CLI's
+    [--format json] envelope, [--metrics] dumps, engine reports, the bench
+    harness's [BENCH_*.json] files — is built from this one type, so all
+    of them share the same escaping, float rendering and (stable) field
+    order.  Objects print their fields {e in construction order}: callers
+    are responsible for building them in a canonical order, which is what
+    makes report output byte-comparable across runs and job counts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val of_value : Dq_relation.Value.t -> t
+(** [Value.Null] maps to {!Null}; constants keep their type. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control characters). *)
+
+val to_string : ?minify:bool -> t -> string
+(** Render with two-space indentation (or none when [minify]), ending in a
+    newline in the pretty form.  Non-finite floats render as [null];
+    finite floats use ["%.12g"], a fixed-precision rendering that is a
+    pure function of the value. *)
+
+val equal : t -> t -> bool
+(** Structural equality (field order significant — two objects with the
+    same fields in different orders are different documents here). *)

@@ -1,0 +1,131 @@
+let enabled_flag = Atomic.make false
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let enabled () = Atomic.get enabled_flag
+
+type counter = { c_name : string; value : int Atomic.t }
+
+type timer = {
+  t_name : string;
+  lock : Mutex.t;
+  mutable count : int;
+  mutable total : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+(* Handles are created at module-initialisation time (single-domain), but
+   guard registration anyway so dynamic creation stays safe. *)
+let registry_lock = Mutex.create ()
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; value = Atomic.make 0 } in
+      Hashtbl.add counters name c;
+      c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let add c n = if enabled () then ignore (Atomic.fetch_and_add c.value n)
+
+let incr c = add c 1
+
+let counter_value c = Atomic.get c.value
+
+let timer name =
+  Mutex.lock registry_lock;
+  let t =
+    match Hashtbl.find_opt timers name with
+    | Some t -> t
+    | None ->
+      let t =
+        {
+          t_name = name;
+          lock = Mutex.create ();
+          count = 0;
+          total = 0.;
+          min = infinity;
+          max = neg_infinity;
+        }
+      in
+      Hashtbl.add timers name t;
+      t
+  in
+  Mutex.unlock registry_lock;
+  t
+
+let record t dt =
+  if enabled () then begin
+    Mutex.lock t.lock;
+    t.count <- t.count + 1;
+    t.total <- t.total +. dt;
+    if dt < t.min then t.min <- dt;
+    if dt > t.max then t.max <- dt;
+    Mutex.unlock t.lock
+  end
+
+let time t f =
+  if not (enabled ()) then f ()
+  else begin
+    let started = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> record t (Unix.gettimeofday () -. started))
+      f
+  end
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
+  Hashtbl.iter
+    (fun _ t ->
+      Mutex.lock t.lock;
+      t.count <- 0;
+      t.total <- 0.;
+      t.min <- infinity;
+      t.max <- neg_infinity;
+      Mutex.unlock t.lock)
+    timers;
+  Mutex.unlock registry_lock
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) counters [] in
+  let ts = Hashtbl.fold (fun _ t acc -> t :: acc) timers [] in
+  Mutex.unlock registry_lock;
+  let cs = List.sort (fun a b -> String.compare a.c_name b.c_name) cs in
+  let ts = List.sort (fun a b -> String.compare a.t_name b.t_name) ts in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun c -> (c.c_name, Json.Int (Atomic.get c.value))) cs) );
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun t ->
+               Mutex.lock t.lock;
+               let count = t.count
+               and total = t.total
+               and mn = t.min
+               and mx = t.max in
+               Mutex.unlock t.lock;
+               ( t.t_name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int count);
+                     ("total_s", Json.Float total);
+                     ("min_s", Json.Float (if count = 0 then 0. else mn));
+                     ("max_s", Json.Float (if count = 0 then 0. else mx));
+                   ] ))
+             ts) );
+    ]

@@ -1,0 +1,58 @@
+(** Named monotonic counters and duration histograms.
+
+    A process-wide registry, disabled by default: every recording
+    operation first reads one atomic flag and returns immediately when
+    collection is off, so instrumented hot paths pay (almost) nothing
+    unless the user asked for metrics ([--metrics FILE] in the CLI, or
+    {!set_enabled} in a library embedding).
+
+    Handles are created once, at module initialisation time, by the
+    instrumented modules themselves ([let m = Metrics.counter "x.y"] at
+    top level); creating a handle registers the name, so {!snapshot}
+    reports every instrument the binary carries even when its value is
+    zero.  Recording is domain-safe: counters are atomics, histograms
+    take a per-handle mutex — both are touched by {!Dq_parallel.Pool}
+    workers.
+
+    Metrics are {e observability, not results}: they are cumulative per
+    process, wall-clock dependent, and deliberately excluded from report
+    equality (see {!Report}). *)
+
+type counter
+
+type timer
+
+val set_enabled : bool -> unit
+(** Turn collection on or off (off initially). *)
+
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** Register (or retrieve) the named monotonic counter. *)
+
+val add : counter -> int -> unit
+(** No-op when disabled.  [n] must be non-negative (counters are
+    monotonic); this is not checked. *)
+
+val incr : counter -> unit
+
+val counter_value : counter -> int
+
+val timer : string -> timer
+(** Register (or retrieve) the named duration histogram. *)
+
+val record : timer -> float -> unit
+(** Record one duration, in seconds.  No-op when disabled. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall-clock duration when enabled (also
+    on exceptional exit).  When disabled the thunk is called directly —
+    no clock reads. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (handles stay valid). *)
+
+val snapshot : unit -> Json.t
+(** The registry as one JSON object with two fields, ["counters"] and
+    ["timers"], each sorted by instrument name.  A counter renders as its
+    integer value; a timer as [{count, total_s, min_s, max_s}]. *)

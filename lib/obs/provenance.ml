@@ -1,0 +1,65 @@
+open Dq_relation
+
+type entry = {
+  tid : int;
+  attr : int;
+  attr_name : string;
+  old_value : Value.t;
+  new_value : Value.t;
+  clause : string option;
+  cost_delta : float;
+  pass : int;
+}
+
+let entry_equal a b =
+  a.tid = b.tid && a.attr = b.attr
+  && String.equal a.attr_name b.attr_name
+  && Value.equal a.old_value b.old_value
+  && Value.equal a.new_value b.new_value
+  && Option.equal String.equal a.clause b.clause
+  && Float.equal a.cost_delta b.cost_delta
+  && a.pass = b.pass
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("tid", Json.Int e.tid);
+      ("attr", Json.Int e.attr);
+      ("attr_name", Json.String e.attr_name);
+      ("old", Json.of_value e.old_value);
+      ("new", Json.of_value e.new_value);
+      ( "clause",
+        match e.clause with Some c -> Json.String c | None -> Json.Null );
+      ("cost_delta", Json.Float e.cost_delta);
+      ("pass", Json.Int e.pass);
+    ]
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%4d  t%-5d %-10s %-14s -> %-14s %-14s %8.4f" e.pass
+    e.tid e.attr_name
+    (Value.to_display e.old_value)
+    (Value.to_display e.new_value)
+    (match e.clause with Some c -> c | None -> "-")
+    e.cost_delta
+
+type trail = { mutable rev_entries : entry list; mutable n : int }
+
+let create () = { rev_entries = []; n = 0 }
+
+let record trail e =
+  trail.rev_entries <- e :: trail.rev_entries;
+  trail.n <- trail.n + 1
+
+let length trail = trail.n
+
+let entries trail = List.rev trail.rev_entries
+
+let replay original entries =
+  let rel = Relation.copy original in
+  List.iter
+    (fun e ->
+      match Relation.find rel e.tid with
+      | Some t -> Relation.set_value rel t e.attr e.new_value
+      | None -> ())
+    entries;
+  rel

@@ -1,0 +1,61 @@
+(** Cell-level repair provenance.
+
+    A repair engine records one {!entry} for every write it performs to a
+    cell's (effective) value: which tuple and attribute, the value before
+    and after, the clause whose resolution caused the write, the cost
+    model's score for the step (Section 4.2's [cost]), and the pass — a
+    monotonically increasing step counter, so the trail totally orders
+    the engine's decisions.
+
+    The trail is {e append-only} and {e replayable}: applying the entries
+    in order to the dirty input reconstructs the repaired relation
+    exactly (a cell may be written several times; the last write wins,
+    exactly as it did inside the engine).  That property is what lets a
+    user audit a repair — or the Section 6 inspection loop present the
+    evidence behind a sampled tuple — without re-running the engine. *)
+
+open Dq_relation
+
+type entry = {
+  tid : int;  (** tuple id in the input relation *)
+  attr : int;  (** attribute position *)
+  attr_name : string;  (** attribute name, for self-describing output *)
+  old_value : Value.t;  (** effective value before the write *)
+  new_value : Value.t;  (** effective value after the write *)
+  clause : string option;
+      (** resolving clause name; [None] for steps not attributable to one
+          clause (instantiation, tuple-level resolution) *)
+  cost_delta : float;
+      (** the Section-4 cost-model score of the step that caused this
+          write (the plan cost for BATCHREPAIR resolutions, the per-cell
+          weighted change cost elsewhere) *)
+  pass : int;  (** step counter; entries of one step share a pass *)
+}
+
+val entry_equal : entry -> entry -> bool
+
+val entry_to_json : entry -> Json.t
+(** Deterministic field order:
+    [tid, attr, attr_name, old, new, clause, cost_delta, pass]. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+(** One row of the [--explain] table. *)
+
+type trail
+(** A mutable append-only accumulator. *)
+
+val create : unit -> trail
+
+val record : trail -> entry -> unit
+
+val length : trail -> int
+
+val entries : trail -> entry list
+(** In append order. *)
+
+val replay : Relation.t -> entry list -> Relation.t
+(** [replay original entries] applies every entry, in order, to a deep
+    copy of [original] and returns it.  Entries whose tid is absent are
+    ignored (deletions are out of scope for value-modification repairs).
+    Replaying a repair's trail against its dirty input reproduces the
+    repaired relation byte-for-byte. *)

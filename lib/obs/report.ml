@@ -1,0 +1,49 @@
+type t = {
+  engine : string;
+  summary : (string * Json.t) list;
+  phases : (string * float) list;
+  provenance : Provenance.entry list;
+}
+
+let make ~engine ?(summary = []) ?(phases = []) ?(provenance = []) () =
+  { engine; summary; phases; provenance }
+
+let equal a b =
+  String.equal a.engine b.engine
+  && List.equal
+       (fun (k, v) (k', v') -> String.equal k k' && Json.equal v v')
+       a.summary b.summary
+  && List.equal Provenance.entry_equal a.provenance b.provenance
+
+let json_parts ~with_phases r =
+  [
+    ("engine", Json.String r.engine);
+    ("summary", Json.Obj r.summary);
+  ]
+  @ (if with_phases then
+       [
+         ( "phases",
+           Json.Obj (List.map (fun (n, s) -> (n, Json.Float s)) r.phases) );
+       ]
+     else [])
+  @ [ ("provenance", Json.List (List.map Provenance.entry_to_json r.provenance)) ]
+
+let to_json r = Json.Obj (json_parts ~with_phases:true r)
+
+let stable_json r = Json.Obj (json_parts ~with_phases:false r)
+
+let phase acc name f =
+  let started = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      acc := !acc @ [ (name, Unix.gettimeofday () -. started) ])
+    f
+
+let phase_m acc name timer f =
+  let started = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. started in
+      acc := !acc @ [ (name, dt) ];
+      Metrics.record timer dt)
+    f

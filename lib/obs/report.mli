@@ -1,0 +1,56 @@
+(** The uniform structured report every engine entry point returns
+    alongside its value.
+
+    A report has four parts:
+
+    - [engine] — which algorithm produced it;
+    - [summary] — the engine's deterministic result statistics, as an
+      ordered association list of JSON values.  Stable under [--jobs]:
+      two runs of the same input must produce equal summaries at any job
+      count;
+    - [phases] — per-phase wall-clock seconds, in execution order.
+      Timing is measurement, not result: phases are {e excluded} from
+      {!equal} and from {!stable_json};
+    - [provenance] — the cell-level trail ({!Provenance}), {e included}
+      in equality: the sequence of repair decisions is part of the
+      result's contract, not an implementation detail.
+
+    {!to_json} keeps a fixed field order, so serialised reports are
+    byte-comparable once timing fields are stripped — which is exactly
+    what {!stable_json} does. *)
+
+type t = {
+  engine : string;
+  summary : (string * Json.t) list;
+  phases : (string * float) list;  (** wall seconds, execution order *)
+  provenance : Provenance.entry list;
+}
+
+val make :
+  engine:string ->
+  ?summary:(string * Json.t) list ->
+  ?phases:(string * float) list ->
+  ?provenance:Provenance.entry list ->
+  unit ->
+  t
+
+val equal : t -> t -> bool
+(** Engine, summary and provenance must agree; phases (timing) are
+    ignored. *)
+
+val to_json : t -> Json.t
+(** Field order: [engine, summary, phases, provenance]. *)
+
+val stable_json : t -> Json.t
+(** {!to_json} without the [phases] field: a byte-identical-across-jobs
+    projection, the one compared in tests. *)
+
+val phase : (string * float) list ref -> string -> (unit -> 'a) -> 'a
+(** [phase acc name f] runs [f], appending [(name, seconds)] to [acc] —
+    the helper engines use to build the [phases] list in execution
+    order.  Records also on exceptional exit. *)
+
+val phase_m :
+  (string * float) list ref -> string -> Metrics.timer -> (unit -> 'a) -> 'a
+(** {!phase} that additionally records the duration on a {!Metrics}
+    timer (a no-op when collection is disabled). *)

@@ -1,3 +1,16 @@
+module Metrics = Dq_obs.Metrics
+
+(* Pool utilization instruments: batches and tasks executed, wall time per
+   batch, and busy time summed across all domains.  Utilization over a
+   window is busy / (wall * jobs). *)
+let m_batches = Metrics.counter "pool.batches"
+
+let m_tasks = Metrics.counter "pool.tasks"
+
+let m_batch_wall = Metrics.timer "pool.batch_wall"
+
+let m_task_busy = Metrics.timer "pool.task_busy"
+
 type t = {
   jobs : int;
   queue : (unit -> unit) Queue.t;
@@ -70,6 +83,15 @@ let with_pool ?jobs f =
 
 let run pool tasks =
   let n = Array.length tasks in
+  let tasks =
+    if not (Metrics.enabled ()) then tasks
+    else begin
+      Metrics.incr m_batches;
+      Metrics.add m_tasks n;
+      Array.map (fun f -> fun () -> Metrics.time m_task_busy f) tasks
+    end
+  in
+  Metrics.time m_batch_wall @@ fun () ->
   if n = 0 then ()
   else if pool.jobs = 1 || n = 1 then Array.iter (fun f -> f ()) tasks
   else begin

@@ -16,7 +16,14 @@
     Tasks must not submit further tasks to the same pool (no nested
     parallelism), and anything they touch concurrently must be read-only
     or chunk-private — the intended style is: map chunk-private state,
-    then merge sequentially. *)
+    then merge sequentially.
+
+    When {!Dq_obs.Metrics} collection is enabled, every {!run} batch
+    records the instruments [pool.batches], [pool.tasks],
+    [pool.batch_wall] (wall seconds per batch) and [pool.task_busy]
+    (per-task busy seconds summed across domains) — utilization over a
+    window is [busy / (wall * jobs)].  With metrics disabled (the
+    default) the pool takes one atomic read per batch and nothing else. *)
 
 type t
 

@@ -29,10 +29,10 @@ satisfiability check.
   [1]
   $ cfdclean repair ../../data/orders.csv contradictory.cfd
   cfdclean: contradictory.cfd: ruleset has 2 lint errors; run `cfdclean lint contradictory.cfd --data ../../data/orders.csv` for details, or pass --force
-  [124]
+  [3]
   $ cfdclean repair ../../data/orders.csv contradictory.cfd --force
   cfdclean: the CFD set is unsatisfiable; no repair exists
-  [124]
+  [1]
 
 Parse errors carry line and column numbers.
 
@@ -43,7 +43,7 @@ Parse errors carry line and column numbers.
   > CFD
   $ cfdclean detect ../../data/orders.csv broken.cfd
   cfdclean: broken.cfd: line 2, column 8: expected '||' (single '|' is not a token)
-  [124]
+  [2]
 
 Lint reports errors with source excerpts and exits 1; the stray '|' above
 surfaces as an E000 diagnostic rather than a hard failure.
@@ -82,11 +82,28 @@ JSON output is machine-readable for CI gating.
 
   $ cfdclean lint ../../data/lint_fixtures/e002.cfd --data ../../data/orders.csv --format json
   {
-    "path": "../../data/lint_fixtures/e002.cfd",
-    "errors": 1,
-    "warnings": 0,
+    "command": "lint",
+    "ok": true,
+    "report": {
+      "engine": "lint",
+      "summary": {
+        "path": "../../data/lint_fixtures/e002.cfd",
+        "errors": 1,
+        "warnings": 0
+      },
+      "phases": {},
+      "provenance": []
+    },
     "diagnostics": [
-      { "code": "E002", "severity": "error", "message": "city_a row 1 and city_b row 1 have compatible LHS patterns but contradictory constants for CT: NYC vs PHI", "clause": "city_b", "line": 5, "col": 24, "end_col": 36 }
+      {
+        "code": "E002",
+        "severity": "error",
+        "message": "city_a row 1 and city_b row 1 have compatible LHS patterns but contradictory constants for CT: NYC vs PHI",
+        "clause": "city_b",
+        "line": 5,
+        "col": 24,
+        "end_col": 36
+      }
     ]
   }
   [1]

@@ -1,0 +1,178 @@
+The observability surface: --format json envelopes, --explain provenance
+tables, --metrics dumps, and the --in-place overwrite guard.
+
+Every subcommand shares one JSON envelope: command, ok, report,
+diagnostics.  The report's summary and provenance are deterministic;
+phase timings are wall-clock and normalised away here.
+
+  $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --format json
+  {
+    "command": "detect",
+    "ok": true,
+    "report": {
+      "engine": "detect",
+      "summary": {
+        "tuples": 4,
+        "clauses": 21,
+        "violating_tuples": 2,
+        "violations": 8
+      },
+      "phases": {},
+      "provenance": []
+    },
+    "diagnostics": []
+  }
+  [1]
+
+Repair with --explain prints one provenance row per cell write.  With -o
+the table goes to stdout and the stats line to stderr.
+
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd -o repaired.csv --explain 2>/dev/null
+  pass  tuple  attr       old            -> new            clause           cost
+     0  t2     ST         PA             -> NY             phi2             1.0250
+     1  t3     zip        10012          -> 19014          phi2             0.1000
+     2  t2     CT         PHI            -> NYC            phi2             0.3333
+     3  t3     ST         PA             -> NY             phi1             3.1000
+     4  t3     zip        19014          -> ⊥            phi2             0.3333
+     5  t3     CT         PHI            -> NYC            phi1             0.5000
+
+The JSON report carries the same trail: an entry for every changed cell
+(t3's zip is written twice; the last write wins).
+
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd -o r.csv --format json \
+  >   | sed -E 's/^(\s*"(init|initial_scan|resolve|write_back)": )[0-9.e+-]+(,?)$/\1X\3/'
+  {
+    "command": "repair",
+    "ok": true,
+    "report": {
+      "engine": "batch_repair",
+      "summary": {
+        "steps": 6,
+        "merges": 0,
+        "rhs_fixes": 4,
+        "lhs_fixes": 2,
+        "nulls_introduced": 1,
+        "cells_changed": 5
+      },
+      "phases": {
+        "init": X,
+        "initial_scan": X,
+        "resolve": X,
+        "write_back": X
+      },
+      "provenance": [
+        {
+          "tid": 2,
+          "attr": 7,
+          "attr_name": "ST",
+          "old": "PA",
+          "new": "NY",
+          "clause": "phi2",
+          "cost_delta": 1.025,
+          "pass": 0
+        },
+        {
+          "tid": 3,
+          "attr": 8,
+          "attr_name": "zip",
+          "old": 10012,
+          "new": 19014,
+          "clause": "phi2",
+          "cost_delta": 0.1,
+          "pass": 1
+        },
+        {
+          "tid": 2,
+          "attr": 6,
+          "attr_name": "CT",
+          "old": "PHI",
+          "new": "NYC",
+          "clause": "phi2",
+          "cost_delta": 0.333333333333,
+          "pass": 2
+        },
+        {
+          "tid": 3,
+          "attr": 7,
+          "attr_name": "ST",
+          "old": "PA",
+          "new": "NY",
+          "clause": "phi1",
+          "cost_delta": 3.1,
+          "pass": 3
+        },
+        {
+          "tid": 3,
+          "attr": 8,
+          "attr_name": "zip",
+          "old": 19014,
+          "new": null,
+          "clause": "phi2",
+          "cost_delta": 0.333333333333,
+          "pass": 4
+        },
+        {
+          "tid": 3,
+          "attr": 6,
+          "attr_name": "CT",
+          "old": "PHI",
+          "new": "NYC",
+          "clause": "phi1",
+          "cost_delta": 0.5,
+          "pass": 5
+        }
+      ]
+    },
+    "diagnostics": []
+  }
+
+The report (timings aside) is byte-identical at any job count.
+
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd -o a.csv --format json --jobs 1 \
+  >   | sed -E '/"(init|initial_scan|resolve|write_back)":/d' > jobs1.json
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd -o b.csv --format json --jobs 4 \
+  >   | sed -E '/"(init|initial_scan|resolve|write_back)":/d' > jobs4.json
+  $ diff jobs1.json jobs4.json
+
+--metrics dumps the process-wide instrument registry; counter values are
+deterministic, durations are not.
+
+  $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --metrics metrics.json > /dev/null
+  [1]
+  $ sed -n '/"counters"/,/}/p' metrics.json
+    "counters": {
+      "batch.merges": 0,
+      "batch.rescans": 0,
+      "batch.resolve_steps": 0,
+      "inc.resolves": 0,
+      "inc.tuples_changed": 0,
+      "pool.batches": 0,
+      "pool.tasks": 0,
+      "sampling.drawn": 0,
+      "sampling.inspections": 0,
+      "violation.found": 8,
+      "violation.scans": 1
+    },
+
+Repair refuses to silently overwrite its input; --in-place opts in.
+
+  $ cp ../../data/orders.csv orders.csv
+  $ cfdclean repair orders.csv ../../data/orders.cfd -o orders.csv
+  cfdclean: refusing to overwrite the input file orders.csv; pass --in-place to allow it
+  [2]
+  $ cfdclean repair orders.csv ../../data/orders.cfd -o orders.csv --format json
+  {
+    "command": "repair",
+    "ok": false,
+    "report": null,
+    "diagnostics": [
+      {
+        "kind": "would-overwrite",
+        "message": "refusing to overwrite the input file orders.csv; pass --in-place to allow it"
+      }
+    ]
+  }
+  [2]
+  $ cfdclean repair orders.csv ../../data/orders.cfd --in-place 2>/dev/null
+  $ cfdclean detect orders.csv ../../data/orders.cfd
+  4 tuples, 21 clauses: 0 violating tuples, vio(D) = 0

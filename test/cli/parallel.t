@@ -22,8 +22,8 @@ A job count below one is rejected with a clear error.
 
   $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --jobs 0
   cfdclean: --jobs must be at least 1 (got 0)
-  [124]
+  [2]
 
   $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --jobs=-3
   cfdclean: --jobs must be at least 1 (got -3)
-  [124]
+  [2]

@@ -128,3 +128,20 @@ module Gen = struct
 
   let instance = QCheck.make instance_gen
 end
+
+(* Unwrap an engine [result], dropping the attached observability report.
+   Failing the running test with the error message beats [Result.get_ok]'s
+   anonymous [Invalid_argument]. *)
+let ok = function
+  | Ok (payload, _report) -> payload
+  | Error e -> Alcotest.failf "engine error: %s" (Dq_error.to_string e)
+
+(* Same, but keep the report for observability-focused assertions. *)
+let ok_report = function
+  | Ok (_payload, report) -> report
+  | Error e -> Alcotest.failf "engine error: %s" (Dq_error.to_string e)
+
+(* Both halves: the engine payload and its report. *)
+let ok2 = function
+  | Ok pair -> pair
+  | Error e -> Alcotest.failf "engine error: %s" (Dq_error.to_string e)

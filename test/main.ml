@@ -33,5 +33,6 @@ let () =
       ("lint", Test_lint.suite);
       ("ind", Test_ind.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]

@@ -12,7 +12,7 @@ let test_fig1_repair () =
   let db = fig1_db () in
   let sigma = fig1_sigma () in
   Alcotest.(check bool) "dirty initially" false (Violation.satisfies db sigma);
-  let repr, stats = Batch_repair.repair db sigma in
+  let repr, stats = Helpers.ok (Batch_repair.repair db sigma) in
   check_clean repr sigma;
   Alcotest.(check bool) "original untouched" false (Violation.satisfies db sigma);
   Alcotest.(check bool) "some cells changed" true (stats.Batch_repair.cells_changed > 0);
@@ -27,8 +27,8 @@ let test_fig1_repair () =
 let test_clean_is_noop () =
   let db = fig1_db () in
   let sigma = fig1_sigma () in
-  let repr, _ = Batch_repair.repair db sigma in
-  let repr2, stats2 = Batch_repair.repair repr sigma in
+  let repr, _ = Helpers.ok (Batch_repair.repair db sigma) in
+  let repr2, stats2 = Helpers.ok (Batch_repair.repair repr sigma) in
   Alcotest.(check int) "no further changes" 0 stats2.Batch_repair.cells_changed;
   Alcotest.(check int) "dif is 0" 0 (Relation.dif repr repr2)
 
@@ -38,13 +38,13 @@ let test_clean_is_noop () =
 let test_cyclic_t5 () =
   let db = fig1_db () in
   let sigma = fig1_sigma () in
-  let repr, _ = Batch_repair.repair db sigma in
+  let repr, _ = Helpers.ok (Batch_repair.repair db sigma) in
   ignore
     (Relation.insert repr
        (Array.map Value.of_string
           [| "a77"; "Mog"; "9.99"; "215"; "8983490"; "Oak"; "NYC"; "NY"; "10012" |]));
   Alcotest.(check bool) "t5 makes it dirty" false (Violation.satisfies repr sigma);
-  let repr2, _ = Batch_repair.repair repr sigma in
+  let repr2, _ = Helpers.ok (Batch_repair.repair repr sigma) in
   check_clean repr2 sigma
 
 let test_embedded_fd_baseline () =
@@ -54,7 +54,7 @@ let test_embedded_fd_baseline () =
   (* Figure 1(a) satisfies the plain FDs, so the FD baseline changes nothing
      even though the data violates the CFDs. *)
   Alcotest.(check bool) "FDs hold" true (Violation.satisfies db fds);
-  let repr, stats = Batch_repair.repair db fds in
+  let repr, stats = Helpers.ok (Batch_repair.repair db fds) in
   check_clean repr fds;
   Alcotest.(check int) "no changes needed" 0 stats.Batch_repair.cells_changed
 
@@ -68,7 +68,7 @@ let test_fd_pair_violation () =
   let sigma =
     Cfd.number (Cfd.normalize schema (Cfd.Tableau.fd ~name:"fd" ~lhs:[ "A" ] ~rhs:[ "B" ]))
   in
-  let repr, _ = Batch_repair.repair rel sigma in
+  let repr, _ = Helpers.ok (Batch_repair.repair rel sigma) in
   check_clean repr sigma;
   (* The two x-tuples must have been merged onto a common B value. *)
   let t0 = Relation.find_exn repr 0 and t1 = Relation.find_exn repr 1 in
@@ -89,7 +89,7 @@ let test_constant_cfd_fix () =
           ~rhs:("B", Pattern.const (Value.string "good"));
       ]
   in
-  let repr, stats = Batch_repair.repair rel sigma in
+  let repr, stats = Helpers.ok (Batch_repair.repair rel sigma) in
   check_clean repr sigma;
   let t = Relation.find_exn repr 0 in
   Alcotest.check value "B fixed to constant" (Value.string "good") (Tuple.get t 1);
@@ -113,7 +113,7 @@ let test_lhs_escalation () =
           ~rhs:("B", Pattern.const (Value.string "v2"));
       ]
   in
-  let repr, stats = Batch_repair.repair rel sigma in
+  let repr, stats = Helpers.ok (Batch_repair.repair rel sigma) in
   check_clean repr sigma;
   Alcotest.(check bool) "escalated to the LHS" true
     (stats.Batch_repair.lhs_fixes >= 1);
@@ -125,7 +125,7 @@ let test_lhs_escalation () =
 let test_no_dependency_graph_variant () =
   let db = fig1_db () in
   let sigma = fig1_sigma () in
-  let repr, _ = Batch_repair.repair ~use_dependency_graph:false db sigma in
+  let repr, _ = Helpers.ok (Batch_repair.repair ~use_dependency_graph:false db sigma) in
   check_clean repr sigma
 
 let suite =

@@ -4,7 +4,7 @@ open Dq_core
 open Helpers
 
 let clean_base () =
-  let repr, _ = Batch_repair.repair (fig1_db ()) (fig1_sigma ()) in
+  let repr, _ = Helpers.ok (Batch_repair.repair (fig1_db ()) (fig1_sigma ())) in
   repr
 
 let t5_values =
@@ -22,7 +22,7 @@ let test_t5_insert k () =
   let base = clean_base () in
   let sigma = fig1_sigma () in
   let repr, stats =
-    Inc_repair.repair_inserts ~k base [ fresh_tuple t5_values ] sigma
+    Helpers.ok (Inc_repair.repair_inserts ~k base [ fresh_tuple t5_values ] sigma)
   in
   Alcotest.(check bool) "result satisfies sigma" true (Violation.satisfies repr sigma);
   Alcotest.(check int) "one processed" 1 stats.Inc_repair.tuples_processed;
@@ -34,7 +34,7 @@ let test_base_never_modified () =
   let base = clean_base () in
   let sigma = fig1_sigma () in
   let before = Relation.copy base in
-  let repr, _ = Inc_repair.repair_inserts base [ fresh_tuple t5_values ] sigma in
+  let repr, _ = Helpers.ok (Inc_repair.repair_inserts base [ fresh_tuple t5_values ] sigma) in
   Alcotest.(check int) "input relation unchanged" 0 (Relation.dif base before);
   Relation.iter
     (fun t ->
@@ -53,7 +53,7 @@ let test_clean_insert_untouched () =
     Array.map Value.of_string
       [| "a99"; "Tea"; "3.50"; "215"; "8983490"; "Walnut"; "PHI"; "PA"; "19014" |]
   in
-  let repr, stats = Inc_repair.repair_inserts base [ fresh_tuple values ] sigma in
+  let repr, stats = Helpers.ok (Inc_repair.repair_inserts base [ fresh_tuple values ] sigma) in
   Alcotest.(check bool) "satisfies" true (Violation.satisfies repr sigma);
   Alcotest.(check int) "no changes needed" 0 stats.Inc_repair.cells_changed
 
@@ -71,7 +71,7 @@ let test_orderings_all_clean () =
   in
   List.iter
     (fun ordering ->
-      let repr, _ = Inc_repair.repair_inserts ~ordering base delta sigma in
+      let repr, _ = Helpers.ok (Inc_repair.repair_inserts ~ordering base delta sigma) in
       Alcotest.(check bool)
         (Inc_repair.ordering_name ordering ^ " yields clean result")
         true
@@ -81,7 +81,7 @@ let test_orderings_all_clean () =
 let test_repair_dirty_nonincremental () =
   let db = fig1_db () in
   let sigma = fig1_sigma () in
-  let repr, stats = Inc_repair.repair_dirty db sigma in
+  let repr, stats = Helpers.ok (Inc_repair.repair_dirty db sigma) in
   Alcotest.(check bool) "clean" true (Violation.satisfies repr sigma);
   Alcotest.(check int) "cardinality preserved" (Relation.cardinality db)
     (Relation.cardinality repr);
@@ -105,7 +105,7 @@ let test_deletions_never_dirty () =
 let test_no_cluster_index_variant () =
   let db = fig1_db () in
   let sigma = fig1_sigma () in
-  let repr, _ = Inc_repair.repair_dirty ~use_cluster_index:false db sigma in
+  let repr, _ = Helpers.ok (Inc_repair.repair_dirty ~use_cluster_index:false db sigma) in
   Alcotest.(check bool) "clean" true (Violation.satisfies repr sigma)
 
 let suite =

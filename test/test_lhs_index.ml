@@ -5,7 +5,7 @@ open Helpers
 
 let clean_db_and_sigma () =
   let sigma = fig1_sigma () in
-  let repair, _ = Batch_repair.repair (fig1_db ()) sigma in
+  let repair, _ = Helpers.ok (Batch_repair.repair (fig1_db ()) sigma) in
   (repair, sigma)
 
 let find_clause sigma ~name ~rhs_attr =

@@ -1,0 +1,216 @@
+(* The observability layer: Json rendering, the Metrics registry, the
+   Report determinism contract (stable under --jobs), and provenance
+   replay — the trail recorded by a repair, applied back to the dirty
+   input, must reproduce the repaired relation. *)
+
+open Dq_relation
+open Dq_core
+open Helpers
+module Pool = Dq_parallel.Pool
+module Json = Dq_obs.Json
+module Metrics = Dq_obs.Metrics
+module Report = Dq_obs.Report
+module Provenance = Dq_obs.Provenance
+
+(* ---- Json ------------------------------------------------------------- *)
+
+let test_json_render () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Bool true; Json.Null; Json.String "x\"y" ]);
+        ("c", Json.Float 1.5);
+      ]
+  in
+  Alcotest.(check string)
+    "minified, construction order"
+    {|{"a":1,"b":[true,null,"x\"y"],"c":1.5}|}
+    (String.trim (Json.to_string ~minify:true v));
+  Alcotest.(check string)
+    "non-finite floats render as null" "null"
+    (String.trim (Json.to_string ~minify:true (Json.Float Float.nan)));
+  Alcotest.(check string)
+    "control characters escaped" {|"a\nb\u0001"|}
+    (String.trim (Json.to_string ~minify:true (Json.String "a\nb\x01")))
+
+(* ---- Metrics ----------------------------------------------------------- *)
+
+let test_metrics_disabled_noop () =
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.counter" in
+  Metrics.incr c;
+  Metrics.add c 5;
+  Alcotest.(check int) "disabled counter stays zero" 0 (Metrics.counter_value c)
+
+let test_metrics_enabled () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  let c = Metrics.counter "test.obs.counter" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 (Metrics.counter_value c);
+  let t = Metrics.timer "test.obs.timer" in
+  Metrics.record t 0.25;
+  Metrics.record t 0.75;
+  match Metrics.snapshot () with
+  | Json.Obj [ ("counters", Json.Obj cs); ("timers", Json.Obj ts) ] ->
+    Alcotest.(check bool) "counter in snapshot" true
+      (List.mem_assoc "test.obs.counter" cs);
+    (match List.assoc_opt "test.obs.timer" ts with
+    | Some (Json.Obj fields) ->
+      Alcotest.(check bool) "timer count" true
+        (List.assoc_opt "count" fields = Some (Json.Int 2))
+    | _ -> Alcotest.fail "timer entry missing or malformed");
+    let names = List.map fst cs in
+    Alcotest.(check (list string))
+      "counters sorted by name"
+      (List.sort compare names)
+      names
+  | _ -> Alcotest.fail "snapshot is not {counters; timers}"
+
+(* ---- Report ------------------------------------------------------------ *)
+
+let entry =
+  {
+    Provenance.tid = 3;
+    attr = 1;
+    attr_name = "CT";
+    old_value = Value.of_string "PHI";
+    new_value = Value.of_string "NYC";
+    clause = Some "phi2";
+    cost_delta = 0.5;
+    pass = 7;
+  }
+
+let test_report_timing_excluded () =
+  let r1 =
+    Report.make ~engine:"x"
+      ~summary:[ ("n", Json.Int 1) ]
+      ~phases:[ ("a", 0.5) ]
+      ~provenance:[ entry ] ()
+  in
+  let r2 =
+    Report.make ~engine:"x"
+      ~summary:[ ("n", Json.Int 1) ]
+      ~phases:[ ("a", 0.9); ("b", 0.1) ]
+      ~provenance:[ entry ] ()
+  in
+  Alcotest.(check bool) "equal ignores phases" true (Report.equal r1 r2);
+  Alcotest.(check string)
+    "stable_json ignores phases"
+    (Json.to_string (Report.stable_json r1))
+    (Json.to_string (Report.stable_json r2));
+  let r3 = Report.make ~engine:"x" ~summary:[ ("n", Json.Int 1) ] () in
+  Alcotest.(check bool)
+    "provenance is part of equality" false (Report.equal r1 r3)
+
+(* ---- determinism across job counts ------------------------------------ *)
+
+let job_counts = [ 1; 4; 7 ]
+
+let batch_stable ?pool rel sigma =
+  Json.to_string
+    (Report.stable_json (ok_report (Batch_repair.repair ?pool rel sigma)))
+
+let test_report_stable_under_jobs () =
+  let db = fig1_db () and sigma = fig1_sigma () in
+  let expected = batch_stable db sigma in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      Alcotest.(check string)
+        (Printf.sprintf "stable_json identical at jobs=%d" jobs)
+        expected
+        (batch_stable ~pool db sigma))
+    job_counts
+
+let prop_report_stable_under_jobs =
+  QCheck.Test.make
+    ~name:"Report.stable_json byte-identical across jobs {1,4,7}" ~count:40
+    Gen.instance
+    (fun (rel, sigma) ->
+      QCheck.assume (Dq_cfd.Satisfiability.is_satisfiable Gen.schema sigma);
+      let expected = batch_stable rel sigma in
+      List.for_all
+        (fun jobs ->
+          Pool.with_pool ~jobs @@ fun pool ->
+          String.equal expected (batch_stable ~pool rel sigma))
+        job_counts)
+
+(* ---- provenance replay ------------------------------------------------ *)
+
+(* Every cell that differs between [before] and [after] must be covered
+   by a trail entry. *)
+let check_changed_cells_covered before after entries =
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun e -> Hashtbl.replace covered (e.Provenance.tid, e.Provenance.attr) ())
+    entries;
+  Relation.iter
+    (fun t ->
+      match Relation.find before (Tuple.tid t) with
+      | None -> ()
+      | Some orig ->
+        for pos = 0 to Tuple.arity t - 1 do
+          if not (Value.equal (Tuple.get orig pos) (Tuple.get t pos)) then
+            Alcotest.(check bool)
+              (Printf.sprintf "entry for changed cell (t%d, %d)" (Tuple.tid t)
+                 pos)
+              true
+              (Hashtbl.mem covered (Tuple.tid t, pos))
+        done)
+    after
+
+let test_batch_replay_reconstructs () =
+  let db = fig1_db () and sigma = fig1_sigma () in
+  let run ?pool () =
+    let (repaired, _stats), report = ok2 (Batch_repair.repair ?pool db sigma) in
+    Alcotest.(check bool)
+      "repair changed something" true
+      (List.length report.Report.provenance > 0);
+    check_changed_cells_covered db repaired report.Report.provenance;
+    let replayed = Provenance.replay db report.Report.provenance in
+    Alcotest.(check string)
+      "replay reproduces the repair byte-for-byte"
+      (Csv.save_string repaired)
+      (Csv.save_string replayed)
+  in
+  run ();
+  Pool.with_pool ~jobs:4 (fun pool -> run ~pool ())
+
+let test_inc_replay_reconstructs () =
+  let db = fig1_db () and sigma = fig1_sigma () in
+  let run ?pool () =
+    let (repaired, _stats), report =
+      ok2 (Inc_repair.repair_dirty ?pool db sigma)
+    in
+    check_changed_cells_covered db repaired report.Report.provenance;
+    (* repair_dirty reorders tuples (consistent core first), so compare
+       tid-by-tid rather than byte-by-byte. *)
+    let replayed = Provenance.replay db report.Report.provenance in
+    Alcotest.(check int)
+      "replay agrees with the repair on every cell" 0
+      (Relation.dif repaired replayed)
+  in
+  run ();
+  Pool.with_pool ~jobs:4 (fun pool -> run ~pool ())
+
+let suite =
+  [
+    Alcotest.test_case "json rendering" `Quick test_json_render;
+    Alcotest.test_case "metrics disabled is a no-op" `Quick
+      test_metrics_disabled_noop;
+    Alcotest.test_case "metrics enabled" `Quick test_metrics_enabled;
+    Alcotest.test_case "report timing excluded from equality" `Quick
+      test_report_timing_excluded;
+    Alcotest.test_case "report stable under --jobs (fig1)" `Quick
+      test_report_stable_under_jobs;
+    Alcotest.test_case "batch provenance replay" `Quick
+      test_batch_replay_reconstructs;
+    Alcotest.test_case "incremental provenance replay" `Quick
+      test_inc_replay_reconstructs;
+    QCheck_alcotest.to_alcotest prop_report_stable_under_jobs;
+  ]

@@ -179,12 +179,12 @@ let check_all_jobs name expected f =
 let test_repair_determinism () =
   let rel, ds = dirty_fixture 300 in
   let sigma = ds.Datagen.sigma in
-  let batch = batch_key (Batch_repair.repair rel sigma) in
+  let batch = batch_key (Helpers.ok (Batch_repair.repair rel sigma)) in
   check_all_jobs "Batch_repair.repair" batch (fun pool ->
-      batch_key (Batch_repair.repair ~pool rel sigma));
-  let inc = inc_key (Inc_repair.repair_dirty rel sigma) in
+      batch_key (Helpers.ok (Batch_repair.repair ~pool rel sigma)));
+  let inc = inc_key (Helpers.ok (Inc_repair.repair_dirty rel sigma)) in
   check_all_jobs "Inc_repair.repair_dirty" inc (fun pool ->
-      inc_key (Inc_repair.repair_dirty ~pool rel sigma))
+      inc_key (Helpers.ok (Inc_repair.repair_dirty ~pool rel sigma)))
 
 let test_discovery_determinism () =
   let _, ds = dirty_fixture 400 in
@@ -214,8 +214,8 @@ let test_oversubscription () =
     "total with jobs >> tuples"
     (Violation.total rel sigma)
     (Violation.total ~pool rel sigma);
-  let repair, _ = Batch_repair.repair rel sigma in
-  let repair', _ = Batch_repair.repair ~pool rel sigma in
+  let repair, _ = Helpers.ok (Batch_repair.repair rel sigma) in
+  let repair', _ = Helpers.ok (Batch_repair.repair ~pool rel sigma) in
   Alcotest.(check int) "repair with jobs >> tuples" 0
     (Relation.dif repair repair')
 

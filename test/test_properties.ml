@@ -21,7 +21,7 @@ let prop_batch_repair_satisfies =
     instance
     (fun (rel, sigma) ->
       QCheck.assume (satisfiable sigma);
-      let repair, _ = Batch_repair.repair rel sigma in
+      let repair, _ = Helpers.ok (Batch_repair.repair rel sigma) in
       Violation.satisfies repair sigma)
 
 let prop_batch_repair_preserves_tuples =
@@ -29,7 +29,7 @@ let prop_batch_repair_preserves_tuples =
     instance
     (fun (rel, sigma) ->
       QCheck.assume (satisfiable sigma);
-      let repair, _ = Batch_repair.repair rel sigma in
+      let repair, _ = Helpers.ok (Batch_repair.repair rel sigma) in
       same_tids rel repair)
 
 let prop_batch_repair_clean_fixpoint =
@@ -37,15 +37,15 @@ let prop_batch_repair_clean_fixpoint =
     instance
     (fun (rel, sigma) ->
       QCheck.assume (satisfiable sigma);
-      let first, _ = Batch_repair.repair rel sigma in
-      let second, stats = Batch_repair.repair first sigma in
+      let first, _ = Helpers.ok (Batch_repair.repair rel sigma) in
+      let second, stats = Helpers.ok (Batch_repair.repair first sigma) in
       stats.Batch_repair.cells_changed = 0 && Relation.dif first second = 0)
 
 let prop_batch_stats_consistent =
   QCheck.Test.make ~name:"cells_changed agrees with dif" ~count:100 instance
     (fun (rel, sigma) ->
       QCheck.assume (satisfiable sigma);
-      let repair, stats = Batch_repair.repair rel sigma in
+      let repair, stats = Helpers.ok (Batch_repair.repair rel sigma) in
       stats.Batch_repair.cells_changed = Relation.dif rel repair)
 
 let prop_increpair_satisfies =
@@ -53,7 +53,7 @@ let prop_increpair_satisfies =
     ~count:150 instance
     (fun (rel, sigma) ->
       QCheck.assume (satisfiable sigma);
-      let repair, _ = Inc_repair.repair_dirty rel sigma in
+      let repair, _ = Helpers.ok (Inc_repair.repair_dirty rel sigma) in
       Violation.satisfies repair sigma && same_tids rel repair)
 
 let prop_increpair_orderings_agree_on_consistency =
@@ -63,7 +63,7 @@ let prop_increpair_orderings_agree_on_consistency =
       QCheck.assume (satisfiable sigma);
       List.for_all
         (fun ordering ->
-          let repair, _ = Inc_repair.repair_dirty ~ordering rel sigma in
+          let repair, _ = Helpers.ok (Inc_repair.repair_dirty ~ordering rel sigma) in
           Violation.satisfies repair sigma)
         [ Inc_repair.Linear; Inc_repair.By_violations; Inc_repair.By_weight ])
 
@@ -73,11 +73,11 @@ let prop_insertions_never_touch_base =
     (QCheck.make QCheck.Gen.(triple instance_gen tuple_gen tuple_gen))
     (fun ((rel, sigma), v1, v2) ->
       QCheck.assume (satisfiable sigma);
-      let base, _ = Batch_repair.repair rel sigma in
+      let base, _ = Helpers.ok (Batch_repair.repair rel sigma) in
       let delta =
         [ Tuple.create ~tid:9_000 v1; Tuple.create ~tid:9_001 v2 ]
       in
-      let repair, _ = Inc_repair.repair_inserts base delta sigma in
+      let repair, _ = Helpers.ok (Inc_repair.repair_inserts base delta sigma) in
       Violation.satisfies repair sigma
       && Relation.fold
            (fun ok t ->
@@ -92,7 +92,7 @@ let prop_violation_detection_agrees_with_repair =
       QCheck.assume (satisfiable sigma);
       let clean = Violation.satisfies rel sigma in
       if clean then
-        let _, stats = Batch_repair.repair rel sigma in
+        let _, stats = Helpers.ok (Batch_repair.repair rel sigma) in
         stats.Batch_repair.cells_changed = 0
       else true)
 

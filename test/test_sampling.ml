@@ -16,7 +16,7 @@ let dataset_with_repair () =
       }
   in
   let info = Noise.inject (Noise.default_params ~rate:0.05 ~seed:5 ()) ds in
-  let repair, _ = Dq_core.Batch_repair.repair info.Noise.dirty ds.Datagen.sigma in
+  let repair, _ = Helpers.ok (Dq_core.Batch_repair.repair info.Noise.dirty ds.Datagen.sigma) in
   (ds, info, repair)
 
 let oracle_against dopt t' =
@@ -49,10 +49,12 @@ let test_perfect_repair_accepted () =
   let ds, info, _ = dataset_with_repair () in
   (* Inspect Dopt itself as the "repair": the oracle never complains. *)
   let report =
-    Sampling.inspect
-      (Sampling.default_config ~sample_size:300 ())
-      ~original:info.Noise.dirty ~repair:ds.Datagen.dopt ~sigma:ds.Datagen.sigma
-      ~oracle:(oracle_against ds.Datagen.dopt)
+    Helpers.ok
+      (Sampling.inspect
+         (Sampling.default_config ~sample_size:300 ())
+         ~original:info.Noise.dirty ~repair:ds.Datagen.dopt
+         ~sigma:ds.Datagen.sigma
+         ~oracle:(oracle_against ds.Datagen.dopt))
   in
   Alcotest.(check (float 1e-9)) "no inaccuracy" 0. report.Sampling.p_hat;
   Alcotest.(check bool) "accepted" true report.Sampling.accepted
@@ -63,10 +65,11 @@ let test_garbage_repair_rejected () =
   let garbage = Relation.copy info.Noise.dirty in
   Relation.iter (fun t -> Relation.set_value garbage t Order_schema.ct Value.null) garbage;
   let report =
-    Sampling.inspect
-      (Sampling.default_config ~sample_size:200 ())
-      ~original:info.Noise.dirty ~repair:garbage ~sigma:ds.Datagen.sigma
-      ~oracle:(oracle_against ds.Datagen.dopt)
+    Helpers.ok
+      (Sampling.inspect
+         (Sampling.default_config ~sample_size:200 ())
+         ~original:info.Noise.dirty ~repair:garbage ~sigma:ds.Datagen.sigma
+         ~oracle:(oracle_against ds.Datagen.dopt))
   in
   Alcotest.(check bool) "high inaccuracy" true (report.Sampling.p_hat > 0.5);
   Alcotest.(check bool) "rejected" false report.Sampling.accepted
@@ -74,10 +77,11 @@ let test_garbage_repair_rejected () =
 let test_stratification_prioritises_suspects () =
   let ds, info, repair = dataset_with_repair () in
   let report =
-    Sampling.inspect
-      (Sampling.default_config ~sample_size:120 ())
-      ~original:info.Noise.dirty ~repair ~sigma:ds.Datagen.sigma
-      ~oracle:(oracle_against ds.Datagen.dopt)
+    Helpers.ok
+      (Sampling.inspect
+         (Sampling.default_config ~sample_size:120 ())
+         ~original:info.Noise.dirty ~repair ~sigma:ds.Datagen.sigma
+         ~oracle:(oracle_against ds.Datagen.dopt))
   in
   let m = Array.length report.Sampling.strata_sizes in
   Alcotest.(check int) "three strata" 3 m;
@@ -115,8 +119,9 @@ let test_by_cost_strategy () =
     }
   in
   let report =
-    Sampling.inspect config ~original:info.Noise.dirty ~repair
-      ~sigma:ds.Datagen.sigma ~oracle:(oracle_against ds.Datagen.dopt)
+    Helpers.ok
+      (Sampling.inspect config ~original:info.Noise.dirty ~repair
+         ~sigma:ds.Datagen.sigma ~oracle:(oracle_against ds.Datagen.dopt))
   in
   Alcotest.(check int) "cost strata cover repair"
     (Relation.cardinality repair)
@@ -128,24 +133,30 @@ let test_by_cost_strategy () =
 let test_deterministic_given_seed () =
   let ds, info, repair = dataset_with_repair () in
   let run seed =
-    Sampling.inspect ~seed
-      (Sampling.default_config ~sample_size:50 ())
-      ~original:info.Noise.dirty ~repair ~sigma:ds.Datagen.sigma
-      ~oracle:(fun _ -> false)
+    Helpers.ok
+      (Sampling.inspect ~seed
+         (Sampling.default_config ~sample_size:50 ())
+         ~original:info.Noise.dirty ~repair ~sigma:ds.Datagen.sigma
+         ~oracle:(fun _ -> false))
   in
   let r1 = run 9 and r2 = run 9 in
   Alcotest.(check (list int)) "same sample tids"
     (List.map (fun (_, t) -> Tuple.tid t) r1.Sampling.sample)
     (List.map (fun (_, t) -> Tuple.tid t) r2.Sampling.sample)
 
-let test_invalid_config_raises () =
+let test_invalid_config_rejected () =
   let ds, info, repair = dataset_with_repair () in
   let bad = { (Sampling.default_config ()) with Sampling.epsilon = 2.0 } in
-  Alcotest.check_raises "invalid config"
-    (Invalid_argument "Sampling.inspect: epsilon must be in (0,1)") (fun () ->
-      ignore
-        (Sampling.inspect bad ~original:info.Noise.dirty ~repair
-           ~sigma:ds.Datagen.sigma ~oracle:(fun _ -> false)))
+  match
+    Sampling.inspect bad ~original:info.Noise.dirty ~repair
+      ~sigma:ds.Datagen.sigma ~oracle:(fun _ -> false)
+  with
+  | Error (Dq_error.Invalid_config msg) ->
+    Alcotest.(check string)
+      "config error message" "Sampling.inspect: epsilon must be in (0,1)" msg
+  | Error e ->
+    Alcotest.failf "unexpected error: %s" (Dq_error.to_string e)
+  | Ok _ -> Alcotest.fail "invalid config was accepted"
 
 let suite =
   [
@@ -156,5 +167,5 @@ let suite =
       test_stratification_prioritises_suspects;
     Alcotest.test_case "cost-based strata" `Quick test_by_cost_strategy;
     Alcotest.test_case "deterministic sampling" `Quick test_deterministic_given_seed;
-    Alcotest.test_case "invalid config raises" `Quick test_invalid_config_raises;
+    Alcotest.test_case "invalid config rejected" `Quick test_invalid_config_rejected;
   ]

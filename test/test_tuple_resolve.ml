@@ -5,7 +5,7 @@ open Helpers
 
 let clean_env () =
   let sigma = fig1_sigma () in
-  let repair, _ = Batch_repair.repair (fig1_db ()) sigma in
+  let repair, _ = Helpers.ok (Batch_repair.repair (fig1_db ()) sigma) in
   (repair, sigma)
 
 let fresh values = Tuple.create ~tid:777 (Array.map Value.of_string values)

@@ -70,7 +70,7 @@ let test_zero_rate () =
 let test_batch_pipeline () =
   let ds = small_dataset () in
   let info = Noise.inject (Noise.default_params ~rate:0.05 ()) ds in
-  let repr, _ = Batch_repair.repair info.Noise.dirty ds.Datagen.sigma in
+  let repr, _ = Helpers.ok (Batch_repair.repair info.Noise.dirty ds.Datagen.sigma) in
   Alcotest.(check bool) "repair clean" true
     (Violation.satisfies repr ds.Datagen.sigma);
   let m = Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty:info.Noise.dirty ~repair:repr in
@@ -84,7 +84,7 @@ let test_batch_pipeline () =
 let test_increpair_pipeline () =
   let ds = small_dataset () in
   let info = Noise.inject (Noise.default_params ~rate:0.05 ()) ds in
-  let repr, _ = Inc_repair.repair_dirty info.Noise.dirty ds.Datagen.sigma in
+  let repr, _ = Helpers.ok (Inc_repair.repair_dirty info.Noise.dirty ds.Datagen.sigma) in
   Alcotest.(check bool) "repair clean" true
     (Violation.satisfies repr ds.Datagen.sigma);
   let m = Metrics.evaluate ~dopt:ds.Datagen.dopt ~dirty:info.Noise.dirty ~repair:repr in
