@@ -3,7 +3,18 @@
    ablations called out in DESIGN.md, and Bechamel micro-benchmarks of the
    core primitives.
 
-   Usage: dune exec bench/main.exe -- [--only fig9] [--seeds 2] [--scale N]
+   Usage: dune exec bench/main.exe --
+            [--only SECTION]... [--seeds K] [--scale N] [--out DIR]
+            [--trace FILE] [--compare OLD] [--tolerance PCT]
+
+   Every section writes a stable-schema BENCH_<section>.json into the
+   --out directory (default "."): the shared CLI envelope whose
+   report.summary is {section, scale, seeds, metrics} with metrics a flat
+   name -> number map (median over --seeds).  `--compare OLD` (a previous
+   BENCH_*.json, or a directory of them) runs no benches; it prints a
+   per-metric delta table against the matching files in --out and exits 1
+   if any metric regressed past --tolerance percent (time metrics, named
+   *_s, regress upward; quality metrics regress downward).
 
    Sizes are scaled down from the paper's 10k-300k testbed (see DESIGN.md,
    substitutions): the default base size is 4,000 tuples so the full
@@ -16,8 +27,28 @@ open Dq_cfd
 open Dq_core
 open Dq_workload
 module Pool = Dq_parallel.Pool
+module Json = Dq_obs.Json
+module Trace = Dq_obs.Trace
 
 (* ---- command line ---------------------------------------------------- *)
+
+let valid_sections =
+  [
+    "fig8";
+    "fig9";
+    "fig10";
+    "fig11";
+    "fig12";
+    "fig13";
+    "fig14";
+    "fig15";
+    "thm61";
+    "abl-depgraph";
+    "abl-cluster";
+    "abl-k";
+    "parallel";
+    "micro";
+  ]
 
 let only = ref []
 
@@ -25,12 +56,40 @@ let seeds = ref [ 7 ]
 
 let base_n = ref 4_000
 
-let out_path = ref "BENCH_parallel.json"
+let out_dir = ref "."
+
+let compare_against = ref None
+
+let tolerance = ref 15.0
+
+let trace_path = ref None
+
+let usage () =
+  Fmt.epr
+    "usage: main.exe [--only SECTION]... [--seeds K] [--scale N] [--out DIR] \
+     [--trace FILE] [--compare OLD] [--tolerance PCT]@.\
+     \  --only SECTION   run one section (repeatable); SECTION is one of:@.\
+     \                   %s@.\
+     \  --seeds K        median results over K dataset seeds (default 1)@.\
+     \  --scale N        base database size in tuples (default 4000)@.\
+     \  --out DIR        directory receiving the per-section BENCH_*.json \
+     files (default .)@.\
+     \  --trace FILE     write a Chrome trace-event dump of the run@.\
+     \  --compare OLD    compare OLD (BENCH_*.json file or directory of \
+     them) against@.\
+     \                   the matching files in --out; no benches run@.\
+     \  --tolerance PCT  regression threshold for --compare (default 15)@."
+    (String.concat " " valid_sections)
 
 let () =
   let rec parse = function
     | [] -> ()
     | "--only" :: name :: rest ->
+      if not (List.mem name valid_sections) then begin
+        Fmt.epr "unknown section %S; valid sections are:@.  %s@." name
+          (String.concat " " valid_sections);
+        exit 2
+      end;
       only := name :: !only;
       parse rest
     | "--seeds" :: k :: rest ->
@@ -39,17 +98,28 @@ let () =
     | "--scale" :: n :: rest ->
       base_n := int_of_string n;
       parse rest
-    | "--out" :: path :: rest ->
-      out_path := path;
+    | "--out" :: dir :: rest ->
+      out_dir := dir;
+      parse rest
+    | "--trace" :: path :: rest ->
+      trace_path := Some path;
+      parse rest
+    | "--compare" :: old :: rest ->
+      compare_against := Some old;
+      parse rest
+    | "--tolerance" :: pct :: rest ->
+      tolerance := float_of_string pct;
       parse rest
     | arg :: _ ->
       Fmt.epr "unknown argument %S@." arg;
-      Fmt.epr
-        "usage: main.exe [--only figN]... [--seeds K] [--scale N] [--out \
-         BENCH.json]@.";
+      usage ();
       exit 2
   in
-  parse (List.tl (Array.to_list Sys.argv))
+  match parse (List.tl (Array.to_list Sys.argv)) with
+  | () -> ()
+  | exception (Failure _ | Invalid_argument _) ->
+    usage ();
+    exit 2
 
 let enabled name = !only = [] || List.mem name !only
 
@@ -59,6 +129,46 @@ let section name title =
     true
   end
   else false
+
+(* ---- per-section BENCH_<section>.json --------------------------------- *)
+
+(* The same envelope schema the CLI emits with --format json, so CI reads
+   BENCH_*.json and `cfdclean ... --format json` with one parser.  The
+   metrics map is flat name -> number, the unit of comparison for
+   --compare: names are stable across PRs, values are medians over
+   --seeds.  Names ending in _s are wall-clock seconds (lower is better);
+   all others are quality/size metrics (higher is better). *)
+let write_section sect metrics =
+  let report =
+    Dq_obs.Report.make ~engine:"bench"
+      ~summary:
+        [
+          ("section", Json.String sect);
+          ("scale", Json.Int !base_n);
+          ("seeds", Json.Int (List.length !seeds));
+          ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) metrics));
+        ]
+      ()
+  in
+  let doc =
+    Json.Obj
+      [
+        ("command", Json.String "bench");
+        ("ok", Json.Bool true);
+        ("report", Dq_obs.Report.to_json report);
+        ("diagnostics", Json.List []);
+      ]
+  in
+  let path = Filename.concat !out_dir ("BENCH_" ^ sect ^ ".json") in
+  match open_out path with
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Json.to_string doc));
+    Fmt.pr "wrote %s@." path
+  | exception Sys_error msg ->
+    Fmt.epr "bench: cannot write %s: %s@." path msg;
+    exit 2
 
 (* ---- shared machinery ------------------------------------------------ *)
 
@@ -104,15 +214,22 @@ let run_inc ordering ds info =
   assert (Violation.satisfies repair ds.Datagen.sigma);
   score ds info repair runtime
 
-let average outcomes =
-  let n = float_of_int (List.length outcomes) in
-  {
-    precision = List.fold_left (fun a o -> a +. o.precision) 0. outcomes /. n;
-    recall = List.fold_left (fun a o -> a +. o.recall) 0. outcomes /. n;
-    runtime = List.fold_left (fun a o -> a +. o.runtime) 0. outcomes /. n;
-  }
+let median xs =
+  let a = Array.of_list (List.sort Float.compare xs) in
+  let n = Array.length a in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
-let over_seeds f = average (List.map f !seeds)
+(* Component-wise median over seeds: robust to one seed hitting a noisy
+   scheduler moment, which an average would smear into every metric. *)
+let over_seeds f =
+  let os = List.map f !seeds in
+  {
+    precision = median (List.map (fun o -> o.precision) os);
+    recall = median (List.map (fun o -> o.recall) os);
+    runtime = median (List.map (fun o -> o.runtime) os);
+  }
 
 let pct x = 100. *. x
 
@@ -137,6 +254,7 @@ let fig8 () =
        EXPERIMENTS.md) *)
     let rates = [ 0.02; 0.06; 0.10 ] in
     header "rho(%)" (List.map (fun r -> Fmt.str "%g" (pct r)) rates);
+    let metrics = ref [] in
     let per_constraints name sigma_of =
       let prec = ref [] and rec_ = ref [] in
       List.iter
@@ -147,6 +265,10 @@ let fig8 () =
                 let info = dirtied ~rate ds (seed + 1) in
                 run_batch ~sigma:(Some (sigma_of ds)) ds info)
           in
+          let tag = Fmt.str "%s.rho%g" name (pct rate) in
+          metrics :=
+            ((tag ^ ".recall", o.recall) :: (tag ^ ".prec", o.precision)
+            :: !metrics);
           prec := pct o.precision :: !prec;
           rec_ := pct o.recall :: !rec_)
         rates;
@@ -155,7 +277,8 @@ let fig8 () =
     in
     per_constraints "CFD" (fun ds -> ds.Datagen.sigma);
     per_constraints "FD" (fun ds ->
-        Cfd.number (Cfd.embedded_fds (Array.to_list ds.Datagen.sigma)))
+        Cfd.number (Cfd.embedded_fds (Array.to_list ds.Datagen.sigma)));
+    write_section "fig8" (List.rev !metrics)
   end
 
 (* ---- Figures 9, 10 and 13: accuracy and time vs noise rate ----------- *)
@@ -179,34 +302,48 @@ let fig9_10_13 () =
           ( name,
             List.map
               (fun rate ->
-                over_seeds (fun seed ->
-                    let ds = dataset seed in
-                    let info = dirtied ~rate ds (seed + 1) in
-                    algo ds info))
+                ( rate,
+                  over_seeds (fun seed ->
+                      let ds = dataset seed in
+                      let info = dirtied ~rate ds (seed + 1) in
+                      algo ds info) ))
               noise_rates ))
         algorithms
     in
     let cols = List.map (fun r -> Fmt.str "%g" (pct r)) noise_rates in
+    let collect proj suffix =
+      List.concat_map
+        (fun (name, os) ->
+          List.map
+            (fun (rate, o) ->
+              (Fmt.str "%s.rho%g.%s" name (pct rate) suffix, proj o))
+            os)
+        results
+    in
     if section "fig9" "Precision vs noise rate (%)" then begin
       header "rho(%)" cols;
       List.iter
-        (fun (name, os) -> row name (List.map (fun o -> pct o.precision) os))
-        results
+        (fun (name, os) ->
+          row name (List.map (fun (_, o) -> pct o.precision) os))
+        results;
+      write_section "fig9" (collect (fun o -> o.precision) "prec")
     end;
     if section "fig10" "Recall vs noise rate (%)" then begin
       header "rho(%)" cols;
       List.iter
-        (fun (name, os) -> row name (List.map (fun o -> pct o.recall) os))
-        results
+        (fun (name, os) -> row name (List.map (fun (_, o) -> pct o.recall) os))
+        results;
+      write_section "fig10" (collect (fun o -> o.recall) "recall")
     end;
     if section "fig13" "Runtime vs noise rate (seconds)" then begin
       header "rho(%)" cols;
       List.iter
         (fun (name, os) ->
           Fmt.pr "%-14s" name;
-          List.iter (fun o -> Fmt.pr " %8.2f" o.runtime) os;
+          List.iter (fun (_, o) -> Fmt.pr " %8.2f" o.runtime) os;
           Fmt.pr "@.")
-        results
+        results;
+      write_section "fig13" (collect (fun o -> o.runtime) "runtime_s")
     end
   end
 
@@ -219,16 +356,25 @@ let fig11 () =
     let times =
       List.map
         (fun n ->
-          (over_seeds (fun seed ->
-               let ds = dataset ~n seed in
-               let info = dirtied ds (seed + 1) in
-               run_batch ds info))
-            .runtime)
+          ( n,
+            (over_seeds (fun seed ->
+                 let ds = dataset ~n seed in
+                 let info = dirtied ds (seed + 1) in
+                 run_batch ds info))
+              .runtime ))
         sizes
     in
     Fmt.pr "%-14s" "BatchRepair";
-    List.iter (Fmt.pr " %8.2f") times;
-    Fmt.pr "@."
+    List.iter (fun (_, t) -> Fmt.pr " %8.2f" t) times;
+    Fmt.pr "@.";
+    write_section "fig11"
+      (List.concat_map
+         (fun (n, t) ->
+           [
+             (Fmt.str "BatchRepair.n%d.runtime_s" n, t);
+             (Fmt.str "BatchRepair.n%d.tps" n, float_of_int n /. Float.max 1e-9 t);
+           ])
+         times)
   end
 
 (* ---- Figure 12: incremental setting ---------------------------------- *)
@@ -263,7 +409,7 @@ let fig12 () =
     let inc_times = ref [] and batch_times = ref [] in
     List.iter
       (fun k ->
-        let inc = ref 0. and batch = ref 0. in
+        let inc = ref [] and batch = ref [] in
         List.iter
           (fun seed ->
             let ds, base, pool = per_seed seed in
@@ -271,21 +417,27 @@ let fig12 () =
             let (_, stats) =
               engine_ok (Inc_repair.repair_inserts base delta ds.Datagen.sigma)
             in
-            inc := !inc +. stats.Inc_repair.runtime;
+            inc := stats.Inc_repair.runtime :: !inc;
             let whole = Relation.copy base in
             List.iter (fun t -> Relation.add whole (Tuple.copy t)) delta;
             let (_, bstats) = engine_ok (Batch_repair.repair whole ds.Datagen.sigma) in
-            batch := !batch +. bstats.Batch_repair.runtime)
+            batch := bstats.Batch_repair.runtime :: !batch)
           !seeds;
-        let n = float_of_int (List.length !seeds) in
-        inc_times := (!inc /. n) :: !inc_times;
-        batch_times := (!batch /. n) :: !batch_times)
+        inc_times := (k, median !inc) :: !inc_times;
+        batch_times := (k, median !batch) :: !batch_times)
       counts;
+    let inc_times = List.rev !inc_times
+    and batch_times = List.rev !batch_times in
     Fmt.pr "%-14s" "IncRepair";
-    List.iter (Fmt.pr " %8.2f") (List.rev !inc_times);
+    List.iter (fun (_, t) -> Fmt.pr " %8.2f" t) inc_times;
     Fmt.pr "@.%-14s" "BatchRepair";
-    List.iter (Fmt.pr " %8.2f") (List.rev !batch_times);
-    Fmt.pr "@."
+    List.iter (fun (_, t) -> Fmt.pr " %8.2f" t) batch_times;
+    Fmt.pr "@.";
+    write_section "fig12"
+      (List.map (fun (k, t) -> (Fmt.str "IncRepair.k%d.runtime_s" k, t)) inc_times
+      @ List.map
+          (fun (k, t) -> (Fmt.str "BatchRepair.k%d.runtime_s" k, t))
+          batch_times)
   end
 
 (* ---- Figures 14 and 15: constant vs variable CFD violations ---------- *)
@@ -300,10 +452,11 @@ let fig14_15 () =
           ( name,
             List.map
               (fun share ->
-                over_seeds (fun seed ->
-                    let ds = dataset seed in
-                    let info = dirtied ~constant_share:share ds (seed + 1) in
-                    algo ds info))
+                ( share,
+                  over_seeds (fun seed ->
+                      let ds = dataset seed in
+                      let info = dirtied ~constant_share:share ds (seed + 1) in
+                      algo ds info) ))
               shares ))
         [
           ("BatchRepair", fun ds info -> run_batch ds info);
@@ -311,6 +464,15 @@ let fig14_15 () =
         ]
     in
     let cols = List.map (fun s -> Fmt.str "%g" (pct s)) shares in
+    let collect proj suffix =
+      List.concat_map
+        (fun (name, os) ->
+          List.map
+            (fun (share, o) ->
+              (Fmt.str "%s.c%g.%s" name (pct share) suffix, proj o))
+            os)
+        results
+    in
     if
       section "fig14"
         "Accuracy vs %% of dirty tuples violating constant CFDs"
@@ -318,18 +480,22 @@ let fig14_15 () =
       header "const(%)" cols;
       List.iter
         (fun (name, os) ->
-          row (name ^ "/Prec") (List.map (fun o -> pct o.precision) os);
-          row (name ^ "/Recall") (List.map (fun o -> pct o.recall) os))
-        results
+          row (name ^ "/Prec") (List.map (fun (_, o) -> pct o.precision) os);
+          row (name ^ "/Recall") (List.map (fun (_, o) -> pct o.recall) os))
+        results;
+      write_section "fig14"
+        (collect (fun o -> o.precision) "prec"
+        @ collect (fun o -> o.recall) "recall")
     end;
     if section "fig15" "Runtime vs %% constant-CFD violations (seconds)" then begin
       header "const(%)" cols;
       List.iter
         (fun (name, os) ->
           Fmt.pr "%-14s" name;
-          List.iter (fun o -> Fmt.pr " %8.2f" o.runtime) os;
+          List.iter (fun (_, o) -> Fmt.pr " %8.2f" o.runtime) os;
           Fmt.pr "@.")
-        results
+        results;
+      write_section "fig15" (collect (fun o -> o.runtime) "runtime_s")
     end
   end
 
@@ -337,23 +503,40 @@ let fig14_15 () =
 
 let thm61 () =
   if
-    section "thm6.1" "Chernoff sample-size bound (delta = 0.95, varying c, eps)"
+    section "thm61" "Chernoff sample-size bound (delta = 0.95, varying c, eps)"
   then begin
     let cs = [ 1; 5; 10; 20; 50 ] in
     header "c" (List.map string_of_int cs);
+    let metrics = ref [] in
     List.iter
       (fun epsilon ->
         Fmt.pr "%-14s" (Fmt.str "eps=%.2f" epsilon);
         List.iter
           (fun c ->
-            Fmt.pr " %8d"
-              (Stats.chernoff_sample_size ~epsilon ~confidence:0.95 ~c))
+            let size =
+              Stats.chernoff_sample_size ~epsilon ~confidence:0.95 ~c
+            in
+            metrics :=
+              (Fmt.str "eps%g.c%d.size" epsilon c, float_of_int size)
+              :: !metrics;
+            Fmt.pr " %8d" size)
           cs;
         Fmt.pr "@.")
-      [ 0.01; 0.05; 0.10 ]
+      [ 0.01; 0.05; 0.10 ];
+    write_section "thm61" (List.rev !metrics)
   end
 
 (* ---- Ablations -------------------------------------------------------- *)
+
+let ablation outcomes =
+  List.concat_map
+    (fun (label, o) ->
+      [
+        (label ^ ".prec", o.precision);
+        (label ^ ".recall", o.recall);
+        (label ^ ".runtime_s", o.runtime);
+      ])
+    outcomes
 
 let ablation_depgraph () =
   if
@@ -361,22 +544,26 @@ let ablation_depgraph () =
       "BATCHREPAIR with/without the dependency-graph stratum bias"
   then begin
     header "" [ "prec"; "recall"; "seconds" ];
-    List.iter
-      (fun (label, use_dependency_graph) ->
-        let o =
-          over_seeds (fun seed ->
-              let ds = dataset seed in
-              let info = dirtied ds (seed + 1) in
-              let (repair, _), runtime =
-                time (fun () ->
-                    engine_ok
-                      (Batch_repair.repair ~use_dependency_graph
-                         info.Noise.dirty ds.Datagen.sigma))
-              in
-              score ds info repair runtime)
-        in
-        row label [ pct o.precision; pct o.recall; o.runtime ])
-      [ ("with", true); ("without", false) ]
+    let outcomes =
+      List.map
+        (fun (label, use_dependency_graph) ->
+          let o =
+            over_seeds (fun seed ->
+                let ds = dataset seed in
+                let info = dirtied ds (seed + 1) in
+                let (repair, _), runtime =
+                  time (fun () ->
+                      engine_ok
+                        (Batch_repair.repair ~use_dependency_graph
+                           info.Noise.dirty ds.Datagen.sigma))
+                in
+                score ds info repair runtime)
+          in
+          row label [ pct o.precision; pct o.recall; o.runtime ];
+          (label, o))
+        [ ("with", true); ("without", false) ]
+    in
+    write_section "abl-depgraph" (ablation outcomes)
   end
 
 let ablation_cluster () =
@@ -385,54 +572,63 @@ let ablation_cluster () =
       "INCREPAIR with/without the cost-based cluster index"
   then begin
     header "" [ "prec"; "recall"; "seconds" ];
-    List.iter
-      (fun (label, use_cluster_index) ->
-        let o =
-          over_seeds (fun seed ->
-              let ds = dataset seed in
-              let info = dirtied ds (seed + 1) in
-              let (repair, _), runtime =
-                time (fun () ->
-                    engine_ok
-                      (Inc_repair.repair_dirty ~use_cluster_index
-                         info.Noise.dirty ds.Datagen.sigma))
-              in
-              score ds info repair runtime)
-        in
-        row label [ pct o.precision; pct o.recall; o.runtime ])
-      [ ("with", true); ("without", false) ]
+    let outcomes =
+      List.map
+        (fun (label, use_cluster_index) ->
+          let o =
+            over_seeds (fun seed ->
+                let ds = dataset seed in
+                let info = dirtied ds (seed + 1) in
+                let (repair, _), runtime =
+                  time (fun () ->
+                      engine_ok
+                        (Inc_repair.repair_dirty ~use_cluster_index
+                           info.Noise.dirty ds.Datagen.sigma))
+                in
+                score ds info repair runtime)
+          in
+          row label [ pct o.precision; pct o.recall; o.runtime ];
+          (label, o))
+        [ ("with", true); ("without", false) ]
+    in
+    write_section "abl-cluster" (ablation outcomes)
   end
 
 let ablation_k () =
   if section "abl-k" "TUPLERESOLVE: attributes fixed per greedy step (k)" then begin
     header "k" [ "prec"; "recall"; "seconds" ];
-    List.iter
-      (fun k ->
-        let o =
-          over_seeds (fun seed ->
-              let ds = dataset seed in
-              let info = dirtied ds (seed + 1) in
-              let (repair, _), runtime =
-                time (fun () ->
-                    engine_ok
-                      (Inc_repair.repair_dirty ~k info.Noise.dirty
-                         ds.Datagen.sigma))
-              in
-              score ds info repair runtime)
-        in
-        row (string_of_int k) [ pct o.precision; pct o.recall; o.runtime ])
-      [ 1; 2; 3 ]
+    let outcomes =
+      List.map
+        (fun k ->
+          let o =
+            over_seeds (fun seed ->
+                let ds = dataset seed in
+                let info = dirtied ds (seed + 1) in
+                let (repair, _), runtime =
+                  time (fun () ->
+                      engine_ok
+                        (Inc_repair.repair_dirty ~k info.Noise.dirty
+                           ds.Datagen.sigma))
+                in
+                score ds info repair runtime)
+          in
+          row (string_of_int k) [ pct o.precision; pct o.recall; o.runtime ];
+          (Fmt.str "k%d" k, o))
+        [ 1; 2; 3 ]
+    in
+    write_section "abl-k" (ablation outcomes)
   end
 
-(* ---- Parallel scaling (writes BENCH_parallel.json) -------------------- *)
+(* ---- Parallel scaling -------------------------------------------------- *)
 
 (* Time detection ([find_all], [vio_counts]) and the hybrid repair
    ([Inc_repair.repair_dirty], whose scoring passes parallelise but whose
    resolve loop is sequential) at several job counts and two database
    sizes.  Besides wall-clock, every run is cross-checked against the
    1-job baseline — the engine's contract is byte-identical output at any
-   job count — and the whole table is written as machine-readable JSON so
-   CI or EXPERIMENTS.md can track the curves. *)
+   job count — and the whole table lands in BENCH_parallel.json so CI or
+   EXPERIMENTS.md can track the curves ("identical" is 1.0 when every run
+   matched its baseline). *)
 
 type parallel_entry = {
   pe_n : int;
@@ -442,41 +638,6 @@ type parallel_entry = {
   pe_repair : float;
   pe_identical : bool;
 }
-
-(* The same envelope schema the CLI emits with --format json, with the
-   scaling table as the report's summary — so CI consumes BENCH_*.json and
-   `cfdclean ... --format json` with one parser. *)
-let parallel_json entries =
-  let module J = Dq_obs.Json in
-  let entry_json e =
-    J.Obj
-      [
-        ("n", J.Int e.pe_n);
-        ("jobs", J.Int e.pe_jobs);
-        ("find_all_s", J.Float e.pe_find_all);
-        ("vio_counts_s", J.Float e.pe_vio_counts);
-        ("repair_dirty_s", J.Float e.pe_repair);
-        ("identical", J.Bool e.pe_identical);
-      ]
-  in
-  let report =
-    Dq_obs.Report.make ~engine:"bench_parallel"
-      ~summary:
-        [
-          ("recommended_domains", J.Int (Pool.default_jobs ()));
-          ("seconds", J.String "best-of-3 (repair: single run)");
-          ("results", J.List (List.map entry_json entries));
-        ]
-      ()
-  in
-  J.to_string
-    (J.Obj
-       [
-         ("command", J.String "bench");
-         ("ok", J.Bool true);
-         ("report", Dq_obs.Report.to_json report);
-         ("diagnostics", J.List []);
-       ])
 
 let parallel () =
   if
@@ -555,7 +716,8 @@ let parallel () =
         List.iter (fun e -> Fmt.pr " %8.3f" e.pe_repair) es;
         Fmt.pr "@.")
       scales;
-    if List.for_all (fun e -> e.pe_identical) entries then
+    let all_identical = List.for_all (fun e -> e.pe_identical) entries in
+    if all_identical then
       Fmt.pr "outputs identical across job counts: yes@."
     else Fmt.pr "outputs identical across job counts: NO — BUG@.";
     (match List.find_opt (fun e -> e.pe_jobs = 2) entries with
@@ -566,11 +728,17 @@ let parallel () =
         (e1.pe_find_all /. e2.pe_find_all)
         (Pool.default_jobs ())
     | None -> ());
-    let oc = open_out !out_path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (parallel_json entries));
-    Fmt.pr "wrote %s@." !out_path
+    write_section "parallel"
+      (("identical", if all_identical then 1.0 else 0.0)
+      :: List.concat_map
+           (fun e ->
+             let tag = Fmt.str "n%d.j%d" e.pe_n e.pe_jobs in
+             [
+               (tag ^ ".find_all_s", e.pe_find_all);
+               (tag ^ ".vio_counts_s", e.pe_vio_counts);
+               (tag ^ ".repair_s", e.pe_repair);
+             ])
+           entries)
   end
 
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
@@ -624,24 +792,191 @@ let micro () =
         if ns > 1e6 then Fmt.pr "%-28s %10.3f ms/run@." name (ns /. 1e6)
         else if ns > 1e3 then Fmt.pr "%-28s %10.3f us/run@." name (ns /. 1e3)
         else Fmt.pr "%-28s %10.1f ns/run@." name ns)
-      rows
+      rows;
+    write_section "micro"
+      (List.map (fun (name, ns) -> (name ^ ".runtime_s", ns /. 1e9)) rows)
   end
 
+(* ---- --compare: the perf-trajectory gate ------------------------------- *)
+
+let json_of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> (
+    match Json.parse s with
+    | Ok v -> v
+    | Error msg ->
+      Fmt.epr "bench: --compare: %s: %s@." path msg;
+      exit 2)
+  | exception Sys_error msg ->
+    Fmt.epr "bench: --compare: %s@." msg;
+    exit 2
+
+let number = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+(* Pull (section, metrics) out of a BENCH_*.json envelope. *)
+let section_metrics path doc =
+  let ( let* ) = Option.bind in
+  match
+    let* report = Json.member "report" doc in
+    let* summary = Json.member "summary" report in
+    let* sect =
+      match Json.member "section" summary with
+      | Some (Json.String s) -> Some s
+      | _ -> None
+    in
+    let* metrics =
+      match Json.member "metrics" summary with
+      | Some (Json.Obj fields) ->
+        Some
+          (List.filter_map
+             (fun (k, v) -> Option.map (fun f -> (k, f)) (number v))
+             fields)
+      | _ -> None
+    in
+    Some (sect, metrics)
+  with
+  | Some r -> r
+  | None ->
+    Fmt.epr
+      "bench: --compare: %s does not look like a per-section BENCH_*.json \
+       (missing report.summary.section/metrics)@."
+      path;
+    exit 2
+
+(* Seconds metrics get a small absolute slack on top of the relative
+   tolerance so micro-scale timings (a few ms) don't flag on scheduler
+   noise alone. *)
+let time_slack_s = 0.005
+
+type verdict = Regressed | Improved | Unchanged
+
+let judge name ~old_v ~new_v =
+  let tol = !tolerance /. 100. in
+  let lower_is_better =
+    String.length name >= 2 && String.sub name (String.length name - 2) 2 = "_s"
+  in
+  let rel =
+    if Float.abs old_v > 1e-12 then (new_v -. old_v) /. Float.abs old_v
+    else if Float.abs new_v > 1e-12 then Float.infinity
+    else 0.
+  in
+  if lower_is_better then
+    if rel > tol && new_v -. old_v > time_slack_s then Regressed
+    else if rel < -.tol && old_v -. new_v > time_slack_s then Improved
+    else Unchanged
+  else if rel < -.tol then Regressed
+  else if rel > tol then Improved
+  else Unchanged
+
+let compare_files old_path =
+  let new_path sect = Filename.concat !out_dir ("BENCH_" ^ sect ^ ".json") in
+  let olds =
+    if Sys.is_directory old_path then
+      Sys.readdir old_path |> Array.to_list
+      |> List.filter (fun f ->
+             String.length f > 6
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json")
+      |> List.sort String.compare
+      |> List.map (Filename.concat old_path)
+    else [ old_path ]
+  in
+  if olds = [] then begin
+    Fmt.epr "bench: --compare: no BENCH_*.json files in %s@." old_path;
+    exit 2
+  end;
+  let regressions = ref 0 in
+  List.iter
+    (fun old_file ->
+      let sect, old_metrics = section_metrics old_file (json_of_file old_file) in
+      let nf = new_path sect in
+      if not (Sys.file_exists nf) then begin
+        Fmt.epr "bench: --compare: %s (for section %s) does not exist — run \
+                 `--only %s --out %s` first@."
+          nf sect sect !out_dir;
+        exit 2
+      end;
+      let sect', new_metrics = section_metrics nf (json_of_file nf) in
+      if sect' <> sect then begin
+        Fmt.epr "bench: --compare: %s claims section %s but %s claims %s@."
+          old_file sect nf sect';
+        exit 2
+      end;
+      Fmt.pr "@.=== compare %s (old: %s, new: %s, tolerance %g%%) ===@." sect
+        old_file nf !tolerance;
+      Fmt.pr "%-36s %12s %12s %9s@." "metric" "old" "new" "delta";
+      List.iter
+        (fun (name, old_v) ->
+          match List.assoc_opt name new_metrics with
+          | None ->
+            incr regressions;
+            Fmt.pr "%-36s %12.4g %12s %9s REGRESSED (metric disappeared)@."
+              name old_v "-" "-"
+          | Some new_v ->
+            let delta =
+              if Float.abs old_v > 1e-12 then
+                100. *. (new_v -. old_v) /. Float.abs old_v
+              else 0.
+            in
+            let verdict = judge name ~old_v ~new_v in
+            Fmt.pr "%-36s %12.4g %12.4g %8.1f%%%s@." name old_v new_v delta
+              (match verdict with
+              | Regressed ->
+                incr regressions;
+                " REGRESSED"
+              | Improved -> " improved"
+              | Unchanged -> ""))
+        old_metrics;
+      List.iter
+        (fun (name, _) ->
+          if List.assoc_opt name old_metrics = None then
+            Fmt.pr "%-36s %12s (new metric)@." name "-")
+        new_metrics)
+    olds;
+  if !regressions > 0 then begin
+    Fmt.pr "@.%d metric(s) regressed past %g%%@." !regressions !tolerance;
+    exit 1
+  end
+  else Fmt.pr "@.no regressions (tolerance %g%%)@." !tolerance
+
 let () =
-  let started = Unix.gettimeofday () in
-  Fmt.pr
-    "dataqual bench harness — base size %d tuples, %d seed(s)@.\
-     (scaled-down testbed; see EXPERIMENTS.md for paper-vs-measured)@."
-    !base_n (List.length !seeds);
-  fig8 ();
-  fig9_10_13 ();
-  fig11 ();
-  fig12 ();
-  fig14_15 ();
-  thm61 ();
-  ablation_depgraph ();
-  ablation_cluster ();
-  ablation_k ();
-  parallel ();
-  micro ();
-  Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. started)
+  match !compare_against with
+  | Some old_path -> compare_files old_path
+  | None ->
+    (match !trace_path with
+    | Some _ ->
+      Trace.clear ();
+      Trace.set_enabled true
+    | None -> ());
+    let started = Unix.gettimeofday () in
+    Fmt.pr
+      "dataqual bench harness — base size %d tuples, %d seed(s)@.\
+       (scaled-down testbed; see EXPERIMENTS.md for paper-vs-measured)@."
+      !base_n (List.length !seeds);
+    fig8 ();
+    fig9_10_13 ();
+    fig11 ();
+    fig12 ();
+    fig14_15 ();
+    thm61 ();
+    ablation_depgraph ();
+    ablation_cluster ();
+    ablation_k ();
+    parallel ();
+    micro ();
+    (match !trace_path with
+    | Some path -> (
+      try
+        Trace.write path;
+        Fmt.pr "wrote %s@." path
+      with Sys_error msg -> Fmt.epr "bench: --trace: %s@." msg)
+    | None -> ());
+    Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. started)

@@ -34,6 +34,8 @@ module Json = Dq_obs.Json
 module Report = Dq_obs.Report
 module Metrics = Dq_obs.Metrics
 module Provenance = Dq_obs.Provenance
+module Trace = Dq_obs.Trace
+module Progress = Dq_obs.Progress
 
 let ( let* ) = Result.bind
 
@@ -108,13 +110,22 @@ let envelope ~command ~ok ~report ~diagnostics =
     ]
 
 (* The uniform tail of every subcommand: print either the text output or
-   the JSON envelope, dump the metrics snapshot when asked, and map errors
-   to the standard exit codes.  Metrics collection is switched on before
-   the command body runs, so engine instrumentation is live. *)
-let run_command ~command ~format ~metrics k =
+   the JSON envelope, dump the metrics/trace snapshots when asked, and map
+   errors to the standard exit codes.  Metrics, trace and progress
+   collection are switched on before the command body runs, so engine
+   instrumentation is live.  Trace and progress never touch stdout: the
+   trace goes to its own file, progress lines to stderr. *)
+let run_command ~command ~format ~metrics ~trace ~progress k =
   if metrics <> None then Metrics.set_enabled true;
+  if trace <> None then begin
+    Trace.clear ();
+    Trace.set_enabled true
+  end;
+  if progress then Progress.set_enabled true;
   let code =
-    match k () with
+    let result = k () in
+    Progress.finish ();
+    match result with
     | Ok s ->
       (match format with
       | Text -> s.text ()
@@ -134,6 +145,11 @@ let run_command ~command ~format ~metrics k =
                 ~diagnostics:[ Dq_error.to_json e ])));
       Dq_error.exit_code e
   in
+  (match trace with
+  | None -> ()
+  | Some path -> (
+    try Trace.write path
+    with Sys_error msg -> Fmt.epr "cfdclean: --trace: %s@." msg));
   (match metrics with
   | None -> ()
   | Some path -> (
@@ -188,10 +204,30 @@ let metrics_arg =
           "Enable metrics collection and write the counter/timer snapshot \
            to $(docv) as JSON on exit.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write a Chrome trace-event JSON dump to \
+           $(docv) on exit — load it in $(b,chrome://tracing) or \
+           $(b,https://ui.perfetto.dev) to see phases, passes and per-domain \
+           worker lanes.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Show a live progress line (pass, unresolved violations, \
+           throughput) on stderr while the engines run.  Never written to \
+           stdout, so it composes with $(b,--format json).")
+
 (* ---- detect ---- *)
 
-let detect data_path cfd_path verbose force jobs format metrics =
-  run_command ~command:"detect" ~format ~metrics @@ fun () ->
+let detect data_path cfd_path verbose force jobs format metrics trace progress =
+  run_command ~command:"detect" ~format ~metrics ~trace ~progress @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   with_jobs jobs @@ fun pool ->
   let counts = Violation.vio_counts ~pool rel sigma in
@@ -232,7 +268,7 @@ let detect_cmd =
     Term.(
       ret
         (const detect $ data $ cfds $ verbose $ force_arg $ jobs_arg
-       $ format_arg $ metrics_arg))
+       $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
 
 (* ---- repair ---- *)
 
@@ -285,8 +321,8 @@ let print_explain ppf report =
     List.iter (fun e -> Fmt.pf ppf "%a@." Provenance.pp_entry e) entries
 
 let repair data_path cfd_path output in_place explain algorithm force jobs
-    format metrics =
-  run_command ~command:"repair" ~format ~metrics @@ fun () ->
+    format metrics trace progress =
+  run_command ~command:"repair" ~format ~metrics ~trace ~progress @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
     Error Dq_error.Unsatisfiable
@@ -370,14 +406,14 @@ let repair_cmd =
     Term.(
       ret
         (const repair $ data $ cfds $ output $ in_place $ explain $ algorithm
-       $ force_arg $ jobs_arg $ format_arg $ metrics_arg))
+       $ force_arg $ jobs_arg $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
 
 (* ---- check ---- *)
 
 (* check is a thin front-end to the lint engine (errors only), keeping the
    original satisfiability-probe output and exit-code behavior. *)
-let check schema_csv cfd_path format metrics =
-  run_command ~command:"check" ~format ~metrics @@ fun () ->
+let check schema_csv cfd_path format metrics trace progress =
+  run_command ~command:"check" ~format ~metrics ~trace ~progress @@ fun () ->
   let* rel = load_csv schema_csv in
   let* ltabs = load_tableaus cfd_path in
   let schema = Relation.schema rel in
@@ -417,7 +453,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a CFD set for satisfiability")
-    Term.(ret (const check $ data $ cfds $ format_arg $ metrics_arg))
+    Term.(ret (const check $ data $ cfds $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
 
 (* ---- lint ---- *)
 
@@ -447,8 +483,8 @@ let diagnostic_to_json d =
   in
   Json.Obj (base @ clause @ span)
 
-let lint cfd_path data_path errors_only format metrics =
-  run_command ~command:"lint" ~format ~metrics @@ fun () ->
+let lint cfd_path data_path errors_only format metrics trace progress =
+  run_command ~command:"lint" ~format ~metrics ~trace ~progress @@ fun () ->
   let* source =
     match
       let ic = open_in_bin cfd_path in
@@ -525,13 +561,13 @@ let lint_cmd =
          "Static analysis of a CFD ruleset: satisfiability, conflicting or \
           redundant patterns, schema mismatches, cyclic clause interactions. \
           Exits 1 if any error (E-code) is found.")
-    Term.(ret (const lint $ cfds $ data $ errors_only $ format_arg $ metrics_arg))
+    Term.(ret (const lint $ cfds $ data $ errors_only $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
 
 (* ---- sample ---- *)
 
 let sample data_path cfd_path truth_path epsilon confidence sample_size force
-    jobs format metrics =
-  run_command ~command:"sample" ~format ~metrics @@ fun () ->
+    jobs format metrics trace progress =
+  run_command ~command:"sample" ~format ~metrics ~trace ~progress @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   let* truth = load_csv truth_path in
   with_jobs jobs @@ fun pool ->
@@ -581,12 +617,12 @@ let sample_cmd =
     Term.(
       ret
         (const sample $ data $ cfds $ truth $ epsilon $ confidence $ size
-       $ force_arg $ jobs_arg $ format_arg $ metrics_arg))
+       $ force_arg $ jobs_arg $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
 
 (* ---- generate ---- *)
 
-let generate n rate seed out_prefix format metrics =
-  run_command ~command:"generate" ~format ~metrics @@ fun () ->
+let generate n rate seed out_prefix format metrics trace progress =
+  run_command ~command:"generate" ~format ~metrics ~trace ~progress @@ fun () ->
   let ds = Datagen.generate (Datagen.default_params ~n_tuples:n ~seed ()) in
   let noise = Noise.inject (Noise.default_params ~rate ~seed ()) ds in
   let clean_path = out_prefix ^ "_clean.csv" in
@@ -625,8 +661,8 @@ let generate n rate seed out_prefix format metrics =
 (* ---- discover ---- *)
 
 let discover data_path out min_support min_confidence max_lhs jobs format
-    metrics =
-  run_command ~command:"discover" ~format ~metrics @@ fun () ->
+    metrics trace progress =
+  run_command ~command:"discover" ~format ~metrics ~trace ~progress @@ fun () ->
   let* rel = load_csv data_path in
   with_jobs jobs @@ fun pool ->
   let config =
@@ -692,7 +728,7 @@ let discover_cmd =
     Term.(
       ret
         (const discover $ data $ out $ support $ confidence $ max_lhs
-       $ jobs_arg $ format_arg $ metrics_arg))
+       $ jobs_arg $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
 
 let generate_cmd =
   let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Number of tuples.") in
@@ -703,7 +739,7 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic order dataset")
-    Term.(ret (const generate $ n $ rate $ seed $ prefix $ format_arg $ metrics_arg))
+    Term.(ret (const generate $ n $ rate $ seed $ prefix $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
 
 let () =
   let doc = "CFD-based data cleaning (Cong et al., VLDB 2007)" in

@@ -1,6 +1,14 @@
 open Dq_relation
 module Pool = Dq_parallel.Pool
 module Metrics = Dq_obs.Metrics
+module Trace = Dq_obs.Trace
+
+(* Entry-span arguments: the scan's input sizes. *)
+let scan_args rel sigma () =
+  [
+    ("tuples", Dq_obs.Json.Int (Relation.cardinality rel));
+    ("clauses", Dq_obs.Json.Int (Array.length sigma));
+  ]
 
 (* Detection instruments (no-ops unless metrics collection is enabled):
    scans made, violations surfaced, and wall time per entry point. *)
@@ -184,7 +192,8 @@ let merge_chunk_groups chunk_tables =
 let groups_of_clause ?pool tuples cfd =
   let n = Array.length tuples in
   merge_chunk_groups
-    (Pool.map_chunks pool ~n (fun lo hi -> chunk_groups cfd tuples lo hi))
+    (Pool.map_chunks ~label:"groups.chunk" pool ~n (fun lo hi ->
+         chunk_groups cfd tuples lo hi))
 
 let group_conflicts g = Hashtbl.length g.rhs_counts >= 2
 
@@ -211,6 +220,8 @@ let wild_clauses sigma =
    the same code on a single chunk. *)
 
 let find_all ?pool rel sigma =
+  Trace.span ~cat:"violation" ~args:(scan_args rel sigma) "find_all"
+  @@ fun () ->
   Metrics.time m_find_all @@ fun () ->
   Metrics.incr m_scans;
   let tuples = Relation.tuples rel in
@@ -218,7 +229,7 @@ let find_all ?pool rel sigma =
   let arity = Schema.arity (Relation.schema rel) in
   let idx = const_index sigma in
   let singles =
-    Pool.map_chunks pool ~n (fun lo hi ->
+    Pool.map_chunks ~label:"find_all.chunk" pool ~n (fun lo hi ->
         let out = ref [] in
         for i = lo to hi - 1 do
           let t = tuples.(i) in
@@ -236,7 +247,7 @@ let find_all ?pool rel sigma =
     List.map
       (fun cfd ->
         let table = groups_of_clause ?pool tuples cfd in
-        Pool.map_chunks pool ~n (fun lo hi ->
+        Pool.map_chunks ~label:"find_all.chunk" pool ~n (fun lo hi ->
             let out = ref [] in
             for i = lo to hi - 1 do
               let t = tuples.(i) in
@@ -272,7 +283,7 @@ let counts_array ?pool rel sigma tuples =
   let arity = Schema.arity (Relation.schema rel) in
   let idx = const_index sigma in
   let counts = Array.make n 0 in
-  Pool.for_chunks pool ~n (fun lo hi ->
+  Pool.for_chunks ~label:"vio_counts.chunk" pool ~n (fun lo hi ->
       for i = lo to hi - 1 do
         let t = tuples.(i) in
         let c = ref 0 in
@@ -283,7 +294,7 @@ let counts_array ?pool rel sigma tuples =
   List.iter
     (fun cfd ->
       let table = groups_of_clause ?pool tuples cfd in
-      Pool.for_chunks pool ~n (fun lo hi ->
+      Pool.for_chunks ~label:"vio_counts.chunk" pool ~n (fun lo hi ->
           for i = lo to hi - 1 do
             let t = tuples.(i) in
             if Cfd.applies_lhs cfd t then
@@ -297,6 +308,8 @@ let counts_array ?pool rel sigma tuples =
   counts
 
 let vio_counts ?pool rel sigma =
+  Trace.span ~cat:"violation" ~args:(scan_args rel sigma) "vio_counts"
+  @@ fun () ->
   Metrics.time m_vio_counts @@ fun () ->
   Metrics.incr m_scans;
   let tuples = Relation.tuples rel in
@@ -348,6 +361,8 @@ let vio_tuple rel sigma t =
   !vio
 
 let satisfies ?pool rel sigma =
+  Trace.span ~cat:"violation" ~args:(scan_args rel sigma) "satisfies"
+  @@ fun () ->
   Metrics.time m_satisfies @@ fun () ->
   Metrics.incr m_scans;
   let tuples = Relation.tuples rel in
@@ -355,7 +370,7 @@ let satisfies ?pool rel sigma =
   let arity = Schema.arity (Relation.schema rel) in
   let idx = const_index sigma in
   let found = Atomic.make false in
-  Pool.for_chunks pool ~n (fun lo hi ->
+  Pool.for_chunks ~label:"satisfies.chunk" pool ~n (fun lo hi ->
       let i = ref lo in
       while (not (Atomic.get found)) && !i < hi do
         let t = tuples.(!i) in

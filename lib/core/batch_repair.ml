@@ -4,6 +4,8 @@ module Pool = Dq_parallel.Pool
 module Metrics = Dq_obs.Metrics
 module Provenance = Dq_obs.Provenance
 module Report = Dq_obs.Report
+module Trace = Dq_obs.Trace
+module Progress = Dq_obs.Progress
 
 let src = Logs.Src.create "dataqual.batch_repair" ~doc:"BATCHREPAIR steps"
 
@@ -613,6 +615,14 @@ let apply st = function
         Eqclass.set_target st.eq cell (Eqclass.Const value));
     st.rhs_fixes <- st.rhs_fixes + 1
   | Merge { cell1; cell2 } ->
+    Trace.span ~cat:"batch"
+      ~args:(fun () ->
+        [
+          ("cell1", Dq_obs.Json.Int cell1);
+          ("cell2", Dq_obs.Json.Int cell2);
+        ])
+      "batch.merge"
+    @@ fun () ->
     with_change st [ cell1; cell2 ] (fun () ->
         let t1 = class_weights st cell1 and t2 = class_weights st cell2 in
         let r1 = Eqclass.find st.eq cell1 and r2 = Eqclass.find st.eq cell2 in
@@ -892,10 +902,18 @@ let initial_offer ?pool st =
   in
   List.iter
     (List.iter (fun (cid, tid) -> offer st cid tid))
-    (Pool.map_chunks pool ~n chunk);
+    (Pool.map_chunks ~label:"initial_scan.chunk" pool ~n chunk);
   offer_wild_violations st ~offer:(fun cid tid -> offer st cid tid)
 
 let repair ?pool ?(use_dependency_graph = true) db sigma =
+  Trace.span ~cat:"engine"
+    ~args:(fun () ->
+      [
+        ("tuples", Dq_obs.Json.Int (Relation.cardinality db));
+        ("clauses", Dq_obs.Json.Int (Array.length sigma));
+      ])
+    "batch_repair"
+  @@ fun () ->
   let started = Unix.gettimeofday () in
   let phases = ref [] in
   let rel = Relation.copy db in
@@ -906,8 +924,12 @@ let repair ?pool ?(use_dependency_graph = true) db sigma =
   timed phases "initial_scan" m_t_scan (fun () -> initial_offer ?pool st);
   let steps = ref 0 in
   let rescans = ref 0 in
+  let pass_no = ref 0 in
   let budget = 20 * (Eqclass.n_cells st.eq + 1) in
-  let rec loop () =
+  (* One resolution pass: pop-and-apply until the queue verifies clean (or
+     the step budget trips).  Instantiation and quiescence rescans separate
+     passes, so each pass is one drain of the violation queue. *)
+  let rec drain () =
     if !steps > budget then
       Error (Dq_error.Internal "Batch_repair.repair: step budget exceeded")
     else begin
@@ -943,6 +965,12 @@ let repair ?pool ?(use_dependency_graph = true) db sigma =
         offer st cid tid;
         incr steps;
         Metrics.incr m_steps;
+        Progress.emit (fun () ->
+            Printf.sprintf
+              "batch_repair: pass %d | step %d | %d unresolved | %.0f steps/s"
+              !pass_no !steps (Heap.length st.queue)
+              (float_of_int !steps
+              /. Float.max 1e-9 (Unix.gettimeofday () -. started)));
       if Sys.getenv_opt "DATAQUAL_PARANOID" <> None then begin
         (* Expensive invariant check: every live violation must be queued. *)
         Array.iteri
@@ -978,36 +1006,55 @@ let repair ?pool ?(use_dependency_graph = true) db sigma =
                 st.buckets.(cid))
           st.sigma
       end;
-        loop ()
-      | None ->
-        st.ctx_clause <- None;
-        st.ctx_cost <- 0.;
-        st.ctx_pass <- !steps;
-        if instantiate st then loop ()
-        else begin
-          (* Quiescent: cross-check against a full rebuild and rescan.  The
-             incremental dirty propagation is designed to be complete, but a
-             missed pair here would silently break Theorem 4.2's guarantee,
-             so trust nothing and re-verify. *)
-          rebuild_buckets st;
-          let missed = offer_all_violations st in
-          if missed > 0 then begin
-            incr rescans;
-            Metrics.incr m_rescans;
-            if !rescans > 50 then
-              Error
-                (Dq_error.Internal "Batch_repair.repair: rescans not converging")
-            else begin
-              Log.debug (fun m ->
-                  m "quiescence rescan re-offered %d violation pairs" missed);
-              loop ()
-            end
-          end
-          else Ok ()
-        end
+        drain ()
+      | None -> Ok ()
     end
   in
-  match timed phases "resolve" m_t_resolve loop with
+  let rec drive () =
+    incr pass_no;
+    let drained =
+      Trace.span ~cat:"batch"
+        ~args:(fun () ->
+          [
+            ("pass", Dq_obs.Json.Int !pass_no);
+            ("queued", Dq_obs.Json.Int (Heap.length st.queue));
+          ])
+        "batch.pass" drain
+    in
+    match drained with
+    | Error _ as e -> e
+    | Ok () ->
+      st.ctx_clause <- None;
+      st.ctx_cost <- 0.;
+      st.ctx_pass <- !steps;
+      if Trace.span ~cat:"batch" "batch.instantiate" (fun () -> instantiate st)
+      then drive ()
+      else begin
+        (* Quiescent: cross-check against a full rebuild and rescan.  The
+           incremental dirty propagation is designed to be complete, but a
+           missed pair here would silently break Theorem 4.2's guarantee,
+           so trust nothing and re-verify. *)
+        let missed =
+          Trace.span ~cat:"batch" "batch.rescan" (fun () ->
+              rebuild_buckets st;
+              offer_all_violations st)
+        in
+        if missed > 0 then begin
+          incr rescans;
+          Metrics.incr m_rescans;
+          if !rescans > 50 then
+            Error
+              (Dq_error.Internal "Batch_repair.repair: rescans not converging")
+          else begin
+            Log.debug (fun m ->
+                m "quiescence rescan re-offered %d violation pairs" missed);
+            drive ()
+          end
+        end
+        else Ok ()
+      end
+  in
+  match timed phases "resolve" m_t_resolve drive with
   | Error _ as e -> e
   | Ok () ->
     (* Write the target values back into the working copy (lines 14-15). *)

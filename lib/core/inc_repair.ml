@@ -3,6 +3,8 @@ open Dq_cfd
 module Metrics = Dq_obs.Metrics
 module Provenance = Dq_obs.Provenance
 module Report = Dq_obs.Report
+module Trace = Dq_obs.Trace
+module Progress = Dq_obs.Progress
 
 type ordering = Linear | By_violations | By_weight
 
@@ -80,6 +82,15 @@ let check_delta_tids base delta =
 
 let run ?pool ?k ?max_candidates ?use_cluster_index
     ?(ordering = By_violations) ?(phases = ref []) base delta sigma =
+  Trace.span ~cat:"engine"
+    ~args:(fun () ->
+      [
+        ("base", Dq_obs.Json.Int (Relation.cardinality base));
+        ("delta", Dq_obs.Json.Int (List.length delta));
+        ("clauses", Dq_obs.Json.Int (Array.length sigma));
+      ])
+    "inc_repair"
+  @@ fun () ->
   let started = Unix.gettimeofday () in
   match check_delta_tids base delta with
   | Error _ as e -> e
@@ -97,11 +108,27 @@ let run ?pool ?k ?max_candidates ?use_cluster_index
     let tuples_changed = ref 0 in
     let cells_changed = ref 0 in
     let nulls = ref 0 in
+    let n_delta = List.length delta in
     Report.phase_m phases "resolve" m_t_resolve (fun () ->
         List.iteri
           (fun pass t ->
-            let rt = Tuple_resolve.resolve env t in
+            let rt =
+              Trace.span ~cat:"inc"
+                ~args:(fun () ->
+                  [
+                    ("tid", Dq_obs.Json.Int (Tuple.tid t));
+                    ("pass", Dq_obs.Json.Int pass);
+                  ])
+                "tupleresolve"
+                (fun () -> Tuple_resolve.resolve env t)
+            in
             Metrics.incr m_resolves;
+            Progress.emit (fun () ->
+                Printf.sprintf
+                  "inc_repair: tuple %d/%d | %d changed | %.0f tuples/s"
+                  (pass + 1) n_delta !tuples_changed
+                  (float_of_int (pass + 1)
+                  /. Float.max 1e-9 (Unix.gettimeofday () -. started)));
             let diffs = Tuple.diff_positions t rt in
             if diffs <> [] then begin
               incr tuples_changed;

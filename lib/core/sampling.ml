@@ -2,6 +2,7 @@ open Dq_relation
 open Dq_cfd
 module Metrics = Dq_obs.Metrics
 module Report = Dq_obs.Report
+module Trace = Dq_obs.Trace
 
 type strategy = By_violations of int list | By_cost of float list
 
@@ -106,6 +107,14 @@ let stratum_of config ~original ~sigma =
       List.fold_left (fun s b -> if cost >= b then s + 1 else s) 0 boundaries
 
 let inspect ?(seed = 42) config ~original ~repair ~sigma ~oracle =
+  Trace.span ~cat:"engine"
+    ~args:(fun () ->
+      [
+        ("tuples", Dq_obs.Json.Int (Relation.cardinality repair));
+        ("clauses", Dq_obs.Json.Int (Array.length sigma));
+      ])
+    "sampling.inspect"
+  @@ fun () ->
   match validate_config config with
   | Error msg -> Error (Dq_error.Invalid_config ("Sampling.inspect: " ^ msg))
   | Ok () ->

@@ -95,3 +95,175 @@ let rec equal a b =
   | Obj x, Obj y ->
     List.equal (fun (k, v) (k', v') -> String.equal k k' && equal v v') x y
   | _ -> false
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+exception Bad of string * int
+
+let add_utf8 b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Bad (msg, !pos)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else error (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else error "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents b
+        | '\\' ->
+          incr pos;
+          if !pos >= n then error "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'; incr pos
+          | '\\' -> Buffer.add_char b '\\'; incr pos
+          | '/' -> Buffer.add_char b '/'; incr pos
+          | 'b' -> Buffer.add_char b '\b'; incr pos
+          | 'f' -> Buffer.add_char b '\012'; incr pos
+          | 'n' -> Buffer.add_char b '\n'; incr pos
+          | 'r' -> Buffer.add_char b '\r'; incr pos
+          | 't' -> Buffer.add_char b '\t'; incr pos
+          | 'u' ->
+            if !pos + 4 >= n then error "truncated \\u escape";
+            let code =
+              match int_of_string ("0x" ^ String.sub s (!pos + 1) 4) with
+              | code -> code
+              | exception _ -> error "bad \\u escape"
+            in
+            add_utf8 b code;
+            pos := !pos + 5
+          | _ -> error "unknown escape");
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let continues () =
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' -> true
+      | '.' | 'e' | 'E' ->
+        is_float := true;
+        true
+      | _ -> false
+    in
+    while continues () do
+      incr pos
+    done;
+    let body = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt body with
+      | Some f -> Float f
+      | None -> error "malformed number"
+    else
+      match int_of_string_opt body with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt body with
+        | Some f -> Float f
+        | None -> error "malformed number")
+  in
+  (* Comma-separated [item]s until [close]; the opening bracket is already
+     consumed. *)
+  let rec elements close item acc =
+    skip_ws ();
+    if !pos >= n then error "unterminated container"
+    else if s.[!pos] = close then begin
+      incr pos;
+      List.rev acc
+    end
+    else begin
+      let acc = item () :: acc in
+      skip_ws ();
+      if !pos < n && s.[!pos] = ',' then begin
+        incr pos;
+        skip_ws ();
+        if !pos < n && s.[!pos] = close then error "trailing comma";
+        elements close item acc
+      end
+      else if !pos < n && s.[!pos] = close then begin
+        incr pos;
+        List.rev acc
+      end
+      else error "expected ',' or closing bracket"
+    end
+  in
+  let rec value () =
+    skip_ws ();
+    if !pos >= n then error "unexpected end of input"
+    else
+      match s.[!pos] with
+      | 'n' -> literal "null" Null
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | '"' -> String (parse_string ())
+      | '-' | '0' .. '9' -> parse_number ()
+      | '[' ->
+        incr pos;
+        List (elements ']' value [])
+      | '{' ->
+        incr pos;
+        Obj
+          (elements '}'
+             (fun () ->
+               skip_ws ();
+               let key = parse_string () in
+               skip_ws ();
+               expect ':';
+               let v = value () in
+               (key, v))
+             [])
+      | _ -> error "unexpected character"
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (msg, at) -> Error (Printf.sprintf "%s at offset %d" msg at)

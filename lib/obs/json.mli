@@ -32,3 +32,13 @@ val to_string : ?minify:bool -> t -> string
 val equal : t -> t -> bool
 (** Structural equality (field order significant — two objects with the
     same fields in different orders are different documents here). *)
+
+val member : string -> t -> t option
+(** First field of that name, when the value is an object. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (the inverse of {!to_string}).  Numbers
+    without a fraction or exponent load as {!Int}, everything else as
+    {!Float}; [\u] escapes decode to UTF-8.  Errors carry a byte
+    offset.  Used by [bench --compare] to read [BENCH_*.json] files
+    back, and by the test suite to check emitted traces. *)

@@ -1,0 +1,23 @@
+(** Live progress lines for long repairs.
+
+    When enabled ([--progress] in the CLI) the engines call {!emit} from
+    their hot loops with a thunk that renders the current state (pass
+    number, unresolved violations, tuples per second).  Lines go to
+    {b stderr only} — [--format json] stdout stays machine-parseable —
+    rewriting in place with [\r] and throttled to roughly 4 Hz so a
+    million-step repair does not drown the terminal.  Disabled (the
+    default), {!emit} is one atomic read. *)
+
+val set_enabled : bool -> unit
+(** Off initially.  Turning it off mid-run behaves like {!finish}. *)
+
+val enabled : unit -> bool
+
+val emit : (unit -> string) -> unit
+(** Show the rendered line, unless one was shown within the last
+    quarter-second.  The thunk only runs when a line is actually
+    written. *)
+
+val finish : unit -> unit
+(** Clear the progress line (if any was written) so subsequent stderr
+    output starts on a clean line. *)

@@ -1,0 +1,102 @@
+type context = string list
+(* Innermost-first stack of enclosing span names for the current domain. *)
+
+type event = {
+  ph : [ `B | `E ];
+  name : string;
+  cat : string;
+  ts : float;
+  tid : int;
+  path : string list;
+  args : (string * Json.t) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+(* Timestamp origin, set when collection starts so traces begin near 0. *)
+let epoch = Atomic.make 0.0
+let now_us () = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6
+
+(* Events are appended under a mutex in real chronological order, so the
+   per-domain subsequence is well-nested by construction — no timestamp
+   sorting (and its zero-duration tie-break hazards) needed on output. *)
+let lock = Mutex.create ()
+let buf : event list ref = ref []
+
+let push ev =
+  Mutex.lock lock;
+  buf := ev :: !buf;
+  Mutex.unlock lock
+
+let clear () =
+  Mutex.lock lock;
+  buf := [];
+  Mutex.unlock lock;
+  Atomic.set epoch (Unix.gettimeofday ())
+
+let set_enabled b =
+  if b && not (Atomic.get enabled_flag) then
+    Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set enabled_flag b
+
+(* Per-domain span stack; fresh worker domains start empty unless the pool
+   installs a submitter context via [with_context]. *)
+let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let current_context () = Domain.DLS.get stack_key
+
+let with_context ctx f =
+  let saved = Domain.DLS.get stack_key in
+  Domain.DLS.set stack_key ctx;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set stack_key saved) f
+
+let span ?(cat = "span") ?args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let tid = (Domain.self () :> int) in
+    let stack = Domain.DLS.get stack_key in
+    let path = List.rev (name :: stack) in
+    let args = match args with None -> [] | Some thunk -> thunk () in
+    Domain.DLS.set stack_key (name :: stack);
+    push { ph = `B; name; cat; ts = now_us (); tid; path; args };
+    Fun.protect
+      ~finally:(fun () ->
+        push { ph = `E; name; cat; ts = now_us (); tid; path; args = [] };
+        Domain.DLS.set stack_key stack)
+      f
+  end
+
+let events () =
+  Mutex.lock lock;
+  let evs = List.rev !buf in
+  Mutex.unlock lock;
+  evs
+
+let pid = lazy (Unix.getpid ())
+
+let event_json ev =
+  let base =
+    [
+      ("cat", Json.String ev.cat);
+      ("name", Json.String ev.name);
+      ("ph", Json.String (match ev.ph with `B -> "B" | `E -> "E"));
+      ("ts", Json.Float ev.ts);
+      ("pid", Json.Int (Lazy.force pid));
+      ("tid", Json.Int ev.tid);
+    ]
+  in
+  Json.Obj (match ev.args with [] -> base | args -> base @ [ ("args", Json.Obj args) ])
+
+let to_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json (events ())));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~minify:true (to_json ())))

@@ -1,4 +1,5 @@
 module Metrics = Dq_obs.Metrics
+module Trace = Dq_obs.Trace
 
 (* Pool utilization instruments: batches and tasks executed, wall time per
    batch, and busy time summed across all domains.  Utilization over a
@@ -91,6 +92,16 @@ let run pool tasks =
       Array.map (fun f -> fun () -> Metrics.time m_task_busy f) tasks
     end
   in
+  (* Tasks inherit the submitter's span stack: a chunk span's logical
+     parent is the span that submitted the batch, whichever domain (lane)
+     ends up executing it. *)
+  let tasks =
+    if not (Trace.enabled ()) then tasks
+    else begin
+      let ctx = Trace.current_context () in
+      Array.map (fun f -> fun () -> Trace.with_context ctx f) tasks
+    end
+  in
   Metrics.time m_batch_wall @@ fun () ->
   if n = 0 then ()
   else if pool.jobs = 1 || n = 1 then Array.iter (fun f -> f ()) tasks
@@ -172,17 +183,31 @@ let sequential = function
   | None -> true
   | Some pool -> pool.jobs = 1
 
-let for_chunks ?chunks pool ~n f =
+(* With a [?label], each chunk runs under a traced span — sequential and
+   parallel paths alike, so the set of span paths is jobs-independent. *)
+let chunk_span label f =
+  match label with
+  | None -> f
+  | Some name ->
+    fun lo hi ->
+      Trace.span ~cat:"pool"
+        ~args:(fun () -> [ ("lo", Dq_obs.Json.Int lo); ("hi", Dq_obs.Json.Int hi) ])
+        name
+        (fun () -> f lo hi)
+
+let for_chunks ?chunks ?label pool ~n f =
   if n <= 0 then ()
   else
+    let f = chunk_span label f in
     match pool with
     | Some pool when not (sequential (Some pool)) ->
       map_reduce pool ?chunks ~n ~map:f ~fold:(fun () () -> ()) ~init:()
     | _ -> f 0 n
 
-let map_chunks ?chunks pool ~n map =
+let map_chunks ?chunks ?label pool ~n map =
   if n <= 0 then []
   else
+    let map = chunk_span label map in
     match pool with
     | Some pool when not (sequential (Some pool)) ->
       map_reduce pool ?chunks ~n ~map
@@ -191,12 +216,12 @@ let map_chunks ?chunks pool ~n map =
       |> List.rev
     | _ -> [ map 0 n ]
 
-let map_array ?chunks pool f arr =
+let map_array ?chunks ?label pool f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    for_chunks ?chunks pool ~n (fun lo hi ->
+    for_chunks ?chunks ?label pool ~n (fun lo hi ->
         for i = lo to hi - 1 do
           out.(i) <- Some (f arr.(i))
         done);

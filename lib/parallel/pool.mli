@@ -78,16 +78,26 @@ val map_reduce :
 
     Call sites take a [?pool:t] optional argument; [None] (or a 1-job
     pool, or a trivially small [n]) runs the identical code on a single
-    chunk in the calling domain. *)
+    chunk in the calling domain.
 
-val for_chunks : ?chunks:int -> t option -> n:int -> (int -> int -> unit) -> unit
+    With a [?label] and {!Dq_obs.Trace} collection enabled, every chunk
+    runs inside a span of that name ([cat = "pool"], [args] carrying the
+    chunk's [lo]/[hi] bounds) on whichever domain executes it — this is
+    what renders worker lanes in a trace viewer.  The spans appear on
+    the sequential path too (one chunk), so the {e set} of span paths a
+    computation produces does not depend on the job count. *)
+
+val for_chunks :
+  ?chunks:int -> ?label:string -> t option -> n:int -> (int -> int -> unit) -> unit
 (** Run [f lo hi] over the ranges of [0, n); sequentially as [f 0 n]
     when no parallelism applies. *)
 
-val map_chunks : ?chunks:int -> t option -> n:int -> (int -> int -> 'a) -> 'a list
+val map_chunks :
+  ?chunks:int -> ?label:string -> t option -> n:int -> (int -> int -> 'a) -> 'a list
 (** Chunk results in chunk-index order; [[map 0 n]] when sequential
     (and [[]] when [n = 0]). *)
 
-val map_array : ?chunks:int -> t option -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?chunks:int -> ?label:string -> t option -> ('a -> 'b) -> 'a array -> 'b array
 (** Element-wise map preserving positions.  Elements of a chunk are
     evaluated in index order within their domain. *)

@@ -1,0 +1,58 @@
+The bench harness's perf-trajectory surface: section validation,
+per-section BENCH_<section>.json files, and the --compare gate.
+
+Unknown --only names are rejected up front with the valid list.
+
+  $ ../../bench/main.exe --only bogus
+  unknown section "bogus"; valid sections are:
+    fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 thm61 abl-depgraph abl-cluster abl-k parallel micro
+  [2]
+
+thm61 is pure computation — fast and fully deterministic — and lands its
+metrics in BENCH_thm61.json under the shared CLI envelope, in the --out
+directory.
+
+  $ mkdir out
+  $ ../../bench/main.exe --only thm61 --out out > /dev/null
+  $ python3 - <<'EOF'
+  > import json
+  > d = json.load(open("out/BENCH_thm61.json"))
+  > assert d["command"] == "bench" and d["ok"]
+  > s = d["report"]["summary"]
+  > assert s["section"] == "thm61"
+  > m = s["metrics"]
+  > assert m["eps0.05.c1.size"] == 159, m
+  > print(len(m), "metrics")
+  > EOF
+  15 metrics
+
+Comparing a run against itself reports zero regressions and exits 0;
+--compare also accepts a directory of BENCH_*.json files.
+
+  $ cp out/BENCH_thm61.json old.json
+  $ ../../bench/main.exe --compare old.json --out out | tail -1
+  no regressions (tolerance 15%)
+  $ mkdir baseline && cp out/BENCH_thm61.json baseline/
+  $ ../../bench/main.exe --compare baseline --out out > /dev/null
+
+A fabricated regression trips the gate (sizes are higher-is-better, so
+inflating the old values makes the new run look worse).
+
+  $ python3 - <<'EOF'
+  > import json
+  > d = json.load(open("old.json"))
+  > m = d["report"]["summary"]["metrics"]
+  > for k in m:
+  >     m[k] *= 2
+  > json.dump(d, open("old.json", "w"))
+  > EOF
+  $ ../../bench/main.exe --compare old.json --out out > table.txt
+  [1]
+  $ tail -1 table.txt
+  15 metric(s) regressed past 15%
+
+Comparing against a section that has not been re-run is a usage error,
+not a silent pass.
+
+  $ ../../bench/main.exe --compare old.json --out /nonexistent 2>&1 | head -1
+  bench: --compare: /nonexistent/BENCH_thm61.json (for section thm61) does not exist — run `--only thm61 --out /nonexistent` first

@@ -198,9 +198,207 @@ let test_inc_replay_reconstructs () =
   run ();
   Pool.with_pool ~jobs:4 (fun pool -> run ~pool ())
 
+(* ---- Json parsing ------------------------------------------------------ *)
+
+let test_json_parse () =
+  let ok s = function
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+  in
+  let parse s = ok s (Json.parse s) in
+  Alcotest.(check string)
+    "object roundtrip"
+    {|{"a":1,"b":[true,null,"x\"y"],"c":1.5}|}
+    (String.trim
+       (Json.to_string ~minify:true
+          (parse {| {"a": 1, "b": [true, null, "x\"y"], "c": 1.5} |})));
+  (match parse {|{"n": 12}|} with
+  | Json.Obj [ ("n", Json.Int 12) ] -> ()
+  | _ -> Alcotest.fail "integer literal parses as Int");
+  (match parse {|{"n": 12.0}|} with
+  | Json.Obj [ ("n", Json.Float 12.0) ] -> ()
+  | _ -> Alcotest.fail "fractional literal parses as Float");
+  (match parse {|"é\n"|} with
+  | Json.String "\xc3\xa9\n" -> ()
+  | _ -> Alcotest.fail "escape sequences decode");
+  let rejected s =
+    Alcotest.(check bool)
+      (Printf.sprintf "%S rejected" s)
+      true
+      (Result.is_error (Json.parse s))
+  in
+  rejected "[1,]";
+  rejected "{\"a\":1} trailing";
+  rejected "{'a':1}";
+  rejected ""
+
+(* ---- Trace ------------------------------------------------------------- *)
+
+module Trace = Dq_obs.Trace
+
+(* Run [f] with a fresh enabled trace; return its result and the events. *)
+let traced f =
+  Trace.clear ();
+  Trace.set_enabled true;
+  let result =
+    Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+  in
+  let events = Trace.events () in
+  Trace.clear ();
+  (result, events)
+
+(* Bracket discipline per domain lane: within one tid, every E closes the
+   innermost open B of the same name and does not travel back in time.
+   (Paths span lanes — a worker chunk's logical parent lives on the
+   submitting domain — so nesting of paths is checked separately, by
+   prefix closure.) *)
+let check_well_formed events =
+  let stacks = Hashtbl.create 8 in
+  let stack tid = try Hashtbl.find stacks tid with Not_found -> [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.ph with
+      | `B -> Hashtbl.replace stacks e.tid ((e.name, e.ts) :: stack e.tid)
+      | `E -> (
+        match stack e.tid with
+        | [] -> Alcotest.failf "E %S on tid %d with no open span" e.name e.tid
+        | (name, ts) :: rest ->
+          Alcotest.(check string)
+            (Printf.sprintf "E matches innermost B on tid %d" e.tid)
+            name e.name;
+          Alcotest.(check bool)
+            (Printf.sprintf "span %S ends at or after its start" e.name)
+            true (e.ts >= ts);
+          Hashtbl.replace stacks e.tid rest))
+    events;
+  Hashtbl.iter
+    (fun tid st ->
+      Alcotest.(check int)
+        (Printf.sprintf "tid %d balanced" tid)
+        0 (List.length st))
+    stacks
+
+(* Logical tree shape: every B path ends in the span's own name and its
+   parent prefix is itself the path of some span — the observed path set
+   is prefix-closed. *)
+let check_paths_nested events =
+  let b_paths = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.ph = `B then Hashtbl.replace b_paths e.path ())
+    events;
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.ph = `B then begin
+        (match List.rev e.path with
+        | last :: _ ->
+          Alcotest.(check string) "path ends with span name" e.name last
+        | [] -> Alcotest.fail "B event with empty path");
+        match List.rev e.path with
+        | _ :: (_ :: _ as parent_rev) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "parent path of %s exists"
+               (String.concat "/" e.path))
+            true
+            (Hashtbl.mem b_paths (List.rev parent_rev))
+        | _ -> ()
+      end)
+    events
+
+let path_set events =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (e : Trace.event) -> if e.ph = `B then Some e.path else None)
+       events)
+
+let test_trace_disabled_noop () =
+  Trace.clear ();
+  let r = Trace.span "unrecorded" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span runs its thunk" 42 r;
+  Alcotest.(check int) "nothing buffered" 0 (List.length (Trace.events ()))
+
+let test_trace_well_formed () =
+  let db = fig1_db () and sigma = fig1_sigma () in
+  let _, events =
+    traced (fun () ->
+        Pool.with_pool ~jobs:4 @@ fun pool ->
+        ok2 (Batch_repair.repair ~pool db sigma))
+  in
+  Alcotest.(check bool) "events recorded" true (events <> []);
+  check_well_formed events;
+  check_paths_nested events;
+  (* exceptional exit still closes the span *)
+  let _, events =
+    traced (fun () ->
+        try Trace.span "outer" (fun () -> failwith "boom") with _ -> ())
+  in
+  check_well_formed events
+
+let test_trace_json_roundtrip () =
+  let db = fig1_db () and sigma = fig1_sigma () in
+  Trace.clear ();
+  Trace.set_enabled true;
+  ignore
+    (Fun.protect
+       ~finally:(fun () -> Trace.set_enabled false)
+       (fun () -> ok2 (Batch_repair.repair db sigma)));
+  let doc = Trace.to_json () in
+  Trace.clear ();
+  match Json.parse (Json.to_string ~minify:true doc) with
+  | Error msg -> Alcotest.failf "trace JSON does not reparse: %s" msg
+  | Ok (Json.Obj fields) ->
+    (match List.assoc_opt "traceEvents" fields with
+    | Some (Json.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "traceEvents missing or empty");
+    Alcotest.(check bool)
+      "displayTimeUnit present" true
+      (List.assoc_opt "displayTimeUnit" fields = Some (Json.String "ms"))
+  | Ok _ -> Alcotest.fail "trace JSON is not an object"
+
+let test_trace_paths_jobs_independent () =
+  let db = fig1_db () and sigma = fig1_sigma () in
+  let run jobs =
+    let _, events =
+      traced (fun () ->
+          Pool.with_pool ~jobs @@ fun pool ->
+          ok2 (Batch_repair.repair ~pool db sigma))
+    in
+    path_set events
+  in
+  let p1 = run 1 and p4 = run 4 in
+  Alcotest.(check int) "same number of distinct paths" (List.length p1)
+    (List.length p4);
+  Alcotest.(check bool) "identical path sets at jobs {1,4}" true (p1 = p4)
+
+let prop_trace_paths_jobs_independent =
+  QCheck.Test.make
+    ~name:"trace span path set identical across jobs {1,4}" ~count:20
+    Gen.instance
+    (fun (rel, sigma) ->
+      QCheck.assume (Dq_cfd.Satisfiability.is_satisfiable Gen.schema sigma);
+      let run jobs =
+        let _, events =
+          traced (fun () ->
+              Pool.with_pool ~jobs @@ fun pool ->
+              ok_report (Batch_repair.repair ~pool rel sigma))
+        in
+        check_well_formed events;
+        path_set events
+      in
+      run 1 = run 4)
+
 let suite =
   [
     Alcotest.test_case "json rendering" `Quick test_json_render;
+    Alcotest.test_case "json parsing" `Quick test_json_parse;
+    Alcotest.test_case "trace disabled is a no-op" `Quick
+      test_trace_disabled_noop;
+    Alcotest.test_case "trace events well-formed" `Quick
+      test_trace_well_formed;
+    Alcotest.test_case "trace JSON reparses" `Quick test_trace_json_roundtrip;
+    Alcotest.test_case "trace paths stable under --jobs (fig1)" `Quick
+      test_trace_paths_jobs_independent;
+    QCheck_alcotest.to_alcotest prop_trace_paths_jobs_independent;
     Alcotest.test_case "metrics disabled is a no-op" `Quick
       test_metrics_disabled_noop;
     Alcotest.test_case "metrics enabled" `Quick test_metrics_enabled;
