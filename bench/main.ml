@@ -29,6 +29,8 @@ open Dq_workload
 module Pool = Dq_parallel.Pool
 module Json = Dq_obs.Json
 module Trace = Dq_obs.Trace
+module Deadline = Dq_fault.Deadline
+module Atomic_io = Dq_fault.Atomic_io
 
 (* ---- command line ---------------------------------------------------- *)
 
@@ -64,16 +66,28 @@ let tolerance = ref 15.0
 
 let trace_path = ref None
 
+(* Wall-clock budget for the whole run; checked at section boundaries, so
+   a section that has started always runs to completion and its
+   BENCH_*.json is whole. *)
+let deadline = ref Deadline.never
+
+let sections_ran = ref 0
+
+let sections_skipped = ref 0
+
 let usage () =
   Fmt.epr
     "usage: main.exe [--only SECTION]... [--seeds K] [--scale N] [--out DIR] \
-     [--trace FILE] [--compare OLD] [--tolerance PCT]@.\
+     [--deadline SECS] [--trace FILE] [--compare OLD] [--tolerance PCT]@.\
      \  --only SECTION   run one section (repeatable); SECTION is one of:@.\
      \                   %s@.\
      \  --seeds K        median results over K dataset seeds (default 1)@.\
      \  --scale N        base database size in tuples (default 4000)@.\
      \  --out DIR        directory receiving the per-section BENCH_*.json \
      files (default .)@.\
+     \  --deadline SECS  wall-clock budget; sections not yet started when \
+     it expires are@.\
+     \                   skipped (exit 4 if no section ran at all)@.\
      \  --trace FILE     write a Chrome trace-event dump of the run@.\
      \  --compare OLD    compare OLD (BENCH_*.json file or directory of \
      them) against@.\
@@ -104,6 +118,14 @@ let () =
     | "--trace" :: path :: rest ->
       trace_path := Some path;
       parse rest
+    | "--deadline" :: secs :: rest ->
+      let s = float_of_string secs in
+      if s < 0. then begin
+        Fmt.epr "--deadline must be non-negative (got %g)@." s;
+        exit 2
+      end;
+      deadline := Deadline.after s;
+      parse rest
     | "--compare" :: old :: rest ->
       compare_against := Some old;
       parse rest
@@ -124,11 +146,17 @@ let () =
 let enabled name = !only = [] || List.mem name !only
 
 let section name title =
-  if enabled name then begin
+  if not (enabled name) then false
+  else if Deadline.expired !deadline then begin
+    incr sections_skipped;
+    Fmt.pr "@.=== %s — skipped (deadline expired) ===@." name;
+    false
+  end
+  else begin
+    incr sections_ran;
     Fmt.pr "@.=== %s — %s ===@." name title;
     true
   end
-  else false
 
 (* ---- per-section BENCH_<section>.json --------------------------------- *)
 
@@ -160,12 +188,8 @@ let write_section sect metrics =
       ]
   in
   let path = Filename.concat !out_dir ("BENCH_" ^ sect ^ ".json") in
-  match open_out path with
-  | oc ->
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (Json.to_string doc));
-    Fmt.pr "wrote %s@." path
+  match Atomic_io.write_file path (Json.to_string doc) with
+  | () -> Fmt.pr "wrote %s@." path
   | exception Sys_error msg ->
     Fmt.epr "bench: cannot write %s: %s@." path msg;
     exit 2
@@ -979,4 +1003,8 @@ let () =
         Fmt.pr "wrote %s@." path
       with Sys_error msg -> Fmt.epr "bench: --trace: %s@." msg)
     | None -> ());
-    Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. started)
+    Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. started);
+    if !sections_skipped > 0 then begin
+      Fmt.pr "%d section(s) skipped — deadline expired@." !sections_skipped;
+      if !sections_ran = 0 then exit 4
+    end

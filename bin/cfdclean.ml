@@ -36,6 +36,9 @@ module Metrics = Dq_obs.Metrics
 module Provenance = Dq_obs.Provenance
 module Trace = Dq_obs.Trace
 module Progress = Dq_obs.Progress
+module Fault = Dq_fault.Fault
+module Deadline = Dq_fault.Deadline
+module Atomic_io = Dq_fault.Atomic_io
 
 let ( let* ) = Result.bind
 
@@ -44,9 +47,12 @@ let ( let* ) = Result.bind
 type format = Text | Json_format
 
 let load_csv path =
-  match Csv.load_file path with
-  | rel -> Ok rel
-  | exception Failure msg -> Error (Dq_error.Io msg)
+  match Csv.load_file_res path with
+  | Ok rel -> Ok rel
+  | Error e ->
+    Error
+      (Dq_error.Parse
+         { path; line = e.Csv.line; col = e.Csv.col; message = e.Csv.message })
   | exception Sys_error msg -> Error (Dq_error.Io msg)
 
 let load_tableaus path =
@@ -109,13 +115,46 @@ let envelope ~command ~ok ~report ~diagnostics =
       ("diagnostics", Json.List diagnostics);
     ]
 
+(* Arm the fault-injection plan from --fault-plan (or, failing that, the
+   DQ_FAULT environment variable).  Site names are validated against the
+   compiled-in list so a typo'd plan fails loudly instead of silently
+   never firing. *)
+let arm_fault plan =
+  match
+    match plan with Some _ -> plan | None -> Sys.getenv_opt "DQ_FAULT"
+  with
+  | None -> Ok ()
+  | Some text -> (
+    match Fault.parse_plan text with
+    | Error msg -> Error (Dq_error.Invalid_config ("--fault-plan: " ^ msg))
+    | Ok specs -> (
+      match
+        List.find_opt
+          (fun s -> not (List.mem s.Fault.site Fault.known_sites))
+          specs
+      with
+      | Some s ->
+        Error
+          (Dq_error.Invalid_config
+             (Fmt.str "--fault-plan: unknown site %S (known sites: %s)"
+                s.Fault.site
+                (String.concat ", " Fault.known_sites)))
+      | None ->
+        Fault.arm specs;
+        Ok ()))
+
 (* The uniform tail of every subcommand: print either the text output or
    the JSON envelope, dump the metrics/trace snapshots when asked, and map
    errors to the standard exit codes.  Metrics, trace and progress
    collection are switched on before the command body runs, so engine
    instrumentation is live.  Trace and progress never touch stdout: the
-   trace goes to its own file, progress lines to stderr. *)
-let run_command ~command ~format ~metrics ~trace ~progress k =
+   trace goes to its own file, progress lines to stderr.
+
+   The body runs under a catch-all for the structured failure modes of
+   the fault-tolerance layer: an injected fault, an escaped deadline and
+   plain I/O failures all map to Dq_error values (and hence stable
+   messages and exit codes), never to a backtrace. *)
+let run_command ~command ~format ~metrics ~trace ~progress ~fault k =
   if metrics <> None then Metrics.set_enabled true;
   if trace <> None then begin
     Trace.clear ();
@@ -123,7 +162,15 @@ let run_command ~command ~format ~metrics ~trace ~progress k =
   end;
   if progress then Progress.set_enabled true;
   let code =
-    let result = k () in
+    let result =
+      match arm_fault fault with
+      | Error _ as e -> e
+      | Ok () -> (
+        try k () with
+        | Fault.Injected site -> Error (Dq_error.Fault_injected site)
+        | Deadline.Expired -> Error Dq_error.Deadline_exceeded
+        | Sys_error msg -> Error (Dq_error.Io msg))
+    in
     Progress.finish ();
     match result with
     | Ok s ->
@@ -153,12 +200,8 @@ let run_command ~command ~format ~metrics ~trace ~progress k =
   (match metrics with
   | None -> ()
   | Some path -> (
-    match open_out path with
-    | oc ->
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (Json.to_string (Metrics.snapshot ())))
-    | exception Sys_error msg -> Fmt.epr "cfdclean: --metrics: %s@." msg));
+    try Atomic_io.write_file path (Json.to_string (Metrics.snapshot ()))
+    with Sys_error msg -> Fmt.epr "cfdclean: --metrics: %s@." msg));
   `Ok code
 
 let force_arg =
@@ -224,10 +267,43 @@ let progress_arg =
            throughput) on stderr while the engines run.  Never written to \
            stdout, so it composes with $(b,--format json).")
 
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Arm deterministic fault injection for testing the \
+           fault-tolerance paths: comma-separated $(i,SITE@HIT), \
+           $(i,SITE@HIT:raise) or $(i,SITE@HIT:delay MS) specs, e.g. \
+           $(b,io.write\\@1) or $(b,pool.task\\@3:delay 50).  Defaults to \
+           the $(b,DQ_FAULT) environment variable.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Cooperative time budget in seconds.  When it expires the engine \
+           stops at the next safe point and returns its best result so far, \
+           marked $(b,degraded) in the report; if nothing usable exists yet \
+           the command fails with exit code 4.")
+
+let resolve_deadline = function
+  | None -> Ok Deadline.never
+  | Some s when s < 0. ->
+    Error
+      (Dq_error.Invalid_input
+         (Fmt.str "--deadline must be non-negative (got %g)" s))
+  | Some s -> Ok (Deadline.after s)
+
 (* ---- detect ---- *)
 
-let detect data_path cfd_path verbose force jobs format metrics trace progress =
-  run_command ~command:"detect" ~format ~metrics ~trace ~progress @@ fun () ->
+let detect data_path cfd_path verbose force jobs format metrics trace progress
+    fault =
+  run_command ~command:"detect" ~format ~metrics ~trace ~progress ~fault
+  @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   with_jobs jobs @@ fun pool ->
   let counts = Violation.vio_counts ~pool rel sigma in
@@ -268,7 +344,7 @@ let detect_cmd =
     Term.(
       ret
         (const detect $ data $ cfds $ verbose $ force_arg $ jobs_arg
-       $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
+       $ format_arg $ metrics_arg $ trace_arg $ progress_arg $ fault_arg))
 
 (* ---- repair ---- *)
 
@@ -321,24 +397,55 @@ let print_explain ppf report =
     List.iter (fun e -> Fmt.pf ppf "%a@." Provenance.pp_entry e) entries
 
 let repair data_path cfd_path output in_place explain algorithm force jobs
-    format metrics trace progress =
-  run_command ~command:"repair" ~format ~metrics ~trace ~progress @@ fun () ->
+    format metrics trace progress fault deadline checkpoint checkpoint_every
+    resume =
+  run_command ~command:"repair" ~format ~metrics ~trace ~progress ~fault
+  @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
     Error Dq_error.Unsatisfiable
   else
     let* out = resolve_output ~data_path ~output ~in_place in
+    let* deadline = resolve_deadline deadline in
+    let* checkpoint =
+      match checkpoint with
+      | None -> Ok None
+      | Some path ->
+        if checkpoint_every < 1 then
+          Error
+            (Dq_error.Invalid_config "--checkpoint-every must be at least 1")
+        else Ok (Some { Batch_repair.path; every = checkpoint_every })
+    in
+    let* resume =
+      match resume with
+      | None -> Ok None
+      | Some path -> (
+        match Checkpoint.load path with
+        | Ok cp -> Ok (Some cp)
+        | Error msg -> Error (Dq_error.Invalid_input (path ^ ": " ^ msg)))
+    in
+    let* () =
+      match algorithm with
+      | Inc _ when checkpoint <> None || resume <> None ->
+        Error
+          (Dq_error.Invalid_input
+             "checkpointing applies to the batch algorithm (use --algorithm \
+              batch)")
+      | _ -> Ok ()
+    in
     with_jobs jobs @@ fun pool ->
     let* (repaired, report), print_stats =
       match algorithm with
       | Batch ->
-        let* (repaired, stats), report = Batch_repair.repair ~pool rel sigma in
+        let* (repaired, stats), report =
+          Batch_repair.repair ~pool ~deadline ?checkpoint ?resume rel sigma
+        in
         Ok
           ( (repaired, report),
             fun () -> Fmt.epr "batchrepair: %a@." Batch_repair.pp_stats stats )
       | Inc ordering ->
         let* (repaired, stats), report =
-          Inc_repair.repair_dirty ~pool ~ordering rel sigma
+          Inc_repair.repair_dirty ~pool ~ordering ~deadline rel sigma
         in
         Ok
           ( (repaired, report),
@@ -355,6 +462,12 @@ let repair data_path cfd_path output in_place explain algorithm force jobs
         Fmt.epr "repair cost: %.3f; dif: %d cells@."
           (Cost.repair_cost ~original:rel ~repair:repaired)
           (Relation.dif rel repaired);
+        (match report.Report.degraded with
+        | Some d ->
+          Fmt.epr "cfdclean: warning: %s — partial repair (progress %.0f%%)@."
+            d.Report.reason
+            (100. *. d.Report.progress)
+        | None -> ());
         (* With the CSV going to stdout the explain table moves to stderr
            so the repair stays machine-readable. *)
         if explain then
@@ -401,19 +514,48 @@ let repair_cmd =
       & info [ "a"; "algorithm" ] ~docv:"ALGO"
           ~doc:"One of batch, v-inc, l-inc, w-inc.")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Snapshot the repair state to $(docv) at pass boundaries \
+             (atomically), so an interrupted run can continue with \
+             $(b,--resume).  Batch algorithm only.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Write a checkpoint every $(docv)-th pass boundary.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Continue from a $(b,--checkpoint) snapshot taken on the same \
+             input, ruleset and configuration.  The finished repair is \
+             byte-identical to the checkpointing run left uninterrupted.")
+  in
   Cmd.v
     (Cmd.info "repair" ~doc:"Compute a repair satisfying the CFDs")
     Term.(
       ret
         (const repair $ data $ cfds $ output $ in_place $ explain $ algorithm
-       $ force_arg $ jobs_arg $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
+       $ force_arg $ jobs_arg $ format_arg $ metrics_arg $ trace_arg
+       $ progress_arg $ fault_arg $ deadline_arg $ checkpoint
+       $ checkpoint_every $ resume))
 
 (* ---- check ---- *)
 
 (* check is a thin front-end to the lint engine (errors only), keeping the
    original satisfiability-probe output and exit-code behavior. *)
-let check schema_csv cfd_path format metrics trace progress =
-  run_command ~command:"check" ~format ~metrics ~trace ~progress @@ fun () ->
+let check schema_csv cfd_path format metrics trace progress fault =
+  run_command ~command:"check" ~format ~metrics ~trace ~progress ~fault
+  @@ fun () ->
   let* rel = load_csv schema_csv in
   let* ltabs = load_tableaus cfd_path in
   let schema = Relation.schema rel in
@@ -453,7 +595,10 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a CFD set for satisfiability")
-    Term.(ret (const check $ data $ cfds $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
+    Term.(
+      ret
+        (const check $ data $ cfds $ format_arg $ metrics_arg $ trace_arg
+       $ progress_arg $ fault_arg))
 
 (* ---- lint ---- *)
 
@@ -483,8 +628,9 @@ let diagnostic_to_json d =
   in
   Json.Obj (base @ clause @ span)
 
-let lint cfd_path data_path errors_only format metrics trace progress =
-  run_command ~command:"lint" ~format ~metrics ~trace ~progress @@ fun () ->
+let lint cfd_path data_path errors_only format metrics trace progress fault =
+  run_command ~command:"lint" ~format ~metrics ~trace ~progress ~fault
+  @@ fun () ->
   let* source =
     match
       let ic = open_in_bin cfd_path in
@@ -561,17 +707,24 @@ let lint_cmd =
          "Static analysis of a CFD ruleset: satisfiability, conflicting or \
           redundant patterns, schema mismatches, cyclic clause interactions. \
           Exits 1 if any error (E-code) is found.")
-    Term.(ret (const lint $ cfds $ data $ errors_only $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
+    Term.(
+      ret
+        (const lint $ cfds $ data $ errors_only $ format_arg $ metrics_arg
+       $ trace_arg $ progress_arg $ fault_arg))
 
 (* ---- sample ---- *)
 
 let sample data_path cfd_path truth_path epsilon confidence sample_size force
-    jobs format metrics trace progress =
-  run_command ~command:"sample" ~format ~metrics ~trace ~progress @@ fun () ->
+    jobs format metrics trace progress fault deadline =
+  run_command ~command:"sample" ~format ~metrics ~trace ~progress ~fault
+  @@ fun () ->
   with_inputs ~force data_path cfd_path @@ fun rel sigma ->
   let* truth = load_csv truth_path in
+  let* deadline = resolve_deadline deadline in
   with_jobs jobs @@ fun pool ->
-  let* (repaired, _stats), _repair_report = Batch_repair.repair ~pool rel sigma in
+  let* (repaired, _stats), _repair_report =
+    Batch_repair.repair ~pool ~deadline rel sigma
+  in
   let oracle t' =
     match Relation.find truth (Tuple.tid t') with
     | Some t -> not (Tuple.equal_values t t')
@@ -579,7 +732,8 @@ let sample data_path cfd_path truth_path epsilon confidence sample_size force
   in
   let config = Sampling.default_config ~epsilon ~confidence ~sample_size () in
   let* sreport, report =
-    Sampling.inspect config ~original:rel ~repair:repaired ~sigma ~oracle
+    Sampling.inspect ~deadline config ~original:rel ~repair:repaired ~sigma
+      ~oracle
   in
   succeed
     ~code:
@@ -617,12 +771,14 @@ let sample_cmd =
     Term.(
       ret
         (const sample $ data $ cfds $ truth $ epsilon $ confidence $ size
-       $ force_arg $ jobs_arg $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
+       $ force_arg $ jobs_arg $ format_arg $ metrics_arg $ trace_arg
+       $ progress_arg $ fault_arg $ deadline_arg))
 
 (* ---- generate ---- *)
 
-let generate n rate seed out_prefix format metrics trace progress =
-  run_command ~command:"generate" ~format ~metrics ~trace ~progress @@ fun () ->
+let generate n rate seed out_prefix format metrics trace progress fault =
+  run_command ~command:"generate" ~format ~metrics ~trace ~progress ~fault
+  @@ fun () ->
   let ds = Datagen.generate (Datagen.default_params ~n_tuples:n ~seed ()) in
   let noise = Noise.inject (Noise.default_params ~rate ~seed ()) ds in
   let clean_path = out_prefix ^ "_clean.csv" in
@@ -631,12 +787,10 @@ let generate n rate seed out_prefix format metrics trace progress =
   let* () = save_csv ds.Datagen.dopt clean_path in
   let* () = save_csv noise.Noise.dirty dirty_path in
   let* () =
-    match open_out cfd_path with
-    | oc ->
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          Ok (output_string oc (Cfd_parser.to_string ds.Datagen.tableaus)))
+    match
+      Atomic_io.write_file cfd_path (Cfd_parser.to_string ds.Datagen.tableaus)
+    with
+    | () -> Ok ()
     | exception Sys_error msg -> Error (Dq_error.Io msg)
   in
   succeed
@@ -661,8 +815,9 @@ let generate n rate seed out_prefix format metrics trace progress =
 (* ---- discover ---- *)
 
 let discover data_path out min_support min_confidence max_lhs jobs format
-    metrics trace progress =
-  run_command ~command:"discover" ~format ~metrics ~trace ~progress @@ fun () ->
+    metrics trace progress fault =
+  run_command ~command:"discover" ~format ~metrics ~trace ~progress ~fault
+  @@ fun () ->
   let* rel = load_csv data_path in
   with_jobs jobs @@ fun pool ->
   let config =
@@ -675,11 +830,8 @@ let discover data_path out min_support min_confidence max_lhs jobs format
     match out with
     | None -> Ok ()
     | Some path -> (
-      match open_out path with
-      | oc ->
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> Ok (output_string oc text))
+      match Atomic_io.write_file path text with
+      | () -> Ok ()
       | exception Sys_error msg -> Error (Dq_error.Io msg))
   in
   succeed
@@ -728,7 +880,8 @@ let discover_cmd =
     Term.(
       ret
         (const discover $ data $ out $ support $ confidence $ max_lhs
-       $ jobs_arg $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
+       $ jobs_arg $ format_arg $ metrics_arg $ trace_arg $ progress_arg
+       $ fault_arg))
 
 let generate_cmd =
   let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Number of tuples.") in
@@ -739,7 +892,10 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic order dataset")
-    Term.(ret (const generate $ n $ rate $ seed $ prefix $ format_arg $ metrics_arg $ trace_arg $ progress_arg))
+    Term.(
+      ret
+        (const generate $ n $ rate $ seed $ prefix $ format_arg $ metrics_arg
+       $ trace_arg $ progress_arg $ fault_arg))
 
 let () =
   let doc = "CFD-based data cleaning (Cong et al., VLDB 2007)" in

@@ -189,10 +189,10 @@ let merge_chunk_groups chunk_tables =
     (List.rev chunk_tables);
   merged
 
-let groups_of_clause ?pool tuples cfd =
+let groups_of_clause ?pool ?deadline tuples cfd =
   let n = Array.length tuples in
   merge_chunk_groups
-    (Pool.map_chunks ~label:"groups.chunk" pool ~n (fun lo hi ->
+    (Pool.map_chunks ?deadline ~label:"groups.chunk" pool ~n (fun lo hi ->
          chunk_groups cfd tuples lo hi))
 
 let group_conflicts g = Hashtbl.length g.rhs_counts >= 2
@@ -278,12 +278,12 @@ let find_all ?pool rel sigma =
 
 (* vio(t) for every tuple at once, as an array aligned with [tuples].
    Chunks write only their own slots, so the array needs no locking. *)
-let counts_array ?pool rel sigma tuples =
+let counts_array ?pool ?deadline rel sigma tuples =
   let n = Array.length tuples in
   let arity = Schema.arity (Relation.schema rel) in
   let idx = const_index sigma in
   let counts = Array.make n 0 in
-  Pool.for_chunks ~label:"vio_counts.chunk" pool ~n (fun lo hi ->
+  Pool.for_chunks ?deadline ~label:"vio_counts.chunk" pool ~n (fun lo hi ->
       for i = lo to hi - 1 do
         let t = tuples.(i) in
         let c = ref 0 in
@@ -293,8 +293,8 @@ let counts_array ?pool rel sigma tuples =
       done);
   List.iter
     (fun cfd ->
-      let table = groups_of_clause ?pool tuples cfd in
-      Pool.for_chunks ~label:"vio_counts.chunk" pool ~n (fun lo hi ->
+      let table = groups_of_clause ?pool ?deadline tuples cfd in
+      Pool.for_chunks ?deadline ~label:"vio_counts.chunk" pool ~n (fun lo hi ->
           for i = lo to hi - 1 do
             let t = tuples.(i) in
             if Cfd.applies_lhs cfd t then
@@ -307,13 +307,13 @@ let counts_array ?pool rel sigma tuples =
     (wild_clauses sigma);
   counts
 
-let vio_counts ?pool rel sigma =
+let vio_counts ?pool ?deadline rel sigma =
   Trace.span ~cat:"violation" ~args:(scan_args rel sigma) "vio_counts"
   @@ fun () ->
   Metrics.time m_vio_counts @@ fun () ->
   Metrics.incr m_scans;
   let tuples = Relation.tuples rel in
-  let counts = counts_array ?pool rel sigma tuples in
+  let counts = counts_array ?pool ?deadline rel sigma tuples in
   if Metrics.enabled () then Metrics.add m_found (Array.fold_left ( + ) 0 counts);
   (* Materialised in relation order, so the table's internal layout (and
      hence any fold over it) is identical at every job count. *)

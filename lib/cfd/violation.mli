@@ -61,10 +61,16 @@ val vio_tuple : Relation.t -> Cfd.t array -> Tuple.t -> int
     need not belong to the relation (used to score candidate insertions). *)
 
 val vio_counts :
-  ?pool:Dq_parallel.Pool.t -> Relation.t -> Cfd.t array -> (int, int) Hashtbl.t
+  ?pool:Dq_parallel.Pool.t ->
+  ?deadline:Dq_fault.Deadline.t ->
+  Relation.t ->
+  Cfd.t array ->
+  (int, int) Hashtbl.t
 (** [vio(t)] for every tuple of the relation at once (tid-keyed); tuples
     with no violations are absent.  One pass per clause; the table is
-    populated in relation order so folds over it are deterministic. *)
+    populated in relation order so folds over it are deterministic.
+    An expired [deadline] raises [Dq_fault.Deadline.Expired] (checked at
+    chunk boundaries). *)
 
 val total : ?pool:Dq_parallel.Pool.t -> Relation.t -> Cfd.t array -> int
 (** [vio(D)]: sum of [vio(t)] over all tuples. *)

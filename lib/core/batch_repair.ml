@@ -6,6 +6,8 @@ module Provenance = Dq_obs.Provenance
 module Report = Dq_obs.Report
 module Trace = Dq_obs.Trace
 module Progress = Dq_obs.Progress
+module Fault = Dq_fault.Fault
+module Deadline = Dq_fault.Deadline
 
 let src = Logs.Src.create "dataqual.batch_repair" ~doc:"BATCHREPAIR steps"
 
@@ -53,6 +55,14 @@ type plan = { cost : float; action : action }
 
 type state = {
   rel : Relation.t; (* working copy; values untouched until write-back *)
+  canonical : bool;
+  (* Checkpoint/resume mode.  A resumed run rebuilds its hash tables from
+     a snapshot and so cannot share their iteration history with the run
+     that wrote it; in canonical mode every decision that would otherwise
+     depend on hash-table order (offer order, partner choice, float-sum
+     order, instantiation order) is routed through a sorted, history-free
+     path instead.  Off by default: the default mode stays byte-identical
+     to what it produced before checkpointing existed. *)
   sigma : Cfd.t array;
   lhs_of : int array array; (* cfd id -> LHS positions *)
   lhs_pats_of : Pattern.t array array;
@@ -227,9 +237,26 @@ let with_change st cells mutate =
     changed;
   (* The values already changed, but stored bucket keys record where each
      tuple was filed, so removal by the recorded key still works. *)
-  Hashtbl.iter (fun (cid, tid) () -> bucket_remove st cid tid) reindex;
-  Hashtbl.iter (fun (cid, tid) () -> bucket_insert st cid tid) reindex;
-  Hashtbl.iter (fun _ (tid, attr) -> mark_dirty st tid attr) changed
+  if st.canonical then begin
+    (* Sorted visit order: the re-offers this triggers land in the queue
+       in an order that is a pure function of the decision sequence, so a
+       resumed run (whose hash tables have a different history) replays
+       them identically. *)
+    let reindex =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) reindex [])
+    in
+    let changed =
+      List.sort compare (Hashtbl.fold (fun _ ta acc -> ta :: acc) changed [])
+    in
+    List.iter (fun (cid, tid) -> bucket_remove st cid tid) reindex;
+    List.iter (fun (cid, tid) -> bucket_insert st cid tid) reindex;
+    List.iter (fun (tid, attr) -> mark_dirty st tid attr) changed
+  end
+  else begin
+    Hashtbl.iter (fun (cid, tid) () -> bucket_remove st cid tid) reindex;
+    Hashtbl.iter (fun (cid, tid) () -> bucket_insert st cid tid) reindex;
+    Hashtbl.iter (fun _ (tid, attr) -> mark_dirty st tid attr) changed
+  end
 
 (* Aggregate weight of the class's members per distinct original value;
    cached per root and folded on union. *)
@@ -253,39 +280,75 @@ let class_weights st c =
     Hashtbl.add st.class_weights root table;
     table
 
+(* Value-sorted (value, weight) pairs of a weight table: the canonical
+   iteration order for float sums and candidate scans, independent of the
+   table's insertion history. *)
+let weight_pairs_sorted table =
+  Hashtbl.fold (fun v w acc -> (v, w) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
 (* Cost(t, B, v): weighted cost of moving every member of the class to [v],
    measured from the members' original values (Section 4.2).  Computed from
    the per-value weight table: sum_u W_u * sim(u, v). *)
 let class_cost st c v =
-  Hashtbl.fold
-    (fun u w_u acc -> acc +. (w_u *. Cost.similarity u v))
-    (class_weights st c) 0.
+  let table = class_weights st c in
+  if st.canonical then
+    List.fold_left
+      (fun acc (u, w_u) -> acc +. (w_u *. Cost.similarity u v))
+      0. (weight_pairs_sorted table)
+  else
+    Hashtbl.fold
+      (fun u w_u acc -> acc +. (w_u *. Cost.similarity u v))
+      table 0.
 
 (* The weighted-medoid original value over one or two classes' weight
    tables: the value the union's instantiation would pick. *)
-let medoid_of_tables tables =
-  let cost v =
-    List.fold_left
-      (fun acc table ->
-        Hashtbl.fold
-          (fun u w_u acc -> acc +. (w_u *. Cost.similarity u v))
-          table acc)
-      0. tables
-  in
-  let best = ref None in
-  List.iter
-    (fun table ->
-      Hashtbl.iter
-        (fun v _ ->
-          let c = cost v in
-          match !best with
-          | Some (bv, bc)
-            when bc < c || (bc = c && Value.compare bv v <= 0) ->
-            ()
-          | _ -> best := Some (v, c))
-        table)
-    tables;
-  Option.map fst !best
+let medoid_of_tables ~canonical tables =
+  if canonical then begin
+    let pairs =
+      List.concat_map weight_pairs_sorted tables
+      |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+    in
+    let cost v =
+      List.fold_left
+        (fun acc (u, w_u) -> acc +. (w_u *. Cost.similarity u v))
+        0. pairs
+    in
+    let best = ref None in
+    List.iter
+      (fun (v, _) ->
+        let c = cost v in
+        match !best with
+        | Some (bv, bc) when bc < c || (bc = c && Value.compare bv v <= 0) ->
+          ()
+        | _ -> best := Some (v, c))
+      pairs;
+    Option.map fst !best
+  end
+  else begin
+    let cost v =
+      List.fold_left
+        (fun acc table ->
+          Hashtbl.fold
+            (fun u w_u acc -> acc +. (w_u *. Cost.similarity u v))
+            table acc)
+        0. tables
+    in
+    let best = ref None in
+    List.iter
+      (fun table ->
+        Hashtbl.iter
+          (fun v _ ->
+            let c = cost v in
+            match !best with
+            | Some (bv, bc)
+              when bc < c || (bc = c && Value.compare bv v <= 0) ->
+              ()
+            | _ -> best := Some (v, c))
+          table)
+      tables;
+    Option.map fst !best
+  end
 
 (* FINDV's relation-backed value source: tuples agreeing with [t] on
    X ∪ {A} \ {B}.  The index is built once per (clause, LHS position) from
@@ -485,25 +548,44 @@ let verify_and_plan st cid tid =
         if Value.is_null v then None
         else
           let partner =
-            (* first conflicting bucket-mate; early exit keeps big groups
-               cheap (hash order is deterministic for a given history) *)
             match Vkey.Table.find_opt st.buckets.(cid) key with
             | None -> None
-            | Some set -> (
-              let found = ref None in
-              try
+            | Some set ->
+              if st.canonical then begin
+                (* smallest conflicting tid: a pure function of the
+                   bucket's contents, replayable after a resume *)
+                let best = ref None in
                 Hashtbl.iter
                   (fun tid' () ->
                     if tid' <> tid then
                       let v' = eff st tid' rhs in
                       if (not (Value.is_null v')) && not (Value.equal v v')
-                      then begin
-                        found := Some tid';
-                        raise Exit
-                      end)
+                      then
+                        match !best with
+                        | Some b when b <= tid' -> ()
+                        | _ -> best := Some tid')
                   set;
-                None
-              with Exit -> !found)
+                !best
+              end
+              else begin
+                (* first conflicting bucket-mate; early exit keeps big
+                   groups cheap (hash order is deterministic for a given
+                   history) *)
+                let found = ref None in
+                try
+                  Hashtbl.iter
+                    (fun tid' () ->
+                      if tid' <> tid then
+                        let v' = eff st tid' rhs in
+                        if (not (Value.is_null v')) && not (Value.equal v v')
+                        then begin
+                          found := Some tid';
+                          raise Exit
+                        end)
+                    set;
+                  None
+                with Exit -> !found
+              end
           in
           match partner with
           | None -> None
@@ -607,7 +689,8 @@ let pick_next st =
 (* The weighted-medoid value of a class: the member original value that
    minimises the class's change cost — what instantiation will pick.  [None]
    when every member was originally null. *)
-let best_constant st root = medoid_of_tables [ class_weights st root ]
+let best_constant st root =
+  medoid_of_tables ~canonical:st.canonical [ class_weights st root ]
 
 let apply st = function
   | Set_rhs { cell; value } ->
@@ -624,31 +707,53 @@ let apply st = function
       "batch.merge"
     @@ fun () ->
     with_change st [ cell1; cell2 ] (fun () ->
-        let t1 = class_weights st cell1 and t2 = class_weights st cell2 in
-        let r1 = Eqclass.find st.eq cell1 and r2 = Eqclass.find st.eq cell2 in
-        let root = Eqclass.union st.eq cell1 cell2 in
-        (* Fold the smaller weight table into the larger and rebind it to
-           the surviving root. *)
-        let big, small =
-          if Hashtbl.length t1 >= Hashtbl.length t2 then (t1, t2) else (t2, t1)
-        in
-        Hashtbl.iter
-          (fun v w ->
-            match Hashtbl.find_opt big v with
-            | Some acc -> Hashtbl.replace big v (acc +. w)
-            | None -> Hashtbl.add big v w)
-          small;
-        Hashtbl.remove st.class_weights r1;
-        Hashtbl.remove st.class_weights r2;
-        Hashtbl.replace st.class_weights root big;
-        (* Keep the representative aligned with the value the merged class
-           is headed for, so effective-value checks (and the pattern rows
-           they trigger) see the likely outcome rather than whichever
-           side's representative survived the union. *)
-        if Eqclass.target st.eq root = Eqclass.Unfixed then
-          match medoid_of_tables [ big ] with
-          | Some v -> Eqclass.set_repr st.eq root v
-          | None -> ());
+        if st.canonical then begin
+          (* Drop the cached weight tables and let [class_weights] rebuild
+             from the merged member list: per-value weight sums are then
+             always accumulated in member order — the one order a resumed
+             run reproduces exactly. *)
+          let r1 = Eqclass.find st.eq cell1
+          and r2 = Eqclass.find st.eq cell2 in
+          let root = Eqclass.union st.eq cell1 cell2 in
+          Hashtbl.remove st.class_weights r1;
+          Hashtbl.remove st.class_weights r2;
+          Hashtbl.remove st.class_weights root;
+          if Eqclass.target st.eq root = Eqclass.Unfixed then
+            match
+              medoid_of_tables ~canonical:true [ class_weights st root ]
+            with
+            | Some v -> Eqclass.set_repr st.eq root v
+            | None -> ()
+        end
+        else begin
+          let t1 = class_weights st cell1 and t2 = class_weights st cell2 in
+          let r1 = Eqclass.find st.eq cell1
+          and r2 = Eqclass.find st.eq cell2 in
+          let root = Eqclass.union st.eq cell1 cell2 in
+          (* Fold the smaller weight table into the larger and rebind it to
+             the surviving root. *)
+          let big, small =
+            if Hashtbl.length t1 >= Hashtbl.length t2 then (t1, t2)
+            else (t2, t1)
+          in
+          Hashtbl.iter
+            (fun v w ->
+              match Hashtbl.find_opt big v with
+              | Some acc -> Hashtbl.replace big v (acc +. w)
+              | None -> Hashtbl.add big v w)
+            small;
+          Hashtbl.remove st.class_weights r1;
+          Hashtbl.remove st.class_weights r2;
+          Hashtbl.replace st.class_weights root big;
+          (* Keep the representative aligned with the value the merged
+             class is headed for, so effective-value checks (and the
+             pattern rows they trigger) see the likely outcome rather than
+             whichever side's representative survived the union. *)
+          if Eqclass.target st.eq root = Eqclass.Unfixed then
+            match medoid_of_tables ~canonical:false [ big ] with
+            | Some v -> Eqclass.set_repr st.eq root v
+            | None -> ()
+        end);
     st.merges <- st.merges + 1;
     Metrics.incr m_merges
   | Set_lhs { cell; target } ->
@@ -662,7 +767,15 @@ let apply st = function
    their effective value, so they need no bucket or dirty maintenance. *)
 let instantiate st =
   let changed = ref false in
-  Eqclass.iter_roots
+  (* Collect the roots first (targets never change which cells are roots,
+     so the snapshot is exact); canonical mode then sorts them, because
+     [iter_roots] order reflects registration history. *)
+  let roots = ref [] in
+  Eqclass.iter_roots (fun root -> roots := root :: !roots) st.eq;
+  let roots =
+    if st.canonical then List.sort compare !roots else List.rev !roots
+  in
+  List.iter
     (fun root ->
       if Eqclass.target st.eq root = Eqclass.Unfixed then
         match best_constant st root with
@@ -683,10 +796,10 @@ let instantiate st =
                 Eqclass.set_target st.eq root (Eqclass.Const best));
             changed := true
           end)
-    st.eq;
+    roots;
   !changed
 
-let init_state rel sigma ~use_dependency_graph =
+let init_state ?eq rel sigma ~use_dependency_graph ~canonical =
   let schema = Relation.schema rel in
   let arity = Schema.arity schema in
   let n = Array.length sigma in
@@ -742,12 +855,16 @@ let init_state rel sigma ~use_dependency_graph =
     else Array.make n 0
   in
   let eq =
-    Eqclass.create ~arity ~original:(fun ~tid ~attr ->
-        Tuple.get (Relation.find_exn rel tid) attr)
+    match eq with
+    | Some eq -> eq (* restored from a checkpoint *)
+    | None ->
+      Eqclass.create ~arity ~original:(fun ~tid ~attr ->
+          Tuple.get (Relation.find_exn rel tid) attr)
   in
   let st =
     {
       rel;
+      canonical;
       sigma;
       lhs_of;
       lhs_pats_of;
@@ -775,7 +892,10 @@ let init_state rel sigma ~use_dependency_graph =
       ctx_pass = 0;
     }
   in
-  (* Register every cell (line 1 of Fig. 4) and build the buckets. *)
+  (* Register every cell (line 1 of Fig. 4) and build the buckets.  On a
+     restored [eq] the registration no-ops (every cell is already a class
+     member) and the buckets rebuild from the checkpoint's effective
+     values. *)
   Relation.iter
     (fun t ->
       let tid = Tuple.tid t in
@@ -803,11 +923,14 @@ let rebuild_buckets st =
     st.sigma
 
 (* Wildcard clauses: offer every member of any bucket holding two distinct
-   effective RHS values. *)
+   effective RHS values.  In canonical mode the offers of each clause are
+   collected and sorted first, because bucket-table iteration order is a
+   function of insertion history that a resumed run cannot reproduce. *)
 let offer_wild_violations st ~offer =
   Array.iteri
     (fun cid cfd ->
-      if not (Cfd.is_constant cfd) then
+      if not (Cfd.is_constant cfd) then begin
+        let pending = if st.canonical then Some (ref []) else None in
         Vkey.Table.iter
           (fun _key set ->
             let distinct = Hashtbl.create 4 in
@@ -817,8 +940,16 @@ let offer_wild_violations st ~offer =
                 if not (Value.is_null v) then Hashtbl.replace distinct v ())
               set;
             if Hashtbl.length distinct >= 2 then
-              Hashtbl.iter (fun tid () -> offer cid tid) set)
-          st.buckets.(cid))
+              match pending with
+              | Some acc ->
+                Hashtbl.iter (fun tid () -> acc := tid :: !acc) set
+              | None -> Hashtbl.iter (fun tid () -> offer cid tid) set)
+          st.buckets.(cid);
+        match pending with
+        | Some acc ->
+          List.iter (fun tid -> offer cid tid) (List.sort_uniq compare !acc)
+        | None -> ()
+      end)
     st.sigma
 
 (* Offer every live violation under the current effective values: constant
@@ -867,7 +998,7 @@ let offer_all_violations st =
    queue's contents (and hence the whole repair) are byte-identical to the
    sequential scan at any job count.  Wildcard conflicts come from the
    just-built buckets, sequentially (bucket tables are not domain-safe). *)
-let initial_offer ?pool st =
+let initial_offer ?pool ?deadline st =
   let tuples = Relation.tuples st.rel in
   let n = Array.length tuples in
   let chunk lo hi =
@@ -902,10 +1033,13 @@ let initial_offer ?pool st =
   in
   List.iter
     (List.iter (fun (cid, tid) -> offer st cid tid))
-    (Pool.map_chunks ~label:"initial_scan.chunk" pool ~n chunk);
+    (Pool.map_chunks ?deadline ~label:"initial_scan.chunk" pool ~n chunk);
   offer_wild_violations st ~offer:(fun cid tid -> offer st cid tid)
 
-let repair ?pool ?(use_dependency_graph = true) db sigma =
+type checkpoint_spec = { path : string; every : int }
+
+let repair ?pool ?(use_dependency_graph = true) ?(deadline = Deadline.never)
+    ?checkpoint ?resume db sigma =
   Trace.span ~cat:"engine"
     ~args:(fun () ->
       [
@@ -916,23 +1050,102 @@ let repair ?pool ?(use_dependency_graph = true) db sigma =
   @@ fun () ->
   let started = Unix.gettimeofday () in
   let phases = ref [] in
-  let rel = Relation.copy db in
-  let st =
-    timed phases "init" m_t_init (fun () ->
-        init_state rel sigma ~use_dependency_graph)
+  (* Checkpointing or resuming switches the engine into canonical mode: a
+     resumed run rebuilds its hash tables from a snapshot and cannot share
+     their iteration history with the run that wrote it, so every decision
+     that could depend on that history runs through a sorted path instead.
+     Without either flag the engine behaves — byte for byte — as it did
+     before checkpointing existed. *)
+  let canonical = checkpoint <> None || resume <> None in
+  let invalid =
+    match checkpoint with
+    | Some { every; _ } when every < 1 ->
+      Some (Dq_error.Invalid_config "checkpoint interval must be at least 1")
+    | _ -> None
   in
-  timed phases "initial_scan" m_t_scan (fun () -> initial_offer ?pool st);
-  let steps = ref 0 in
-  let rescans = ref 0 in
-  let pass_no = ref 0 in
-  let budget = 20 * (Eqclass.n_cells st.eq + 1) in
-  (* One resolution pass: pop-and-apply until the queue verifies clean (or
-     the step budget trips).  Instantiation and quiescence rescans separate
-     passes, so each pass is one drain of the violation queue. *)
-  let rec drain () =
-    if !steps > budget then
-      Error (Dq_error.Internal "Batch_repair.repair: step budget exceeded")
-    else begin
+  match invalid with
+  | Some e -> Error e
+  | None -> (
+    let fp =
+      if canonical then Checkpoint.fingerprint db sigma ~use_dependency_graph
+      else 0
+    in
+    match resume with
+    | Some cp when cp.Checkpoint.fingerprint <> fp ->
+      Error
+        (Dq_error.Invalid_input
+           "checkpoint does not match this input (data, ruleset or \
+            configuration changed)")
+    | _ -> (
+      let rel = Relation.copy db in
+      let eq =
+        Option.map
+          (fun cp ->
+            Eqclass.restore
+              ~original:(fun ~tid ~attr ->
+                Tuple.get (Relation.find_exn rel tid) attr)
+              cp.Checkpoint.eq)
+          resume
+      in
+      let st =
+        timed phases "init" m_t_init (fun () ->
+            init_state ?eq rel sigma ~use_dependency_graph ~canonical)
+      in
+      let steps = ref 0 in
+      let rescans = ref 0 in
+      let pass_no = ref 0 in
+      (match resume with
+      | None -> ()
+      | Some cp ->
+        steps := cp.Checkpoint.counters.steps;
+        rescans := cp.Checkpoint.counters.rescans;
+        pass_no := cp.Checkpoint.counters.pass;
+        st.merges <- cp.Checkpoint.counters.merges;
+        st.rhs_fixes <- cp.Checkpoint.counters.rhs_fixes;
+        st.lhs_fixes <- cp.Checkpoint.counters.lhs_fixes;
+        st.nulls_introduced <- cp.Checkpoint.counters.nulls_introduced;
+        List.iter (Provenance.record st.trail) cp.Checkpoint.trail);
+      let budget = 20 * (Eqclass.n_cells st.eq + 1) in
+      let degraded = ref None in
+      let progress_fraction () =
+        let s = float_of_int !steps
+        and q = float_of_int (Heap.length st.queue) in
+        if s = 0. && q = 0. then 1. else s /. Float.max 1. (s +. q)
+      in
+      let write_checkpoint () =
+        match checkpoint with
+        | Some { path; every } when !pass_no mod every = 0 ->
+          Checkpoint.save path
+            {
+              Checkpoint.fingerprint = fp;
+              use_dependency_graph;
+              counters =
+                {
+                  Checkpoint.pass = !pass_no;
+                  steps = !steps;
+                  rescans = !rescans;
+                  merges = st.merges;
+                  rhs_fixes = st.rhs_fixes;
+                  lhs_fixes = st.lhs_fixes;
+                  nulls_introduced = st.nulls_introduced;
+                };
+              eq = Eqclass.snapshot st.eq;
+              trail = Provenance.entries st.trail;
+            }
+        | _ -> ()
+      in
+      (* One resolution pass: pop-and-apply until the queue verifies clean
+         (or the step budget trips).  Instantiation and quiescence rescans
+         separate passes, so each pass is one drain of the violation
+         queue.  A wall-clock deadline is polled every 1024 steps —
+         pass-count deadlines are only ever checked at boundaries, so they
+         stay exactly reproducible. *)
+      let rec drain () =
+        if !steps > budget then
+          Error (Dq_error.Internal "Batch_repair.repair: step budget exceeded")
+        else if !steps land 1023 = 0 && Deadline.wall_expired deadline then
+          Ok `Cut
+        else begin
       match pick_next st with
       | Some (cid, tid, plan) ->
         Log.debug (fun m ->
@@ -1007,95 +1220,151 @@ let repair ?pool ?(use_dependency_graph = true) db sigma =
           st.sigma
       end;
         drain ()
-      | None -> Ok ()
+      | None -> Ok `Drained
     end
-  in
-  let rec drive () =
-    incr pass_no;
-    let drained =
-      Trace.span ~cat:"batch"
-        ~args:(fun () ->
-          [
-            ("pass", Dq_obs.Json.Int !pass_no);
-            ("queued", Dq_obs.Json.Int (Heap.length st.queue));
-          ])
-        "batch.pass" drain
-    in
-    match drained with
-    | Error _ as e -> e
-    | Ok () ->
-      st.ctx_clause <- None;
-      st.ctx_cost <- 0.;
-      st.ctx_pass <- !steps;
-      if Trace.span ~cat:"batch" "batch.instantiate" (fun () -> instantiate st)
-      then drive ()
-      else begin
-        (* Quiescent: cross-check against a full rebuild and rescan.  The
-           incremental dirty propagation is designed to be complete, but a
-           missed pair here would silently break Theorem 4.2's guarantee,
-           so trust nothing and re-verify. *)
-        let missed =
-          Trace.span ~cat:"batch" "batch.rescan" (fun () ->
-              rebuild_buckets st;
-              offer_all_violations st)
-        in
-        if missed > 0 then begin
-          incr rescans;
-          Metrics.incr m_rescans;
-          if !rescans > 50 then
-            Error
-              (Dq_error.Internal "Batch_repair.repair: rescans not converging")
-          else begin
-            Log.debug (fun m ->
-                m "quiescence rescan re-offered %d violation pairs" missed);
-            drive ()
-          end
+      in
+      (* A deadline cut: record why and how far the run got, then
+         instantiate once so the written-back targets are complete — the
+         anytime result.  A cut before any work on a fresh run has nothing
+         usable to return: that is exit code 4's case. *)
+      let cut reason =
+        if !steps = 0 && resume = None then Error Dq_error.Deadline_exceeded
+        else begin
+          degraded := Some { Report.reason; progress = progress_fraction () };
+          st.ctx_clause <- None;
+          st.ctx_cost <- 0.;
+          st.ctx_pass <- !steps;
+          ignore
+            (Trace.span ~cat:"batch" "batch.instantiate" (fun () ->
+                 instantiate st));
+          Ok ()
         end
-        else Ok ()
-      end
-  in
-  match timed phases "resolve" m_t_resolve drive with
-  | Error _ as e -> e
-  | Ok () ->
-    (* Write the target values back into the working copy (lines 14-15). *)
-    let cells_changed = ref 0 in
-    timed phases "write_back" m_t_write (fun () ->
-        let tuples = Relation.tuples rel in
-        Array.iter
-          (fun t ->
-            let tid = Tuple.tid t in
-            for attr = 0 to st.arity - 1 do
-              let v = Eqclass.effective st.eq (cellof st tid attr) in
-              if not (Value.equal v (Tuple.get t attr)) then begin
-                Relation.set_value rel t attr v;
-                incr cells_changed
-              end
-            done)
-          tuples);
-    let stats =
-      {
-        steps = !steps;
-        merges = st.merges;
-        rhs_fixes = st.rhs_fixes;
-        lhs_fixes = st.lhs_fixes;
-        nulls_introduced = st.nulls_introduced;
-        cells_changed = !cells_changed;
-        runtime = Unix.gettimeofday () -. started;
-      }
-    in
-    let report =
-      Report.make ~engine:"batch_repair"
-        ~summary:
-          [
-            ("steps", Dq_obs.Json.Int stats.steps);
-            ("merges", Dq_obs.Json.Int stats.merges);
-            ("rhs_fixes", Dq_obs.Json.Int stats.rhs_fixes);
-            ("lhs_fixes", Dq_obs.Json.Int stats.lhs_fixes);
-            ("nulls_introduced", Dq_obs.Json.Int stats.nulls_introduced);
-            ("cells_changed", Dq_obs.Json.Int stats.cells_changed);
-          ]
-        ~phases:!phases
-        ~provenance:(Provenance.entries st.trail)
-        ()
-    in
-    Ok ((rel, stats), report)
+      in
+      let rec drive () =
+        incr pass_no;
+        let drained =
+          Trace.span ~cat:"batch"
+            ~args:(fun () ->
+              [
+                ("pass", Dq_obs.Json.Int !pass_no);
+                ("queued", Dq_obs.Json.Int (Heap.length st.queue));
+              ])
+            "batch.pass" drain
+        in
+        match drained with
+        | Error _ as e -> e
+        | Ok `Cut -> cut "deadline expired mid-pass"
+        | Ok `Drained -> boundary ()
+      (* The pass boundary: the queue has verified clean, so the class
+         structure is a consistent cut — the one place a checkpoint can be
+         taken and a deadline can stop the run deterministically. *)
+      and boundary () =
+        st.ctx_clause <- None;
+        st.ctx_cost <- 0.;
+        st.ctx_pass <- !steps;
+        (* Checkpoint first, fault site second: a crash injected at
+           ["repair.pass"] (or a kill -9 during its delay action) always
+           finds the snapshot of this very boundary already on disk —
+           the window the kill-and-resume tests exercise. *)
+        write_checkpoint ();
+        Fault.hit "repair.pass";
+        Deadline.tick deadline;
+        if Deadline.expired deadline then
+          cut "deadline expired at a pass boundary"
+        else if
+          Trace.span ~cat:"batch" "batch.instantiate" (fun () ->
+              instantiate st)
+        then drive ()
+        else begin
+          (* Quiescent: cross-check against a full rebuild and rescan.
+             The incremental dirty propagation is designed to be complete,
+             but a missed pair here would silently break Theorem 4.2's
+             guarantee, so trust nothing and re-verify. *)
+          let missed =
+            Trace.span ~cat:"batch" "batch.rescan" (fun () ->
+                rebuild_buckets st;
+                offer_all_violations st)
+          in
+          if missed > 0 then begin
+            incr rescans;
+            Metrics.incr m_rescans;
+            if !rescans > 50 then
+              Error
+                (Dq_error.Internal
+                   "Batch_repair.repair: rescans not converging")
+            else begin
+              Log.debug (fun m ->
+                  m "quiescence rescan re-offered %d violation pairs" missed);
+              drive ()
+            end
+          end
+          else Ok ()
+        end
+      in
+      let entry =
+        match resume with
+        | Some _ ->
+          (* The checkpoint was taken at a boundary with an empty queue,
+             after the initial scan's offers had all been consumed: skip
+             the scan and re-enter right at the boundary. *)
+          Ok `Resume
+        | None -> (
+          match
+            timed phases "initial_scan" m_t_scan (fun () ->
+                initial_offer ?pool ~deadline st)
+          with
+          | () -> Ok `Fresh
+          | exception Deadline.Expired -> Error Dq_error.Deadline_exceeded)
+      in
+      match entry with
+      | Error _ as e -> e
+      | Ok entry -> (
+        let run () =
+          match entry with `Resume -> boundary () | `Fresh -> drive ()
+        in
+        match timed phases "resolve" m_t_resolve run with
+        | Error _ as e -> e
+        | Ok () ->
+          (* Write the target values back into the working copy (lines
+             14-15). *)
+          let cells_changed = ref 0 in
+          timed phases "write_back" m_t_write (fun () ->
+              let tuples = Relation.tuples rel in
+              Array.iter
+                (fun t ->
+                  let tid = Tuple.tid t in
+                  for attr = 0 to st.arity - 1 do
+                    let v = Eqclass.effective st.eq (cellof st tid attr) in
+                    if not (Value.equal v (Tuple.get t attr)) then begin
+                      Relation.set_value rel t attr v;
+                      incr cells_changed
+                    end
+                  done)
+                tuples);
+          let stats =
+            {
+              steps = !steps;
+              merges = st.merges;
+              rhs_fixes = st.rhs_fixes;
+              lhs_fixes = st.lhs_fixes;
+              nulls_introduced = st.nulls_introduced;
+              cells_changed = !cells_changed;
+              runtime = Unix.gettimeofday () -. started;
+            }
+          in
+          let report =
+            Report.make ~engine:"batch_repair"
+              ~summary:
+                [
+                  ("steps", Dq_obs.Json.Int stats.steps);
+                  ("merges", Dq_obs.Json.Int stats.merges);
+                  ("rhs_fixes", Dq_obs.Json.Int stats.rhs_fixes);
+                  ("lhs_fixes", Dq_obs.Json.Int stats.lhs_fixes);
+                  ("nulls_introduced", Dq_obs.Json.Int stats.nulls_introduced);
+                  ("cells_changed", Dq_obs.Json.Int stats.cells_changed);
+                ]
+              ~phases:!phases
+              ~provenance:(Provenance.entries st.trail)
+              ?degraded:!degraded ()
+          in
+          Ok ((rel, stats), report))))

@@ -36,9 +36,17 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+type checkpoint_spec = {
+  path : string;  (** where to write snapshots ({!Checkpoint.save}) *)
+  every : int;  (** write one every [every] pass boundaries (>= 1) *)
+}
+
 val repair :
   ?pool:Dq_parallel.Pool.t ->
   ?use_dependency_graph:bool ->
+  ?deadline:Dq_fault.Deadline.t ->
+  ?checkpoint:checkpoint_spec ->
+  ?resume:Checkpoint.t ->
   Relation.t ->
   Cfd.t array ->
   ((Relation.t * stats) * Dq_obs.Report.t, Dq_error.t) result
@@ -67,4 +75,38 @@ val repair :
     (Section 7.2).  [use_dependency_graph] (default [true]) additionally
     biases freshly discovered violations by their stratum in the SCC
     condensation of the attribute dependency graph, so upstream clauses
-    are scored first. *)
+    are scored first.
+
+    {2 Deadlines}
+
+    [deadline] stops the run cooperatively.  Wall-clock deadlines
+    ({!Dq_fault.Deadline.after}) are polled every 1024 resolution steps
+    and at every pass boundary; pass-count deadlines
+    ({!Dq_fault.Deadline.after_passes}) tick {e only} at boundaries, so a
+    run cut after [k] passes is exactly the first [k] passes of the
+    uninterrupted run.  A cut run still instantiates every unfixed class
+    — the result is a usable, fully-valued relation that may however
+    still violate [sigma] — and its report carries
+    [degraded = Some {reason; progress}], where [progress] is the share
+    of known repair steps that were applied.  If the deadline expires
+    before any step of a fresh run, there is nothing usable and the
+    result is [Error Deadline_exceeded].
+
+    {2 Checkpoint / resume}
+
+    [checkpoint] snapshots the run's state ({!Checkpoint}) at pass
+    boundaries — atomically, so a crash mid-write leaves the previous
+    snapshot intact.  [resume] continues from such a snapshot: the
+    relation and ruleset must be the ones the checkpoint was taken from
+    (enforced by fingerprint; mismatch is [Error (Invalid_input _)]).
+
+    Either option switches the engine into {e canonical mode}: every
+    decision that could depend on hash-table iteration history (offer
+    order, conflict-partner choice, float-summation order, instantiation
+    order) runs through a value-sorted path instead, so a run killed at
+    any point and resumed from its last checkpoint produces output
+    byte-identical to the same run left uninterrupted {e with the same
+    options}.  Canonical mode may pick different (equally valid,
+    equally costed) repairs than the default mode; without [checkpoint]
+    or [resume] the engine is byte-identical to what it produced before
+    these options existed. *)

@@ -138,3 +138,59 @@ let set_repr eq c v =
   | Unfixed -> i.repr <- v
   | Const _ | Null ->
     invalid_arg "Eqclass.set_repr: representative is fixed once targeted"
+
+(* ---- snapshots (checkpoint/resume) ----------------------------------- *)
+
+type class_state = {
+  cls_root : int;
+  cls_target : target;
+  cls_repr : Value.t;
+  cls_rank : int;
+  cls_members : (int * int) list;
+}
+
+type snapshot = { snap_arity : int; snap_classes : class_state list }
+
+let snapshot eq =
+  (* Roots in sorted order so the snapshot is a pure function of the
+     partition, independent of hash-table history. *)
+  let roots = Hashtbl.fold (fun root _ acc -> root :: acc) eq.info [] in
+  let classes =
+    List.map
+      (fun root ->
+        let i = Hashtbl.find eq.info root in
+        {
+          cls_root = root;
+          cls_target = i.target;
+          cls_repr = i.repr;
+          cls_rank = i.rank;
+          (* Member order is preserved exactly: resumed [members] lists
+             must replay identically. *)
+          cls_members = i.members;
+        })
+      (List.sort compare roots)
+  in
+  { snap_arity = eq.arity; snap_classes = classes }
+
+let restore ~original { snap_arity = arity; snap_classes } =
+  let eq = create ~arity ~original in
+  List.iter
+    (fun { cls_root; cls_target; cls_repr; cls_rank; cls_members } ->
+      Hashtbl.add eq.info cls_root
+        {
+          target = cls_target;
+          repr = cls_repr;
+          members = cls_members;
+          size = List.length cls_members;
+          rank = cls_rank;
+        };
+      (* Fully compressed: every non-root member points straight at the
+         root.  [find] keeps it that way, so a restored structure and the
+         structure it was snapshotted from answer all queries alike. *)
+      List.iter
+        (fun (tid, attr) ->
+          let c = (tid * arity) + attr in
+          if c <> cls_root then Hashtbl.replace eq.parent c cls_root)
+        cls_members)
+    snap_classes;
+  eq

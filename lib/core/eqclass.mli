@@ -78,3 +78,32 @@ val set_repr : t -> int -> Value.t -> unit
     aligned with the value the class is expected to take (e.g. the
     weighted-majority member value after a merge).
     @raise Invalid_argument if the target is not [Unfixed]. *)
+
+(** {1 Snapshots}
+
+    The serialisable projection of the structure, used by batch-repair
+    checkpoints.  A snapshot captures, per class: root, target,
+    representative, union rank and the member list {e in its exact
+    order} — rank and member order are what make decisions replay
+    identically after {!restore} (future unions pick the same surviving
+    root; member folds visit cells in the same sequence). *)
+
+type class_state = {
+  cls_root : int;
+  cls_target : target;
+  cls_repr : Value.t;
+  cls_rank : int;
+  cls_members : (int * int) list;  (** exact order preserved *)
+}
+
+type snapshot = { snap_arity : int; snap_classes : class_state list }
+
+val snapshot : t -> snapshot
+(** Classes sorted by root cell id: a pure function of the partition,
+    not of hash-table history. *)
+
+val restore :
+  original:(tid:int -> attr:int -> Value.t) -> snapshot -> t
+(** Rebuild a structure answering every query ([find], [target],
+    [effective], [members], …) exactly as the snapshotted one did, with
+    all parent chains fully compressed. *)

@@ -5,6 +5,8 @@ module Provenance = Dq_obs.Provenance
 module Report = Dq_obs.Report
 module Trace = Dq_obs.Trace
 module Progress = Dq_obs.Progress
+module Fault = Dq_fault.Fault
+module Deadline = Dq_fault.Deadline
 
 type ordering = Linear | By_violations | By_weight
 
@@ -41,7 +43,7 @@ let m_t_core = Metrics.timer "inc.phase.core"
    violations it incurs in D ⊕ ΔD (both against the clean base and against
    its fellow insertions); W-INCREPAIR by descending total weight.  Sorts
    are stable, so ties keep the input order. *)
-let order_tuples ?pool ordering base delta sigma =
+let order_tuples ?pool ?deadline ordering base delta sigma =
   match ordering with
   | Linear -> delta
   | By_weight ->
@@ -51,7 +53,7 @@ let order_tuples ?pool ordering base delta sigma =
   | By_violations ->
     let staging = Relation.copy base in
     List.iter (Relation.add staging) delta;
-    let counts = Violation.vio_counts ?pool staging sigma in
+    let counts = Violation.vio_counts ?pool ?deadline staging sigma in
     let vio t =
       match Hashtbl.find_opt counts (Tuple.tid t) with Some n -> n | None -> 0
     in
@@ -81,7 +83,8 @@ let check_delta_tids base delta =
             tid))
 
 let run ?pool ?k ?max_candidates ?use_cluster_index
-    ?(ordering = By_violations) ?(phases = ref []) base delta sigma =
+    ?(ordering = By_violations) ?(phases = ref [])
+    ?(deadline = Deadline.never) base delta sigma =
   Trace.span ~cat:"engine"
     ~args:(fun () ->
       [
@@ -99,115 +102,153 @@ let run ?pool ?k ?max_candidates ?use_cluster_index
     let env =
       Tuple_resolve.make_env ?k ?max_candidates ?use_cluster_index repr sigma
     in
-    let delta =
+    match
       Report.phase_m phases "order" m_t_order (fun () ->
-          order_tuples ?pool ordering base delta sigma)
-    in
-    let schema = Relation.schema base in
-    let trail = Provenance.create () in
-    let tuples_changed = ref 0 in
-    let cells_changed = ref 0 in
-    let nulls = ref 0 in
-    let n_delta = List.length delta in
-    Report.phase_m phases "resolve" m_t_resolve (fun () ->
-        List.iteri
-          (fun pass t ->
-            let rt =
-              Trace.span ~cat:"inc"
-                ~args:(fun () ->
-                  [
-                    ("tid", Dq_obs.Json.Int (Tuple.tid t));
-                    ("pass", Dq_obs.Json.Int pass);
-                  ])
-                "tupleresolve"
-                (fun () -> Tuple_resolve.resolve env t)
-            in
-            Metrics.incr m_resolves;
-            Progress.emit (fun () ->
-                Printf.sprintf
-                  "inc_repair: tuple %d/%d | %d changed | %.0f tuples/s"
-                  (pass + 1) n_delta !tuples_changed
-                  (float_of_int (pass + 1)
-                  /. Float.max 1e-9 (Unix.gettimeofday () -. started)));
-            let diffs = Tuple.diff_positions t rt in
-            if diffs <> [] then begin
-              incr tuples_changed;
-              Metrics.incr m_tuples_changed
-            end;
-            cells_changed := !cells_changed + List.length diffs;
-            List.iter
-              (fun pos ->
-                let old_value = Tuple.get t pos in
-                let new_value = Tuple.get rt pos in
-                if Value.is_null new_value then incr nulls;
-                Provenance.record trail
-                  {
-                    Provenance.tid = Tuple.tid t;
-                    attr = pos;
-                    attr_name = Schema.attribute schema pos;
-                    old_value;
-                    new_value;
-                    clause = None;
-                    cost_delta =
-                      Tuple.weight t pos *. Cost.similarity old_value new_value;
-                    pass;
-                  })
-              diffs;
-            Relation.add repr rt;
-            Tuple_resolve.register env rt)
-          delta);
-    let stats =
-      {
-        tuples_processed = List.length delta;
-        tuples_changed = !tuples_changed;
-        cells_changed = !cells_changed;
-        nulls_introduced = !nulls;
-        runtime = Unix.gettimeofday () -. started;
-      }
-    in
-    let report =
-      Report.make ~engine:"inc_repair"
-        ~summary:
-          [
-            ("ordering", Dq_obs.Json.String (ordering_name ordering));
-            ("tuples_processed", Dq_obs.Json.Int stats.tuples_processed);
-            ("tuples_changed", Dq_obs.Json.Int stats.tuples_changed);
-            ("cells_changed", Dq_obs.Json.Int stats.cells_changed);
-            ("nulls_introduced", Dq_obs.Json.Int stats.nulls_introduced);
-          ]
-        ~phases:!phases
-        ~provenance:(Provenance.entries trail)
-        ()
-    in
-    Ok ((repr, stats), report)
+          order_tuples ?pool ~deadline ordering base delta sigma)
+    with
+    | exception Deadline.Expired -> Error Dq_error.Deadline_exceeded
+    | delta -> (
+      let schema = Relation.schema base in
+      let trail = Provenance.create () in
+      let tuples_changed = ref 0 in
+      let cells_changed = ref 0 in
+      let nulls = ref 0 in
+      let n_delta = List.length delta in
+      (* First delta position left unresolved because the deadline expired;
+         [None] when the run completed. *)
+      let cut_at = ref None in
+      Report.phase_m phases "resolve" m_t_resolve (fun () ->
+          List.iteri
+            (fun pass t ->
+              if !cut_at <> None then
+                (* Past the deadline: the rest of the delta is appended
+                   unrepaired, so the caller still gets a complete (if
+                   possibly still violating) relation. *)
+                Relation.add repr (Tuple.copy t)
+              else if Deadline.expired deadline then begin
+                cut_at := Some pass;
+                Relation.add repr (Tuple.copy t)
+              end
+              else begin
+                Fault.hit "resolve.tuple";
+                let rt =
+                  Trace.span ~cat:"inc"
+                    ~args:(fun () ->
+                      [
+                        ("tid", Dq_obs.Json.Int (Tuple.tid t));
+                        ("pass", Dq_obs.Json.Int pass);
+                      ])
+                    "tupleresolve"
+                    (fun () -> Tuple_resolve.resolve env t)
+                in
+                Metrics.incr m_resolves;
+                Progress.emit (fun () ->
+                    Printf.sprintf
+                      "inc_repair: tuple %d/%d | %d changed | %.0f tuples/s"
+                      (pass + 1) n_delta !tuples_changed
+                      (float_of_int (pass + 1)
+                      /. Float.max 1e-9 (Unix.gettimeofday () -. started)));
+                let diffs = Tuple.diff_positions t rt in
+                if diffs <> [] then begin
+                  incr tuples_changed;
+                  Metrics.incr m_tuples_changed
+                end;
+                cells_changed := !cells_changed + List.length diffs;
+                List.iter
+                  (fun pos ->
+                    let old_value = Tuple.get t pos in
+                    let new_value = Tuple.get rt pos in
+                    if Value.is_null new_value then incr nulls;
+                    Provenance.record trail
+                      {
+                        Provenance.tid = Tuple.tid t;
+                        attr = pos;
+                        attr_name = Schema.attribute schema pos;
+                        old_value;
+                        new_value;
+                        clause = None;
+                        cost_delta =
+                          Tuple.weight t pos
+                          *. Cost.similarity old_value new_value;
+                        pass;
+                      })
+                  diffs;
+                Relation.add repr rt;
+                Tuple_resolve.register env rt;
+                Deadline.tick deadline
+              end)
+            delta);
+      match !cut_at with
+      | Some 0 -> Error Dq_error.Deadline_exceeded
+      | cut ->
+        let processed =
+          match cut with Some p -> p | None -> n_delta
+        in
+        let degraded =
+          Option.map
+            (fun p ->
+              {
+                Report.reason = "deadline expired";
+                progress = float_of_int p /. float_of_int (max 1 n_delta);
+              })
+            cut
+        in
+        let stats =
+          {
+            tuples_processed = processed;
+            tuples_changed = !tuples_changed;
+            cells_changed = !cells_changed;
+            nulls_introduced = !nulls;
+            runtime = Unix.gettimeofday () -. started;
+          }
+        in
+        let report =
+          Report.make ~engine:"inc_repair"
+            ~summary:
+              [
+                ("ordering", Dq_obs.Json.String (ordering_name ordering));
+                ("tuples_processed", Dq_obs.Json.Int stats.tuples_processed);
+                ("tuples_changed", Dq_obs.Json.Int stats.tuples_changed);
+                ("cells_changed", Dq_obs.Json.Int stats.cells_changed);
+                ("nulls_introduced", Dq_obs.Json.Int stats.nulls_introduced);
+              ]
+            ~phases:!phases
+            ~provenance:(Provenance.entries trail)
+            ?degraded ()
+        in
+        Ok ((repr, stats), report))
 
-let repair_inserts ?pool ?k ?max_candidates ?use_cluster_index ?ordering base
-    delta sigma =
-  run ?pool ?k ?max_candidates ?use_cluster_index ?ordering base delta sigma
+let repair_inserts ?pool ?k ?max_candidates ?use_cluster_index ?ordering
+    ?deadline base delta sigma =
+  run ?pool ?k ?max_candidates ?use_cluster_index ?ordering ?deadline base
+    delta sigma
 
-let consistent_core ?pool rel sigma =
-  let counts = Violation.vio_counts ?pool rel sigma in
+let consistent_core ?pool ?deadline rel sigma =
+  let counts = Violation.vio_counts ?pool ?deadline rel sigma in
   Relation.fold
     (fun acc t ->
       if Hashtbl.mem counts (Tuple.tid t) then acc else Tuple.tid t :: acc)
     [] rel
   |> List.rev
 
-let repair_dirty ?pool ?k ?max_candidates ?use_cluster_index ?ordering rel
-    sigma =
+let repair_dirty ?pool ?k ?max_candidates ?use_cluster_index ?ordering
+    ?deadline rel sigma =
   let phases = ref [] in
-  let core =
+  match
     Report.phase_m phases "core" m_t_core (fun () ->
-        consistent_core ?pool rel sigma)
-  in
-  let core_set = Hashtbl.create (List.length core) in
-  List.iter (fun tid -> Hashtbl.add core_set tid ()) core;
-  let base = Relation.create (Relation.schema rel) in
-  let delta = ref [] in
-  Relation.iter
-    (fun t ->
-      if Hashtbl.mem core_set (Tuple.tid t) then Relation.add base (Tuple.copy t)
-      else delta := Tuple.copy t :: !delta)
-    rel;
-  run ?pool ?k ?max_candidates ?use_cluster_index ?ordering ~phases base
-    (List.rev !delta) sigma
+        consistent_core ?pool ?deadline rel sigma)
+  with
+  | exception Deadline.Expired -> Error Dq_error.Deadline_exceeded
+  | core ->
+    let core_set = Hashtbl.create (List.length core) in
+    List.iter (fun tid -> Hashtbl.add core_set tid ()) core;
+    let base = Relation.create (Relation.schema rel) in
+    let delta = ref [] in
+    Relation.iter
+      (fun t ->
+        if Hashtbl.mem core_set (Tuple.tid t) then
+          Relation.add base (Tuple.copy t)
+        else delta := Tuple.copy t :: !delta)
+      rel;
+    run ?pool ?k ?max_candidates ?use_cluster_index ?ordering ?deadline
+      ~phases base (List.rev !delta) sigma

@@ -41,6 +41,7 @@ val repair_inserts :
   ?max_candidates:int ->
   ?use_cluster_index:bool ->
   ?ordering:ordering ->
+  ?deadline:Dq_fault.Deadline.t ->
   Relation.t ->
   Tuple.t list ->
   Dq_cfd.Cfd.t array ->
@@ -52,13 +53,27 @@ val repair_inserts :
     insertions — replaying it over [d ⊕ ΔD] reconstructs the repair.
     The tuples of [delta] must carry tids distinct from [d]'s and from each
     other, else [Error (Invalid_input _)].  Default ordering is
-    {!By_violations}. *)
+    {!By_violations}.
+
+    [deadline] is checked before each tuple: once expired, the remaining
+    delta tuples are added {e unrepaired} (no provenance entries, not
+    counted in [tuples_processed]) and the report carries
+    [degraded = Some _] with [progress] = the fraction of delta tuples
+    actually resolved.  The degraded result is complete but may still
+    violate [sigma].  If the deadline expires before the first tuple (or
+    during the ordering scan), nothing was repaired and the result is
+    [Error Deadline_exceeded]. *)
 
 val consistent_core :
-  ?pool:Dq_parallel.Pool.t -> Relation.t -> Dq_cfd.Cfd.t array -> int list
+  ?pool:Dq_parallel.Pool.t ->
+  ?deadline:Dq_fault.Deadline.t ->
+  Relation.t ->
+  Dq_cfd.Cfd.t array ->
+  int list
 (** Tids of tuples involved in no violation — the efficiently computable
     stand-in for a maximal consistent subset (finding a truly maximal one
-    is NP-hard, Proposition 5.4). *)
+    is NP-hard, Proposition 5.4).  An expired [deadline] raises
+    [Dq_fault.Deadline.Expired]. *)
 
 val repair_dirty :
   ?pool:Dq_parallel.Pool.t ->
@@ -66,9 +81,12 @@ val repair_dirty :
   ?max_candidates:int ->
   ?use_cluster_index:bool ->
   ?ordering:ordering ->
+  ?deadline:Dq_fault.Deadline.t ->
   Relation.t ->
   Dq_cfd.Cfd.t array ->
   ((Relation.t * stats) * Dq_obs.Report.t, Dq_error.t) result
 (** Section 5.3: repair a dirty database with INCREPAIR by extracting the
     consistent core and re-inserting the remaining tuples one at a time.
-    The report's phases additionally carry the consistent-core pass. *)
+    The report's phases additionally carry the consistent-core pass.
+    [deadline] behaves as in {!repair_inserts} (a cut during the core
+    extraction itself returns [Error Deadline_exceeded]). *)

@@ -3,6 +3,7 @@ open Dq_cfd
 module Metrics = Dq_obs.Metrics
 module Report = Dq_obs.Report
 module Trace = Dq_obs.Trace
+module Deadline = Dq_fault.Deadline
 
 type strategy = By_violations of int list | By_cost of float list
 
@@ -106,7 +107,8 @@ let stratum_of config ~original ~sigma =
       let cost = Cost.tuple_change ~original:t_orig ~repaired:t_repaired in
       List.fold_left (fun s b -> if cost >= b then s + 1 else s) 0 boundaries
 
-let inspect ?(seed = 42) config ~original ~repair ~sigma ~oracle =
+let inspect ?(seed = 42) ?(deadline = Deadline.never) config ~original ~repair
+    ~sigma ~oracle =
   Trace.span ~cat:"engine"
     ~args:(fun () ->
       [
@@ -117,6 +119,11 @@ let inspect ?(seed = 42) config ~original ~repair ~sigma ~oracle =
   @@ fun () ->
   match validate_config config with
   | Error msg -> Error (Dq_error.Invalid_config ("Sampling.inspect: " ^ msg))
+  | Ok () when Deadline.expired deadline ->
+    (* A sampling verdict is accept-or-reject: there is no meaningful
+       partial answer, so an expired deadline — checked on entry and
+       between the stratify and score phases — fails outright. *)
+    Error Dq_error.Deadline_exceeded
   | Ok () ->
     Metrics.incr m_inspections;
     let phases = ref [] in
@@ -142,6 +149,9 @@ let inspect ?(seed = 42) config ~original ~repair ~sigma ~oracle =
               sizes.(s) <- sizes.(s) + 1;
               Reservoir.add reservoirs.(s) (s, t'))
           repair);
+    Deadline.tick deadline;
+    if Deadline.expired deadline then Error Dq_error.Deadline_exceeded
+    else begin
     let sample =
       List.concat_map Reservoir.contents (Array.to_list reservoirs)
     in
@@ -209,3 +219,4 @@ let inspect ?(seed = 42) config ~original ~repair ~sigma ~oracle =
         ~phases:!phases ()
     in
     Ok (r, obs)
+    end

@@ -51,6 +51,7 @@ val pp_report : Format.formatter -> report -> unit
 
 val inspect :
   ?seed:int ->
+  ?deadline:Dq_fault.Deadline.t ->
   config ->
   original:Relation.t ->
   repair:Relation.t ->
@@ -62,4 +63,8 @@ val inspect :
     pre-repair tuples for stratification.  An invalid configuration is
     [Error (Invalid_config _)].  The attached {!Dq_obs.Report.t} carries
     the stratum statistics and the test verdict in its summary (no
-    provenance — inspection changes nothing). *)
+    provenance — inspection changes nothing).
+
+    A sampling verdict is accept-or-reject, so there is no degraded
+    partial result: an expired [deadline] — checked on entry and at the
+    stratify/score phase boundary — is [Error Deadline_exceeded]. *)

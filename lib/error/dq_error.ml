@@ -8,6 +8,8 @@ type t =
   | Lint_gated of { path : string; errors : int; hint : string }
   | Unsatisfiable
   | Would_overwrite of string
+  | Deadline_exceeded
+  | Fault_injected of string
   | Internal of string
 
 let to_string = function
@@ -25,6 +27,10 @@ let to_string = function
     Printf.sprintf
       "refusing to overwrite the input file %s; pass --in-place to allow it"
       path
+  | Deadline_exceeded ->
+    "deadline exceeded before any usable result was produced"
+  | Fault_injected site ->
+    Printf.sprintf "fault injected at site %s (armed by a fault plan)" site
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let kind = function
@@ -35,6 +41,8 @@ let kind = function
   | Lint_gated _ -> "lint-gated"
   | Unsatisfiable -> "unsatisfiable"
   | Would_overwrite _ -> "would-overwrite"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Fault_injected _ -> "fault-injected"
   | Internal _ -> "internal"
 
 let to_json e =
@@ -55,6 +63,7 @@ let to_json e =
   | Lint_gated { path; errors; _ } ->
     Json.Obj
       (base @ [ ("path", Json.String path); ("errors", Json.Int errors) ])
+  | Fault_injected site -> Json.Obj (base @ [ ("site", Json.String site) ])
   | _ -> Json.Obj base
 
 module Exit = struct
@@ -65,11 +74,14 @@ module Exit = struct
   let usage = 2
 
   let lint_gated = 3
+
+  let deadline = 4
 end
 
 let exit_code = function
   | Unsatisfiable -> Exit.dirty
   | Lint_gated _ -> Exit.lint_gated
+  | Deadline_exceeded -> Exit.deadline
   | Io _ | Parse _ | Invalid_input _ | Invalid_config _ | Would_overwrite _
-  | Internal _ ->
+  | Fault_injected _ | Internal _ ->
     Exit.usage

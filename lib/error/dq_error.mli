@@ -13,7 +13,10 @@
     - [2] — usage or input error (bad flags, unreadable files, schema
       mismatches, invalid configuration, refusal to overwrite);
     - [3] — a lint-gated refusal: the ruleset has lint errors and
-      [--force] was not given. *)
+      [--force] was not given;
+    - [4] — a deadline expired before anything usable was produced
+      (when a partial result exists the command instead succeeds with
+      [degraded] set in the report). *)
 
 type t =
   | Io of string  (** file system or CSV framing problems *)
@@ -29,6 +32,12 @@ type t =
   | Would_overwrite of string
       (** the output path resolves to the input and [--in-place] was not
           given *)
+  | Deadline_exceeded
+      (** a [--deadline] expired before any usable (even partial) result
+          existed *)
+  | Fault_injected of string
+      (** an armed fault plan fired at this site — only reachable when
+          [--fault-plan]/[DQ_FAULT] is set *)
   | Internal of string  (** an engine invariant broke — a bug *)
 
 val to_string : t -> string
@@ -52,4 +61,7 @@ module Exit : sig
 
   val lint_gated : int
   (** [3]: refused because of lint errors (no [--force]) *)
+
+  val deadline : int
+  (** [4]: deadline exceeded with nothing usable to return *)
 end

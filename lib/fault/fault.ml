@@ -1,0 +1,110 @@
+exception Injected of string
+
+type action = Raise | Delay of float
+
+type spec = { site : string; hits : int; action : action }
+
+type plan = spec list
+
+let known_sites =
+  [ "csv.load"; "io.write"; "pool.task"; "repair.pass"; "resolve.tuple" ]
+
+(* Same zero-overhead contract as Metrics/Trace: [hit] reads one atomic
+   flag when nothing is armed.  The mutable counter table behind it is
+   guarded by a mutex — fault plans only fire in tests and incident
+   drills, so the armed path can afford a lock. *)
+let armed_flag = Atomic.make false
+
+let lock = Mutex.create ()
+
+(* site -> (executions so far, trigger count, action) *)
+let sites : (string, int ref * int * action) Hashtbl.t = Hashtbl.create 8
+
+let armed () = Atomic.get armed_flag
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let disarm () =
+  locked (fun () ->
+      Atomic.set armed_flag false;
+      Hashtbl.reset sites)
+
+let arm plan =
+  locked (fun () ->
+      Hashtbl.reset sites;
+      List.iter
+        (fun { site; hits; action } ->
+          Hashtbl.replace sites site (ref 0, hits, action))
+        plan;
+      Atomic.set armed_flag (plan <> []))
+
+let hit site =
+  if Atomic.get armed_flag then begin
+    let fired =
+      locked (fun () ->
+          match Hashtbl.find_opt sites site with
+          | None -> None
+          | Some (count, trigger, action) ->
+            incr count;
+            if !count = trigger then Some action else None)
+    in
+    match fired with
+    | None -> ()
+    | Some Raise -> raise (Injected site)
+    | Some (Delay seconds) -> Unix.sleepf seconds
+  end
+
+let pp_spec ppf { site; hits; action } =
+  match action with
+  | Raise -> Format.fprintf ppf "%s@%d" site hits
+  | Delay s -> Format.fprintf ppf "%s@%d:delay %g" site hits (s *. 1000.)
+
+let parse_spec s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "%S: expected SITE@HIT[:ACTION]" s)
+  | Some at ->
+    let site = String.sub s 0 at in
+    let rest = String.sub s (at + 1) (String.length s - at - 1) in
+    let hit_s, action_s =
+      match String.index_opt rest ':' with
+      | None -> (rest, None)
+      | Some colon ->
+        ( String.sub rest 0 colon,
+          Some (String.sub rest (colon + 1) (String.length rest - colon - 1)) )
+    in
+    if site = "" then Error (Printf.sprintf "%S: empty site name" s)
+    else begin
+      match int_of_string_opt (String.trim hit_s) with
+      | None | Some 0 ->
+        Error (Printf.sprintf "%S: hit count must be a positive integer" s)
+      | Some n when n < 0 ->
+        Error (Printf.sprintf "%S: hit count must be a positive integer" s)
+      | Some hits -> (
+        match Option.map String.trim action_s with
+        | None | Some "raise" -> Ok { site; hits; action = Raise }
+        | Some a when String.length a > 5 && String.sub a 0 5 = "delay" -> (
+          match float_of_string_opt (String.trim (String.sub a 5 (String.length a - 5))) with
+          | Some ms when ms >= 0. -> Ok { site; hits; action = Delay (ms /. 1000.) }
+          | Some _ | None ->
+            Error (Printf.sprintf "%S: delay wants milliseconds, e.g. \"delay 50\"" s))
+        | Some a ->
+          Error (Printf.sprintf "%S: unknown action %S (raise | delay MS)" s a))
+    end
+
+let parse_plan s =
+  let specs =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if specs = [] then Error "empty fault plan"
+  else
+    List.fold_left
+      (fun acc spec ->
+        match (acc, parse_spec spec) with
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e
+        | Ok plan, Ok p -> Ok (p :: plan))
+      (Ok []) specs
+    |> Result.map List.rev

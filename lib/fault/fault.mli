@@ -1,0 +1,63 @@
+(** Deterministic fault injection.
+
+    Code under test declares named {e sites} by calling {!hit} at
+    interesting points ([Csv.load_file] calls [hit "csv.load"], the
+    domain pool wraps every task in [hit "pool.task"], and so on).  A
+    test or an operator arms a {e plan} — "at the [k]-th execution of
+    site [s], raise (or stall)" — and the next matching [hit] fires.
+
+    The contract mirrors [Dq_obs.Metrics]/[Trace]: when nothing is
+    armed (the default), [hit] is a single read of an atomic flag, so
+    instrumented production code pays nothing.
+
+    Plans are parsed from the grammar used by [--fault-plan] and the
+    [DQ_FAULT] environment variable:
+
+    {v PLAN   ::= SPEC ("," SPEC)*
+SPEC   ::= SITE "@" HIT (":" ACTION)?
+ACTION ::= "raise" | "delay" WS MS v}
+
+    e.g. ["io.write@1"] (raise at the first file write),
+    ["pool.task@3:delay 50"] (stall the third pool task for 50 ms). *)
+
+(** Raised by {!hit} when an armed [raise] plan fires.  The payload is
+    the site name. *)
+exception Injected of string
+
+type action =
+  | Raise  (** raise {!Injected} at the site *)
+  | Delay of float  (** sleep this many seconds, then continue *)
+
+type spec = {
+  site : string;  (** which site *)
+  hits : int;  (** fire on the [hits]-th execution (1-based) *)
+  action : action;
+}
+
+type plan = spec list
+
+(** Sites instrumented in this codebase; used by the CLI to reject
+    typo'd plans early. *)
+val known_sites : string list
+
+(** [parse_plan s] parses the [--fault-plan]/[DQ_FAULT] grammar above.
+    Accepts any site name; validation against {!known_sites} is the
+    caller's choice. *)
+val parse_plan : string -> (plan, string) result
+
+val pp_spec : Format.formatter -> spec -> unit
+
+(** Arm a plan, replacing any previous one and resetting all hit
+    counters.  Arming [[]] disarms. *)
+val arm : plan -> unit
+
+(** Disarm and reset all counters. *)
+val disarm : unit -> unit
+
+(** True when a non-empty plan is armed. *)
+val armed : unit -> bool
+
+(** Declare an execution of a named site.  No-op (one atomic read)
+    unless a plan targeting this site is armed, in which case the
+    armed action fires on the matching execution count.  Thread-safe. *)
+val hit : string -> unit

@@ -1,12 +1,19 @@
+type degraded = { reason : string; progress : float }
+
 type t = {
   engine : string;
   summary : (string * Json.t) list;
   phases : (string * float) list;
   provenance : Provenance.entry list;
+  degraded : degraded option;
 }
 
-let make ~engine ?(summary = []) ?(phases = []) ?(provenance = []) () =
-  { engine; summary; phases; provenance }
+let make ~engine ?(summary = []) ?(phases = []) ?(provenance = []) ?degraded ()
+    =
+  { engine; summary; phases; provenance; degraded }
+
+let degraded_equal a b =
+  String.equal a.reason b.reason && Float.equal a.progress b.progress
 
 let equal a b =
   String.equal a.engine b.engine
@@ -14,6 +21,7 @@ let equal a b =
        (fun (k, v) (k', v') -> String.equal k k' && Json.equal v v')
        a.summary b.summary
   && List.equal Provenance.entry_equal a.provenance b.provenance
+  && Option.equal degraded_equal a.degraded b.degraded
 
 let json_parts ~with_phases r =
   [
@@ -27,6 +35,16 @@ let json_parts ~with_phases r =
        ]
      else [])
   @ [ ("provenance", Json.List (List.map Provenance.entry_to_json r.provenance)) ]
+  (* Emitted only when present, so reports from undegraded runs are
+     byte-identical to what they were before the field existed. *)
+  @ (match r.degraded with
+    | None -> []
+    | Some { reason; progress } ->
+      [
+        ("degraded", Json.Bool true);
+        ("degraded_reason", Json.String reason);
+        ("progress", Json.Float progress);
+      ])
 
 let to_json r = Json.Obj (json_parts ~with_phases:true r)
 

@@ -19,11 +19,20 @@
     byte-comparable once timing fields are stripped — which is exactly
     what {!stable_json} does. *)
 
+type degraded = { reason : string; progress : float }
+(** Why a run was cut short (e.g. ["deadline"]) and roughly how much of
+    the work had been done, as a fraction in [\[0, 1\]] — defined per
+    engine (batch: share of repair steps known at the cut; inc: share
+    of tuples resolved). *)
+
 type t = {
   engine : string;
   summary : (string * Json.t) list;
   phases : (string * float) list;  (** wall seconds, execution order *)
   provenance : Provenance.entry list;
+  degraded : degraded option;
+      (** [Some _] when the engine stopped early (deadline) and the
+          value alongside this report is best-so-far, not final *)
 }
 
 val make :
@@ -31,15 +40,19 @@ val make :
   ?summary:(string * Json.t) list ->
   ?phases:(string * float) list ->
   ?provenance:Provenance.entry list ->
+  ?degraded:degraded ->
   unit ->
   t
 
 val equal : t -> t -> bool
-(** Engine, summary and provenance must agree; phases (timing) are
-    ignored. *)
+(** Engine, summary, provenance and degraded must agree; phases
+    (timing) are ignored. *)
 
 val to_json : t -> Json.t
-(** Field order: [engine, summary, phases, provenance]. *)
+(** Field order: [engine, summary, phases, provenance], then — only on
+    degraded runs, so undegraded output is byte-identical to what it
+    was before the field existed — [degraded, degraded_reason,
+    progress]. *)
 
 val stable_json : t -> Json.t
 (** {!to_json} without the [phases] field: a byte-identical-across-jobs

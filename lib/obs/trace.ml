@@ -96,7 +96,5 @@ let to_json () =
     ]
 
 let write path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Json.to_string ~minify:true (to_json ())))
+  Dq_fault.Atomic_io.write_file path
+    (Json.to_string ~minify:true (to_json ()))

@@ -1,5 +1,7 @@
 module Metrics = Dq_obs.Metrics
 module Trace = Dq_obs.Trace
+module Fault = Dq_fault.Fault
+module Deadline = Dq_fault.Deadline
 
 (* Pool utilization instruments: batches and tasks executed, wall time per
    batch, and busy time summed across all domains.  Utilization over a
@@ -82,8 +84,20 @@ let with_pool ?jobs f =
   let pool = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let run pool tasks =
+let run ?(deadline = Deadline.never) pool tasks =
   let n = Array.length tasks in
+  (* The ["pool.task"] fault site wraps every task when a plan is armed
+     (and costs one atomic read otherwise) — how the robustness tests
+     inject a raising or stalling task into the middle of a batch. *)
+  let tasks =
+    if not (Fault.armed ()) then tasks
+    else
+      Array.map
+        (fun f () ->
+          Fault.hit "pool.task";
+          f ())
+        tasks
+  in
   let tasks =
     if not (Metrics.enabled ()) then tasks
     else begin
@@ -104,15 +118,31 @@ let run pool tasks =
   in
   Metrics.time m_batch_wall @@ fun () ->
   if n = 0 then ()
-  else if pool.jobs = 1 || n = 1 then Array.iter (fun f -> f ()) tasks
+  else if pool.jobs = 1 || n = 1 then
+    Array.iter
+      (fun f ->
+        Deadline.check deadline;
+        f ())
+      tasks
   else begin
     let remaining = Atomic.make n in
+    (* First failure wins: the winning task's exception and backtrace,
+       re-raised in the caller once the whole batch has drained. *)
     let failed = Atomic.make None in
     let batch_lock = Mutex.create () in
     let batch_done = Condition.create () in
+    let record e bt = ignore (Atomic.compare_and_set failed None (Some (e, bt))) in
     let wrap f () =
-      (try f ()
-       with e -> ignore (Atomic.compare_and_set failed None (Some e)));
+      (* Cooperative cancellation: once the deadline expires, tasks not
+         yet started are skipped (they still count down [remaining], so
+         the batch drains normally) and the caller sees
+         [Deadline.Expired].  A task already running is never
+         interrupted. *)
+      (if Deadline.expired deadline then
+         record Deadline.Expired (Printexc.get_callstack 0)
+       else
+         try f ()
+         with e -> record e (Printexc.get_raw_backtrace ()));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         (* Last task out signals under the batch lock so the waiter can't
            miss the wake-up between its counter check and its wait. *)
@@ -146,7 +176,9 @@ let run pool tasks =
       end
     in
     help ();
-    match Atomic.get failed with Some e -> raise e | None -> ()
+    match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end
 
 let ranges ~chunks n =
@@ -156,11 +188,11 @@ let ranges ~chunks n =
     List.init chunks (fun c -> (c * n / chunks, (c + 1) * n / chunks))
   end
 
-let map_reduce pool ?chunks ~n ~map ~fold ~init =
+let map_reduce ?deadline pool ?chunks ~n ~map ~fold ~init =
   let chunks = match chunks with Some c -> c | None -> pool.jobs in
   let ranges = Array.of_list (ranges ~chunks n) in
   let results = Array.make (Array.length ranges) None in
-  run pool
+  run ?deadline pool
     (Array.mapi
        (fun c (lo, hi) -> fun () -> results.(c) <- Some (map lo hi))
        ranges);
@@ -195,33 +227,39 @@ let chunk_span label f =
         name
         (fun () -> f lo hi)
 
-let for_chunks ?chunks ?label pool ~n f =
+let for_chunks ?deadline ?chunks ?label pool ~n f =
   if n <= 0 then ()
   else
     let f = chunk_span label f in
     match pool with
     | Some pool when not (sequential (Some pool)) ->
-      map_reduce pool ?chunks ~n ~map:f ~fold:(fun () () -> ()) ~init:()
-    | _ -> f 0 n
+      map_reduce ?deadline pool ?chunks ~n ~map:f
+        ~fold:(fun () () -> ())
+        ~init:()
+    | _ ->
+      Option.iter Deadline.check deadline;
+      f 0 n
 
-let map_chunks ?chunks ?label pool ~n map =
+let map_chunks ?deadline ?chunks ?label pool ~n map =
   if n <= 0 then []
   else
     let map = chunk_span label map in
     match pool with
     | Some pool when not (sequential (Some pool)) ->
-      map_reduce pool ?chunks ~n ~map
+      map_reduce ?deadline pool ?chunks ~n ~map
         ~fold:(fun acc x -> x :: acc)
         ~init:[]
       |> List.rev
-    | _ -> [ map 0 n ]
+    | _ ->
+      Option.iter Deadline.check deadline;
+      [ map 0 n ]
 
-let map_array ?chunks ?label pool f arr =
+let map_array ?deadline ?chunks ?label pool f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    for_chunks ?chunks ?label pool ~n (fun lo hi ->
+    for_chunks ?deadline ?chunks ?label pool ~n (fun lo hi ->
         for i = lo to hi - 1 do
           out.(i) <- Some (f arr.(i))
         done);

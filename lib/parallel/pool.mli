@@ -46,10 +46,24 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] — even on exceptions.  [jobs] defaults to
     {!default_jobs}. *)
 
-val run : t -> (unit -> unit) array -> unit
+val run : ?deadline:Dq_fault.Deadline.t -> t -> (unit -> unit) array -> unit
 (** Execute every task, in parallel, returning once all have finished.
-    The first exception raised by a task (if any) is re-raised in the
-    caller after the whole batch has drained. *)
+
+    {b First-failure-wins}: if tasks raise, exactly one exception — the
+    first to be recorded — is re-raised in the caller {e with the
+    raising task's backtrace}, and only after the whole batch has
+    drained (remaining tasks still run; none are interrupted, so the
+    pool is left quiescent and reusable).  With [jobs = 1] "first" is
+    first in task order; with more jobs it is first in wall-clock
+    completion order.  A raising or stalling task can therefore never
+    hang the batch: the other tasks finish, then the caller sees the
+    failure.
+
+    [deadline] cancels cooperatively: tasks that have not started when
+    it expires are skipped (the batch still drains) and
+    [Dq_fault.Deadline.Expired] is raised in the caller; a task already
+    running always completes.  When a fault plan is armed, every task
+    is wrapped in the ["pool.task"] fault site. *)
 
 val ranges : chunks:int -> int -> (int * int) list
 (** [ranges ~chunks n] splits [0, n) into at most [chunks] contiguous
@@ -62,6 +76,7 @@ val parallel_for : t -> ?chunks:int -> n:int -> (int -> unit) -> unit
     [chunks] defaults to {!jobs}. *)
 
 val map_reduce :
+  ?deadline:Dq_fault.Deadline.t ->
   t ->
   ?chunks:int ->
   n:int ->
@@ -88,16 +103,35 @@ val map_reduce :
     computation produces does not depend on the job count. *)
 
 val for_chunks :
-  ?chunks:int -> ?label:string -> t option -> n:int -> (int -> int -> unit) -> unit
+  ?deadline:Dq_fault.Deadline.t ->
+  ?chunks:int ->
+  ?label:string ->
+  t option ->
+  n:int ->
+  (int -> int -> unit) ->
+  unit
 (** Run [f lo hi] over the ranges of [0, n); sequentially as [f 0 n]
-    when no parallelism applies. *)
+    when no parallelism applies.  An expired [deadline] raises
+    [Dq_fault.Deadline.Expired] on both paths. *)
 
 val map_chunks :
-  ?chunks:int -> ?label:string -> t option -> n:int -> (int -> int -> 'a) -> 'a list
+  ?deadline:Dq_fault.Deadline.t ->
+  ?chunks:int ->
+  ?label:string ->
+  t option ->
+  n:int ->
+  (int -> int -> 'a) ->
+  'a list
 (** Chunk results in chunk-index order; [[map 0 n]] when sequential
     (and [[]] when [n = 0]). *)
 
 val map_array :
-  ?chunks:int -> ?label:string -> t option -> ('a -> 'b) -> 'a array -> 'b array
+  ?deadline:Dq_fault.Deadline.t ->
+  ?chunks:int ->
+  ?label:string ->
+  t option ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** Element-wise map preserving positions.  Elements of a chunk are
     evaluated in index order within their domain. *)

@@ -1,48 +1,114 @@
-let parse_string text =
+type error = { line : int; col : int; message : string }
+
+let error_to_string e =
+  Printf.sprintf "line %d, column %d: %s" e.line e.col e.message
+
+exception Csv_error of error
+
+(* A guard against hostile input: a single multi-gigabyte field (an
+   unterminated quote swallowing a huge file, say) fails fast instead of
+   buffering without bound. *)
+let default_max_field_bytes = 64 * 1024 * 1024
+
+let parse_rows ?(max_field_bytes = default_max_field_bytes) text =
   let n = String.length text in
   let rows = Vec.create () in
   let row = Vec.create () in
   let cell = Buffer.create 32 in
+  (* 1-based position of the next unconsumed character. *)
+  let line = ref 1 and col = ref 1 in
+  let row_line = ref 1 in
+  let cell_line = ref 1 and cell_col = ref 1 in
+  let error l c message = raise (Csv_error { line = l; col = c; message }) in
+  let advance c =
+    if c = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  in
+  let add_to_cell c =
+    if Buffer.length cell >= max_field_bytes then
+      error !cell_line !cell_col
+        (Printf.sprintf "field longer than %d bytes" max_field_bytes);
+    Buffer.add_char cell c
+  in
   let flush_cell () =
     Vec.push row (Buffer.contents cell);
     Buffer.clear cell
   in
   let flush_row () =
     flush_cell ();
-    Vec.push rows (Vec.to_list row);
-    Vec.clear row
+    Vec.push rows (!row_line, Vec.to_list row);
+    Vec.clear row;
+    row_line := !line
   in
   let rec plain i =
-    if i >= n then (if Vec.length row > 0 || Buffer.length cell > 0 then flush_row ())
-    else
-      match text.[i] with
+    if i >= n then begin
+      if Vec.length row > 0 || Buffer.length cell > 0 then flush_row ()
+    end
+    else begin
+      let c = text.[i] in
+      if c = '\000' then error !line !col "NUL byte in input";
+      match c with
       | ',' ->
+        advance c;
         flush_cell ();
         plain (i + 1)
       | '\n' ->
+        advance c;
         flush_row ();
         plain (i + 1)
       | '\r' when i + 1 < n && text.[i + 1] = '\n' ->
+        advance '\r';
+        advance '\n';
         flush_row ();
         plain (i + 2)
-      | '"' when Buffer.length cell = 0 -> quoted (i + 1)
-      | c ->
-        Buffer.add_char cell c;
-        plain (i + 1)
-  and quoted i =
-    if i >= n then failwith "Csv.parse_string: unterminated quoted field"
-    else
-      match text.[i] with
-      | '"' when i + 1 < n && text.[i + 1] = '"' ->
-        Buffer.add_char cell '"';
-        quoted (i + 2)
-      | '"' -> plain (i + 1)
-      | c ->
-        Buffer.add_char cell c;
+      | '"' when Buffer.length cell = 0 ->
+        cell_line := !line;
+        cell_col := !col;
+        advance c;
         quoted (i + 1)
+      | c ->
+        if Buffer.length cell = 0 then begin
+          cell_line := !line;
+          cell_col := !col
+        end;
+        advance c;
+        add_to_cell c;
+        plain (i + 1)
+    end
+  and quoted i =
+    if i >= n then error !cell_line !cell_col "unterminated quoted field"
+    else begin
+      let c = text.[i] in
+      if c = '\000' then error !line !col "NUL byte in input";
+      match c with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+        advance '"';
+        advance '"';
+        add_to_cell '"';
+        quoted (i + 2)
+      | '"' ->
+        advance c;
+        plain (i + 1)
+      | c ->
+        advance c;
+        add_to_cell c;
+        quoted (i + 1)
+    end
   in
-  plain 0;
-  Vec.to_list rows
+  match plain 0 with
+  | () -> Ok (Vec.to_list rows)
+  | exception Csv_error e -> Error e
+
+let parse_string_res ?max_field_bytes text =
+  Result.map (List.map snd) (parse_rows ?max_field_bytes text)
+
+let parse_string text =
+  match parse_string_res text with
+  | Ok rows -> rows
+  | Error e -> failwith ("Csv.parse_string: " ^ error_to_string e)
 
 let needs_quoting s =
   String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
@@ -69,22 +135,42 @@ let rows_to_string rows =
     rows;
   Buffer.contents b
 
-let load_string ?(name = "R") text =
-  match parse_string text with
-  | [] -> failwith "Csv.load_string: empty input"
-  | header :: data ->
-    let schema = Schema.make ~name header in
-    let rel = Relation.create schema in
-    List.iteri
-      (fun line row ->
-        if List.length row <> List.length header then
-          failwith
-            (Printf.sprintf "Csv.load_string: row %d has %d cells, expected %d"
-               (line + 2) (List.length row) (List.length header));
-        let values = Array.of_list (List.map Value.of_string row) in
-        ignore (Relation.insert rel values))
-      data;
-    rel
+let load_string_res ?(name = "R") ?max_field_bytes text =
+  match parse_rows ?max_field_bytes text with
+  | Error e -> Error e
+  | Ok [] ->
+    Error { line = 1; col = 1; message = "empty input: expected a header row" }
+  | Ok ((header_line, header) :: data) -> (
+    match Schema.make ~name header with
+    | exception Invalid_argument msg ->
+      Error { line = header_line; col = 1; message = "bad header: " ^ msg }
+    | schema ->
+      let rel = Relation.create schema in
+      let arity = List.length header in
+      (try
+         List.iter
+           (fun (line, row) ->
+             let cells = List.length row in
+             if cells <> arity then
+               raise
+                 (Csv_error
+                    {
+                      line;
+                      col = 1;
+                      message =
+                        Printf.sprintf "row has %d cells, expected %d" cells
+                          arity;
+                    });
+             let values = Array.of_list (List.map Value.of_string row) in
+             ignore (Relation.insert rel values))
+           data;
+         Ok rel
+       with Csv_error e -> Error e))
+
+let load_string ?name text =
+  match load_string_res ?name text with
+  | Ok rel -> rel
+  | Error e -> failwith ("Csv.load_string: " ^ error_to_string e)
 
 let read_whole_file path =
   let ic = open_in_bin path in
@@ -92,12 +178,16 @@ let read_whole_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let default_name path = Filename.remove_extension (Filename.basename path)
+
+let load_file_res ?name ?max_field_bytes path =
+  let name = match name with Some n -> n | None -> default_name path in
+  Dq_fault.Fault.hit "csv.load";
+  load_string_res ~name ?max_field_bytes (read_whole_file path)
+
 let load_file ?name path =
-  let name =
-    match name with
-    | Some n -> n
-    | None -> Filename.remove_extension (Filename.basename path)
-  in
+  let name = match name with Some n -> n | None -> default_name path in
+  Dq_fault.Fault.hit "csv.load";
   load_string ~name (read_whole_file path)
 
 let save_string rel =
@@ -114,8 +204,4 @@ let save_string rel =
   in
   rows_to_string (header :: List.rev rows)
 
-let save_file rel path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (save_string rel))
+let save_file rel path = Dq_fault.Atomic_io.write_file path (save_string rel)

@@ -22,8 +22,8 @@ let test_parse_empty_cells () =
 
 let test_unterminated_quote () =
   Alcotest.check_raises "unterminated"
-    (Failure "Csv.parse_string: unterminated quoted field") (fun () ->
-      ignore (Csv.parse_string "\"oops"))
+    (Failure "Csv.parse_string: line 1, column 1: unterminated quoted field")
+    (fun () -> ignore (Csv.parse_string "\"oops"))
 
 let test_escape () =
   Alcotest.(check string) "plain" "abc" (Csv.escape_cell "abc");
@@ -42,12 +42,89 @@ let test_load_and_save_roundtrip () =
 
 let test_load_ragged () =
   Alcotest.check_raises "ragged row"
-    (Failure "Csv.load_string: row 2 has 1 cells, expected 2") (fun () ->
-      ignore (Csv.load_string "A,B\nonly_one\n"))
+    (Failure "Csv.load_string: line 2, column 1: row has 1 cells, expected 2")
+    (fun () -> ignore (Csv.load_string "A,B\nonly_one\n"))
 
 let test_load_empty () =
-  Alcotest.check_raises "empty file" (Failure "Csv.load_string: empty input")
+  Alcotest.check_raises "empty file"
+    (Failure
+       "Csv.load_string: line 1, column 1: empty input: expected a header row")
     (fun () -> ignore (Csv.load_string ""))
+
+(* The structured [_res] variants report a 1-based source position. *)
+let check_error name ~line ~col ~message = function
+  | Ok _ -> Alcotest.failf "%s: expected Error, got Ok" name
+  | Error e ->
+    Alcotest.(check (triple int int string))
+      name (line, col, message)
+      (e.Csv.line, e.Csv.col, e.Csv.message)
+
+let test_structured_errors () =
+  check_error "unterminated position" ~line:3 ~col:3
+    ~message:"unterminated quoted field"
+    (Csv.parse_string_res "a,b\nc,d\ne,\"oops\nstill open");
+  check_error "NUL byte" ~line:2 ~col:2 ~message:"NUL byte in input"
+    (Csv.parse_string_res "ok\na\000b");
+  check_error "field guard" ~line:1 ~col:3
+    ~message:"field longer than 4 bytes"
+    (Csv.parse_string_res ~max_field_bytes:4 "a,bcdefgh");
+  check_error "ragged" ~line:3 ~col:1 ~message:"row has 3 cells, expected 2"
+    (Csv.load_string_res "A,B\n1,2\n1,2,3\n");
+  check_error "duplicate header" ~line:1 ~col:1
+    ~message:"bad header: Schema.make: duplicate attribute \"A\""
+    (Csv.load_string_res "A,A\n1,2\n")
+
+let test_crlf_in_quotes () =
+  (* CRLF is a row separator outside quotes but literal bytes inside. *)
+  Alcotest.(check (list (list string)))
+    "quoted crlf" [ [ "a\r\nb" ]; [ "c" ] ]
+    (Csv.parse_string "\"a\r\nb\"\r\nc\r\n")
+
+let prop_load_never_raises =
+  (* Any byte sequence either loads or yields a structured error — the
+     hardened loader never raises.  The alphabet is skewed towards the
+     CSV metacharacters and hostile bytes. *)
+  let byte =
+    QCheck.Gen.(
+      oneof
+        [
+          oneofl [ ','; '"'; '\n'; '\r'; '\000'; 'a'; '1'; '.' ];
+          char_range '\000' '\255';
+        ])
+  in
+  QCheck.Test.make ~name:"load_string_res never raises" ~count:1000
+    (QCheck.make QCheck.Gen.(string_size ~gen:byte (0 -- 60)))
+    (fun text ->
+      match Csv.load_string_res text with Ok _ | Error _ -> true)
+
+let test_save_file_atomic_on_fault () =
+  (* Satellite (a): an injected crash mid-write must leave the previous
+     file contents intact — Atomic_io writes a temp file and renames. *)
+  let path = Filename.temp_file "dataqual" ".csv" in
+  Fun.protect
+    ~finally:(fun () ->
+      Dq_fault.Fault.disarm ();
+      Sys.remove path)
+    (fun () ->
+      let rel = Csv.load_string ~name:"t" "A,B\n1,x\n" in
+      Csv.save_file rel path;
+      let before = Csv.save_string rel in
+      let rel2 = Csv.load_string ~name:"t" "A,B\n2,y\n3,z\n" in
+      (match Dq_fault.Fault.parse_plan "io.write@1" with
+      | Ok plan -> Dq_fault.Fault.arm plan
+      | Error msg -> Alcotest.failf "plan: %s" msg);
+      (match Csv.save_file rel2 path with
+      | () -> Alcotest.fail "expected the io.write fault to fire"
+      | exception Dq_fault.Fault.Injected site ->
+        Alcotest.(check string) "site" "io.write" site);
+      Dq_fault.Fault.disarm ();
+      let ic = open_in_bin path in
+      let after =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string) "original contents intact" before after)
 
 let test_file_roundtrip () =
   let path = Filename.temp_file "dataqual" ".csv" in
