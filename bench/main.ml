@@ -49,6 +49,7 @@ let valid_sections =
     "abl-cluster";
     "abl-k";
     "parallel";
+    "analyze";
     "micro";
   ]
 
@@ -765,6 +766,100 @@ let parallel () =
            entries)
   end
 
+(* ---- analyze: Σ-interaction analyzer and partitioned repair ----------- *)
+
+(* The analyzer itself is cheap; the interesting numbers are what its
+   shard plan buys BATCHREPAIR on the generated workload (whose Σ carries
+   the phi2/phi4 dependency cycle): byte-identical output at 1 and 4
+   jobs, and fewer class-root visits across instantiation rounds — the
+   re-resolution churn each full-width round pays on columns some other
+   shard owns. *)
+let analyze_bench () =
+  if
+    section "analyze" "Σ-interaction analysis and shard-partitioned repair"
+  then begin
+    let runs =
+      List.map
+        (fun seed ->
+          let ds = dataset seed in
+          let info = dirtied ds (seed + 1) in
+          let rel = info.Noise.dirty and sigma = ds.Datagen.sigma in
+          let a, t_analyze =
+            time (fun () ->
+                Dq_analysis.Interaction.analyze ~data:rel
+                  (Relation.schema rel) sigma)
+          in
+          let (seq, seq_stats), t_seq =
+            time (fun () -> engine_ok (Batch_repair.repair rel sigma))
+          in
+          let partition = a.Dq_analysis.Interaction.partition in
+          let (part, part_stats), t_part =
+            time (fun () -> engine_ok (Batch_repair.repair ~partition rel sigma))
+          in
+          let part4 =
+            Pool.with_pool ~jobs:4 (fun pool ->
+                fst (engine_ok (Batch_repair.repair ~pool ~partition rel sigma)))
+          in
+          let seq_csv = Csv.save_string seq in
+          let identical =
+            String.equal seq_csv (Csv.save_string part)
+            && String.equal seq_csv (Csv.save_string part4)
+          in
+          (a, t_analyze, t_seq, seq_stats, t_part, part_stats, identical))
+        !seeds
+    in
+    let med f = median (List.map f runs) in
+    let a0, _, _, _, _, _, _ = List.hd runs in
+    let n_shards = List.length a0.Dq_analysis.Interaction.shards in
+    let n_cycles = List.length a0.Dq_analysis.Interaction.cycles in
+    let n_osc = List.length a0.Dq_analysis.Interaction.oscillations in
+    let seq_visits =
+      med (fun (_, _, _, s, _, _, _) ->
+          float_of_int s.Batch_repair.instantiate_visits)
+    in
+    let part_visits =
+      med (fun (_, _, _, _, _, p, _) ->
+          float_of_int p.Batch_repair.instantiate_visits)
+    in
+    let all_identical =
+      List.for_all (fun (_, _, _, _, _, _, i) -> i) runs
+    in
+    Fmt.pr "shards: %d  cycles: %d  oscillation pairs: %d@." n_shards
+      n_cycles n_osc;
+    header "" [ "analyze"; "seq"; "part" ];
+    row "time (s)"
+      [
+        med (fun (_, t, _, _, _, _, _) -> t) *. 1000.;
+        med (fun (_, _, t, _, _, _, _) -> t) *. 1000.;
+        med (fun (_, _, _, _, t, _, _) -> t) *. 1000.;
+      ];
+    row "inst. visits" [ 0.; seq_visits; part_visits ];
+    Fmt.pr "re-resolution drop (root visits saved): %.0f@."
+      (seq_visits -. part_visits);
+    if all_identical then
+      Fmt.pr "partitioned output identical at 1 and 4 jobs: yes@."
+    else Fmt.pr "partitioned output identical at 1 and 4 jobs: NO — BUG@.";
+    write_section "analyze"
+      [
+        ("identical", if all_identical then 1.0 else 0.0);
+        ("n_shards", float_of_int n_shards);
+        ("n_cycles", float_of_int n_cycles);
+        ("n_oscillations", float_of_int n_osc);
+        ("analyze_s", med (fun (_, t, _, _, _, _, _) -> t));
+        ("seq_repair_s", med (fun (_, _, t, _, _, _, _) -> t));
+        ("part_repair_s", med (fun (_, _, _, _, t, _, _) -> t));
+        ( "seq_steps",
+          med (fun (_, _, _, s, _, _, _) -> float_of_int s.Batch_repair.steps)
+        );
+        ( "part_steps",
+          med (fun (_, _, _, _, _, p, _) -> float_of_int p.Batch_repair.steps)
+        );
+        ("seq_instantiate_visits", seq_visits);
+        ("part_instantiate_visits", part_visits);
+        ("reresolution_drop", seq_visits -. part_visits);
+      ]
+  end
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro () =
@@ -995,6 +1090,7 @@ let () =
     ablation_cluster ();
     ablation_k ();
     parallel ();
+    analyze_bench ();
     micro ();
     (match !trace_path with
     | Some path -> (

@@ -5,6 +5,8 @@
      repair    repair a CSV file (BATCHREPAIR or INCREPAIR)
      check     check a CFD file for satisfiability
      lint      static analysis of a CFD file (E/W diagnostic codes)
+     analyze   whole-ruleset interaction analysis: dependency cycles,
+               shard-safety partition, oscillation pairs, cost estimates
      sample    repair, then estimate the repair's inaccuracy rate by
                stratified sampling against a ground-truth file
      discover  mine CFDs from a (mostly clean) CSV file
@@ -64,8 +66,11 @@ let load_tableaus path =
          { path; line = e.Cfd_parser.line; col = e.col; message = e.message })
 
 (* detect/repair/sample refuse a ruleset with lint errors unless --force:
-   an unsatisfiable or ill-typed Σ makes their output meaningless. *)
-let with_inputs ?(force = false) data_path cfd_path k =
+   an unsatisfiable or ill-typed Σ makes their output meaningless.  With
+   --analyze-gate they additionally refuse rulesets whose attribute
+   dependency graph has cycles (the Example-4.1 oscillation hazard,
+   certified by the Σ-interaction analyzer). *)
+let with_inputs ?(force = false) ?(analyze_gate = false) data_path cfd_path k =
   let* rel = load_csv data_path in
   let* ltabs = load_tableaus cfd_path in
   let schema = Relation.schema rel in
@@ -83,8 +88,26 @@ let with_inputs ?(force = false) data_path cfd_path k =
          })
   else
     match Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs) with
-    | sigma -> k rel sigma
     | exception Invalid_argument msg -> Error (Dq_error.Invalid_input msg)
+    | sigma -> (
+      match
+        if analyze_gate then
+          (Interaction.analyze schema sigma).Interaction.termination
+        else Interaction.Terminating
+      with
+      | Interaction.Terminating -> k rel sigma
+      | Interaction.May_oscillate cycles ->
+        Error
+          (Dq_error.Analyze_gated
+             {
+               path = cfd_path;
+               cycles = List.length cycles;
+               hint =
+                 Fmt.str
+                   "run `cfdclean analyze %s` for the cycle certificates, or \
+                    drop --analyze-gate"
+                   cfd_path;
+             }))
 
 (* Validate --jobs and run [k] with a pool of that many domains. *)
 let with_jobs jobs k =
@@ -210,6 +233,15 @@ let force_arg =
     & info [ "force" ]
         ~doc:"Run even if the ruleset has lint errors (see $(b,cfdclean lint)).")
 
+let analyze_gate_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze-gate" ]
+        ~doc:
+          "Refuse rulesets whose attribute dependency graph has cycles (exit \
+           3): naive rule application may not terminate on them.  \
+           $(b,cfdclean analyze) prints the cycle certificates.")
+
 let jobs_arg =
   Arg.(
     value
@@ -300,11 +332,11 @@ let resolve_deadline = function
 
 (* ---- detect ---- *)
 
-let detect data_path cfd_path verbose force jobs format metrics trace progress
-    fault =
+let detect data_path cfd_path verbose force analyze_gate jobs format metrics
+    trace progress fault =
   run_command ~command:"detect" ~format ~metrics ~trace ~progress ~fault
   @@ fun () ->
-  with_inputs ~force data_path cfd_path @@ fun rel sigma ->
+  with_inputs ~force ~analyze_gate data_path cfd_path @@ fun rel sigma ->
   with_jobs jobs @@ fun pool ->
   let counts = Violation.vio_counts ~pool rel sigma in
   let dirty = Hashtbl.length counts in
@@ -343,8 +375,9 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Report CFD violations in a CSV file")
     Term.(
       ret
-        (const detect $ data $ cfds $ verbose $ force_arg $ jobs_arg
-       $ format_arg $ metrics_arg $ trace_arg $ progress_arg $ fault_arg))
+        (const detect $ data $ cfds $ verbose $ force_arg $ analyze_gate_arg
+       $ jobs_arg $ format_arg $ metrics_arg $ trace_arg $ progress_arg
+       $ fault_arg))
 
 (* ---- repair ---- *)
 
@@ -396,12 +429,12 @@ let print_explain ppf report =
       "pass  tuple  attr       old            -> new            clause           cost@.";
     List.iter (fun e -> Fmt.pf ppf "%a@." Provenance.pp_entry e) entries
 
-let repair data_path cfd_path output in_place explain algorithm force jobs
-    format metrics trace progress fault deadline checkpoint checkpoint_every
-    resume =
+let repair data_path cfd_path output in_place explain algorithm force
+    analyze_gate partition jobs format metrics trace progress fault deadline
+    checkpoint checkpoint_every resume =
   run_command ~command:"repair" ~format ~metrics ~trace ~progress ~fault
   @@ fun () ->
-  with_inputs ~force data_path cfd_path @@ fun rel sigma ->
+  with_inputs ~force ~analyze_gate data_path cfd_path @@ fun rel sigma ->
   if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
     Error Dq_error.Unsatisfiable
   else
@@ -431,14 +464,27 @@ let repair data_path cfd_path output in_place explain algorithm force jobs
           (Dq_error.Invalid_input
              "checkpointing applies to the batch algorithm (use --algorithm \
               batch)")
+      | Inc _ when partition ->
+        Error
+          (Dq_error.Invalid_input
+             "--partition applies to the batch algorithm (use --algorithm \
+              batch)")
       | _ -> Ok ()
     in
     with_jobs jobs @@ fun pool ->
     let* (repaired, report), print_stats =
       match algorithm with
       | Batch ->
+        let partition =
+          if partition then
+            Some
+              (Interaction.analyze (Relation.schema rel) sigma)
+                .Interaction.partition
+          else None
+        in
         let* (repaired, stats), report =
-          Batch_repair.repair ~pool ~deadline ?checkpoint ?resume rel sigma
+          Batch_repair.repair ~pool ~deadline ?checkpoint ?resume ?partition
+            rel sigma
         in
         Ok
           ( (repaired, report),
@@ -514,6 +560,17 @@ let repair_cmd =
       & info [ "a"; "algorithm" ] ~docv:"ALGO"
           ~doc:"One of batch, v-inc, l-inc, w-inc.")
   in
+  let partition =
+    Arg.(
+      value & flag
+      & info [ "partition" ]
+          ~doc:
+            "Split the ruleset into its shard-safe clause groups (see \
+             $(b,cfdclean analyze)) and repair each group independently — as \
+             parallel pool tasks when $(b,--jobs) allows.  The output is \
+             byte-identical to the unpartitioned repair.  Batch algorithm \
+             only.")
+  in
   let checkpoint =
     Arg.(
       value
@@ -545,9 +602,9 @@ let repair_cmd =
     Term.(
       ret
         (const repair $ data $ cfds $ output $ in_place $ explain $ algorithm
-       $ force_arg $ jobs_arg $ format_arg $ metrics_arg $ trace_arg
-       $ progress_arg $ fault_arg $ deadline_arg $ checkpoint
-       $ checkpoint_every $ resume))
+       $ force_arg $ analyze_gate_arg $ partition $ jobs_arg $ format_arg
+       $ metrics_arg $ trace_arg $ progress_arg $ fault_arg $ deadline_arg
+       $ checkpoint $ checkpoint_every $ resume))
 
 (* ---- check ---- *)
 
@@ -628,9 +685,47 @@ let diagnostic_to_json d =
   in
   Json.Obj (base @ clause @ span)
 
-let lint cfd_path data_path errors_only format metrics trace progress fault =
+(* `lint --explain CODE` prints the diagnostic catalog entry and ignores
+   any ruleset argument — same text docs/ANALYSIS.md is built from. *)
+let lint_explain code_str =
+  match Diagnostic.code_of_string code_str with
+  | None ->
+    Error
+      (Dq_error.Invalid_input
+         (Fmt.str "--explain: unknown diagnostic code %S (codes: %s)" code_str
+            (String.concat ", "
+               (List.map Diagnostic.code_to_string Diagnostic.all_codes))))
+  | Some code ->
+    succeed
+      (Report.make ~engine:"lint"
+         ~summary:
+           [
+             ("code", Json.String (Diagnostic.code_to_string code));
+             ( "severity",
+               Json.String
+                 (Diagnostic.severity_to_string
+                    (Diagnostic.severity_of_code code)) );
+             ("summary", Json.String (Diagnostic.describe code));
+             ("explanation", Json.String (Diagnostic.explain code));
+           ]
+         ())
+      (fun () -> Fmt.pr "%s@." (Diagnostic.explain code))
+
+let lint cfd_path data_path errors_only explain format metrics trace progress
+    fault =
   run_command ~command:"lint" ~format ~metrics ~trace ~progress ~fault
   @@ fun () ->
+  match explain with
+  | Some code_str -> lint_explain code_str
+  | None ->
+  let* cfd_path =
+    match cfd_path with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (Dq_error.Invalid_input
+           "a CONSTRAINTS.cfd argument is required (or use --explain CODE)")
+  in
   let* source =
     match
       let ic = open_in_bin cfd_path in
@@ -685,7 +780,11 @@ let lint cfd_path data_path errors_only format metrics trace progress fault =
 
 let lint_cmd =
   let cfds =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONSTRAINTS.cfd")
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"CONSTRAINTS.cfd"
+          ~doc:"Ruleset to lint; optional with $(b,--explain).")
   in
   let data =
     Arg.(
@@ -701,6 +800,16 @@ let lint_cmd =
       value & flag
       & info [ "errors-only" ] ~doc:"Report only errors, not warnings.")
   in
+  let explain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"CODE"
+          ~doc:
+            "Print the catalog entry for one diagnostic code (e.g. \
+             $(b,W004)) with a worked example, and exit.  See \
+             $(b,docs/ANALYSIS.md) for the full catalog.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -709,16 +818,272 @@ let lint_cmd =
           Exits 1 if any error (E-code) is found.")
     Term.(
       ret
-        (const lint $ cfds $ data $ errors_only $ format_arg $ metrics_arg
+        (const lint $ cfds $ data $ errors_only $ explain $ format_arg
+       $ metrics_arg $ trace_arg $ progress_arg $ fault_arg))
+
+(* ---- analyze ---- *)
+
+(* Whole-ruleset interaction analysis (Interaction): dependency cycles
+   with printable certificates, the shard-safety partition, oscillation
+   pairs and (with --data) sampled cost estimates.  Exit 1 when the
+   termination verdict is May_oscillate, mirroring detect's dirty exit. *)
+let analyze cfd_path data_path sample_cap format metrics trace progress fault =
+  run_command ~command:"analyze" ~format ~metrics ~trace ~progress ~fault
+  @@ fun () ->
+  let* () =
+    if sample_cap < 0 then
+      Error
+        (Dq_error.Invalid_input
+           (Fmt.str "--sample must be non-negative (got %d)" sample_cap))
+    else Ok ()
+  in
+  let* ltabs = load_tableaus cfd_path in
+  let* data =
+    match data_path with
+    | None -> Ok None
+    | Some csv ->
+      let* rel = load_csv csv in
+      Ok (Some rel)
+  in
+  let schema =
+    match data with
+    | Some rel -> Relation.schema rel
+    | None -> Lint.synthesize_schema ltabs
+  in
+  match Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs) with
+  | exception Invalid_argument msg -> Error (Dq_error.Invalid_input msg)
+  | sigma ->
+    let a = Interaction.analyze ?data ~sample:sample_cap schema sigma in
+    let attr = Schema.attribute schema in
+    let attr_list ps = Json.List (List.map (fun p -> Json.String (attr p)) ps) in
+    let name_span name =
+      List.find_map
+        (fun (lt : Cfd_parser.Located.tableau) ->
+          if String.equal lt.Cfd_parser.Located.tab.Cfd.Tableau.name name then
+            Some lt.Cfd_parser.Located.name_span
+          else None)
+        ltabs
+    in
+    (* The envelope diagnostics: one A001 per cyclic SCC (with its
+       certificate), one A002 per oscillation pair, one A003 per hot
+       clause.  Spans point at the name of the first clause involved. *)
+    let diag_of_clause code cid fmt =
+      let name = Cfd.name sigma.(cid) in
+      Format.kasprintf
+        (fun message ->
+          Diagnostic.make ?span:(name_span name) ~clause:name code message)
+        fmt
+    in
+    let diags =
+      List.map
+        (fun (c : Interaction.cycle) ->
+          let witness = Interaction.cycle_to_string schema sigma c in
+          match c.Interaction.steps with
+          | (_, cid, _) :: _ ->
+            diag_of_clause Diagnostic.A001 cid
+              "attribute dependency cycle: %s" witness
+          | [] ->
+            Diagnostic.make Diagnostic.A001
+              (Fmt.str "attribute dependency cycle: %s" witness))
+        a.Interaction.cycles
+      @ List.map
+          (fun (o : Interaction.oscillation) ->
+            diag_of_clause Diagnostic.A002 o.Interaction.a
+              "clauses %s and %s feed each other's LHS (severity %s)"
+              (Cfd.name sigma.(o.Interaction.a))
+              (Cfd.name sigma.(o.Interaction.b))
+              (Interaction.severity_to_string o.Interaction.severity))
+          a.Interaction.oscillations
+      @ List.filter_map
+          (fun (c : Interaction.clause_cost) ->
+            if c.Interaction.hot then
+              Some
+                (diag_of_clause Diagnostic.A003 c.Interaction.clause
+                   "hot clause %s: violation density %.3f (threshold %.2f)"
+                   (Cfd.name sigma.(c.Interaction.clause))
+                   c.Interaction.violation_density Interaction.hot_threshold)
+            else None)
+          (Option.value ~default:[] a.Interaction.costs)
+    in
+    let diags = List.sort Diagnostic.compare diags in
+    let cycle_json (c : Interaction.cycle) =
+      Json.Obj
+        [
+          ("attrs", attr_list c.Interaction.attrs);
+          ( "witness",
+            Json.String (Interaction.cycle_to_string schema sigma c) );
+        ]
+    in
+    let shard_json (s : Interaction.shard) =
+      Json.Obj
+        [
+          ("shard", Json.Int s.Interaction.shard_id);
+          ( "clauses",
+            Json.List (List.map (fun i -> Json.Int i) s.Interaction.clauses)
+          );
+          ("attrs", attr_list s.Interaction.attrs);
+          ("independent", Json.Bool s.Interaction.independent);
+        ]
+    in
+    let osc_json (o : Interaction.oscillation) =
+      Json.Obj
+        [
+          ("a", Json.Int o.Interaction.a);
+          ("b", Json.Int o.Interaction.b);
+          ( "severity",
+            Json.String
+              (Interaction.severity_to_string o.Interaction.severity) );
+        ]
+    in
+    let cost_json (c : Interaction.clause_cost) =
+      Json.Obj
+        [
+          ("clause", Json.Int c.Interaction.clause);
+          ("name", Json.String (Cfd.name sigma.(c.Interaction.clause)));
+          ("selectivity", Json.Float c.Interaction.selectivity);
+          ("violation_density", Json.Float c.Interaction.violation_density);
+          ("fanout", Json.Float c.Interaction.fanout);
+          ("hot", Json.Bool c.Interaction.hot);
+        ]
+    in
+    let terminating = a.Interaction.termination = Interaction.Terminating in
+    let report =
+      Report.make ~engine:"analyze"
+        ~summary:
+          ([
+             ("path", Json.String cfd_path);
+             ("clauses", Json.Int (Array.length sigma));
+             ("attributes", Json.Int (Schema.arity schema));
+             ( "termination",
+               Json.String
+                 (if terminating then "terminating" else "may-oscillate") );
+             ("cycles", Json.List (List.map cycle_json a.Interaction.cycles));
+             ("shards", Json.List (List.map shard_json a.Interaction.shards));
+             ( "oscillations",
+               Json.List (List.map osc_json a.Interaction.oscillations) );
+           ]
+          @
+          match a.Interaction.costs with
+          | None -> []
+          | Some costs ->
+            [ ("costs", Json.List (List.map cost_json costs)) ])
+        ()
+    in
+    succeed
+      ~code:(if terminating then Dq_error.Exit.ok else Dq_error.Exit.dirty)
+      ~diagnostics:(List.map diagnostic_to_json diags) report
+      (fun () ->
+        Fmt.pr "%s: %d clauses over %d attributes@." cfd_path
+          (Array.length sigma) (Schema.arity schema);
+        (match a.Interaction.termination with
+        | Interaction.Terminating ->
+          Fmt.pr "termination: dependency graph is acyclic@."
+        | Interaction.May_oscillate cycles ->
+          Fmt.pr "termination: MAY OSCILLATE (%d cycle%s)@."
+            (List.length cycles)
+            (if List.length cycles = 1 then "" else "s");
+          List.iter
+            (fun c ->
+              Fmt.pr "  cycle: %s@."
+                (Interaction.cycle_to_string schema sigma c))
+            cycles);
+        Fmt.pr "shard plan: %d shard%s@."
+          (List.length a.Interaction.shards)
+          (if List.length a.Interaction.shards = 1 then "" else "s");
+        List.iter
+          (fun (s : Interaction.shard) ->
+            (* Normal-form rulesets carry one clause per pattern row, all
+               sharing the source CFD's name: collapse runs into a count
+               so mined rulesets stay readable. *)
+            let names =
+              List.fold_left
+                (fun acc i ->
+                  let name = Cfd.name sigma.(i) in
+                  match acc with
+                  | (n, k) :: rest when String.equal n name ->
+                    (n, k + 1) :: rest
+                  | _ -> (name, 1) :: acc)
+                [] s.Interaction.clauses
+              |> List.rev_map (fun (n, k) ->
+                     if k = 1 then n else Printf.sprintf "%s (%d rows)" n k)
+            in
+            Fmt.pr "  shard %d: clauses {%s} over {%s}%s@."
+              s.Interaction.shard_id
+              (String.concat ", " names)
+              (String.concat ", " (List.map attr s.Interaction.attrs))
+              (if s.Interaction.independent then ""
+               else " (requires reconciliation)"))
+          a.Interaction.shards;
+        List.iter
+          (fun (o : Interaction.oscillation) ->
+            Fmt.pr "oscillation: %s <-> %s (severity %s)@."
+              (Cfd.name sigma.(o.Interaction.a))
+              (Cfd.name sigma.(o.Interaction.b))
+              (Interaction.severity_to_string o.Interaction.severity))
+          a.Interaction.oscillations;
+        match a.Interaction.costs with
+        | None -> ()
+        | Some costs ->
+          Fmt.pr
+            "clause costs (sample of %d tuple%s):@."
+            (min sample_cap
+               (match data with
+               | Some rel -> Relation.cardinality rel
+               | None -> 0))
+            (if sample_cap = 1 then "" else "s");
+          List.iter
+            (fun (c : Interaction.clause_cost) ->
+              Fmt.pr
+                "  %-10s sel %.3f  vio %.3f  fanout %.2f%s@."
+                (Cfd.name sigma.(c.Interaction.clause))
+                c.Interaction.selectivity c.Interaction.violation_density
+                c.Interaction.fanout
+                (if c.Interaction.hot then "  HOT" else ""))
+            costs)
+
+let analyze_cmd =
+  let cfds =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONSTRAINTS.cfd")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "data" ] ~docv:"DATA.csv"
+          ~doc:
+            "Instance to estimate per-clause costs on (LHS selectivity, \
+             violation density, repair fan-out) from a bounded sample.  Its \
+             header also supplies the schema; without it one is synthesized \
+             from the attributes the ruleset mentions.")
+  in
+  let sample =
+    Arg.(
+      value & opt int 2000
+      & info [ "sample" ] ~docv:"N"
+          ~doc:
+            "Tuples of $(b,--data) to examine for the cost estimates (the \
+             instance's first $(docv), so results are deterministic).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Whole-ruleset interaction analysis: the attribute dependency graph \
+          with cycle certificates and a termination verdict, the shard-safety \
+          partition consumed by $(b,repair --partition), oscillation pairs, \
+          and (with $(b,--data)) sampled per-clause cost estimates.  Exits 1 \
+          when the repair fixpoint may oscillate.")
+    Term.(
+      ret
+        (const analyze $ cfds $ data $ sample $ format_arg $ metrics_arg
        $ trace_arg $ progress_arg $ fault_arg))
 
 (* ---- sample ---- *)
 
 let sample data_path cfd_path truth_path epsilon confidence sample_size force
-    jobs format metrics trace progress fault deadline =
+    analyze_gate jobs format metrics trace progress fault deadline =
   run_command ~command:"sample" ~format ~metrics ~trace ~progress ~fault
   @@ fun () ->
-  with_inputs ~force data_path cfd_path @@ fun rel sigma ->
+  with_inputs ~force ~analyze_gate data_path cfd_path @@ fun rel sigma ->
   let* truth = load_csv truth_path in
   let* deadline = resolve_deadline deadline in
   with_jobs jobs @@ fun pool ->
@@ -771,8 +1136,8 @@ let sample_cmd =
     Term.(
       ret
         (const sample $ data $ cfds $ truth $ epsilon $ confidence $ size
-       $ force_arg $ jobs_arg $ format_arg $ metrics_arg $ trace_arg
-       $ progress_arg $ fault_arg $ deadline_arg))
+       $ force_arg $ analyze_gate_arg $ jobs_arg $ format_arg $ metrics_arg
+       $ trace_arg $ progress_arg $ fault_arg $ deadline_arg))
 
 (* ---- generate ---- *)
 
@@ -908,6 +1273,7 @@ let () =
             repair_cmd;
             check_cmd;
             lint_cmd;
+            analyze_cmd;
             sample_cmd;
             discover_cmd;
             generate_cmd;

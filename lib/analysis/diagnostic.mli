@@ -1,12 +1,13 @@
 (** Diagnostics for the static analysis of CFD rulesets.
 
     Modeled on compiler diagnostics: every finding carries a stable code
-    ([E0xx] for errors, [W0xx] for warnings), a severity, a human-readable
-    message and, when known, the source span of the offending construct and
-    the name of the CFD it belongs to.  Codes are stable so CI pipelines can
-    match on them ({!Render.to_json} emits them verbatim). *)
+    ([E0xx] for errors, [W0xx] for lint warnings, [A0xx] for whole-Σ
+    interaction findings), a severity, a human-readable message and, when
+    known, the source span of the offending construct and the name of the
+    CFD it belongs to.  Codes are stable so CI pipelines can match on them
+    ({!Render.to_json} emits them verbatim). *)
 
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
 type code =
   | E000  (** syntax error (a {!Dq_cfd.Cfd_parser.error} surfaced as a diagnostic) *)
@@ -18,9 +19,12 @@ type code =
   | W003  (** trivial CFD: RHS attribute already constrained by the LHS *)
   | W004  (** cyclic clause interaction (Example 4.1's oscillation hazard) *)
   | W005  (** duplicate CFD name or duplicate pattern row *)
+  | A001  (** attribute dependency cycle (whole-Σ, with certificate) *)
+  | A002  (** oscillation pair: two clauses feed each other's LHS *)
+  | A003  (** hot clause: high estimated violation density (data-aware) *)
 
 val all_codes : code list
-(** In reporting order: [E000] … [W005]. *)
+(** In reporting order: [E000] … [A003]. *)
 
 val code_to_string : code -> string
 (** E.g. ["E001"]. *)
@@ -30,10 +34,15 @@ val code_of_string : string -> code option
 val severity_of_code : code -> severity
 
 val severity_to_string : severity -> string
-(** ["error"] or ["warning"]. *)
+(** ["error"], ["warning"] or ["info"]. *)
 
 val describe : code -> string
 (** One-line summary of the check, for docs and [--explain]-style output. *)
+
+val explain : code -> string
+(** Multi-line catalog entry with a worked example — what
+    [cfdclean lint --explain CODE] prints; [docs/ANALYSIS.md] is generated
+    from the same text. *)
 
 type t = {
   code : code;

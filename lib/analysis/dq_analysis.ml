@@ -39,9 +39,17 @@
       but a smell in hand-written or mined rulesets, and duplicate names
       break per-clause reporting.
 
+    Beyond the per-construct lint, {!Interaction} analyses the whole Σ at
+    once — the attribute dependency graph with printable cycle certificates
+    ([A001]), direct oscillation pairs ([A002]), the shard-safety partition
+    {!Dq_core.Batch_repair} consumes to repair clause groups independently,
+    and data-aware cost estimates ([A003]) — surfaced as
+    [cfdclean analyze].
+
     {!Lint.run} executes the checks; {!Render} presents the results as
     caret-annotated text or JSON for CI gating. *)
 
 module Diagnostic = Diagnostic
 module Lint = Lint
 module Render = Render
+module Interaction = Interaction

@@ -18,12 +18,12 @@ type origin = {
 let origin_label o =
   if o.row_idx < 0 then o.name else Printf.sprintf "%s row %d" o.name (o.row_idx + 1)
 
-let index_of x xs =
-  let rec go i = function
-    | [] -> None
-    | y :: rest -> if String.equal x y then Some i else go (i + 1) rest
-  in
-  go 0 xs
+(* attribute name → position within [xs], computed once per tableau so the
+   per-row checks below do array lookups instead of rescanning lists. *)
+let position_map xs =
+  let tbl = Hashtbl.create (List.length xs * 2) in
+  List.iteri (fun i x -> if not (Hashtbl.mem tbl x) then Hashtbl.add tbl x i) xs;
+  tbl
 
 let row_equal (a : Cfd.Tableau.row) (b : Cfd.Tableau.row) =
   List.length a.lhs = List.length b.lhs
@@ -57,7 +57,9 @@ let implicit_row (tab : Cfd.Tableau.t) =
 let located_rows (lt : P.Located.tableau) =
   match lt.tab.rows with
   | [] -> [ (implicit_row lt.tab, -1, lt.name_span) ]
-  | rows -> List.mapi (fun j r -> (r, j, List.nth lt.row_spans j)) rows
+  | rows ->
+    let spans = Array.of_list lt.row_spans in
+    List.mapi (fun j r -> (r, j, spans.(j))) rows
 
 let synthesize_schema tabs =
   let seen = Hashtbl.create 16 in
@@ -122,9 +124,10 @@ let run ?(node_budget = 200_000) ?(errors_only = false) ?schema
         if not (Hashtbl.mem bad i) then
           List.iter
             (fun (row, row_idx, span) ->
+              let rhs_pats = Array.of_list row.Cfd.Tableau.rhs in
               List.iteri
                 (fun k rhs_attr ->
-                  let rhs_pat = List.nth row.Cfd.Tableau.rhs k in
+                  let rhs_pat = rhs_pats.(k) in
                   match
                     Cfd.make ~name:lt.tab.name schema
                       ~lhs:(List.combine lt.tab.lhs_attrs row.Cfd.Tableau.lhs)
@@ -269,28 +272,33 @@ let run ?(node_budget = 200_000) ?(errors_only = false) ?schema
       let all_trivial = Hashtbl.create 4 in
       List.iteri
         (fun i (lt : P.Located.tableau) ->
+          let lhs_pos = position_map lt.tab.lhs_attrs in
+          let rhs_spans = Array.of_list lt.rhs_attr_spans in
+          (* Pattern rows as arrays, once per tableau, so the per-RHS
+             vacuity check indexes instead of [List.nth]-ing. *)
+          let rows =
+            (match lt.tab.rows with
+            | [] -> [ implicit_row lt.tab ]
+            | rows -> rows)
+            |> List.map (fun (r : Cfd.Tableau.row) ->
+                   (Array.of_list r.lhs, Array.of_list r.rhs))
+            |> Array.of_list
+          in
           let trivial = ref 0 in
           List.iteri
             (fun k rhs_attr ->
-              match index_of rhs_attr lt.tab.lhs_attrs with
+              match Hashtbl.find_opt lhs_pos rhs_attr with
               | None -> ()
               | Some li ->
-                let rows =
-                  match lt.tab.rows with
-                  | [] -> [ implicit_row lt.tab ]
-                  | rows -> rows
-                in
-                let vacuous (row : Cfd.Tableau.row) =
-                  match (List.nth row.rhs k, List.nth row.lhs li) with
+                let vacuous (lhs_pats, rhs_pats) =
+                  match (rhs_pats.(k), lhs_pats.(li)) with
                   | Pattern.Wild, _ -> true
                   | Pattern.Const a, Pattern.Const b -> Value.equal a b
                   | Pattern.Const _, Pattern.Wild -> false
                 in
-                if List.for_all vacuous rows then begin
+                if Array.for_all vacuous rows then begin
                   incr trivial;
-                  emit
-                    ~span:(List.nth lt.rhs_attr_spans k)
-                    ~clause:lt.tab.name Diagnostic.W003
+                  emit ~span:rhs_spans.(k) ~clause:lt.tab.name Diagnostic.W003
                     "trivial CFD: RHS attribute %S already appears in the \
                      LHS, so every matching tuple satisfies it"
                     rhs_attr

@@ -5,6 +5,12 @@
     {!Dq_analysis} ([lib/analysis/dq_analysis.ml]) for the check catalogue
     and how each one maps back to the paper. *)
 
+val synthesize_schema :
+  Dq_cfd.Cfd_parser.Located.tableau list -> Dq_relation.Schema.t
+(** The schema implied by a ruleset alone: every attribute the tableaux
+    mention, in first-mention order.  What {!run} (and [cfdclean analyze])
+    falls back to when no data file supplies a real schema. *)
+
 val run :
   ?node_budget:int ->
   ?errors_only:bool ->

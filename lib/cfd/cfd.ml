@@ -92,6 +92,10 @@ let normalize schema (tab : Tableau.t) =
 
 let number clauses = Array.of_list (List.mapi (fun id c -> { c with id }) clauses)
 
+let with_schema schema c =
+  let remap i = resolve_attr schema (Schema.attribute c.schema i) in
+  { c with schema; lhs = Array.map remap c.lhs; rhs = remap c.rhs }
+
 let id c = c.id
 
 let name c = c.name

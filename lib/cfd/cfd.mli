@@ -45,6 +45,12 @@ val normalize : Schema.t -> Tableau.t -> t list
     attribute).  An empty [rows] list yields the all-wildcard row.
     @raise Invalid_argument on arity mismatches or unknown attributes. *)
 
+val with_schema : Schema.t -> t -> t
+(** Re-express a clause over another schema containing the same attribute
+    names (e.g. a projection): positions are remapped by name; the id,
+    name and patterns are kept.
+    @raise Invalid_argument if an attribute is missing from the target. *)
+
 val number : t list -> t array
 (** Assign ids [0..n-1] (by position).  Every algorithm takes Σ as the array
     returned here; {!id} indexes per-CFD state. *)

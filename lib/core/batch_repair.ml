@@ -36,6 +36,7 @@ type stats = {
   lhs_fixes : int;
   nulls_introduced : int;
   cells_changed : int;
+  instantiate_visits : int;
   runtime : float;
 }
 
@@ -84,7 +85,14 @@ type state = {
   (* (anchor position, anchor constant) -> constant-RHS clauses, for the
      full-relation rescans *)
   strata : int array; (* cfd id -> dependency-graph stratum *)
-  queue : (int * int) Heap.t; (* (cfd id, tid) keyed by plan cost *)
+  queue : (int * int) Heap.t;
+  (* (cfd id, tid) keyed by plan cost, ties broken by (cfd id, tid).  The
+     tie-break is load-bearing: it makes the pop order a pure function of
+     the queue's contents, so a shard-partitioned run — whose queue holds
+     only its own group's pairs — replays exactly the full-width run's
+     per-shard pop subsequence.  A layout-dependent tie-break would let
+     other groups' traffic through the shared heap reorder equal-cost
+     pairs of one group, and greedy repair is order-sensitive on ties. *)
   enqueued : (int * int, float) Hashtbl.t; (* pair -> its queued priority *)
   findv : (int * int, int list Vkey.Table.t) Hashtbl.t; (* lazy FINDV indices *)
   class_weights : (int, (Value.t, float) Hashtbl.t) Hashtbl.t;
@@ -95,6 +103,10 @@ type state = {
   mutable rhs_fixes : int;
   mutable lhs_fixes : int;
   mutable nulls_introduced : int;
+  mutable instantiate_visits : int;
+  (* class roots visited across all [instantiate] calls — the re-resolution
+     churn the shard partition is meant to cut: a full-width run revisits
+     every root each round, a per-shard run only its own columns' roots *)
   trail : Provenance.trail;
   (* Context for the provenance entries the next [with_change] records:
      the clause the resolution step is serving, its plan cost, and the
@@ -775,6 +787,7 @@ let instantiate st =
   let roots =
     if st.canonical then List.sort compare !roots else List.rev !roots
   in
+  st.instantiate_visits <- st.instantiate_visits + List.length roots;
   List.iter
     (fun root ->
       if Eqclass.target st.eq root = Eqclass.Unfixed then
@@ -878,7 +891,7 @@ let init_state ?eq rel sigma ~use_dependency_graph ~canonical =
       const_plain = !const_plain;
       const_anchored;
       strata;
-      queue = Heap.create ();
+      queue = Heap.create ~tie:compare ();
       enqueued = Hashtbl.create 1024;
       findv = Hashtbl.create 16;
       class_weights = Hashtbl.create 1024;
@@ -886,6 +899,7 @@ let init_state ?eq rel sigma ~use_dependency_graph ~canonical =
       rhs_fixes = 0;
       lhs_fixes = 0;
       nulls_introduced = 0;
+      instantiate_visits = 0;
       trail = Provenance.create ();
       ctx_clause = None;
       ctx_cost = 0.;
@@ -1038,8 +1052,8 @@ let initial_offer ?pool ?deadline st =
 
 type checkpoint_spec = { path : string; every : int }
 
-let repair ?pool ?(use_dependency_graph = true) ?(deadline = Deadline.never)
-    ?checkpoint ?resume db sigma =
+let repair_single ?pool ?(use_dependency_graph = true)
+    ?(deadline = Deadline.never) ?checkpoint ?resume db sigma =
   Trace.span ~cat:"engine"
     ~args:(fun () ->
       [
@@ -1349,6 +1363,7 @@ let repair ?pool ?(use_dependency_graph = true) ?(deadline = Deadline.never)
               lhs_fixes = st.lhs_fixes;
               nulls_introduced = st.nulls_introduced;
               cells_changed = !cells_changed;
+              instantiate_visits = st.instantiate_visits;
               runtime = Unix.gettimeofday () -. started;
             }
           in
@@ -1368,3 +1383,212 @@ let repair ?pool ?(use_dependency_graph = true) ?(deadline = Deadline.never)
               ?degraded:!degraded ()
           in
           Ok ((rel, stats), report))))
+
+(* ---- shard-partitioned repair ----------------------------------------- *)
+
+(* Repair each clause group of [partition] independently over the
+   projection of [db] onto the attributes the group touches.  Groups with
+   disjoint attribute sets cannot interact through any cell — no clause of
+   one group reads or writes an attribute of another — so the per-group
+   repairs compose: writing each group's changed cells back into a copy of
+   [db] yields the same relation a full-width run would produce, while
+   every group's queue, buckets and instantiation rounds only ever visit
+   its own columns. *)
+let repair_partitioned ?pool ~use_dependency_graph ~deadline db sigma
+    partition n_shards =
+  Trace.span ~cat:"engine"
+    ~args:(fun () ->
+      [
+        ("tuples", Dq_obs.Json.Int (Relation.cardinality db));
+        ("clauses", Dq_obs.Json.Int (Array.length sigma));
+        ("shards", Dq_obs.Json.Int n_shards);
+      ])
+    "batch_repair.partitioned"
+  @@ fun () ->
+  let started = Unix.gettimeofday () in
+  let schema = Relation.schema db in
+  let arity = Schema.arity schema in
+  let groups = Array.make n_shards [] in
+  for i = Array.length sigma - 1 downto 0 do
+    groups.(partition.(i)) <- i :: groups.(partition.(i))
+  done;
+  (* Shard ids with no member clause contribute nothing; drop them. *)
+  let groups =
+    Array.of_list (List.filter (fun l -> l <> []) (Array.to_list groups))
+  in
+  let n_groups = Array.length groups in
+  let shards =
+    Array.map
+      (fun cids ->
+        let mark = Array.make arity false in
+        List.iter
+          (fun cid ->
+            List.iter (fun a -> mark.(a) <- true) (Cfd.attrs sigma.(cid)))
+          cids;
+        let positions = ref [] in
+        for a = arity - 1 downto 0 do
+          if mark.(a) then positions := a :: !positions
+        done;
+        let positions = Array.of_list !positions in
+        let proj_schema =
+          Schema.make ~name:(Schema.name schema)
+            (Array.to_list (Array.map (Schema.attribute schema) positions))
+        in
+        let proj_sigma =
+          Cfd.number
+            (List.map (fun cid -> Cfd.with_schema proj_schema sigma.(cid)) cids)
+        in
+        let proj_rel = Relation.create proj_schema in
+        Relation.iter
+          (fun t ->
+            let values = Tuple.project t positions in
+            let weights = Array.map (Tuple.weight t) positions in
+            Relation.add proj_rel
+              (Tuple.create ~weights ~tid:(Tuple.tid t) values))
+          db;
+        (positions, proj_sigma, proj_rel))
+      groups
+  in
+  let results = Array.make n_groups None in
+  let task i () =
+    let _, proj_sigma, proj_rel = shards.(i) in
+    (* pool:None — tasks must not submit to the pool they run on; the
+       shard-level fan-out is the parallelism. *)
+    results.(i) <-
+      Some (repair_single ~use_dependency_graph ~deadline proj_rel proj_sigma)
+  in
+  (match pool with
+  | Some pool when Pool.jobs pool > 1 && n_groups > 1 ->
+    Pool.run pool (Array.init n_groups (fun i () -> task i ()))
+  | _ ->
+    for i = 0 to n_groups - 1 do
+      task i ()
+    done);
+  let first_error = ref None in
+  Array.iter
+    (fun r ->
+      match r with
+      | Some (Error e) when !first_error = None -> first_error := Some e
+      | _ -> ())
+    results;
+  match !first_error with
+  | Some e -> Error e
+  | None ->
+    (* Merge, in shard order: copy the input and write back each shard's
+       changed cells.  Disjoint attribute sets make the write-back order
+       irrelevant to the final relation; fixing it keeps the provenance
+       trail (and hence the report) deterministic. *)
+    let rel = Relation.copy db in
+    let cells_changed = ref 0 in
+    let acc =
+      ref
+        {
+          steps = 0;
+          merges = 0;
+          rhs_fixes = 0;
+          lhs_fixes = 0;
+          nulls_introduced = 0;
+          cells_changed = 0;
+          instantiate_visits = 0;
+          runtime = 0.;
+        }
+    in
+    let phases = ref [] in
+    let provenance = ref [] in
+    let degraded = ref None in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some (Ok ((shard_rel, s), (report : Report.t))) ->
+          let positions, _, _ = shards.(i) in
+          Relation.iter
+            (fun t ->
+              let full = Relation.find_exn rel (Tuple.tid t) in
+              Array.iteri
+                (fun j pos ->
+                  let v = Tuple.get t j in
+                  if not (Value.equal v (Tuple.get full pos)) then begin
+                    Relation.set_value rel full pos v;
+                    incr cells_changed
+                  end)
+                positions)
+            shard_rel;
+          acc :=
+            {
+              steps = !acc.steps + s.steps;
+              merges = !acc.merges + s.merges;
+              rhs_fixes = !acc.rhs_fixes + s.rhs_fixes;
+              lhs_fixes = !acc.lhs_fixes + s.lhs_fixes;
+              nulls_introduced = !acc.nulls_introduced + s.nulls_introduced;
+              cells_changed = 0;
+              instantiate_visits =
+                !acc.instantiate_visits + s.instantiate_visits;
+              runtime = 0.;
+            };
+          phases :=
+            !phases
+            @ List.map
+                (fun (name, secs) ->
+                  (Printf.sprintf "shard%d.%s" i name, secs))
+                report.Report.phases;
+          provenance :=
+            !provenance
+            @ List.map
+                (fun (e : Provenance.entry) ->
+                  { e with Provenance.attr = positions.(e.Provenance.attr) })
+                report.Report.provenance;
+          (match report.Report.degraded with
+          | Some d when !degraded = None -> degraded := Some d
+          | _ -> ())
+        | _ -> assert false)
+      results;
+    let stats =
+      {
+        !acc with
+        cells_changed = !cells_changed;
+        runtime = Unix.gettimeofday () -. started;
+      }
+    in
+    let report =
+      Report.make ~engine:"batch_repair"
+        ~summary:
+          [
+            ("steps", Dq_obs.Json.Int stats.steps);
+            ("merges", Dq_obs.Json.Int stats.merges);
+            ("rhs_fixes", Dq_obs.Json.Int stats.rhs_fixes);
+            ("lhs_fixes", Dq_obs.Json.Int stats.lhs_fixes);
+            ("nulls_introduced", Dq_obs.Json.Int stats.nulls_introduced);
+            ("cells_changed", Dq_obs.Json.Int stats.cells_changed);
+            ("shards", Dq_obs.Json.Int n_groups);
+          ]
+        ~phases:!phases ~provenance:!provenance ?degraded:!degraded ()
+    in
+    Ok ((rel, stats), report)
+
+let repair ?pool ?(use_dependency_graph = true) ?(deadline = Deadline.never)
+    ?checkpoint ?resume ?partition db sigma =
+  match partition with
+  | None ->
+    repair_single ?pool ~use_dependency_graph ~deadline ?checkpoint ?resume db
+      sigma
+  | Some partition ->
+    if checkpoint <> None || resume <> None then
+      Error
+        (Dq_error.Invalid_config
+           "partitioned repair does not support checkpoint/resume")
+    else if Array.length partition <> Array.length sigma then
+      Error
+        (Dq_error.Invalid_config
+           "partition length does not match the ruleset")
+    else if Array.exists (fun s -> s < 0) partition then
+      Error (Dq_error.Invalid_config "partition contains a negative shard id")
+    else begin
+      let n_shards =
+        Array.fold_left (fun acc s -> max acc (s + 1)) 0 partition
+      in
+      if n_shards <= 1 then
+        repair_single ?pool ~use_dependency_graph ~deadline db sigma
+      else
+        repair_partitioned ?pool ~use_dependency_graph ~deadline db sigma
+          partition n_shards
+    end

@@ -31,6 +31,11 @@ type stats = {
   lhs_fixes : int;  (** case-1.2/2.2 LHS changes *)
   nulls_introduced : int;  (** targets upgraded to [null] *)
   cells_changed : int;  (** attribute values differing from the input *)
+  instantiate_visits : int;
+      (** class roots visited across all instantiation rounds — the
+          re-resolution churn metric the shard partition cuts: a
+          full-width run revisits every cell's root each round, a
+          partitioned run only the roots of each shard's own columns *)
   runtime : float;  (** wall-clock seconds *)
 }
 
@@ -47,6 +52,7 @@ val repair :
   ?deadline:Dq_fault.Deadline.t ->
   ?checkpoint:checkpoint_spec ->
   ?resume:Checkpoint.t ->
+  ?partition:int array ->
   Relation.t ->
   Cfd.t array ->
   ((Relation.t * stats) * Dq_obs.Report.t, Dq_error.t) result
@@ -109,4 +115,24 @@ val repair :
     options}.  Canonical mode may pick different (equally valid,
     equally costed) repairs than the default mode; without [checkpoint]
     or [resume] the engine is byte-identical to what it produced before
-    these options existed. *)
+    these options existed.
+
+    {2 Shard partition}
+
+    [partition] maps each clause id to a shard id (the
+    [Dq_analysis.Interaction] shard plan).  Clause groups with disjoint
+    attribute sets are repaired independently — each over the projection
+    of the input onto its own attributes — and the per-shard results are
+    written back into one copy of the input.  Because no two shards touch
+    a common attribute, the merged relation equals the full-width result,
+    while each shard's queue, buckets and instantiation rounds only visit
+    its own columns (see [stats.instantiate_visits]).  With a [pool],
+    shards run as parallel pool tasks; the merge is in shard order either
+    way, so output does not depend on the job count.  The report's
+    summary gains a ["shards"] count and its phases are
+    ["shardN."]-prefixed.  A partition whose clauses share attributes
+    across shards would break the disjointness argument — use the
+    analyzer's partition, which is correct by construction.  Partitioned
+    repair refuses [checkpoint]/[resume]
+    ([Error (Invalid_config _)]); a partition with a single shard (or
+    [None]) falls back to the ordinary path. *)

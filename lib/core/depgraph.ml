@@ -2,7 +2,7 @@ open Dq_cfd
 
 (* Tarjan's strongly-connected-components algorithm, iterative-friendly
    sizes here (attribute counts are tiny), so the recursive form is fine. *)
-let scc ~n ~edges =
+let tarjan ~n ~edges =
   let adj = Array.make n [] in
   List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
   let index = Array.make n (-1) in
@@ -45,6 +45,50 @@ let scc ~n ~edges =
      by consing is therefore in topological order: sources get low ids. *)
   List.iteri (fun i members -> List.iter (fun v -> comp.(v) <- i) members) !comps;
   comp
+
+(* Tarjan's numbering is topological but not canonical: incomparable
+   components come out in an order that depends on the adjacency-list
+   order, i.e. on the order [edges] was supplied in.  Renumber with
+   Kahn's algorithm, breaking ties by each component's smallest member
+   node, so the result is a function of the edge {e set} — callers
+   (strata, the interaction analyzer) then get identical output under
+   clause permutation. *)
+let scc ~n ~edges =
+  let comp0 = tarjan ~n ~edges in
+  let n_comps = Array.fold_left (fun acc c -> max acc (c + 1)) 0 comp0 in
+  if n_comps = 0 then comp0
+  else begin
+    let cond = Array.make_matrix n_comps n_comps false in
+    let indegree = Array.make n_comps 0 in
+    List.iter
+      (fun (u, v) ->
+        let cu = comp0.(u) and cv = comp0.(v) in
+        if cu <> cv && not cond.(cu).(cv) then begin
+          cond.(cu).(cv) <- true;
+          indegree.(cv) <- indegree.(cv) + 1
+        end)
+      edges;
+    let smallest = Array.make n_comps max_int in
+    for v = n - 1 downto 0 do
+      smallest.(comp0.(v)) <- v
+    done;
+    let rank = Array.make n_comps (-1) in
+    for next = 0 to n_comps - 1 do
+      (* smallest-member component among those with no unprocessed
+         predecessor *)
+      let pick = ref (-1) in
+      for c = n_comps - 1 downto 0 do
+        if rank.(c) = -1 && indegree.(c) = 0 then
+          if !pick = -1 || smallest.(c) < smallest.(!pick) then pick := c
+      done;
+      let c = !pick in
+      rank.(c) <- next;
+      for d = 0 to n_comps - 1 do
+        if cond.(c).(d) then indegree.(d) <- indegree.(d) - 1
+      done
+    done;
+    Array.map (fun c -> rank.(c)) comp0
+  end
 
 let strata schema sigma =
   let n = Dq_relation.Schema.arity schema in

@@ -12,7 +12,10 @@
 val scc : n:int -> edges:(int * int) list -> int array
 (** [scc ~n ~edges] assigns each node [0..n-1] a component id such that
     component ids are a reverse topological order: if there is an edge
-    [u → v] across components then [comp.(u) < comp.(v)]. *)
+    [u → v] across components then [comp.(u) < comp.(v)].  The numbering
+    is canonical — a function of the edge {e set} (ties between
+    incomparable components broken by smallest member node) — so
+    permuting or duplicating [edges] cannot change the result. *)
 
 val strata : Dq_relation.Schema.t -> Dq_cfd.Cfd.t array -> int array
 (** Map each clause id to its stratum (small strata first). *)

@@ -6,6 +6,7 @@ type t =
   | Invalid_input of string
   | Invalid_config of string
   | Lint_gated of { path : string; errors : int; hint : string }
+  | Analyze_gated of { path : string; cycles : int; hint : string }
   | Unsatisfiable
   | Would_overwrite of string
   | Deadline_exceeded
@@ -21,6 +22,10 @@ let to_string = function
   | Lint_gated { path; errors; hint } ->
     Printf.sprintf "%s: ruleset has %d lint error%s; %s" path errors
       (if errors = 1 then "" else "s")
+      hint
+  | Analyze_gated { path; cycles; hint } ->
+    Printf.sprintf "%s: ruleset has %d dependency cycle%s; %s" path cycles
+      (if cycles = 1 then "" else "s")
       hint
   | Unsatisfiable -> "the CFD set is unsatisfiable; no repair exists"
   | Would_overwrite path ->
@@ -39,6 +44,7 @@ let kind = function
   | Invalid_input _ -> "invalid-input"
   | Invalid_config _ -> "invalid-config"
   | Lint_gated _ -> "lint-gated"
+  | Analyze_gated _ -> "analyze-gated"
   | Unsatisfiable -> "unsatisfiable"
   | Would_overwrite _ -> "would-overwrite"
   | Deadline_exceeded -> "deadline-exceeded"
@@ -63,6 +69,9 @@ let to_json e =
   | Lint_gated { path; errors; _ } ->
     Json.Obj
       (base @ [ ("path", Json.String path); ("errors", Json.Int errors) ])
+  | Analyze_gated { path; cycles; _ } ->
+    Json.Obj
+      (base @ [ ("path", Json.String path); ("cycles", Json.Int cycles) ])
   | Fault_injected site -> Json.Obj (base @ [ ("site", Json.String site) ])
   | _ -> Json.Obj base
 
@@ -80,7 +89,7 @@ end
 
 let exit_code = function
   | Unsatisfiable -> Exit.dirty
-  | Lint_gated _ -> Exit.lint_gated
+  | Lint_gated _ | Analyze_gated _ -> Exit.lint_gated
   | Deadline_exceeded -> Exit.deadline
   | Io _ | Parse _ | Invalid_input _ | Invalid_config _ | Would_overwrite _
   | Fault_injected _ | Internal _ ->

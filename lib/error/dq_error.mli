@@ -12,8 +12,8 @@
       rejected sample, an unsatisfiable ruleset);
     - [2] — usage or input error (bad flags, unreadable files, schema
       mismatches, invalid configuration, refusal to overwrite);
-    - [3] — a lint-gated refusal: the ruleset has lint errors and
-      [--force] was not given;
+    - [3] — a gated refusal: the ruleset has lint errors and [--force]
+      was not given, or [--analyze-gate] found dependency cycles;
     - [4] — a deadline expired before anything usable was produced
       (when a partial result exists the command instead succeeds with
       [degraded] set in the report). *)
@@ -28,6 +28,9 @@ type t =
   | Invalid_config of string  (** rejected engine configuration *)
   | Lint_gated of { path : string; errors : int; hint : string }
       (** refused because the ruleset has lint errors and no [--force] *)
+  | Analyze_gated of { path : string; cycles : int; hint : string }
+      (** refused by [--analyze-gate]: the ruleset's attribute dependency
+          graph has cycles, so the naive repair fixpoint may oscillate *)
   | Unsatisfiable  (** no repair exists for the constraint set *)
   | Would_overwrite of string
       (** the output path resolves to the input and [--in-place] was not

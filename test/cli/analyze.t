@@ -1,0 +1,98 @@
+The Σ-interaction analyzer.  On the cyclic fixture it prints a cycle
+certificate, a may-oscillate verdict and the oscillation pair, and
+exits 1.
+
+  $ cfdclean analyze ../../data/analyze_fixtures/cyclic.cfd
+  ../../data/analyze_fixtures/cyclic.cfd: 2 clauses over 3 attributes
+  termination: MAY OSCILLATE (1 cycle)
+    cycle: zip --zip_city--> CT --city_zip--> zip
+  shard plan: 1 shard
+    shard 0: clauses {zip_city, city_zip} over {zip, CT, STR} (requires reconciliation)
+  oscillation: zip_city <-> city_zip (severity high)
+  [1]
+
+The shardable fixture splits into two independently repairable clause
+groups and terminates (exit 0).
+
+  $ cfdclean analyze ../../data/analyze_fixtures/shardable.cfd
+  ../../data/analyze_fixtures/shardable.cfd: 5 clauses over 5 attributes
+  termination: dependency graph is acyclic
+  shard plan: 2 shards
+    shard 0: clauses {zip_city (4 rows)} over {zip, CT, ST}
+    shard 1: clauses {id_name} over {id, name}
+
+Constant-RHS oscillation pairs are low severity: the ping-pong closes
+after one round.
+
+  $ cfdclean analyze ../../data/analyze_fixtures/oscillating.cfd
+  ../../data/analyze_fixtures/oscillating.cfd: 2 clauses over 2 attributes
+  termination: MAY OSCILLATE (1 cycle)
+    cycle: A --set_b--> B --set_a--> A
+  shard plan: 1 shard
+    shard 0: clauses {set_b, set_a} over {A, B} (requires reconciliation)
+  oscillation: set_b <-> set_a (severity low)
+  [1]
+
+With --data the report adds per-clause cost estimates from a bounded
+sample; the Figure-1 instance makes phi2's misspelled-city rows hot.
+
+  $ cfdclean analyze ../../data/orders.cfd --data ../../data/orders.csv | grep -c HOT
+  4
+
+The JSON envelope carries the machine-readable shard plan and A-code
+diagnostics with source spans.
+
+  $ cfdclean analyze ../../data/analyze_fixtures/cyclic.cfd --format json | python3 -c '
+  > import json, sys
+  > d = json.load(sys.stdin)
+  > s = d["report"]["summary"]
+  > print(s["termination"])
+  > print([sh["independent"] for sh in s["shards"]])
+  > print([x["code"] for x in d["diagnostics"]])
+  > '
+  may-oscillate
+  [False]
+  ['A001', 'A002']
+
+--analyze-gate makes detect/repair/sample refuse a cyclic ruleset with
+exit 3; the plain run is unaffected.
+
+  $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --analyze-gate
+  cfdclean: ../../data/orders.cfd: ruleset has 1 dependency cycle; run `cfdclean analyze ../../data/orders.cfd` for the cycle certificates, or drop --analyze-gate
+  [3]
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --analyze-gate
+  cfdclean: ../../data/orders.cfd: ruleset has 1 dependency cycle; run `cfdclean analyze ../../data/orders.cfd` for the cycle certificates, or drop --analyze-gate
+  [3]
+
+repair --partition consumes the analyzer's shard plan; the output is
+byte-identical to the unpartitioned repair at any job count, and the
+report's summary counts the shards.
+
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd -o seq.csv 2> /dev/null
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --partition -o part1.csv 2> /dev/null
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --partition --jobs 4 -o part4.csv 2> /dev/null
+  $ cmp seq.csv part1.csv && cmp seq.csv part4.csv && echo identical
+  identical
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --partition --format json 2> /dev/null | python3 -c '
+  > import json, sys
+  > print(json.load(sys.stdin)["report"]["summary"]["shards"])
+  > '
+  2
+
+--partition is a batch-algorithm feature.
+
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --partition -a v-inc
+  cfdclean: --partition applies to the batch algorithm (use --algorithm batch)
+  [2]
+
+lint --explain prints the diagnostic catalog entry without needing a
+ruleset; unknown codes are a usage error.
+
+  $ cfdclean lint --explain A001 | head -n 1
+  A001 — attribute dependency cycle
+  $ cfdclean lint --explain X999
+  cfdclean: --explain: unknown diagnostic code "X999" (codes: E000, E001, E002, E003, W001, W002, W003, W004, W005, A001, A002, A003)
+  [2]
+  $ cfdclean lint
+  cfdclean: a CONSTRAINTS.cfd argument is required (or use --explain CODE)
+  [2]

@@ -29,12 +29,12 @@ the table goes to stdout and the stats line to stderr.
 
   $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd -o repaired.csv --explain 2>/dev/null
   pass  tuple  attr       old            -> new            clause           cost
-     0  t2     ST         PA             -> NY             phi2             1.0250
+     0  t2     CT         PHI            -> NYC            phi1             1.0250
      1  t3     zip        10012          -> 19014          phi2             0.1000
-     2  t2     CT         PHI            -> NYC            phi2             0.3333
-     3  t3     ST         PA             -> NY             phi1             3.1000
+     2  t2     ST         PA             -> NY             phi1             0.3333
+     3  t3     CT         PHI            -> NYC            phi1             3.1000
      4  t3     zip        19014          -> ⊥            phi2             0.3333
-     5  t3     CT         PHI            -> NYC            phi1             0.5000
+     5  t3     ST         PA             -> NY             phi1             0.5000
 
 The JSON report carries the same trail: an entry for every changed cell
 (t3's zip is written twice; the last write wins).
@@ -63,11 +63,11 @@ The JSON report carries the same trail: an entry for every changed cell
       "provenance": [
         {
           "tid": 2,
-          "attr": 7,
-          "attr_name": "ST",
-          "old": "PA",
-          "new": "NY",
-          "clause": "phi2",
+          "attr": 6,
+          "attr_name": "CT",
+          "old": "PHI",
+          "new": "NYC",
+          "clause": "phi1",
           "cost_delta": 1.025,
           "pass": 0
         },
@@ -83,20 +83,20 @@ The JSON report carries the same trail: an entry for every changed cell
         },
         {
           "tid": 2,
-          "attr": 6,
-          "attr_name": "CT",
-          "old": "PHI",
-          "new": "NYC",
-          "clause": "phi2",
+          "attr": 7,
+          "attr_name": "ST",
+          "old": "PA",
+          "new": "NY",
+          "clause": "phi1",
           "cost_delta": 0.333333333333,
           "pass": 2
         },
         {
           "tid": 3,
-          "attr": 7,
-          "attr_name": "ST",
-          "old": "PA",
-          "new": "NY",
+          "attr": 6,
+          "attr_name": "CT",
+          "old": "PHI",
+          "new": "NYC",
           "clause": "phi1",
           "cost_delta": 3.1,
           "pass": 3
@@ -113,10 +113,10 @@ The JSON report carries the same trail: an entry for every changed cell
         },
         {
           "tid": 3,
-          "attr": 6,
-          "attr_name": "CT",
-          "old": "PHI",
-          "new": "NYC",
+          "attr": 7,
+          "attr_name": "ST",
+          "old": "PA",
+          "new": "NY",
           "clause": "phi1",
           "cost_delta": 0.5,
           "pass": 5

@@ -70,6 +70,73 @@ let prop_scc_mutual_reachability =
       let comp = Depgraph.scc ~n:10 ~edges:cycle_edges in
       List.for_all (fun x -> comp.(x) = comp.(List.hd distinct)) distinct)
 
+(* Reachability closure by Floyd–Warshall: [reach.(u).(v)] iff a
+   non-empty edge path u → v exists. *)
+let reachability ~n edges =
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (u, v) -> reach.(u).(v) <- true) edges;
+  for k = 0 to n - 1 do
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if reach.(u).(k) && reach.(k).(v) then reach.(u).(v) <- true
+      done
+    done
+  done;
+  reach
+
+let prop_scc_reverse_topo =
+  (* Component ids are exactly the condensation's topological order:
+     strict reachability means a strictly lower id, and two nodes share
+     an id iff they reach each other.  Random edge lists over 10 nodes
+     mix DAG parts with back edges. *)
+  QCheck.Test.make ~name:"component ids order the condensation" ~count:300
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let n = 10 in
+      let comp = Depgraph.scc ~n ~edges in
+      let reach = reachability ~n edges in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then
+            if reach.(u).(v) && reach.(v).(u) then
+              ok := !ok && comp.(u) = comp.(v)
+            else begin
+              ok := !ok && comp.(u) <> comp.(v);
+              if reach.(u).(v) then ok := !ok && comp.(u) < comp.(v)
+            end
+        done
+      done;
+      !ok)
+
+let prop_scc_edge_permutation =
+  (* The canonical numbering is a function of the edge set: permuting
+     (here: reversing) and duplicating the edge list changes nothing. *)
+  QCheck.Test.make ~name:"scc stable under edge permutation" ~count:200
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let comp = Depgraph.scc ~n:10 ~edges in
+      let shuffled = List.rev edges @ edges in
+      comp = Depgraph.scc ~n:10 ~edges:shuffled)
+
+let prop_strata_permutation =
+  (* Strata are per-clause data, so permuting Σ must permute the strata
+     the same way: [strata(π·Σ)ᵢ = strata(Σ)_{π(i)}]. *)
+  QCheck.Test.make ~name:"strata stable under clause permutation" ~count:200
+    QCheck.(pair (make Helpers.Gen.sigma_gen) (small_list small_int))
+    (fun (sigma, keys) ->
+      let n = Array.length sigma in
+      let key i = match List.nth_opt keys i with Some k -> k | None -> 0 in
+      let perm = Array.init n (fun i -> i) in
+      Array.sort (fun i j -> compare (key i, i) (key j, j)) perm;
+      let permuted =
+        Cfd.number (Array.to_list (Array.map (fun p -> sigma.(p)) perm))
+      in
+      let s_orig = Depgraph.strata Gen.schema sigma in
+      let s_perm = Depgraph.strata Gen.schema permuted in
+      Array.for_all Fun.id
+        (Array.init n (fun i -> s_perm.(i) = s_orig.(perm.(i)))))
+
 let suite =
   [
     Alcotest.test_case "DAG order" `Quick test_scc_dag;
@@ -79,4 +146,7 @@ let suite =
     Alcotest.test_case "fig1 strata" `Quick test_fig1_strata;
     QCheck_alcotest.to_alcotest prop_scc_respects_edges;
     QCheck_alcotest.to_alcotest prop_scc_mutual_reachability;
+    QCheck_alcotest.to_alcotest prop_scc_reverse_topo;
+    QCheck_alcotest.to_alcotest prop_scc_edge_permutation;
+    QCheck_alcotest.to_alcotest prop_strata_permutation;
   ]
