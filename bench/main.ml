@@ -50,6 +50,7 @@ let valid_sections =
     "abl-k";
     "parallel";
     "analyze";
+    "engines";
     "micro";
   ]
 
@@ -860,6 +861,119 @@ let analyze_bench () =
       ]
   end
 
+(* ---- engines: pluggable repair engines head-to-head -------------------- *)
+
+module Engine = Dq_engine.Engine
+
+(* Batch, inc and opt-fd on the same dirty instance over the FD-only
+   acyclic fragment of the workload Σ (the largest ruleset all three
+   accept).  The engines are deterministic, so the cost and cell metrics
+   are drift-free tripwires: any delta against the committed baseline is
+   a semantic change to an engine, not noise.  Each engine is also
+   re-run at 4 jobs and must reproduce its 1-job bytes and report. *)
+let engines_bench () =
+  if
+    section "engines" "Repair engines head-to-head (batch / inc / opt-fd)"
+  then begin
+    let resolve name =
+      match Engine.find name with
+      | Ok e -> e
+      | Error e -> failwith (Dq_error.to_string e)
+    in
+    let run (module E : Engine.ENGINE) ?pool rel sigma =
+      let ctx = { Engine.default_ctx with pool } in
+      match E.repair ctx rel sigma with
+      | Ok ((repaired, _line), report) -> (repaired, report)
+      | Error e -> failwith (Dq_error.to_string e)
+    in
+    (* Greedily keep embedded FDs of Σ while the opt-fd fragment check
+       still accepts the prefix — drops the clauses that close the
+       workload's phi2/phi4 dependency cycle. *)
+    let fd_fragment schema sigma =
+      let (module O : Engine.ENGINE) = resolve "opt-fd" in
+      let keep =
+        List.fold_left
+          (fun acc c ->
+            let candidate = Cfd.number (List.rev (c :: acc)) in
+            match O.fragment schema candidate with
+            | Ok () -> c :: acc
+            | Error _ -> acc)
+          []
+          (Cfd.embedded_fds (Array.to_list sigma))
+      in
+      Cfd.number (List.rev keep)
+    in
+    let engine_names = [ "batch"; "inc"; "opt-fd" ] in
+    let per_seed seed =
+      let ds = dataset seed in
+      let info = dirtied ds (seed + 1) in
+      let rel = info.Noise.dirty in
+      let sigma = fd_fragment (Relation.schema rel) ds.Datagen.sigma in
+      List.map
+        (fun name ->
+          let e = resolve name in
+          let (repaired, report), t = time (fun () -> run e rel sigma) in
+          assert (Violation.satisfies repaired sigma);
+          let repaired4, report4 =
+            Pool.with_pool ~jobs:4 (fun pool -> run e ~pool rel sigma)
+          in
+          let identical =
+            String.equal (Csv.save_string repaired) (Csv.save_string repaired4)
+            && Dq_obs.Report.equal report report4
+          in
+          ( name,
+            t,
+            Cost.repair_cost ~original:rel ~repair:repaired,
+            float_of_int (Relation.dif rel repaired),
+            identical ))
+        engine_names
+    in
+    let runs = List.map per_seed !seeds in
+    let med name proj =
+      median
+        (List.map
+           (fun run ->
+             let _, t, cost, cells, _ =
+               List.find (fun (n, _, _, _, _) -> n = name) run
+             in
+             proj (t, cost, cells))
+           runs)
+    in
+    let all_identical =
+      List.for_all (List.for_all (fun (_, _, _, _, i) -> i)) runs
+    in
+    header "" [ "seconds"; "cost"; "cells" ];
+    List.iter
+      (fun name ->
+        row name
+          [
+            med name (fun (t, _, _) -> t);
+            med name (fun (_, c, _) -> c);
+            med name (fun (_, _, cl) -> cl);
+          ])
+      engine_names;
+    let batch_cost = med "batch" (fun (_, c, _) -> c) in
+    let optfd_cost = med "opt-fd" (fun (_, c, _) -> c) in
+    Fmt.pr "opt-fd cost <= batch cost: %s@."
+      (if optfd_cost <= batch_cost +. 1e-9 then "yes" else "NO — BUG");
+    if all_identical then
+      Fmt.pr "outputs and reports identical at 1 and 4 jobs: yes@."
+    else Fmt.pr "outputs and reports identical at 1 and 4 jobs: NO — BUG@.";
+    write_section "engines"
+      (("identical", if all_identical then 1.0 else 0.0)
+      :: ( "optfd_cost_le_batch",
+           if optfd_cost <= batch_cost +. 1e-9 then 1.0 else 0.0 )
+      :: ("optfd_cost_saving", batch_cost -. optfd_cost)
+      :: List.concat_map
+           (fun name ->
+             [
+               (name ^ ".repair_s", med name (fun (t, _, _) -> t));
+               (name ^ ".cost", med name (fun (_, c, _) -> c));
+               (name ^ ".cells", med name (fun (_, _, cl) -> cl));
+             ])
+           engine_names)
+  end
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro () =
@@ -1091,6 +1205,7 @@ let () =
     ablation_k ();
     parallel ();
     analyze_bench ();
+    engines_bench ();
     micro ();
     (match !trace_path with
     | Some path -> (

@@ -41,6 +41,7 @@ module Progress = Dq_obs.Progress
 module Fault = Dq_fault.Fault
 module Deadline = Dq_fault.Deadline
 module Atomic_io = Dq_fault.Atomic_io
+module Engine = Dq_engine.Engine
 
 let ( let* ) = Result.bind
 
@@ -330,6 +331,22 @@ let resolve_deadline = function
          (Fmt.str "--deadline must be non-negative (got %g)" s))
   | Some s -> Ok (Deadline.after s)
 
+(* repair also takes --deadline-passes, a logical budget that cuts at a
+   deterministic engine boundary (batch pass / opt-fd stratum / inc
+   tuple) — what the degraded-path goldens rely on. *)
+let resolve_deadline2 wall passes =
+  match (wall, passes) with
+  | Some _, Some _ ->
+    Error
+      (Dq_error.Invalid_input
+         "--deadline and --deadline-passes cannot be combined")
+  | None, Some n when n < 1 ->
+    Error
+      (Dq_error.Invalid_input
+         (Fmt.str "--deadline-passes must be at least 1 (got %d)" n))
+  | None, Some n -> Ok (Deadline.after_passes n)
+  | wall, None -> resolve_deadline wall
+
 (* ---- detect ---- *)
 
 let detect data_path cfd_path verbose force analyze_gate jobs format metrics
@@ -429,17 +446,32 @@ let print_explain ppf report =
       "pass  tuple  attr       old            -> new            clause           cost@.";
     List.iter (fun e -> Fmt.pf ppf "%a@." Provenance.pp_entry e) entries
 
-let repair data_path cfd_path output in_place explain algorithm force
+(* The legacy -a/--algorithm spellings map onto registry names; --engine,
+   when given, wins. *)
+let algorithm_engine = function
+  | Batch -> "batch"
+  | Inc Inc_repair.By_violations -> "inc"
+  | Inc Inc_repair.Linear -> "l-inc"
+  | Inc Inc_repair.By_weight -> "w-inc"
+
+let repair data_path cfd_path output in_place explain algorithm engine force
     analyze_gate partition jobs format metrics trace progress fault deadline
-    checkpoint checkpoint_every resume =
+    deadline_passes checkpoint checkpoint_every resume =
   run_command ~command:"repair" ~format ~metrics ~trace ~progress ~fault
   @@ fun () ->
+  let* (module E : Engine.ENGINE) =
+    Engine.find
+      (match engine with
+      | Some name -> name
+      | None -> algorithm_engine algorithm)
+  in
   with_inputs ~force ~analyze_gate data_path cfd_path @@ fun rel sigma ->
   if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
     Error Dq_error.Unsatisfiable
   else
+    let* () = Engine.check_fragment (module E) (Relation.schema rel) sigma in
     let* out = resolve_output ~data_path ~output ~in_place in
-    let* deadline = resolve_deadline deadline in
+    let* deadline = resolve_deadline2 deadline deadline_passes in
     let* checkpoint =
       match checkpoint with
       | None -> Ok None
@@ -447,7 +479,7 @@ let repair data_path cfd_path output in_place explain algorithm force
         if checkpoint_every < 1 then
           Error
             (Dq_error.Invalid_config "--checkpoint-every must be at least 1")
-        else Ok (Some { Batch_repair.path; every = checkpoint_every })
+        else Ok (Some { Engine.path; every = checkpoint_every })
     in
     let* resume =
       match resume with
@@ -458,53 +490,40 @@ let repair data_path cfd_path output in_place explain algorithm force
         | Error msg -> Error (Dq_error.Invalid_input (path ^ ": " ^ msg)))
     in
     let* () =
-      match algorithm with
-      | Inc _ when checkpoint <> None || resume <> None ->
+      if (checkpoint <> None || resume <> None) && not E.supports_checkpoint
+      then
         Error
           (Dq_error.Invalid_input
-             "checkpointing applies to the batch algorithm (use --algorithm \
-              batch)")
-      | Inc _ when partition ->
+             (Fmt.str
+                "--checkpoint/--resume are not supported by the %s engine \
+                 (use --engine batch or --engine opt-fd)"
+                E.name))
+      else if partition && not E.supports_partition then
         Error
           (Dq_error.Invalid_input
-             "--partition applies to the batch algorithm (use --algorithm \
-              batch)")
-      | _ -> Ok ()
+             (Fmt.str
+                "--partition is not supported by the %s engine (use --engine \
+                 batch or --engine opt-fd)"
+                E.name))
+      else Ok ()
     in
     with_jobs jobs @@ fun pool ->
-    let* (repaired, report), print_stats =
-      match algorithm with
-      | Batch ->
-        let partition =
-          if partition then
-            Some
-              (Interaction.analyze (Relation.schema rel) sigma)
-                .Interaction.partition
-          else None
-        in
-        let* (repaired, stats), report =
-          Batch_repair.repair ~pool ~deadline ?checkpoint ?resume ?partition
-            rel sigma
-        in
-        Ok
-          ( (repaired, report),
-            fun () -> Fmt.epr "batchrepair: %a@." Batch_repair.pp_stats stats )
-      | Inc ordering ->
-        let* (repaired, stats), report =
-          Inc_repair.repair_dirty ~pool ~ordering ~deadline rel sigma
-        in
-        Ok
-          ( (repaired, report),
-            fun () ->
-              Fmt.epr "%s: %a@."
-                (Inc_repair.ordering_name ordering)
-                Inc_repair.pp_stats stats )
+    let partition =
+      if partition then
+        Some
+          (Interaction.analyze (Relation.schema rel) sigma)
+            .Interaction.partition
+      else None
     in
+    let ctx =
+      { Engine.pool = Some pool; deadline; checkpoint; resume; partition }
+    in
+    let* (repaired, stats_line), report = E.repair ctx rel sigma in
     let* () =
       match out with Some path -> save_csv repaired path | None -> Ok ()
     in
     succeed report (fun () ->
-        print_stats ();
+        Fmt.epr "%s@." stats_line;
         Fmt.epr "repair cost: %.3f; dif: %d cells@."
           (Cost.repair_cost ~original:rel ~repair:repaired)
           (Relation.dif rel repaired);
@@ -558,7 +577,22 @@ let repair_cmd =
     Arg.(
       value & opt algorithm_conv Batch
       & info [ "a"; "algorithm" ] ~docv:"ALGO"
-          ~doc:"One of batch, v-inc, l-inc, w-inc.")
+          ~doc:
+            "Legacy spelling of $(b,--engine): one of batch, v-inc, l-inc, \
+             w-inc.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"NAME"
+          ~doc:
+            "Repair engine: $(b,batch) (BATCHREPAIR, any ruleset), $(b,inc) \
+             / $(b,l-inc) / $(b,w-inc) (INCREPAIR orderings), or \
+             $(b,opt-fd) (optimal value repair, acyclic FD-only rulesets).  \
+             Overrides $(b,--algorithm).  An unknown name or an engine \
+             whose Σ fragment does not cover the ruleset exits 2 with a \
+             stable diagnostic.")
   in
   let partition =
     Arg.(
@@ -597,14 +631,27 @@ let repair_cmd =
              input, ruleset and configuration.  The finished repair is \
              byte-identical to the checkpointing run left uninterrupted.")
   in
+  let deadline_passes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-passes" ] ~docv:"N"
+          ~doc:
+            "Deterministic logical deadline: stop after $(docv) engine \
+             boundaries (batch passes, opt-fd strata, inc tuples) and \
+             return the best result so far, marked degraded.  Unlike \
+             $(b,--deadline) the cut point is independent of the wall \
+             clock, so degraded output is reproducible.")
+  in
   Cmd.v
     (Cmd.info "repair" ~doc:"Compute a repair satisfying the CFDs")
     Term.(
       ret
         (const repair $ data $ cfds $ output $ in_place $ explain $ algorithm
-       $ force_arg $ analyze_gate_arg $ partition $ jobs_arg $ format_arg
-       $ metrics_arg $ trace_arg $ progress_arg $ fault_arg $ deadline_arg
-       $ checkpoint $ checkpoint_every $ resume))
+       $ engine $ force_arg $ analyze_gate_arg $ partition $ jobs_arg
+       $ format_arg $ metrics_arg $ trace_arg $ progress_arg $ fault_arg
+       $ deadline_arg $ deadline_passes $ checkpoint $ checkpoint_every
+       $ resume))
 
 (* ---- check ---- *)
 

@@ -1085,6 +1085,13 @@ let repair_single ?pool ?(use_dependency_graph = true)
       else 0
     in
     match resume with
+    | Some cp when cp.Checkpoint.kind <> Checkpoint.batch_kind ->
+      Error
+        (Dq_error.Invalid_input
+           (Printf.sprintf
+              "checkpoint kind %S was written by a different engine \
+               (this engine reads %S)"
+              cp.Checkpoint.kind Checkpoint.batch_kind))
     | Some cp when cp.Checkpoint.fingerprint <> fp ->
       Error
         (Dq_error.Invalid_input
@@ -1131,7 +1138,8 @@ let repair_single ?pool ?(use_dependency_graph = true)
         | Some { path; every } when !pass_no mod every = 0 ->
           Checkpoint.save path
             {
-              Checkpoint.fingerprint = fp;
+              Checkpoint.kind = Checkpoint.batch_kind;
+              fingerprint = fp;
               use_dependency_graph;
               counters =
                 {

@@ -14,6 +14,7 @@ type counters = {
 }
 
 type t = {
+  kind : string;
   fingerprint : int;
   use_dependency_graph : bool;
   counters : counters;
@@ -22,6 +23,12 @@ type t = {
 }
 
 let version = 1
+
+let batch_kind = "batch-repair"
+
+let opt_fd_kind = "opt-fd-repair"
+
+let known_kinds = [ batch_kind; opt_fd_kind ]
 
 (* ---- fingerprint ------------------------------------------------------ *)
 
@@ -209,7 +216,7 @@ let to_json cp =
   Json.Obj
     [
       ("version", Json.Int version);
-      ("kind", Json.String "batch-repair");
+      ("kind", Json.String cp.kind);
       ("fingerprint", Json.Int cp.fingerprint);
       ("use_dependency_graph", Json.Bool cp.use_dependency_graph);
       ("pass", Json.Int cp.counters.pass);
@@ -235,7 +242,7 @@ let of_json json =
       | Some (Json.String s) -> Ok s
       | _ -> Error "missing field \"kind\""
     in
-    if kind <> "batch-repair" then
+    if not (List.mem kind known_kinds) then
       Error (Printf.sprintf "unsupported checkpoint kind %S" kind)
     else
       let* fingerprint = int_field "fingerprint" json in
@@ -253,6 +260,7 @@ let of_json json =
       let* trail = map_result entry_of_json trail_json in
       Ok
         {
+          kind;
           fingerprint;
           use_dependency_graph;
           counters =

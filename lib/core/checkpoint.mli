@@ -26,6 +26,7 @@ type counters = {
 }
 
 type t = {
+  kind : string;  (** which engine wrote it — {!batch_kind} or {!opt_fd_kind} *)
   fingerprint : int;  (** {!fingerprint} of the inputs *)
   use_dependency_graph : bool;
   counters : counters;
@@ -35,6 +36,19 @@ type t = {
 
 val version : int
 (** Schema version written to and required from files (currently 1). *)
+
+val batch_kind : string
+(** ["batch-repair"] — written by [Batch_repair]. *)
+
+val opt_fd_kind : string
+(** ["opt-fd-repair"] — written by [Opt_fd_repair].  Its counters reuse
+    this record: [pass] counts completed attribute strata, [steps] counts
+    LHS-key groups examined; the remaining batch-specific counters stay
+    zero. *)
+
+val known_kinds : string list
+(** Kinds {!of_json} accepts.  An engine must additionally check that a
+    resumed checkpoint's [kind] is its own. *)
 
 val fingerprint :
   Dq_relation.Relation.t ->

@@ -1,0 +1,183 @@
+open Dq_relation
+open Dq_cfd
+open Dq_core
+
+type checkpoint_spec = { path : string; every : int }
+
+type ctx = {
+  pool : Dq_parallel.Pool.t option;
+  deadline : Dq_fault.Deadline.t;
+  checkpoint : checkpoint_spec option;
+  resume : Checkpoint.t option;
+  partition : int array option;
+}
+
+let default_ctx =
+  {
+    pool = None;
+    deadline = Dq_fault.Deadline.never;
+    checkpoint = None;
+    resume = None;
+    partition = None;
+  }
+
+module type ENGINE = sig
+  val name : string
+
+  val doc : string
+
+  val supports_checkpoint : bool
+
+  val supports_partition : bool
+
+  val fragment : Schema.t -> Cfd.t array -> (unit, string) result
+
+  val repair :
+    ctx ->
+    Relation.t ->
+    Cfd.t array ->
+    ((Relation.t * string) * Dq_obs.Report.t, Dq_error.t) result
+end
+
+(* ---- built-in engines -------------------------------------------------- *)
+
+module Batch : ENGINE = struct
+  let name = "batch"
+
+  let doc =
+    "BATCHREPAIR (Cong et al. 2007): equivalence classes over cells, \
+     cost-ordered resolution, any CFD ruleset"
+
+  let supports_checkpoint = true
+
+  let supports_partition = true
+
+  let fragment _ _ = Ok ()
+
+  let repair ctx rel sigma =
+    let checkpoint =
+      Option.map
+        (fun { path; every } -> { Batch_repair.path; every })
+        ctx.checkpoint
+    in
+    match
+      Batch_repair.repair ?pool:ctx.pool ~deadline:ctx.deadline ?checkpoint
+        ?resume:ctx.resume ?partition:ctx.partition rel sigma
+    with
+    | Ok ((repaired, stats), report) ->
+      Ok
+        ( ( repaired,
+            Format.asprintf "batchrepair: %a" Batch_repair.pp_stats stats ),
+          report )
+    | Error _ as e -> e
+end
+
+(* The three INCREPAIR orderings share one adapter: tuple-at-a-time
+   resolution keeps no pass-boundary state, so neither checkpointing nor
+   the shard partition applies. *)
+let inc_engine engine_name ordering : (module ENGINE) =
+  (module struct
+    let name = engine_name
+
+    let doc =
+      Printf.sprintf
+        "INCREPAIR (Cong et al. 2007), %s tuple ordering: tuple-at-a-time \
+         repair, any CFD ruleset"
+        (Inc_repair.ordering_name ordering)
+
+    let supports_checkpoint = false
+
+    let supports_partition = false
+
+    let fragment _ _ = Ok ()
+
+    let repair ctx rel sigma =
+      match
+        Inc_repair.repair_dirty ?pool:ctx.pool ~ordering ~deadline:ctx.deadline
+          rel sigma
+      with
+      | Ok ((repaired, stats), report) ->
+        Ok
+          ( ( repaired,
+              Format.asprintf "%s: %a"
+                (Inc_repair.ordering_name ordering)
+                Inc_repair.pp_stats stats ),
+            report )
+      | Error _ as e -> e
+  end)
+
+module Opt_fd : ENGINE = struct
+  let name = Opt_fd_repair.engine_name
+
+  let doc =
+    "optimal value repair for acyclic FD-only rulesets \
+     (Livshits-Kimelfeld-Roy): one topological sweep, per-class \
+     weighted-medoid assignment"
+
+  let supports_checkpoint = true
+
+  (* The sweep already treats every RHS attribute independently, so the
+     shard partition cannot change its result: accepting --partition is a
+     provable no-op rather than a refusal. *)
+  let supports_partition = true
+
+  let fragment = Opt_fd_repair.fragment
+
+  let repair ctx rel sigma =
+    let checkpoint =
+      Option.map
+        (fun { path; every } -> { Opt_fd_repair.path; every })
+        ctx.checkpoint
+    in
+    match
+      Opt_fd_repair.repair ?pool:ctx.pool ~deadline:ctx.deadline ?checkpoint
+        ?resume:ctx.resume rel sigma
+    with
+    | Ok ((repaired, stats), report) ->
+      Ok
+        ( ( repaired,
+            Format.asprintf "%s: %a" Opt_fd_repair.engine_name
+              Opt_fd_repair.pp_stats stats ),
+          report )
+    | Error _ as e -> e
+end
+
+(* ---- registry ---------------------------------------------------------- *)
+
+let builtin : (module ENGINE) list =
+  [
+    (module Batch);
+    inc_engine "inc" Inc_repair.By_violations;
+    inc_engine "l-inc" Inc_repair.Linear;
+    inc_engine "w-inc" Inc_repair.By_weight;
+    (module Opt_fd);
+  ]
+
+let registered : (module ENGINE) list ref = ref []
+
+let register e = registered := !registered @ [ e ]
+
+let all () = builtin @ !registered
+
+let names () = List.map (fun (module E : ENGINE) -> E.name) (all ())
+
+(* Historical spellings from --algorithm that map onto registry names. *)
+let aliases = [ ("v-inc", "inc") ]
+
+let find name =
+  let canonical =
+    match List.assoc_opt name aliases with Some n -> n | None -> name
+  in
+  let matches (module E : ENGINE) = String.equal E.name canonical in
+  match List.find_opt matches (List.rev !registered) with
+  | Some e -> Ok e
+  | None -> (
+    match List.find_opt matches builtin with
+    | Some e -> Ok e
+    | None -> Error (Dq_error.Unknown_engine { name; known = names () }))
+
+let check_fragment (module E : ENGINE) schema sigma =
+  match E.fragment schema sigma with
+  | Ok () -> Ok ()
+  | Error reason ->
+    Error (Dq_error.Engine_unsupported { engine = E.name; reason })

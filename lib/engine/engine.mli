@@ -1,0 +1,88 @@
+(** Pluggable repair engines behind one signature.
+
+    An engine turns a dirty relation and a ruleset Σ into a repaired
+    relation plus a structured {!Dq_obs.Report.t}, threading the shared
+    execution hooks (worker pool, cooperative deadline,
+    checkpoint/resume, shard partition) through one {!ctx} record.  The
+    CLI's [repair --engine NAME], the differential test harness and the
+    bench head-to-head all go through {!find}, so a new engine becomes a
+    drop-in everywhere by implementing {!ENGINE} and calling
+    {!register} (or joining the built-in list).
+
+    Contract every engine must honour (what the differential suite
+    checks):
+    - the returned relation satisfies Σ ([Violation.total] = 0), unless
+      the report is marked degraded by a deadline cut;
+    - output is byte-identical at any job count, and under [--partition]
+      when [supports_partition];
+    - the report's provenance trail replays: [Provenance.replay] over
+      the dirty input reproduces the repaired relation;
+    - unsupported Σ fragments are rejected up front by {!val-fragment}
+      with a one-line reason, never by a wrong repair. *)
+
+open Dq_relation
+open Dq_cfd
+
+type checkpoint_spec = { path : string; every : int }
+
+(** The execution hooks shared by every engine invocation.  Engines
+    ignore hooks they do not support only after the caller has gated on
+    the capability flags — the CLI refuses [--checkpoint]/[--partition]
+    for engines that would silently drop them. *)
+type ctx = {
+  pool : Dq_parallel.Pool.t option;
+  deadline : Dq_fault.Deadline.t;
+  checkpoint : checkpoint_spec option;
+  resume : Dq_core.Checkpoint.t option;
+  partition : int array option;
+}
+
+val default_ctx : ctx
+(** No pool, no deadline, no checkpointing, no partition. *)
+
+module type ENGINE = sig
+  val name : string
+  (** Registry name ([--engine NAME]); lowercase, stable. *)
+
+  val doc : string
+  (** One-line description for listings and docs. *)
+
+  val supports_checkpoint : bool
+  (** Whether [ctx.checkpoint]/[ctx.resume] are honoured. *)
+
+  val supports_partition : bool
+  (** Whether [ctx.partition] is honoured (or provably a no-op). *)
+
+  val fragment : Schema.t -> Cfd.t array -> (unit, string) result
+  (** [Ok ()] when the engine can repair this Σ; otherwise a one-line
+      reason.  Callers surface failures as
+      [Dq_error.Engine_unsupported] — see {!check_fragment}. *)
+
+  val repair :
+    ctx ->
+    Relation.t ->
+    Cfd.t array ->
+    ((Relation.t * string) * Dq_obs.Report.t, Dq_error.t) result
+  (** The string is the engine's rendered stats line (what the CLI
+      prints to stderr in text mode); everything machine-readable lives
+      in the report's summary. *)
+end
+
+val all : unit -> (module ENGINE) list
+(** Built-in engines ([batch], [inc], [l-inc], [w-inc], [opt-fd]) plus
+    anything {!register}ed, in registration order. *)
+
+val names : unit -> string list
+
+val register : (module ENGINE) -> unit
+(** Append an engine to the registry.  A later registration shadows an
+    earlier engine of the same name in {!find}. *)
+
+val find : string -> ((module ENGINE), Dq_error.t) result
+(** Resolve a registry name (or the alias [v-inc] for [inc]);
+    [Error (Unknown_engine _)] otherwise. *)
+
+val check_fragment :
+  (module ENGINE) -> Schema.t -> Cfd.t array -> (unit, Dq_error.t) result
+(** [fragment] with the failure wrapped as
+    [Dq_error.Engine_unsupported]. *)

@@ -11,6 +11,8 @@ type t =
   | Would_overwrite of string
   | Deadline_exceeded
   | Fault_injected of string
+  | Unknown_engine of { name : string; known : string list }
+  | Engine_unsupported of { engine : string; reason : string }
   | Internal of string
 
 let to_string = function
@@ -36,6 +38,11 @@ let to_string = function
     "deadline exceeded before any usable result was produced"
   | Fault_injected site ->
     Printf.sprintf "fault injected at site %s (armed by a fault plan)" site
+  | Unknown_engine { name; known } ->
+    Printf.sprintf "unknown repair engine %S (known engines: %s)" name
+      (String.concat ", " known)
+  | Engine_unsupported { engine; reason } ->
+    Printf.sprintf "the %s engine cannot repair this ruleset: %s" engine reason
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let kind = function
@@ -49,6 +56,8 @@ let kind = function
   | Would_overwrite _ -> "would-overwrite"
   | Deadline_exceeded -> "deadline-exceeded"
   | Fault_injected _ -> "fault-injected"
+  | Unknown_engine _ -> "unknown-engine"
+  | Engine_unsupported _ -> "engine-unsupported"
   | Internal _ -> "internal"
 
 let to_json e =
@@ -73,6 +82,17 @@ let to_json e =
     Json.Obj
       (base @ [ ("path", Json.String path); ("cycles", Json.Int cycles) ])
   | Fault_injected site -> Json.Obj (base @ [ ("site", Json.String site) ])
+  | Unknown_engine { name; known } ->
+    Json.Obj
+      (base
+      @ [
+          ("name", Json.String name);
+          ("known", Json.List (List.map (fun n -> Json.String n) known));
+        ])
+  | Engine_unsupported { engine; reason } ->
+    Json.Obj
+      (base
+      @ [ ("engine", Json.String engine); ("reason", Json.String reason) ])
   | _ -> Json.Obj base
 
 module Exit = struct
@@ -92,5 +112,5 @@ let exit_code = function
   | Lint_gated _ | Analyze_gated _ -> Exit.lint_gated
   | Deadline_exceeded -> Exit.deadline
   | Io _ | Parse _ | Invalid_input _ | Invalid_config _ | Would_overwrite _
-  | Fault_injected _ | Internal _ ->
+  | Fault_injected _ | Unknown_engine _ | Engine_unsupported _ | Internal _ ->
     Exit.usage

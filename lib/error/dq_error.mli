@@ -41,6 +41,11 @@ type t =
   | Fault_injected of string
       (** an armed fault plan fired at this site — only reachable when
           [--fault-plan]/[DQ_FAULT] is set *)
+  | Unknown_engine of { name : string; known : string list }
+      (** [--engine] named no registered repair engine *)
+  | Engine_unsupported of { engine : string; reason : string }
+      (** the selected engine refuses this Σ fragment (e.g. [opt-fd] on a
+          ruleset with constant patterns or dependency cycles) *)
   | Internal of string  (** an engine invariant broke — a bug *)
 
 val to_string : t -> string

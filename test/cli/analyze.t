@@ -79,10 +79,10 @@ report's summary counts the shards.
   > '
   2
 
---partition is a batch-algorithm feature.
+--partition is gated per engine: the inc family refuses it.
 
   $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --partition -a v-inc
-  cfdclean: --partition applies to the batch algorithm (use --algorithm batch)
+  cfdclean: --partition is not supported by the inc engine (use --engine batch or --engine opt-fd)
   [2]
 
 lint --explain prints the diagnostic catalog entry without needing a

@@ -1,0 +1,131 @@
+The engine registry behind repair --engine.  Every built-in engine
+repairs the pure-FD fixture at the same cost 1.500; batch and opt-fd
+also agree on the repaired bytes, while inc picks a different (equally
+cheap) witness.  (The wall-clock runtime field is normalized away.)
+
+  $ D=../../data/engine_fixtures
+  $ norm () { "$@" 2>&1 | sed 's/runtime=[0-9.]*s/runtime=_/'; }
+
+  $ norm cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine batch -o batch.csv
+  batchrepair: steps=2 merges=2 rhs_fixes=0 lhs_fixes=0 nulls=0 cells_changed=2 runtime=_
+  repair cost: 1.500; dif: 2 cells
+  $ norm cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine inc -o inc.csv
+  V-IncRepair: processed=5 changed=2 cells_changed=2 nulls=0 runtime=_
+  repair cost: 1.500; dif: 2 cells
+  $ norm cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine opt-fd -o opt.csv
+  opt-fd: strata=2 groups=6 merges=6 cells_changed=2 runtime=_
+  repair cost: 1.500; dif: 2 cells
+  $ cmp batch.csv opt.csv && echo batch-and-opt-fd-agree
+  batch-and-opt-fd-agree
+  $ cmp -s batch.csv inc.csv || echo inc-differs
+  inc-differs
+
+The repaired instance is consistent.
+
+  $ cfdclean detect opt.csv $D/fd_only.cfd
+  6 tuples, 2 clauses: 0 violating tuples, vio(D) = 0
+
+--engine wins over the legacy -a spelling, and v-inc still resolves as
+an alias for inc.
+
+  $ norm cfdclean repair $D/fd_only.csv $D/fd_only.cfd -a batch --engine v-inc -o alias.csv
+  V-IncRepair: processed=5 changed=2 cells_changed=2 nulls=0 runtime=_
+  repair cost: 1.500; dif: 2 cells
+
+An unknown engine is a usage error with a stable diagnostic listing
+the registry.
+
+  $ cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine bogus -o x.csv
+  cfdclean: unknown repair engine "bogus" (known engines: batch, inc, l-inc, w-inc, opt-fd)
+  [2]
+
+  $ cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine bogus --format json -o x.csv
+  {
+    "command": "repair",
+    "ok": false,
+    "report": null,
+    "diagnostics": [
+      {
+        "kind": "unknown-engine",
+        "message": "unknown repair engine \"bogus\" (known engines: batch, inc, l-inc, w-inc, opt-fd)",
+        "name": "bogus",
+        "known": [
+          "batch",
+          "inc",
+          "l-inc",
+          "w-inc",
+          "opt-fd"
+        ]
+      }
+    ]
+  }
+  [2]
+
+opt-fd is scoped to acyclic pure-FD rulesets: constant patterns are
+rejected up front with a typed diagnostic, not repaired wrongly.
+
+  $ cfdclean repair $D/constant.csv $D/constant.cfd --engine opt-fd -o x.csv
+  cfdclean: the opt-fd engine cannot repair this ruleset: clause c1 has constant patterns; only pure FDs (all-wildcard pattern rows) are supported
+  [2]
+
+  $ cfdclean repair $D/mixed.csv $D/mixed.cfd --engine opt-fd --format json -o x.csv
+  {
+    "command": "repair",
+    "ok": false,
+    "report": null,
+    "diagnostics": [
+      {
+        "kind": "engine-unsupported",
+        "message": "the opt-fd engine cannot repair this ruleset: clause m2 has constant patterns; only pure FDs (all-wildcard pattern rows) are supported",
+        "engine": "opt-fd",
+        "reason": "clause m2 has constant patterns; only pure FDs (all-wildcard pattern rows) are supported"
+      }
+    ]
+  }
+  [2]
+
+A cyclic FD ruleset is likewise out of fragment, with a pointer at the
+analyzer.
+
+  $ cat > cyc.cfd <<'EOF'
+  > a: [zip] -> [city]
+  > b: [city] -> [zip]
+  > EOF
+  $ cfdclean repair $D/fd_only.csv cyc.cfd --engine opt-fd -o x.csv
+  cfdclean: the opt-fd engine cannot repair this ruleset: the attribute dependency graph has 1 cycle (run `cfdclean analyze` for the certificates); stratified repair needs an acyclic ruleset
+  [2]
+
+--deadline-passes cuts deterministically at a stratum boundary: the
+run degrades (exit 0), reports its progress, and only the completed
+strata's fixes are applied.
+
+  $ norm cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine opt-fd --deadline-passes 1 -o cut.csv
+  opt-fd: strata=1 groups=3 merges=3 cells_changed=1 runtime=_
+  repair cost: 1.000; dif: 1 cells
+  cfdclean: warning: deadline expired at a stratum boundary — partial repair (progress 50%)
+  $ cfdclean detect cut.csv $D/fd_only.cfd
+  6 tuples, 2 clauses: 2 violating tuples, vio(D) = 2
+  [1]
+
+Combining the wall-clock and logical deadlines is refused.
+
+  $ cfdclean repair $D/fd_only.csv $D/fd_only.cfd --deadline 5 --deadline-passes 1 -o x.csv
+  cfdclean: --deadline and --deadline-passes cannot be combined
+  [2]
+
+An opt-fd checkpoint resumes to the same bytes as the uninterrupted
+run, and the batch engine refuses to resume it.
+
+  $ norm cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine opt-fd \
+  >   --deadline-passes 1 --checkpoint o.ckpt --checkpoint-every 1 -o x.csv
+  opt-fd: strata=1 groups=3 merges=3 cells_changed=1 runtime=_
+  repair cost: 1.000; dif: 1 cells
+  cfdclean: warning: deadline expired at a stratum boundary — partial repair (progress 50%)
+  $ norm cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine opt-fd --resume o.ckpt -o resumed.csv
+  opt-fd: strata=2 groups=6 merges=6 cells_changed=2 runtime=_
+  repair cost: 1.500; dif: 2 cells
+  $ cmp resumed.csv opt.csv && echo resume-identical
+  resume-identical
+  $ cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine batch --resume o.ckpt -o x.csv
+  cfdclean: checkpoint kind "opt-fd-repair" was written by a different engine (this engine reads "batch-repair")
+  [2]

@@ -63,10 +63,10 @@ A checkpoint refuses to resume against different input data.
   cfdclean: checkpoint does not match this input (data, ruleset or configuration changed)
   [2]
 
-Checkpointing is a batch-algorithm feature.
+Checkpointing is gated per engine: the inc family refuses it.
 
   $ cfdclean repair w_dirty.csv w.cfd -a v-inc --checkpoint x.ckpt -o x.csv
-  cfdclean: checkpointing applies to the batch algorithm (use --algorithm batch)
+  cfdclean: --checkpoint/--resume are not supported by the inc engine (use --engine batch or --engine opt-fd)
   [2]
 
 Without any of the new flags the repair is byte-identical to the

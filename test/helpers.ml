@@ -129,6 +129,12 @@ module Gen = struct
   let instance = QCheck.make instance_gen
 end
 
+(* Substring check for error-message assertions. *)
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
 (* Unwrap an engine [result], dropping the attached observability report.
    Failing the running test with the error message beats [Result.get_ok]'s
    anonymous [Invalid_argument]. *)

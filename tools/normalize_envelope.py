@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Zero out the wall-clock phase timings in a cfdclean JSON envelope.
+
+Everything else in the envelope is deterministic, so after this pass the
+output is byte-comparable against a committed golden.  Reads one envelope
+on stdin, writes the normalized envelope (2-space indent, trailing
+newline) on stdout.  Envelopes without a report.phases object (e.g. error
+envelopes) pass through unchanged apart from re-indentation.
+"""
+import json
+import sys
+
+
+def main() -> None:
+    envelope = json.load(sys.stdin)
+    report = envelope.get("report") or {}
+    phases = report.get("phases")
+    if isinstance(phases, dict):
+        for name in phases:
+            phases[name] = 0.0
+    json.dump(envelope, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
