@@ -181,13 +181,9 @@ let write_section sect metrics =
       ()
   in
   let doc =
-    Json.Obj
-      [
-        ("command", Json.String "bench");
-        ("ok", Json.Bool true);
-        ("report", Dq_obs.Report.to_json report);
-        ("diagnostics", Json.List []);
-      ]
+    Dq_obs.Envelope.make ~request:"bench" ~ok:true
+      ~report:(Dq_obs.Report.to_json report)
+      ~diagnostics:[]
   in
   let path = Filename.concat !out_dir ("BENCH_" ^ sect ^ ".json") in
   match Atomic_io.write_file path (Json.to_string doc) with
@@ -881,8 +877,7 @@ let engines_bench () =
       | Error e -> failwith (Dq_error.to_string e)
     in
     let run (module E : Engine.ENGINE) ?pool rel sigma =
-      let ctx = { Engine.default_ctx with pool } in
-      match E.repair ctx rel sigma with
+      match E.run (Engine.ctx ?pool rel sigma) with
       | Ok ((repaired, _line), report) -> (repaired, report)
       | Error e -> failwith (Dq_error.to_string e)
     in

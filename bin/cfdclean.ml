@@ -16,9 +16,10 @@
    (see the dataqual.cfd documentation or `cfdclean generate`).
 
    Every subcommand takes `--format text|json` and `--metrics FILE`.  With
-   `--format json` stdout carries one envelope object
+   `--format json` stdout carries one version-2 envelope object
+   (Dq_obs.Envelope, shared with the serve daemon's endpoints)
 
-     {"command": ..., "ok": ..., "report": ..., "diagnostics": [...]}
+     {"v": 2, "request": ..., "ok": ..., "report": ..., "diagnostics": [...]}
 
    whose `report` is the engine's structured Dq_obs.Report.t.  Exit codes
    are standardised in Dq_error.Exit: 0 success, 1 problems found
@@ -131,13 +132,7 @@ let succeed ?(code = Dq_error.Exit.ok) ?(diagnostics = []) report text =
   Ok { report; code; diagnostics; text }
 
 let envelope ~command ~ok ~report ~diagnostics =
-  Json.Obj
-    [
-      ("command", Json.String command);
-      ("ok", Json.Bool ok);
-      ("report", report);
-      ("diagnostics", Json.List diagnostics);
-    ]
+  Dq_obs.Envelope.make ~request:command ~ok ~report ~diagnostics
 
 (* Arm the fault-injection plan from --fault-plan (or, failing that, the
    DQ_FAULT environment variable).  Site names are validated against the
@@ -268,8 +263,9 @@ let format_arg =
     & opt (conv (parse, print)) Text
     & info [ "format" ] ~docv:"FMT"
         ~doc:
-          "Output format: $(b,text), or $(b,json) for one envelope object \
-           {\"command\", \"ok\", \"report\", \"diagnostics\"} on stdout.")
+          "Output format: $(b,text), or $(b,json) for one version-2 envelope \
+           object {\"v\", \"request\", \"ok\", \"report\", \"diagnostics\"} \
+           on stdout.")
 
 let metrics_arg =
   Arg.(
@@ -447,7 +443,8 @@ let print_explain ppf report =
     List.iter (fun e -> Fmt.pf ppf "%a@." Provenance.pp_entry e) entries
 
 (* The legacy -a/--algorithm spellings map onto registry names; --engine,
-   when given, wins. *)
+   when given, wins.  Any use of the legacy flag draws a W101 deprecation
+   diagnostic (stderr in text mode, the envelope's diagnostics in json). *)
 let algorithm_engine = function
   | Batch -> "batch"
   | Inc Inc_repair.By_violations -> "inc"
@@ -459,11 +456,24 @@ let repair data_path cfd_path output in_place explain algorithm engine force
     deadline_passes checkpoint checkpoint_every resume =
   run_command ~command:"repair" ~format ~metrics ~trace ~progress ~fault
   @@ fun () ->
+  let warnings =
+    match algorithm with
+    | Some _ ->
+      [
+        Dq_error.Deprecated_flag
+          { flag = "-a/--algorithm"; replacement = "--engine" };
+      ]
+    | None -> []
+  in
+  List.iter
+    (fun w -> Fmt.epr "cfdclean: warning: %s@." (Dq_error.warning_to_string w))
+    warnings;
   let* (module E : Engine.ENGINE) =
     Engine.find
-      (match engine with
-      | Some name -> name
-      | None -> algorithm_engine algorithm)
+      (match (engine, algorithm) with
+      | Some name, _ -> name
+      | None, Some a -> algorithm_engine a
+      | None, None -> "batch")
   in
   with_inputs ~force ~analyze_gate data_path cfd_path @@ fun rel sigma ->
   if not (Satisfiability.is_satisfiable (Relation.schema rel) sigma) then
@@ -516,13 +526,14 @@ let repair data_path cfd_path output in_place explain algorithm engine force
       else None
     in
     let ctx =
-      { Engine.pool = Some pool; deadline; checkpoint; resume; partition }
+      Engine.ctx ~pool ~deadline ?checkpoint ?resume ?partition rel sigma
     in
-    let* (repaired, stats_line), report = E.repair ctx rel sigma in
+    let* (repaired, stats_line), report = E.run ctx in
     let* () =
       match out with Some path -> save_csv repaired path | None -> Ok ()
     in
-    succeed report (fun () ->
+    succeed ~diagnostics:(List.map Dq_error.warning_to_json warnings) report
+      (fun () ->
         Fmt.epr "%s@." stats_line;
         Fmt.epr "repair cost: %.3f; dif: %d cells@."
           (Cost.repair_cost ~original:rel ~repair:repaired)
@@ -575,11 +586,13 @@ let repair_cmd =
   in
   let algorithm =
     Arg.(
-      value & opt algorithm_conv Batch
+      value
+      & opt (some algorithm_conv) None
       & info [ "a"; "algorithm" ] ~docv:"ALGO"
           ~doc:
-            "Legacy spelling of $(b,--engine): one of batch, v-inc, l-inc, \
-             w-inc.")
+            "Deprecated (W101): legacy spelling of $(b,--engine), one of \
+             batch, v-inc, l-inc, w-inc.  Will be removed; use \
+             $(b,--engine).")
   in
   let engine =
     Arg.(
@@ -1309,6 +1322,72 @@ let generate_cmd =
         (const generate $ n $ rate $ seed $ prefix $ format_arg $ metrics_arg
        $ trace_arg $ progress_arg $ fault_arg))
 
+(* ---- serve ---- *)
+
+(* serve is the one subcommand that does not go through run_command: it
+   owns no stdout envelope (each HTTP response carries its own), prints
+   one ready line so scripts can wait for the port, and runs until
+   signalled.  kill -9 is the crash path the session store covers. *)
+let serve port state_dir resume jobs =
+  match Dq_serve.Serve.start { Dq_serve.Serve.port; state_dir; jobs; resume } with
+  | Error e ->
+    Fmt.epr "cfdclean: %s@." (Dq_error.to_string e);
+    `Ok (Dq_error.exit_code e)
+  | Ok d ->
+    Fmt.pr "cfdclean serve: listening on http://127.0.0.1:%d@."
+      (Dq_serve.Serve.port d);
+    let quit = Sys.Signal_handle (fun _ -> Stdlib.exit 0) in
+    (try Sys.set_signal Sys.sigterm quit with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint quit with Invalid_argument _ -> ());
+    (* Poll rather than Serve.wait: with every thread parked in a
+       blocking C call (accept, join), a pending SIGTERM has no safepoint
+       to run its handler at; Thread.delay wakes this thread and the
+       signal is processed on return. *)
+    while true do
+      Thread.delay 0.5
+    done;
+    `Ok 0
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port to listen on (loopback only).  $(b,0) picks an \
+             ephemeral port, reported on the ready line.")
+  in
+  let state_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint every committed session mutation to $(docv) \
+             (atomically, before the response is acknowledged), so \
+             $(b,--resume) after a crash serves byte-identical relations.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Load checkpointed sessions back from $(b,--state-dir) first.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the repair passes (default 1).  Responses \
+             are identical at any job count.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Streaming repair daemon: per-session clean relations behind a \
+          versioned HTTP/JSON API (see docs/SERVE.md)")
+    Term.(ret (const serve $ port $ state_dir $ resume $ jobs))
+
 let () =
   let doc = "CFD-based data cleaning (Cong et al., VLDB 2007)" in
   let info = Cmd.info "cfdclean" ~version:"1.0.0" ~doc in
@@ -1324,4 +1403,5 @@ let () =
             sample_cmd;
             discover_cmd;
             generate_cmd;
+            serve_cmd;
           ]))

@@ -37,7 +37,15 @@ let make_env ?(k = 2) ?(max_candidates = 6) ?(use_cluster_index = true) repr
     rhs_clauses;
   }
 
-let register env t = Lhs_index.add_tuple env.index t
+let register env t =
+  Lhs_index.add_tuple env.index t;
+  (* Drop the lazily built clusters: the new tuple may extend an
+     attribute's active domain, and candidate enumeration must be a
+     function of the tuples registered so far, not of when a cluster
+     happened to be built — otherwise repairing a delta in one call and
+     in several calls (serve's per-batch ingest) tie-breaks equal-cost
+     repairs differently. *)
+  Array.fill env.clusters 0 (Array.length env.clusters) None
 
 let vio_against env t = Lhs_index.vio env.index t
 

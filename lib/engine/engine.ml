@@ -5,6 +5,8 @@ open Dq_core
 type checkpoint_spec = { path : string; every : int }
 
 type ctx = {
+  relation : Relation.t;
+  sigma : Cfd.t array;
   pool : Dq_parallel.Pool.t option;
   deadline : Dq_fault.Deadline.t;
   checkpoint : checkpoint_spec option;
@@ -12,14 +14,9 @@ type ctx = {
   partition : int array option;
 }
 
-let default_ctx =
-  {
-    pool = None;
-    deadline = Dq_fault.Deadline.never;
-    checkpoint = None;
-    resume = None;
-    partition = None;
-  }
+let ctx ?pool ?(deadline = Dq_fault.Deadline.never) ?checkpoint ?resume
+    ?partition relation sigma =
+  { relation; sigma; pool; deadline; checkpoint; resume; partition }
 
 module type ENGINE = sig
   val name : string
@@ -30,14 +27,28 @@ module type ENGINE = sig
 
   val supports_partition : bool
 
+  val supports_ingest : bool
+
   val fragment : Schema.t -> Cfd.t array -> (unit, string) result
 
-  val repair :
+  val run :
+    ctx -> ((Relation.t * string) * Dq_obs.Report.t, Dq_error.t) result
+
+  val ingest :
     ctx ->
-    Relation.t ->
-    Cfd.t array ->
+    Tuple.t list ->
     ((Relation.t * string) * Dq_obs.Report.t, Dq_error.t) result
 end
+
+let no_ingest name _ _ =
+  Error
+    (Dq_error.Engine_unsupported
+       {
+         engine = name;
+         reason =
+           "no incremental ingest: this engine repairs whole relations (use \
+            an INCREPAIR engine: inc, l-inc or w-inc)";
+       })
 
 (* ---- built-in engines -------------------------------------------------- *)
 
@@ -52,17 +63,19 @@ module Batch : ENGINE = struct
 
   let supports_partition = true
 
+  let supports_ingest = false
+
   let fragment _ _ = Ok ()
 
-  let repair ctx rel sigma =
+  let run c =
     let checkpoint =
       Option.map
         (fun { path; every } -> { Batch_repair.path; every })
-        ctx.checkpoint
+        c.checkpoint
     in
     match
-      Batch_repair.repair ?pool:ctx.pool ~deadline:ctx.deadline ?checkpoint
-        ?resume:ctx.resume ?partition:ctx.partition rel sigma
+      Batch_repair.repair ?pool:c.pool ~deadline:c.deadline ?checkpoint
+        ?resume:c.resume ?partition:c.partition c.relation c.sigma
     with
     | Ok ((repaired, stats), report) ->
       Ok
@@ -70,11 +83,15 @@ module Batch : ENGINE = struct
             Format.asprintf "batchrepair: %a" Batch_repair.pp_stats stats ),
           report )
     | Error _ as e -> e
+
+  let ingest = no_ingest name
 end
 
 (* The three INCREPAIR orderings share one adapter: tuple-at-a-time
    resolution keeps no pass-boundary state, so neither checkpointing nor
-   the shard partition applies. *)
+   the shard partition applies — but precisely because each tuple is
+   resolved against the repair built so far, they are the engines that
+   can ingest a delta into a clean relation (what serve sessions do). *)
 let inc_engine engine_name ordering : (module ENGINE) =
   (module struct
     let name = engine_name
@@ -89,20 +106,31 @@ let inc_engine engine_name ordering : (module ENGINE) =
 
     let supports_partition = false
 
+    let supports_ingest = true
+
     let fragment _ _ = Ok ()
 
-    let repair ctx rel sigma =
+    let stats_line stats =
+      Format.asprintf "%s: %a"
+        (Inc_repair.ordering_name ordering)
+        Inc_repair.pp_stats stats
+
+    let run c =
       match
-        Inc_repair.repair_dirty ?pool:ctx.pool ~ordering ~deadline:ctx.deadline
-          rel sigma
+        Inc_repair.repair_dirty ?pool:c.pool ~ordering ~deadline:c.deadline
+          c.relation c.sigma
       with
       | Ok ((repaired, stats), report) ->
-        Ok
-          ( ( repaired,
-              Format.asprintf "%s: %a"
-                (Inc_repair.ordering_name ordering)
-                Inc_repair.pp_stats stats ),
-            report )
+        Ok ((repaired, stats_line stats), report)
+      | Error _ as e -> e
+
+    let ingest c delta =
+      match
+        Inc_repair.repair_inserts ?pool:c.pool ~ordering ~deadline:c.deadline
+          c.relation delta c.sigma
+      with
+      | Ok ((repaired, stats), report) ->
+        Ok ((repaired, stats_line stats), report)
       | Error _ as e -> e
   end)
 
@@ -121,17 +149,19 @@ module Opt_fd : ENGINE = struct
      provable no-op rather than a refusal. *)
   let supports_partition = true
 
+  let supports_ingest = false
+
   let fragment = Opt_fd_repair.fragment
 
-  let repair ctx rel sigma =
+  let run c =
     let checkpoint =
       Option.map
         (fun { path; every } -> { Opt_fd_repair.path; every })
-        ctx.checkpoint
+        c.checkpoint
     in
     match
-      Opt_fd_repair.repair ?pool:ctx.pool ~deadline:ctx.deadline ?checkpoint
-        ?resume:ctx.resume rel sigma
+      Opt_fd_repair.repair ?pool:c.pool ~deadline:c.deadline ?checkpoint
+        ?resume:c.resume c.relation c.sigma
     with
     | Ok ((repaired, stats), report) ->
       Ok
@@ -140,6 +170,8 @@ module Opt_fd : ENGINE = struct
               Opt_fd_repair.pp_stats stats ),
           report )
     | Error _ as e -> e
+
+  let ingest = no_ingest name
 end
 
 (* ---- registry ---------------------------------------------------------- *)

@@ -13,6 +13,7 @@ type t =
   | Fault_injected of string
   | Unknown_engine of { name : string; known : string list }
   | Engine_unsupported of { engine : string; reason : string }
+  | No_such_session of string
   | Internal of string
 
 let to_string = function
@@ -43,6 +44,7 @@ let to_string = function
       (String.concat ", " known)
   | Engine_unsupported { engine; reason } ->
     Printf.sprintf "the %s engine cannot repair this ruleset: %s" engine reason
+  | No_such_session id -> Printf.sprintf "no such session: %s" id
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let kind = function
@@ -58,6 +60,7 @@ let kind = function
   | Fault_injected _ -> "fault-injected"
   | Unknown_engine _ -> "unknown-engine"
   | Engine_unsupported _ -> "engine-unsupported"
+  | No_such_session _ -> "no-such-session"
   | Internal _ -> "internal"
 
 let to_json e =
@@ -112,5 +115,28 @@ let exit_code = function
   | Lint_gated _ | Analyze_gated _ -> Exit.lint_gated
   | Deadline_exceeded -> Exit.deadline
   | Io _ | Parse _ | Invalid_input _ | Invalid_config _ | Would_overwrite _
-  | Fault_injected _ | Unknown_engine _ | Engine_unsupported _ | Internal _ ->
+  | Fault_injected _ | Unknown_engine _ | Engine_unsupported _
+  | No_such_session _ | Internal _ ->
     Exit.usage
+
+(* ---- warnings ---------------------------------------------------------- *)
+
+type warning = Deprecated_flag of { flag : string; replacement : string }
+
+let warning_code = function Deprecated_flag _ -> "W101"
+
+let warning_to_string = function
+  | Deprecated_flag { flag; replacement } as w ->
+    Printf.sprintf "%s: %s is deprecated and will be removed; use %s"
+      (warning_code w) flag replacement
+
+let warning_to_json = function
+  | Deprecated_flag { flag; replacement } as w ->
+    Json.Obj
+      [
+        ("kind", Json.String "deprecated");
+        ("code", Json.String (warning_code w));
+        ("message", Json.String (warning_to_string w));
+        ("flag", Json.String flag);
+        ("replacement", Json.String replacement);
+      ]

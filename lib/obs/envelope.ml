@@ -1,0 +1,16 @@
+(* The versioned wire envelope shared by the CLI and the serve daemon. *)
+
+let version = 2
+
+let make ~request ~ok ~report ~diagnostics =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("request", Json.String request);
+      ("ok", Json.Bool ok);
+      ("report", report);
+      ("diagnostics", Json.List diagnostics);
+    ]
+
+let error ~request err_json =
+  make ~request ~ok:false ~report:Json.Null ~diagnostics:[ err_json ]

@@ -1,0 +1,217 @@
+(* Minimal HTTP/1.1 framing over Unix file descriptors: just enough for
+   the serve daemon's request/response API — no TLS, no keep-alive, no
+   multipart.  Parsing is split from socket I/O so the framing rules are
+   unit-testable on plain strings. *)
+
+type request = {
+  meth : string;
+  target : string;
+  path : string list;
+  headers : (string * string) list;
+  body : string;
+}
+
+let header r name = List.assoc_opt (String.lowercase_ascii name) r.headers
+
+let max_head_bytes = 64 * 1024
+
+let default_max_body = 64 * 1024 * 1024
+
+(* Path segments of the request target, query string dropped.  Ids in
+   our routes are plain alphanumerics, so no percent-decoding. *)
+let split_target target =
+  let path =
+    match String.index_opt target '?' with
+    | Some i -> String.sub target 0 i
+    | None -> target
+  in
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+(* [(head_end, body_start)] of the first blank line (CRLF CRLF, or bare
+   LF LF for hand-typed clients), if any. *)
+let find_head_end s =
+  let n = String.length s in
+  let rec scan i =
+    if i + 1 >= n then None
+    else if
+      i + 3 < n
+      && s.[i] = '\r'
+      && s.[i + 1] = '\n'
+      && s.[i + 2] = '\r'
+      && s.[i + 3] = '\n'
+    then Some (i, i + 4)
+    else if s.[i] = '\n' && s.[i + 1] = '\n' then Some (i, i + 2)
+    else scan (i + 1)
+  in
+  scan 0
+
+let trim_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+(* Parse the head: request line plus header lines (no blank line). *)
+let parse_head head =
+  match String.split_on_char '\n' head with
+  | [] -> Error "empty request head"
+  | request_line :: header_lines -> (
+    match String.split_on_char ' ' (trim_cr request_line) with
+    | [ meth; target; version ]
+      when String.length version >= 8 && String.sub version 0 7 = "HTTP/1." ->
+      let rec headers acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          let line = trim_cr line in
+          if line = "" then headers acc rest
+          else
+            match String.index_opt line ':' with
+            | None -> Error (Printf.sprintf "malformed header line %S" line)
+            | Some i ->
+              let name = String.lowercase_ascii (String.sub line 0 i) in
+              let value =
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              headers ((name, value) :: acc) rest)
+      in
+      Result.map
+        (fun headers ->
+          { meth; target; path = split_target target; headers; body = "" })
+        (headers [] header_lines)
+    | _ ->
+      Error (Printf.sprintf "malformed request line %S" (trim_cr request_line)))
+
+let content_length r =
+  match header r "content-length" with
+  | None -> Ok 0
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "bad content-length %S" s))
+
+(* Parse one whole request held in a string — head, then exactly
+   [content-length] body bytes.  The unit-testable core of
+   {!read_request}. *)
+let parse ?(max_body = default_max_body) bytes =
+  match find_head_end bytes with
+  | None -> Error "request head not terminated"
+  | Some (head_end, body_start) -> (
+    match parse_head (String.sub bytes 0 head_end) with
+    | Error _ as e -> e
+    | Ok r -> (
+      match content_length r with
+      | Error _ as e -> e
+      | Ok len when len > max_body ->
+        Error (Printf.sprintf "body of %d bytes exceeds limit" len)
+      | Ok len ->
+        if String.length bytes - body_start < len then
+          Error "truncated request body"
+        else Ok { r with body = String.sub bytes body_start len }))
+
+(* ---- socket I/O -------------------------------------------------------- *)
+
+exception Closed
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Closed
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send fd s = write_all fd s 0 (String.length s)
+
+(* Read one request from a connected socket: accumulate the head up to
+   the blank line (bounded), then exactly content-length body bytes.
+   [Ok None] when the peer closed before sending anything. *)
+let read_request ?(max_body = default_max_body) fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      n
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+  in
+  let rec fill_head () =
+    match find_head_end (Buffer.contents buf) with
+    | Some split -> Ok (Some split)
+    | None ->
+      if Buffer.length buf > max_head_bytes then Error "request head too large"
+      else if read_more () = 0 then
+        if Buffer.length buf = 0 then Ok None
+        else Error "truncated request head"
+      else fill_head ()
+  in
+  match fill_head () with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some (head_end, body_start)) -> (
+    match parse_head (String.sub (Buffer.contents buf) 0 head_end) with
+    | Error _ as e -> e
+    | Ok r -> (
+      match content_length r with
+      | Error _ as e -> e
+      | Ok len when len > max_body ->
+        Error (Printf.sprintf "body of %d bytes exceeds limit" len)
+      | Ok len ->
+        let rec fill_body () =
+          if Buffer.length buf - body_start >= len then Ok ()
+          else if read_more () = 0 then Error "truncated request body"
+          else fill_body ()
+        in
+        (match fill_body () with
+        | Error _ as e -> e
+        | Ok () ->
+          Ok (Some { r with body = String.sub (Buffer.contents buf) body_start len }))))
+
+(* ---- responses --------------------------------------------------------- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 500 -> "Internal Server Error"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Status"
+
+let head ~status ~content_type extra =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  Buffer.add_string b (Printf.sprintf "content-type: %s\r\n" content_type);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    extra;
+  Buffer.add_string b "connection: close\r\n\r\n";
+  Buffer.contents b
+
+let respond fd ~status ?(content_type = "application/json") body =
+  send fd
+    (head ~status ~content_type
+       [ ("content-length", string_of_int (String.length body)) ]);
+  send fd body
+
+(* Chunked response: [produce] is handed a writer it may call any number
+   of times — the relation endpoint streams row groups through it
+   without materialising the whole CSV. *)
+let respond_stream fd ~status ~content_type produce =
+  send fd (head ~status ~content_type [ ("transfer-encoding", "chunked") ]);
+  let write chunk =
+    if String.length chunk > 0 then begin
+      send fd (Printf.sprintf "%x\r\n" (String.length chunk));
+      send fd chunk;
+      send fd "\r\n"
+    end
+  in
+  produce write;
+  send fd "0\r\n\r\n"

@@ -1,0 +1,53 @@
+(** Minimal HTTP/1.1 framing for the serve daemon.
+
+    Just enough protocol for a local request/response API: one request
+    per connection ([connection: close]), [content-length] bodies on the
+    way in, fixed-length or chunked bodies on the way out.  Parsing is
+    split from socket I/O so the framing rules are unit-testable on
+    plain strings ({!parse}). *)
+
+type request = {
+  meth : string;  (** verb, verbatim ([GET], [POST], ...) *)
+  target : string;  (** the raw request target *)
+  path : string list;  (** target split on [/], query string dropped *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (first match). *)
+
+val split_target : string -> string list
+
+val parse : ?max_body:int -> string -> (request, string) result
+(** Parse one whole request held in a string: head up to the blank line
+    (CRLF or bare LF), then exactly [content-length] body bytes. *)
+
+exception Closed
+(** The peer went away mid-write (EPIPE / ECONNRESET).  Handlers treat
+    it as a benign end of conversation. *)
+
+val read_request : ?max_body:int -> Unix.file_descr -> (request option, string) result
+(** Read one request from a connected socket.  [Ok None] when the peer
+    closed before sending anything; [Error _] on framing problems
+    (oversized head, truncated body, malformed request line). *)
+
+val send : Unix.file_descr -> string -> unit
+(** Write a whole string.  @raise Closed if the peer went away. *)
+
+val status_text : int -> string
+
+val respond :
+  Unix.file_descr -> status:int -> ?content_type:string -> string -> unit
+(** One fixed-length response ([content-length], [connection: close]).
+    Default content type is [application/json].  @raise Closed *)
+
+val respond_stream :
+  Unix.file_descr ->
+  status:int ->
+  content_type:string ->
+  ((string -> unit) -> unit) ->
+  unit
+(** Chunked response: the callback receives a writer it may call any
+    number of times; the terminating zero-chunk is appended after it
+    returns.  @raise Closed *)

@@ -1,0 +1,591 @@
+open Dq_relation
+module Json = Dq_obs.Json
+module Envelope = Dq_obs.Envelope
+module Report = Dq_obs.Report
+module Deadline = Dq_fault.Deadline
+module Pool = Dq_parallel.Pool
+module Engine = Dq_engine.Engine
+
+let ( let* ) = Result.bind
+
+type config = {
+  port : int;
+  state_dir : string option;
+  jobs : int;
+  resume : bool;
+}
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  state_dir : string option;
+  pool : Pool.t option;
+  sessions : (string, Session.t) Hashtbl.t;
+  registry : Mutex.t;  (** guards [sessions] and [next_id] *)
+  ingest_queue : Mutex.t;
+      (** the in-process ingest queue: engine invocations from all
+          sessions drain through this one lock, in arrival order *)
+  mutable next_id : int;
+  mutable stopped : bool;
+  mutable acceptor : Thread.t option;
+}
+
+let port t = t.bound_port
+
+let status_of_error = function
+  | Dq_error.No_such_session _ -> 404
+  | Dq_error.Parse _ | Dq_error.Invalid_input _ | Dq_error.Invalid_config _
+  | Dq_error.Would_overwrite _ | Dq_error.Unknown_engine _ ->
+    400
+  | Dq_error.Lint_gated _ | Dq_error.Analyze_gated _ | Dq_error.Unsatisfiable
+  | Dq_error.Engine_unsupported _ ->
+    422
+  | Dq_error.Deadline_exceeded -> 504
+  | Dq_error.Io _ | Dq_error.Fault_injected _ | Dq_error.Internal _ -> 500
+
+(* The envelope's [request] field: verb plus canonical path (query
+   dropped), e.g. ["POST /v1/sessions/s1/tuples"]. *)
+let request_name (r : Http.request) =
+  r.Http.meth ^ " /" ^ String.concat "/" r.Http.path
+
+let respond_ok fd ~request ?(status = 200) report =
+  Http.respond fd ~status
+    (Json.to_string
+       (Envelope.make ~request ~ok:true ~report ~diagnostics:[]))
+
+let respond_err fd ~request e =
+  Http.respond fd ~status:(status_of_error e)
+    (Json.to_string (Envelope.error ~request (Dq_error.to_json e)))
+
+(* ---- request decoding --------------------------------------------------- *)
+
+let parse_body (r : Http.request) =
+  match Json.parse r.Http.body with
+  | Ok j -> Ok j
+  | Error msg -> Error (Dq_error.Invalid_input ("request body: " ^ msg))
+
+let field ?default name j =
+  match (Json.member name j, default) with
+  | Some v, _ -> Ok v
+  | None, Some d -> Ok d
+  | None, None ->
+    Error (Dq_error.Invalid_input (Printf.sprintf "missing field %S" name))
+
+let string_field ?default name j =
+  let* v = field ?default:(Option.map (fun s -> Json.String s) default) name j in
+  match v with
+  | Json.String s -> Ok s
+  | _ ->
+    Error (Dq_error.Invalid_input (Printf.sprintf "field %S: expected a string" name))
+
+let bool_field ~default name j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ ->
+    Error
+      (Dq_error.Invalid_input (Printf.sprintf "field %S: expected a boolean" name))
+
+let map_m f l =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+(* A relation value in a request body: a plain JSON scalar. *)
+let value_of_json = function
+  | Json.Null -> Ok Value.Null
+  | Json.Int n -> Ok (Value.Int n)
+  | Json.Float f -> Ok (Value.Float f)
+  | Json.String s -> Ok (Value.String s)
+  | j ->
+    Error
+      (Dq_error.Invalid_input
+         ("tuple values must be JSON scalars, got "
+         ^ String.trim (Json.to_string ~minify:true j)))
+
+let values_of_json l =
+  let* vs = map_m value_of_json l in
+  Ok (Array.of_list vs)
+
+let weights_of_json j =
+  match j with
+  | None -> Ok None
+  | Some (Json.List l) ->
+    let* ws =
+      map_m
+        (function
+          | Json.Int n -> Ok (float_of_int n)
+          | Json.Float f -> Ok f
+          | _ -> Error (Dq_error.Invalid_input "weights must be numbers"))
+        l
+    in
+    Ok (Some (Array.of_list ws))
+  | Some _ -> Error (Dq_error.Invalid_input "field \"weights\": expected a list")
+
+(* One submitted tuple: either a bare array of values, or an object
+   [{"values": [...], "weights": [...]}] carrying per-attribute
+   confidence weights (Section 3.2). *)
+let row_of_json = function
+  | Json.List l ->
+    let* values = values_of_json l in
+    Ok (values, None)
+  | Json.Obj _ as j ->
+    let* values = field "values" j in
+    let* values =
+      match values with
+      | Json.List l -> values_of_json l
+      | _ -> Error (Dq_error.Invalid_input "field \"values\": expected a list")
+    in
+    let* weights = weights_of_json (Json.member "weights" j) in
+    Ok (values, weights)
+  | _ ->
+    Error
+      (Dq_error.Invalid_input
+         "each tuple must be a list of values or {\"values\": ..., \
+          \"weights\": ...}")
+
+let deadline_of_request (r : Http.request) =
+  match Http.header r "x-deadline-seconds" with
+  | None -> Ok Deadline.never
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some secs when secs >= 0. -> Ok (Deadline.after secs)
+    | _ ->
+      Error
+        (Dq_error.Invalid_input
+           (Printf.sprintf "x-deadline-seconds: bad value %S" s)))
+
+(* ---- response fragments -------------------------------------------------- *)
+
+let session_status (s : Session.t) =
+  Json.Obj
+    [
+      ("id", Json.String s.Session.id);
+      ("engine", Json.String s.Session.engine);
+      ( "schema",
+        Json.Obj
+          [
+            ("name", Json.String (Schema.name s.Session.schema));
+            ( "attributes",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun a -> Json.String a)
+                      (Schema.attributes s.Session.schema))) );
+          ] );
+      ("tuples", Json.Int (Relation.cardinality s.Session.relation));
+      ("next_tid", Json.Int s.Session.next_tid);
+      ("batches", Json.Int s.Session.batches);
+      ("repaired", Json.Int s.Session.repaired);
+      ("quarantine", Json.Int (List.length s.Session.quarantine));
+      ("quarantined_total", Json.Int s.Session.quarantined_total);
+      ("resolved", Json.Int s.Session.resolved);
+    ]
+
+let outcome_json schema = function
+  | Session.Clean tid ->
+    Json.Obj [ ("tid", Json.Int tid); ("status", Json.String "clean") ]
+  | Session.Repaired (tid, cells) ->
+    Json.Obj
+      [
+        ("tid", Json.Int tid);
+        ("status", Json.String "repaired");
+        ("cells_changed", Json.Int cells);
+      ]
+  | Session.Quarantined (tid, attrs) ->
+    Json.Obj
+      [
+        ("tid", Json.Int tid);
+        ("status", Json.String "quarantined");
+        ( "attrs",
+          Json.List
+            (List.map (fun p -> Json.String (Schema.attribute schema p)) attrs)
+        );
+      ]
+
+let quarantined_json schema (q : Session.quarantined) =
+  Json.Obj
+    [
+      ("tid", Json.Int (Tuple.tid q.Session.tuple));
+      ("batch", Json.Int q.Session.batch);
+      ( "attrs",
+        Json.List
+          (List.map
+             (fun p -> Json.String (Schema.attribute schema p))
+             q.Session.attrs) );
+      ( "values",
+        Json.List
+          (Array.to_list
+             (Array.map Json.of_value (Tuple.values q.Session.tuple))) );
+    ]
+
+(* ---- session registry ---------------------------------------------------- *)
+
+let find_session d id =
+  Mutex.protect d.registry (fun () ->
+      match Hashtbl.find_opt d.sessions id with
+      | Some s -> Ok s
+      | None -> Error (Dq_error.No_such_session id))
+
+(* Checkpoint a committed mutation before the response goes out.  Caller
+   holds the session lock, so the snapshot is the acknowledged state. *)
+let save_session d s =
+  match d.state_dir with
+  | None -> ()
+  | Some dir -> Store.save ~dir s
+
+(* ---- handlers ------------------------------------------------------------ *)
+
+let handle_health d fd ~request =
+  let sessions = Mutex.protect d.registry (fun () -> Hashtbl.length d.sessions) in
+  respond_ok fd ~request
+    (Json.Obj
+       [
+         ("status", Json.String "ok");
+         ("sessions", Json.Int sessions);
+         ( "engines",
+           Json.List (List.map (fun n -> Json.String n) (Engine.names ())) );
+       ])
+
+let handle_create d fd ~request (r : Http.request) =
+  let result =
+    let* body = parse_body r in
+    let* schema = field "schema" body in
+    let* schema_name = string_field "name" schema in
+    let* attributes = field "attributes" schema in
+    let* attributes =
+      match attributes with
+      | Json.List l ->
+        map_m
+          (function
+            | Json.String a -> Ok a
+            | _ ->
+              Error
+                (Dq_error.Invalid_input
+                   "field \"attributes\": expected strings"))
+          l
+      | _ ->
+        Error (Dq_error.Invalid_input "field \"attributes\": expected a list")
+    in
+    let* rules = string_field "rules" body in
+    (* l-inc is the default session engine: its linear tuple ordering
+       makes batch-split ingest equal one-shot ingest (the determinism
+       property the test suite checks). *)
+    let* engine = string_field ~default:"l-inc" "engine" body in
+    let* force = bool_field ~default:false "force" body in
+    Mutex.protect d.registry (fun () ->
+        let id = Printf.sprintf "s%d" d.next_id in
+        let* s =
+          Session.create ~id ~schema_name ~attributes ~rules ~engine ~force ()
+        in
+        d.next_id <- d.next_id + 1;
+        Hashtbl.replace d.sessions id s;
+        Session.with_lock s (fun () -> save_session d s);
+        Ok s)
+  in
+  match result with
+  | Error e -> respond_err fd ~request e
+  | Ok s ->
+    respond_ok fd ~request ~status:201
+      (Session.with_lock s (fun () -> session_status s))
+
+let handle_list d fd ~request =
+  let statuses =
+    Mutex.protect d.registry (fun () ->
+        Hashtbl.to_seq_values d.sessions
+        |> List.of_seq
+        |> List.sort (fun (a : Session.t) b ->
+               compare a.Session.id b.Session.id)
+        |> List.map (fun s -> Session.with_lock s (fun () -> session_status s)))
+  in
+  respond_ok fd ~request (Json.Obj [ ("sessions", Json.List statuses) ])
+
+let handle_status d fd ~request id =
+  match find_session d id with
+  | Error e -> respond_err fd ~request e
+  | Ok s -> respond_ok fd ~request (Session.with_lock s (fun () -> session_status s))
+
+let handle_delete d fd ~request id =
+  let result =
+    Mutex.protect d.registry (fun () ->
+        match Hashtbl.find_opt d.sessions id with
+        | None -> Error (Dq_error.No_such_session id)
+        | Some _ ->
+          Hashtbl.remove d.sessions id;
+          (match d.state_dir with
+          | Some dir -> Store.delete ~dir id
+          | None -> ());
+          Ok ())
+  in
+  match result with
+  | Error e -> respond_err fd ~request e
+  | Ok () ->
+    respond_ok fd ~request (Json.Obj [ ("deleted", Json.String id) ])
+
+let handle_ingest d fd ~request (r : Http.request) id =
+  let result =
+    let* s = find_session d id in
+    let* deadline = deadline_of_request r in
+    let* body = parse_body r in
+    let* rows = field "tuples" body in
+    let* rows =
+      match rows with
+      | Json.List l -> map_m row_of_json l
+      | _ -> Error (Dq_error.Invalid_input "field \"tuples\": expected a list")
+    in
+    Session.with_lock s (fun () ->
+        let* outcomes, stats, report =
+          Mutex.protect d.ingest_queue (fun () ->
+              Session.ingest ?pool:d.pool ~deadline s rows)
+        in
+        save_session d s;
+        Ok
+          (Json.Obj
+             [
+               ("session", Json.String id);
+               ("batch", Json.Int s.Session.batches);
+               ("ingested", Json.Int (List.length rows));
+               ( "outcomes",
+                 Json.List
+                   (List.map (outcome_json s.Session.schema) outcomes) );
+               ("stats", Json.String stats);
+               ("engine_report", Report.stable_json report);
+             ]))
+  in
+  match result with
+  | Error e -> respond_err fd ~request e
+  | Ok report -> respond_ok fd ~request report
+
+let handle_relation d fd ~request id =
+  match find_session d id with
+  | Error e -> respond_err fd ~request e
+  | Ok s ->
+    (* Snapshot under the lock, stream outside it. *)
+    let csv = Session.with_lock s (fun () -> Csv.save_string s.Session.relation) in
+    ignore request;
+    Http.respond_stream fd ~status:200 ~content_type:"text/csv" (fun write ->
+        let chunk = 64 * 1024 in
+        let n = String.length csv in
+        let rec go off =
+          if off < n then begin
+            write (String.sub csv off (min chunk (n - off)));
+            go (off + chunk)
+          end
+        in
+        go 0)
+
+let handle_quarantine d fd ~request id =
+  match find_session d id with
+  | Error e -> respond_err fd ~request e
+  | Ok s ->
+    respond_ok fd ~request
+      (Session.with_lock s (fun () ->
+           Json.Obj
+             [
+               ("session", Json.String id);
+               ( "entries",
+                 Json.List
+                   (List.map
+                      (quarantined_json s.Session.schema)
+                      s.Session.quarantine) );
+             ]))
+
+let handle_resolve d fd ~request (r : Http.request) id tid_str =
+  let result =
+    let* s = find_session d id in
+    let* tid =
+      match int_of_string_opt tid_str with
+      | Some t -> Ok t
+      | None ->
+        Error (Dq_error.Invalid_input (Printf.sprintf "bad tid %S" tid_str))
+    in
+    let* deadline = deadline_of_request r in
+    let* body = parse_body r in
+    let* resolution =
+      match (Json.member "action" body, Json.member "values" body) with
+      | Some (Json.String "discard"), None -> Ok Session.Discard
+      | (None | Some (Json.String "replace")), Some (Json.List l) ->
+        let* values = values_of_json l in
+        let* weights = weights_of_json (Json.member "weights" body) in
+        Ok (Session.Replace (values, weights))
+      | _ ->
+        Error
+          (Dq_error.Invalid_input
+             "resolve body must be {\"action\": \"discard\"} or {\"values\": \
+              [...]}")
+    in
+    Session.with_lock s (fun () ->
+        let* outcome =
+          Mutex.protect d.ingest_queue (fun () ->
+              Session.resolve ?pool:d.pool ~deadline s tid resolution)
+        in
+        save_session d s;
+        Ok
+          (Json.Obj
+             [
+               ("session", Json.String id);
+               ("resolved", Json.Int tid);
+               ("outcome", outcome_json s.Session.schema outcome);
+             ]))
+  in
+  match result with
+  | Error e -> respond_err fd ~request e
+  | Ok report -> respond_ok fd ~request report
+
+(* ---- dispatch ------------------------------------------------------------ *)
+
+let route d fd (r : Http.request) =
+  let request = request_name r in
+  match (r.Http.meth, r.Http.path) with
+  | "GET", [ "v1"; "health" ] -> handle_health d fd ~request
+  | "POST", [ "v1"; "sessions" ] -> handle_create d fd ~request r
+  | "GET", [ "v1"; "sessions" ] -> handle_list d fd ~request
+  | "GET", [ "v1"; "sessions"; id ] -> handle_status d fd ~request id
+  | "DELETE", [ "v1"; "sessions"; id ] -> handle_delete d fd ~request id
+  | "POST", [ "v1"; "sessions"; id; "tuples" ] ->
+    handle_ingest d fd ~request r id
+  | "GET", [ "v1"; "sessions"; id; "relation" ] ->
+    handle_relation d fd ~request id
+  | "GET", [ "v1"; "sessions"; id; "quarantine" ] ->
+    handle_quarantine d fd ~request id
+  | "POST", [ "v1"; "sessions"; id; "quarantine"; tid; "resolve" ] ->
+    handle_resolve d fd ~request r id tid
+  | _, _ ->
+    Http.respond fd ~status:404
+      (Json.to_string
+         (Envelope.error ~request
+            (Dq_error.to_json
+               (Dq_error.Invalid_input
+                  (Printf.sprintf "no such endpoint: %s" request)))))
+
+let handle_connection d fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        match Http.read_request fd with
+        | Ok None -> ()
+        | Ok (Some r) -> (
+          try route d fd r with
+          | Deadline.Expired ->
+            respond_err fd ~request:(request_name r) Dq_error.Deadline_exceeded
+          | Dq_fault.Fault.Injected site ->
+            respond_err fd ~request:(request_name r)
+              (Dq_error.Fault_injected site)
+          | Sys_error msg ->
+            respond_err fd ~request:(request_name r) (Dq_error.Io msg)
+          | Http.Closed -> ()
+          | exn ->
+            respond_err fd ~request:(request_name r)
+              (Dq_error.Internal (Printexc.to_string exn)))
+        | Error msg ->
+          Http.respond fd ~status:400
+            (Json.to_string
+               (Envelope.error ~request:"(malformed)"
+                  (Dq_error.to_json (Dq_error.Invalid_input msg))))
+      with Http.Closed -> ())
+
+(* ---- lifecycle ----------------------------------------------------------- *)
+
+let accept_loop d =
+  let rec go () =
+    match Unix.accept d.sock with
+    | fd, _ ->
+      ignore (Thread.create (handle_connection d) fd);
+      go ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+      () (* socket closed by [stop] *)
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go ()
+  in
+  go ()
+
+(* Resumed session files are named ID.json, ids are s<N>: continue the
+   counter past the largest N on disk. *)
+let next_id_after sessions =
+  1
+  + List.fold_left
+      (fun acc (s : Session.t) ->
+        match
+          if String.length s.Session.id > 1 && s.Session.id.[0] = 's' then
+            int_of_string_opt
+              (String.sub s.Session.id 1 (String.length s.Session.id - 1))
+          else None
+        with
+        | Some n -> max acc n
+        | None -> acc)
+      0 sessions
+
+let start config =
+  (* A peer that disappears mid-response must surface as EPIPE, not kill
+     the daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let* loaded =
+    match (config.resume, config.state_dir) with
+    | true, None ->
+      Error (Dq_error.Invalid_input "resume requires a state directory")
+    | true, Some dir -> (
+      match Store.load_dir dir with
+      | Ok pairs -> Ok (List.map snd pairs)
+      | Error msg -> Error (Dq_error.Io (dir ^ ": " ^ msg)))
+    | false, _ -> Ok []
+  in
+  let* pool =
+    if config.jobs < 1 then
+      Error
+        (Dq_error.Invalid_input
+           (Printf.sprintf "jobs must be at least 1 (got %d)" config.jobs))
+    else if config.jobs = 1 then Ok None
+    else Ok (Some (Pool.create ~jobs:config.jobs))
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+    Unix.listen sock 64;
+    Unix.getsockname sock
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Option.iter Pool.shutdown pool;
+    Error
+      (Dq_error.Io
+         (Printf.sprintf "cannot listen on 127.0.0.1:%d: %s" config.port
+            (Unix.error_message err)))
+  | addr ->
+    let bound_port =
+      match addr with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> 0
+    in
+    let d =
+      {
+        sock;
+        bound_port;
+        state_dir = config.state_dir;
+        pool;
+        sessions = Hashtbl.create 16;
+        registry = Mutex.create ();
+        ingest_queue = Mutex.create ();
+        next_id = next_id_after loaded;
+        stopped = false;
+        acceptor = None;
+      }
+    in
+    List.iter (fun (s : Session.t) -> Hashtbl.replace d.sessions s.Session.id s) loaded;
+    d.acceptor <- Some (Thread.create accept_loop d);
+    Ok d
+
+let wait d = match d.acceptor with Some t -> Thread.join t | None -> ()
+
+let stop d =
+  if not d.stopped then begin
+    d.stopped <- true;
+    (* Closing an fd does not wake a thread already blocked in accept(2);
+       shutdown does (the accept fails with EINVAL). *)
+    (try Unix.shutdown d.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close d.sock with Unix.Unix_error _ -> ());
+    wait d;
+    Option.iter Pool.shutdown d.pool
+  end

@@ -1,0 +1,53 @@
+(** The streaming repair daemon behind [cfdclean serve].
+
+    An HTTP/1.1 JSON API (one request per connection) over versioned
+    envelopes ({!Dq_obs.Envelope}, [v = 2]).  Endpoints:
+
+    - [GET /v1/health] — liveness, session count, engine registry;
+    - [POST /v1/sessions] — create a session from a schema, a ruleset
+      and an ingest-capable engine (gated like the CLI: lint errors,
+      termination verdict, satisfiability, engine fragment);
+    - [GET /v1/sessions], [GET /v1/sessions/ID],
+      [DELETE /v1/sessions/ID];
+    - [POST /v1/sessions/ID/tuples] — ingest a batch; unrepairable
+      tuples are quarantined, not failed (see {!Session});
+    - [GET /v1/sessions/ID/relation] — the clean relation as chunked
+      CSV;
+    - [GET /v1/sessions/ID/quarantine],
+      [POST /v1/sessions/ID/quarantine/TID/resolve].
+
+    Engine invocations from all sessions drain through one in-process
+    ingest queue (a daemon-wide lock), so concurrent batches serialize
+    deterministically.  A per-request [x-deadline-seconds] header arms a
+    cooperative {!Dq_fault.Deadline}; an expired one maps to HTTP 504
+    with nothing committed.  With a state directory every committed
+    mutation is checkpointed ({!Store}) {e before} the 200 goes out, so
+    [kill -9] + restart with [resume] serves byte-identical relations. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port (tests) *)
+  state_dir : string option;  (** checkpoint directory; [None] = in-memory *)
+  jobs : int;  (** worker pool size for the repair passes; 1 = sequential *)
+  resume : bool;  (** load sessions back from [state_dir] on start *)
+}
+
+type t
+(** A running daemon. *)
+
+val start : config -> (t, Dq_error.t) result
+(** Bind [127.0.0.1], load checkpointed sessions when [resume], and
+    begin accepting in a background thread. *)
+
+val port : t -> int
+(** The bound port (useful with [port = 0]). *)
+
+val wait : t -> unit
+(** Block until the daemon is stopped. *)
+
+val stop : t -> unit
+(** Stop accepting, shut the pool down.  Idempotent. *)
+
+val status_of_error : Dq_error.t -> int
+(** The HTTP status a {!Dq_error.t} maps to (404 for
+    [No_such_session], 400 for the input family, 422 for gated
+    refusals, 504 for a deadline, 500 otherwise). *)

@@ -1,0 +1,285 @@
+open Dq_relation
+open Dq_cfd
+open Dq_analysis
+module Engine = Dq_engine.Engine
+
+let ( let* ) = Result.bind
+
+type quarantined = { tuple : Tuple.t; attrs : int list; batch : int }
+
+type t = {
+  id : string;
+  schema : Schema.t;
+  rules : string;
+  sigma : Cfd.t array;
+  engine : string;
+  mutable relation : Relation.t;
+  mutable next_tid : int;
+  mutable quarantine : quarantined list;
+  mutable batches : int;
+  mutable repaired : int;
+  mutable quarantined_total : int;
+  mutable resolved : int;
+  lock : Mutex.t;
+}
+
+let with_lock t f = Mutex.protect t.lock f
+
+(* The session id stands in for a file path in gate diagnostics — the
+   ruleset arrived in a request body, not from disk. *)
+let rules_path id = Printf.sprintf "session %s ruleset" id
+
+let make_schema ~schema_name ~attributes =
+  match Schema.make ~name:schema_name attributes with
+  | schema -> Ok schema
+  | exception Invalid_argument msg -> Error (Dq_error.Invalid_input msg)
+
+let parse_rules ~id rules =
+  match Cfd_parser.parse_string_located rules with
+  | Ok ltabs -> Ok ltabs
+  | Error e ->
+    Error
+      (Dq_error.Parse
+         {
+           path = rules_path id;
+           line = e.Cfd_parser.line;
+           col = e.Cfd_parser.col;
+           message = e.Cfd_parser.message;
+         })
+
+let resolve_rules schema ltabs =
+  match Cfd_parser.resolve schema (Cfd_parser.Located.strip_all ltabs) with
+  | sigma -> Ok sigma
+  | exception Invalid_argument msg -> Error (Dq_error.Invalid_input msg)
+
+(* The engine behind a session must repair incrementally: sessions only
+   ever call [ingest]. *)
+let resolve_engine ~engine schema sigma =
+  let* (module E : Engine.ENGINE) = Engine.find engine in
+  let* () =
+    if E.supports_ingest then Ok ()
+    else
+      Error
+        (Dq_error.Engine_unsupported
+           {
+             engine = E.name;
+             reason =
+               "no incremental ingest: serve sessions need an INCREPAIR \
+                engine (inc, l-inc or w-inc)";
+           })
+  in
+  let* () = Engine.check_fragment (module E) schema sigma in
+  Ok (module E : Engine.ENGINE)
+
+let session ~id ~schema ~rules ~sigma ~engine ~relation ~next_tid ~quarantine
+    ~batches ~repaired ~quarantined_total ~resolved =
+  {
+    id;
+    schema;
+    rules;
+    sigma;
+    engine;
+    relation;
+    next_tid;
+    quarantine;
+    batches;
+    repaired;
+    quarantined_total;
+    resolved;
+    lock = Mutex.create ();
+  }
+
+(* Creation runs the CLI's gates unconditionally: a session ingests
+   unattended, so an oscillation-prone or lint-broken Σ is refused up
+   front rather than discovered mid-stream. *)
+let create ~id ~schema_name ~attributes ~rules ~engine ?(force = false) () =
+  let* schema = make_schema ~schema_name ~attributes in
+  let* ltabs = parse_rules ~id rules in
+  let* () =
+    let errors =
+      if force then [] else Lint.run ~errors_only:true ~schema ltabs
+    in
+    if errors = [] then Ok ()
+    else
+      Error
+        (Dq_error.Lint_gated
+           {
+             path = rules_path id;
+             errors = List.length errors;
+             hint = "lint the ruleset with `cfdclean lint`, or pass force";
+           })
+  in
+  let* sigma = resolve_rules schema ltabs in
+  let* () =
+    if Satisfiability.is_satisfiable schema sigma then Ok ()
+    else Error Dq_error.Unsatisfiable
+  in
+  let* () =
+    if force then Ok ()
+    else
+      match (Interaction.analyze schema sigma).Interaction.termination with
+      | Interaction.Terminating -> Ok ()
+      | Interaction.May_oscillate cycles ->
+        Error
+          (Dq_error.Analyze_gated
+             {
+               path = rules_path id;
+               cycles = List.length cycles;
+               hint =
+                 "run `cfdclean analyze` for the cycle certificates, or pass \
+                  force";
+             })
+  in
+  let* (module _ : Engine.ENGINE) = resolve_engine ~engine schema sigma in
+  Ok
+    (session ~id ~schema ~rules ~sigma ~engine
+       ~relation:(Relation.create schema) ~next_tid:1 ~quarantine:[]
+       ~batches:0 ~repaired:0 ~quarantined_total:0 ~resolved:0)
+
+let restore ~id ~schema_name ~attributes ~rules ~engine ~relation ~next_tid
+    ~quarantine ~batches ~repaired ~quarantined_total ~resolved =
+  let* schema = make_schema ~schema_name ~attributes in
+  let* ltabs = parse_rules ~id rules in
+  let* sigma = resolve_rules schema ltabs in
+  let* (module _ : Engine.ENGINE) = resolve_engine ~engine schema sigma in
+  Ok
+    (session ~id ~schema ~rules ~sigma ~engine ~relation ~next_tid ~quarantine
+       ~batches ~repaired ~quarantined_total ~resolved)
+
+(* ---- ingest ------------------------------------------------------------ *)
+
+type outcome =
+  | Clean of int
+  | Repaired of int * int
+  | Quarantined of int * int list
+
+let check_row schema (values, weights) =
+  let arity = Schema.arity schema in
+  if Array.length values <> arity then
+    Error
+      (Dq_error.Invalid_input
+         (Printf.sprintf "tuple has %d values, schema %s has %d attributes"
+            (Array.length values) (Schema.name schema) arity))
+  else
+    match weights with
+    | Some w when Array.length w <> arity ->
+      Error
+        (Dq_error.Invalid_input
+           (Printf.sprintf "tuple has %d weights for %d attributes"
+              (Array.length w) arity))
+    | Some w
+      when Array.exists (fun x -> not (x >= 0. && x <= 1.)) w ->
+      Error (Dq_error.Invalid_input "weights must lie in [0, 1]")
+    | _ -> Ok ()
+
+(* A repair that introduced Null where the submitted tuple had a
+   constant could not settle a certain value (Section 3.1) — that tuple
+   is unrepairable here and goes to quarantine. *)
+let nulled_positions ~submitted ~repaired =
+  let out = ref [] in
+  for p = Tuple.arity submitted - 1 downto 0 do
+    if
+      Value.is_null (Tuple.get repaired p)
+      && not (Value.is_null (Tuple.get submitted p))
+    then out := p :: !out
+  done;
+  !out
+
+let ingest_delta ?pool ?(deadline = Dq_fault.Deadline.never) t delta =
+  let* (module E : Engine.ENGINE) =
+    resolve_engine ~engine:t.engine t.schema t.sigma
+  in
+  let ctx = Engine.ctx ?pool ~deadline t.relation t.sigma in
+  let* (repaired_rel, stats), report = E.ingest ctx delta in
+  (* A deadline cut mid-batch commits nothing: the session keeps its
+     last consistent relation and the client retries the whole batch. *)
+  if report.Dq_obs.Report.degraded <> None then Error Dq_error.Deadline_exceeded
+  else Ok ((repaired_rel, stats), report)
+
+(* Classify each delta tuple against its repaired form, removing the
+   unrepairable ones from [rel] (a deletion never creates a violation,
+   Section 3.3). *)
+let classify t ~batch rel delta =
+  List.map
+    (fun submitted ->
+      let tid = Tuple.tid submitted in
+      let repaired = Relation.find_exn rel tid in
+      match nulled_positions ~submitted ~repaired with
+      | [] ->
+        let changed = List.length (Tuple.diff_positions submitted repaired) in
+        if changed = 0 then Clean tid else Repaired (tid, changed)
+      | attrs ->
+        ignore (Relation.delete rel tid);
+        t.quarantine <- t.quarantine @ [ { tuple = submitted; attrs; batch } ];
+        t.quarantined_total <- t.quarantined_total + 1;
+        Quarantined (tid, attrs))
+    delta
+
+let ingest ?pool ?deadline t rows =
+  let* () =
+    List.fold_left
+      (fun acc row -> Result.bind acc (fun () -> check_row t.schema row))
+      (Ok ()) rows
+  in
+  let delta =
+    List.mapi
+      (fun i (values, weights) ->
+        Tuple.create ?weights ~tid:(t.next_tid + i) values)
+      rows
+  in
+  let* (repaired_rel, stats), report = ingest_delta ?pool ?deadline t delta in
+  let batch = t.batches + 1 in
+  let outcomes = classify t ~batch repaired_rel delta in
+  t.relation <- repaired_rel;
+  t.next_tid <- t.next_tid + List.length rows;
+  t.batches <- batch;
+  t.repaired <-
+    t.repaired
+    + List.length
+        (List.filter (function Repaired _ -> true | _ -> false) outcomes);
+  Ok (outcomes, stats, report)
+
+(* ---- quarantine -------------------------------------------------------- *)
+
+type resolution = Discard | Replace of Value.t array * float array option
+
+let find_quarantined t tid =
+  List.find_opt (fun q -> Tuple.tid q.tuple = tid) t.quarantine
+
+let drop_quarantined t tid =
+  t.quarantine <- List.filter (fun q -> Tuple.tid q.tuple <> tid) t.quarantine;
+  t.resolved <- t.resolved + 1
+
+let resolve ?pool ?deadline t tid resolution =
+  let* (_ : quarantined) =
+    match find_quarantined t tid with
+    | Some q -> Ok q
+    | None ->
+      Error
+        (Dq_error.Invalid_input
+           (Printf.sprintf "no quarantined tuple with tid %d" tid))
+  in
+  match resolution with
+  | Discard ->
+    drop_quarantined t tid;
+    Ok (Clean tid)
+  | Replace (values, weights) ->
+    let* () = check_row t.schema (values, weights) in
+    let submitted = Tuple.create ?weights ~tid values in
+    let* (repaired_rel, _stats), _report =
+      ingest_delta ?pool ?deadline t [ submitted ]
+    in
+    let repaired = Relation.find_exn repaired_rel tid in
+    (match nulled_positions ~submitted ~repaired with
+    | _ :: _ as attrs ->
+      Error
+        (Dq_error.Invalid_input
+           (Printf.sprintf
+              "resolution for tid %d is still unrepairable (nulled: %s)" tid
+              (String.concat ", "
+                 (List.map (Schema.attribute t.schema) attrs))))
+    | [] ->
+      t.relation <- repaired_rel;
+      drop_quarantined t tid;
+      let changed = List.length (Tuple.diff_positions submitted repaired) in
+      Ok (if changed = 0 then Clean tid else Repaired (tid, changed)))

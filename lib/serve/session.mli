@@ -1,0 +1,115 @@
+(** One serve session: a clean relation kept consistent with a fixed
+    ruleset Σ while tuple batches stream in.
+
+    A session is created from a schema, a ruleset and an engine name
+    (the engine must have [supports_ingest]); creation runs the same
+    gates as the CLI — lint errors, the Σ-interaction termination
+    verdict, satisfiability — so a session that exists is one whose
+    ingest path is safe to run unattended.
+
+    Ingest drains each batch through the engine's incremental repair
+    ({!Dq_engine.Engine.ENGINE.ingest}, INCREPAIR's insertion mode
+    underneath): tuples the repair could settle join the relation
+    (possibly modified); tuples the repair could only settle by
+    introducing nulls — the paper's "no certain value" outcome — are
+    {e quarantined} instead: removed from the relation (deletions never
+    introduce violations, Section 3.3) and held aside in submitted form
+    for a later {!resolve}.  The batch as a whole still succeeds.
+
+    All mutation happens under the session's lock via {!with_lock};
+    the relation invariant between batches is [relation |= Σ]. *)
+
+open Dq_relation
+open Dq_cfd
+
+type quarantined = {
+  tuple : Tuple.t;  (** the tuple as submitted, tid already assigned *)
+  attrs : int list;  (** positions the repair could only null, ascending *)
+  batch : int;  (** 1-based ingest batch it arrived in *)
+}
+
+(* Mutable fields are protected by [lock]; hold it (via {!with_lock})
+   around any read-modify-write, including {!Store.save}. *)
+type t = {
+  id : string;
+  schema : Schema.t;
+  rules : string;  (** ruleset source text, persisted verbatim *)
+  sigma : Cfd.t array;
+  engine : string;
+  mutable relation : Relation.t;
+  mutable next_tid : int;
+  mutable quarantine : quarantined list;  (** oldest first *)
+  mutable batches : int;  (** ingest batches committed *)
+  mutable repaired : int;  (** ingested tuples the repair modified *)
+  mutable quarantined_total : int;
+  mutable resolved : int;  (** quarantine entries resolved (either way) *)
+  lock : Mutex.t;
+}
+
+val create :
+  id:string ->
+  schema_name:string ->
+  attributes:string list ->
+  rules:string ->
+  engine:string ->
+  ?force:bool ->
+  unit ->
+  (t, Dq_error.t) result
+(** Gate and build a fresh session.  [force] (default false) skips the
+    lint and termination gates, mirroring the CLI's [--force]. *)
+
+val restore :
+  id:string ->
+  schema_name:string ->
+  attributes:string list ->
+  rules:string ->
+  engine:string ->
+  relation:Relation.t ->
+  next_tid:int ->
+  quarantine:quarantined list ->
+  batches:int ->
+  repaired:int ->
+  quarantined_total:int ->
+  resolved:int ->
+  (t, Dq_error.t) result
+(** Rebuild a session from checkpointed state ({!Store}).  Re-resolves
+    the ruleset but skips the creation gates — they passed when the
+    session was first created. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+
+(** Per-tuple ingest outcome, in submission order. *)
+type outcome =
+  | Clean of int  (** tid; joined the relation unchanged *)
+  | Repaired of int * int  (** tid, cells changed by the repair *)
+  | Quarantined of int * int list  (** tid, nulled attribute positions *)
+
+val ingest :
+  ?pool:Dq_parallel.Pool.t ->
+  ?deadline:Dq_fault.Deadline.t ->
+  t ->
+  (Value.t array * float array option) list ->
+  (outcome list * string * Dq_obs.Report.t, Dq_error.t) result
+(** Assign fresh tids to a batch and repair it into the relation.
+    Commits — relation swap, counters, quarantine — only on full
+    success; a deadline cut ([degraded] report) commits nothing and
+    returns [Deadline_exceeded].  The string is the engine's stats
+    line.  Caller must hold the lock. *)
+
+type resolution =
+  | Discard  (** drop the quarantined tuple for good *)
+  | Replace of Value.t array * float array option
+      (** re-ingest with corrected values under the same tid *)
+
+val resolve :
+  ?pool:Dq_parallel.Pool.t ->
+  ?deadline:Dq_fault.Deadline.t ->
+  t ->
+  int ->
+  resolution ->
+  (outcome, Dq_error.t) result
+(** Settle one quarantined tuple by tid.  [Replace] values that would
+    quarantine again are refused ([Invalid_input]) and the entry stays.
+    An unknown tid is [Invalid_input].  Caller must hold the lock. *)
+
+val find_quarantined : t -> int -> quarantined option

@@ -1,0 +1,256 @@
+open Dq_relation
+module Json = Dq_obs.Json
+
+let ( let* ) = Result.bind
+
+let version = 1
+
+let kind = "serve-session"
+
+(* ---- exact value encoding ---------------------------------------------- *)
+
+(* Mirrors lib/core/checkpoint.ml: floats as C99 hex literals so resumed
+   relations render byte-identically, ints tagged so they cannot be
+   confused with a float of the same magnitude on the way back in. *)
+let value_to_json = function
+  | Value.Null -> Json.Null
+  | Value.String s -> Json.String s
+  | Value.Int n -> Json.Obj [ ("i", Json.Int n) ]
+  | Value.Float f -> Json.Obj [ ("f", Json.String (Printf.sprintf "%h" f)) ]
+
+let value_of_json = function
+  | Json.Null -> Ok Value.Null
+  | Json.String s -> Ok (Value.String s)
+  | Json.Obj [ ("i", Json.Int n) ] -> Ok (Value.Int n)
+  | Json.Obj [ ("f", Json.String h) ] -> (
+    match float_of_string_opt h with
+    | Some f -> Ok (Value.Float f)
+    | None -> Error (Printf.sprintf "bad float literal %S" h))
+  | j -> Error ("unexpected value encoding: " ^ Json.to_string ~minify:true j)
+
+let weight_to_json w = Json.String (Printf.sprintf "%h" w)
+
+let weight_of_json = function
+  | Json.String h -> (
+    match float_of_string_opt h with
+    | Some w -> Ok w
+    | None -> Error (Printf.sprintf "bad weight literal %S" h))
+  | j -> Error ("unexpected weight encoding: " ^ Json.to_string ~minify:true j)
+
+(* All-1 weight vectors — the default — are omitted from tuple rows. *)
+let tuple_to_json t =
+  let base =
+    [
+      ("tid", Json.Int (Tuple.tid t));
+      ( "values",
+        Json.List
+          (Array.to_list (Array.map value_to_json (Tuple.values t))) );
+    ]
+  in
+  let weights =
+    List.init (Tuple.arity t) (fun i -> Tuple.weight t i)
+  in
+  if List.for_all (fun w -> w = 1.) weights then Json.Obj base
+  else
+    Json.Obj
+      (base @ [ ("weights", Json.List (List.map weight_to_json weights)) ])
+
+(* ---- json plumbing ----------------------------------------------------- *)
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Int n -> Ok n
+  | _ -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let string_field name j =
+  let* v = field name j in
+  match v with
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let list_field name j =
+  let* v = field name j in
+  match v with
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "field %S: expected a list" name)
+
+let map_m f l =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let tuple_of_json j =
+  let* tid = int_field "tid" j in
+  let* values = list_field "values" j in
+  let* values = map_m value_of_json values in
+  let* weights =
+    match Json.member "weights" j with
+    | None -> Ok None
+    | Some (Json.List l) ->
+      let* ws = map_m weight_of_json l in
+      Ok (Some (Array.of_list ws))
+    | Some _ -> Error "field \"weights\": expected a list"
+  in
+  match Tuple.create ?weights ~tid (Array.of_list values) with
+  | t -> Ok t
+  | exception Invalid_argument msg -> Error msg
+
+(* ---- session <-> json --------------------------------------------------- *)
+
+let quarantined_to_json (q : Session.quarantined) =
+  match tuple_to_json q.Session.tuple with
+  | Json.Obj fields ->
+    Json.Obj
+      (fields
+      @ [
+          ( "attrs",
+            Json.List (List.map (fun a -> Json.Int a) q.Session.attrs) );
+          ("batch", Json.Int q.Session.batch);
+        ])
+  | j -> j
+
+let quarantined_of_json j =
+  let* tuple = tuple_of_json j in
+  let* attrs = list_field "attrs" j in
+  let* attrs =
+    map_m
+      (function
+        | Json.Int a -> Ok a | _ -> Error "field \"attrs\": expected integers")
+      attrs
+  in
+  let* batch = int_field "batch" j in
+  Ok { Session.tuple; attrs; batch }
+
+let to_json (s : Session.t) =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("kind", Json.String kind);
+      ("id", Json.String s.Session.id);
+      ( "schema",
+        Json.Obj
+          [
+            ("name", Json.String (Schema.name s.Session.schema));
+            ( "attributes",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun a -> Json.String a)
+                      (Schema.attributes s.Session.schema))) );
+          ] );
+      ("engine", Json.String s.Session.engine);
+      ("rules", Json.String s.Session.rules);
+      ("next_tid", Json.Int s.Session.next_tid);
+      ("batches", Json.Int s.Session.batches);
+      ("repaired", Json.Int s.Session.repaired);
+      ("quarantined_total", Json.Int s.Session.quarantined_total);
+      ("resolved", Json.Int s.Session.resolved);
+      ( "relation",
+        Json.List
+          (List.map tuple_to_json (Relation.to_list s.Session.relation)) );
+      ( "quarantine",
+        Json.List (List.map quarantined_to_json s.Session.quarantine) );
+    ]
+
+let of_json j =
+  let* v = int_field "v" j in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "unsupported session file version %d" v)
+  in
+  let* k = string_field "kind" j in
+  let* () =
+    if String.equal k kind then Ok ()
+    else Error (Printf.sprintf "not a session file (kind %S)" k)
+  in
+  let* id = string_field "id" j in
+  let* schema = field "schema" j in
+  let* schema_name = string_field "name" schema in
+  let* attributes = list_field "attributes" schema in
+  let* attributes =
+    map_m
+      (function
+        | Json.String a -> Ok a
+        | _ -> Error "field \"attributes\": expected strings")
+      attributes
+  in
+  let* engine = string_field "engine" j in
+  let* rules = string_field "rules" j in
+  let* next_tid = int_field "next_tid" j in
+  let* batches = int_field "batches" j in
+  let* repaired = int_field "repaired" j in
+  let* quarantined_total = int_field "quarantined_total" j in
+  let* resolved = int_field "resolved" j in
+  let* rows = list_field "relation" j in
+  let* tuples = map_m tuple_of_json rows in
+  let* quarantine = list_field "quarantine" j in
+  let* quarantine = map_m quarantined_of_json quarantine in
+  let* relation =
+    match Schema.make ~name:schema_name attributes with
+    | schema ->
+      let rel = Relation.create schema in
+      (match List.iter (Relation.add rel) tuples with
+      | () -> Ok rel
+      | exception Invalid_argument msg -> Error msg)
+    | exception Invalid_argument msg -> Error msg
+  in
+  Result.map_error Dq_error.to_string
+    (Session.restore ~id ~schema_name ~attributes ~rules ~engine ~relation
+       ~next_tid ~quarantine ~batches ~repaired ~quarantined_total ~resolved)
+
+(* ---- files -------------------------------------------------------------- *)
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let path ~dir id = Filename.concat dir (id ^ ".json")
+
+let save ~dir (s : Session.t) =
+  mkdirs dir;
+  Dq_fault.Atomic_io.write_file
+    (path ~dir s.Session.id)
+    (Json.to_string (to_json s))
+
+let delete ~dir id =
+  try Sys.remove (path ~dir id) with Sys_error _ -> ()
+
+let load file =
+  let* contents =
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> Ok s
+    | exception Sys_error msg -> Error msg
+  in
+  let* j = Json.parse contents in
+  Result.map_error (fun msg -> file ^ ": " ^ msg) (of_json j)
+
+let load_dir dir =
+  mkdirs dir;
+  match Sys.readdir dir with
+  | files ->
+    Array.sort String.compare files;
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> map_m (fun f ->
+           let* s = load (Filename.concat dir f) in
+           Ok (f, s))
+  | exception Sys_error msg -> Error msg

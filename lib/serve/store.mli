@@ -1,0 +1,32 @@
+(** Crash-safe session checkpoints.
+
+    Every committed mutation of a {!Session.t} is snapshotted to
+    [DIR/ID.json] via {!Dq_fault.Atomic_io} {e before} the daemon
+    acknowledges the request, so a [kill -9] at any point leaves each
+    session file at its last acknowledged state and a restarted daemon
+    ([--resume]) serves byte-identical relations.
+
+    Values round-trip exactly: ints and floats use a tagged encoding
+    ([{"i": n}] / [{"f": "<%h hex literal>"}]) because the relation's
+    CSV rendering — the byte-identity the restart test asserts — is a
+    function of the typed value, not of its decimal approximation.
+    Weights are stored as [%h] strings for the same reason. *)
+
+val version : int
+(** Schema version written to and required from session files. *)
+
+val save : dir:string -> Session.t -> unit
+(** Atomically write [dir/ID.json].  Creates [dir] if missing.  Caller
+    holds the session lock.  @raise Sys_error on I/O failure. *)
+
+val delete : dir:string -> string -> unit
+(** Remove a session's file, ignoring a missing one. *)
+
+val load : string -> (Session.t, string) result
+(** Read one session file. *)
+
+val load_dir : string -> ((string * Session.t) list, string) result
+(** Load every [*.json] session file under a directory (created if
+    missing), as [(filename, session)] sorted by filename.  The first
+    unreadable file fails the whole load: resuming from a corrupt state
+    directory should be loud, not partial. *)

@@ -81,7 +81,7 @@ report's summary counts the shards.
 
 --partition is gated per engine: the inc family refuses it.
 
-  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --partition -a v-inc
+  $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd --partition --engine inc
   cfdclean: --partition is not supported by the inc engine (use --engine batch or --engine opt-fd)
   [2]
 

@@ -17,7 +17,7 @@ directory.
   $ python3 - <<'EOF'
   > import json
   > d = json.load(open("out/BENCH_thm61.json"))
-  > assert d["command"] == "bench" and d["ok"]
+  > assert d["v"] == 2 and d["request"] == "bench" and d["ok"]
   > s = d["report"]["summary"]
   > assert s["section"] == "thm61"
   > m = s["metrics"]

@@ -82,7 +82,8 @@ JSON output is machine-readable for CI gating.
 
   $ cfdclean lint ../../data/lint_fixtures/e002.cfd --data ../../data/orders.csv --format json
   {
-    "command": "lint",
+    "v": 2,
+    "request": "lint",
     "ok": true,
     "report": {
       "engine": "lint",

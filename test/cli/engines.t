@@ -29,6 +29,7 @@ The repaired instance is consistent.
 an alias for inc.
 
   $ norm cfdclean repair $D/fd_only.csv $D/fd_only.cfd -a batch --engine v-inc -o alias.csv
+  cfdclean: warning: W101: -a/--algorithm is deprecated and will be removed; use --engine
   V-IncRepair: processed=5 changed=2 cells_changed=2 nulls=0 runtime=_
   repair cost: 1.500; dif: 2 cells
 
@@ -41,7 +42,8 @@ the registry.
 
   $ cfdclean repair $D/fd_only.csv $D/fd_only.cfd --engine bogus --format json -o x.csv
   {
-    "command": "repair",
+    "v": 2,
+    "request": "repair",
     "ok": false,
     "report": null,
     "diagnostics": [
@@ -70,7 +72,8 @@ rejected up front with a typed diagnostic, not repaired wrongly.
 
   $ cfdclean repair $D/mixed.csv $D/mixed.cfd --engine opt-fd --format json -o x.csv
   {
-    "command": "repair",
+    "v": 2,
+    "request": "repair",
     "ok": false,
     "report": null,
     "diagnostics": [

@@ -65,7 +65,7 @@ A checkpoint refuses to resume against different input data.
 
 Checkpointing is gated per engine: the inc family refuses it.
 
-  $ cfdclean repair w_dirty.csv w.cfd -a v-inc --checkpoint x.ckpt -o x.csv
+  $ cfdclean repair w_dirty.csv w.cfd --engine inc --checkpoint x.ckpt -o x.csv
   cfdclean: --checkpoint/--resume are not supported by the inc engine (use --engine batch or --engine opt-fd)
   [2]
 

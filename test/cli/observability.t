@@ -7,7 +7,8 @@ phase timings are wall-clock and normalised away here.
 
   $ cfdclean detect ../../data/orders.csv ../../data/orders.cfd --format json
   {
-    "command": "detect",
+    "v": 2,
+    "request": "detect",
     "ok": true,
     "report": {
       "engine": "detect",
@@ -42,7 +43,8 @@ The JSON report carries the same trail: an entry for every changed cell
   $ cfdclean repair ../../data/orders.csv ../../data/orders.cfd -o r.csv --format json \
   >   | sed -E 's/^(\s*"(init|initial_scan|resolve|write_back)": )[0-9.e+-]+(,?)$/\1X\3/'
   {
-    "command": "repair",
+    "v": 2,
+    "request": "repair",
     "ok": true,
     "report": {
       "engine": "batch_repair",
@@ -162,7 +164,8 @@ Repair refuses to silently overwrite its input; --in-place opts in.
   [2]
   $ cfdclean repair orders.csv ../../data/orders.cfd -o orders.csv --format json
   {
-    "command": "repair",
+    "v": 2,
+    "request": "repair",
     "ok": false,
     "report": null,
     "diagnostics": [

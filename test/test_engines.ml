@@ -18,11 +18,14 @@ let engine name =
   | Ok e -> e
   | Error e -> Alcotest.failf "Engine.find %s: %s" name (Dq_error.to_string e)
 
-let run ?(ctx = Engine.default_ctx) name rel sigma =
+let run ?pool ?deadline ?checkpoint ?resume ?partition name rel sigma =
   let (module E : Engine.ENGINE) = engine name in
-  Helpers.ok2 (E.repair ctx rel sigma)
+  Helpers.ok2
+    (E.run (Engine.ctx ?pool ?deadline ?checkpoint ?resume ?partition rel sigma))
 
-let repair_of ?ctx name rel sigma = fst (fst (run ?ctx name rel sigma))
+let repair_of ?pool ?deadline ?checkpoint ?resume ?partition name rel sigma =
+  fst
+    (fst (run ?pool ?deadline ?checkpoint ?resume ?partition name rel sigma))
 
 let all_names = [ "batch"; "inc"; "l-inc"; "w-inc"; "opt-fd" ]
 
@@ -105,8 +108,7 @@ let prop_engines_jobs_invariant =
         (fun name ->
           let at jobs =
             Dq_parallel.Pool.with_pool ~jobs @@ fun pool ->
-            let ctx = { Engine.default_ctx with pool = Some pool } in
-            Csv.save_string (repair_of ~ctx name rel sigma)
+            Csv.save_string (repair_of ~pool name rel sigma)
           in
           String.equal (at 1) (at 4))
         all_names)
@@ -123,10 +125,7 @@ let prop_partition_invariant =
       List.for_all
         (fun name ->
           let plain = Csv.save_string (repair_of name rel sigma) in
-          let ctx =
-            { Engine.default_ctx with partition = Some partition }
-          in
-          let sharded = Csv.save_string (repair_of ~ctx name rel sigma) in
+          let sharded = Csv.save_string (repair_of ~partition name rel sigma) in
           String.equal plain sharded)
         [ "batch"; "opt-fd" ])
 
@@ -169,14 +168,11 @@ let test_opt_fd_checkpoint_resume () =
   with_tmp @@ fun path ->
   (* Cut after the first stratum: the run is degraded and leaves a
      checkpoint behind... *)
-  let ctx =
-    {
-      Engine.default_ctx with
-      deadline = Dq_fault.Deadline.after_passes 1;
-      checkpoint = Some { Engine.path; every = 1 };
-    }
+  let (_, _), report =
+    run
+      ~deadline:(Dq_fault.Deadline.after_passes 1)
+      ~checkpoint:{ Engine.path; every = 1 } "opt-fd" rel sigma
   in
-  let (_, _), report = run ~ctx "opt-fd" rel sigma in
   Alcotest.(check bool)
     "first run is degraded" true
     (report.Dq_obs.Report.degraded <> None);
@@ -188,22 +184,16 @@ let test_opt_fd_checkpoint_resume () =
   Alcotest.(check string)
     "checkpoint kind" Checkpoint.opt_fd_kind cp.Checkpoint.kind;
   (* ...and resuming from it finishes the job byte-identically. *)
-  let ctx = { Engine.default_ctx with resume = Some cp } in
-  let resumed = Csv.save_string (repair_of ~ctx "opt-fd" rel sigma) in
+  let resumed = Csv.save_string (repair_of ~resume:cp "opt-fd" rel sigma) in
   Alcotest.(check string) "resume completes the direct repair" direct resumed
 
 let test_cross_engine_resume_refused () =
   let rel, sigma = fd_fixture () in
   with_tmp @@ fun path ->
-  let ctx =
-    {
-      Engine.default_ctx with
-      deadline = Dq_fault.Deadline.after_passes 1;
-      checkpoint = Some { Engine.path; every = 1 };
-    }
-  in
   let (_ : (Relation.t * string) * Dq_obs.Report.t) =
-    run ~ctx "opt-fd" rel sigma
+    run
+      ~deadline:(Dq_fault.Deadline.after_passes 1)
+      ~checkpoint:{ Engine.path; every = 1 } "opt-fd" rel sigma
   in
   let cp =
     match Checkpoint.load path with
@@ -211,8 +201,7 @@ let test_cross_engine_resume_refused () =
     | Error e -> Alcotest.failf "checkpoint load: %s" e
   in
   let (module Batch : Engine.ENGINE) = engine "batch" in
-  let ctx = { Engine.default_ctx with resume = Some cp } in
-  match Batch.repair ctx rel sigma with
+  match Batch.run (Engine.ctx ~resume:cp rel sigma) with
   | Ok _ -> Alcotest.fail "batch accepted an opt-fd checkpoint"
   | Error e ->
     let msg = Dq_error.to_string e in

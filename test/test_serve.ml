@@ -1,0 +1,492 @@
+(* The serve daemon stack, bottom to top: HTTP framing on plain strings,
+   session semantics (ingest, quarantine, resolve), the crash-safe store
+   round-trip, the batch-split determinism property the ingest queue
+   promises, and an end-to-end socket test covering restart
+   byte-identity.  The true kill -9 crash is exercised by the CI smoke
+   job; here the restart path is driven in-process. *)
+
+open Dq_relation
+open Dq_cfd
+module Http = Dq_serve.Http
+module Session = Dq_serve.Session
+module Store = Dq_serve.Store
+module Serve = Dq_serve.Serve
+module Json = Dq_obs.Json
+
+let unwrap = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "serve error: %s" (Dq_error.to_string e)
+
+(* ---- HTTP framing ------------------------------------------------------- *)
+
+let test_http_parse () =
+  let r =
+    match
+      Http.parse
+        "POST /v1/sessions/s1/tuples?x=1 HTTP/1.1\r\nContent-Length: \
+         4\r\nX-Deadline-Seconds: 2.5\r\n\r\nbodyEXTRA"
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "parse: %s" msg
+  in
+  Alcotest.(check string) "method" "POST" r.Http.meth;
+  Alcotest.(check (list string))
+    "path split, query dropped"
+    [ "v1"; "sessions"; "s1"; "tuples" ]
+    r.Http.path;
+  Alcotest.(check string) "body sized by content-length" "body" r.Http.body;
+  Alcotest.(check (option string))
+    "case-insensitive header" (Some "2.5")
+    (Http.header r "x-deadline-seconds")
+
+let test_http_parse_bare_lf () =
+  match Http.parse "GET /v1/health HTTP/1.1\n\n" with
+  | Ok r -> Alcotest.(check string) "target" "/v1/health" r.Http.target
+  | Error msg -> Alcotest.failf "bare-LF head rejected: %s" msg
+
+let test_http_parse_errors () =
+  let err input =
+    match Http.parse input with
+    | Ok _ -> Alcotest.failf "accepted %S" input
+    | Error msg -> msg
+  in
+  Alcotest.(check bool)
+    "unterminated head" true
+    (Helpers.contains (err "GET / HTTP/1.1\r\n") "not terminated");
+  Alcotest.(check bool)
+    "truncated body" true
+    (Helpers.contains
+       (err "GET / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+       "truncated");
+  Alcotest.(check bool)
+    "bad request line" true
+    (Helpers.contains (err "NONSENSE\r\n\r\n") "malformed request line");
+  Alcotest.(check bool)
+    "bad content-length" true
+    (Helpers.contains
+       (err "GET / HTTP/1.1\r\ncontent-length: -4\r\n\r\n")
+       "bad content-length");
+  match Http.parse ~max_body:3 "GET / HTTP/1.1\r\ncontent-length: 9\r\n\r\nwaytolong" with
+  | Ok _ -> Alcotest.fail "accepted an oversized body"
+  | Error msg ->
+    Alcotest.(check bool) "body limit" true (Helpers.contains msg "exceeds")
+
+(* ---- sessions ----------------------------------------------------------- *)
+
+let ab_schema = ("r", [ "A"; "B" ])
+
+(* Two constant rows forcing B to both 10 and 20 when A = 1: the lint
+   gate flags them (E002), so sessions need [force]; a tuple with A = 1
+   can then only be settled by nulling B — the quarantine trigger. *)
+let conflicting_rules =
+  "p1: [A] -> [B] {\n  (1 || 10)\n}\np2: [A] -> [B] {\n  (1 || 20)\n}\n"
+
+let make_session ?(force = false) ~rules () =
+  let schema_name, attributes = ab_schema in
+  Session.create ~id:"s1" ~schema_name ~attributes ~rules ~engine:"l-inc"
+    ~force ()
+
+let ints l = Array.of_list (List.map Value.int l)
+
+let test_session_gates () =
+  (match make_session ~rules:conflicting_rules () with
+  | Error (Dq_error.Lint_gated { errors; _ }) ->
+    Alcotest.(check bool) "lint gate counts errors" true (errors > 0)
+  | Ok _ -> Alcotest.fail "conflicting rules passed the lint gate"
+  | Error e -> Alcotest.failf "wrong gate: %s" (Dq_error.to_string e));
+  (match
+     let schema_name, attributes = ab_schema in
+     Session.create ~id:"s1" ~schema_name ~attributes
+       ~rules:"p1: [A] -> [B]\n" ~engine:"batch" ()
+   with
+  | Error (Dq_error.Engine_unsupported { engine; reason }) ->
+    Alcotest.(check string) "engine named" "batch" engine;
+    Alcotest.(check bool)
+      "reason mentions ingest" true
+      (Helpers.contains reason "ingest")
+  | Ok _ -> Alcotest.fail "batch engine accepted for a session"
+  | Error e -> Alcotest.failf "wrong error: %s" (Dq_error.to_string e));
+  match
+    let schema_name, attributes = ab_schema in
+    Session.create ~id:"s1" ~schema_name ~attributes
+      ~rules:"p1: [A] -> [B]\np2: [B] -> [A]\n" ~engine:"l-inc" ()
+  with
+  | Error (Dq_error.Analyze_gated { cycles; _ }) ->
+    Alcotest.(check bool) "cycle certified" true (cycles > 0)
+  | Ok _ -> Alcotest.fail "cyclic Σ passed the termination gate"
+  | Error e -> Alcotest.failf "wrong gate: %s" (Dq_error.to_string e)
+
+let test_quarantine_lifecycle () =
+  let s = unwrap (make_session ~force:true ~rules:conflicting_rules ()) in
+  Session.with_lock s @@ fun () ->
+  let outcomes, _stats, _report =
+    unwrap
+      (Session.ingest s [ (ints [ 1; 10 ], None); (ints [ 2; 20 ], None) ])
+  in
+  (match outcomes with
+  | [ Session.Quarantined (1, [ 1 ]); Session.Clean 2 ] -> ()
+  | _ -> Alcotest.fail "expected tid 1 quarantined on B, tid 2 clean");
+  (* The quarantined tuple left the relation, which stays Σ-consistent,
+     and is held in submitted form. *)
+  Alcotest.(check int) "relation holds the clean tuple only" 1
+    (Relation.cardinality s.Session.relation);
+  Alcotest.(check int) "quarantine count" 1 (List.length s.Session.quarantine);
+  let q =
+    match Session.find_quarantined s 1 with
+    | Some q -> q
+    | None -> Alcotest.fail "tid 1 not in quarantine"
+  in
+  Alcotest.(check Helpers.value)
+    "original value preserved" (Value.int 10)
+    (Tuple.get q.Session.tuple 1);
+  (* A resolution that still conflicts is refused and the entry stays. *)
+  (match Session.resolve s 1 (Session.Replace (ints [ 1; 30 ], None)) with
+  | Error (Dq_error.Invalid_input msg) ->
+    Alcotest.(check bool)
+      "refusal says unrepairable" true
+      (Helpers.contains msg "unrepairable")
+  | Ok _ -> Alcotest.fail "conflicting resolution accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Dq_error.to_string e));
+  Alcotest.(check int) "entry stayed" 1 (List.length s.Session.quarantine);
+  (* A clean resolution re-ingests under the same tid. *)
+  (match unwrap (Session.resolve s 1 (Session.Replace (ints [ 2; 20 ], None))) with
+  | Session.Clean 1 -> ()
+  | _ -> Alcotest.fail "resolution not clean");
+  Alcotest.(check int) "quarantine drained" 0 (List.length s.Session.quarantine);
+  Alcotest.(check int) "relation restored" 2
+    (Relation.cardinality s.Session.relation);
+  Alcotest.(check int) "resolved counter" 1 s.Session.resolved;
+  (* Unknown tids are typed errors, and discard drops for good. *)
+  (match Session.resolve s 99 Session.Discard with
+  | Error (Dq_error.Invalid_input _) -> ()
+  | _ -> Alcotest.fail "unknown tid accepted");
+  let outcomes, _, _ = unwrap (Session.ingest s [ (ints [ 1; 10 ], None) ]) in
+  (match outcomes with
+  | [ Session.Quarantined (3, _) ] -> ()
+  | _ -> Alcotest.fail "expected tid 3 quarantined");
+  (match unwrap (Session.resolve s 3 Session.Discard) with
+  | Session.Clean 3 -> ()
+  | _ -> Alcotest.fail "discard outcome");
+  Alcotest.(check int) "discard drains quarantine" 0
+    (List.length s.Session.quarantine)
+
+(* ---- store round-trip ---------------------------------------------------- *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve_store_%d" (Unix.getpid ()))
+  in
+  let rec cleanup path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> cleanup (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  cleanup dir;
+  Fun.protect ~finally:(fun () -> cleanup dir) (fun () -> f dir)
+
+let test_store_round_trip () =
+  with_tmp_dir @@ fun dir ->
+  let s = unwrap (make_session ~force:true ~rules:conflicting_rules ()) in
+  Session.with_lock s (fun () ->
+      (* Exercise every value constructor, a non-default weight vector
+         and a quarantined entry: the exact cases a lossy encoding would
+         corrupt.  0.1 has no finite binary expansion, so a decimal
+         round-trip would shift it. *)
+      let rows =
+        [
+          (ints [ 1; 10 ], None);
+          ([| Value.float 0.1; Value.string "x,y" |], Some [| 0.25; 1.0 |]);
+          ([| Value.Null; Value.int 3 |], None);
+        ]
+      in
+      let _ = unwrap (Session.ingest s rows) in
+      Store.save ~dir s);
+  let loaded =
+    match Store.load_dir dir with
+    | Ok [ ("s1.json", loaded) ] -> loaded
+    | Ok files ->
+      Alcotest.failf "expected one session file, got %d" (List.length files)
+    | Error msg -> Alcotest.failf "load_dir: %s" msg
+  in
+  let csv (x : Session.t) =
+    Session.with_lock x (fun () -> Csv.save_string x.Session.relation)
+  in
+  Alcotest.(check string) "relation CSV byte-identical" (csv s) (csv loaded);
+  Alcotest.(check int) "next_tid" s.Session.next_tid loaded.Session.next_tid;
+  Alcotest.(check int) "batches" s.Session.batches loaded.Session.batches;
+  Alcotest.(check int)
+    "quarantine entries"
+    (List.length s.Session.quarantine)
+    (List.length loaded.Session.quarantine);
+  (* Weights survive exactly: further ingest ordering (w-inc) and the
+     cost model depend on them. *)
+  let t = Relation.find_exn loaded.Session.relation 2 in
+  Alcotest.(check (float 0.)) "weight exact" 0.25 (Tuple.weight t 0);
+  Alcotest.(check Helpers.value)
+    "float value exact" (Value.float 0.1)
+    (Tuple.get t 0)
+
+(* ---- batch-split determinism (the ingest-queue property) ----------------- *)
+
+(* Acyclic FD rulesets over A..D rendered back to source text, so the
+   session path (which parses rules) can consume them. *)
+let fd_rules_gen =
+  QCheck.Gen.(
+    let attrs = [ "A"; "B"; "C"; "D" ] in
+    let fd_gen i =
+      let* lhs_size = 1 -- 2 in
+      let* perm = shuffle_l attrs in
+      let lhs = List.filteri (fun j _ -> j < lhs_size) perm in
+      let rhs = [ List.nth perm lhs_size ] in
+      return (Cfd.Tableau.fd ~name:(Printf.sprintf "p%d" i) ~lhs ~rhs)
+    in
+    let* n = 1 -- 3 in
+    let* tabs = flatten_l (List.init n fd_gen) in
+    return (Cfd_parser.to_string tabs))
+
+let rows_gen =
+  QCheck.Gen.(list_size (1 -- 16) Helpers.Gen.tuple_gen)
+
+(* Random batch split: a list of cut points partitioning the rows. *)
+let split_gen rows =
+  QCheck.Gen.(
+    let n = List.length rows in
+    let* cuts = list_size (0 -- 3) (1 -- max 1 (n - 1)) in
+    let cuts = List.sort_uniq compare (List.filter (fun c -> c < n) cuts) in
+    let rec take k = function
+      | [] -> ([], [])
+      | x :: rest when k > 0 ->
+        let a, b = take (k - 1) rest in
+        (x :: a, b)
+      | rest -> ([], rest)
+    in
+    let rec split off rows = function
+      | [] -> [ rows ]
+      | c :: cs ->
+        let batch, rest = take (c - off) rows in
+        batch :: split c rest cs
+    in
+    return (split 0 rows cuts))
+
+let print_instance (rules, rows, batches) =
+  let row values =
+    "["
+    ^ String.concat ";"
+        (List.map Value.to_string (Array.to_list values))
+    ^ "]"
+  in
+  Printf.sprintf "rules:\n%s\nrows: %s\nbatches: %s" rules
+    (String.concat " " (List.map row rows))
+    (String.concat " | "
+       (List.map (fun b -> String.concat " " (List.map row b)) batches))
+
+let serve_instance =
+  QCheck.make ~print:print_instance
+    QCheck.Gen.(
+      let* rules = fd_rules_gen in
+      let* rows = rows_gen in
+      let* batches = split_gen rows in
+      return (rules, rows, batches))
+
+let no_quarantine outcomes =
+  List.for_all (function Session.Quarantined _ -> false | _ -> true) outcomes
+
+(* The contract behind serve's ingest queue: because sessions default to
+   the linear (l-inc) ordering, draining N batches one by one leaves the
+   same relation as one repair_inserts call over the concatenation —
+   batch boundaries are invisible.  Checked at jobs 1 and 4. *)
+let prop_batches_equal_one_shot =
+  QCheck.Test.make
+    ~name:"N ingest batches equal one-shot ingest, at jobs 1 and 4" ~count:60
+    serve_instance
+    (fun (rules, rows, batches) ->
+      let run ?pool split =
+        let s =
+          match
+            Session.create ~id:"s1" ~schema_name:"r"
+              ~attributes:Helpers.Gen.attrs ~rules ~engine:"l-inc" ~force:true
+              ()
+          with
+          | Ok s -> s
+          | Error e ->
+            QCheck.Test.fail_reportf "session create: %s" (Dq_error.to_string e)
+        in
+        Session.with_lock s @@ fun () ->
+        List.iter
+          (fun batch ->
+            if batch <> [] then begin
+              match
+                Session.ingest ?pool s
+                  (List.map (fun values -> (values, None)) batch)
+              with
+              | Ok (outcomes, _, _) -> QCheck.assume (no_quarantine outcomes)
+              | Error e ->
+                QCheck.Test.fail_reportf "ingest: %s" (Dq_error.to_string e)
+            end)
+          split;
+        Csv.save_string s.Session.relation
+      in
+      let at jobs split =
+        Dq_parallel.Pool.with_pool ~jobs (fun pool -> run ~pool split)
+      in
+      let split_1 = run batches in
+      let one_shot_1 = run [ rows ] in
+      String.equal split_1 one_shot_1
+      && String.equal split_1 (at 4 batches)
+      && String.equal one_shot_1 (at 4 [ rows ]))
+
+(* ---- end-to-end over sockets --------------------------------------------- *)
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec index_sub s off sub =
+  let n = String.length sub in
+  if off + n > String.length s then None
+  else if String.sub s off n = sub then Some off
+  else index_sub s (off + 1) sub
+
+let decode_chunked body =
+  let out = Buffer.create (String.length body) in
+  let rec go off =
+    match String.index_from_opt body off '\n' with
+    | None -> ()
+    | Some nl -> (
+      match int_of_string_opt ("0x" ^ String.trim (String.sub body off (nl - off))) with
+      | None | Some 0 -> ()
+      | Some len ->
+        Buffer.add_string out (String.sub body (nl + 1) len);
+        go (nl + 1 + len + 2))
+  in
+  go 0;
+  Buffer.contents out
+
+(* A one-shot HTTP client against the in-process daemon: returns status,
+   headers blob and (de-chunked) body. *)
+let request port meth path body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Http.send fd
+        (Printf.sprintf "%s %s HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s" meth
+           path (String.length body) body);
+      let raw = read_all fd in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
+        | _ -> 0
+      in
+      let head, payload =
+        match index_sub raw 0 "\r\n\r\n" with
+        | Some i ->
+          ( String.sub raw 0 i,
+            String.sub raw (i + 4) (String.length raw - i - 4) )
+        | None -> (raw, "")
+      in
+      let payload =
+        if Helpers.contains (String.lowercase_ascii head) "transfer-encoding: chunked"
+        then decode_chunked payload
+        else payload
+      in
+      (status, payload))
+
+let json_of body =
+  match Json.parse body with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "response not JSON (%s): %s" msg body
+
+let member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing %S in %s" name (Json.to_string ~minify:true j)
+
+let test_e2e_restart () =
+  with_tmp_dir @@ fun dir ->
+  let start () =
+    unwrap
+      (Serve.start { Serve.port = 0; state_dir = Some dir; jobs = 1; resume = true })
+  in
+  let d1 = start () in
+  let p1 = Serve.port d1 in
+  (* Create a session and drive two batches through it. *)
+  let status, body =
+    request p1 "POST" "/v1/sessions"
+      {|{"schema":{"name":"orders","attributes":["AC","PN","CT"]},
+         "rules":"phi1: [AC] -> [CT] {\n  (212 || NYC)\n  (610 || PHI)\n}\n"}|}
+  in
+  Alcotest.(check int) "create is 201" 201 status;
+  (match member "v" (json_of body) with
+  | Json.Int 2 -> ()
+  | _ -> Alcotest.fail "envelope not v2");
+  let status, body =
+    request p1 "POST" "/v1/sessions/s1/tuples"
+      {|{"tuples":[[212,"a","NYC"],[212,"b","LA"]]}|}
+  in
+  Alcotest.(check int) "batch 1 is 200" 200 status;
+  (match member "ok" (json_of body) with
+  | Json.Bool true -> ()
+  | _ -> Alcotest.fail "batch 1 envelope not ok");
+  let status, _ =
+    request p1 "POST" "/v1/sessions/s1/tuples" {|{"tuples":[[610,"c","PHI"]]}|}
+  in
+  Alcotest.(check int) "batch 2 is 200" 200 status;
+  let status, before = request p1 "GET" "/v1/sessions/s1/relation" "" in
+  Alcotest.(check int) "relation is 200" 200 status;
+  Alcotest.(check bool)
+    "violating tuple was repaired" true
+    (Helpers.contains before "212,b,NYC");
+  (* 404 and 400 map through the error envelope. *)
+  let status, _ = request p1 "GET" "/v1/sessions/nope" "" in
+  Alcotest.(check int) "unknown session is 404" 404 status;
+  let status, _ = request p1 "POST" "/v1/sessions/s1/tuples" "{not json" in
+  Alcotest.(check int) "bad body is 400" 400 status;
+  Serve.stop d1;
+  (* Restart over the same state directory: the session and its relation
+     come back byte-identical (the checkpoint ran before each 200). *)
+  let d2 = start () in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop d2)
+    (fun () ->
+      let p2 = Serve.port d2 in
+      let status, after = request p2 "GET" "/v1/sessions/s1/relation" "" in
+      Alcotest.(check int) "relation after restart is 200" 200 status;
+      Alcotest.(check string) "relation byte-identical" before after;
+      let _, body = request p2 "GET" "/v1/sessions/s1" "" in
+      match member "batches" (member "report" (json_of body)) with
+      | Json.Int 2 -> ()
+      | j ->
+        Alcotest.failf "batches counter lost: %s" (Json.to_string ~minify:true j))
+
+let suite =
+  [
+    Alcotest.test_case "http: request parsing" `Quick test_http_parse;
+    Alcotest.test_case "http: bare-LF heads accepted" `Quick
+      test_http_parse_bare_lf;
+    Alcotest.test_case "http: framing errors are typed" `Quick
+      test_http_parse_errors;
+    Alcotest.test_case "session: creation gates" `Quick test_session_gates;
+    Alcotest.test_case "session: quarantine lifecycle" `Quick
+      test_quarantine_lifecycle;
+    Alcotest.test_case "store: exact round-trip" `Quick test_store_round_trip;
+    Alcotest.test_case "e2e: restart serves byte-identical relations" `Quick
+      test_e2e_restart;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_batches_equal_one_shot ]
