@@ -51,6 +51,7 @@ let valid_sections =
     "parallel";
     "analyze";
     "engines";
+    "serve";
     "micro";
   ]
 
@@ -183,7 +184,7 @@ let write_section sect metrics =
   let doc =
     Dq_obs.Envelope.make ~request:"bench" ~ok:true
       ~report:(Dq_obs.Report.to_json report)
-      ~diagnostics:[]
+      ~diagnostics:[] ()
   in
   let path = Filename.concat !out_dir ("BENCH_" ^ sect ^ ".json") in
   match Atomic_io.write_file path (Json.to_string doc) with
@@ -969,6 +970,91 @@ let engines_bench () =
            engine_names)
   end
 
+(* ---- serve: telemetry overhead ----------------------------------------- *)
+
+module Serve = Dq_serve.Serve
+
+(* One-shot HTTP GET against the in-process daemon; the daemon closes the
+   connection after the response, so read to EOF. *)
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\ncontent-length: 0\r\n\r\n" path
+      in
+      let _ = Unix.write_substring fd req 0 (String.length req) in
+      let buf = Bytes.create 65536 in
+      let out = Buffer.create 1024 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes out buf 0 n;
+          drain ()
+      in
+      drain ();
+      Buffer.contents out)
+
+(* The same request stream against a telemetry-off daemon and a
+   telemetry-on one (request counters, latency histograms, gauges, ids).
+   The off configuration is the zero-overhead baseline the serve tests
+   pin byte-identical; the ratio is the price of turning collection on.
+   overhead_ratio = off/on, so less overhead is a higher (better)
+   number and --compare flags a telemetry slowdown as a regression. *)
+let serve_bench () =
+  if section "serve" "Serving telemetry overhead (off vs on)" then begin
+    let requests = max 20 (!base_n / 20) in
+    let per_request telemetry =
+      let d =
+        match
+          Serve.start
+            { Serve.port = 0; state_dir = None; jobs = 1; resume = false;
+              telemetry }
+        with
+        | Ok d -> d
+        | Error e -> failwith (Dq_error.to_string e)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.stop d;
+          Dq_obs.Metrics.set_enabled false)
+        (fun () ->
+          let port = Serve.port d in
+          for _ = 1 to 10 do
+            ignore (http_get port "/v1/health")
+          done;
+          let (), t =
+            time (fun () ->
+                for _ = 1 to requests do
+                  ignore (http_get port "/v1/health")
+                done)
+          in
+          t /. float_of_int requests)
+    in
+    let runs =
+      List.map
+        (fun _seed ->
+          (per_request Serve.telemetry_off, per_request Serve.default_telemetry))
+        !seeds
+    in
+    let t_off = median (List.map fst runs) in
+    let t_on = median (List.map snd runs) in
+    header "" [ "us/req" ];
+    row "off" [ t_off *. 1e6 ];
+    row "on" [ t_on *. 1e6 ];
+    Fmt.pr "telemetry overhead over %d requests: %+.1f%%@." requests
+      (((t_on /. t_off) -. 1.) *. 100.);
+    write_section "serve"
+      [
+        ("request_s_off", t_off);
+        ("request_s_on", t_on);
+        ("overhead_ratio", t_off /. t_on);
+      ]
+  end
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro () =
@@ -1201,6 +1287,7 @@ let () =
     parallel ();
     analyze_bench ();
     engines_bench ();
+    serve_bench ();
     micro ();
     (match !trace_path with
     | Some path -> (

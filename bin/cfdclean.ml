@@ -132,7 +132,7 @@ let succeed ?(code = Dq_error.Exit.ok) ?(diagnostics = []) report text =
   Ok { report; code; diagnostics; text }
 
 let envelope ~command ~ok ~report ~diagnostics =
-  Dq_obs.Envelope.make ~request:command ~ok ~report ~diagnostics
+  Dq_obs.Envelope.make ~request:command ~ok ~report ~diagnostics ()
 
 (* Arm the fault-injection plan from --fault-plan (or, failing that, the
    DQ_FAULT environment variable).  Site names are validated against the
@@ -1328,25 +1328,67 @@ let generate_cmd =
    owns no stdout envelope (each HTTP response carries its own), prints
    one ready line so scripts can wait for the port, and runs until
    signalled.  kill -9 is the crash path the session store covers. *)
-let serve port state_dir resume jobs =
-  match Dq_serve.Serve.start { Dq_serve.Serve.port; state_dir; jobs; resume } with
+let serve port state_dir resume jobs log log_level no_metrics slow_request
+    trace =
+  (* Telemetry first, so the daemon's own start-up lines are captured.
+     [--log -] (the default) sends JSON lines to stderr; [--log FILE]
+     appends; [--no-log] leaves no sink installed. *)
+  let log_ok =
+    match log with
+    | None -> Ok ()
+    | Some "-" ->
+      Dq_obs.Log.set_sink (Some (Dq_obs.Log.stderr_sink ()));
+      Ok ()
+    | Some path -> (
+      match Dq_obs.Log.file_sink path with
+      | Ok sink ->
+        Dq_obs.Log.set_sink (Some sink);
+        Ok ()
+      | Error msg -> Error (Dq_error.Io msg))
+  in
+  match log_ok with
   | Error e ->
     Fmt.epr "cfdclean: %s@." (Dq_error.to_string e);
     `Ok (Dq_error.exit_code e)
-  | Ok d ->
-    Fmt.pr "cfdclean serve: listening on http://127.0.0.1:%d@."
-      (Dq_serve.Serve.port d);
-    let quit = Sys.Signal_handle (fun _ -> Stdlib.exit 0) in
-    (try Sys.set_signal Sys.sigterm quit with Invalid_argument _ -> ());
-    (try Sys.set_signal Sys.sigint quit with Invalid_argument _ -> ());
-    (* Poll rather than Serve.wait: with every thread parked in a
-       blocking C call (accept, join), a pending SIGTERM has no safepoint
-       to run its handler at; Thread.delay wakes this thread and the
-       signal is processed on return. *)
-    while true do
-      Thread.delay 0.5
-    done;
-    `Ok 0
+  | Ok () -> (
+    (match Dq_obs.Log.level_of_string log_level with
+    | Some lvl -> Dq_obs.Log.set_level lvl
+    | None -> ());
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Dq_obs.Trace.set_enabled true;
+      (* The daemon exits from a signal handler, so the dump rides
+         at_exit rather than a normal return path. *)
+      at_exit (fun () ->
+          try Dq_obs.Trace.write path with Sys_error _ -> ()));
+    let telemetry =
+      {
+        Dq_serve.Serve.metrics = not no_metrics;
+        slow_request_s = slow_request;
+      }
+    in
+    match
+      Dq_serve.Serve.start
+        { Dq_serve.Serve.port; state_dir; jobs; resume; telemetry }
+    with
+    | Error e ->
+      Fmt.epr "cfdclean: %s@." (Dq_error.to_string e);
+      `Ok (Dq_error.exit_code e)
+    | Ok d ->
+      Fmt.pr "cfdclean serve: listening on http://127.0.0.1:%d@."
+        (Dq_serve.Serve.port d);
+      let quit = Sys.Signal_handle (fun _ -> Stdlib.exit 0) in
+      (try Sys.set_signal Sys.sigterm quit with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigint quit with Invalid_argument _ -> ());
+      (* Poll rather than Serve.wait: with every thread parked in a
+         blocking C call (accept, join), a pending SIGTERM has no safepoint
+         to run its handler at; Thread.delay wakes this thread and the
+         signal is processed on return. *)
+      while true do
+        Thread.delay 0.5
+      done;
+      `Ok 0)
 
 let serve_cmd =
   let port =
@@ -1381,12 +1423,67 @@ let serve_cmd =
             "Worker domains for the repair passes (default 1).  Responses \
              are identical at any job count.")
   in
+  let log =
+    Arg.(
+      value
+      & opt (some string) (Some "-")
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Structured JSON-lines log destination: $(b,-) for stderr (the \
+             default) or a file to append to.  One line per request \
+             ($(b,http.access)) plus lifecycle events, each carrying the \
+             request id.")
+  in
+  let no_log =
+    Arg.(
+      value & flag
+      & info [ "no-log" ] ~doc:"Disable structured logging entirely.")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Drop log lines below $(docv): $(b,debug), $(b,info), $(b,warn) \
+             or $(b,error).")
+  in
+  let no_metrics =
+    Arg.(
+      value & flag
+      & info [ "no-metrics" ]
+          ~doc:
+            "Disable metrics collection and the $(b,/v1/metrics) endpoint.  \
+             Together with $(b,--no-log) this is the zero-overhead \
+             configuration: responses are byte-identical to a daemon \
+             without telemetry.")
+  in
+  let slow_request =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-request" ] ~docv:"SECS"
+          ~doc:"Warn-log any request slower than $(docv) seconds.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event dump of every request's span tree \
+             to $(docv) on exit (engine phases nest under their request \
+             ids).")
+  in
+  let log_term = Term.(const (fun log no_log -> if no_log then None else log) $ log $ no_log) in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Streaming repair daemon: per-session clean relations behind a \
           versioned HTTP/JSON API (see docs/SERVE.md)")
-    Term.(ret (const serve $ port $ state_dir $ resume $ jobs))
+    Term.(
+      ret
+        (const serve $ port $ state_dir $ resume $ jobs $ log_term $ log_level
+       $ no_metrics $ slow_request $ trace))
 
 let () =
   let doc = "CFD-based data cleaning (Cong et al., VLDB 2007)" in

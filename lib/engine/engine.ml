@@ -12,11 +12,25 @@ type ctx = {
   checkpoint : checkpoint_spec option;
   resume : Checkpoint.t option;
   partition : int array option;
+  request_id : string option;
 }
 
 let ctx ?pool ?(deadline = Dq_fault.Deadline.never) ?checkpoint ?resume
-    ?partition relation sigma =
-  { relation; sigma; pool; deadline; checkpoint; resume; partition }
+    ?partition ?request_id relation sigma =
+  { relation; sigma; pool; deadline; checkpoint; resume; partition; request_id }
+
+(* When the ctx carries a serving request id, every engine invocation
+   opens one span annotated with it — the engine's phase spans nest
+   inside, so a trace of the daemon groups repair work under the request
+   that caused it.  Without an id (the CLI) this is a direct call and
+   trace output is unchanged. *)
+let with_request_span c f =
+  match c.request_id with
+  | None -> f ()
+  | Some id ->
+    Dq_obs.Trace.span ~cat:"serve"
+      ~args:(fun () -> [ ("request_id", Dq_obs.Json.String id) ])
+      "engine.request" f
 
 module type ENGINE = sig
   val name : string
@@ -68,6 +82,7 @@ module Batch : ENGINE = struct
   let fragment _ _ = Ok ()
 
   let run c =
+    with_request_span c @@ fun () ->
     let checkpoint =
       Option.map
         (fun { path; every } -> { Batch_repair.path; every })
@@ -116,6 +131,7 @@ let inc_engine engine_name ordering : (module ENGINE) =
         Inc_repair.pp_stats stats
 
     let run c =
+      with_request_span c @@ fun () ->
       match
         Inc_repair.repair_dirty ?pool:c.pool ~ordering ~deadline:c.deadline
           c.relation c.sigma
@@ -125,6 +141,7 @@ let inc_engine engine_name ordering : (module ENGINE) =
       | Error _ as e -> e
 
     let ingest c delta =
+      with_request_span c @@ fun () ->
       match
         Inc_repair.repair_inserts ?pool:c.pool ~ordering ~deadline:c.deadline
           c.relation delta c.sigma
@@ -154,6 +171,7 @@ module Opt_fd : ENGINE = struct
   let fragment = Opt_fd_repair.fragment
 
   let run c =
+    with_request_span c @@ fun () ->
     let checkpoint =
       Option.map
         (fun { path; every } -> { Opt_fd_repair.path; every })

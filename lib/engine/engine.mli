@@ -42,6 +42,10 @@ type ctx = {
   checkpoint : checkpoint_spec option;
   resume : Dq_core.Checkpoint.t option;
   partition : int array option;
+  request_id : string option;
+      (** the serve daemon's per-request correlation id; when present,
+          every engine invocation opens a trace span carrying it so the
+          engine's phase spans group under the request that caused them *)
 }
 
 val ctx :
@@ -50,11 +54,12 @@ val ctx :
   ?checkpoint:checkpoint_spec ->
   ?resume:Dq_core.Checkpoint.t ->
   ?partition:int array ->
+  ?request_id:string ->
   Relation.t ->
   Cfd.t array ->
   ctx
 (** Build a context.  Defaults: no pool, no deadline, no checkpointing,
-    no partition. *)
+    no partition, no request id. *)
 
 module type ENGINE = sig
   val name : string

@@ -2,15 +2,19 @@
 
 let version = 2
 
-let make ~request ~ok ~report ~diagnostics =
+(* [id] is the serve daemon's per-request correlation id.  It is emitted
+   only when present, so CLI envelopes (and serve responses with
+   telemetry off) are byte-identical to what they were before the field
+   existed. *)
+let make ~request ?id ~ok ~report ~diagnostics () =
   Json.Obj
-    [
-      ("v", Json.Int version);
-      ("request", Json.String request);
-      ("ok", Json.Bool ok);
-      ("report", report);
-      ("diagnostics", Json.List diagnostics);
-    ]
+    ([ ("v", Json.Int version); ("request", Json.String request) ]
+    @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
+    @ [
+        ("ok", Json.Bool ok);
+        ("report", report);
+        ("diagnostics", Json.List diagnostics);
+      ])
 
-let error ~request err_json =
-  make ~request ~ok:false ~report:Json.Null ~diagnostics:[ err_json ]
+let error ~request ?id err_json =
+  make ~request ?id ~ok:false ~report:Json.Null ~diagnostics:[ err_json ] ()

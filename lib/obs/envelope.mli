@@ -21,10 +21,20 @@ val version : int
 (** The wire schema version emitted and required: [2]. *)
 
 val make :
-  request:string -> ok:bool -> report:Json.t -> diagnostics:Json.t list -> Json.t
-(** Build an envelope.  Field order is fixed ([v, request, ok, report,
-    diagnostics]) so output is byte-comparable. *)
+  request:string ->
+  ?id:string ->
+  ok:bool ->
+  report:Json.t ->
+  diagnostics:Json.t list ->
+  unit ->
+  Json.t
+(** Build an envelope.  Field order is fixed ([v, request, id?, ok,
+    report, diagnostics]) so output is byte-comparable.  [id] is the
+    serve daemon's per-request correlation id, emitted only when
+    present — envelopes without one are byte-identical to the pre-[id]
+    schema, which is what keeps CLI goldens and the daemon's
+    telemetry-off zero-overhead gate intact. *)
 
-val error : request:string -> Json.t -> Json.t
+val error : request:string -> ?id:string -> Json.t -> Json.t
 (** [error ~request err] is the failure envelope: [ok = false], a [null]
     report, and [err] as the one diagnostic. *)

@@ -1,0 +1,103 @@
+(* Leveled, structured JSON-lines logging for long-lived processes.
+
+   The same zero-overhead discipline as Metrics and Trace: one atomic
+   read per call site when logging is off (no sink installed), field
+   construction behind a thunk so it costs nothing unless the line is
+   actually emitted.  Lines are written under one mutex, so concurrent
+   connection threads never interleave bytes and timestamps come out
+   non-decreasing in file order. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* [enabled_flag] is the single hot-path gate; [threshold] only matters
+   once a sink is installed. *)
+let enabled_flag = Atomic.make false
+
+let threshold = Atomic.make (severity Info)
+
+let set_level l = Atomic.set threshold (severity l)
+
+let enabled l =
+  Atomic.get enabled_flag && severity l >= Atomic.get threshold
+
+type sink = { write : string -> unit; close : unit -> unit }
+
+let sink_lock = Mutex.create ()
+
+let current_sink : sink option ref = ref None
+
+(* Process start, the origin for [uptime_s].  Wall timestamps are
+   clamped to be non-decreasing across the sink mutex: a clock step
+   backwards (NTP) cannot make the log travel back in time. *)
+let started = Unix.gettimeofday ()
+
+let last_ts = ref started
+
+let set_sink s =
+  Mutex.lock sink_lock;
+  (match !current_sink with Some old -> old.close () | None -> ());
+  current_sink := s;
+  Mutex.unlock sink_lock;
+  Atomic.set enabled_flag (s <> None)
+
+let stderr_sink () =
+  { write = (fun line -> output_string stderr line; flush stderr);
+    close = (fun () -> ()) }
+
+let file_sink path =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc ->
+    Ok
+      {
+        write = (fun line -> output_string oc line; flush oc);
+        close = (fun () -> close_out_noerr oc);
+      }
+  | exception Sys_error msg -> Error msg
+
+let log lvl event fields =
+  if enabled lvl then begin
+    Mutex.lock sink_lock;
+    match !current_sink with
+    | None -> Mutex.unlock sink_lock
+    | Some sink ->
+      let now = Unix.gettimeofday () in
+      let ts = if now > !last_ts then now else !last_ts in
+      last_ts := ts;
+      let doc =
+        Json.Obj
+          ([
+             ("ts", Json.Float ts);
+             ("uptime_s", Json.Float (ts -. started));
+             ("level", Json.String (level_to_string lvl));
+             ("event", Json.String event);
+           ]
+          @ fields ())
+      in
+      let line = Json.to_string ~minify:true doc ^ "\n" in
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock sink_lock)
+        (fun () -> sink.write line)
+  end
+
+let debug event fields = log Debug event fields
+
+let info event fields = log Info event fields
+
+let warn event fields = log Warn event fields
+
+let error event fields = log Error event fields

@@ -1,0 +1,61 @@
+(** Leveled, structured JSON-lines logging.
+
+    Each call emits one minified JSON object per line through the
+    installed process sink:
+
+    {v {"ts": <wall seconds>, "uptime_s": <seconds since start>,
+       "level": "info", "event": "http.access", ...caller fields} v}
+
+    - [ts] is wall-clock but {e monotonic within the log}: emission
+      serialises on one mutex and each timestamp is clamped to be no
+      earlier than the previous line's, so a clock stepping backwards
+      cannot reorder the file.
+    - [uptime_s] is seconds since the process started.
+    - Caller fields are appended in the order given; the serve daemon
+      puts its per-request correlation fields (request id, route,
+      session) here.
+
+    Zero-overhead discipline: with no sink installed every logging call
+    is one atomic read, and field lists are thunks, built only when a
+    line is actually emitted.  Writing is domain- and thread-safe. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+(** ["debug" | "info" | "warn" | "error"]. *)
+
+val level_of_string : string -> level option
+
+val set_level : level -> unit
+(** Drop lines below this level (default {!Info}). *)
+
+val enabled : level -> bool
+(** Whether a line at this level would be emitted (sink installed and
+    level at or above the threshold). *)
+
+type sink = {
+  write : string -> unit;  (** receives one newline-terminated line *)
+  close : unit -> unit;  (** called when the sink is replaced *)
+}
+
+val set_sink : sink option -> unit
+(** Install (or with [None] remove) the process sink.  The previous
+    sink's [close] runs first.  Installing a sink turns logging on. *)
+
+val stderr_sink : unit -> sink
+(** Lines to stderr, flushed per line. *)
+
+val file_sink : string -> (sink, string) result
+(** Lines appended to a file, flushed per line. *)
+
+val log : level -> string -> (unit -> (string * Json.t) list) -> unit
+(** [log level event fields] emits one line.  No-op (one atomic read)
+    when logging is off or the level is below the threshold. *)
+
+val debug : string -> (unit -> (string * Json.t) list) -> unit
+
+val info : string -> (unit -> (string * Json.t) list) -> unit
+
+val warn : string -> (unit -> (string * Json.t) list) -> unit
+
+val error : string -> (unit -> (string * Json.t) list) -> unit

@@ -195,23 +195,30 @@ let head ~status ~content_type extra =
   Buffer.add_string b "connection: close\r\n\r\n";
   Buffer.contents b
 
-let respond fd ~status ?(content_type = "application/json") body =
+let respond fd ~status ?(content_type = "application/json") ?(headers = [])
+    body =
   send fd
     (head ~status ~content_type
-       [ ("content-length", string_of_int (String.length body)) ]);
+       (headers @ [ ("content-length", string_of_int (String.length body)) ]));
   send fd body
 
 (* Chunked response: [produce] is handed a writer it may call any number
    of times — the relation endpoint streams row groups through it
-   without materialising the whole CSV. *)
-let respond_stream fd ~status ~content_type produce =
-  send fd (head ~status ~content_type [ ("transfer-encoding", "chunked") ]);
+   without materialising the whole CSV.  Returns the number of body bytes
+   streamed, for the access log. *)
+let respond_stream fd ~status ~content_type ?(headers = []) produce =
+  send fd
+    (head ~status ~content_type
+       (headers @ [ ("transfer-encoding", "chunked") ]));
+  let bytes = ref 0 in
   let write chunk =
     if String.length chunk > 0 then begin
+      bytes := !bytes + String.length chunk;
       send fd (Printf.sprintf "%x\r\n" (String.length chunk));
       send fd chunk;
       send fd "\r\n"
     end
   in
   produce write;
-  send fd "0\r\n\r\n"
+  send fd "0\r\n\r\n";
+  !bytes

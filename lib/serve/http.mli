@@ -38,16 +38,23 @@ val send : Unix.file_descr -> string -> unit
 val status_text : int -> string
 
 val respond :
-  Unix.file_descr -> status:int -> ?content_type:string -> string -> unit
+  Unix.file_descr ->
+  status:int ->
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  string ->
+  unit
 (** One fixed-length response ([content-length], [connection: close]).
-    Default content type is [application/json].  @raise Closed *)
+    Default content type is [application/json]; [headers] are emitted
+    before the framing headers.  @raise Closed *)
 
 val respond_stream :
   Unix.file_descr ->
   status:int ->
   content_type:string ->
+  ?headers:(string * string) list ->
   ((string -> unit) -> unit) ->
-  unit
+  int
 (** Chunked response: the callback receives a writer it may call any
     number of times; the terminating zero-chunk is appended after it
-    returns.  @raise Closed *)
+    returns.  Returns the number of body bytes streamed.  @raise Closed *)

@@ -2,18 +2,70 @@ open Dq_relation
 module Json = Dq_obs.Json
 module Envelope = Dq_obs.Envelope
 module Report = Dq_obs.Report
+module Log = Dq_obs.Log
+module Metrics = Dq_obs.Metrics
+module Trace = Dq_obs.Trace
 module Deadline = Dq_fault.Deadline
 module Pool = Dq_parallel.Pool
 module Engine = Dq_engine.Engine
 
 let ( let* ) = Result.bind
 
+(* Reported by /v1/health; keep in sync with the cfdclean man page
+   version in bin/cfdclean.ml. *)
+let version = "1.0.0"
+
+type telemetry = {
+  metrics : bool;
+  slow_request_s : float option;
+}
+
+let default_telemetry = { metrics = true; slow_request_s = None }
+
+let telemetry_off = { metrics = false; slow_request_s = None }
+
 type config = {
   port : int;
   state_dir : string option;
   jobs : int;
   resume : bool;
+  telemetry : telemetry;
 }
+
+(* The daemon-wide instruments, registered at [start] — never at module
+   initialisation, which would leak serve counters into every binary
+   that links this library (the CLI's [--metrics] snapshot is a pinned
+   golden).  Per-(route, status) request counters and per-route latency
+   histograms are labeled instruments, registered on demand as traffic
+   arrives. *)
+type instruments = {
+  sessions_live : Metrics.gauge;
+  quarantine_depth : Metrics.gauge;
+  uptime : Metrics.gauge;
+  gc_heap_words : Metrics.gauge;
+  gc_minor_words : Metrics.gauge;
+  gc_major_words : Metrics.gauge;
+  gc_compactions : Metrics.gauge;
+  ingest_batch : Metrics.histogram;
+  checkpoint_bytes : Metrics.histogram;
+  checkpoint_seconds : Metrics.timer;
+}
+
+let register_instruments () =
+  {
+    sessions_live = Metrics.gauge "serve.sessions_live";
+    quarantine_depth = Metrics.gauge "serve.quarantine_depth";
+    uptime = Metrics.gauge "serve.uptime_seconds";
+    gc_heap_words = Metrics.gauge "gc.heap_words";
+    gc_minor_words = Metrics.gauge "gc.minor_words";
+    gc_major_words = Metrics.gauge "gc.major_words";
+    gc_compactions = Metrics.gauge "gc.compactions";
+    ingest_batch =
+      Metrics.histogram ~buckets:Metrics.size_buckets "serve.ingest_batch_size";
+    checkpoint_bytes =
+      Metrics.histogram ~buckets:Metrics.size_buckets "serve.checkpoint_bytes";
+    checkpoint_seconds = Metrics.timer "serve.checkpoint_seconds";
+  }
 
 type t = {
   sock : Unix.file_descr;
@@ -25,6 +77,11 @@ type t = {
   ingest_queue : Mutex.t;
       (** the in-process ingest queue: engine invocations from all
           sessions drain through this one lock, in arrival order *)
+  telemetry : telemetry;
+  instruments : instruments option;  (** [Some] iff [telemetry.metrics] *)
+  started : float;  (** wall clock at [start], for uptime *)
+  id_prefix : string;  (** per-process prefix of generated request ids *)
+  req_counter : int Atomic.t;
   mutable next_id : int;
   mutable stopped : bool;
   mutable acceptor : Thread.t option;
@@ -48,14 +105,64 @@ let status_of_error = function
 let request_name (r : Http.request) =
   r.Http.meth ^ " /" ^ String.concat "/" r.Http.path
 
-let respond_ok fd ~request ?(status = 200) report =
-  Http.respond fd ~status
-    (Json.to_string
-       (Envelope.make ~request ~ok:true ~report ~diagnostics:[]))
+(* ---- responses as values ------------------------------------------------- *)
 
-let respond_err fd ~request e =
-  Http.respond fd ~status:(status_of_error e)
-    (Json.to_string (Envelope.error ~request (Dq_error.to_json e)))
+(* Handlers build a response value instead of writing to the socket, so
+   one central path ({!send_response}) stamps every response with its
+   request-id header, counts the bytes, records the route metrics and
+   emits the access-log line — error paths included. *)
+type body = Fixed of string | Stream of ((string -> unit) -> unit)
+
+type response = { status : int; content_type : string; body : body }
+
+let json_response ~status j =
+  {
+    status;
+    content_type = "application/json";
+    body = Fixed (Json.to_string j);
+  }
+
+let ok_response ?(status = 200) ~request ~id report =
+  json_response ~status
+    (Envelope.make ~request ?id ~ok:true ~report ~diagnostics:[] ())
+
+let err_response ?status ~request ~id e =
+  let status =
+    match status with Some s -> s | None -> status_of_error e
+  in
+  json_response ~status (Envelope.error ~request ?id (Dq_error.to_json e))
+
+(* ---- request ids --------------------------------------------------------- *)
+
+(* A client-supplied [x-request-id] is echoed after sanitising (so a log
+   line is one JSON token no matter what arrived); otherwise an id is
+   generated — but only when some telemetry is on.  With metrics off and
+   no log sink, responses carry no id and are byte-identical to the
+   pre-telemetry wire format (the zero-overhead gate). *)
+let sanitize_request_id s =
+  let b = Buffer.create (min (String.length s) 64) in
+  String.iter
+    (fun c ->
+      if Buffer.length b < 64 then
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' ->
+          Buffer.add_char b c
+        | _ -> ())
+    s;
+  if Buffer.length b = 0 then None else Some (Buffer.contents b)
+
+let telemetry_active d =
+  d.instruments <> None || Log.enabled Log.Error
+
+let request_id_of d (r : Http.request) =
+  match Option.bind (Http.header r "x-request-id") sanitize_request_id with
+  | Some _ as id -> id
+  | None ->
+    if telemetry_active d then
+      Some
+        (Printf.sprintf "%s-%06d" d.id_prefix
+           (Atomic.fetch_and_add d.req_counter 1))
+    else None
 
 (* ---- request decoding --------------------------------------------------- *)
 
@@ -236,22 +343,77 @@ let find_session d id =
 let save_session d s =
   match d.state_dir with
   | None -> ()
-  | Some dir -> Store.save ~dir s
+  | Some dir -> (
+    match d.instruments with
+    | None -> ignore (Store.save ~dir s)
+    | Some i ->
+      let t0 = Unix.gettimeofday () in
+      let bytes = Store.save ~dir s in
+      Metrics.record i.checkpoint_seconds (Unix.gettimeofday () -. t0);
+      Metrics.observe i.checkpoint_bytes (float_of_int bytes))
 
 (* ---- handlers ------------------------------------------------------------ *)
 
-let handle_health d fd ~request =
+let handle_health d ~request ~id =
   let sessions = Mutex.protect d.registry (fun () -> Hashtbl.length d.sessions) in
-  respond_ok fd ~request
+  let uptime = int_of_float (Unix.gettimeofday () -. d.started) in
+  let state =
+    match d.state_dir with
+    | None ->
+      Json.Obj [ ("persistent", Json.Bool false); ("dir", Json.Null) ]
+    | Some dir ->
+      Json.Obj [ ("persistent", Json.Bool true); ("dir", Json.String dir) ]
+  in
+  ok_response ~request ~id
     (Json.Obj
        [
          ("status", Json.String "ok");
+         ("version", Json.String version);
+         ("uptime_s", Json.Int uptime);
          ("sessions", Json.Int sessions);
+         ("state", state);
          ( "engines",
            Json.List (List.map (fun n -> Json.String n) (Engine.names ())) );
        ])
 
-let handle_create d fd ~request (r : Http.request) =
+(* /v1/metrics is the one endpoint outside the envelope: Prometheus text
+   exposition, scraped verbatim.  Gauges that mirror daemon state are
+   refreshed here, at scrape time, rather than maintained on every
+   mutation. *)
+let handle_metrics d =
+  (match d.instruments with
+  | None -> ()
+  | Some i ->
+    let sessions =
+      Mutex.protect d.registry (fun () ->
+          List.of_seq (Hashtbl.to_seq_values d.sessions))
+    in
+    let qdepth =
+      List.fold_left
+        (fun acc (s : Session.t) ->
+          acc
+          + Session.with_lock s (fun () -> List.length s.Session.quarantine))
+        0 sessions
+    in
+    Metrics.set_gauge i.sessions_live (float_of_int (List.length sessions));
+    Metrics.set_gauge i.quarantine_depth (float_of_int qdepth);
+    Metrics.set_gauge i.uptime (Unix.gettimeofday () -. d.started);
+    (* A young handler thread reads zeroed quick_stat counters until it
+       has been through a minor collection; force one (cheap, bounded by
+       the minor heap) so the gauges are real. *)
+    Gc.minor ();
+    let st = Gc.quick_stat () in
+    Metrics.set_gauge i.gc_heap_words (float_of_int st.Gc.heap_words);
+    Metrics.set_gauge i.gc_minor_words st.Gc.minor_words;
+    Metrics.set_gauge i.gc_major_words st.Gc.major_words;
+    Metrics.set_gauge i.gc_compactions (float_of_int st.Gc.compactions));
+  {
+    status = 200;
+    content_type = "text/plain; version=0.0.4";
+    body = Fixed (Metrics.to_prometheus ());
+  }
+
+let handle_create d ~request ~id:rid (r : Http.request) =
   let result =
     let* body = parse_body r in
     let* schema = field "schema" body in
@@ -288,12 +450,18 @@ let handle_create d fd ~request (r : Http.request) =
         Ok s)
   in
   match result with
-  | Error e -> respond_err fd ~request e
+  | Error e -> err_response ~request ~id:rid e
   | Ok s ->
-    respond_ok fd ~request ~status:201
+    Log.info "session.create" (fun () ->
+        [
+          ("session", Json.String s.Session.id);
+          ("engine", Json.String s.Session.engine);
+        ]
+        @ match rid with None -> [] | Some i -> [ ("id", Json.String i) ]);
+    ok_response ~request ~id:rid ~status:201
       (Session.with_lock s (fun () -> session_status s))
 
-let handle_list d fd ~request =
+let handle_list d ~request ~id =
   let statuses =
     Mutex.protect d.registry (fun () ->
         Hashtbl.to_seq_values d.sessions
@@ -302,33 +470,34 @@ let handle_list d fd ~request =
                compare a.Session.id b.Session.id)
         |> List.map (fun s -> Session.with_lock s (fun () -> session_status s)))
   in
-  respond_ok fd ~request (Json.Obj [ ("sessions", Json.List statuses) ])
+  ok_response ~request ~id (Json.Obj [ ("sessions", Json.List statuses) ])
 
-let handle_status d fd ~request id =
-  match find_session d id with
-  | Error e -> respond_err fd ~request e
-  | Ok s -> respond_ok fd ~request (Session.with_lock s (fun () -> session_status s))
+let handle_status d ~request ~id sid =
+  match find_session d sid with
+  | Error e -> err_response ~request ~id e
+  | Ok s ->
+    ok_response ~request ~id (Session.with_lock s (fun () -> session_status s))
 
-let handle_delete d fd ~request id =
+let handle_delete d ~request ~id sid =
   let result =
     Mutex.protect d.registry (fun () ->
-        match Hashtbl.find_opt d.sessions id with
-        | None -> Error (Dq_error.No_such_session id)
+        match Hashtbl.find_opt d.sessions sid with
+        | None -> Error (Dq_error.No_such_session sid)
         | Some _ ->
-          Hashtbl.remove d.sessions id;
+          Hashtbl.remove d.sessions sid;
           (match d.state_dir with
-          | Some dir -> Store.delete ~dir id
+          | Some dir -> Store.delete ~dir sid
           | None -> ());
           Ok ())
   in
   match result with
-  | Error e -> respond_err fd ~request e
+  | Error e -> err_response ~request ~id e
   | Ok () ->
-    respond_ok fd ~request (Json.Obj [ ("deleted", Json.String id) ])
+    ok_response ~request ~id (Json.Obj [ ("deleted", Json.String sid) ])
 
-let handle_ingest d fd ~request (r : Http.request) id =
+let handle_ingest d ~request ~id:rid (r : Http.request) sid =
   let result =
-    let* s = find_session d id in
+    let* s = find_session d sid in
     let* deadline = deadline_of_request r in
     let* body = parse_body r in
     let* rows = field "tuples" body in
@@ -337,16 +506,19 @@ let handle_ingest d fd ~request (r : Http.request) id =
       | Json.List l -> map_m row_of_json l
       | _ -> Error (Dq_error.Invalid_input "field \"tuples\": expected a list")
     in
+    (match d.instruments with
+    | Some i -> Metrics.observe i.ingest_batch (float_of_int (List.length rows))
+    | None -> ());
     Session.with_lock s (fun () ->
         let* outcomes, stats, report =
           Mutex.protect d.ingest_queue (fun () ->
-              Session.ingest ?pool:d.pool ~deadline s rows)
+              Session.ingest ?pool:d.pool ~deadline ?request_id:rid s rows)
         in
         save_session d s;
         Ok
           (Json.Obj
              [
-               ("session", Json.String id);
+               ("session", Json.String sid);
                ("batch", Json.Int s.Session.batches);
                ("ingested", Json.Int (List.length rows));
                ( "outcomes",
@@ -357,36 +529,41 @@ let handle_ingest d fd ~request (r : Http.request) id =
              ]))
   in
   match result with
-  | Error e -> respond_err fd ~request e
-  | Ok report -> respond_ok fd ~request report
+  | Error e -> err_response ~request ~id:rid e
+  | Ok report -> ok_response ~request ~id:rid report
 
-let handle_relation d fd ~request id =
-  match find_session d id with
-  | Error e -> respond_err fd ~request e
+let handle_relation d ~request ~id sid =
+  match find_session d sid with
+  | Error e -> err_response ~request ~id e
   | Ok s ->
     (* Snapshot under the lock, stream outside it. *)
     let csv = Session.with_lock s (fun () -> Csv.save_string s.Session.relation) in
-    ignore request;
-    Http.respond_stream fd ~status:200 ~content_type:"text/csv" (fun write ->
-        let chunk = 64 * 1024 in
-        let n = String.length csv in
-        let rec go off =
-          if off < n then begin
-            write (String.sub csv off (min chunk (n - off)));
-            go (off + chunk)
-          end
-        in
-        go 0)
+    {
+      status = 200;
+      content_type = "text/csv";
+      body =
+        Stream
+          (fun write ->
+            let chunk = 64 * 1024 in
+            let n = String.length csv in
+            let rec go off =
+              if off < n then begin
+                write (String.sub csv off (min chunk (n - off)));
+                go (off + chunk)
+              end
+            in
+            go 0);
+    }
 
-let handle_quarantine d fd ~request id =
-  match find_session d id with
-  | Error e -> respond_err fd ~request e
+let handle_quarantine d ~request ~id sid =
+  match find_session d sid with
+  | Error e -> err_response ~request ~id e
   | Ok s ->
-    respond_ok fd ~request
+    ok_response ~request ~id
       (Session.with_lock s (fun () ->
            Json.Obj
              [
-               ("session", Json.String id);
+               ("session", Json.String sid);
                ( "entries",
                  Json.List
                    (List.map
@@ -394,9 +571,9 @@ let handle_quarantine d fd ~request id =
                       s.Session.quarantine) );
              ]))
 
-let handle_resolve d fd ~request (r : Http.request) id tid_str =
+let handle_resolve d ~request ~id:rid (r : Http.request) sid tid_str =
   let result =
-    let* s = find_session d id in
+    let* s = find_session d sid in
     let* tid =
       match int_of_string_opt tid_str with
       | Some t -> Ok t
@@ -421,46 +598,147 @@ let handle_resolve d fd ~request (r : Http.request) id tid_str =
     Session.with_lock s (fun () ->
         let* outcome =
           Mutex.protect d.ingest_queue (fun () ->
-              Session.resolve ?pool:d.pool ~deadline s tid resolution)
+              Session.resolve ?pool:d.pool ~deadline ?request_id:rid s tid
+                resolution)
         in
         save_session d s;
         Ok
           (Json.Obj
              [
-               ("session", Json.String id);
+               ("session", Json.String sid);
                ("resolved", Json.Int tid);
                ("outcome", outcome_json s.Session.schema outcome);
              ]))
   in
   match result with
-  | Error e -> respond_err fd ~request e
-  | Ok report -> respond_ok fd ~request report
+  | Error e -> err_response ~request ~id:rid e
+  | Ok report -> ok_response ~request ~id:rid report
 
 (* ---- dispatch ------------------------------------------------------------ *)
 
-let route d fd (r : Http.request) =
-  let request = request_name r in
+(* The route template (what metrics and access-log lines are keyed by —
+   a bounded label set, ids collapsed to [:id]) plus the session id the
+   path names, if any. *)
+let route_info (r : Http.request) =
   match (r.Http.meth, r.Http.path) with
-  | "GET", [ "v1"; "health" ] -> handle_health d fd ~request
-  | "POST", [ "v1"; "sessions" ] -> handle_create d fd ~request r
-  | "GET", [ "v1"; "sessions" ] -> handle_list d fd ~request
-  | "GET", [ "v1"; "sessions"; id ] -> handle_status d fd ~request id
-  | "DELETE", [ "v1"; "sessions"; id ] -> handle_delete d fd ~request id
+  | "GET", [ "v1"; "health" ] -> ("GET /v1/health", None)
+  | "GET", [ "v1"; "metrics" ] -> ("GET /v1/metrics", None)
+  | "POST", [ "v1"; "sessions" ] -> ("POST /v1/sessions", None)
+  | "GET", [ "v1"; "sessions" ] -> ("GET /v1/sessions", None)
+  | "GET", [ "v1"; "sessions"; id ] -> ("GET /v1/sessions/:id", Some id)
+  | "DELETE", [ "v1"; "sessions"; id ] -> ("DELETE /v1/sessions/:id", Some id)
   | "POST", [ "v1"; "sessions"; id; "tuples" ] ->
-    handle_ingest d fd ~request r id
+    ("POST /v1/sessions/:id/tuples", Some id)
   | "GET", [ "v1"; "sessions"; id; "relation" ] ->
-    handle_relation d fd ~request id
+    ("GET /v1/sessions/:id/relation", Some id)
   | "GET", [ "v1"; "sessions"; id; "quarantine" ] ->
-    handle_quarantine d fd ~request id
-  | "POST", [ "v1"; "sessions"; id; "quarantine"; tid; "resolve" ] ->
-    handle_resolve d fd ~request r id tid
+    ("GET /v1/sessions/:id/quarantine", Some id)
+  | "POST", [ "v1"; "sessions"; id; "quarantine"; _; "resolve" ] ->
+    ("POST /v1/sessions/:id/quarantine/:tid/resolve", Some id)
+  | _, _ -> ("(unmatched)", None)
+
+let route d (r : Http.request) ~request ~id =
+  match (r.Http.meth, r.Http.path) with
+  | "GET", [ "v1"; "health" ] -> handle_health d ~request ~id
+  | "GET", [ "v1"; "metrics" ] when d.instruments <> None -> handle_metrics d
+  | "POST", [ "v1"; "sessions" ] -> handle_create d ~request ~id r
+  | "GET", [ "v1"; "sessions" ] -> handle_list d ~request ~id
+  | "GET", [ "v1"; "sessions"; sid ] -> handle_status d ~request ~id sid
+  | "DELETE", [ "v1"; "sessions"; sid ] -> handle_delete d ~request ~id sid
+  | "POST", [ "v1"; "sessions"; sid; "tuples" ] ->
+    handle_ingest d ~request ~id r sid
+  | "GET", [ "v1"; "sessions"; sid; "relation" ] ->
+    handle_relation d ~request ~id sid
+  | "GET", [ "v1"; "sessions"; sid; "quarantine" ] ->
+    handle_quarantine d ~request ~id sid
+  | "POST", [ "v1"; "sessions"; sid; "quarantine"; tid; "resolve" ] ->
+    handle_resolve d ~request ~id r sid tid
   | _, _ ->
-    Http.respond fd ~status:404
-      (Json.to_string
-         (Envelope.error ~request
-            (Dq_error.to_json
-               (Dq_error.Invalid_input
-                  (Printf.sprintf "no such endpoint: %s" request)))))
+    err_response ~status:404 ~request ~id
+      (Dq_error.Invalid_input (Printf.sprintf "no such endpoint: %s" request))
+
+(* Write the response, then account for it: the per-route request
+   counter and latency histogram, one [http.access] log line carrying
+   the request id, and the slow-request warning.  A peer that vanished
+   mid-write still gets accounted (bytes reflect what was written
+   before the pipe broke only approximately; we log the intended
+   size). *)
+let send_response d fd ~meth ~route ~session ~id ~t0 resp =
+  let headers =
+    match id with Some i -> [ ("x-request-id", i) ] | None -> []
+  in
+  let bytes =
+    try
+      match resp.body with
+      | Fixed body ->
+        Http.respond fd ~status:resp.status ~content_type:resp.content_type
+          ~headers body;
+        String.length body
+      | Stream produce ->
+        Http.respond_stream fd ~status:resp.status
+          ~content_type:resp.content_type ~headers produce
+    with Http.Closed -> 0
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match d.instruments with
+  | None -> ()
+  | Some _ ->
+    Metrics.incr
+      (Metrics.counter
+         ~labels:
+           [ ("route", route); ("status", string_of_int resp.status) ]
+         "serve.requests");
+    Metrics.observe
+      (Metrics.histogram ~labels:[ ("route", route) ] "serve.request_seconds")
+      dt);
+  let fields () =
+    [
+      ("method", Json.String meth);
+      ("route", Json.String route);
+      ("status", Json.Int resp.status);
+      ("latency_s", Json.Float dt);
+      ("bytes", Json.Int bytes);
+    ]
+    @ (match session with
+      | Some s -> [ ("session", Json.String s) ]
+      | None -> [])
+    @ match id with Some i -> [ ("id", Json.String i) ] | None -> []
+  in
+  Log.info "http.access" fields;
+  match d.telemetry.slow_request_s with
+  | Some limit when dt > limit ->
+    Log.warn "http.slow" (fun () ->
+        fields () @ [ ("threshold_s", Json.Float limit) ])
+  | _ -> ()
+
+let serve_request d fd (r : Http.request) =
+  let request = request_name r in
+  let route_tmpl, session = route_info r in
+  let id = request_id_of d r in
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    Trace.span ~cat:"serve"
+      ~args:(fun () ->
+        ("route", Json.String route_tmpl)
+        :: (match id with
+           | Some i -> [ ("request_id", Json.String i) ]
+           | None -> []))
+      "http.request"
+      (fun () ->
+        try route d r ~request ~id with
+        | Deadline.Expired -> err_response ~request ~id Dq_error.Deadline_exceeded
+        | Dq_fault.Fault.Injected site ->
+          err_response ~request ~id (Dq_error.Fault_injected site)
+        | Sys_error msg -> err_response ~request ~id (Dq_error.Io msg)
+        | Http.Closed ->
+          (* already half-written by a streaming handler's peer: nothing
+             more to send, but the request still gets accounted *)
+          { status = 499; content_type = "text/plain"; body = Fixed "" }
+        | exn ->
+          err_response ~request ~id
+            (Dq_error.Internal (Printexc.to_string exn)))
+  in
+  send_response d fd ~meth:r.Http.meth ~route:route_tmpl ~session ~id ~t0 resp
 
 let handle_connection d fd =
   Fun.protect
@@ -469,24 +747,13 @@ let handle_connection d fd =
       try
         match Http.read_request fd with
         | Ok None -> ()
-        | Ok (Some r) -> (
-          try route d fd r with
-          | Deadline.Expired ->
-            respond_err fd ~request:(request_name r) Dq_error.Deadline_exceeded
-          | Dq_fault.Fault.Injected site ->
-            respond_err fd ~request:(request_name r)
-              (Dq_error.Fault_injected site)
-          | Sys_error msg ->
-            respond_err fd ~request:(request_name r) (Dq_error.Io msg)
-          | Http.Closed -> ()
-          | exn ->
-            respond_err fd ~request:(request_name r)
-              (Dq_error.Internal (Printexc.to_string exn)))
+        | Ok (Some r) -> serve_request d fd r
         | Error msg ->
-          Http.respond fd ~status:400
-            (Json.to_string
-               (Envelope.error ~request:"(malformed)"
-                  (Dq_error.to_json (Dq_error.Invalid_input msg))))
+          let t0 = Unix.gettimeofday () in
+          send_response d fd ~meth:"-" ~route:"(malformed)" ~session:None
+            ~id:None ~t0
+            (err_response ~request:"(malformed)" ~id:None
+               (Dq_error.Invalid_input msg))
       with Http.Closed -> ())
 
 (* ---- lifecycle ----------------------------------------------------------- *)
@@ -559,6 +826,14 @@ let start config =
     let bound_port =
       match addr with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> 0
     in
+    let instruments =
+      if config.telemetry.metrics then begin
+        Metrics.set_enabled true;
+        Some (register_instruments ())
+      end
+      else None
+    in
+    let started = Unix.gettimeofday () in
     let d =
       {
         sock;
@@ -568,12 +843,31 @@ let start config =
         sessions = Hashtbl.create 16;
         registry = Mutex.create ();
         ingest_queue = Mutex.create ();
+        telemetry = config.telemetry;
+        instruments;
+        started;
+        id_prefix =
+          Printf.sprintf "%04x%04x"
+            (Unix.getpid () land 0xffff)
+            (int_of_float (started *. 1000.) land 0xffff);
+        req_counter = Atomic.make 1;
         next_id = next_id_after loaded;
         stopped = false;
         acceptor = None;
       }
     in
     List.iter (fun (s : Session.t) -> Hashtbl.replace d.sessions s.Session.id s) loaded;
+    Log.info "serve.start" (fun () ->
+        [
+          ("port", Json.Int bound_port);
+          ( "state_dir",
+            match config.state_dir with
+            | Some dir -> Json.String dir
+            | None -> Json.Null );
+          ("jobs", Json.Int config.jobs);
+          ("resumed_sessions", Json.Int (List.length loaded));
+          ("metrics", Json.Bool config.telemetry.metrics);
+        ]);
     d.acceptor <- Some (Thread.create accept_loop d);
     Ok d
 
@@ -587,5 +881,6 @@ let stop d =
     (try Unix.shutdown d.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close d.sock with Unix.Unix_error _ -> ());
     wait d;
-    Option.iter Pool.shutdown d.pool
+    Option.iter Pool.shutdown d.pool;
+    Log.info "serve.stop" (fun () -> [ ("port", Json.Int d.bound_port) ])
   end

@@ -3,7 +3,10 @@
     An HTTP/1.1 JSON API (one request per connection) over versioned
     envelopes ({!Dq_obs.Envelope}, [v = 2]).  Endpoints:
 
-    - [GET /v1/health] — liveness, session count, engine registry;
+    - [GET /v1/health] — liveness, version, uptime, session count,
+      checkpoint state-dir status, engine registry;
+    - [GET /v1/metrics] — Prometheus text exposition (no envelope);
+      only routed when the daemon was started with metrics on;
     - [POST /v1/sessions] — create a session from a schema, a ruleset
       and an ingest-capable engine (gated like the CLI: lint errors,
       termination verdict, satisfiability, engine fragment);
@@ -24,11 +27,40 @@
     mutation is checkpointed ({!Store}) {e before} the 200 goes out, so
     [kill -9] + restart with [resume] serves byte-identical relations. *)
 
+val version : string
+(** The version string /v1/health reports (keep in sync with the CLI's
+    man-page version). *)
+
+(** What the daemon observes about itself.  Structured logging is not in
+    here: the daemon logs through {!Dq_obs.Log} unconditionally, and the
+    process (the CLI's [serve] subcommand, or a test) decides whether a
+    sink is installed.  With [metrics = false] and no log sink the
+    daemon generates no request ids and its responses are byte-identical
+    to the pre-telemetry wire format. *)
+type telemetry = {
+  metrics : bool;
+      (** collect {!Dq_obs.Metrics} (request counters and latency
+          histograms per route, session/quarantine/GC gauges, checkpoint
+          and ingest histograms) and expose [GET /v1/metrics] in
+          Prometheus text format.  Turning this on enables the
+          process-wide metrics gate. *)
+  slow_request_s : float option;
+      (** warn-log any request slower than this many seconds *)
+}
+
+val default_telemetry : telemetry
+(** Metrics on, no slow-request threshold. *)
+
+val telemetry_off : telemetry
+(** Everything off — the zero-overhead configuration (and what the
+    byte-identity tests run under). *)
+
 type config = {
   port : int;  (** 0 picks an ephemeral port (tests) *)
   state_dir : string option;  (** checkpoint directory; [None] = in-memory *)
   jobs : int;  (** worker pool size for the repair passes; 1 = sequential *)
   resume : bool;  (** load sessions back from [state_dir] on start *)
+  telemetry : telemetry;
 }
 
 type t

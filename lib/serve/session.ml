@@ -185,11 +185,12 @@ let nulled_positions ~submitted ~repaired =
   done;
   !out
 
-let ingest_delta ?pool ?(deadline = Dq_fault.Deadline.never) t delta =
+let ingest_delta ?pool ?(deadline = Dq_fault.Deadline.never) ?request_id t
+    delta =
   let* (module E : Engine.ENGINE) =
     resolve_engine ~engine:t.engine t.schema t.sigma
   in
-  let ctx = Engine.ctx ?pool ~deadline t.relation t.sigma in
+  let ctx = Engine.ctx ?pool ~deadline ?request_id t.relation t.sigma in
   let* (repaired_rel, stats), report = E.ingest ctx delta in
   (* A deadline cut mid-batch commits nothing: the session keeps its
      last consistent relation and the client retries the whole batch. *)
@@ -215,7 +216,7 @@ let classify t ~batch rel delta =
         Quarantined (tid, attrs))
     delta
 
-let ingest ?pool ?deadline t rows =
+let ingest ?pool ?deadline ?request_id t rows =
   let* () =
     List.fold_left
       (fun acc row -> Result.bind acc (fun () -> check_row t.schema row))
@@ -227,7 +228,9 @@ let ingest ?pool ?deadline t rows =
         Tuple.create ?weights ~tid:(t.next_tid + i) values)
       rows
   in
-  let* (repaired_rel, stats), report = ingest_delta ?pool ?deadline t delta in
+  let* (repaired_rel, stats), report =
+    ingest_delta ?pool ?deadline ?request_id t delta
+  in
   let batch = t.batches + 1 in
   let outcomes = classify t ~batch repaired_rel delta in
   t.relation <- repaired_rel;
@@ -250,7 +253,7 @@ let drop_quarantined t tid =
   t.quarantine <- List.filter (fun q -> Tuple.tid q.tuple <> tid) t.quarantine;
   t.resolved <- t.resolved + 1
 
-let resolve ?pool ?deadline t tid resolution =
+let resolve ?pool ?deadline ?request_id t tid resolution =
   let* (_ : quarantined) =
     match find_quarantined t tid with
     | Some q -> Ok q
@@ -267,7 +270,7 @@ let resolve ?pool ?deadline t tid resolution =
     let* () = check_row t.schema (values, weights) in
     let submitted = Tuple.create ?weights ~tid values in
     let* (repaired_rel, _stats), _report =
-      ingest_delta ?pool ?deadline t [ submitted ]
+      ingest_delta ?pool ?deadline ?request_id t [ submitted ]
     in
     let repaired = Relation.find_exn repaired_rel tid in
     (match nulled_positions ~submitted ~repaired with

@@ -87,6 +87,7 @@ type outcome =
 val ingest :
   ?pool:Dq_parallel.Pool.t ->
   ?deadline:Dq_fault.Deadline.t ->
+  ?request_id:string ->
   t ->
   (Value.t array * float array option) list ->
   (outcome list * string * Dq_obs.Report.t, Dq_error.t) result
@@ -94,7 +95,9 @@ val ingest :
     Commits — relation swap, counters, quarantine — only on full
     success; a deadline cut ([degraded] report) commits nothing and
     returns [Deadline_exceeded].  The string is the engine's stats
-    line.  Caller must hold the lock. *)
+    line.  [request_id] is threaded into the engine context so the
+    engine's trace spans carry the originating request.  Caller must
+    hold the lock. *)
 
 type resolution =
   | Discard  (** drop the quarantined tuple for good *)
@@ -104,6 +107,7 @@ type resolution =
 val resolve :
   ?pool:Dq_parallel.Pool.t ->
   ?deadline:Dq_fault.Deadline.t ->
+  ?request_id:string ->
   t ->
   int ->
   resolution ->

@@ -222,9 +222,9 @@ let path ~dir id = Filename.concat dir (id ^ ".json")
 
 let save ~dir (s : Session.t) =
   mkdirs dir;
-  Dq_fault.Atomic_io.write_file
-    (path ~dir s.Session.id)
-    (Json.to_string (to_json s))
+  let contents = Json.to_string (to_json s) in
+  Dq_fault.Atomic_io.write_file (path ~dir s.Session.id) contents;
+  String.length contents
 
 let delete ~dir id =
   try Sys.remove (path ~dir id) with Sys_error _ -> ()

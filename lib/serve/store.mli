@@ -15,9 +15,11 @@
 val version : int
 (** Schema version written to and required from session files. *)
 
-val save : dir:string -> Session.t -> unit
-(** Atomically write [dir/ID.json].  Creates [dir] if missing.  Caller
-    holds the session lock.  @raise Sys_error on I/O failure. *)
+val save : dir:string -> Session.t -> int
+(** Atomically write [dir/ID.json], returning the snapshot's size in
+    bytes (what the daemon's checkpoint metrics record).  Creates [dir]
+    if missing.  Caller holds the session lock.  @raise Sys_error on
+    I/O failure. *)
 
 val delete : dir:string -> string -> unit
 (** Remove a session's file, ignoring a missing one. *)

@@ -5,7 +5,7 @@ Unknown --only names are rejected up front with the valid list.
 
   $ ../../bench/main.exe --only bogus
   unknown section "bogus"; valid sections are:
-    fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 thm61 abl-depgraph abl-cluster abl-k parallel analyze engines micro
+    fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 thm61 abl-depgraph abl-cluster abl-k parallel analyze engines serve micro
   [2]
 
 thm61 is pure computation — fast and fully deterministic — and lands its

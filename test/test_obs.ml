@@ -56,7 +56,13 @@ let test_metrics_enabled () =
   Metrics.record t 0.25;
   Metrics.record t 0.75;
   match Metrics.snapshot () with
-  | Json.Obj [ ("counters", Json.Obj cs); ("timers", Json.Obj ts) ] ->
+  | Json.Obj
+      [
+        ("counters", Json.Obj cs);
+        ("timers", Json.Obj ts);
+        ("gauges", Json.Obj _);
+        ("histograms", Json.Obj _);
+      ] ->
     Alcotest.(check bool) "counter in snapshot" true
       (List.mem_assoc "test.obs.counter" cs);
     (match List.assoc_opt "test.obs.timer" ts with
@@ -69,7 +75,125 @@ let test_metrics_enabled () =
       "counters sorted by name"
       (List.sort compare names)
       names
-  | _ -> Alcotest.fail "snapshot is not {counters; timers}"
+  | _ -> Alcotest.fail "snapshot is not {counters; timers; gauges; histograms}"
+
+(* Counters are monotonic: a negative increment is clamped to a no-op by
+   default (a daemon must not die on a bad delta) and raises under
+   strict mode (the test suite, debug builds). *)
+let test_metrics_negative_add () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_strict false;
+      Metrics.set_enabled false)
+  @@ fun () ->
+  let c = Metrics.counter "test.obs.neg" in
+  Metrics.add c 3;
+  Metrics.add c (-2);
+  Alcotest.(check int) "negative add clamps to a no-op" 3
+    (Metrics.counter_value c);
+  Metrics.set_strict true;
+  (match Metrics.add c (-1) with
+  | () -> Alcotest.fail "strict negative add did not raise"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "error names the counter" true
+      (Helpers.contains msg "test.obs.neg"));
+  Alcotest.(check int) "value unchanged after the strict raise" 3
+    (Metrics.counter_value c);
+  (* The contract is checked even with collection off: a negative delta
+     is a caller bug regardless of whether anyone is recording. *)
+  Metrics.set_enabled false;
+  match Metrics.add c (-1) with
+  | () -> Alcotest.fail "strict negative add ignored while disabled"
+  | exception Invalid_argument _ -> ()
+
+let test_gauge_semantics () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let g = Metrics.gauge "test.obs.gauge" in
+  Metrics.set_gauge g 5.;
+  Metrics.add_gauge g 1.;
+  Alcotest.(check (float 0.)) "disabled gauge stays zero" 0.
+    (Metrics.gauge_value g);
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  Metrics.set_gauge g 5.;
+  Metrics.add_gauge g 2.5;
+  Metrics.add_gauge g (-1.5);
+  Alcotest.(check (float 1e-9)) "set then signed adds" 6.
+    (Metrics.gauge_value g);
+  (* Adds from pool workers are atomic with respect to each other: 32
+     concurrent +1s always sum to exactly 32, at jobs 1 and 4. *)
+  List.iter
+    (fun jobs ->
+      Metrics.set_gauge g 0.;
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.run pool (Array.init 32 (fun _ () -> Metrics.add_gauge g 1.)));
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "32 worker adds sum exactly at jobs=%d" jobs)
+        32. (Metrics.gauge_value g))
+    [ 1; 4 ]
+
+let test_histogram_buckets () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  let h = Metrics.histogram ~buckets:[| 1.; 10.; 100. |] "test.obs.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.; 1000. ];
+  Alcotest.(check int) "observation count" 4 (Metrics.histogram_count h);
+  (* The exposition renders cumulative bucket counts: le="1" holds 0.5
+     and the boundary value 1.0 (bounds are inclusive), le="10" adds 5,
+     le="100" adds nothing, +Inf catches 1000. *)
+  let text = Metrics.to_prometheus ~prefix:"test.obs.hist" () in
+  let expected =
+    "# TYPE cfdclean_test_obs_hist histogram\n\
+     cfdclean_test_obs_hist_bucket{le=\"1\"} 2\n\
+     cfdclean_test_obs_hist_bucket{le=\"10\"} 3\n\
+     cfdclean_test_obs_hist_bucket{le=\"100\"} 3\n\
+     cfdclean_test_obs_hist_bucket{le=\"+Inf\"} 4\n\
+     cfdclean_test_obs_hist_sum 1006.5\n\
+     cfdclean_test_obs_hist_count 4\n"
+  in
+  Alcotest.(check string) "cumulative buckets" expected text
+
+(* The exposition golden: stable family ordering, label escaping, the
+   counter _total convention, all filtered by instrument-name prefix so
+   the rest of the process registry stays out of the comparison. *)
+let test_prometheus_exposition () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  let c =
+    Metrics.counter
+      ~labels:[ ("status", "200"); ("route", "GET /x") ]
+      "promtest.requests"
+  in
+  Metrics.add c 3;
+  let g = Metrics.gauge "promtest.live" in
+  Metrics.set_gauge g 2.;
+  let esc = Metrics.counter ~labels:[ ("k", "a\\b\"c\nd") ] "promtest.esc" in
+  Metrics.incr esc;
+  let got = Metrics.to_prometheus ~prefix:"promtest." () in
+  let expected =
+    "# TYPE cfdclean_promtest_esc_total counter\n\
+     cfdclean_promtest_esc_total{k=\"a\\\\b\\\"c\\nd\"} 1\n\
+     # TYPE cfdclean_promtest_live gauge\n\
+     cfdclean_promtest_live 2\n\
+     # TYPE cfdclean_promtest_requests_total counter\n\
+     cfdclean_promtest_requests_total{route=\"GET /x\",status=\"200\"} 3\n"
+  in
+  Alcotest.(check string) "exposition golden" expected got;
+  (* Labels are canonicalised: the permuted label set names the same
+     instrument, so re-registering adds nothing. *)
+  let c' =
+    Metrics.counter
+      ~labels:[ ("route", "GET /x"); ("status", "200") ]
+      "promtest.requests"
+  in
+  Metrics.incr c';
+  Alcotest.(check int) "label order canonical" 4 (Metrics.counter_value c)
 
 (* ---- Report ------------------------------------------------------------ *)
 
@@ -402,6 +526,14 @@ let suite =
     Alcotest.test_case "metrics disabled is a no-op" `Quick
       test_metrics_disabled_noop;
     Alcotest.test_case "metrics enabled" `Quick test_metrics_enabled;
+    Alcotest.test_case "metrics: negative add clamps or raises" `Quick
+      test_metrics_negative_add;
+    Alcotest.test_case "metrics: gauge semantics (jobs 1 and 4)" `Quick
+      test_gauge_semantics;
+    Alcotest.test_case "metrics: histogram buckets" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "metrics: prometheus exposition golden" `Quick
+      test_prometheus_exposition;
     Alcotest.test_case "report timing excluded from equality" `Quick
       test_report_timing_excluded;
     Alcotest.test_case "report stable under --jobs (fig1)" `Quick

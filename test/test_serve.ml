@@ -205,7 +205,8 @@ let test_store_round_trip () =
         ]
       in
       let _ = unwrap (Session.ingest s rows) in
-      Store.save ~dir s);
+      let (_ : int) = Store.save ~dir s in
+      ());
   let loaded =
     match Store.load_dir dir with
     | Ok [ ("s1.json", loaded) ] -> loaded
@@ -378,16 +379,19 @@ let decode_chunked body =
   Buffer.contents out
 
 (* A one-shot HTTP client against the in-process daemon: returns status,
-   headers blob and (de-chunked) body. *)
-let request port meth path body =
+   the raw response head and the (de-chunked) body. *)
+let request_full ?(headers = []) port meth path body =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
       Http.send fd
-        (Printf.sprintf "%s %s HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s" meth
-           path (String.length body) body);
+        (Printf.sprintf "%s %s HTTP/1.1\r\n%scontent-length: %d\r\n\r\n%s" meth
+           path
+           (String.concat ""
+              (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+           (String.length body) body);
       let raw = read_all fd in
       let status =
         match String.split_on_char ' ' raw with
@@ -406,7 +410,21 @@ let request port meth path body =
         then decode_chunked payload
         else payload
       in
-      (status, payload))
+      (status, head, payload))
+
+let request port meth path body =
+  let status, _head, payload = request_full port meth path body in
+  (status, payload)
+
+(* Case-insensitive response-header lookup in a raw head blob. *)
+let header_of head name =
+  String.split_on_char '\n' head
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         match String.index_opt line ':' with
+         | Some i when String.lowercase_ascii (String.sub line 0 i) = name ->
+           Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+         | _ -> None)
 
 let json_of body =
   match Json.parse body with
@@ -422,7 +440,14 @@ let test_e2e_restart () =
   with_tmp_dir @@ fun dir ->
   let start () =
     unwrap
-      (Serve.start { Serve.port = 0; state_dir = Some dir; jobs = 1; resume = true })
+      (Serve.start
+         {
+           Serve.port = 0;
+           state_dir = Some dir;
+           jobs = 1;
+           resume = true;
+           telemetry = Serve.telemetry_off;
+         })
   in
   let d1 = start () in
   let p1 = Serve.port d1 in
@@ -475,6 +500,210 @@ let test_e2e_restart () =
       | j ->
         Alcotest.failf "batches counter lost: %s" (Json.to_string ~minify:true j))
 
+(* ---- serving telemetry ---------------------------------------------------- *)
+
+let start_daemon telemetry =
+  unwrap
+    (Serve.start
+       {
+         Serve.port = 0;
+         state_dir = None;
+         jobs = 1;
+         resume = false;
+         telemetry;
+       })
+
+let with_daemon telemetry f =
+  let d = start_daemon telemetry in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop d;
+      Dq_obs.Metrics.set_enabled false)
+    (fun () -> f (Serve.port d))
+
+let metrics_on = { Serve.metrics = true; slow_request_s = None }
+
+let test_request_ids () =
+  with_daemon metrics_on @@ fun p ->
+  (* A client-supplied x-request-id is echoed in the response header and
+     the envelope. *)
+  let _, head, body =
+    request_full ~headers:[ ("x-request-id", "abc-123") ] p "GET" "/v1/health"
+      ""
+  in
+  Alcotest.(check (option string))
+    "header echoed" (Some "abc-123")
+    (header_of head "x-request-id");
+  (match member "id" (json_of body) with
+  | Json.String "abc-123" -> ()
+  | j -> Alcotest.failf "envelope id not echoed: %s" (Json.to_string ~minify:true j));
+  (* Unsafe bytes are dropped before the id goes anywhere. *)
+  let _, head, _ =
+    request_full
+      ~headers:[ ("x-request-id", "a b\"c{}!") ]
+      p "GET" "/v1/health" ""
+  in
+  Alcotest.(check (option string))
+    "echoed id sanitized" (Some "abc")
+    (header_of head "x-request-id");
+  (* Without a client id, the daemon generates one; header and envelope
+     agree. *)
+  let _, head, body = request_full p "GET" "/v1/health" "" in
+  let generated =
+    match header_of head "x-request-id" with
+    | Some h -> h
+    | None -> Alcotest.fail "no generated request id header"
+  in
+  match member "id" (json_of body) with
+  | Json.String id ->
+    Alcotest.(check string) "envelope id equals header" generated id
+  | _ -> Alcotest.fail "no envelope id on a telemetry-on daemon"
+
+let test_zero_overhead_no_id () =
+  with_daemon Serve.telemetry_off @@ fun p ->
+  let _, head, body = request_full p "GET" "/v1/sessions" "" in
+  Alcotest.(check (option string))
+    "no request-id header" None
+    (header_of head "x-request-id");
+  (match Json.member "id" (json_of body) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "telemetry-off envelope carries an id");
+  (* The metrics endpoint is not routed when metrics are off: it falls
+     through to the 404 unknown-endpoint error. *)
+  let status, body = request p "GET" "/v1/metrics" "" in
+  Alcotest.(check int) "metrics endpoint unrouted when off" 404 status;
+  Alcotest.(check bool)
+    "unknown-endpoint error" true
+    (Helpers.contains body "no such endpoint")
+
+let test_health_fields () =
+  with_daemon Serve.telemetry_off @@ fun p ->
+  let status, body = request p "GET" "/v1/health" "" in
+  Alcotest.(check int) "health is 200" 200 status;
+  let report = member "report" (json_of body) in
+  (match member "version" report with
+  | Json.String v -> Alcotest.(check string) "version" Serve.version v
+  | _ -> Alcotest.fail "version missing");
+  (match member "uptime_s" report with
+  | Json.Int u -> Alcotest.(check bool) "uptime non-negative" true (u >= 0)
+  | _ -> Alcotest.fail "uptime_s missing");
+  (match member "sessions" report with
+  | Json.Int 0 -> ()
+  | _ -> Alcotest.fail "sessions should be 0");
+  match member "state" report with
+  | Json.Obj fields ->
+    Alcotest.(check bool)
+      "in-memory daemon is not persistent" true
+      (List.assoc_opt "persistent" fields = Some (Json.Bool false)
+      && List.assoc_opt "dir" fields = Some Json.Null)
+  | _ -> Alcotest.fail "state missing"
+
+let test_metrics_endpoint () =
+  with_daemon metrics_on @@ fun p ->
+  let status, _ = request p "GET" "/v1/health" "" in
+  Alcotest.(check int) "health is 200" 200 status;
+  let status, head, text = request_full p "GET" "/v1/metrics" "" in
+  Alcotest.(check int) "metrics is 200" 200 status;
+  Alcotest.(check (option string))
+    "prometheus content type"
+    (Some "text/plain; version=0.0.4")
+    (header_of head "content-type");
+  (* Not an envelope: raw exposition text. *)
+  Alcotest.(check bool) "not JSON" true (Result.is_error (Json.parse text));
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exposition contains %S" needle)
+        true
+        (Helpers.contains text needle))
+    [
+      "# TYPE cfdclean_serve_requests_total counter";
+      "cfdclean_serve_requests_total{route=\"GET /v1/health\",status=\"200\"} ";
+      "# TYPE cfdclean_serve_request_seconds histogram";
+      "cfdclean_serve_request_seconds_bucket{le=\"+Inf\",route=\"GET /v1/health\"} ";
+      "cfdclean_serve_sessions_live 0";
+      "cfdclean_serve_quarantine_depth 0";
+      "cfdclean_serve_uptime_seconds ";
+      "cfdclean_gc_heap_words ";
+      "cfdclean_gc_major_words ";
+      "# TYPE cfdclean_serve_ingest_batch_size histogram";
+    ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_access_log_schema () =
+  with_tmp_dir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let log_file = Filename.concat dir "serve.log" in
+  let sink =
+    match Dq_obs.Log.file_sink log_file with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "file sink: %s" msg
+  in
+  Dq_obs.Log.set_sink (Some sink);
+  Fun.protect ~finally:(fun () -> Dq_obs.Log.set_sink None) @@ fun () ->
+  let envelope_id =
+    with_daemon Serve.telemetry_off @@ fun p ->
+    let _, _, body = request_full p "GET" "/v1/health" "" in
+    (* A log sink alone activates request ids: the access-log line and
+       the envelope must correlate. *)
+    match member "id" (json_of body) with
+    | Json.String id -> id
+    | _ -> Alcotest.fail "log sink installed but envelope has no id"
+  in
+  let lines =
+    String.split_on_char '\n' (read_file log_file)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           match Json.parse l with
+           | Ok j -> j
+           | Error msg -> Alcotest.failf "log line not JSON (%s): %s" msg l)
+  in
+  (* Every line carries the fixed preamble. *)
+  List.iter
+    (fun j ->
+      List.iter
+        (fun f ->
+          if Json.member f j = None then
+            Alcotest.failf "log line missing %S: %s" f
+              (Json.to_string ~minify:true j))
+        [ "ts"; "uptime_s"; "level"; "event" ])
+    lines;
+  (* Exactly one access line, with the request's shape and its id. *)
+  match
+    List.filter
+      (fun j -> Json.member "event" j = Some (Json.String "http.access"))
+      lines
+  with
+  | [ line ] ->
+    Alcotest.(check bool)
+      "level info" true
+      (Json.member "level" line = Some (Json.String "info"));
+    Alcotest.(check bool)
+      "method" true
+      (Json.member "method" line = Some (Json.String "GET"));
+    Alcotest.(check bool)
+      "route template" true
+      (Json.member "route" line = Some (Json.String "GET /v1/health"));
+    Alcotest.(check bool)
+      "status" true
+      (Json.member "status" line = Some (Json.Int 200));
+    (match Json.member "latency_s" line with
+    | Some (Json.Float l) ->
+      Alcotest.(check bool) "latency non-negative" true (l >= 0.)
+    | _ -> Alcotest.fail "latency_s missing");
+    (match Json.member "bytes" line with
+    | Some (Json.Int b) -> Alcotest.(check bool) "bytes positive" true (b > 0)
+    | _ -> Alcotest.fail "bytes missing");
+    Alcotest.(check bool)
+      "access-log id equals envelope id" true
+      (Json.member "id" line = Some (Json.String envelope_id))
+  | l -> Alcotest.failf "expected one http.access line, got %d" (List.length l)
+
 let suite =
   [
     Alcotest.test_case "http: request parsing" `Quick test_http_parse;
@@ -488,5 +717,15 @@ let suite =
     Alcotest.test_case "store: exact round-trip" `Quick test_store_round_trip;
     Alcotest.test_case "e2e: restart serves byte-identical relations" `Quick
       test_e2e_restart;
+    Alcotest.test_case "telemetry: request ids echo, sanitize, generate" `Quick
+      test_request_ids;
+    Alcotest.test_case "telemetry: off means no ids, no metrics route" `Quick
+      test_zero_overhead_no_id;
+    Alcotest.test_case "telemetry: health reports version and uptime" `Quick
+      test_health_fields;
+    Alcotest.test_case "telemetry: /v1/metrics Prometheus exposition" `Quick
+      test_metrics_endpoint;
+    Alcotest.test_case "telemetry: access-log line schema and correlation"
+      `Quick test_access_log_schema;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_batches_equal_one_shot ]

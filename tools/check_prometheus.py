@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format exposition (version 0.0.4).
+
+Reads the exposition on stdin (what `GET /v1/metrics` serves) and checks
+the invariants a scraper relies on:
+
+  * every non-comment line is `name{labels} value` with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a parseable value;
+  * every sample's family has a preceding `# TYPE` comment, and the
+    sample name matches the declared type's suffix discipline
+    (counters end in _total; summaries/histograms only emit the
+    _sum/_count/_bucket series);
+  * label names are legal, label values use only the three escapes the
+    format defines (\\\\, \\", \\n) and quotes are balanced;
+  * histogram buckets are cumulative, carry an le="+Inf" bucket, and
+    that bucket equals the family's _count for the same label set;
+  * no duplicate sample (same name + label set).
+
+Exits 0 and prints a one-line summary when clean; prints each violation
+and exits 1 otherwise.  Used by the CI serve smoke job and runnable by
+hand:  curl -s localhost:8930/v1/metrics | tools/check_prometheus.py
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<ts>-?\d+))?$"
+)
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_labels(raw, errs, lineno):
+    """Split a `k="v",k2="v2"` blob, checking names and escapes."""
+    labels = []
+    i, n = 0, len(raw)
+    while i < n:
+        eq = raw.find("=", i)
+        if eq < 0:
+            errs.append(f"line {lineno}: malformed label pair in {raw!r}")
+            return labels
+        name = raw[i:eq]
+        if not LABEL_NAME_RE.match(name):
+            errs.append(f"line {lineno}: bad label name {name!r}")
+        if eq + 1 >= n or raw[eq + 1] != '"':
+            errs.append(f"line {lineno}: label value for {name!r} not quoted")
+            return labels
+        j = eq + 2
+        value = []
+        while j < n:
+            c = raw[j]
+            if c == "\\":
+                if j + 1 >= n or raw[j + 1] not in ('\\', '"', 'n'):
+                    errs.append(
+                        f"line {lineno}: illegal escape in label {name!r}")
+                    j += 1
+                else:
+                    value.append(raw[j:j + 2])
+                    j += 2
+            elif c == '"':
+                break
+            else:
+                value.append(c)
+                j += 1
+        else:
+            errs.append(f"line {lineno}: unterminated label value for {name!r}")
+            return labels
+        labels.append((name, "".join(value)))
+        i = j + 1
+        if i < n:
+            if raw[i] != ",":
+                errs.append(f"line {lineno}: expected ',' between labels")
+                return labels
+            i += 1
+    return labels
+
+
+def base_family(name):
+    """Strip the series suffix a summary/histogram sample carries."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def main():
+    text = sys.stdin.read()
+    errs = []
+    declared = {}  # family -> type
+    samples = 0
+    seen = set()
+    # family -> label-set-without-le -> {"buckets": [(le, v)], "count": v}
+    histograms = {}
+
+    if text and not text.endswith("\n"):
+        errs.append("exposition does not end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errs.append(f"line {lineno}: malformed TYPE comment")
+                    continue
+                _, _, fam, typ = parts
+                if not NAME_RE.match(fam):
+                    errs.append(f"line {lineno}: bad family name {fam!r}")
+                if typ not in TYPES:
+                    errs.append(f"line {lineno}: unknown type {typ!r}")
+                if fam in declared:
+                    errs.append(f"line {lineno}: duplicate TYPE for {fam!r}")
+                declared[fam] = typ
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errs.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        samples += 1
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"), errs, lineno) \
+            if m.group("labels") is not None else []
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            if m.group("value") not in ("+Inf", "-Inf", "NaN"):
+                errs.append(
+                    f"line {lineno}: unparseable value {m.group('value')!r}")
+            value = 0.0
+
+        key = (name, tuple(sorted(labels)))
+        if key in seen:
+            errs.append(f"line {lineno}: duplicate sample {name}{labels}")
+        seen.add(key)
+
+        # Tie the sample back to its TYPE declaration.
+        fam, suffix = base_family(name)
+        if name in declared:
+            fam, suffix = name, ""
+        if fam not in declared:
+            errs.append(f"line {lineno}: sample {name!r} has no TYPE comment")
+            continue
+        typ = declared[fam]
+        if typ == "counter":
+            if not name.endswith("_total"):
+                errs.append(
+                    f"line {lineno}: counter sample {name!r} "
+                    "must end in _total")
+            if value < 0:
+                errs.append(f"line {lineno}: negative counter {name!r}")
+        elif typ in ("summary", "histogram") and fam != name:
+            allowed = {"_sum", "_count"} | (
+                {"_bucket"} if typ == "histogram" else set())
+            if suffix not in allowed:
+                errs.append(
+                    f"line {lineno}: {typ} {fam!r} has stray series {name!r}")
+        if typ == "histogram":
+            others = tuple(sorted(kv for kv in labels if kv[0] != "le"))
+            h = histograms.setdefault(fam, {}).setdefault(
+                others, {"buckets": [], "count": None})
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    errs.append(
+                        f"line {lineno}: bucket of {fam!r} missing le label")
+                else:
+                    h["buckets"].append((lineno, le, value))
+            elif suffix == "_count":
+                h["count"] = value
+
+    for fam, by_labels in histograms.items():
+        for labels, h in by_labels.items():
+            if not h["buckets"]:
+                continue
+            inf = [v for _, le, v in h["buckets"] if le == "+Inf"]
+            if not inf:
+                errs.append(f"histogram {fam!r}{dict(labels)}: no +Inf bucket")
+            elif h["count"] is not None and inf[0] != h["count"]:
+                errs.append(
+                    f"histogram {fam!r}{dict(labels)}: +Inf bucket "
+                    f"{inf[0]} != _count {h['count']}")
+            prev = None
+            for lineno, le, v in h["buckets"]:
+                if prev is not None and v < prev:
+                    errs.append(
+                        f"line {lineno}: histogram {fam!r} buckets "
+                        "not cumulative")
+                prev = v
+
+    if errs:
+        for e in errs:
+            print(e, file=sys.stderr)
+        print(f"FAIL: {len(errs)} violation(s) in {samples} sample(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {samples} samples, {len(declared)} families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
