@@ -998,6 +998,29 @@ let http_get port path =
       drain ();
       Buffer.contents out)
 
+let http_post port path body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "POST %s HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s" path
+          (String.length body) body
+      in
+      let _ = Unix.write_substring fd req 0 (String.length req) in
+      let buf = Bytes.create 65536 in
+      let out = Buffer.create 1024 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes out buf 0 n;
+          drain ()
+      in
+      drain ();
+      Buffer.contents out)
+
 (* The same request stream against a telemetry-off daemon and a
    telemetry-on one (request counters, latency histograms, gauges, ids).
    The off configuration is the zero-overhead baseline the serve tests
@@ -1005,14 +1028,14 @@ let http_get port path =
    overhead_ratio = off/on, so less overhead is a higher (better)
    number and --compare flags a telemetry slowdown as a regression. *)
 let serve_bench () =
-  if section "serve" "Serving telemetry overhead (off vs on)" then begin
+  if section "serve" "Serving telemetry overhead and concurrent throughput" then begin
     let requests = max 20 (!base_n / 20) in
     let per_request telemetry =
       let d =
         match
           Serve.start
             { Serve.port = 0; state_dir = None; jobs = 1; resume = false;
-              telemetry }
+              telemetry; limits = Serve.default_limits }
         with
         | Ok d -> d
         | Error e -> failwith (Dq_error.to_string e)
@@ -1047,11 +1070,111 @@ let serve_bench () =
     row "on" [ t_on *. 1e6 ];
     Fmt.pr "telemetry overhead over %d requests: %+.1f%%@." requests
       (((t_on /. t_off) -. 1.) *. 100.);
+    (* Two independent sessions' batch streams, first back-to-back from
+       one client and then from two concurrent clients, against a daemon
+       with worker domains on: per-session lanes keep each stream FIFO
+       while the repair compute overlaps across sessions.  The speedup
+       is the concurrency dividend --compare holds against the committed
+       baseline. *)
+    let expect_2xx what resp =
+      if not (String.length resp > 9 && resp.[9] = '2') then
+        failwith
+          (Printf.sprintf "serve bench: %s did not answer 2xx: %s" what
+             (String.sub resp 0 (min 64 (String.length resp))))
+    in
+    let create_body =
+      {|{"schema":{"name":"r","attributes":["A","B","C","D"]},"rules":"p1: [A] -> [B]\np2: [C] -> [D]\n","force":true}|}
+    in
+    let batch_count = 6 in
+    let batch_rows = max 100 (!base_n / 2) in
+    let st = Random.State.make [| 0x5e21 |] in
+    let batches =
+      List.init batch_count (fun _ ->
+          let row () =
+            Printf.sprintf "[%d,%d,%d,%d]"
+              (Random.State.int st 20) (Random.State.int st 200)
+              (Random.State.int st 20) (Random.State.int st 200)
+          in
+          Printf.sprintf {|{"tuples":[%s]}|}
+            (String.concat "," (List.init batch_rows (fun _ -> row ()))))
+    in
+    let with_conc_daemon f =
+      let d =
+        match
+          Serve.start
+            { Serve.port = 0; state_dir = None; jobs = 1; resume = false;
+              telemetry = Serve.telemetry_off;
+              limits = { Serve.default_limits with ingest_workers = 2 } }
+        with
+        | Ok d -> d
+        | Error e -> failwith (Dq_error.to_string e)
+      in
+      Fun.protect
+        ~finally:(fun () -> Serve.stop d)
+        (fun () ->
+          let port = Serve.port d in
+          expect_2xx "create s1" (http_post port "/v1/sessions" create_body);
+          expect_2xx "create s2" (http_post port "/v1/sessions" create_body);
+          f port)
+    in
+    let post_all port sid =
+      List.iter
+        (fun b ->
+          expect_2xx ("ingest " ^ sid)
+            (http_post port ("/v1/sessions/" ^ sid ^ "/tuples") b))
+        batches
+    in
+    let conc_runs =
+      List.map
+        (fun _seed ->
+          let t_seq =
+            with_conc_daemon (fun port ->
+                let (), t =
+                  time (fun () ->
+                      post_all port "s1";
+                      post_all port "s2")
+                in
+                t)
+          in
+          let t_conc =
+            with_conc_daemon (fun port ->
+                let (), t =
+                  time (fun () ->
+                      let ts =
+                        List.map
+                          (fun sid ->
+                            Thread.create (fun () -> post_all port sid) ())
+                          [ "s1"; "s2" ]
+                      in
+                      List.iter Thread.join ts)
+                in
+                t)
+          in
+          (t_seq, t_conc))
+        !seeds
+    in
+    let t_seq = median (List.map fst conc_runs) in
+    let t_conc = median (List.map snd conc_runs) in
+    header "2 sessions" [ "s" ];
+    row "sequential" [ t_seq ];
+    row "concurrent" [ t_conc ];
+    Fmt.pr
+      "concurrent-sessions speedup (%d batches x %d rows each): %.2fx on %d \
+       core(s)@."
+      batch_count batch_rows (t_seq /. t_conc)
+      (Domain.recommended_domain_count ());
+    if Domain.recommended_domain_count () < 2 then
+      Fmt.pr
+        "  (single core: worker domains cannot overlap; expect the dividend \
+         only on >= 2 cores)@.";
     write_section "serve"
       [
         ("request_s_off", t_off);
         ("request_s_on", t_on);
         ("overhead_ratio", t_off /. t_on);
+        ("ingest_s_sequential", t_seq);
+        ("ingest_s_concurrent", t_conc);
+        ("concurrent_speedup", t_seq /. t_conc);
       ]
   end
 

@@ -1329,7 +1329,7 @@ let generate_cmd =
    one ready line so scripts can wait for the port, and runs until
    signalled.  kill -9 is the crash path the session store covers. *)
 let serve port state_dir resume jobs log log_level no_metrics slow_request
-    trace =
+    trace limits fault =
   (* Telemetry first, so the daemon's own start-up lines are captured.
      [--log -] (the default) sends JSON lines to stderr; [--log FILE]
      appends; [--no-log] leaves no sink installed. *)
@@ -1368,27 +1368,40 @@ let serve port state_dir resume jobs log log_level no_metrics slow_request
         slow_request_s = slow_request;
       }
     in
-    match
-      Dq_serve.Serve.start
-        { Dq_serve.Serve.port; state_dir; jobs; resume; telemetry }
-    with
+    match arm_fault fault with
     | Error e ->
       Fmt.epr "cfdclean: %s@." (Dq_error.to_string e);
       `Ok (Dq_error.exit_code e)
-    | Ok d ->
-      Fmt.pr "cfdclean serve: listening on http://127.0.0.1:%d@."
-        (Dq_serve.Serve.port d);
-      let quit = Sys.Signal_handle (fun _ -> Stdlib.exit 0) in
-      (try Sys.set_signal Sys.sigterm quit with Invalid_argument _ -> ());
-      (try Sys.set_signal Sys.sigint quit with Invalid_argument _ -> ());
-      (* Poll rather than Serve.wait: with every thread parked in a
-         blocking C call (accept, join), a pending SIGTERM has no safepoint
-         to run its handler at; Thread.delay wakes this thread and the
-         signal is processed on return. *)
-      while true do
-        Thread.delay 0.5
-      done;
-      `Ok 0)
+    | Ok () -> (
+      match
+        Dq_serve.Serve.start
+          { Dq_serve.Serve.port; state_dir; jobs; resume; telemetry; limits }
+      with
+      | Error e ->
+        Fmt.epr "cfdclean: %s@." (Dq_error.to_string e);
+        `Ok (Dq_error.exit_code e)
+      | Ok d ->
+        Fmt.pr "cfdclean serve: listening on http://127.0.0.1:%d@."
+          (Dq_serve.Serve.port d);
+        (* SIGTERM/SIGINT request a graceful drain: the handler only flips
+           a flag — Serve.stop joins threads and takes locks, none of
+           which is safe from a signal handler — and the poll loop below
+           runs the drain on the main thread, then exits 0. *)
+        let quit = Atomic.make false in
+        let on_signal = Sys.Signal_handle (fun _ -> Atomic.set quit true) in
+        (try Sys.set_signal Sys.sigterm on_signal
+         with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigint on_signal
+         with Invalid_argument _ -> ());
+        (* Poll rather than Serve.wait: with every thread parked in a
+           blocking C call (accept, join), a pending SIGTERM has no
+           safepoint to run its handler at; Thread.delay wakes this thread
+           and the signal is processed on return. *)
+        while not (Atomic.get quit) do
+          Thread.delay 0.1
+        done;
+        Dq_serve.Serve.stop d;
+        `Ok 0))
 
 let serve_cmd =
   let port =
@@ -1475,6 +1488,126 @@ let serve_cmd =
              ids).")
   in
   let log_term = Term.(const (fun log no_log -> if no_log then None else log) $ log $ no_log) in
+  let max_connections =
+    Arg.(
+      value & opt int 0
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Refuse (503, without spawning a handler) connections past \
+             $(docv) concurrently open ones.  $(b,0) (the default) means \
+             unbounded.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 0
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Answer 503 past $(docv) requests in flight; $(b,/v1/health) \
+             and $(b,/v1/metrics) stay exempt so an overloaded daemon \
+             remains observable.  $(b,0) means unbounded.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Shed ingest/resolve with 429 + $(b,retry-after) when the \
+             session's FIFO lane already holds $(docv) jobs.  $(b,0) means \
+             unbounded.")
+  in
+  let ingest_workers =
+    Arg.(
+      value & opt int 0
+      & info [ "ingest-workers" ] ~docv:"N"
+          ~doc:
+            "Run whole ingest jobs on $(docv) worker domains, so \
+             independent sessions repair in parallel.  $(b,0) (the \
+             default) runs them on the handler thread.")
+  in
+  let keep_alive =
+    Arg.(
+      value & flag
+      & info [ "keep-alive" ]
+          ~doc:
+            "HTTP/1.1 persistent connections (default: close after one \
+             response).  Idle connections close after $(b,--idle-timeout).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 5.
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "With $(b,--keep-alive), close a connection idle between \
+             requests for $(docv) seconds (default 5).")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 0.
+      & info [ "read-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Bound every socket read within a request (slowloris defense: \
+             a stalled mid-request peer gets 408).  $(b,0) disables.")
+  in
+  let evict_idle =
+    Arg.(
+      value & opt float 0.
+      & info [ "evict-idle" ] ~docv:"SECS"
+          ~doc:
+            "Checkpoint and drop sessions idle for $(docv) seconds \
+             (requires $(b,--state-dir)); the next request naming the \
+             session reloads it transparently.  $(b,0) disables.")
+  in
+  let breaker_threshold =
+    Arg.(
+      value & opt int 0
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:
+            "Quarantine a session (status $(b,engine_failed), requests \
+             answer 503) after $(docv) consecutive engine faults, until \
+             $(b,POST /v1/sessions/ID/resume).  $(b,0) disables.")
+  in
+  let drain_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "drain-timeout" ] ~docv:"SECS"
+          ~doc:
+            "On SIGTERM/SIGINT, wait up to $(docv) seconds (default 30) \
+             for in-flight and queued work to finish before force-closing \
+             straggler connections.")
+  in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Arm the fault-injection plan (SITE@HIT or SITE@HIT:delay-MS, \
+             comma-separated) — the chaos-soak hook.  Network sites: \
+             $(b,serve.accept), $(b,serve.read), $(b,serve.write), \
+             $(b,serve.ingest).")
+  in
+  let limits_term =
+    let make max_connections max_inflight queue_depth ingest_workers
+        keep_alive idle_timeout_s read_timeout_s evict_idle_s
+        breaker_threshold drain_timeout_s =
+      {
+        Dq_serve.Serve.max_connections;
+        max_inflight;
+        queue_depth;
+        ingest_workers;
+        keep_alive;
+        idle_timeout_s;
+        read_timeout_s;
+        evict_idle_s;
+        breaker_threshold;
+        drain_timeout_s;
+      }
+    in
+    Term.(
+      const make $ max_connections $ max_inflight $ queue_depth
+      $ ingest_workers $ keep_alive $ idle_timeout $ read_timeout
+      $ evict_idle $ breaker_threshold $ drain_timeout)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1483,7 +1616,7 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ port $ state_dir $ resume $ jobs $ log_term $ log_level
-       $ no_metrics $ slow_request $ trace))
+       $ no_metrics $ slow_request $ trace $ limits_term $ fault_plan))
 
 let () =
   let doc = "CFD-based data cleaning (Cong et al., VLDB 2007)" in

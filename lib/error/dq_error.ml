@@ -14,6 +14,9 @@ type t =
   | Unknown_engine of { name : string; known : string list }
   | Engine_unsupported of { engine : string; reason : string }
   | No_such_session of string
+  | Queue_full of { session : string; depth : int }
+  | Unavailable of string
+  | Breaker_open of { session : string; faults : int }
   | Internal of string
 
 let to_string = function
@@ -45,6 +48,18 @@ let to_string = function
   | Engine_unsupported { engine; reason } ->
     Printf.sprintf "the %s engine cannot repair this ruleset: %s" engine reason
   | No_such_session id -> Printf.sprintf "no such session: %s" id
+  | Queue_full { session; depth } ->
+    Printf.sprintf
+      "session %s ingest queue is full (depth %d); retry after a short backoff"
+      session depth
+  | Unavailable msg -> msg
+  | Breaker_open { session; faults } ->
+    Printf.sprintf
+      "session %s is quarantined after %d consecutive engine fault%s; POST \
+       /v1/sessions/%s/resume to re-enable it"
+      session faults
+      (if faults = 1 then "" else "s")
+      session
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let kind = function
@@ -61,6 +76,9 @@ let kind = function
   | Unknown_engine _ -> "unknown-engine"
   | Engine_unsupported _ -> "engine-unsupported"
   | No_such_session _ -> "no-such-session"
+  | Queue_full _ -> "queue-full"
+  | Unavailable _ -> "unavailable"
+  | Breaker_open _ -> "engine-failed"
   | Internal _ -> "internal"
 
 let to_json e =
@@ -96,6 +114,12 @@ let to_json e =
     Json.Obj
       (base
       @ [ ("engine", Json.String engine); ("reason", Json.String reason) ])
+  | Queue_full { session; depth } ->
+    Json.Obj
+      (base @ [ ("session", Json.String session); ("depth", Json.Int depth) ])
+  | Breaker_open { session; faults } ->
+    Json.Obj
+      (base @ [ ("session", Json.String session); ("faults", Json.Int faults) ])
   | _ -> Json.Obj base
 
 module Exit = struct
@@ -116,7 +140,8 @@ let exit_code = function
   | Deadline_exceeded -> Exit.deadline
   | Io _ | Parse _ | Invalid_input _ | Invalid_config _ | Would_overwrite _
   | Fault_injected _ | Unknown_engine _ | Engine_unsupported _
-  | No_such_session _ | Internal _ ->
+  | No_such_session _ | Queue_full _ | Unavailable _ | Breaker_open _
+  | Internal _ ->
     Exit.usage
 
 (* ---- warnings ---------------------------------------------------------- *)

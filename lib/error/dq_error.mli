@@ -49,6 +49,17 @@ type t =
   | No_such_session of string
       (** a serve endpoint named a session id the daemon does not hold
           (mapped to HTTP 404 by [cfdclean serve]) *)
+  | Queue_full of { session : string; depth : int }
+      (** a session's bounded ingest lane was already holding [depth]
+          batches — the daemon shed the request (HTTP 429); nothing was
+          committed and the same batch is safe to retry *)
+  | Unavailable of string
+      (** the daemon refused admission: draining, or a global in-flight /
+          connection ceiling was hit (HTTP 503) *)
+  | Breaker_open of { session : string; faults : int }
+      (** the session's circuit breaker opened after consecutive engine
+          faults; ingest/resolve are refused (HTTP 503) until an operator
+          POSTs [/v1/sessions/ID/resume] *)
   | Internal of string  (** an engine invariant broke — a bug *)
 
 val to_string : t -> string

@@ -7,7 +7,21 @@ type spec = { site : string; hits : int; action : action }
 type plan = spec list
 
 let known_sites =
-  [ "csv.load"; "io.write"; "pool.task"; "repair.pass"; "resolve.tuple" ]
+  [
+    "csv.load";
+    "io.write";
+    "pool.task";
+    "repair.pass";
+    "resolve.tuple";
+    (* network-layer sites in the serve daemon: the start of a connection
+       thread, each socket read/write, and the point just before an
+       ingest batch reaches the engine (so a fired ingest fault commits
+       nothing and the client can retry the whole batch) *)
+    "serve.accept";
+    "serve.read";
+    "serve.write";
+    "serve.ingest";
+  ]
 
 (* Same zero-overhead contract as Metrics/Trace: [hit] reads one atomic
    flag when nothing is armed.  The mutable counter table behind it is

@@ -1,8 +1,10 @@
 (** Minimal HTTP/1.1 framing for the serve daemon.
 
-    Just enough protocol for a local request/response API: one request
-    per connection ([connection: close]), [content-length] bodies on the
-    way in, fixed-length or chunked bodies on the way out.  Parsing is
+    Just enough protocol for a local request/response API:
+    [content-length] bodies on the way in, fixed-length or chunked
+    bodies on the way out.  Connections close after one response unless
+    the caller passes [keep_alive]; a {!reader} carries pipelined
+    leftover bytes between requests on the same connection.  Parsing is
     split from socket I/O so the framing rules are unit-testable on
     plain strings ({!parse}). *)
 
@@ -14,12 +16,17 @@ type request = {
   body : string;
 }
 
+type error = { status : int; reason : string }
+(** A framing problem plus the HTTP status it answers with: 400 for
+    malformed requests, 408 for a mid-request read timeout, 413 for an
+    oversized body, 431 for an oversized head. *)
+
 val header : request -> string -> string option
 (** Case-insensitive header lookup (first match). *)
 
 val split_target : string -> string list
 
-val parse : ?max_body:int -> string -> (request, string) result
+val parse : ?max_body:int -> string -> (request, error) result
 (** Parse one whole request held in a string: head up to the blank line
     (CRLF or bare LF), then exactly [content-length] body bytes. *)
 
@@ -27,10 +34,24 @@ exception Closed
 (** The peer went away mid-write (EPIPE / ECONNRESET).  Handlers treat
     it as a benign end of conversation. *)
 
-val read_request : ?max_body:int -> Unix.file_descr -> (request option, string) result
-(** Read one request from a connected socket.  [Ok None] when the peer
-    closed before sending anything; [Error _] on framing problems
-    (oversized head, truncated body, malformed request line). *)
+type reader
+(** Per-connection read state: the socket plus any bytes already read
+    past the previous request's body. *)
+
+val reader : Unix.file_descr -> reader
+
+val read_request :
+  ?max_body:int ->
+  ?idle_timeout:float ->
+  ?read_timeout:float ->
+  reader ->
+  (request option, error) result
+(** Read one request.  [Ok None] when the peer closed — or, with
+    [idle_timeout], sent nothing within it — before the request's first
+    byte; [Error _] on framing problems.  [idle_timeout] bounds the wait
+    for the first byte (keep-alive gaps), [read_timeout] every read
+    after it (slowloris defense); both use [SO_RCVTIMEO] and are
+    entirely skipped — no socket option traffic — when absent. *)
 
 val send : Unix.file_descr -> string -> unit
 (** Write a whole string.  @raise Closed if the peer went away. *)
@@ -42,17 +63,20 @@ val respond :
   status:int ->
   ?content_type:string ->
   ?headers:(string * string) list ->
+  ?keep_alive:bool ->
   string ->
   unit
-(** One fixed-length response ([content-length], [connection: close]).
-    Default content type is [application/json]; [headers] are emitted
-    before the framing headers.  @raise Closed *)
+(** One fixed-length response ([content-length]).  Default content type
+    is [application/json]; [headers] are emitted before the framing
+    headers; [keep_alive] (default false) selects the [connection]
+    header.  @raise Closed *)
 
 val respond_stream :
   Unix.file_descr ->
   status:int ->
   content_type:string ->
   ?headers:(string * string) list ->
+  ?keep_alive:bool ->
   ((string -> unit) -> unit) ->
   int
 (** Chunked response: the callback receives a writer it may call any

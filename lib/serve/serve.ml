@@ -6,6 +6,7 @@ module Log = Dq_obs.Log
 module Metrics = Dq_obs.Metrics
 module Trace = Dq_obs.Trace
 module Deadline = Dq_fault.Deadline
+module Fault = Dq_fault.Fault
 module Pool = Dq_parallel.Pool
 module Engine = Dq_engine.Engine
 
@@ -24,24 +25,60 @@ let default_telemetry = { metrics = true; slow_request_s = None }
 
 let telemetry_off = { metrics = false; slow_request_s = None }
 
+(* Overload limits, all off by default: with [default_limits] the daemon
+   behaves — and frames responses — exactly like the pre-limits daemon
+   (one request per connection, unbounded admission, no timeouts, no
+   breaker, no eviction), which is what the byte-identity tests pin. *)
+type limits = {
+  max_connections : int;
+  max_inflight : int;
+  queue_depth : int;
+  ingest_workers : int;
+  keep_alive : bool;
+  idle_timeout_s : float;
+  read_timeout_s : float;
+  evict_idle_s : float;
+  breaker_threshold : int;
+  drain_timeout_s : float;
+}
+
+let default_limits =
+  {
+    max_connections = 0;
+    max_inflight = 0;
+    queue_depth = 0;
+    ingest_workers = 0;
+    keep_alive = false;
+    idle_timeout_s = 5.;
+    read_timeout_s = 0.;
+    evict_idle_s = 0.;
+    breaker_threshold = 0;
+    drain_timeout_s = 30.;
+  }
+
 type config = {
   port : int;
   state_dir : string option;
   jobs : int;
   resume : bool;
   telemetry : telemetry;
+  limits : limits;
 }
 
 (* The daemon-wide instruments, registered at [start] — never at module
    initialisation, which would leak serve counters into every binary
    that links this library (the CLI's [--metrics] snapshot is a pinned
-   golden).  Per-(route, status) request counters and per-route latency
-   histograms are labeled instruments, registered on demand as traffic
-   arrives. *)
+   golden).  Per-(route, status) request counters, per-route latency
+   histograms and the per-reason shed counter are labeled instruments,
+   registered on demand as traffic arrives. *)
 type instruments = {
   sessions_live : Metrics.gauge;
   quarantine_depth : Metrics.gauge;
   uptime : Metrics.gauge;
+  connections_live : Metrics.gauge;
+  inflight_gauge : Metrics.gauge;
+  ingest_queue_depth : Metrics.gauge;
+  sessions_failed : Metrics.gauge;
   gc_heap_words : Metrics.gauge;
   gc_minor_words : Metrics.gauge;
   gc_major_words : Metrics.gauge;
@@ -49,6 +86,7 @@ type instruments = {
   ingest_batch : Metrics.histogram;
   checkpoint_bytes : Metrics.histogram;
   checkpoint_seconds : Metrics.timer;
+  drain_seconds : Metrics.histogram;
 }
 
 let register_instruments () =
@@ -56,6 +94,10 @@ let register_instruments () =
     sessions_live = Metrics.gauge "serve.sessions_live";
     quarantine_depth = Metrics.gauge "serve.quarantine_depth";
     uptime = Metrics.gauge "serve.uptime_seconds";
+    connections_live = Metrics.gauge "serve.connections_live";
+    inflight_gauge = Metrics.gauge "serve.inflight";
+    ingest_queue_depth = Metrics.gauge "serve.ingest_queue_depth";
+    sessions_failed = Metrics.gauge "serve.sessions_failed";
     gc_heap_words = Metrics.gauge "gc.heap_words";
     gc_minor_words = Metrics.gauge "gc.minor_words";
     gc_major_words = Metrics.gauge "gc.major_words";
@@ -65,26 +107,46 @@ let register_instruments () =
     checkpoint_bytes =
       Metrics.histogram ~buckets:Metrics.size_buckets "serve.checkpoint_bytes";
     checkpoint_seconds = Metrics.timer "serve.checkpoint_seconds";
+    drain_seconds = Metrics.histogram "serve.drain_seconds";
   }
+
+(* A registry slot.  [Evicted] marks a session the idle sweeper has
+   checkpointed and dropped from memory; the next request naming it
+   reloads from the state directory transparently. *)
+type entry = Live of Session.t | Evicted
+
+type state = Running | Draining | Stopped
+
+(* One live connection: its socket (so drain can force-close stragglers)
+   and its handler thread (so [stop] can join finished handlers instead
+   of racing them into [Pool.shutdown]). *)
+type conn = { cfd : Unix.file_descr; mutable thread : Thread.t option }
 
 type t = {
   sock : Unix.file_descr;
   bound_port : int;
   state_dir : string option;
   pool : Pool.t option;
-  sessions : (string, Session.t) Hashtbl.t;
-  registry : Mutex.t;  (** guards [sessions] and [next_id] *)
-  ingest_queue : Mutex.t;
-      (** the in-process ingest queue: engine invocations from all
-          sessions drain through this one lock, in arrival order *)
+  workers : Workers.t option;
+      (** domain pool for whole ingest jobs ([limits.ingest_workers]) *)
+  limits : limits;
+  sessions : (string, entry) Hashtbl.t;
+  registry : Mutex.t;  (** guards [sessions], [next_id] and pin counts *)
+  reload : Mutex.t;  (** serializes evicted-session reloads *)
   telemetry : telemetry;
   instruments : instruments option;  (** [Some] iff [telemetry.metrics] *)
   started : float;  (** wall clock at [start], for uptime *)
   id_prefix : string;  (** per-process prefix of generated request ids *)
   req_counter : int Atomic.t;
   mutable next_id : int;
-  mutable stopped : bool;
+  lifecycle : Mutex.t;  (** guards [state] transitions *)
+  mutable state : state;
+  cm : Mutex.t;  (** guards [conns] and [next_tok] *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_tok : int;
+  inflight : int Atomic.t;
   mutable acceptor : Thread.t option;
+  mutable sweeper : Thread.t option;
 }
 
 let port t = t.bound_port
@@ -97,6 +159,8 @@ let status_of_error = function
   | Dq_error.Lint_gated _ | Dq_error.Analyze_gated _ | Dq_error.Unsatisfiable
   | Dq_error.Engine_unsupported _ ->
     422
+  | Dq_error.Queue_full _ -> 429
+  | Dq_error.Unavailable _ | Dq_error.Breaker_open _ -> 503
   | Dq_error.Deadline_exceeded -> 504
   | Dq_error.Io _ | Dq_error.Fault_injected _ | Dq_error.Internal _ -> 500
 
@@ -113,12 +177,18 @@ let request_name (r : Http.request) =
    emits the access-log line — error paths included. *)
 type body = Fixed of string | Stream of ((string -> unit) -> unit)
 
-type response = { status : int; content_type : string; body : body }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;
+  body : body;
+}
 
-let json_response ~status j =
+let json_response ?(headers = []) ~status j =
   {
     status;
     content_type = "application/json";
+    headers;
     body = Fixed (Json.to_string j);
   }
 
@@ -126,11 +196,20 @@ let ok_response ?(status = 200) ~request ~id report =
   json_response ~status
     (Envelope.make ~request ?id ~ok:true ~report ~diagnostics:[] ())
 
-let err_response ?status ~request ~id e =
+let err_response ?status ?headers ~request ~id e =
   let status =
     match status with Some s -> s | None -> status_of_error e
   in
-  json_response ~status (Envelope.error ~request ?id (Dq_error.to_json e))
+  json_response ?headers ~status
+    (Envelope.error ~request ?id (Dq_error.to_json e))
+
+(* Per-reason load-shed counter; reasons are a small fixed set
+   (queue_full, inflight, connections, draining). *)
+let shed d reason =
+  match d.instruments with
+  | None -> ()
+  | Some _ ->
+    Metrics.incr (Metrics.counter ~labels:[ ("reason", reason) ] "serve.shed")
 
 (* ---- request ids --------------------------------------------------------- *)
 
@@ -268,8 +347,11 @@ let deadline_of_request (r : Http.request) =
 
 (* ---- response fragments -------------------------------------------------- *)
 
-let session_status (s : Session.t) =
-  Json.Obj
+(* Session status object.  The breaker fields are appended only when the
+   daemon runs with a breaker, so the default-configuration status body
+   is byte-identical to the pre-breaker wire format. *)
+let session_status d (s : Session.t) =
+  let base =
     [
       ("id", Json.String s.Session.id);
       ("engine", Json.String s.Session.engine);
@@ -292,6 +374,18 @@ let session_status (s : Session.t) =
       ("quarantined_total", Json.Int s.Session.quarantined_total);
       ("resolved", Json.Int s.Session.resolved);
     ]
+  in
+  let breaker =
+    if d.limits.breaker_threshold > 0 then
+      [
+        ( "state",
+          Json.String
+            (if s.Session.breaker_open then "engine_failed" else "active") );
+        ("engine_faults", Json.Int s.Session.engine_faults);
+      ]
+    else []
+  in
+  Json.Obj (base @ breaker)
 
 let outcome_json schema = function
   | Session.Clean tid ->
@@ -332,12 +426,6 @@ let quarantined_json schema (q : Session.quarantined) =
 
 (* ---- session registry ---------------------------------------------------- *)
 
-let find_session d id =
-  Mutex.protect d.registry (fun () ->
-      match Hashtbl.find_opt d.sessions id with
-      | Some s -> Ok s
-      | None -> Error (Dq_error.No_such_session id))
-
 (* Checkpoint a committed mutation before the response goes out.  Caller
    holds the session lock, so the snapshot is the acknowledged state. *)
 let save_session d s =
@@ -351,6 +439,62 @@ let save_session d s =
       let bytes = Store.save ~dir s in
       Metrics.record i.checkpoint_seconds (Unix.gettimeofday () -. t0);
       Metrics.observe i.checkpoint_bytes (float_of_int bytes))
+
+(* Pin a session for the duration of one request: bump its pin count
+   (the sweeper never evicts a pinned session) and stamp its idle clock.
+   An [Evicted] slot is reloaded from the state directory first —
+   serialized by [d.reload] so a thundering herd loads the file once. *)
+let rec pin_session d sid =
+  let slot =
+    Mutex.protect d.registry (fun () ->
+        match Hashtbl.find_opt d.sessions sid with
+        | None -> Error (Dq_error.No_such_session sid)
+        | Some (Live s) ->
+          s.Session.pins <- s.Session.pins + 1;
+          Session.touch s;
+          Ok (Some s)
+        | Some Evicted -> Ok None)
+  in
+  match slot with
+  | Error _ as e -> e
+  | Ok (Some s) -> Ok s
+  | Ok None ->
+    let reloaded =
+      Mutex.protect d.reload (fun () ->
+          let still_evicted =
+            Mutex.protect d.registry (fun () ->
+                match Hashtbl.find_opt d.sessions sid with
+                | Some Evicted -> true
+                | _ -> false)
+          in
+          if not still_evicted then Ok ()
+          else
+            match d.state_dir with
+            | None ->
+              Error
+                (Dq_error.Internal
+                   ("evicted session without a state directory: " ^ sid))
+            | Some dir -> (
+              match Store.load_id ~dir sid with
+              | Error msg -> Error (Dq_error.Io msg)
+              | Ok s ->
+                Mutex.protect d.registry (fun () ->
+                    match Hashtbl.find_opt d.sessions sid with
+                    | Some Evicted -> Hashtbl.replace d.sessions sid (Live s)
+                    | _ -> ());
+                Log.info "session.reload" (fun () ->
+                    [ ("session", Json.String sid) ]);
+                Ok ()))
+    in
+    let* () = reloaded in
+    pin_session d sid
+
+let unpin d (s : Session.t) =
+  Mutex.protect d.registry (fun () -> s.Session.pins <- s.Session.pins - 1)
+
+let with_session d sid f =
+  let* s = pin_session d sid in
+  Fun.protect ~finally:(fun () -> unpin d s) (fun () -> f s)
 
 (* ---- handlers ------------------------------------------------------------ *)
 
@@ -384,20 +528,39 @@ let handle_metrics d =
   (match d.instruments with
   | None -> ()
   | Some i ->
-    let sessions =
+    let entries =
       Mutex.protect d.registry (fun () ->
-          List.of_seq (Hashtbl.to_seq_values d.sessions))
+          List.of_seq (Hashtbl.to_seq d.sessions))
+    in
+    let live =
+      List.filter_map
+        (function _, Live s -> Some s | _, Evicted -> None)
+        entries
     in
     let qdepth =
       List.fold_left
         (fun acc (s : Session.t) ->
           acc
           + Session.with_lock s (fun () -> List.length s.Session.quarantine))
-        0 sessions
+        0 live
     in
-    Metrics.set_gauge i.sessions_live (float_of_int (List.length sessions));
+    let lanes =
+      List.fold_left
+        (fun acc (s : Session.t) -> acc + Session.lane_depth s)
+        0 live
+    in
+    let failed =
+      List.length
+        (List.filter (fun (s : Session.t) -> s.Session.breaker_open) live)
+    in
+    Metrics.set_gauge i.sessions_live (float_of_int (List.length entries));
     Metrics.set_gauge i.quarantine_depth (float_of_int qdepth);
     Metrics.set_gauge i.uptime (Unix.gettimeofday () -. d.started);
+    Metrics.set_gauge i.connections_live
+      (float_of_int (Mutex.protect d.cm (fun () -> Hashtbl.length d.conns)));
+    Metrics.set_gauge i.inflight_gauge (float_of_int (Atomic.get d.inflight));
+    Metrics.set_gauge i.ingest_queue_depth (float_of_int lanes);
+    Metrics.set_gauge i.sessions_failed (float_of_int failed);
     (* A young handler thread reads zeroed quick_stat counters until it
        has been through a minor collection; force one (cheap, bounded by
        the minor heap) so the gauges are real. *)
@@ -410,6 +573,7 @@ let handle_metrics d =
   {
     status = 200;
     content_type = "text/plain; version=0.0.4";
+    headers = [];
     body = Fixed (Metrics.to_prometheus ());
   }
 
@@ -439,15 +603,18 @@ let handle_create d ~request ~id:rid (r : Http.request) =
        property the test suite checks). *)
     let* engine = string_field ~default:"l-inc" "engine" body in
     let* force = bool_field ~default:false "force" body in
-    Mutex.protect d.registry (fun () ->
-        let id = Printf.sprintf "s%d" d.next_id in
-        let* s =
-          Session.create ~id ~schema_name ~attributes ~rules ~engine ~force ()
-        in
-        d.next_id <- d.next_id + 1;
-        Hashtbl.replace d.sessions id s;
-        Session.with_lock s (fun () -> save_session d s);
-        Ok s)
+    let* s =
+      Mutex.protect d.registry (fun () ->
+          let id = Printf.sprintf "s%d" d.next_id in
+          let* s =
+            Session.create ~id ~schema_name ~attributes ~rules ~engine ~force ()
+          in
+          d.next_id <- d.next_id + 1;
+          Hashtbl.replace d.sessions id (Live s);
+          Ok s)
+    in
+    Session.with_lock s (fun () -> save_session d s);
+    Ok s
   in
   match result with
   | Error e -> err_response ~request ~id:rid e
@@ -459,24 +626,36 @@ let handle_create d ~request ~id:rid (r : Http.request) =
         ]
         @ match rid with None -> [] | Some i -> [ ("id", Json.String i) ]);
     ok_response ~request ~id:rid ~status:201
-      (Session.with_lock s (fun () -> session_status s))
+      (Session.with_lock s (fun () -> session_status d s))
 
+(* Listing snapshots the registry under its lock but reads each
+   session's status outside it — taking every session lock while
+   holding the registry lock would stall creates and lookups behind
+   the slowest ingest. *)
 let handle_list d ~request ~id =
+  let entries =
+    Mutex.protect d.registry (fun () -> List.of_seq (Hashtbl.to_seq d.sessions))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   let statuses =
-    Mutex.protect d.registry (fun () ->
-        Hashtbl.to_seq_values d.sessions
-        |> List.of_seq
-        |> List.sort (fun (a : Session.t) b ->
-               compare a.Session.id b.Session.id)
-        |> List.map (fun s -> Session.with_lock s (fun () -> session_status s)))
+    List.map
+      (fun (sid, entry) ->
+        match entry with
+        | Live s -> Session.with_lock s (fun () -> session_status d s)
+        | Evicted ->
+          Json.Obj
+            [ ("id", Json.String sid); ("state", Json.String "evicted") ])
+      entries
   in
   ok_response ~request ~id (Json.Obj [ ("sessions", Json.List statuses) ])
 
 let handle_status d ~request ~id sid =
-  match find_session d sid with
+  match
+    with_session d sid (fun s ->
+        Ok (Session.with_lock s (fun () -> session_status d s)))
+  with
   | Error e -> err_response ~request ~id e
-  | Ok s ->
-    ok_response ~request ~id (Session.with_lock s (fun () -> session_status s))
+  | Ok status -> ok_response ~request ~id status
 
 let handle_delete d ~request ~id sid =
   let result =
@@ -495,52 +674,123 @@ let handle_delete d ~request ~id sid =
   | Ok () ->
     ok_response ~request ~id (Json.Obj [ ("deleted", Json.String sid) ])
 
+(* Run one engine job: on a worker domain when the daemon has ingest
+   workers (real cross-session parallelism — handler systhreads share
+   the runtime lock), inline otherwise. *)
+let exec_job d f =
+  match d.workers with Some w -> Workers.exec w f | None -> f ()
+
+(* Breaker bookkeeping around one engine invocation; caller holds the
+   session lock.  Only infrastructure failures count as engine faults:
+   injected faults and internal errors, not client mistakes or
+   deadline cuts. *)
+let note_engine_result d (s : Session.t) = function
+  | Ok _ -> Session.breaker_note_success s
+  | Error (Dq_error.Fault_injected _ | Dq_error.Internal _) ->
+    if Session.breaker_trip ~threshold:d.limits.breaker_threshold s then begin
+      (match d.instruments with
+      | None -> ()
+      | Some _ -> Metrics.incr (Metrics.counter "serve.breaker_opened"));
+      Log.warn "session.breaker" (fun () ->
+          [
+            ("session", Json.String s.Session.id);
+            ("faults", Json.Int s.Session.engine_faults);
+          ])
+    end
+  | Error _ -> ()
+
+(* Admission check, deliberately lockless: the session lock is held for
+   the whole engine job, and blocking on it here would serialize
+   admission behind running work (a full lane could never shed fast and
+   a quarantined session could never fail fast).  The flag is a mutable
+   bool written under the lock; a torn-in-time read at worst admits one
+   request that then records its own fault. *)
+let check_breaker (s : Session.t) =
+  if Session.breaker_ok s then Ok ()
+  else
+    Error
+      (Dq_error.Breaker_open
+         { session = s.Session.id; faults = s.Session.engine_faults })
+
+(* The two mutating endpoints share this shape: queue the job on the
+   session's FIFO lane (shedding at [queue_depth]), run the engine under
+   the session lock on a worker domain, checkpoint, answer. *)
+let run_engine_job d (s : Session.t) job =
+  match
+    Session.with_lane ~depth:d.limits.queue_depth s (fun () ->
+        exec_job d (fun () ->
+            Session.with_lock s (fun () ->
+                let res =
+                  try
+                    Fault.hit "serve.ingest";
+                    job ()
+                  with Fault.Injected site ->
+                    Error (Dq_error.Fault_injected site)
+                in
+                note_engine_result d s res;
+                let* payload = res in
+                save_session d s;
+                Ok payload)))
+  with
+  | None ->
+    Error
+      (Dq_error.Queue_full
+         { session = s.Session.id; depth = d.limits.queue_depth })
+  | Some r -> r
+
 let handle_ingest d ~request ~id:rid (r : Http.request) sid =
   let result =
-    let* s = find_session d sid in
-    let* deadline = deadline_of_request r in
-    let* body = parse_body r in
-    let* rows = field "tuples" body in
-    let* rows =
-      match rows with
-      | Json.List l -> map_m row_of_json l
-      | _ -> Error (Dq_error.Invalid_input "field \"tuples\": expected a list")
-    in
-    (match d.instruments with
-    | Some i -> Metrics.observe i.ingest_batch (float_of_int (List.length rows))
-    | None -> ());
-    Session.with_lock s (fun () ->
-        let* outcomes, stats, report =
-          Mutex.protect d.ingest_queue (fun () ->
-              Session.ingest ?pool:d.pool ~deadline ?request_id:rid s rows)
+    with_session d sid (fun s ->
+        let* () = check_breaker s in
+        let* deadline = deadline_of_request r in
+        let* body = parse_body r in
+        let* rows = field "tuples" body in
+        let* rows =
+          match rows with
+          | Json.List l -> map_m row_of_json l
+          | _ ->
+            Error (Dq_error.Invalid_input "field \"tuples\": expected a list")
         in
-        save_session d s;
-        Ok
-          (Json.Obj
-             [
-               ("session", Json.String sid);
-               ("batch", Json.Int s.Session.batches);
-               ("ingested", Json.Int (List.length rows));
-               ( "outcomes",
-                 Json.List
-                   (List.map (outcome_json s.Session.schema) outcomes) );
-               ("stats", Json.String stats);
-               ("engine_report", Report.stable_json report);
-             ]))
+        (match d.instruments with
+        | Some i ->
+          Metrics.observe i.ingest_batch (float_of_int (List.length rows))
+        | None -> ());
+        run_engine_job d s (fun () ->
+            let* outcomes, stats, report =
+              Session.ingest ?pool:d.pool ~deadline ?request_id:rid s rows
+            in
+            Ok
+              (Json.Obj
+                 [
+                   ("session", Json.String sid);
+                   ("batch", Json.Int s.Session.batches);
+                   ("ingested", Json.Int (List.length rows));
+                   ( "outcomes",
+                     Json.List
+                       (List.map (outcome_json s.Session.schema) outcomes) );
+                   ("stats", Json.String stats);
+                   ("engine_report", Report.stable_json report);
+                 ])))
   in
   match result with
+  | Error (Dq_error.Queue_full _ as e) ->
+    shed d "queue_full";
+    err_response ~headers:[ ("retry-after", "1") ] ~request ~id:rid e
   | Error e -> err_response ~request ~id:rid e
   | Ok report -> ok_response ~request ~id:rid report
 
 let handle_relation d ~request ~id sid =
-  match find_session d sid with
+  match
+    with_session d sid (fun s ->
+        (* Snapshot under the lock, stream outside it. *)
+        Ok (Session.with_lock s (fun () -> Csv.save_string s.Session.relation)))
+  with
   | Error e -> err_response ~request ~id e
-  | Ok s ->
-    (* Snapshot under the lock, stream outside it. *)
-    let csv = Session.with_lock s (fun () -> Csv.save_string s.Session.relation) in
+  | Ok csv ->
     {
       status = 200;
       content_type = "text/csv";
+      headers = [];
       body =
         Stream
           (fun write ->
@@ -556,63 +806,84 @@ let handle_relation d ~request ~id sid =
     }
 
 let handle_quarantine d ~request ~id sid =
-  match find_session d sid with
+  match
+    with_session d sid (fun s ->
+        Ok
+          (Session.with_lock s (fun () ->
+               Json.Obj
+                 [
+                   ("session", Json.String sid);
+                   ( "entries",
+                     Json.List
+                       (List.map
+                          (quarantined_json s.Session.schema)
+                          s.Session.quarantine) );
+                 ])))
+  with
   | Error e -> err_response ~request ~id e
-  | Ok s ->
-    ok_response ~request ~id
-      (Session.with_lock s (fun () ->
-           Json.Obj
-             [
-               ("session", Json.String sid);
-               ( "entries",
-                 Json.List
-                   (List.map
-                      (quarantined_json s.Session.schema)
-                      s.Session.quarantine) );
-             ]))
+  | Ok body -> ok_response ~request ~id body
 
 let handle_resolve d ~request ~id:rid (r : Http.request) sid tid_str =
   let result =
-    let* s = find_session d sid in
-    let* tid =
-      match int_of_string_opt tid_str with
-      | Some t -> Ok t
-      | None ->
-        Error (Dq_error.Invalid_input (Printf.sprintf "bad tid %S" tid_str))
-    in
-    let* deadline = deadline_of_request r in
-    let* body = parse_body r in
-    let* resolution =
-      match (Json.member "action" body, Json.member "values" body) with
-      | Some (Json.String "discard"), None -> Ok Session.Discard
-      | (None | Some (Json.String "replace")), Some (Json.List l) ->
-        let* values = values_of_json l in
-        let* weights = weights_of_json (Json.member "weights" body) in
-        Ok (Session.Replace (values, weights))
-      | _ ->
-        Error
-          (Dq_error.Invalid_input
-             "resolve body must be {\"action\": \"discard\"} or {\"values\": \
-              [...]}")
-    in
-    Session.with_lock s (fun () ->
-        let* outcome =
-          Mutex.protect d.ingest_queue (fun () ->
-              Session.resolve ?pool:d.pool ~deadline ?request_id:rid s tid
-                resolution)
+    with_session d sid (fun s ->
+        let* () = check_breaker s in
+        let* tid =
+          match int_of_string_opt tid_str with
+          | Some t -> Ok t
+          | None ->
+            Error (Dq_error.Invalid_input (Printf.sprintf "bad tid %S" tid_str))
         in
-        save_session d s;
-        Ok
-          (Json.Obj
-             [
-               ("session", Json.String sid);
-               ("resolved", Json.Int tid);
-               ("outcome", outcome_json s.Session.schema outcome);
-             ]))
+        let* deadline = deadline_of_request r in
+        let* body = parse_body r in
+        let* resolution =
+          match (Json.member "action" body, Json.member "values" body) with
+          | Some (Json.String "discard"), None -> Ok Session.Discard
+          | (None | Some (Json.String "replace")), Some (Json.List l) ->
+            let* values = values_of_json l in
+            let* weights = weights_of_json (Json.member "weights" body) in
+            Ok (Session.Replace (values, weights))
+          | _ ->
+            Error
+              (Dq_error.Invalid_input
+                 "resolve body must be {\"action\": \"discard\"} or \
+                  {\"values\": [...]}")
+        in
+        run_engine_job d s (fun () ->
+            let* outcome =
+              Session.resolve ?pool:d.pool ~deadline ?request_id:rid s tid
+                resolution
+            in
+            Ok
+              (Json.Obj
+                 [
+                   ("session", Json.String sid);
+                   ("resolved", Json.Int tid);
+                   ("outcome", outcome_json s.Session.schema outcome);
+                 ])))
   in
   match result with
+  | Error (Dq_error.Queue_full _ as e) ->
+    shed d "queue_full";
+    err_response ~headers:[ ("retry-after", "1") ] ~request ~id:rid e
   | Error e -> err_response ~request ~id:rid e
   | Ok report -> ok_response ~request ~id:rid report
+
+(* Operator resume of a quarantined session: close the breaker, zero the
+   fault count, answer with the (now active) status. *)
+let handle_resume d ~request ~id:rid sid =
+  match
+    with_session d sid (fun s ->
+        Ok
+          (Session.with_lock s (fun () ->
+               Session.breaker_reset s;
+               session_status d s)))
+  with
+  | Error e -> err_response ~request ~id:rid e
+  | Ok status ->
+    Log.info "session.resume" (fun () ->
+        [ ("session", Json.String sid) ]
+        @ match rid with None -> [] | Some i -> [ ("id", Json.String i) ]);
+    ok_response ~request ~id:rid status
 
 (* ---- dispatch ------------------------------------------------------------ *)
 
@@ -629,6 +900,8 @@ let route_info (r : Http.request) =
   | "DELETE", [ "v1"; "sessions"; id ] -> ("DELETE /v1/sessions/:id", Some id)
   | "POST", [ "v1"; "sessions"; id; "tuples" ] ->
     ("POST /v1/sessions/:id/tuples", Some id)
+  | "POST", [ "v1"; "sessions"; id; "resume" ] ->
+    ("POST /v1/sessions/:id/resume", Some id)
   | "GET", [ "v1"; "sessions"; id; "relation" ] ->
     ("GET /v1/sessions/:id/relation", Some id)
   | "GET", [ "v1"; "sessions"; id; "quarantine" ] ->
@@ -647,6 +920,8 @@ let route d (r : Http.request) ~request ~id =
   | "DELETE", [ "v1"; "sessions"; sid ] -> handle_delete d ~request ~id sid
   | "POST", [ "v1"; "sessions"; sid; "tuples" ] ->
     handle_ingest d ~request ~id r sid
+  | "POST", [ "v1"; "sessions"; sid; "resume" ] ->
+    handle_resume d ~request ~id sid
   | "GET", [ "v1"; "sessions"; sid; "relation" ] ->
     handle_relation d ~request ~id sid
   | "GET", [ "v1"; "sessions"; sid; "quarantine" ] ->
@@ -663,20 +938,21 @@ let route d (r : Http.request) ~request ~id =
    mid-write still gets accounted (bytes reflect what was written
    before the pipe broke only approximately; we log the intended
    size). *)
-let send_response d fd ~meth ~route ~session ~id ~t0 resp =
+let send_response d fd ~meth ~route ~session ~id ~keep_alive ~t0 resp =
   let headers =
-    match id with Some i -> [ ("x-request-id", i) ] | None -> []
+    resp.headers
+    @ match id with Some i -> [ ("x-request-id", i) ] | None -> []
   in
   let bytes =
     try
       match resp.body with
       | Fixed body ->
         Http.respond fd ~status:resp.status ~content_type:resp.content_type
-          ~headers body;
+          ~headers ~keep_alive body;
         String.length body
       | Stream produce ->
         Http.respond_stream fd ~status:resp.status
-          ~content_type:resp.content_type ~headers produce
+          ~content_type:resp.content_type ~headers ~keep_alive produce
     with Http.Closed -> 0
   in
   let dt = Unix.gettimeofday () -. t0 in
@@ -711,62 +987,242 @@ let send_response d fd ~meth ~route ~session ~id ~t0 resp =
         fields () @ [ ("threshold_s", Json.Float limit) ])
   | _ -> ()
 
-let serve_request d fd (r : Http.request) =
+(* Serve one parsed request; the [bool] result is whether the connection
+   survives for another request.  Admission control happens here, before
+   any routing work: a draining daemon refuses everything (and closes),
+   a daemon at its in-flight ceiling refuses mutating and read traffic
+   but keeps the connection (health and metrics stay reachable so
+   operators can watch an overloaded daemon). *)
+let serve_request d fd ~keep_alive ~last_id (r : Http.request) =
   let request = request_name r in
   let route_tmpl, session = route_info r in
   let id = request_id_of d r in
+  (match id with Some _ -> last_id := id | None -> ());
   let t0 = Unix.gettimeofday () in
-  let resp =
-    Trace.span ~cat:"serve"
-      ~args:(fun () ->
-        ("route", Json.String route_tmpl)
-        :: (match id with
-           | Some i -> [ ("request_id", Json.String i) ]
-           | None -> []))
-      "http.request"
+  if d.state <> Running then begin
+    shed d "draining";
+    send_response d fd ~meth:r.Http.meth ~route:route_tmpl ~session ~id
+      ~keep_alive:false ~t0
+      (err_response ~request ~id
+         (Dq_error.Unavailable "draining: daemon is shutting down"));
+    false
+  end
+  else begin
+    let exempt =
+      route_tmpl = "GET /v1/health" || route_tmpl = "GET /v1/metrics"
+    in
+    let cur = Atomic.fetch_and_add d.inflight 1 in
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr d.inflight)
       (fun () ->
-        try route d r ~request ~id with
-        | Deadline.Expired -> err_response ~request ~id Dq_error.Deadline_exceeded
-        | Dq_fault.Fault.Injected site ->
-          err_response ~request ~id (Dq_error.Fault_injected site)
-        | Sys_error msg -> err_response ~request ~id (Dq_error.Io msg)
-        | Http.Closed ->
-          (* already half-written by a streaming handler's peer: nothing
-             more to send, but the request still gets accounted *)
-          { status = 499; content_type = "text/plain"; body = Fixed "" }
-        | exn ->
-          err_response ~request ~id
-            (Dq_error.Internal (Printexc.to_string exn)))
-  in
-  send_response d fd ~meth:r.Http.meth ~route:route_tmpl ~session ~id ~t0 resp
+        if
+          d.limits.max_inflight > 0
+          && (not exempt)
+          && cur >= d.limits.max_inflight
+        then begin
+          shed d "inflight";
+          send_response d fd ~meth:r.Http.meth ~route:route_tmpl ~session ~id
+            ~keep_alive ~t0
+            (err_response ~headers:[ ("retry-after", "1") ] ~request ~id
+               (Dq_error.Unavailable
+                  "at capacity: too many requests in flight"));
+          keep_alive
+        end
+        else begin
+          let resp =
+            Trace.span ~cat:"serve"
+              ~args:(fun () ->
+                ("route", Json.String route_tmpl)
+                :: (match id with
+                   | Some i -> [ ("request_id", Json.String i) ]
+                   | None -> []))
+              "http.request"
+              (fun () ->
+                try route d r ~request ~id with
+                | Deadline.Expired ->
+                  err_response ~request ~id Dq_error.Deadline_exceeded
+                | Fault.Injected site ->
+                  err_response ~request ~id (Dq_error.Fault_injected site)
+                | Sys_error msg -> err_response ~request ~id (Dq_error.Io msg)
+                | Http.Closed ->
+                  (* already half-written by a streaming handler's peer:
+                     nothing more to send, but the request still gets
+                     accounted *)
+                  {
+                    status = 499;
+                    content_type = "text/plain";
+                    headers = [];
+                    body = Fixed "";
+                  }
+                | exn ->
+                  err_response ~request ~id
+                    (Dq_error.Internal (Printexc.to_string exn)))
+          in
+          send_response d fd ~meth:r.Http.meth ~route:route_tmpl ~session ~id
+            ~keep_alive ~t0 resp;
+          keep_alive
+        end)
+  end
 
-let handle_connection d fd =
+let conn_forget d tok =
+  Mutex.protect d.cm (fun () -> Hashtbl.remove d.conns tok)
+
+(* One connection: read requests until the peer closes, a framing error
+   answers 4xx, keep-alive is off, or the idle timeout fires.  The
+   catch-all is deliberate — a handler bug must cost one connection and
+   one [http.error] line, never the daemon. *)
+let handle_connection d tok fd =
+  let last_id = ref None in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      conn_forget d tok)
     (fun () ->
       try
-        match Http.read_request fd with
-        | Ok None -> ()
-        | Ok (Some r) -> serve_request d fd r
-        | Error msg ->
-          let t0 = Unix.gettimeofday () in
-          send_response d fd ~meth:"-" ~route:"(malformed)" ~session:None
-            ~id:None ~t0
-            (err_response ~request:"(malformed)" ~id:None
-               (Dq_error.Invalid_input msg))
-      with Http.Closed -> ())
+        Fault.hit "serve.accept";
+        let rd = Http.reader fd in
+        let read_timeout =
+          if d.limits.read_timeout_s > 0. then Some d.limits.read_timeout_s
+          else None
+        in
+        let rec loop ~first =
+          let idle_timeout =
+            if first then read_timeout else Some d.limits.idle_timeout_s
+          in
+          match Http.read_request ?idle_timeout ?read_timeout rd with
+          | Ok None -> ()
+          | Ok (Some r) ->
+            let want_keep =
+              d.limits.keep_alive
+              && (match Http.header r "connection" with
+                 | Some c ->
+                   String.lowercase_ascii (String.trim c) <> "close"
+                 | None -> true)
+            in
+            if serve_request d fd ~keep_alive:want_keep ~last_id r then
+              loop ~first:false
+          | Error fe ->
+            let t0 = Unix.gettimeofday () in
+            send_response d fd ~meth:"-" ~route:"(malformed)" ~session:None
+              ~id:None ~keep_alive:false ~t0
+              (err_response ~status:fe.Http.status ~request:"(malformed)"
+                 ~id:None
+                 (Dq_error.Invalid_input fe.Http.reason))
+        in
+        loop ~first:true
+      with
+      | Http.Closed -> ()
+      | exn ->
+        Log.error "http.error" (fun () ->
+            ("error", Json.String (Printexc.to_string exn))
+            :: (match !last_id with
+               | Some i -> [ ("id", Json.String i) ]
+               | None -> [])))
 
 (* ---- lifecycle ----------------------------------------------------------- *)
+
+(* Refuse a connection past [max_connections] without spawning a
+   handler: best-effort 503 (bounded by a one-second send timeout so a
+   non-reading peer cannot stall the acceptor), then close. *)
+let shed_connection d fd =
+  shed d "connections";
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  (try
+     Http.respond fd ~status:503
+       (Json.to_string
+          (Envelope.error ~request:"(connection)"
+             (Dq_error.to_json (Dq_error.Unavailable "connection limit reached"))))
+   with Http.Closed | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop d =
   let rec go () =
     match Unix.accept d.sock with
     | fd, _ ->
-      ignore (Thread.create (handle_connection d) fd);
+      let admitted =
+        d.limits.max_connections = 0
+        || Mutex.protect d.cm (fun () -> Hashtbl.length d.conns)
+           < d.limits.max_connections
+      in
+      if not admitted then shed_connection d fd
+      else begin
+        let tok, conn =
+          Mutex.protect d.cm (fun () ->
+              let tok = d.next_tok in
+              d.next_tok <- tok + 1;
+              let c = { cfd = fd; thread = None } in
+              Hashtbl.replace d.conns tok c;
+              (tok, c))
+        in
+        let th = Thread.create (handle_connection d tok) fd in
+        Mutex.protect d.cm (fun () -> conn.thread <- Some th)
+      end;
       go ()
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
       () (* socket closed by [stop] *)
     | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go ()
+  in
+  go ()
+
+(* ---- idle sweeper --------------------------------------------------------- *)
+
+(* Checkpoint-and-drop sessions idle past [evict_idle_s].  A session is
+   evictable only when nothing references it: no pins, an empty lane, an
+   uncontended lock, and a closed breaker (a quarantined session stays
+   resident so its [engine_failed] state remains operator-visible). *)
+let sweep_once d =
+  let evict = d.limits.evict_idle_s in
+  let now = Unix.gettimeofday () in
+  let stale =
+    Mutex.protect d.registry (fun () ->
+        Hashtbl.to_seq d.sessions
+        |> Seq.filter_map (fun (sid, entry) ->
+               match entry with
+               | Live s
+                 when s.Session.pins = 0
+                      && (not s.Session.breaker_open)
+                      && now -. s.Session.last_touch >= evict ->
+                 Some (sid, s)
+               | _ -> None)
+        |> List.of_seq)
+  in
+  List.iter
+    (fun (sid, (s : Session.t)) ->
+      if Mutex.try_lock s.Session.lock then
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock s.Session.lock)
+          (fun () ->
+            if Session.lane_depth s = 0 then begin
+              (match d.state_dir with
+              | Some dir -> ignore (Store.save ~dir s)
+              | None -> ());
+              let evicted =
+                Mutex.protect d.registry (fun () ->
+                    match Hashtbl.find_opt d.sessions sid with
+                    | Some (Live s') when s' == s && s.Session.pins = 0 ->
+                      Hashtbl.replace d.sessions sid Evicted;
+                      true
+                    | _ -> false)
+              in
+              if evicted then
+                Log.info "session.evict" (fun () ->
+                    [ ("session", Json.String sid) ])
+            end))
+    stale
+
+let sweeper_loop d =
+  let tick = Stdlib.min 0.5 (Stdlib.max 0.05 (d.limits.evict_idle_s /. 4.)) in
+  let rec go () =
+    if d.state = Running then begin
+      Thread.delay tick;
+      (if d.state = Running then
+         try sweep_once d
+         with exn ->
+           Log.error "serve.sweep" (fun () ->
+               [ ("error", Json.String (Printexc.to_string exn)) ]));
+      go ()
+    end
   in
   go ()
 
@@ -786,10 +1242,42 @@ let next_id_after sessions =
         | None -> acc)
       0 sessions
 
+let validate_limits (config : config) =
+  let l = config.limits in
+  let nonneg name v =
+    if v < 0 then
+      Error
+        (Dq_error.Invalid_input
+           (Printf.sprintf "%s must be >= 0 (got %d)" name v))
+    else Ok ()
+  in
+  let nonnegf name v =
+    if v < 0. then
+      Error
+        (Dq_error.Invalid_input
+           (Printf.sprintf "%s must be >= 0 (got %g)" name v))
+    else Ok ()
+  in
+  let* () = nonneg "max-connections" l.max_connections in
+  let* () = nonneg "max-inflight" l.max_inflight in
+  let* () = nonneg "queue-depth" l.queue_depth in
+  let* () = nonneg "ingest-workers" l.ingest_workers in
+  let* () = nonneg "breaker-threshold" l.breaker_threshold in
+  let* () = nonnegf "idle-timeout" l.idle_timeout_s in
+  let* () = nonnegf "read-timeout" l.read_timeout_s in
+  let* () = nonnegf "evict-idle" l.evict_idle_s in
+  let* () = nonnegf "drain-timeout" l.drain_timeout_s in
+  if l.evict_idle_s > 0. && config.state_dir = None then
+    Error
+      (Dq_error.Invalid_input
+         "idle eviction requires a state directory (--state-dir)")
+  else Ok ()
+
 let start config =
   (* A peer that disappears mid-response must surface as EPIPE, not kill
      the daemon. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let* () = validate_limits config in
   let* loaded =
     match (config.resume, config.state_dir) with
     | true, None ->
@@ -808,6 +1296,11 @@ let start config =
     else if config.jobs = 1 then Ok None
     else Ok (Some (Pool.create ~jobs:config.jobs))
   in
+  let workers =
+    if config.limits.ingest_workers > 0 then
+      Some (Workers.create ~workers:config.limits.ingest_workers)
+    else None
+  in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   match
     Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -818,6 +1311,7 @@ let start config =
   | exception Unix.Unix_error (err, _, _) ->
     (try Unix.close sock with Unix.Unix_error _ -> ());
     Option.iter Pool.shutdown pool;
+    Option.iter Workers.shutdown workers;
     Error
       (Dq_error.Io
          (Printf.sprintf "cannot listen on 127.0.0.1:%d: %s" config.port
@@ -840,9 +1334,11 @@ let start config =
         bound_port;
         state_dir = config.state_dir;
         pool;
+        workers;
+        limits = config.limits;
         sessions = Hashtbl.create 16;
         registry = Mutex.create ();
-        ingest_queue = Mutex.create ();
+        reload = Mutex.create ();
         telemetry = config.telemetry;
         instruments;
         started;
@@ -852,11 +1348,19 @@ let start config =
             (int_of_float (started *. 1000.) land 0xffff);
         req_counter = Atomic.make 1;
         next_id = next_id_after loaded;
-        stopped = false;
+        lifecycle = Mutex.create ();
+        state = Running;
+        cm = Mutex.create ();
+        conns = Hashtbl.create 64;
+        next_tok = 0;
+        inflight = Atomic.make 0;
         acceptor = None;
+        sweeper = None;
       }
     in
-    List.iter (fun (s : Session.t) -> Hashtbl.replace d.sessions s.Session.id s) loaded;
+    List.iter
+      (fun (s : Session.t) -> Hashtbl.replace d.sessions s.Session.id (Live s))
+      loaded;
     Log.info "serve.start" (fun () ->
         [
           ("port", Json.Int bound_port);
@@ -869,18 +1373,112 @@ let start config =
           ("metrics", Json.Bool config.telemetry.metrics);
         ]);
     d.acceptor <- Some (Thread.create accept_loop d);
+    if config.limits.evict_idle_s > 0. then
+      d.sweeper <- Some (Thread.create sweeper_loop d);
     Ok d
 
 let wait d = match d.acceptor with Some t -> Thread.join t | None -> ()
 
+(* Graceful drain.  Flip to [Draining] (new requests answer 503 and
+   close), stop accepting, then wait — bounded by [drain_timeout_s] —
+   for in-flight and lane-queued work to finish; stragglers get their
+   sockets force-closed.  Only after the last handler thread is gone are
+   the pools shut down (a handler mid-[Pool.run] must never race
+   [Pool.shutdown]) and the sessions given a final checkpoint. *)
 let stop d =
-  if not d.stopped then begin
-    d.stopped <- true;
+  let proceed =
+    Mutex.protect d.lifecycle (fun () ->
+        match d.state with
+        | Running ->
+          d.state <- Draining;
+          true
+        | Draining | Stopped -> false)
+  in
+  if proceed then begin
+    let t0 = Unix.gettimeofday () in
+    let conn_count () =
+      Mutex.protect d.cm (fun () -> Hashtbl.length d.conns)
+    in
+    let snapshot =
+      Mutex.protect d.cm (fun () -> List.of_seq (Hashtbl.to_seq d.conns))
+    in
+    Log.info "serve.drain" (fun () ->
+        [
+          ("connections", Json.Int (List.length snapshot));
+          ("inflight", Json.Int (Atomic.get d.inflight));
+        ]);
     (* Closing an fd does not wake a thread already blocked in accept(2);
        shutdown does (the accept fails with EINVAL). *)
     (try Unix.shutdown d.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close d.sock with Unix.Unix_error _ -> ());
-    wait d;
+    (match d.acceptor with Some t -> Thread.join t | None -> ());
+    d.acceptor <- None;
+    (match d.sweeper with Some t -> Thread.join t | None -> ());
+    d.sweeper <- None;
+    let deadline = t0 +. Stdlib.max 0.05 d.limits.drain_timeout_s in
+    while conn_count () > 0 && Unix.gettimeofday () < deadline do
+      Thread.delay 0.01
+    done;
+    let lingering =
+      Mutex.protect d.cm (fun () -> List.of_seq (Hashtbl.to_seq_values d.conns))
+    in
+    if lingering <> [] then begin
+      Log.warn "serve.drain.force" (fun () ->
+          [ ("connections", Json.Int (List.length lingering)) ]);
+      List.iter
+        (fun c ->
+          try Unix.shutdown c.cfd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        lingering;
+      let grace = Unix.gettimeofday () +. 1.0 in
+      while conn_count () > 0 && Unix.gettimeofday () < grace do
+        Thread.delay 0.01
+      done
+    end;
+    let leaked = conn_count () in
+    if leaked > 0 then
+      Log.warn "serve.drain.leak" (fun () ->
+          [ ("connections", Json.Int leaked) ]);
+    (* Join every handler thread that has left the connection table —
+       it is at (or within microseconds of) exit, so each join is
+       bounded; threads still in the table after the force-close grace
+       are leaked deliberately rather than blocking shutdown. *)
+    let gone =
+      let live =
+        Mutex.protect d.cm (fun () ->
+            List.of_seq (Hashtbl.to_seq_keys d.conns))
+      in
+      List.filter (fun (tok, _) -> not (List.mem tok live)) snapshot
+    in
+    List.iter
+      (fun (_, c) ->
+        match c.thread with Some th -> Thread.join th | None -> ())
+      gone;
+    (* Final checkpoint: persist any session whose lock is free (busy
+       ones — leaked handlers — already checkpoint per mutation). *)
+    (match d.state_dir with
+    | None -> ()
+    | Some dir ->
+      let live =
+        Mutex.protect d.registry (fun () ->
+            Hashtbl.to_seq_values d.sessions
+            |> Seq.filter_map (function Live s -> Some s | Evicted -> None)
+            |> List.of_seq)
+      in
+      List.iter
+        (fun (s : Session.t) ->
+          if Mutex.try_lock s.Session.lock then
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock s.Session.lock)
+              (fun () -> ignore (Store.save ~dir s)))
+        live);
     Option.iter Pool.shutdown d.pool;
-    Log.info "serve.stop" (fun () -> [ ("port", Json.Int d.bound_port) ])
+    Option.iter Workers.shutdown d.workers;
+    let drain_s = Unix.gettimeofday () -. t0 in
+    (match d.instruments with
+    | Some i -> Metrics.observe i.drain_seconds drain_s
+    | None -> ());
+    Mutex.protect d.lifecycle (fun () -> d.state <- Stopped);
+    Log.info "serve.stop" (fun () ->
+        [ ("port", Json.Int d.bound_port); ("drain_s", Json.Float drain_s) ])
   end

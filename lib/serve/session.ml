@@ -21,9 +21,79 @@ type t = {
   mutable quarantined_total : int;
   mutable resolved : int;
   lock : Mutex.t;
+  (* ingest lane: a ticket lock ordering this session's repair jobs
+     (FIFO) independently of every other session *)
+  lane_lock : Mutex.t;
+  lane_turn : Condition.t;
+  mutable lane_next : int;
+  mutable lane_serving : int;
+  (* overload bookkeeping, maintained by the daemon *)
+  mutable last_touch : float;  (* wall clock of the last request *)
+  mutable pins : int;  (* handlers currently holding this session *)
+  mutable engine_faults : int;  (* consecutive engine faults *)
+  mutable breaker_open : bool;
 }
 
 let with_lock t f = Mutex.protect t.lock f
+
+(* ---- ingest lane -------------------------------------------------------- *)
+
+let lane_depth t =
+  Mutex.protect t.lane_lock (fun () -> t.lane_next - t.lane_serving)
+
+(* Take a ticket and block until it is at the head of the lane; [false]
+   (shed, without blocking) when the lane already holds [depth] jobs
+   (0 = unbounded).  Pair every [true] with {!lane_exit}. *)
+let lane_enter ?(depth = 0) t =
+  Mutex.lock t.lane_lock;
+  if depth > 0 && t.lane_next - t.lane_serving >= depth then begin
+    Mutex.unlock t.lane_lock;
+    false
+  end
+  else begin
+    let ticket = t.lane_next in
+    t.lane_next <- ticket + 1;
+    while t.lane_serving <> ticket do
+      Condition.wait t.lane_turn t.lane_lock
+    done;
+    Mutex.unlock t.lane_lock;
+    true
+  end
+
+let lane_exit t =
+  Mutex.lock t.lane_lock;
+  t.lane_serving <- t.lane_serving + 1;
+  Condition.broadcast t.lane_turn;
+  Mutex.unlock t.lane_lock
+
+let with_lane ?depth t f =
+  if lane_enter ?depth t then
+    Some (Fun.protect ~finally:(fun () -> lane_exit t) f)
+  else None
+
+(* ---- circuit breaker ---------------------------------------------------- *)
+
+(* All breaker state is read and written under the session lock. *)
+
+let touch t = t.last_touch <- Unix.gettimeofday ()
+
+let breaker_ok t = not t.breaker_open
+
+(* Record one engine fault; [true] when this fault just opened the
+   breaker (threshold 0 = breaker disabled). *)
+let breaker_trip ~threshold t =
+  t.engine_faults <- t.engine_faults + 1;
+  if threshold > 0 && t.engine_faults >= threshold && not t.breaker_open then begin
+    t.breaker_open <- true;
+    true
+  end
+  else false
+
+let breaker_note_success t = t.engine_faults <- 0
+
+let breaker_reset t =
+  t.breaker_open <- false;
+  t.engine_faults <- 0
 
 (* The session id stands in for a file path in gate diagnostics — the
    ruleset arrived in a request body, not from disk. *)
@@ -87,6 +157,14 @@ let session ~id ~schema ~rules ~sigma ~engine ~relation ~next_tid ~quarantine
     quarantined_total;
     resolved;
     lock = Mutex.create ();
+    lane_lock = Mutex.create ();
+    lane_turn = Condition.create ();
+    lane_next = 0;
+    lane_serving = 0;
+    last_touch = Unix.gettimeofday ();
+    pins = 0;
+    engine_faults = 0;
+    breaker_open = false;
   }
 
 (* Creation runs the CLI's gates unconditionally: a session ingests

@@ -44,6 +44,21 @@ type t = {
   mutable quarantined_total : int;
   mutable resolved : int;  (** quarantine entries resolved (either way) *)
   lock : Mutex.t;
+  lane_lock : Mutex.t;  (** guards the lane ticket counters *)
+  lane_turn : Condition.t;
+  mutable lane_next : int;  (** next lane ticket to hand out *)
+  mutable lane_serving : int;  (** ticket currently allowed to run *)
+  mutable last_touch : float;
+      (** wall clock of the last request naming this session (daemon
+          idle-eviction bookkeeping) *)
+  mutable pins : int;
+      (** handlers currently holding a reference (guarded by the
+          daemon's registry lock; a pinned session is never evicted) *)
+  mutable engine_faults : int;
+      (** consecutive engine faults (breaker input; under [lock]) *)
+  mutable breaker_open : bool;
+      (** circuit breaker: when set, ingest/resolve are refused until
+          an operator resumes the session (under [lock]) *)
 }
 
 val create :
@@ -77,6 +92,49 @@ val restore :
     session was first created. *)
 
 val with_lock : t -> (unit -> 'a) -> 'a
+
+(** {1 Ingest lane}
+
+    Each session owns a FIFO {e lane}: a ticket lock that orders the
+    session's repair jobs (same-session batches commit in arrival
+    order) while leaving other sessions free to repair concurrently —
+    the replacement for the old daemon-wide ingest queue. *)
+
+val lane_enter : ?depth:int -> t -> bool
+(** Take a lane ticket and block until it is at the head.  With
+    [depth > 0], returns [false] immediately — load shed, nothing
+    taken — when the lane already holds [depth] jobs (running +
+    queued); [depth = 0] (default) never sheds.  Every [true] must be
+    paired with {!lane_exit}. *)
+
+val lane_exit : t -> unit
+
+val with_lane : ?depth:int -> t -> (unit -> 'a) -> 'a option
+(** [lane_enter]/[lane_exit] bracket: [None] when the lane was full. *)
+
+val lane_depth : t -> int
+(** Jobs currently in the lane (running + queued). *)
+
+(** {1 Overload bookkeeping}
+
+    Breaker transitions happen under the session lock; {!touch} is a
+    single mutable-field write (benign to race). *)
+
+val touch : t -> unit
+(** Stamp [last_touch] with the current wall clock. *)
+
+val breaker_ok : t -> bool
+
+val breaker_trip : threshold:int -> t -> bool
+(** Record one consecutive engine fault; [true] when this fault just
+    opened the breaker ([threshold = 0] disables the breaker — faults
+    are counted but never open it). *)
+
+val breaker_note_success : t -> unit
+(** An engine invocation succeeded: reset the consecutive-fault count. *)
+
+val breaker_reset : t -> unit
+(** Operator resume: close the breaker and zero the fault count. *)
 
 (** Per-tuple ingest outcome, in submission order. *)
 type outcome =

@@ -243,6 +243,8 @@ let load file =
   let* j = Json.parse contents in
   Result.map_error (fun msg -> file ^ ": " ^ msg) (of_json j)
 
+let load_id ~dir id = load (path ~dir id)
+
 let load_dir dir =
   mkdirs dir;
   match Sys.readdir dir with

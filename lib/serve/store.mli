@@ -27,6 +27,10 @@ val delete : dir:string -> string -> unit
 val load : string -> (Session.t, string) result
 (** Read one session file. *)
 
+val load_id : dir:string -> string -> (Session.t, string) result
+(** Read the session [id] back from [dir/ID.json] — how the daemon
+    reloads an idle-evicted session on its next touch. *)
+
 val load_dir : string -> ((string * Session.t) list, string) result
 (** Load every [*.json] session file under a directory (created if
     missing), as [(filename, session)] sorted by filename.  The first

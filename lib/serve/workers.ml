@@ -1,0 +1,115 @@
+(* A small domain pool for whole ingest jobs.
+
+   Connection handlers are systhreads, and systhreads within one domain
+   share the runtime lock — two sessions repairing "concurrently" on
+   handler threads still serialize their OCaml compute.  Real
+   cross-session parallelism needs domains, so the daemon (when started
+   with ingest workers) ships each lane job here and blocks the handler
+   thread on the result.
+
+   This pool is deliberately separate from Dq_parallel.Pool: engines
+   chunk their scans through that pool, and its contract forbids
+   submitting tasks from inside tasks — a whole ingest job (which calls
+   into the engine) must therefore never run *on* it.  Jobs here are
+   coarse (one per HTTP request), so a plain mutex-guarded queue is
+   enough. *)
+
+module Trace = Dq_obs.Trace
+
+type job = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec wait () =
+      if Queue.is_empty t.queue && not t.closed then begin
+        Condition.wait t.nonempty t.lock;
+        wait ()
+      end
+    in
+    wait ();
+    if Queue.is_empty t.queue then (
+      Mutex.unlock t.lock (* closed and drained *))
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      job ();
+      next ()
+    end
+  in
+  next ()
+
+let create ~workers =
+  if workers < 1 then
+    invalid_arg (Printf.sprintf "Workers.create: workers = %d" workers);
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+(* Run [f] on a worker domain and wait for its result; exceptions
+   re-raise in the caller with their original backtrace.  On a closed
+   pool the job runs inline — drain must never lose a request that was
+   already admitted. *)
+let exec t f =
+  let ctx = Trace.current_context () in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let result = ref None in
+  let job () =
+    let r =
+      Trace.with_context ctx (fun () ->
+          try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ()))
+    in
+    Mutex.lock m;
+    result := Some r;
+    Condition.signal cv;
+    Mutex.unlock m
+  in
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    f ()
+  end
+  else begin
+    Queue.add job t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock;
+    Mutex.lock m;
+    while !result = None do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m;
+    match Option.get !result with
+    | Ok v -> v
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+  end
+
+let shutdown t =
+  let domains =
+    Mutex.protect t.lock (fun () ->
+        if t.closed then []
+        else begin
+          t.closed <- true;
+          Condition.broadcast t.nonempty;
+          let ds = t.domains in
+          t.domains <- [];
+          ds
+        end)
+  in
+  List.iter Domain.join domains

@@ -9,7 +9,7 @@ A synthetic workload to repair.
 An unknown fault site is rejected up front, listing the real ones.
 
   $ cfdclean repair w_dirty.csv w.cfd --fault-plan 'io.wrt@1' -o x.csv
-  cfdclean: --fault-plan: unknown site "io.wrt" (known sites: csv.load, io.write, pool.task, repair.pass, resolve.tuple)
+  cfdclean: --fault-plan: unknown site "io.wrt" (known sites: csv.load, io.write, pool.task, repair.pass, resolve.tuple, serve.accept, serve.read, serve.write, serve.ingest)
   [2]
 
 So is a malformed plan.

@@ -1,0 +1,65 @@
+The serving daemon's HTTP framing under abuse: malformed requests are
+answered with typed statuses and the connection is closed, a SIGTERM
+drains gracefully with exit 0.  The http_raw probe sends exactly the
+bytes given (curl refuses to emit malformed framing) and prints the
+response status lines plus "closed" when the daemon hangs up.
+
+Start a keep-alive daemon on an ephemeral port and wait for the ready
+line.
+
+  $ cfdclean serve --port 0 --keep-alive --idle-timeout 5 --log serve.log \
+  >   > serve.out 2> serve.err & echo $! > serve.pid
+  $ for i in $(seq 1 100); do grep -q listening serve.out 2>/dev/null && break; sleep 0.1; done
+  $ PORT=$(sed -n 's#.*127\.0\.0\.1:\([0-9]*\).*#\1#p' serve.out)
+
+A well-formed request answers 200 and, on this keep-alive daemon, an
+explicit connection: close is honored.
+
+  $ ../../tools/http_raw.exe "$PORT" \
+  >   'GET /v1/health HTTP/1.1\r\nconnection: close\r\ncontent-length: 0\r\n\r\n'
+  HTTP/1.1 200 OK
+  closed
+
+A body announced over the limit is refused up front with 413 — no body
+bytes are read.
+
+  $ ../../tools/http_raw.exe "$PORT" \
+  >   'POST /v1/sessions/s1/tuples HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n'
+  HTTP/1.1 413 Payload Too Large
+  closed
+
+An unparseable content-length is a framing error.
+
+  $ ../../tools/http_raw.exe "$PORT" \
+  >   'GET /v1/health HTTP/1.1\r\ncontent-length: banana\r\n\r\n'
+  HTTP/1.1 400 Bad Request
+  closed
+
+So is a request head truncated mid-header.
+
+  $ ../../tools/http_raw.exe "$PORT" 'GET /v1/health HTTP/1.1\r\ncontent-len'
+  HTTP/1.1 400 Bad Request
+  closed
+
+And a body shorter than announced.
+
+  $ ../../tools/http_raw.exe "$PORT" \
+  >   'POST /v1/sessions HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort'
+  HTTP/1.1 400 Bad Request
+  closed
+
+Pipelined garbage after a valid request: the first request answers, the
+garbage is a framing error that closes the connection.
+
+  $ ../../tools/http_raw.exe "$PORT" \
+  >   'GET /v1/health HTTP/1.1\r\ncontent-length: 0\r\n\r\nNOT A REQUEST\r\n\r\n'
+  HTTP/1.1 200 OK
+  HTTP/1.1 400 Bad Request
+  closed
+
+SIGTERM drains gracefully: the process exits 0 and its last log line is
+the drain completion.
+
+  $ kill -TERM "$(cat serve.pid)" && wait "$(cat serve.pid)"
+  $ grep -c '"event":"serve.stop"' serve.log
+  1

@@ -27,7 +27,7 @@ let test_http_parse () =
          4\r\nX-Deadline-Seconds: 2.5\r\n\r\nbodyEXTRA"
     with
     | Ok r -> r
-    | Error msg -> Alcotest.failf "parse: %s" msg
+    | Error e -> Alcotest.failf "parse: %s" e.Http.reason
   in
   Alcotest.(check string) "method" "POST" r.Http.meth;
   Alcotest.(check (list string))
@@ -42,34 +42,37 @@ let test_http_parse () =
 let test_http_parse_bare_lf () =
   match Http.parse "GET /v1/health HTTP/1.1\n\n" with
   | Ok r -> Alcotest.(check string) "target" "/v1/health" r.Http.target
-  | Error msg -> Alcotest.failf "bare-LF head rejected: %s" msg
+  | Error e -> Alcotest.failf "bare-LF head rejected: %s" e.Http.reason
 
 let test_http_parse_errors () =
   let err input =
     match Http.parse input with
     | Ok _ -> Alcotest.failf "accepted %S" input
-    | Error msg -> msg
+    | Error e -> e
   in
-  Alcotest.(check bool)
-    "unterminated head" true
-    (Helpers.contains (err "GET / HTTP/1.1\r\n") "not terminated");
-  Alcotest.(check bool)
-    "truncated body" true
-    (Helpers.contains
-       (err "GET / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
-       "truncated");
-  Alcotest.(check bool)
-    "bad request line" true
-    (Helpers.contains (err "NONSENSE\r\n\r\n") "malformed request line");
-  Alcotest.(check bool)
-    "bad content-length" true
-    (Helpers.contains
-       (err "GET / HTTP/1.1\r\ncontent-length: -4\r\n\r\n")
-       "bad content-length");
-  match Http.parse ~max_body:3 "GET / HTTP/1.1\r\ncontent-length: 9\r\n\r\nwaytolong" with
+  let check_err name input status needle =
+    let e = err input in
+    Alcotest.(check int) (name ^ ": status") status e.Http.status;
+    Alcotest.(check bool)
+      (name ^ ": reason")
+      true
+      (Helpers.contains e.Http.reason needle)
+  in
+  check_err "unterminated head" "GET / HTTP/1.1\r\n" 400 "not terminated";
+  check_err "truncated body" "GET / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"
+    400 "truncated";
+  check_err "bad request line" "NONSENSE\r\n\r\n" 400 "malformed request line";
+  check_err "bad content-length" "GET / HTTP/1.1\r\ncontent-length: -4\r\n\r\n"
+    400 "bad content-length";
+  match
+    Http.parse ~max_body:3 "GET / HTTP/1.1\r\ncontent-length: 9\r\n\r\nwaytolong"
+  with
   | Ok _ -> Alcotest.fail "accepted an oversized body"
-  | Error msg ->
-    Alcotest.(check bool) "body limit" true (Helpers.contains msg "exceeds")
+  | Error e ->
+    Alcotest.(check int) "body limit is 413" 413 e.Http.status;
+    Alcotest.(check bool)
+      "body limit reason" true
+      (Helpers.contains e.Http.reason "exceeds")
 
 (* ---- sessions ----------------------------------------------------------- *)
 
@@ -447,6 +450,7 @@ let test_e2e_restart () =
            jobs = 1;
            resume = true;
            telemetry = Serve.telemetry_off;
+           limits = Serve.default_limits;
          })
   in
   let d1 = start () in
@@ -502,19 +506,21 @@ let test_e2e_restart () =
 
 (* ---- serving telemetry ---------------------------------------------------- *)
 
-let start_daemon telemetry =
+let start_daemon ?(limits = Serve.default_limits) ?state_dir ?(jobs = 1)
+    telemetry =
   unwrap
     (Serve.start
        {
          Serve.port = 0;
-         state_dir = None;
-         jobs = 1;
+         state_dir;
+         jobs;
          resume = false;
          telemetry;
+         limits;
        })
 
-let with_daemon telemetry f =
-  let d = start_daemon telemetry in
+let with_daemon ?limits ?state_dir ?jobs telemetry f =
+  let d = start_daemon ?limits ?state_dir ?jobs telemetry in
   Fun.protect
     ~finally:(fun () ->
       Serve.stop d;
@@ -704,6 +710,437 @@ let test_access_log_schema () =
       (Json.member "id" line = Some (Json.String envelope_id))
   | l -> Alcotest.failf "expected one http.access line, got %d" (List.length l)
 
+(* ---- overload hardening --------------------------------------------------- *)
+
+(* A persistent raw client: one socket, explicit sends, one-response-at-
+   a-time reads (so keep-alive and pipelining are observable). *)
+type client = { cfd : Unix.file_descr; mutable cbuf : string }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { cfd = fd; cbuf = "" }
+
+let close_client c = try Unix.close c.cfd with Unix.Unix_error _ -> ()
+
+let send_raw c bytes = Http.send c.cfd bytes
+
+(* Read exactly one response off the connection; leftover bytes (the
+   next pipelined response) stay in the client buffer. *)
+let recv c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf c.cbuf;
+  c.cbuf <- "";
+  let chunk = Bytes.create 4096 in
+  let more what =
+    match Unix.read c.cfd chunk 0 (Bytes.length chunk) with
+    | 0 -> Alcotest.failf "peer closed %s" what
+    | n -> Buffer.add_subbytes buf chunk 0 n
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      Alcotest.failf "peer reset %s" what
+  in
+  let rec head_end () =
+    match index_sub (Buffer.contents buf) 0 "\r\n\r\n" with
+    | Some i -> i
+    | None ->
+      more "mid-head";
+      head_end ()
+  in
+  let head_end = head_end () in
+  let head = String.sub (Buffer.contents buf) 0 head_end in
+  let clen =
+    match header_of head "content-length" with
+    | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n -> n
+      | None -> Alcotest.failf "bad content-length in %S" head)
+    | None -> 0
+  in
+  while Buffer.length buf < head_end + 4 + clen do
+    more "mid-body"
+  done;
+  let all = Buffer.contents buf in
+  let body = String.sub all (head_end + 4) clen in
+  let past = head_end + 4 + clen in
+  c.cbuf <- String.sub all past (String.length all - past);
+  let status =
+    match String.split_on_char ' ' head with
+    | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
+    | _ -> 0
+  in
+  (status, head, body)
+
+(* True when the peer has closed: the next read returns EOF (and no
+   buffered bytes remain). *)
+let closed_by_peer c =
+  c.cbuf = ""
+  &&
+  match Unix.read c.cfd (Bytes.create 1) 0 1 with
+  | 0 -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+
+let plain_rules = "p1: [A] -> [B]\n"
+
+let create_session p =
+  let status, _ =
+    request p "POST" "/v1/sessions"
+      (Printf.sprintf
+         {|{"schema":{"name":"r","attributes":["A","B"]},"rules":%s}|}
+         (Json.to_string ~minify:true (Json.String plain_rules)))
+  in
+  Alcotest.(check int) "session create is 201" 201 status
+
+(* An announced body over the daemon's limit answers 413 before any body
+   bytes arrive. *)
+let test_oversized_body_413 () =
+  with_daemon Serve.telemetry_off @@ fun p ->
+  let c = connect p in
+  Fun.protect
+    ~finally:(fun () -> close_client c)
+    (fun () ->
+      send_raw c
+        "POST /v1/sessions/s1/tuples HTTP/1.1\r\n\
+         content-length: 999999999\r\n\r\n";
+      let status, _, body = recv c in
+      Alcotest.(check int) "announced oversized body is 413" 413 status;
+      Alcotest.(check bool)
+        "reason names the limit" true
+        (Helpers.contains body "exceeds"))
+
+(* keep-alive: two requests pipelined down one connection both answer;
+   with keep-alive off the daemon closes after the first response. *)
+let test_keep_alive_pipelining () =
+  let ka = { Serve.default_limits with keep_alive = true } in
+  with_daemon ~limits:ka Serve.telemetry_off (fun p ->
+      let c = connect p in
+      Fun.protect
+        ~finally:(fun () -> close_client c)
+        (fun () ->
+          let health = "GET /v1/health HTTP/1.1\r\ncontent-length: 0\r\n\r\n" in
+          send_raw c (health ^ health);
+          let s1, h1, _ = recv c in
+          let s2, _, _ = recv c in
+          Alcotest.(check int) "first pipelined response" 200 s1;
+          Alcotest.(check int) "second pipelined response" 200 s2;
+          Alcotest.(check bool)
+            "keep-alive announced" true
+            (header_of h1 "connection" = Some "keep-alive");
+          (* an explicit connection: close is honored *)
+          send_raw c
+            "GET /v1/health HTTP/1.1\r\nconnection: close\r\n\
+             content-length: 0\r\n\r\n";
+          let s3, h3, _ = recv c in
+          Alcotest.(check int) "final response" 200 s3;
+          Alcotest.(check bool)
+            "close announced" true
+            (header_of h3 "connection" = Some "close");
+          Alcotest.(check bool) "daemon closed" true (closed_by_peer c)));
+  (* default framing: close after one response *)
+  with_daemon Serve.telemetry_off (fun p ->
+      let c = connect p in
+      Fun.protect
+        ~finally:(fun () -> close_client c)
+        (fun () ->
+          send_raw c "GET /v1/health HTTP/1.1\r\ncontent-length: 0\r\n\r\n";
+          let s, h, _ = recv c in
+          Alcotest.(check int) "response" 200 s;
+          Alcotest.(check bool)
+            "close announced by default" true
+            (header_of h "connection" = Some "close");
+          Alcotest.(check bool) "daemon closed" true (closed_by_peer c)))
+
+(* A full session lane sheds with 429 + retry-after while the first
+   batch is still repairing; the shed request commits nothing. *)
+let test_queue_full_429 () =
+  let limits = { Serve.default_limits with queue_depth = 1 } in
+  with_daemon ~limits Serve.telemetry_off @@ fun p ->
+  Fun.protect ~finally:Dq_fault.Fault.disarm @@ fun () ->
+  create_session p;
+  (match Dq_fault.Fault.parse_plan "serve.ingest@1:delay 400" with
+  | Ok plan -> Dq_fault.Fault.arm plan
+  | Error msg -> Alcotest.failf "plan: %s" msg);
+  let first = ref (0, "") in
+  let t =
+    Thread.create
+      (fun () ->
+        let status, body =
+          request p "POST" "/v1/sessions/s1/tuples" {|{"tuples":[[1,10]]}|}
+        in
+        first := (status, body))
+      ()
+  in
+  Thread.delay 0.1;
+  let status, head, body =
+    request_full p "POST" "/v1/sessions/s1/tuples" {|{"tuples":[[2,20]]}|}
+  in
+  Thread.join t;
+  Alcotest.(check int) "held batch answers 200" 200 (fst !first);
+  Alcotest.(check int) "second batch shed with 429" 429 status;
+  Alcotest.(check (option string))
+    "retry-after header" (Some "1")
+    (header_of head "retry-after");
+  Alcotest.(check bool)
+    "shed error is typed queue-full" true
+    (Helpers.contains body "queue is full");
+  (* only the admitted batch committed *)
+  let _, body = request p "GET" "/v1/sessions/s1" "" in
+  match member "batches" (member "report" (json_of body)) with
+  | Json.Int 1 -> ()
+  | j -> Alcotest.failf "batches: %s" (Json.to_string ~minify:true j)
+
+(* Drain: a keep-alive connection that asks again mid-drain gets 503 +
+   connection: close, and stop returns once the connection is gone. *)
+let test_drain_refuses_and_closes () =
+  let limits =
+    { Serve.default_limits with keep_alive = true; drain_timeout_s = 5. }
+  in
+  let d = start_daemon ~limits Serve.telemetry_off in
+  let p = Serve.port d in
+  let c = connect p in
+  Fun.protect
+    ~finally:(fun () ->
+      close_client c;
+      Serve.stop d)
+    (fun () ->
+      let health = "GET /v1/health HTTP/1.1\r\ncontent-length: 0\r\n\r\n" in
+      send_raw c health;
+      let s, _, _ = recv c in
+      Alcotest.(check int) "pre-drain request" 200 s;
+      let stopper = Thread.create Serve.stop d in
+      (* stop waits for this connection; requests sent mid-drain are
+         refused and the refusal closes the connection *)
+      let rec await_drain tries =
+        if tries = 0 then Alcotest.fail "drain never refused a request"
+        else begin
+          send_raw c health;
+          match recv c with
+          | 200, _, _ ->
+            Thread.delay 0.05;
+            await_drain (tries - 1)
+          | 503, head, body ->
+            Alcotest.(check bool)
+              "drain refusal is typed" true
+              (Helpers.contains body "draining");
+            Alcotest.(check bool)
+              "drain refusal closes" true
+              (header_of head "connection" = Some "close");
+            Alcotest.(check bool) "socket closed" true (closed_by_peer c)
+          | s, _, _ -> Alcotest.failf "unexpected mid-drain status %d" s
+        end
+      in
+      await_drain 100;
+      Thread.join stopper)
+
+(* The circuit breaker: consecutive engine faults quarantine the
+   session (503 engine-failed, state visible) until an operator resume
+   closes it again. *)
+let test_breaker_quarantine_and_resume () =
+  let limits = { Serve.default_limits with breaker_threshold = 2 } in
+  with_daemon ~limits Serve.telemetry_off @@ fun p ->
+  Fun.protect ~finally:Dq_fault.Fault.disarm @@ fun () ->
+  create_session p;
+  let arm () =
+    match Dq_fault.Fault.parse_plan "serve.ingest@1" with
+    | Ok plan -> Dq_fault.Fault.arm plan
+    | Error msg -> Alcotest.failf "plan: %s" msg
+  in
+  let ingest () = request p "POST" "/v1/sessions/s1/tuples" {|{"tuples":[[1,10]]}|} in
+  arm ();
+  let status, _ = ingest () in
+  Alcotest.(check int) "first fault is 500" 500 status;
+  let _, body = request p "GET" "/v1/sessions/s1" "" in
+  (match member "state" (member "report" (json_of body)) with
+  | Json.String "active" -> ()
+  | j -> Alcotest.failf "one fault must not trip: %s" (Json.to_string ~minify:true j));
+  arm ();
+  let status, _ = ingest () in
+  Alcotest.(check int) "second fault is 500" 500 status;
+  (* breaker open: refused without touching the engine *)
+  let status, body = ingest () in
+  Alcotest.(check int) "quarantined session answers 503" 503 status;
+  Alcotest.(check bool)
+    "error names the resume endpoint" true
+    (Helpers.contains body "resume");
+  let _, body = request p "GET" "/v1/sessions/s1" "" in
+  let report = member "report" (json_of body) in
+  (match member "state" report with
+  | Json.String "engine_failed" -> ()
+  | j -> Alcotest.failf "state: %s" (Json.to_string ~minify:true j));
+  (match member "engine_faults" report with
+  | Json.Int 2 -> ()
+  | j -> Alcotest.failf "engine_faults: %s" (Json.to_string ~minify:true j));
+  (* operator resume closes the breaker *)
+  let status, body = request p "POST" "/v1/sessions/s1/resume" "" in
+  Alcotest.(check int) "resume is 200" 200 status;
+  (match member "state" (member "report" (json_of body)) with
+  | Json.String "active" -> ()
+  | j -> Alcotest.failf "post-resume state: %s" (Json.to_string ~minify:true j));
+  let status, _ = ingest () in
+  Alcotest.(check int) "ingest works after resume" 200 status
+
+(* Idle eviction checkpoints the session out of memory; the next request
+   naming it reloads transparently and serves identical bytes. *)
+let test_evict_and_reload () =
+  with_tmp_dir @@ fun dir ->
+  let limits = { Serve.default_limits with evict_idle_s = 0.2 } in
+  with_daemon ~limits ~state_dir:dir Serve.telemetry_off @@ fun p ->
+  create_session p;
+  let status, _ =
+    request p "POST" "/v1/sessions/s1/tuples" {|{"tuples":[[1,10],[2,20]]}|}
+  in
+  Alcotest.(check int) "ingest" 200 status;
+  let _, before = request p "GET" "/v1/sessions/s1/relation" "" in
+  (* wait for the sweeper *)
+  let rec await_evict tries =
+    if tries = 0 then Alcotest.fail "session never evicted"
+    else
+      let _, body = request p "GET" "/v1/sessions" "" in
+      if not (Helpers.contains body "evicted") then begin
+        Thread.delay 0.05;
+        await_evict (tries - 1)
+      end
+  in
+  await_evict 100;
+  (* transparent reload on the next touch *)
+  let status, after = request p "GET" "/v1/sessions/s1/relation" "" in
+  Alcotest.(check int) "reloaded relation is 200" 200 status;
+  Alcotest.(check string) "relation byte-identical after reload" before after;
+  let _, body = request p "GET" "/v1/sessions" "" in
+  Alcotest.(check bool)
+    "session live again" true
+    (not (Helpers.contains body "evicted"))
+
+(* The lane property behind the whole design: concurrent clients
+   ingesting into distinct sessions commit exactly what a sequential
+   client would, batch for batch — checked at daemon jobs 1 and 4 with
+   worker domains on. *)
+let int_rows_gen =
+  QCheck.Gen.(
+    list_size (2 -- 8)
+      (array_repeat 4 (map Value.int (0 -- 2))))
+
+let concurrent_instance =
+  QCheck.make
+    ~print:(fun (rules, per_session) ->
+      Printf.sprintf "rules:\n%s\nsessions: %d" rules (List.length per_session))
+    QCheck.Gen.(
+      let* rules = fd_rules_gen in
+      let* per_session = list_size (2 -- 3) int_rows_gen in
+      return (rules, per_session))
+
+let prop_concurrent_sessions_equal_sequential =
+  QCheck.Test.make
+    ~name:"concurrent ingest to distinct sessions equals sequential, jobs 1/4"
+    ~count:10 concurrent_instance
+    (fun (rules, per_session) ->
+      (* every session's rows go in as two batches, identically on both
+         sides, so quarantine decisions line up *)
+      let halves rows =
+        let n = List.length rows in
+        List.filter
+          (fun b -> b <> [])
+          [
+            List.filteri (fun j _ -> j < n / 2) rows;
+            List.filteri (fun j _ -> j >= n / 2) rows;
+          ]
+      in
+      (* ground truth: each session alone, in-process, sequential *)
+      let expected =
+        List.map
+          (fun rows ->
+            let s =
+              match
+                Session.create ~id:"x" ~schema_name:"r"
+                  ~attributes:[ "A"; "B"; "C"; "D" ] ~rules ~engine:"l-inc"
+                  ~force:true ()
+              with
+              | Ok s -> s
+              | Error e ->
+                QCheck.Test.fail_reportf "create: %s" (Dq_error.to_string e)
+            in
+            Session.with_lock s (fun () ->
+                List.iter
+                  (fun batch ->
+                    match
+                      Session.ingest s
+                        (List.map (fun v -> (v, None)) batch)
+                    with
+                    | Ok _ -> ()
+                    | Error e ->
+                      QCheck.Test.fail_reportf "ingest: %s"
+                        (Dq_error.to_string e))
+                  (halves rows);
+                Csv.save_string s.Session.relation))
+          per_session
+      in
+      let tuples_body rows =
+        Json.to_string ~minify:true
+          (Json.Obj
+             [
+               ( "tuples",
+                 Json.List
+                   (List.map
+                      (fun values ->
+                        Json.List
+                          (List.map Json.of_value (Array.to_list values)))
+                      rows) );
+             ])
+      in
+      List.for_all
+        (fun jobs ->
+          let limits = { Serve.default_limits with ingest_workers = 2 } in
+          let d = start_daemon ~limits ~jobs Serve.telemetry_off in
+          Fun.protect
+            ~finally:(fun () -> Serve.stop d)
+            (fun () ->
+              let p = Serve.port d in
+              List.iteri
+                (fun _ _ ->
+                  let status, _ =
+                    request p "POST" "/v1/sessions"
+                      (Printf.sprintf
+                         {|{"schema":{"name":"r","attributes":["A","B","C","D"]},"rules":%s,"force":true}|}
+                         (Json.to_string ~minify:true (Json.String rules)))
+                  in
+                  if status <> 201 then
+                    QCheck.Test.fail_reportf "create: %d" status)
+                per_session;
+              (* one thread per session, each splitting its rows in two
+                 batches *)
+              let threads =
+                List.mapi
+                  (fun i rows ->
+                    Thread.create
+                      (fun () ->
+                        let sid = Printf.sprintf "s%d" (i + 1) in
+                        List.iter
+                          (fun batch ->
+                            let status, _ =
+                              request p "POST"
+                                ("/v1/sessions/" ^ sid ^ "/tuples")
+                                (tuples_body batch)
+                            in
+                            if status <> 200 then
+                              QCheck.Test.fail_reportf "ingest %s: %d" sid
+                                status)
+                          (halves rows))
+                      ())
+                  per_session
+              in
+              List.iter Thread.join threads;
+              List.for_all2
+                (fun i want ->
+                  let _, got =
+                    request p "GET"
+                      (Printf.sprintf "/v1/sessions/s%d/relation" (i + 1))
+                      ""
+                  in
+                  String.equal want got)
+                (List.mapi (fun i _ -> i) per_session)
+                expected))
+        [ 1; 4 ])
+
 let suite =
   [
     Alcotest.test_case "http: request parsing" `Quick test_http_parse;
@@ -727,5 +1164,18 @@ let suite =
       test_metrics_endpoint;
     Alcotest.test_case "telemetry: access-log line schema and correlation"
       `Quick test_access_log_schema;
+    Alcotest.test_case "overload: announced oversized body is 413" `Quick
+      test_oversized_body_413;
+    Alcotest.test_case "overload: keep-alive pipelining and close framing"
+      `Quick test_keep_alive_pipelining;
+    Alcotest.test_case "overload: full lane sheds 429 with retry-after" `Quick
+      test_queue_full_429;
+    Alcotest.test_case "overload: drain refuses with 503 and closes" `Quick
+      test_drain_refuses_and_closes;
+    Alcotest.test_case "overload: breaker quarantines until resume" `Quick
+      test_breaker_quarantine_and_resume;
+    Alcotest.test_case "overload: idle eviction reloads byte-identical" `Quick
+      test_evict_and_reload;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_batches_equal_one_shot ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_batches_equal_one_shot; prop_concurrent_sessions_equal_sequential ]

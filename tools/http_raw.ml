@@ -1,0 +1,88 @@
+(* Raw HTTP probe for the serve cram tests.
+
+   Sends exactly the bytes given on the command line (with \r\n and \n
+   escapes expanded) to 127.0.0.1:PORT and prints every response status
+   line the daemon answers with, in order, plus whether the daemon
+   closed the connection.  curl refuses to send malformed framing, which
+   is precisely what the overload tests need to send.
+
+   Usage: http_raw PORT RAW [RAW ...]
+
+   Each RAW argument is written as one send (so pipelined requests can
+   be probed either as one write or several).  An empty RAW argument
+   sends nothing — useful to probe a daemon's reaction to a silent
+   client together with a read timeout. *)
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if i + 1 < n && s.[i] = '\\' then begin
+        (match s.[i + 1] with
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'n' -> Buffer.add_char buf '\n'
+        | '0' -> Buffer.add_char buf '\000'
+        | '\\' -> Buffer.add_char buf '\\'
+        | c ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let () =
+  if Array.length Sys.argv < 3 then begin
+    prerr_endline "usage: http_raw PORT RAW [RAW ...]";
+    exit 2
+  end;
+  let port = int_of_string Sys.argv.(1) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  for i = 2 to Array.length Sys.argv - 1 do
+    send_all fd (unescape Sys.argv.(i))
+  done;
+  (* Nothing more to say: let the daemon see EOF-on-request if it reads
+     past what we sent, but keep the read side open for its answers. *)
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Bytes.create 65536 in
+  let out = Buffer.create 4096 in
+  let rec drain () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes out buf 0 n;
+      drain ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  drain ();
+  Unix.close fd;
+  (* Print just the status lines: bodies carry request ids and uptimes
+     the cram test must not depend on. *)
+  let text = Buffer.contents out in
+  List.iter
+    (fun line ->
+      let line =
+        match String.index_opt line '\r' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      if String.length line > 5 && String.sub line 0 5 = "HTTP/" then
+        print_endline line)
+    (String.split_on_char '\n' text);
+  print_endline "closed"
